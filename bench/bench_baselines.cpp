@@ -1,0 +1,80 @@
+// Experiment E7 — comparison against prior work (Sections 1-2): the
+// sequential ball-growing decomposition and the BGKMPT (SPAA'11) phased
+// parallel algorithm. The paper's claim: one shifted BFS matches their
+// quality with a single pass — equal-order cut and radius, at a fraction
+// of the rounds (depth) and without the sequential piece-by-piece chain.
+#include <cstdio>
+
+#include "mpx/mpx.hpp"
+#include "table.hpp"
+
+int main() {
+  using namespace mpx;
+  bench::section("E7: MPX vs sequential ball growing vs BGKMPT");
+
+  struct Family {
+    const char* name;
+    CsrGraph graph;
+  };
+  std::vector<Family> families;
+  families.push_back({"grid200", generators::grid2d(200, 200)});
+  families.push_back({"er64k", generators::erdos_renyi(65536, 262144, 5)});
+  families.push_back({"rmat14", generators::rmat(14, 8.0, 9)});
+
+  bench::Table table({"family", "algorithm", "beta", "secs", "cut_frac",
+                      "max_radius", "clusters", "rounds"});
+  const double beta = 0.1;
+  for (const Family& fam : families) {
+    {
+      PartitionOptions opt;
+      opt.beta = beta;
+      opt.seed = 1;
+      WallTimer timer;
+      const Decomposition dec = partition(fam.graph, opt);
+      const double secs = timer.seconds();
+      const DecompositionStats s = analyze(dec, fam.graph);
+      table.row({fam.name, "mpx", bench::Table::num(beta, 2),
+                 bench::Table::num(secs, 3),
+                 bench::Table::num(s.cut_fraction, 4),
+                 bench::Table::integer(s.max_radius),
+                 bench::Table::integer(dec.num_clusters()),
+                 bench::Table::integer(dec.bfs_rounds)});
+    }
+    {
+      BallGrowingOptions opt;
+      opt.beta = beta;
+      WallTimer timer;
+      const Decomposition dec = ball_growing_decomposition(fam.graph, opt);
+      const double secs = timer.seconds();
+      const DecompositionStats s = analyze(dec, fam.graph);
+      // Ball growing has no parallel rounds; its dependency chain is the
+      // number of pieces (each waits for the previous).
+      table.row({fam.name, "ball-grow", bench::Table::num(beta, 2),
+                 bench::Table::num(secs, 3),
+                 bench::Table::num(s.cut_fraction, 4),
+                 bench::Table::integer(s.max_radius),
+                 bench::Table::integer(dec.num_clusters()),
+                 bench::Table::integer(dec.num_clusters())});
+    }
+    {
+      BgkmptOptions opt;
+      opt.beta = beta;
+      opt.seed = 1;
+      WallTimer timer;
+      const BgkmptResult r = bgkmpt_decomposition(fam.graph, opt);
+      const double secs = timer.seconds();
+      const DecompositionStats s = analyze(r.decomposition, fam.graph);
+      table.row({fam.name, "bgkmpt", bench::Table::num(beta, 2),
+                 bench::Table::num(secs, 3),
+                 bench::Table::num(s.cut_fraction, 4),
+                 bench::Table::integer(s.max_radius),
+                 bench::Table::integer(r.decomposition.num_clusters()),
+                 bench::Table::integer(r.total_rounds)});
+    }
+  }
+  std::printf(
+      "\nexpected shape: mpx matches ball-grow/bgkmpt cut and radius within "
+      "constants, with 'rounds' (the depth proxy) far below ball-grow's "
+      "piece chain and below bgkmpt's summed phases.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Experiment E13 — google-benchmark microbenchmarks of the BFS substrate
+// (the Klein-Subramanian/[8] role in Theorem 1.2): sequential vs top-down
+// vs direction-optimizing, plus the delayed multi-source engine.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "bfs/multi_source_bfs.hpp"
+#include "bfs/parallel_bfs.hpp"
+#include "bfs/sequential_bfs.hpp"
+#include "core/partition.hpp"
+#include "graph/generators.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+const mpx::CsrGraph& grid() {
+  static const mpx::CsrGraph g = mpx::generators::grid2d(512, 512);
+  return g;
+}
+
+const mpx::CsrGraph& er() {
+  static const mpx::CsrGraph g =
+      mpx::generators::erdos_renyi(262144, 1048576, 7);
+  return g;
+}
+
+const mpx::CsrGraph& rmat() {
+  static const mpx::CsrGraph g = mpx::generators::rmat(17, 8.0, 5);
+  return g;
+}
+
+template <const mpx::CsrGraph& (*Graph)()>
+void BM_SequentialBfs(benchmark::State& state) {
+  const mpx::CsrGraph& g = Graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpx::bfs_distances(g, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_arcs()));
+}
+
+template <const mpx::CsrGraph& (*Graph)(), mpx::BfsStrategy Strategy>
+void BM_ParallelBfs(benchmark::State& state) {
+  const mpx::CsrGraph& g = Graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpx::parallel_bfs(g, 0, Strategy));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_arcs()));
+}
+
+template <const mpx::CsrGraph& (*Graph)()>
+void BM_DelayedMultiSource(benchmark::State& state) {
+  const mpx::CsrGraph& g = Graph();
+  const mpx::vertex_t n = g.num_vertices();
+  std::vector<std::uint32_t> start(n);
+  std::vector<std::uint32_t> rank(n);
+  std::iota(rank.begin(), rank.end(), 0u);
+  for (mpx::vertex_t v = 0; v < n; ++v) {
+    start[v] = static_cast<std::uint32_t>(mpx::hash_stream(1, v) % 64);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpx::delayed_multi_source_bfs(g, start, rank));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_arcs()));
+}
+
+template <const mpx::CsrGraph& (*Graph)()>
+void BM_FullPartition(benchmark::State& state) {
+  const mpx::CsrGraph& g = Graph();
+  mpx::PartitionOptions opt;
+  opt.beta = 0.05;
+  opt.seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpx::partition(g, opt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_arcs()));
+}
+
+BENCHMARK(BM_SequentialBfs<grid>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SequentialBfs<er>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SequentialBfs<rmat>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelBfs<grid, mpx::BfsStrategy::kTopDown>)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelBfs<er, mpx::BfsStrategy::kTopDown>)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelBfs<rmat, mpx::BfsStrategy::kTopDown>)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelBfs<grid, mpx::BfsStrategy::kDirectionOptimizing>)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelBfs<er, mpx::BfsStrategy::kDirectionOptimizing>)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelBfs<rmat, mpx::BfsStrategy::kDirectionOptimizing>)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DelayedMultiSource<grid>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DelayedMultiSource<er>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullPartition<grid>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullPartition<er>)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

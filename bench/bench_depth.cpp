@@ -1,0 +1,45 @@
+// Experiment E3 — Theorem 1.2 depth bound: the BFS runs for
+// O(log n / beta) rounds (each round is O(log n) PRAM depth, giving the
+// paper's O(log^2 n / beta)). Rounds are machine-independent, so we report
+// rounds / (ln(n)/beta), which should stay O(1).
+#include <cmath>
+#include <cstdio>
+
+#include "mpx/mpx.hpp"
+#include "table.hpp"
+
+int main() {
+  using namespace mpx;
+  bench::section("E3 / Theorem 1.2: BFS rounds vs (ln n)/beta");
+
+  bench::Table table(
+      {"family", "n", "beta", "rounds", "ln(n)/beta", "ratio"});
+  const int kSeeds = 5;
+  for (const double beta : {0.02, 0.05, 0.1, 0.2}) {
+    for (const bool use_grid : {true, false}) {
+      const CsrGraph g =
+          use_grid
+              ? generators::grid2d(256, 256)
+              : generators::erdos_renyi(65536, 262144, 3);
+      double rounds = 0.0;
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        PartitionOptions opt;
+        opt.beta = beta;
+        opt.seed = static_cast<std::uint64_t>(seed);
+        rounds += partition(g, opt).bfs_rounds;
+      }
+      rounds /= kSeeds;
+      const double bound =
+          std::log(static_cast<double>(g.num_vertices())) / beta;
+      table.row({use_grid ? "grid" : "er",
+                 bench::Table::integer(g.num_vertices()),
+                 bench::Table::num(beta, 2), bench::Table::num(rounds, 1),
+                 bench::Table::num(bound, 1),
+                 bench::Table::num(rounds / bound, 3)});
+    }
+  }
+  std::printf(
+      "\nexpected shape: ratio stays bounded by a small constant (~1-2) "
+      "across beta and family — depth O(log n / beta) rounds.\n");
+  return 0;
+}

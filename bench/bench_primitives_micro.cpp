@@ -1,0 +1,101 @@
+// Experiment E14 — google-benchmark microbenchmarks of the parallel
+// primitives layer (scan / reduce / pack / sort / shift generation).
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/shifts.hpp"
+#include "parallel/pack.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/scan.hpp"
+#include "parallel/sort.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+std::vector<std::uint64_t> random_data(std::size_t n) {
+  std::vector<std::uint64_t> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = mpx::hash_stream(3, i);
+  return data;
+}
+
+void BM_ExclusiveScan(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::uint64_t> data = random_data(n);
+  std::vector<std::uint64_t> work(n);
+  for (auto _ : state) {
+    std::copy(data.begin(), data.end(), work.begin());
+    benchmark::DoNotOptimize(
+        mpx::exclusive_scan_inplace(std::span<std::uint64_t>(work)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_ParallelSum(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::uint64_t> data = random_data(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpx::parallel_sum<std::uint64_t>(
+        std::size_t{0}, n, [&](std::size_t i) { return data[i]; }));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_PackIndices(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::uint64_t> data = random_data(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mpx::pack_indices(n, [&](std::size_t i) { return data[i] % 3 == 0; }));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_ParallelSort(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::uint64_t> data = random_data(n);
+  std::vector<std::uint64_t> work(n);
+  for (auto _ : state) {
+    std::copy(data.begin(), data.end(), work.begin());
+    mpx::parallel_sort(std::span<std::uint64_t>(work));
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_GenerateShifts(benchmark::State& state) {
+  const mpx::vertex_t n = static_cast<mpx::vertex_t>(state.range(0));
+  mpx::PartitionOptions opt;
+  opt.beta = 0.05;
+  opt.seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpx::generate_shifts(n, opt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_ParallelPermutation(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpx::parallel_random_permutation(n, 5));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+BENCHMARK(BM_ExclusiveScan)->Arg(1 << 16)->Arg(1 << 22);
+BENCHMARK(BM_ParallelSum)->Arg(1 << 16)->Arg(1 << 22);
+BENCHMARK(BM_PackIndices)->Arg(1 << 16)->Arg(1 << 22);
+BENCHMARK(BM_ParallelSort)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_GenerateShifts)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_ParallelPermutation)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Experiment E15 — the empirical study the paper's Section 5 closes with:
+// "One possibility is to generate a random permutation of the vertices,
+// and assign the shift values based on positions in the permutation. We
+// believe that the slight changes in distributions could be accounted for
+// ... but might be more easily studied empirically."
+//
+// Compares i.i.d. Exp(beta) shifts against (a) the deterministic Exp(beta)
+// quantile profile assigned by a random permutation and (b) i.i.d. uniform
+// shifts on [0, ln(n)/beta].
+#include <cstdio>
+
+#include "mpx/mpx.hpp"
+#include "table.hpp"
+
+int main() {
+  using namespace mpx;
+  bench::section("E15 / Section 5: shift-distribution ablation");
+
+  struct Family {
+    const char* name;
+    CsrGraph graph;
+  };
+  std::vector<Family> families;
+  families.push_back({"grid", generators::grid2d(128, 128)});
+  families.push_back({"er", generators::erdos_renyi(16384, 65536, 5)});
+  families.push_back({"path", generators::path(16384)});
+
+  const struct {
+    ShiftDistribution dist;
+    const char* name;
+  } dists[] = {{ShiftDistribution::kExponential, "exponential"},
+               {ShiftDistribution::kPermutationQuantile, "perm-quantile"},
+               {ShiftDistribution::kUniform, "uniform"}};
+
+  bench::Table table({"family", "shifts", "beta", "cut_frac", "max_radius",
+                      "clusters", "rounds"});
+  const int kSeeds = 7;
+  for (const Family& fam : families) {
+    for (const auto& dist : dists) {
+      for (const double beta : {0.05, 0.2}) {
+        double cut = 0.0;
+        double radius = 0.0;
+        double clusters = 0.0;
+        double rounds = 0.0;
+        for (int seed = 0; seed < kSeeds; ++seed) {
+          PartitionOptions opt;
+          opt.beta = beta;
+          opt.seed = static_cast<std::uint64_t>(seed) * 211 + 17;
+          opt.distribution = dist.dist;
+          const Decomposition dec = partition(fam.graph, opt);
+          const DecompositionStats s = analyze(dec, fam.graph);
+          cut += s.cut_fraction;
+          radius += s.max_radius;
+          clusters += s.num_clusters;
+          rounds += dec.bfs_rounds;
+        }
+        table.row({fam.name, dist.name, bench::Table::num(beta, 2),
+                   bench::Table::num(cut / kSeeds, 4),
+                   bench::Table::num(radius / kSeeds, 1),
+                   bench::Table::num(clusters / kSeeds, 0),
+                   bench::Table::num(rounds / kSeeds, 0)});
+      }
+    }
+  }
+  std::printf(
+      "\nexpected shape: perm-quantile tracks exponential closely (the "
+      "sorted shift profile is the same in expectation) — supporting the "
+      "paper's conjecture; uniform shifts lose the memoryless cut bound "
+      "and drift on some families.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Experiment E19 — the introduction's sparsest-cut connection [20, 24]:
+// decomposition pieces as candidate low-conductance cuts. Bottlenecked
+// graphs should surface their bottleneck; expanders should certify that
+// none exists.
+#include <cstdio>
+
+#include "mpx/mpx.hpp"
+#include "table.hpp"
+
+int main() {
+  using namespace mpx;
+  bench::section("E19: sparse cuts from decomposition pieces");
+
+  struct Case {
+    const char* name;
+    CsrGraph graph;
+    double reference_phi;  // conductance of the known best cut (0 = n/a)
+  };
+  std::vector<Case> cases;
+  cases.push_back({"barbell20", generators::barbell(20),
+                   1.0 / (20.0 * 19.0 + 1.0)});
+  {
+    // Two 16x16 grids bridged by one edge.
+    const CsrGraph block = generators::grid2d(16, 16);
+    std::vector<Edge> edges = edge_list(generators::disjoint_copies(block, 2));
+    edges.push_back({255, 256});
+    cases.push_back(
+        {"dumbbell-grid",
+         build_undirected(512, std::span<const Edge>(edges)),
+         1.0 / (2.0 * static_cast<double>(block.num_edges()) + 1.0)});
+  }
+  cases.push_back({"expander1k",
+                   generators::random_matching_union(1024, 8, 5), 0.0});
+  cases.push_back({"grid64", generators::grid2d(64, 64), 0.0});
+
+  bench::Table table({"graph", "best_phi", "reference_phi", "side_size",
+                      "beta", "secs"});
+  for (const Case& c : cases) {
+    SparseCutOptions opt;
+    opt.seed = 2013;
+    WallTimer timer;
+    const SparseCutResult r = best_piece_cut(c.graph, opt);
+    table.row({c.name, bench::Table::num(r.conductance_value, 5),
+               c.reference_phi > 0 ? bench::Table::num(c.reference_phi, 5)
+                                   : "-",
+               bench::Table::integer(r.set_size),
+               bench::Table::num(r.beta, 2),
+               bench::Table::num(timer.seconds(), 3)});
+  }
+  std::printf(
+      "\nexpected shape: bottlenecked graphs (barbell, dumbbell) land "
+      "within a small factor of the true bridge conductance; the expander "
+      "stays above a constant (no sparse cut exists); the plain grid "
+      "finds its ~1/side balanced cuts.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Experiment E9 — Section 5's remark: the fractional parts of the shifts
+// act as a lexicographic tie-break and can be replaced by a random
+// permutation (or plain vertex ids). This ablation quantifies how little
+// the choice matters for decomposition quality.
+#include <cstdio>
+
+#include "mpx/mpx.hpp"
+#include "table.hpp"
+
+int main() {
+  using namespace mpx;
+  bench::section("E9 / Section 5 ablation: tie-breaking rules");
+
+  struct Family {
+    const char* name;
+    CsrGraph graph;
+  };
+  std::vector<Family> families;
+  families.push_back({"grid", generators::grid2d(128, 128)});
+  families.push_back({"er", generators::erdos_renyi(16384, 65536, 5)});
+  families.push_back({"rmat", generators::rmat(13, 6.0, 4)});
+
+  const struct {
+    TieBreak mode;
+    const char* name;
+  } modes[] = {{TieBreak::kFractionalShift, "fractional"},
+               {TieBreak::kRandomPermutation, "permutation"},
+               {TieBreak::kLexicographic, "lexicographic"}};
+
+  bench::Table table({"family", "tiebreak", "beta", "cut_frac",
+                      "max_radius", "clusters"});
+  const int kSeeds = 7;
+  for (const Family& fam : families) {
+    for (const auto& mode : modes) {
+      for (const double beta : {0.05, 0.2}) {
+        double cut = 0.0;
+        double radius = 0.0;
+        double clusters = 0.0;
+        for (int seed = 0; seed < kSeeds; ++seed) {
+          PartitionOptions opt;
+          opt.beta = beta;
+          opt.seed = static_cast<std::uint64_t>(seed) * 101 + 29;
+          opt.tie_break = mode.mode;
+          const DecompositionStats s =
+              analyze(partition(fam.graph, opt), fam.graph);
+          cut += s.cut_fraction;
+          radius += s.max_radius;
+          clusters += s.num_clusters;
+        }
+        table.row({fam.name, mode.name, bench::Table::num(beta, 2),
+                   bench::Table::num(cut / kSeeds, 4),
+                   bench::Table::num(radius / kSeeds, 1),
+                   bench::Table::num(clusters / kSeeds, 0)});
+      }
+    }
+  }
+  std::printf(
+      "\nexpected shape: all three tie-break rules give statistically "
+      "indistinguishable cut/radius/cluster numbers — ties are a "
+      "measure-zero event, so the rule only matters for determinism.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Experiment E2 — Theorem 1.2 work bound: Partition does O(m) work.
+// Wall time per edge should stay flat as graphs grow by 64x.
+#include <cstdio>
+
+#include "mpx/mpx.hpp"
+#include "table.hpp"
+
+namespace {
+
+double partition_seconds(const mpx::CsrGraph& g, double beta,
+                         std::uint64_t seed, int reps) {
+  double best = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    mpx::PartitionOptions opt;
+    opt.beta = beta;
+    opt.seed = seed + static_cast<std::uint64_t>(rep);
+    mpx::WallTimer timer;
+    const mpx::Decomposition dec = mpx::partition(g, opt);
+    best = std::min(best, timer.seconds());
+    (void)dec;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mpx;
+  bench::section("E2 / Theorem 1.2: O(m) work — time per edge vs size");
+
+  bench::Table table({"family", "n", "m", "beta", "secs", "ns_per_edge"});
+  const double beta = 0.05;
+  for (unsigned scale = 7; scale <= 10; ++scale) {
+    const vertex_t side = vertex_t{1} << scale;  // 128 .. 1024
+    const CsrGraph g = generators::grid2d(side, side);
+    const double secs = partition_seconds(g, beta, 1, 3);
+    table.row({"grid", bench::Table::integer(g.num_vertices()),
+               bench::Table::integer(g.num_edges()),
+               bench::Table::num(beta, 2), bench::Table::num(secs, 4),
+               bench::Table::num(1e9 * secs /
+                                     static_cast<double>(g.num_edges()),
+                                 1)});
+  }
+  for (unsigned scale = 14; scale <= 20; scale += 2) {
+    const vertex_t n = vertex_t{1} << scale;
+    const CsrGraph g =
+        generators::erdos_renyi(n, static_cast<edge_t>(n) * 4, 7);
+    const double secs = partition_seconds(g, beta, 1, 3);
+    table.row({"er", bench::Table::integer(g.num_vertices()),
+               bench::Table::integer(g.num_edges()),
+               bench::Table::num(beta, 2), bench::Table::num(secs, 4),
+               bench::Table::num(1e9 * secs /
+                                     static_cast<double>(g.num_edges()),
+                                 1)});
+  }
+  std::printf(
+      "\nexpected shape: ns_per_edge roughly flat across 64x size growth "
+      "(linear work).\n");
+  return 0;
+}

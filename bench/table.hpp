@@ -1,0 +1,51 @@
+// Tiny fixed-width table printer shared by the experiment harnesses so
+// every bench emits the same readable row format.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mpx::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    std::string line;
+    for (const auto& h : headers_) {
+      std::printf("%14s", h.c_str());
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("%14s", "------------");
+    }
+    std::printf("\n");
+  }
+
+  /// One row; cells must match the header count.
+  void row(const std::vector<std::string>& cells) {
+    for (const auto& c : cells) {
+      std::printf("%14s", c.c_str());
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  static std::string num(double v, int precision = 3) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
+    return buffer;
+  }
+
+  static std::string integer(std::uint64_t v) { return std::to_string(v); }
+
+ private:
+  std::vector<std::string> headers_;
+};
+
+inline void section(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+}  // namespace mpx::bench

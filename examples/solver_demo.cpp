@@ -1,0 +1,68 @@
+// The paper's motivating pipeline ([9, 11]): decomposition -> low-stretch
+// spanning tree -> tree preconditioner -> conjugate gradient on a graph
+// Laplacian.
+//
+//   ./solver_demo [grid_side]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "mpx/mpx.hpp"
+
+int main(int argc, char** argv) {
+  const mpx::vertex_t side =
+      argc > 1 ? static_cast<mpx::vertex_t>(std::atoi(argv[1])) : 100;
+
+  const mpx::CsrGraph topo = mpx::generators::grid2d(side, side);
+  const mpx::WeightedCsrGraph g = mpx::with_unit_weights(topo);
+  const mpx::LaplacianOperator lap(g);
+  std::printf("Laplacian system on a %ux%u grid (n=%u)\n", side, side,
+              g.num_vertices());
+
+  // Random mean-zero right-hand side (Laplacians are singular on the
+  // constant vector).
+  std::vector<double> b(g.num_vertices());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = mpx::uniform_double(mpx::hash_stream(5, i)) - 0.5;
+  }
+  mpx::project_mean_zero(b);
+
+  mpx::PcgOptions opt;
+  opt.tolerance = 1e-8;
+
+  {
+    const mpx::IdentityPreconditioner id;
+    mpx::WallTimer timer;
+    const mpx::PcgResult r = mpx::pcg_solve(lap, b, id, opt);
+    std::printf("  CG (no preconditioner):   %4u iterations, residual "
+                "%.2e, %.3fs\n",
+                r.iterations, r.relative_residual, timer.seconds());
+  }
+  {
+    const mpx::JacobiPreconditioner jacobi(g);
+    mpx::WallTimer timer;
+    const mpx::PcgResult r = mpx::pcg_solve(lap, b, jacobi, opt);
+    std::printf("  PCG (Jacobi):             %4u iterations, residual "
+                "%.2e, %.3fs\n",
+                r.iterations, r.relative_residual, timer.seconds());
+  }
+  {
+    mpx::LowStretchTreeOptions lst_opt;
+    lst_opt.seed = 7;
+    mpx::WallTimer timer;
+    const mpx::LowStretchTreeResult lst =
+        mpx::low_stretch_tree(topo, lst_opt);
+    const mpx::TreePreconditioner precond(mpx::with_unit_weights(lst.tree));
+    const mpx::PcgResult r = mpx::pcg_solve(lap, b, precond, opt);
+    std::printf("  PCG (low-stretch tree):   %4u iterations, residual "
+                "%.2e, %.3fs (tree built inside the timing)\n",
+                r.iterations, r.relative_residual, timer.seconds());
+  }
+  std::printf("the tree preconditioner is built from the paper's "
+              "decomposition routine — this is the SDD-solver connection "
+              "motivating the paper. (A single tree is the *base case*: "
+              "the full solver of [9] recursively augments it; see "
+              "bench_apps for a near-tree system where the tree "
+              "preconditioner already dominates.)\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Spanner construction on a dense random graph: keep the in-piece BFS
+// trees plus one bridge per adjacent piece pair, then measure how little
+// distances degrade.
+//
+//   ./spanner_demo [n] [avg_degree] [beta]
+#include <cstdio>
+#include <cstdlib>
+
+#include "mpx/mpx.hpp"
+
+int main(int argc, char** argv) {
+  const mpx::vertex_t n =
+      argc > 1 ? static_cast<mpx::vertex_t>(std::atoi(argv[1])) : 4096;
+  const unsigned degree = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 32;
+  const double beta = argc > 3 ? std::atof(argv[3]) : 0.2;
+
+  const mpx::CsrGraph g =
+      mpx::generators::erdos_renyi(n, static_cast<mpx::edge_t>(n) * degree / 2, 7);
+  std::printf("input: n=%u, m=%llu (avg degree %.1f)\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()),
+              2.0 * static_cast<double>(g.num_edges()) / g.num_vertices());
+
+  mpx::PartitionOptions opt;
+  opt.beta = beta;
+  opt.seed = 11;
+  mpx::WallTimer timer;
+  const mpx::SpannerResult r = mpx::ldd_spanner(g, opt);
+  std::printf("spanner: %llu edges (%.1f%% of input) = %llu tree + %llu "
+              "bridge edges, built in %.3fs\n",
+              static_cast<unsigned long long>(r.spanner.num_edges()),
+              100.0 * static_cast<double>(r.spanner.num_edges()) /
+                  static_cast<double>(g.num_edges()),
+              static_cast<unsigned long long>(r.tree_edges),
+              static_cast<unsigned long long>(r.bridge_edges),
+              timer.seconds());
+
+  const mpx::StretchSample s = mpx::measure_stretch(g, r.spanner, 50, 3);
+  std::printf("measured stretch over %zu sampled pairs: mean %.2f, max "
+              "%.2f (guarantee: <= %u)\n",
+              s.pairs_measured, s.mean_stretch, s.max_stretch,
+              r.stretch_bound());
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Sparse-cut heuristic demo: low-diameter decompositions as candidate
+// low-conductance cuts (the sparsest-cut connection of the paper's
+// introduction, [20, 24]).
+//
+//   ./sparse_cut_demo [bell_size]
+#include <cstdio>
+#include <cstdlib>
+
+#include "mpx/mpx.hpp"
+
+int main(int argc, char** argv) {
+  const mpx::vertex_t k =
+      argc > 1 ? static_cast<mpx::vertex_t>(std::atoi(argv[1])) : 20;
+
+  // A barbell: two K_k cliques joined by one bridge edge. The unique
+  // sparse cut is the bridge.
+  const mpx::CsrGraph g = mpx::generators::barbell(k);
+  std::printf("barbell(%u): n=%u, m=%llu\n", k, g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  const double bridge_phi =
+      1.0 / (static_cast<double>(k) * (k - 1) + 1.0);
+  std::printf("bridge cut conductance: %.5f\n", bridge_phi);
+
+  mpx::SparseCutOptions opt;
+  opt.seed = 42;
+  mpx::WallTimer timer;
+  const mpx::SparseCutResult r = mpx::best_piece_cut(g, opt);
+  std::printf("best decomposition piece: conductance %.5f, side size %u, "
+              "found at beta=%.3f (%.3fs)\n",
+              r.conductance_value, r.set_size, r.beta, timer.seconds());
+  std::printf("=> the decomposition sweep recovers the bottleneck to "
+              "within %.1fx\n",
+              r.conductance_value / bridge_phi);
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "apps/block_decomposition.hpp"
+
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/partition.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace mpx {
+
+BlockDecomposition block_decomposition(const CsrGraph& g,
+                                       const BlockDecompositionOptions& opt) {
+  MPX_EXPECTS(opt.beta > 0.0 && opt.beta < 1.0);
+  BlockDecomposition result;
+  result.edges = edge_list(g);
+  result.block.assign(result.edges.size(), 0);
+
+  // Indices into result.edges still awaiting a block.
+  std::vector<std::size_t> active(result.edges.size());
+  for (std::size_t i = 0; i < active.size(); ++i) active[i] = i;
+
+  const vertex_t n = g.num_vertices();
+  std::uint32_t b = 0;
+  while (!active.empty()) {
+    MPX_ASSERT(b < opt.max_blocks);
+    std::vector<Edge> current;
+    current.reserve(active.size());
+    for (const std::size_t i : active) current.push_back(result.edges[i]);
+    const CsrGraph h = build_undirected(n, std::span<const Edge>(current));
+
+    PartitionOptions popt;
+    popt.beta = opt.beta;
+    popt.seed = hash_stream(opt.seed, b);  // fresh shifts each iteration
+    const Decomposition dec = partition(h, popt);
+
+    std::vector<std::size_t> still_active;
+    for (const std::size_t i : active) {
+      const Edge& e = result.edges[i];
+      if (dec.cluster_of(e.u) == dec.cluster_of(e.v)) {
+        result.block[i] = b;  // internal: joins this block
+      } else {
+        still_active.push_back(i);  // cut: retry next iteration
+      }
+    }
+    active.swap(still_active);
+    ++b;
+  }
+  result.num_blocks = b;
+  return result;
+}
+
+CsrGraph block_subgraph(const BlockDecomposition& blocks, vertex_t n,
+                        std::uint32_t b) {
+  MPX_EXPECTS(b < blocks.num_blocks);
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < blocks.edges.size(); ++i) {
+    if (blocks.block[i] == b) edges.push_back(blocks.edges[i]);
+  }
+  return build_undirected(n, std::span<const Edge>(edges));
+}
+
+}  // namespace mpx

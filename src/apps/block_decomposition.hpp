@@ -1,0 +1,45 @@
+// Linial–Saks block decomposition [22] via iterated low-diameter
+// decomposition (the reduction sketched in Section 2 of the paper).
+//
+// The edges of G are partitioned into O(log m) blocks such that every
+// connected component of each block's spanning subgraph (V, E_i) has
+// diameter O(log n). Construction: run a (1/2, O(log n)) MPX partition on
+// the current edge set; edges internal to pieces form the next block
+// (components = pieces, so diameters are bounded); at most half the edges
+// are cut and carry over to the next iteration, so the block count is
+// logarithmic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace mpx {
+
+struct BlockDecompositionOptions {
+  /// Cut-fraction parameter of each iteration's LDD (paper uses 1/2).
+  double beta = 0.5;
+  std::uint64_t seed = 0;
+  /// Hard cap on iterations; the expected count is log2(m) + O(1).
+  std::uint32_t max_blocks = 64;
+};
+
+struct BlockDecomposition {
+  /// All undirected edges of the input graph.
+  std::vector<Edge> edges;
+  /// block[i]: block id of edges[i], in [0, num_blocks).
+  std::vector<std::uint32_t> block;
+  std::uint32_t num_blocks = 0;
+};
+
+/// Compute the block decomposition of g.
+[[nodiscard]] BlockDecomposition block_decomposition(
+    const CsrGraph& g, const BlockDecompositionOptions& opt = {});
+
+/// Spanning subgraph (V(g), {edges of block b}).
+[[nodiscard]] CsrGraph block_subgraph(const BlockDecomposition& blocks,
+                                      vertex_t n, std::uint32_t b);
+
+}  // namespace mpx

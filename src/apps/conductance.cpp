@@ -1,0 +1,105 @@
+#include "apps/conductance.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/partition.hpp"
+#include "parallel/reduce.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace mpx {
+
+double conductance(const CsrGraph& g, std::span<const std::uint8_t> in_set) {
+  const vertex_t n = g.num_vertices();
+  MPX_EXPECTS(in_set.size() == n);
+  edge_t cut = 0;
+  edge_t vol_in = 0;
+  edge_t vol_out = 0;
+  for (vertex_t u = 0; u < n; ++u) {
+    const edge_t deg = g.degree(u);
+    if (in_set[u]) {
+      vol_in += deg;
+    } else {
+      vol_out += deg;
+    }
+    if (!in_set[u]) continue;
+    for (const vertex_t v : g.neighbors(u)) {
+      if (!in_set[v]) ++cut;
+    }
+  }
+  const edge_t denom = std::min(vol_in, vol_out);
+  if (denom == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(cut) / static_cast<double>(denom);
+}
+
+double piece_conductance(const CsrGraph& g, const Decomposition& dec,
+                         cluster_t piece) {
+  MPX_EXPECTS(piece < dec.num_clusters());
+  std::vector<std::uint8_t> in_set(g.num_vertices(), 0);
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    if (dec.cluster_of(v) == piece) in_set[v] = 1;
+  }
+  return conductance(g, in_set);
+}
+
+SparseCutResult best_piece_cut(const CsrGraph& g,
+                               const SparseCutOptions& opt) {
+  MPX_EXPECTS(g.num_edges() > 0);
+  MPX_EXPECTS(!opt.betas.empty());
+  SparseCutResult best;
+  best.conductance_value = std::numeric_limits<double>::infinity();
+
+  const vertex_t n = g.num_vertices();
+  std::vector<edge_t> piece_volume;
+  std::vector<edge_t> piece_cut;
+
+  for (const double beta : opt.betas) {
+    for (std::uint32_t trial = 0; trial < opt.trials_per_beta; ++trial) {
+      PartitionOptions popt;
+      popt.beta = beta;
+      popt.seed = hash_stream(opt.seed,
+                              hash_stream(static_cast<std::uint64_t>(
+                                              beta * 1e6),
+                                          trial));
+      const Decomposition dec = partition(g, popt);
+      const cluster_t k = dec.num_clusters();
+
+      // One pass computes every piece's cut and volume simultaneously.
+      piece_volume.assign(k, 0);
+      piece_cut.assign(k, 0);
+      edge_t total_volume = 0;
+      for (vertex_t u = 0; u < n; ++u) {
+        const cluster_t c = dec.cluster_of(u);
+        piece_volume[c] += g.degree(u);
+        total_volume += g.degree(u);
+        for (const vertex_t v : g.neighbors(u)) {
+          if (dec.cluster_of(v) != c) ++piece_cut[c];
+        }
+      }
+      for (cluster_t c = 0; c < k; ++c) {
+        const edge_t denom =
+            std::min(piece_volume[c], total_volume - piece_volume[c]);
+        if (denom == 0) continue;
+        const double phi =
+            static_cast<double>(piece_cut[c]) / static_cast<double>(denom);
+        if (phi < best.conductance_value) {
+          best.conductance_value = phi;
+          best.beta = beta;
+          best.in_set.assign(n, 0);
+          best.set_size = 0;
+          for (vertex_t v = 0; v < n; ++v) {
+            if (dec.cluster_of(v) == c) {
+              best.in_set[v] = 1;
+              ++best.set_size;
+            }
+          }
+        }
+      }
+    }
+  }
+  MPX_ENSURES(!best.in_set.empty());
+  return best;
+}
+
+}  // namespace mpx

@@ -1,0 +1,58 @@
+// Low-conductance cut heuristics from low-diameter decompositions — the
+// introduction's first application family: "approximations to sparsest
+// cut [20, 24]" and the clustering uses of [25] run low-diameter
+// decomposition as the inner subroutine; the pieces are candidate sparse
+// cuts.
+//
+// conductance(S) = cut(S, V\S) / min(vol(S), vol(V\S)), vol = degree sum.
+// `best_piece_cut` sweeps the pieces of MPX partitions across a beta
+// ladder and returns the piece with the smallest conductance — a cheap,
+// parallel Cheeger-style heuristic that provably finds the bottleneck on
+// graphs like barbells (a piece growing inside one bell stops at the
+// bridge).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/decomposition.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace mpx {
+
+/// Conductance of the vertex set `in_set` (given as a 0/1 indicator).
+/// Returns +inf when either side is empty or the graph has no edges.
+[[nodiscard]] double conductance(const CsrGraph& g,
+                                 std::span<const std::uint8_t> in_set);
+
+/// Conductance of one piece of a decomposition.
+[[nodiscard]] double piece_conductance(const CsrGraph& g,
+                                       const Decomposition& dec,
+                                       cluster_t piece);
+
+struct SparseCutResult {
+  /// Indicator of the best side found.
+  std::vector<std::uint8_t> in_set;
+  double conductance_value = 0.0;
+  /// The beta at which the winning piece was found.
+  double beta = 0.0;
+  vertex_t set_size = 0;
+};
+
+struct SparseCutOptions {
+  std::uint64_t seed = 0;
+  /// Betas to sweep (coarse to fine). Each adds one partition run. The
+  /// large-beta end matters on small or low-diameter graphs, where small
+  /// betas put everything in one piece.
+  std::vector<double> betas = {0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5};
+  /// Partitions per beta (more seeds = better cuts, linearly more work).
+  std::uint32_t trials_per_beta = 4;
+};
+
+/// Sweep decompositions and return the lowest-conductance piece seen.
+/// Work O(trials * m). Requires at least one edge.
+[[nodiscard]] SparseCutResult best_piece_cut(const CsrGraph& g,
+                                             const SparseCutOptions& opt = {});
+
+}  // namespace mpx

@@ -1,0 +1,52 @@
+#include "apps/contraction.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace mpx {
+
+ContractionResult contract_clusters(const CsrGraph& g,
+                                    std::span<const cluster_t> assignment,
+                                    cluster_t num_clusters,
+                                    std::span<const Edge> rep_of_edge) {
+  MPX_EXPECTS(assignment.size() == g.num_vertices());
+  const std::vector<Edge> edges = edge_list(g);
+  MPX_EXPECTS(rep_of_edge.empty() || rep_of_edge.size() == edges.size());
+
+  // Deterministic choice: for each cluster pair keep the representative of
+  // the smallest pre-contraction edge. std::map keeps quotient edges in a
+  // canonical order.
+  std::map<std::pair<cluster_t, cluster_t>, Edge> quotient;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    cluster_t cu = assignment[e.u];
+    cluster_t cv = assignment[e.v];
+    MPX_EXPECTS(cu < num_clusters && cv < num_clusters);
+    if (cu == cv) continue;
+    if (cu > cv) std::swap(cu, cv);
+    const Edge rep = rep_of_edge.empty() ? e : rep_of_edge[i];
+    const auto [it, inserted] = quotient.try_emplace({cu, cv}, rep);
+    if (!inserted) {
+      const Edge& cur = it->second;
+      if (rep.u < cur.u || (rep.u == cur.u && rep.v < cur.v)) {
+        it->second = rep;
+      }
+    }
+  }
+
+  ContractionResult result;
+  result.quotient_edges.reserve(quotient.size());
+  result.representative.reserve(quotient.size());
+  for (const auto& [pair, rep] : quotient) {
+    result.quotient_edges.push_back({pair.first, pair.second});
+    result.representative.push_back(rep);
+  }
+  result.graph = build_undirected(
+      num_clusters, std::span<const Edge>(result.quotient_edges));
+  return result;
+}
+
+}  // namespace mpx

@@ -1,0 +1,37 @@
+// Cluster contraction (quotient graphs) with original-edge provenance.
+//
+// Contracting the pieces of a decomposition yields the next level of the
+// AKPW low-stretch-tree recursion; every quotient edge remembers one
+// original-graph edge that realizes it so tree edges chosen at deep levels
+// can be mapped back to the input graph.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "support/types.hpp"
+
+namespace mpx {
+
+struct ContractionResult {
+  /// Quotient graph: one vertex per cluster, one edge per adjacent cluster
+  /// pair (parallel edges collapsed).
+  CsrGraph graph;
+  /// For each undirected quotient edge (in edge_list(graph) order): a
+  /// representative edge of the *pre-contraction* graph realizing it.
+  std::vector<Edge> representative;
+  /// Edge list of the quotient graph aligned with `representative`.
+  std::vector<Edge> quotient_edges;
+};
+
+/// Contract each cluster of `assignment` (labels in [0, num_clusters)) to a
+/// single vertex. `rep_of_arc`, if non-empty, maps each arc of g to its
+/// original-graph representative (used on level >= 1 of a recursion);
+/// when empty, arcs represent themselves.
+[[nodiscard]] ContractionResult contract_clusters(
+    const CsrGraph& g, std::span<const cluster_t> assignment,
+    cluster_t num_clusters, std::span<const Edge> rep_of_edge = {});
+
+}  // namespace mpx

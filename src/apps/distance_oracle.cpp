@@ -1,0 +1,126 @@
+#include "apps/distance_oracle.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "bfs/sequential_bfs.hpp"
+#include "core/partition.hpp"
+#include "parallel/parallel_for.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace mpx {
+namespace {
+
+/// Sparse center graph as adjacency lists with integer weights.
+struct CenterGraph {
+  std::vector<std::vector<std::pair<cluster_t, std::uint32_t>>> adj;
+};
+
+CenterGraph build_center_graph(const CsrGraph& g, const Decomposition& dec) {
+  CenterGraph cg;
+  const cluster_t k = dec.num_clusters();
+  cg.adj.resize(k);
+  // Cheapest realized connection per ordered cluster pair.
+  std::vector<std::vector<std::pair<cluster_t, std::uint32_t>>>& adj = cg.adj;
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    const cluster_t cu = dec.cluster_of(u);
+    for (const vertex_t v : g.neighbors(u)) {
+      if (u >= v) continue;
+      const cluster_t cv = dec.cluster_of(v);
+      if (cu == cv) continue;
+      const std::uint32_t w =
+          dec.dist_to_center(u) + 1 + dec.dist_to_center(v);
+      adj[cu].push_back({cv, w});
+      adj[cv].push_back({cu, w});
+    }
+  }
+  // Deduplicate, keeping the lightest parallel edge.
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    std::vector<std::pair<cluster_t, std::uint32_t>> compact;
+    for (const auto& [c, w] : list) {
+      if (!compact.empty() && compact.back().first == c) continue;
+      compact.push_back({c, w});
+    }
+    list = std::move(compact);
+  }
+  return cg;
+}
+
+}  // namespace
+
+DistanceOracle::DistanceOracle(const CsrGraph& g,
+                               const PartitionOptions& opt)
+    : dec_(partition(g, opt)) {
+  k_ = dec_.num_clusters();
+  const CenterGraph cg = build_center_graph(g, dec_);
+
+  center_dist_.assign(static_cast<std::size_t>(k_) * k_, kInfDist);
+  // All-pairs Dijkstra over the k-node center graph; clusters are
+  // independent sources, so run them in parallel.
+  parallel_for_dynamic(cluster_t{0}, k_, [&](cluster_t src) {
+    std::vector<std::uint32_t> dist(k_, kInfDist);
+    using Entry = std::pair<std::uint32_t, cluster_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+    dist[src] = 0;
+    queue.push({0, src});
+    while (!queue.empty()) {
+      const auto [d, c] = queue.top();
+      queue.pop();
+      if (d != dist[c]) continue;
+      for (const auto& [nbr, w] : cg.adj[c]) {
+        const std::uint32_t nd = d + w;
+        if (nd < dist[nbr]) {
+          dist[nbr] = nd;
+          queue.push({nd, nbr});
+        }
+      }
+    }
+    std::copy(dist.begin(), dist.end(),
+              center_dist_.begin() + static_cast<std::size_t>(src) * k_);
+  });
+}
+
+std::uint32_t DistanceOracle::estimate(vertex_t u, vertex_t v) const {
+  MPX_EXPECTS(u < dec_.num_vertices() && v < dec_.num_vertices());
+  if (u == v) return 0;
+  const cluster_t cu = dec_.cluster_of(u);
+  const cluster_t cv = dec_.cluster_of(v);
+  if (cu == cv) {
+    // Same piece: route through the center (a realized in-piece path).
+    return dec_.dist_to_center(u) + dec_.dist_to_center(v);
+  }
+  const std::uint32_t across =
+      center_dist_[static_cast<std::size_t>(cu) * k_ + cv];
+  if (across == kInfDist) return kInfDist;
+  return dec_.dist_to_center(u) + across + dec_.dist_to_center(v);
+}
+
+OracleQuality measure_oracle(const CsrGraph& g, const DistanceOracle& oracle,
+                             std::size_t pairs, std::uint64_t seed) {
+  OracleQuality q;
+  const vertex_t n = g.num_vertices();
+  if (n < 2) return q;
+  Xoshiro256pp rng(seed);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const vertex_t u = static_cast<vertex_t>(rng.next_below(n));
+    const std::vector<std::uint32_t> exact = bfs_distances(g, u);
+    const vertex_t v = static_cast<vertex_t>(rng.next_below(n));
+    if (u == v || exact[v] == kInfDist || exact[v] == 0) continue;
+    const std::uint32_t est = oracle.estimate(u, v);
+    if (est < exact[v]) ++q.underestimates;
+    const double stretch =
+        static_cast<double>(est) / static_cast<double>(exact[v]);
+    sum += stretch;
+    q.max_stretch = std::max(q.max_stretch, stretch);
+    ++q.pairs_measured;
+  }
+  q.mean_stretch =
+      q.pairs_measured == 0 ? 1.0 : sum / static_cast<double>(q.pairs_measured);
+  return q;
+}
+
+}  // namespace mpx

@@ -1,0 +1,162 @@
+#include "apps/laplacian.hpp"
+
+#include <algorithm>
+
+#include "graph/components.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "support/assert.hpp"
+
+namespace mpx {
+
+LaplacianOperator::LaplacianOperator(const WeightedCsrGraph& g) : g_(&g) {
+  const Components comps = connected_components(g.topology());
+  component_ = comps.label;
+  std::vector<double> size(g.num_vertices(), 0.0);
+  for (const vertex_t label : component_) size[label] += 1.0;
+  component_size_.resize(g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    component_size_[v] = size[component_[v]];
+  }
+}
+
+void LaplacianOperator::project_to_range(std::span<double> x) const {
+  MPX_EXPECTS(x.size() == component_.size());
+  std::vector<double> sums(x.size(), 0.0);
+  for (std::size_t v = 0; v < x.size(); ++v) sums[component_[v]] += x[v];
+  parallel_for(std::size_t{0}, x.size(), [&](std::size_t v) {
+    x[v] -= sums[component_[v]] / component_size_[v];
+  });
+}
+
+void LaplacianOperator::apply(std::span<const double> x,
+                              std::span<double> y) const {
+  const vertex_t n = g_->num_vertices();
+  MPX_EXPECTS(x.size() == n && y.size() == n);
+  parallel_for(vertex_t{0}, n, [&](vertex_t u) {
+    const auto nbrs = g_->neighbors(u);
+    const auto ws = g_->arc_weights(u);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      acc += ws[i] * (x[u] - x[nbrs[i]]);
+    }
+    y[u] = acc;
+  });
+}
+
+double LaplacianOperator::diagonal(vertex_t v) const {
+  const auto ws = g_->arc_weights(v);
+  double acc = 0.0;
+  for (const double w : ws) acc += w;
+  return acc;
+}
+
+void IdentityPreconditioner::apply(std::span<const double> r,
+                                   std::span<double> z) const {
+  std::copy(r.begin(), r.end(), z.begin());
+}
+
+JacobiPreconditioner::JacobiPreconditioner(const WeightedCsrGraph& g) {
+  const vertex_t n = g.num_vertices();
+  inv_diag_.resize(n);
+  const LaplacianOperator lap(g);
+  parallel_for(vertex_t{0}, n, [&](vertex_t v) {
+    const double d = lap.diagonal(v);
+    inv_diag_[v] = d > 0.0 ? 1.0 / d : 0.0;  // isolated vertices
+  });
+}
+
+void JacobiPreconditioner::apply(std::span<const double> r,
+                                 std::span<double> z) const {
+  MPX_EXPECTS(r.size() == inv_diag_.size() && z.size() == inv_diag_.size());
+  parallel_for(std::size_t{0}, r.size(),
+               [&](std::size_t i) { z[i] = r[i] * inv_diag_[i]; });
+}
+
+TreePreconditioner::TreePreconditioner(const WeightedCsrGraph& tree) {
+  const vertex_t n = tree.num_vertices();
+  MPX_EXPECTS(tree.num_edges() < n || n == 0);  // forests only
+  parent_.assign(n, kInvalidVertex);
+  parent_weight_.assign(n, 0.0);
+  component_.assign(n, kInvalidVertex);
+  order_.reserve(n);
+
+  for (vertex_t root = 0; root < n; ++root) {
+    if (component_[root] != kInvalidVertex) continue;
+    component_[root] = root;
+    const std::size_t begin = order_.size();
+    order_.push_back(root);
+    for (std::size_t head = begin; head < order_.size(); ++head) {
+      const vertex_t u = order_[head];
+      const auto nbrs = tree.neighbors(u);
+      const auto ws = tree.arc_weights(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const vertex_t v = nbrs[i];
+        if (component_[v] != kInvalidVertex) continue;
+        component_[v] = root;
+        parent_[v] = u;
+        parent_weight_[v] = ws[i];
+        order_.push_back(v);
+      }
+    }
+  }
+
+  std::vector<double> size(n, 0.0);
+  for (vertex_t v = 0; v < n; ++v) size[component_[v]] += 1.0;
+  component_size_.resize(n);
+  for (vertex_t v = 0; v < n; ++v) {
+    component_size_[v] = size[component_[v]];
+  }
+}
+
+void TreePreconditioner::apply(std::span<const double> r,
+                               std::span<double> z) const {
+  const std::size_t n = parent_.size();
+  MPX_EXPECTS(r.size() == n && z.size() == n);
+
+  // Work on a mean-zero copy so each component's system is consistent.
+  std::vector<double> b(r.begin(), r.end());
+  {
+    std::vector<double> comp_sum(n, 0.0);
+    for (std::size_t v = 0; v < n; ++v) comp_sum[component_[v]] += b[v];
+    for (std::size_t v = 0; v < n; ++v) {
+      b[v] -= comp_sum[component_[v]] / component_size_[v];
+    }
+  }
+
+  // Leaf elimination: children come after parents in `order_`, so a
+  // reverse sweep folds each subtree's net flow into its parent.
+  for (std::size_t i = n; i-- > 0;) {
+    const vertex_t v = order_[i];
+    if (parent_[v] != kInvalidVertex) b[parent_[v]] += b[v];
+  }
+  // Back substitution: roots are pinned to zero; each child's potential
+  // differs from its parent's by (subtree flow) / (edge weight).
+  for (std::size_t i = 0; i < n; ++i) {
+    const vertex_t v = order_[i];
+    if (parent_[v] == kInvalidVertex) {
+      z[v] = 0.0;
+    } else {
+      z[v] = z[parent_[v]] + b[v] / parent_weight_[v];
+    }
+  }
+  // Return the mean-zero representative (canonical pseudo-inverse image).
+  {
+    std::vector<double> comp_sum(n, 0.0);
+    for (std::size_t v = 0; v < n; ++v) comp_sum[component_[v]] += z[v];
+    for (std::size_t v = 0; v < n; ++v) {
+      z[v] -= comp_sum[component_[v]] / component_size_[v];
+    }
+  }
+}
+
+void project_mean_zero(std::span<double> x) {
+  if (x.empty()) return;
+  const double mean =
+      parallel_sum<double>(std::size_t{0}, x.size(),
+                           [&](std::size_t i) { return x[i]; }) /
+      static_cast<double>(x.size());
+  parallel_for(std::size_t{0}, x.size(), [&](std::size_t i) { x[i] -= mean; });
+}
+
+}  // namespace mpx

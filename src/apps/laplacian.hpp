@@ -1,0 +1,88 @@
+// Graph Laplacian operators and preconditioners — the SDD-solver substrate
+// the paper motivates ([9, 11, 14]): low-diameter decompositions feed
+// low-stretch trees, which precondition conjugate gradient on Laplacian
+// systems.
+//
+// The Laplacian L of a weighted graph acts as
+//   (L x)_u = sum_{v ~ u} w(u,v) (x_u - x_v),
+// is symmetric positive semidefinite with nullspace spanned by the
+// all-ones vector per component; solvers work in the range (mean-zero
+// right-hand sides).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "support/types.hpp"
+
+namespace mpx {
+
+/// Matrix-free Laplacian operator of a weighted graph.
+class LaplacianOperator {
+ public:
+  explicit LaplacianOperator(const WeightedCsrGraph& g);
+
+  [[nodiscard]] vertex_t dimension() const { return g_->num_vertices(); }
+
+  /// y = L x. Parallel, O(m).
+  void apply(std::span<const double> x, std::span<double> y) const;
+
+  /// Weighted degree of v (the diagonal of L).
+  [[nodiscard]] double diagonal(vertex_t v) const;
+
+  /// Project x onto range(L): remove the mean within every connected
+  /// component (the nullspace is one constant vector per component).
+  void project_to_range(std::span<double> x) const;
+
+ private:
+  const WeightedCsrGraph* g_;
+  std::vector<vertex_t> component_;      // canonical component label
+  std::vector<double> component_size_;   // size of v's component, per v
+};
+
+/// Preconditioner interface: z = M^{-1} r.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  virtual void apply(std::span<const double> r, std::span<double> z) const = 0;
+};
+
+/// Identity (no preconditioning).
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  void apply(std::span<const double> r, std::span<double> z) const override;
+};
+
+/// Jacobi: divide by the weighted degree.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(const WeightedCsrGraph& g);
+  void apply(std::span<const double> r, std::span<double> z) const override;
+
+ private:
+  std::vector<double> inv_diag_;
+};
+
+/// Exact solve on a spanning tree/forest: z = L_T^{+} r in O(n) by leaf
+/// elimination and back substitution, projecting out each component's
+/// nullspace. This is the preconditioner a low-stretch tree plugs into.
+class TreePreconditioner final : public Preconditioner {
+ public:
+  /// `tree` must be a forest spanning the same vertex set.
+  explicit TreePreconditioner(const WeightedCsrGraph& tree);
+  void apply(std::span<const double> r, std::span<double> z) const override;
+
+ private:
+  std::vector<vertex_t> order_;       // BFS order, roots first
+  std::vector<vertex_t> parent_;      // kInvalidVertex at roots
+  std::vector<double> parent_weight_; // weight of the arc to the parent
+  std::vector<vertex_t> component_;   // component root of each vertex
+  std::vector<double> component_size_;
+};
+
+/// Make x mean-zero per connected component of its index set (projects
+/// onto the Laplacian's range for connected graphs).
+void project_mean_zero(std::span<double> x);
+
+}  // namespace mpx

@@ -1,0 +1,182 @@
+#include "apps/low_stretch_tree.hpp"
+
+#include <algorithm>
+
+#include "apps/contraction.hpp"
+#include "bfs/sequential_bfs.hpp"
+#include "core/partition.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace mpx {
+namespace {
+
+/// In-piece BFS tree edges of `dec` on `g`, reported as edges of g.
+std::vector<Edge> piece_tree_edges(const CsrGraph& g,
+                                   const Decomposition& dec) {
+  const vertex_t n = g.num_vertices();
+  std::vector<Edge> tree;
+  std::vector<std::uint8_t> visited(n, 0);
+  std::vector<vertex_t> queue;
+  for (cluster_t c = 0; c < dec.num_clusters(); ++c) {
+    const vertex_t root = dec.center(c);
+    queue.clear();
+    queue.push_back(root);
+    visited[root] = 1;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const vertex_t u = queue[head];
+      for (const vertex_t v : g.neighbors(u)) {
+        if (visited[v] || dec.cluster_of(v) != c) continue;
+        visited[v] = 1;
+        tree.push_back({v, u});
+        queue.push_back(v);
+      }
+    }
+  }
+  return tree;
+}
+
+/// Map an edge of the current level graph to its input-graph
+/// representative via the alignment between edge_list(current) and reps.
+const Edge& rep_of(const std::vector<Edge>& level_edges,
+                   const std::vector<Edge>& reps, const Edge& e) {
+  Edge key = e;
+  if (key.u > key.v) std::swap(key.u, key.v);
+  const auto it = std::lower_bound(
+      level_edges.begin(), level_edges.end(), key,
+      [](const Edge& a, const Edge& b) {
+        return a.u != b.u ? a.u < b.u : a.v < b.v;
+      });
+  MPX_ASSERT(it != level_edges.end() && it->u == key.u && it->v == key.v);
+  return reps[static_cast<std::size_t>(it - level_edges.begin())];
+}
+
+}  // namespace
+
+LowStretchTreeResult low_stretch_tree(const CsrGraph& g,
+                                      const LowStretchTreeOptions& opt) {
+  MPX_EXPECTS(opt.beta > 0.0 && opt.beta <= 1.0);
+  const vertex_t n = g.num_vertices();
+  LowStretchTreeResult result;
+
+  CsrGraph current = g;
+  // reps[i]: input-graph representative of the i-th canonical edge of
+  // `current`; empty at level 0 (edges represent themselves).
+  std::vector<Edge> reps;
+  std::vector<Edge> tree_edges;
+  tree_edges.reserve(n);
+
+  std::uint32_t level = 0;
+  while (current.num_edges() > 0) {
+    MPX_ASSERT(level < opt.max_levels);
+    PartitionOptions popt;
+    popt.beta = opt.beta;
+    popt.seed = hash_stream(opt.seed, level);
+    const Decomposition dec = partition(current, popt);
+
+    const std::vector<Edge> level_edges = edge_list(current);
+    const std::vector<Edge> level_tree = piece_tree_edges(current, dec);
+    for (const Edge& e : level_tree) {
+      tree_edges.push_back(reps.empty() ? e : rep_of(level_edges, reps, e));
+    }
+
+    const ContractionResult contracted = contract_clusters(
+        current, dec.assignment(), dec.num_clusters(),
+        reps.empty() ? std::span<const Edge>{}
+                     : std::span<const Edge>(reps));
+    current = contracted.graph;
+    reps = contracted.representative;
+    ++level;
+  }
+
+  result.levels = level;
+  result.tree_edge_count = tree_edges.size();
+  result.tree = build_undirected(n, std::span<const Edge>(tree_edges));
+  return result;
+}
+
+TreeDistanceOracle::TreeDistanceOracle(const CsrGraph& tree) {
+  const vertex_t n = tree.num_vertices();
+  MPX_EXPECTS(tree.num_edges() < n || n == 0);  // forests only
+  depth_.assign(n, 0);
+  component_.assign(n, kInvalidVertex);
+  std::vector<vertex_t> parent(n, kInvalidVertex);
+
+  std::vector<vertex_t> queue;
+  for (vertex_t root = 0; root < n; ++root) {
+    if (component_[root] != kInvalidVertex) continue;
+    component_[root] = root;
+    queue.clear();
+    queue.push_back(root);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const vertex_t u = queue[head];
+      for (const vertex_t v : tree.neighbors(u)) {
+        if (component_[v] != kInvalidVertex) continue;
+        component_[v] = root;
+        parent[v] = u;
+        depth_[v] = depth_[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+
+  // Binary lifting table: up_[k][v] = 2^k-th ancestor (self at the root so
+  // lookups never leave the table).
+  unsigned levels = 1;
+  std::uint32_t max_depth = 0;
+  for (vertex_t v = 0; v < n; ++v) max_depth = std::max(max_depth, depth_[v]);
+  while ((std::uint32_t{1} << levels) <= max_depth) ++levels;
+  up_.assign(levels, std::vector<vertex_t>(n));
+  for (vertex_t v = 0; v < n; ++v) {
+    up_[0][v] = parent[v] == kInvalidVertex ? v : parent[v];
+  }
+  for (unsigned k = 1; k < levels; ++k) {
+    for (vertex_t v = 0; v < n; ++v) up_[k][v] = up_[k - 1][up_[k - 1][v]];
+  }
+}
+
+vertex_t TreeDistanceOracle::lca(vertex_t u, vertex_t v) const {
+  MPX_EXPECTS(u < component_.size() && v < component_.size());
+  if (component_[u] != component_[v]) return kInvalidVertex;
+  if (depth_[u] < depth_[v]) std::swap(u, v);
+  std::uint32_t diff = depth_[u] - depth_[v];
+  for (unsigned k = 0; diff != 0; ++k, diff >>= 1) {
+    if (diff & 1u) u = up_[k][u];
+  }
+  if (u == v) return u;
+  for (unsigned k = static_cast<unsigned>(up_.size()); k-- > 0;) {
+    if (up_[k][u] != up_[k][v]) {
+      u = up_[k][u];
+      v = up_[k][v];
+    }
+  }
+  return up_[0][u];
+}
+
+std::uint32_t TreeDistanceOracle::distance(vertex_t u, vertex_t v) const {
+  const vertex_t a = lca(u, v);
+  if (a == kInvalidVertex) return kInfDist;
+  return depth_[u] + depth_[v] - 2 * depth_[a];
+}
+
+EdgeStretch edge_stretch(const CsrGraph& g, const CsrGraph& tree) {
+  MPX_EXPECTS(tree.num_vertices() == g.num_vertices());
+  const TreeDistanceOracle oracle(tree);
+  EdgeStretch s;
+  double sum = 0.0;
+  edge_t count = 0;
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    for (const vertex_t v : g.neighbors(u)) {
+      if (u >= v) continue;
+      const std::uint32_t d = oracle.distance(u, v);
+      MPX_ASSERT(d != kInfDist);  // spanning forest covers every edge
+      sum += static_cast<double>(d);
+      s.maximum = std::max(s.maximum, d);
+      ++count;
+    }
+  }
+  s.average = count == 0 ? 0.0 : sum / static_cast<double>(count);
+  return s;
+}
+
+}  // namespace mpx

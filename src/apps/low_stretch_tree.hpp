@@ -1,0 +1,76 @@
+// AKPW-style low-stretch spanning trees via iterated decomposition — the
+// paper's headline application family ([3, 15, 9]: tree embeddings and
+// SDD-solver preconditioners are built from exactly this recursion).
+//
+// Level i: partition the current (contracted) graph with the MPX routine,
+// take a BFS tree inside every piece (edges mapped back to the input
+// graph), contract the pieces, repeat until one vertex per component
+// remains. The union of the in-piece tree edges across levels is a
+// spanning tree; the decomposition's (beta, O(log n / beta)) guarantees
+// control how much any edge is stretched.
+//
+// Includes a TreeDistanceOracle (Euler-free binary-lifting LCA) so stretch
+// can be evaluated in O(log n) per edge.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace mpx {
+
+struct LowStretchTreeOptions {
+  /// Beta of each level's partition. Smaller beta = fewer, wider pieces =
+  /// fewer levels but larger in-piece stretch.
+  double beta = 0.2;
+  std::uint64_t seed = 0;
+  /// Safety cap on recursion depth.
+  std::uint32_t max_levels = 64;
+};
+
+struct LowStretchTreeResult {
+  /// Spanning forest of the input graph (spanning tree when connected).
+  CsrGraph tree;
+  /// Levels of the AKPW recursion actually used.
+  std::uint32_t levels = 0;
+  /// Number of tree edges (n - #components).
+  edge_t tree_edge_count = 0;
+};
+
+/// Build a low-stretch spanning forest of g.
+[[nodiscard]] LowStretchTreeResult low_stretch_tree(
+    const CsrGraph& g, const LowStretchTreeOptions& opt = {});
+
+/// Distance queries on a fixed tree/forest in O(log n) after O(n log n)
+/// preprocessing (binary-lifting LCA).
+class TreeDistanceOracle {
+ public:
+  /// `tree` must be acyclic (a forest). Roots are chosen per component.
+  explicit TreeDistanceOracle(const CsrGraph& tree);
+
+  /// Hop distance between u and v in the tree; kInfDist when they are in
+  /// different components.
+  [[nodiscard]] std::uint32_t distance(vertex_t u, vertex_t v) const;
+
+  /// Lowest common ancestor (kInvalidVertex across components).
+  [[nodiscard]] vertex_t lca(vertex_t u, vertex_t v) const;
+
+ private:
+  std::vector<std::uint32_t> depth_;
+  std::vector<vertex_t> component_;
+  std::vector<std::vector<vertex_t>> up_;  // up_[k][v]: 2^k-th ancestor
+};
+
+/// Average and maximum stretch of the edges of g in the spanning tree:
+/// stretch(e = {u,v}) = dist_T(u, v) / 1 (unweighted).
+struct EdgeStretch {
+  double average = 0.0;
+  std::uint32_t maximum = 0;
+};
+[[nodiscard]] EdgeStretch edge_stretch(const CsrGraph& g,
+                                       const CsrGraph& tree);
+
+}  // namespace mpx

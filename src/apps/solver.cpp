@@ -1,0 +1,87 @@
+#include "apps/solver.hpp"
+
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "support/assert.hpp"
+
+namespace mpx {
+namespace {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  return parallel_sum<double>(std::size_t{0}, a.size(),
+                              [&](std::size_t i) { return a[i] * b[i]; });
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  parallel_for(std::size_t{0}, y.size(),
+               [&](std::size_t i) { y[i] += alpha * x[i]; });
+}
+
+}  // namespace
+
+PcgResult pcg_solve(const LaplacianOperator& laplacian,
+                    std::span<const double> b,
+                    const Preconditioner& preconditioner,
+                    const PcgOptions& opt) {
+  const std::size_t n = laplacian.dimension();
+  MPX_EXPECTS(b.size() == n);
+  MPX_EXPECTS(opt.tolerance > 0.0);
+
+  PcgResult result;
+  result.x.assign(n, 0.0);
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Residual starts as the projected right-hand side (x0 = 0). Projection
+  // is per connected component, so disconnected inputs stay consistent.
+  std::vector<double> r(b.begin(), b.end());
+  laplacian.project_to_range(r);
+  const double b_norm = std::sqrt(dot(r, r));
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<double> z(n), p(n), q(n);
+  preconditioner.apply(r, z);
+  std::copy(z.begin(), z.end(), p.begin());
+  double rho = dot(r, z);
+
+  for (std::uint32_t it = 0; it < opt.max_iterations; ++it) {
+    laplacian.apply(p, q);
+    const double pq = dot(p, q);
+    if (pq <= 0.0) break;  // numerical breakdown (p in the nullspace)
+    const double alpha = rho / pq;
+    axpy(alpha, p, result.x);
+    axpy(-alpha, q, r);
+    // Drift out of the range space accumulates in floating point; project
+    // it away so convergence checks stay meaningful.
+    laplacian.project_to_range(r);
+
+    const double res = std::sqrt(dot(r, r)) / b_norm;
+    if (opt.record_history) result.history.push_back(res);
+    result.iterations = it + 1;
+    result.relative_residual = res;
+    if (res < opt.tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    preconditioner.apply(r, z);
+    const double rho_next = dot(r, z);
+    if (rho_next == 0.0) break;
+    const double beta = rho_next / rho;
+    rho = rho_next;
+    parallel_for(std::size_t{0}, n,
+                 [&](std::size_t i) { p[i] = z[i] + beta * p[i]; });
+  }
+
+  laplacian.project_to_range(result.x);
+  return result;
+}
+
+}  // namespace mpx

@@ -1,0 +1,38 @@
+// Preconditioned conjugate gradient for graph Laplacian systems — the
+// downstream consumer of the whole pipeline: MPX decomposition ->
+// low-stretch tree -> TreePreconditioner -> PCG.
+//
+// Laplacians are singular (constant nullspace); the solver works with
+// mean-zero right-hand sides and returns the mean-zero solution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/laplacian.hpp"
+
+namespace mpx {
+
+struct PcgOptions {
+  double tolerance = 1e-8;          ///< on ||r|| / ||b||
+  std::uint32_t max_iterations = 10000;
+  bool record_history = false;      ///< store per-iteration residual norms
+};
+
+struct PcgResult {
+  std::vector<double> x;
+  std::uint32_t iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+  std::vector<double> history;  ///< filled when record_history
+};
+
+/// Solve L x = b with preconditioner M. `b` is projected to mean zero
+/// (the solvable part of the system) before iterating.
+[[nodiscard]] PcgResult pcg_solve(const LaplacianOperator& laplacian,
+                                  std::span<const double> b,
+                                  const Preconditioner& preconditioner,
+                                  const PcgOptions& opt = {});
+
+}  // namespace mpx

@@ -1,0 +1,150 @@
+#include "apps/spanner.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "bfs/sequential_bfs.hpp"
+#include "core/metrics.hpp"
+#include "core/partition.hpp"
+#include "graph/builder.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace mpx {
+namespace {
+
+/// In-piece BFS tree edges for every piece: for each non-center vertex, the
+/// arc to its BFS parent inside the piece.
+std::vector<Edge> piece_tree_edges(const CsrGraph& g,
+                                   const Decomposition& dec) {
+  const vertex_t n = g.num_vertices();
+  std::vector<Edge> tree;
+  tree.reserve(n);
+  std::vector<vertex_t> parent(n, kInvalidVertex);
+  std::vector<vertex_t> queue;
+  std::vector<std::uint8_t> visited(n, 0);
+  for (cluster_t c = 0; c < dec.num_clusters(); ++c) {
+    const vertex_t root = dec.center(c);
+    queue.clear();
+    queue.push_back(root);
+    visited[root] = 1;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const vertex_t u = queue[head];
+      for (const vertex_t v : g.neighbors(u)) {
+        if (visited[v] || dec.cluster_of(v) != c) continue;
+        visited[v] = 1;
+        parent[v] = u;
+        tree.push_back({v, u});
+        queue.push_back(v);
+      }
+    }
+  }
+  return tree;
+}
+
+/// One representative edge per adjacent piece pair: the lexicographically
+/// smallest (u, v) to keep the choice deterministic.
+std::vector<Edge> bridge_edges(const CsrGraph& g, const Decomposition& dec) {
+  std::unordered_map<std::uint64_t, Edge> best;
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    for (const vertex_t v : g.neighbors(u)) {
+      if (u >= v) continue;
+      const cluster_t cu = dec.cluster_of(u);
+      const cluster_t cv = dec.cluster_of(v);
+      if (cu == cv) continue;
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(std::min(cu, cv)) << 32) |
+          std::max(cu, cv);
+      const auto [it, inserted] = best.try_emplace(key, Edge{u, v});
+      if (!inserted) {
+        const Edge& cur = it->second;
+        if (u < cur.u || (u == cur.u && v < cur.v)) it->second = Edge{u, v};
+      }
+    }
+  }
+  std::vector<Edge> bridges;
+  bridges.reserve(best.size());
+  for (const auto& [key, e] : best) bridges.push_back(e);
+  std::sort(bridges.begin(), bridges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  return bridges;
+}
+
+}  // namespace
+
+std::uint32_t SpannerResult::stretch_bound() const {
+  std::uint32_t max_radius = 0;
+  for (vertex_t v = 0; v < decomposition.num_vertices(); ++v) {
+    max_radius = std::max(max_radius, decomposition.dist_to_center(v));
+  }
+  return 4 * max_radius + 1;
+}
+
+SpannerResult ldd_spanner(const CsrGraph& g, const PartitionOptions& opt) {
+  SpannerResult result;
+  result.decomposition = partition(g, opt);
+
+  std::vector<Edge> edges = piece_tree_edges(g, result.decomposition);
+  result.tree_edges = edges.size();
+  const std::vector<Edge> bridges = bridge_edges(g, result.decomposition);
+  result.bridge_edges = bridges.size();
+  edges.insert(edges.end(), bridges.begin(), bridges.end());
+
+  result.spanner =
+      build_undirected(g.num_vertices(), std::span<const Edge>(edges));
+  return result;
+}
+
+SpannerResult ldd_spanner_multilevel(const CsrGraph& g,
+                                     const PartitionOptions& opt,
+                                     unsigned levels) {
+  MPX_EXPECTS(levels >= 1);
+  SpannerResult combined;
+  std::vector<Edge> edges;
+  PartitionOptions level_opt = opt;
+  for (unsigned level = 0; level < levels; ++level) {
+    level_opt.seed = hash_stream(opt.seed, level);
+    SpannerResult r = ldd_spanner(g, level_opt);
+    const std::vector<Edge> level_edges = edge_list(r.spanner);
+    edges.insert(edges.end(), level_edges.begin(), level_edges.end());
+    combined.tree_edges += r.tree_edges;
+    combined.bridge_edges += r.bridge_edges;
+    if (level == 0) combined.decomposition = std::move(r.decomposition);
+    level_opt.beta /= 2.0;  // coarser pieces at deeper levels
+  }
+  combined.spanner =
+      build_undirected(g.num_vertices(), std::span<const Edge>(edges));
+  return combined;
+}
+
+StretchSample measure_stretch(const CsrGraph& g, const CsrGraph& subgraph,
+                              std::size_t pairs, std::uint64_t seed) {
+  MPX_EXPECTS(subgraph.num_vertices() == g.num_vertices());
+  StretchSample s;
+  const vertex_t n = g.num_vertices();
+  if (n < 2) return s;
+  Xoshiro256pp rng(seed);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const vertex_t u = static_cast<vertex_t>(rng.next_below(n));
+    // One BFS in each graph serves all targets from u.
+    const std::vector<std::uint32_t> dg = bfs_distances(g, u);
+    const std::vector<std::uint32_t> ds = bfs_distances(subgraph, u);
+    const vertex_t v = static_cast<vertex_t>(rng.next_below(n));
+    if (u == v || dg[v] == kInfDist || dg[v] == 0) continue;
+    MPX_ASSERT(ds[v] != kInfDist);  // spanners preserve connectivity
+    const double stretch =
+        static_cast<double>(ds[v]) / static_cast<double>(dg[v]);
+    sum += stretch;
+    s.max_stretch = std::max(s.max_stretch, stretch);
+    ++s.pairs_measured;
+  }
+  s.mean_stretch = s.pairs_measured == 0
+                       ? 1.0
+                       : sum / static_cast<double>(s.pairs_measured);
+  return s;
+}
+
+}  // namespace mpx

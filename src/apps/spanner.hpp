@@ -1,0 +1,55 @@
+// Sparse spanner construction from one low-diameter decomposition — the
+// classic decomposition-to-spanner pipeline the paper cites via Cohen [12]
+// and the low-stretch subgraph machinery of [9].
+//
+// Keep (a) a BFS tree of every piece (rooted at the piece center; n - k
+// edges) and (b) one representative edge per pair of adjacent pieces.
+// Any intra-piece edge is stretched through the piece's tree
+// (<= 2 * radius), and any cut edge detours center-to-center
+// (<= 2*r_u + 1 + 2*r_v), so the spanner has stretch O(log n / beta) with
+// n - k + (#adjacent piece pairs) edges.
+#pragma once
+
+#include "core/decomposition.hpp"
+#include "core/options.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace mpx {
+
+struct SpannerResult {
+  CsrGraph spanner;
+  edge_t tree_edges = 0;
+  edge_t bridge_edges = 0;
+  /// The decomposition the spanner was built from (for stretch bounds).
+  Decomposition decomposition;
+
+  /// Stretch guarantee implied by the decomposition's radii:
+  /// 4 * max_radius + 1.
+  [[nodiscard]] std::uint32_t stretch_bound() const;
+};
+
+/// Build the spanner of g induced by an MPX partition with options `opt`.
+[[nodiscard]] SpannerResult ldd_spanner(const CsrGraph& g,
+                                        const PartitionOptions& opt);
+
+/// Multi-level spanner: union of ldd_spanner over `levels` partitions with
+/// geometrically decreasing beta, trading edges for stretch on short
+/// distances (quickstart for the sparsification pipeline of [9]).
+[[nodiscard]] SpannerResult ldd_spanner_multilevel(const CsrGraph& g,
+                                                   const PartitionOptions& opt,
+                                                   unsigned levels);
+
+/// Measured multiplicative stretch of `pairs` random vertex pairs
+/// (BFS distance in subgraph / BFS distance in g, averaged and maxed over
+/// connected pairs). Exposed for tests and benches.
+struct StretchSample {
+  double mean_stretch = 1.0;
+  double max_stretch = 1.0;
+  std::size_t pairs_measured = 0;
+};
+[[nodiscard]] StretchSample measure_stretch(const CsrGraph& g,
+                                            const CsrGraph& subgraph,
+                                            std::size_t pairs,
+                                            std::uint64_t seed);
+
+}  // namespace mpx

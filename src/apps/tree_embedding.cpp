@@ -1,0 +1,189 @@
+#include "apps/tree_embedding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "bfs/sequential_bfs.hpp"
+#include "core/partition.hpp"
+#include "graph/components.hpp"
+#include "graph/subgraph.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace mpx {
+namespace {
+
+/// A cluster awaiting refinement.
+struct WorkItem {
+  std::vector<vertex_t> members;  ///< host-graph vertex ids
+  std::uint32_t node;             ///< its node in the output tree
+  double diameter_target;         ///< D_i for the beta schedule
+  double diameter_bound;          ///< *measured* upper bound on diam(C);
+                                  ///< children pay this to climb in, which
+                                  ///< is what makes domination a theorem
+                                  ///< rather than a w.h.p. event
+};
+
+}  // namespace
+
+TreeEmbedding build_tree_embedding(const CsrGraph& g,
+                                   const TreeEmbeddingOptions& opt) {
+  MPX_EXPECTS(opt.beta_scale > 0.0);
+  const vertex_t n = g.num_vertices();
+  TreeEmbedding tree;
+  tree.leaf_of_vertex_.assign(n, kInfDist);
+  if (n == 0) return tree;
+
+  const double log_n = std::log(static_cast<double>(n) + 2.0);
+
+  // Roots: one per connected component, with a measured diameter bound
+  // (2x the eccentricity of the component's minimum vertex).
+  const Components comps = connected_components(g);
+  std::vector<WorkItem> frontier;
+  {
+    std::vector<std::vector<vertex_t>> members(n);
+    for (vertex_t v = 0; v < n; ++v) members[comps.label[v]].push_back(v);
+    for (vertex_t root = 0; root < n; ++root) {
+      if (members[root].empty()) continue;
+      const std::vector<std::uint32_t> dist = bfs_distances(g, root);
+      std::uint32_t ecc = 0;
+      for (const vertex_t v : members[root]) {
+        ecc = std::max(ecc, dist[v]);
+      }
+      WorkItem item;
+      item.members = std::move(members[root]);
+      item.node = static_cast<std::uint32_t>(tree.nodes_.size());
+      // Diameter target: smallest power of two covering the bound, so the
+      // beta schedule halves cleanly.
+      const double bound = std::max(2.0 * ecc, 1.0);
+      double target = 1.0;
+      while (target < bound) target *= 2.0;
+      item.diameter_target = target;
+      item.diameter_bound = bound;
+      TreeEmbedding::Node node;
+      node.level = 0;
+      tree.nodes_.push_back(node);
+      frontier.push_back(std::move(item));
+    }
+  }
+
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    std::vector<WorkItem> next;
+    for (WorkItem& item : frontier) {
+      if (item.members.size() == 1) {
+        // The node itself is the leaf.
+        tree.leaf_of_vertex_[item.members.front()] = item.node;
+        continue;
+      }
+      const Subgraph sub = induced_subgraph(g, item.members);
+      const double child_target = item.diameter_target / 2.0;
+
+      Decomposition dec;
+      if (child_target < 2.0) {
+        // Terminal refinement: force singletons so the recursion ends.
+        std::vector<vertex_t> owner(sub.num_vertices());
+        std::vector<std::uint32_t> dist(sub.num_vertices(), 0);
+        for (vertex_t v = 0; v < sub.num_vertices(); ++v) owner[v] = v;
+        dec = Decomposition(owner, dist);
+      } else {
+        PartitionOptions popt;
+        popt.beta = std::min(1.0, opt.beta_scale * log_n / child_target);
+        popt.seed = hash_stream(opt.seed,
+                                hash_stream(level, item.members.front()));
+        dec = partition(sub.graph, popt);
+      }
+
+      // The edge from every child to this node weighs this node's
+      // diameter bound — the measured one, so domination is guaranteed.
+      std::vector<std::uint32_t> radius(dec.num_clusters(), 0);
+      for (vertex_t v = 0; v < sub.num_vertices(); ++v) {
+        radius[dec.cluster_of(v)] =
+            std::max(radius[dec.cluster_of(v)], dec.dist_to_center(v));
+      }
+      const std::vector<std::vector<vertex_t>> pieces =
+          cluster_members(dec.assignment(), dec.num_clusters());
+      for (cluster_t c = 0; c < dec.num_clusters(); ++c) {
+        WorkItem child;
+        child.members.reserve(pieces[c].size());
+        for (const vertex_t local : pieces[c]) {
+          child.members.push_back(sub.to_host[local]);
+        }
+        child.node = static_cast<std::uint32_t>(tree.nodes_.size());
+        child.diameter_target = child_target;
+        // The piece's diameter is at most twice its measured radius, and
+        // trivially at most the parent's bound.
+        child.diameter_bound = std::min(
+            item.diameter_bound, std::max(2.0 * radius[c], 1.0));
+        TreeEmbedding::Node node;
+        node.parent = item.node;
+        node.edge_to_parent = item.diameter_bound;
+        node.level = level;
+        tree.nodes_.push_back(node);
+        next.push_back(std::move(child));
+      }
+    }
+    frontier = std::move(next);
+  }
+  tree.levels_ = level;
+
+  for (vertex_t v = 0; v < n; ++v) {
+    MPX_ENSURES(tree.leaf_of_vertex_[v] != kInfDist);
+  }
+  return tree;
+}
+
+double TreeEmbedding::distance(vertex_t u, vertex_t v) const {
+  MPX_EXPECTS(u < leaf_of_vertex_.size() && v < leaf_of_vertex_.size());
+  if (u == v) return 0.0;
+  std::uint32_t a = leaf_of_vertex_[u];
+  std::uint32_t b = leaf_of_vertex_[v];
+  double total = 0.0;
+  while (a != b) {
+    // Lift the deeper node; on equal levels lift both.
+    const bool lift_a = nodes_[a].level >= nodes_[b].level;
+    const bool lift_b = nodes_[b].level >= nodes_[a].level;
+    if (lift_a) {
+      if (nodes_[a].parent == kInfDist) return
+          std::numeric_limits<double>::infinity();
+      total += nodes_[a].edge_to_parent;
+      a = nodes_[a].parent;
+    }
+    if (lift_b && a != b) {
+      if (nodes_[b].parent == kInfDist) return
+          std::numeric_limits<double>::infinity();
+      total += nodes_[b].edge_to_parent;
+      b = nodes_[b].parent;
+    }
+  }
+  return total;
+}
+
+DistortionSample measure_distortion(const CsrGraph& g,
+                                    const TreeEmbedding& tree,
+                                    std::size_t pairs, std::uint64_t seed) {
+  DistortionSample s;
+  const vertex_t n = g.num_vertices();
+  if (n < 2) return s;
+  Xoshiro256pp rng(seed);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const vertex_t u = static_cast<vertex_t>(rng.next_below(n));
+    const std::vector<std::uint32_t> dg = bfs_distances(g, u);
+    const vertex_t v = static_cast<vertex_t>(rng.next_below(n));
+    if (u == v || dg[v] == kInfDist || dg[v] == 0) continue;
+    const double dt = tree.distance(u, v);
+    const double ratio = dt / static_cast<double>(dg[v]);
+    if (ratio < 1.0) ++s.domination_violations;
+    sum += ratio;
+    s.max_distortion = std::max(s.max_distortion, ratio);
+    ++s.pairs_measured;
+  }
+  s.mean_distortion =
+      s.pairs_measured == 0 ? 1.0 : sum / static_cast<double>(s.pairs_measured);
+  return s;
+}
+
+}  // namespace mpx

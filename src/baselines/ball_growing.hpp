@@ -1,0 +1,41 @@
+// Sequential ball growing: the classic low-diameter decomposition the
+// paper's introduction describes (Awerbuch [4]; also the sequential
+// routine inside GVY-style region growing).
+//
+// Repeatedly: pick an unassigned vertex, grow a BFS ball around it in the
+// remaining graph until the boundary has at most a beta fraction of the
+// edges already swallowed, carve the ball off, recurse on the rest.
+//
+// Guarantees: at most beta*m inter-piece edges in total (each piece pays
+// for its own boundary) and radius at most O(log m / beta) per piece (the
+// charging argument of Section 1). The weakness the paper fixes: pieces
+// are carved strictly one after another — the dependency chain can be
+// Omega(n) long, so the algorithm is inherently sequential.
+#pragma once
+
+#include <cstdint>
+
+#include "core/decomposition.hpp"
+#include "graph/csr_graph.hpp"
+#include "support/types.hpp"
+
+namespace mpx {
+
+/// Order in which ball centers are tried.
+enum class BallOrder {
+  kById,    ///< lowest-id unassigned vertex first (deterministic)
+  kRandom,  ///< seeded random permutation of the vertices
+};
+
+struct BallGrowingOptions {
+  double beta = 0.1;
+  BallOrder order = BallOrder::kById;
+  std::uint64_t seed = 0;
+};
+
+/// Run sequential ball growing. Returns a decomposition in the same format
+/// as mpx::partition (centers are the ball roots; distances are in-piece).
+[[nodiscard]] Decomposition ball_growing_decomposition(
+    const CsrGraph& g, const BallGrowingOptions& opt);
+
+}  // namespace mpx

@@ -1,0 +1,113 @@
+#include "baselines/bgkmpt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "bfs/multi_source_bfs.hpp"
+#include "graph/subgraph.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace mpx {
+
+BgkmptResult bgkmpt_decomposition(const CsrGraph& g,
+                                  const BgkmptOptions& opt) {
+  MPX_EXPECTS(opt.beta > 0.0 && opt.beta <= 1.0);
+  const vertex_t n = g.num_vertices();
+
+  std::vector<vertex_t> owner(n, kInvalidVertex);
+  std::vector<std::uint32_t> dist(n, 0);
+
+  BgkmptResult result;
+  if (n == 0) {
+    result.decomposition = Decomposition(owner, dist);
+    return result;
+  }
+
+  const std::uint32_t radius_budget = static_cast<std::uint32_t>(
+      std::ceil(opt.radius_scale * std::log(static_cast<double>(n) + 1.0) /
+                opt.beta));
+
+  std::vector<vertex_t> remaining(n);
+  std::iota(remaining.begin(), remaining.end(), 0u);
+
+  std::uint32_t phase = 0;
+  while (!remaining.empty()) {
+    // Sampling probability doubles every phase; the late phases sample
+    // everything, so the loop always terminates.
+    const double p = std::min(
+        1.0, std::ldexp(1.0, static_cast<int>(phase)) /
+                 static_cast<double>(n));
+    const std::uint64_t phase_seed = hash_stream(opt.seed, phase);
+
+    const Subgraph sub = induced_subgraph(g, remaining);
+    const vertex_t sn = sub.num_vertices();
+
+    // Exponential shifts among the sampled centers (the shifted shortest
+    // path overlap resolution of [9]); unsampled vertices never start.
+    std::vector<double> delta(sn, 0.0);
+    std::vector<std::uint8_t> sampled(sn, 0);
+    double delta_max = 0.0;
+    bool any = false;
+    for (vertex_t v = 0; v < sn; ++v) {
+      const std::uint64_t bits =
+          hash_stream(phase_seed, sub.to_host[v]);
+      if (uniform_double(bits) < p) {
+        sampled[v] = 1;
+        any = true;
+        delta[v] = exponential_shift(hash_stream(phase_seed, 1),
+                                     sub.to_host[v], opt.beta);
+        delta_max = std::max(delta_max, delta[v]);
+      }
+    }
+    ++phase;
+    if (!any) continue;  // resample next phase with doubled probability
+
+    std::vector<std::uint32_t> start(sn, kNoStart);
+    std::vector<std::uint32_t> rank(sn);
+    // Rank by (fractional start, host id): unique and deterministic.
+    std::vector<vertex_t> order;
+    for (vertex_t v = 0; v < sn; ++v) {
+      if (sampled[v]) {
+        const double s = delta_max - delta[v];
+        start[v] = static_cast<std::uint32_t>(std::floor(s));
+        order.push_back(v);
+      }
+    }
+    std::sort(order.begin(), order.end(), [&](vertex_t a, vertex_t b) {
+      const double fa = (delta_max - delta[a]) -
+                        std::floor(delta_max - delta[a]);
+      const double fb = (delta_max - delta[b]) -
+                        std::floor(delta_max - delta[b]);
+      return fa != fb ? fa < fb : a < b;
+    });
+    for (std::uint32_t r = 0; r < order.size(); ++r) rank[order[r]] = r;
+
+    const std::uint32_t max_rounds =
+        static_cast<std::uint32_t>(std::floor(delta_max)) + radius_budget + 1;
+    const MultiSourceBfsResult bfs =
+        delayed_multi_source_bfs(sub.graph, start, rank, max_rounds);
+    result.total_rounds += bfs.rounds;
+
+    std::vector<vertex_t> still_remaining;
+    still_remaining.reserve(remaining.size());
+    for (vertex_t v = 0; v < sn; ++v) {
+      if (bfs.owner[v] == kInvalidVertex) {
+        still_remaining.push_back(sub.to_host[v]);
+        continue;
+      }
+      const vertex_t host = sub.to_host[v];
+      owner[host] = sub.to_host[bfs.owner[v]];
+      dist[host] = bfs.dist_to_owner(v, start);
+    }
+    remaining.swap(still_remaining);
+  }
+
+  result.phases = phase;
+  result.decomposition = Decomposition(owner, dist);
+  return result;
+}
+
+}  // namespace mpx

@@ -1,0 +1,45 @@
+// Prior-work parallel baseline: the iterative decomposition of Blelloch,
+// Gupta, Koutis, Miller, Peng, Tangwongsan (SPAA 2011) [9], which the
+// paper's one-shot algorithm simplifies.
+//
+// Structure (faithful in shape, simplified in constants): O(log n) phases;
+// phase i samples each still-unassigned vertex as a center with
+// probability ~ 2^i / n, runs an exponentially-shifted BFS among the
+// sampled centers on the remaining graph, truncated so piece radii stay
+// O(log n / beta), carves off everything reached, and hands the rest to
+// the next phase. The final phase samples everything, guaranteeing
+// termination.
+//
+// Contrast with mpx::partition: same shifted-shortest-path core, but it
+// needs a phase loop (depth multiplied by O(log n)) and re-extracts the
+// remaining subgraph every phase (work multiplied by O(log n)) — exactly
+// the overheads Theorem 1.2 removes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/decomposition.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace mpx {
+
+struct BgkmptOptions {
+  double beta = 0.1;
+  std::uint64_t seed = 0;
+  /// Per-phase radius budget multiplier: pieces are truncated around
+  /// radius_scale * ln(n) / beta hops past the phase's shift window.
+  double radius_scale = 2.0;
+};
+
+struct BgkmptResult {
+  Decomposition decomposition;
+  std::uint32_t phases = 0;
+  /// Sum of BFS rounds across phases — the depth proxy to compare with the
+  /// single-shot algorithm's bfs_rounds.
+  std::uint32_t total_rounds = 0;
+};
+
+[[nodiscard]] BgkmptResult bgkmpt_decomposition(const CsrGraph& g,
+                                                const BgkmptOptions& opt);
+
+}  // namespace mpx

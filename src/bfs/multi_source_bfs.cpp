@@ -1,0 +1,211 @@
+#include "bfs/multi_source_bfs.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/scan.hpp"
+#include "parallel/thread_env.hpp"
+#include "support/assert.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace mpx {
+namespace {
+
+constexpr std::uint64_t kUnclaimed = std::numeric_limits<std::uint64_t>::max();
+
+/// Priority word: smaller rank wins; the low half carries the center id so
+/// the winner can be recovered from the word alone.
+constexpr std::uint64_t priority_word(std::uint32_t rank,
+                                      vertex_t center) noexcept {
+  return (static_cast<std::uint64_t>(rank) << 32) |
+         static_cast<std::uint64_t>(center);
+}
+
+constexpr vertex_t center_of(std::uint64_t word) noexcept {
+  return static_cast<vertex_t>(word & 0xffffffffULL);
+}
+
+/// Activation schedule: centers grouped by start round, as one flat array
+/// plus offsets (counting sort on start_round).
+struct ActivationBuckets {
+  std::vector<vertex_t> centers;     // grouped by round
+  std::vector<std::size_t> offsets;  // offsets[t]..offsets[t+1]
+  std::uint32_t max_round = 0;
+
+  [[nodiscard]] std::span<const vertex_t> bucket(std::uint32_t t) const {
+    if (t > max_round) return {};
+    return {centers.data() + offsets[t], offsets[t + 1] - offsets[t]};
+  }
+};
+
+ActivationBuckets build_buckets(std::span<const std::uint32_t> start_round) {
+  ActivationBuckets b;
+  const std::size_t n = start_round.size();
+  std::uint32_t max_round = 0;
+  std::size_t active = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (start_round[v] == kNoStart) continue;
+    ++active;
+    max_round = std::max(max_round, start_round[v]);
+  }
+  b.max_round = max_round;
+  std::vector<std::size_t> counts(static_cast<std::size_t>(max_round) + 2, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (start_round[v] != kNoStart) ++counts[start_round[v]];
+  }
+  b.offsets.assign(counts.size() + 1, 0);
+  std::size_t acc = 0;
+  for (std::size_t t = 0; t < counts.size(); ++t) {
+    b.offsets[t] = acc;
+    acc += counts[t];
+  }
+  b.offsets[counts.size()] = acc;
+  b.centers.resize(active);
+  std::vector<std::size_t> cursor(b.offsets.begin(), b.offsets.end() - 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (start_round[v] != kNoStart) {
+      b.centers[cursor[start_round[v]]++] = static_cast<vertex_t>(v);
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+MultiSourceBfsResult delayed_multi_source_bfs(
+    const CsrGraph& g, std::span<const std::uint32_t> start_round,
+    std::span<const std::uint32_t> rank, std::uint32_t max_rounds) {
+  const vertex_t n = g.num_vertices();
+  MPX_EXPECTS(start_round.size() == n);
+  MPX_EXPECTS(rank.size() == n);
+
+  MultiSourceBfsResult result;
+  result.owner.assign(n, kInvalidVertex);
+  result.settle_round.assign(n, kInfDist);
+
+  std::vector<std::uint64_t> claim(n, kUnclaimed);
+  std::vector<std::uint8_t> pending(n, 0);  // v has a claim this round
+
+  const ActivationBuckets buckets = build_buckets(start_round);
+
+  // Thread-local buffers for the candidate lists of each round.
+  const std::size_t nthreads = static_cast<std::size_t>(num_threads());
+  std::vector<std::vector<vertex_t>> buffers(std::max<std::size_t>(nthreads, 1));
+
+  const auto flush_buffers = [&](std::vector<vertex_t>& out) {
+    std::size_t total = 0;
+    for (const auto& b : buffers) total += b.size();
+    out.clear();
+    out.reserve(total);
+    for (auto& b : buffers) {
+      out.insert(out.end(), b.begin(), b.end());
+      b.clear();
+    }
+  };
+
+  // Lower v's claim; on the first claim of the round, enlist v as a
+  // candidate so the settle phase touches only claimed vertices.
+  const auto offer = [&](vertex_t v, std::uint64_t word,
+                         std::vector<vertex_t>& local) {
+    if (atomic_load(result.settle_round[v]) != kInfDist) return;
+    atomic_fetch_min(claim[v], word);
+    if (atomic_claim(pending[v], std::uint8_t{0}, std::uint8_t{1})) {
+      local.push_back(v);
+    }
+  };
+
+  std::vector<vertex_t> frontier;
+  std::vector<vertex_t> candidates;
+  std::uint32_t t = 0;
+  edge_t arcs = 0;
+
+  while (true) {
+    if (t >= max_rounds && max_rounds != kInfDist) break;
+    const bool have_bucket =
+        !buckets.centers.empty() && t <= buckets.max_round;
+    if (frontier.empty() && !have_bucket) break;
+
+    // Rounds far smaller than the fork/join break-even run serially; a
+    // grid partition has hundreds of sparse rounds, and paying ~4 parallel
+    // regions per round would dominate the whole run.
+    const auto bucket = have_bucket ? buckets.bucket(t)
+                                    : std::span<const vertex_t>{};
+    const bool parallel_round =
+        bucket.size() + frontier.size() >= kSerialGrain / 4;
+
+    // Phase 1a: activate centers whose start round is t.
+    if (!bucket.empty()) {
+#if defined(_OPENMP)
+      if (parallel_round) {
+#pragma omp parallel
+        {
+          auto& local =
+              buffers[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(static)
+          for (std::int64_t i = 0;
+               i < static_cast<std::int64_t>(bucket.size()); ++i) {
+            const vertex_t c = bucket[static_cast<std::size_t>(i)];
+            offer(c, priority_word(rank[c], c), local);
+          }
+        }
+      } else
+#endif
+      {
+        for (const vertex_t c : bucket) {
+          offer(c, priority_word(rank[c], c), buffers[0]);
+        }
+      }
+    }
+
+    // Phase 1b: expand the searches that settled vertices last round.
+#if defined(_OPENMP)
+    if (parallel_round) {
+#pragma omp parallel
+      {
+        auto& local = buffers[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(dynamic, 64)
+        for (std::int64_t i = 0;
+             i < static_cast<std::int64_t>(frontier.size()); ++i) {
+          const vertex_t u = frontier[static_cast<std::size_t>(i)];
+          const vertex_t c = result.owner[u];
+          const std::uint64_t word = priority_word(rank[c], c);
+          for (const vertex_t v : g.neighbors(u)) offer(v, word, local);
+        }
+      }
+    } else
+#endif
+    {
+      for (const vertex_t u : frontier) {
+        const vertex_t c = result.owner[u];
+        const std::uint64_t word = priority_word(rank[c], c);
+        for (const vertex_t v : g.neighbors(u)) offer(v, word, buffers[0]);
+      }
+    }
+    for (const vertex_t u : frontier) {
+      arcs += static_cast<edge_t>(g.degree(u));
+    }
+
+    // Phase 2: settle this round's candidates; they form the next frontier.
+    flush_buffers(candidates);
+    parallel_for(std::size_t{0}, candidates.size(), [&](std::size_t i) {
+      const vertex_t v = candidates[i];
+      result.settle_round[v] = t;
+      result.owner[v] = center_of(claim[v]);
+      pending[v] = 0;
+    });
+    frontier.swap(candidates);
+    ++t;
+  }
+
+  result.rounds = t;
+  result.arcs_scanned = arcs;
+  return result;
+}
+
+}  // namespace mpx

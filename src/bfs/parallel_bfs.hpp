@@ -1,0 +1,42 @@
+// Frontier-based parallel BFS, in the role Klein–Subramanian [18] plays in
+// the paper's Theorem 1.2: O(m) work, one parallel round per BFS level.
+//
+// Two traversal strategies:
+//  * top-down: threads expand the frontier, claiming unvisited neighbors
+//    with CAS; work proportional to frontier out-degree.
+//  * direction-optimizing (Beamer et al. [8], cited by the paper): switch
+//    to bottom-up sweeps while the frontier is a large fraction of the
+//    graph, which skips most edge checks on low-diameter graphs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "support/types.hpp"
+
+namespace mpx {
+
+enum class BfsStrategy {
+  kTopDown,            ///< always top-down
+  kDirectionOptimizing ///< hybrid top-down / bottom-up
+};
+
+struct ParallelBfsResult {
+  std::vector<std::uint32_t> dist;  ///< kInfDist when unreachable
+  std::vector<vertex_t> parent;     ///< kInvalidVertex for roots/unreached
+  std::uint32_t rounds = 0;         ///< number of parallel BFS levels
+};
+
+/// Parallel BFS from one source.
+[[nodiscard]] ParallelBfsResult parallel_bfs(
+    const CsrGraph& g, vertex_t source,
+    BfsStrategy strategy = BfsStrategy::kTopDown);
+
+/// Parallel BFS from the nearest of several sources.
+[[nodiscard]] ParallelBfsResult parallel_bfs_multi(
+    const CsrGraph& g, std::span<const vertex_t> sources,
+    BfsStrategy strategy = BfsStrategy::kTopDown);
+
+}  // namespace mpx

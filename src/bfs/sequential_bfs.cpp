@@ -1,0 +1,61 @@
+#include "bfs/sequential_bfs.hpp"
+
+#include <deque>
+
+#include "support/assert.hpp"
+
+namespace mpx {
+
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, vertex_t source) {
+  return bfs_distances_multi(g, std::span<const vertex_t>(&source, 1));
+}
+
+std::vector<std::uint32_t> bfs_distances_multi(
+    const CsrGraph& g, std::span<const vertex_t> sources) {
+  const vertex_t n = g.num_vertices();
+  std::vector<std::uint32_t> dist(n, kInfDist);
+  std::vector<vertex_t> queue;
+  queue.reserve(n);
+  for (const vertex_t s : sources) {
+    MPX_EXPECTS(s < n);
+    if (dist[s] == 0) continue;
+    dist[s] = 0;
+    queue.push_back(s);
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const vertex_t u = queue[head];
+    const std::uint32_t du = dist[u];
+    for (const vertex_t v : g.neighbors(u)) {
+      if (dist[v] == kInfDist) {
+        dist[v] = du + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+BfsTree bfs_tree(const CsrGraph& g, vertex_t source) {
+  const vertex_t n = g.num_vertices();
+  MPX_EXPECTS(source < n);
+  BfsTree tree;
+  tree.dist.assign(n, kInfDist);
+  tree.parent.assign(n, kInvalidVertex);
+  std::vector<vertex_t> queue;
+  queue.reserve(n);
+  tree.dist[source] = 0;
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const vertex_t u = queue[head];
+    for (const vertex_t v : g.neighbors(u)) {
+      if (tree.dist[v] == kInfDist) {
+        tree.dist[v] = tree.dist[u] + 1;
+        tree.parent[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace mpx

@@ -1,0 +1,32 @@
+// Sequential breadth-first search: the reference implementation every
+// parallel variant is tested against, and the workhorse for small
+// per-cluster subgraph measurements.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "support/types.hpp"
+
+namespace mpx {
+
+/// BFS distances from `source`; unreachable vertices get kInfDist.
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const CsrGraph& g,
+                                                       vertex_t source);
+
+/// BFS distances from the nearest of `sources` (multi-source BFS).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances_multi(
+    const CsrGraph& g, std::span<const vertex_t> sources);
+
+/// BFS tree: parent[v] is v's predecessor on a shortest path from source
+/// (kInvalidVertex for the source itself and unreachable vertices).
+struct BfsTree {
+  std::vector<std::uint32_t> dist;
+  std::vector<vertex_t> parent;
+};
+
+[[nodiscard]] BfsTree bfs_tree(const CsrGraph& g, vertex_t source);
+
+}  // namespace mpx

@@ -1,0 +1,192 @@
+#include "core/bucketed_partition.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_env.hpp"
+#include "support/assert.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace mpx {
+namespace {
+
+constexpr std::uint64_t kUnclaimed = std::numeric_limits<std::uint64_t>::max();
+
+constexpr std::uint64_t priority_word(std::uint32_t rank,
+                                      vertex_t center) noexcept {
+  return (static_cast<std::uint64_t>(rank) << 32) |
+         static_cast<std::uint64_t>(center);
+}
+
+/// A claim sitting in the bucket of its arrival round.
+struct ScheduledClaim {
+  vertex_t v;
+  std::uint64_t word;
+};
+
+/// A relaxation produced inside a parallel region, not yet bucketed.
+struct RelaxedClaim {
+  vertex_t v;
+  std::uint32_t round;
+  std::uint64_t word;
+};
+
+}  // namespace
+
+BucketedPartitionResult bucketed_weighted_partition_with_shifts(
+    const WeightedCsrGraph& g, const Shifts& shifts) {
+  const vertex_t n = g.num_vertices();
+  MPX_EXPECTS(shifts.delta.size() == n);
+  MPX_EXPECTS(shifts.start_round.size() == n);
+  // Integer weights only: Dial buckets need unit-granularity rounds.
+  for (const double w : g.weights()) {
+    MPX_EXPECTS(w >= 1.0 && w == std::floor(w));
+  }
+
+  std::vector<vertex_t> owner(n, kInvalidVertex);
+  std::vector<std::uint32_t> settle(n, kInfDist);
+  std::vector<std::uint64_t> claim(n, kUnclaimed);
+  std::vector<std::uint8_t> pending(n, 0);
+
+  // Future claims bucketed by arrival round; grown on demand. The
+  // activation schedule seeds each center's own round.
+  std::vector<std::vector<ScheduledClaim>> buckets;
+  const auto bucket_for = [&](std::uint32_t t) -> std::vector<ScheduledClaim>& {
+    if (buckets.size() <= t) buckets.resize(static_cast<std::size_t>(t) + 1);
+    return buckets[t];
+  };
+  for (vertex_t u = 0; u < n; ++u) {
+    const std::uint32_t t = shifts.start_round[u];
+    if (t == kInfDist) continue;
+    bucket_for(t).push_back({u, priority_word(shifts.rank[u], u)});
+  }
+
+  const std::size_t nthreads =
+      static_cast<std::size_t>(std::max(1, num_threads()));
+  std::vector<std::vector<vertex_t>> local_candidates(nthreads);
+  std::vector<std::vector<RelaxedClaim>> local_claims(nthreads);
+
+  std::vector<vertex_t> frontier;
+  std::uint32_t t = 0;
+  while (t < buckets.size()) {
+    // Phase 1: apply every claim scheduled for round t (activations and
+    // arrivals alike); first touch enlists the vertex as a candidate.
+    const std::vector<ScheduledClaim>& bucket = buckets[t];
+#if defined(_OPENMP)
+#pragma omp parallel
+    {
+      auto& local =
+          local_candidates[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(static)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(bucket.size());
+           ++i) {
+        const ScheduledClaim& c = bucket[static_cast<std::size_t>(i)];
+        if (atomic_load(settle[c.v]) != kInfDist) continue;
+        atomic_fetch_min(claim[c.v], c.word);
+        if (atomic_claim(pending[c.v], std::uint8_t{0}, std::uint8_t{1})) {
+          local.push_back(c.v);
+        }
+      }
+    }
+#else
+    for (const ScheduledClaim& c : bucket) {
+      if (settle[c.v] != kInfDist) continue;
+      atomic_fetch_min(claim[c.v], c.word);
+      if (atomic_claim(pending[c.v], std::uint8_t{0}, std::uint8_t{1})) {
+        local_candidates[0].push_back(c.v);
+      }
+    }
+#endif
+    buckets[t].clear();
+    buckets[t].shrink_to_fit();
+
+    // Phase 2: settle this round's candidates; they become the frontier.
+    frontier.clear();
+    for (auto& local : local_candidates) {
+      for (const vertex_t v : local) {
+        settle[v] = t;
+        owner[v] = static_cast<vertex_t>(claim[v] & 0xffffffffULL);
+        pending[v] = 0;
+        frontier.push_back(v);
+      }
+      local.clear();
+    }
+
+    // Phase 3: relax the frontier's arcs; each arc schedules a claim
+    // w(u, v) rounds into the future.
+#if defined(_OPENMP)
+#pragma omp parallel
+    {
+      auto& local =
+          local_claims[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(dynamic, 64)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(frontier.size());
+           ++i) {
+        const vertex_t u = frontier[static_cast<std::size_t>(i)];
+        const std::uint64_t word =
+            priority_word(shifts.rank[owner[u]], owner[u]);
+        const auto nbrs = g.neighbors(u);
+        const auto ws = g.arc_weights(u);
+        for (std::size_t a = 0; a < nbrs.size(); ++a) {
+          if (atomic_load(settle[nbrs[a]]) != kInfDist) continue;
+          local.push_back(
+              {nbrs[a], t + static_cast<std::uint32_t>(ws[a]), word});
+        }
+      }
+    }
+#else
+    for (const vertex_t u : frontier) {
+      const std::uint64_t word =
+          priority_word(shifts.rank[owner[u]], owner[u]);
+      const auto nbrs = g.neighbors(u);
+      const auto ws = g.arc_weights(u);
+      for (std::size_t a = 0; a < nbrs.size(); ++a) {
+        if (settle[nbrs[a]] != kInfDist) continue;
+        local_claims[0].push_back(
+            {nbrs[a], t + static_cast<std::uint32_t>(ws[a]), word});
+      }
+    }
+#endif
+    // Bucket the relaxations (serial: rounds collide across threads; cost
+    // is O(1) per relaxation, O(m) total).
+    for (auto& local : local_claims) {
+      for (const RelaxedClaim& c : local) {
+        bucket_for(c.round).push_back({c.v, c.word});
+      }
+      local.clear();
+    }
+    ++t;
+  }
+
+  BucketedPartitionResult result;
+  result.rounds = t;
+  WeightedDecomposition& dec = result.decomposition;
+  dec.dist_to_center.resize(n);
+  for (vertex_t v = 0; v < n; ++v) {
+    MPX_ASSERT(owner[v] != kInvalidVertex);
+    dec.dist_to_center[v] =
+        static_cast<double>(settle[v] - shifts.start_round[owner[v]]);
+    if (owner[v] == v) dec.centers.push_back(v);
+  }
+  std::vector<cluster_t> compact(n, kInvalidCluster);
+  for (std::size_t c = 0; c < dec.centers.size(); ++c) {
+    compact[dec.centers[c]] = static_cast<cluster_t>(c);
+  }
+  dec.assignment.resize(n);
+  for (vertex_t v = 0; v < n; ++v) dec.assignment[v] = compact[owner[v]];
+  return result;
+}
+
+BucketedPartitionResult bucketed_weighted_partition(
+    const WeightedCsrGraph& g, const PartitionOptions& opt) {
+  return bucketed_weighted_partition_with_shifts(
+      g, generate_shifts(g.num_vertices(), opt));
+}
+
+}  // namespace mpx

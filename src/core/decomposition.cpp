@@ -1,0 +1,51 @@
+#include "core/decomposition.hpp"
+
+#include "parallel/pack.hpp"
+#include "parallel/parallel_for.hpp"
+#include "support/assert.hpp"
+
+namespace mpx {
+
+Decomposition::Decomposition(std::span<const vertex_t> owner,
+                             std::span<const std::uint32_t> dist_to_center)
+    : dist_to_center_(dist_to_center.begin(), dist_to_center.end()) {
+  const vertex_t n = static_cast<vertex_t>(owner.size());
+  MPX_EXPECTS(dist_to_center.size() == owner.size());
+
+  // Centers are exactly the self-owned vertices; pack preserves id order.
+  centers_ = pack_indices(n, [&](vertex_t v) {
+    MPX_EXPECTS(owner[v] != kInvalidVertex);
+    return owner[v] == v;
+  });
+
+  // Inverse map: center vertex id -> compact cluster id.
+  std::vector<cluster_t> compact(n, kInvalidCluster);
+  parallel_for(std::size_t{0}, centers_.size(), [&](std::size_t c) {
+    compact[centers_[c]] = static_cast<cluster_t>(c);
+  });
+
+  assignment_.resize(n);
+  parallel_for(vertex_t{0}, n, [&](vertex_t v) {
+    const cluster_t c = compact[owner[v]];
+    // A vertex owned by a non-center would break the Lemma 4.1 closure.
+    MPX_ASSERT(c != kInvalidCluster);
+    assignment_[v] = c;
+  });
+}
+
+Decomposition decomposition_from_bfs(
+    const MultiSourceBfsResult& bfs,
+    std::span<const std::uint32_t> start_round) {
+  const std::size_t n = bfs.owner.size();
+  std::vector<std::uint32_t> dist(n);
+  parallel_for(std::size_t{0}, n, [&](std::size_t v) {
+    MPX_EXPECTS(bfs.owner[v] != kInvalidVertex);
+    dist[v] = bfs.dist_to_owner(static_cast<vertex_t>(v), start_round);
+  });
+  Decomposition dec(bfs.owner, dist);
+  dec.bfs_rounds = bfs.rounds;
+  dec.arcs_scanned = bfs.arcs_scanned;
+  return dec;
+}
+
+}  // namespace mpx

@@ -1,0 +1,75 @@
+// The decomposition value type: the (beta, d) partition of Definition 1.1
+// together with provenance useful for analysis (centers, per-vertex
+// distance to center, BFS round count).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bfs/multi_source_bfs.hpp"
+#include "support/types.hpp"
+
+namespace mpx {
+
+class Decomposition {
+ public:
+  Decomposition() = default;
+
+  /// Build from raw ownership data: owner[v] is the center vertex that
+  /// claimed v (owner[c] == c identifies centers) and dist_to_center[v] is
+  /// the in-cluster distance from v to owner[v] (Lemma 4.1 guarantees the
+  /// realizing path stays inside the cluster). Every vertex must be owned.
+  Decomposition(std::span<const vertex_t> owner,
+                std::span<const std::uint32_t> dist_to_center);
+
+  /// Number of pieces k.
+  [[nodiscard]] cluster_t num_clusters() const {
+    return static_cast<cluster_t>(centers_.size());
+  }
+
+  /// Number of vertices n.
+  [[nodiscard]] vertex_t num_vertices() const {
+    return static_cast<vertex_t>(assignment_.size());
+  }
+
+  /// Compacted cluster id of v, in [0, num_clusters()).
+  [[nodiscard]] cluster_t cluster_of(vertex_t v) const {
+    return assignment_[v];
+  }
+
+  /// Center vertex of cluster c. Clusters are numbered in increasing order
+  /// of their center's vertex id, so ids are canonical.
+  [[nodiscard]] vertex_t center(cluster_t c) const { return centers_[c]; }
+
+  /// Graph distance from v to the center of its cluster, along a path that
+  /// stays inside the cluster.
+  [[nodiscard]] std::uint32_t dist_to_center(vertex_t v) const {
+    return dist_to_center_[v];
+  }
+
+  [[nodiscard]] std::span<const cluster_t> assignment() const {
+    return assignment_;
+  }
+  [[nodiscard]] std::span<const vertex_t> centers() const { return centers_; }
+  [[nodiscard]] std::span<const std::uint32_t> dists_to_center() const {
+    return dist_to_center_;
+  }
+
+  /// Provenance: parallel rounds and arcs scanned by the producing BFS
+  /// (zero when the decomposition was built by a non-BFS algorithm).
+  std::uint32_t bfs_rounds = 0;
+  edge_t arcs_scanned = 0;
+
+ private:
+  std::vector<cluster_t> assignment_;
+  std::vector<vertex_t> centers_;
+  std::vector<std::uint32_t> dist_to_center_;
+};
+
+/// Assemble a Decomposition from the delayed-BFS output.
+[[nodiscard]] Decomposition decomposition_from_bfs(
+    const MultiSourceBfsResult& bfs,
+    std::span<const std::uint32_t> start_round);
+
+}  // namespace mpx

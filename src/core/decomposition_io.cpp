@@ -1,0 +1,84 @@
+#include "core/decomposition_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mpx::io {
+namespace {
+
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') return true;
+  }
+  return false;
+}
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("mpx::io: malformed decomposition: " + what);
+}
+
+}  // namespace
+
+void write_decomposition(std::ostream& out, const Decomposition& dec) {
+  out << "# mpx decomposition\n";
+  out << dec.num_vertices() << ' ' << dec.num_clusters() << '\n';
+  for (cluster_t c = 0; c < dec.num_clusters(); ++c) {
+    out << dec.center(c) << '\n';
+  }
+  for (vertex_t v = 0; v < dec.num_vertices(); ++v) {
+    out << dec.cluster_of(v) << ' ' << dec.dist_to_center(v) << '\n';
+  }
+}
+
+Decomposition read_decomposition(std::istream& in) {
+  std::string line;
+  if (!next_content_line(in, line)) malformed("missing header");
+  std::istringstream header(line);
+  std::uint64_t n = 0;
+  std::uint64_t k = 0;
+  if (!(header >> n >> k)) malformed("bad header: " + line);
+  if (k > n) malformed("more clusters than vertices");
+
+  std::vector<vertex_t> centers(k);
+  for (std::uint64_t c = 0; c < k; ++c) {
+    if (!next_content_line(in, line)) malformed("unexpected EOF in centers");
+    std::istringstream row(line);
+    std::uint64_t center = 0;
+    if (!(row >> center) || center >= n) malformed("bad center: " + line);
+    centers[c] = static_cast<vertex_t>(center);
+  }
+
+  std::vector<vertex_t> owner(n);
+  std::vector<std::uint32_t> dist(n);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (!next_content_line(in, line)) malformed("unexpected EOF in rows");
+    std::istringstream row(line);
+    std::uint64_t cluster = 0;
+    std::uint64_t d = 0;
+    if (!(row >> cluster >> d) || cluster >= k) {
+      malformed("bad assignment row: " + line);
+    }
+    owner[v] = centers[cluster];
+    dist[v] = static_cast<std::uint32_t>(d);
+  }
+  return Decomposition(owner, dist);
+}
+
+void save_decomposition(const std::string& file_path,
+                        const Decomposition& dec) {
+  std::ofstream out(file_path);
+  if (!out) throw std::runtime_error("mpx::io: cannot open " + file_path);
+  write_decomposition(out, dec);
+}
+
+Decomposition load_decomposition(const std::string& file_path) {
+  std::ifstream in(file_path);
+  if (!in) throw std::runtime_error("mpx::io: cannot open " + file_path);
+  return read_decomposition(in);
+}
+
+}  // namespace mpx::io

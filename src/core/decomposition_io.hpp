@@ -1,0 +1,26 @@
+// Plain-text serialization of decompositions, so downstream tools (or a
+// later session) can consume partitions without re-running the algorithm.
+//
+// Format:
+//   # comments
+//   n k
+//   k lines: center vertex of cluster 0..k-1
+//   n lines: "cluster_id dist_to_center" for vertex 0..n-1
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/decomposition.hpp"
+
+namespace mpx::io {
+
+void write_decomposition(std::ostream& out, const Decomposition& dec);
+[[nodiscard]] Decomposition read_decomposition(std::istream& in);
+
+/// File-path conveniences; throw std::runtime_error on I/O failure.
+void save_decomposition(const std::string& file_path,
+                        const Decomposition& dec);
+[[nodiscard]] Decomposition load_decomposition(const std::string& file_path);
+
+}  // namespace mpx::io

@@ -1,0 +1,60 @@
+#include "core/exact_partition.hpp"
+
+#include <vector>
+
+#include "bfs/sequential_bfs.hpp"
+#include "parallel/parallel_for.hpp"
+#include "support/assert.hpp"
+
+namespace mpx {
+namespace {
+
+/// Shared brute-force skeleton: for every center u, BFS the whole graph and
+/// offer (key(u, d), rank[u]) to each vertex; keep the lexicographic min.
+template <typename Key, typename MakeKey>
+Decomposition brute_force(const CsrGraph& g, const Shifts& shifts,
+                          MakeKey&& make_key) {
+  const vertex_t n = g.num_vertices();
+  MPX_EXPECTS(shifts.start_round.size() == n && shifts.rank.size() == n);
+
+  std::vector<Key> best_key(n);
+  std::vector<std::uint32_t> best_rank(n);
+  std::vector<vertex_t> owner(n, kInvalidVertex);
+  std::vector<std::uint32_t> owner_dist(n, 0);
+
+  for (vertex_t u = 0; u < n; ++u) {
+    const std::vector<std::uint32_t> dist = bfs_distances(g, u);
+    for (vertex_t v = 0; v < n; ++v) {
+      if (dist[v] == kInfDist) continue;  // other component
+      const Key key = make_key(u, dist[v]);
+      const bool better =
+          owner[v] == kInvalidVertex || key < best_key[v] ||
+          (key == best_key[v] && shifts.rank[u] < best_rank[v]);
+      if (better) {
+        best_key[v] = key;
+        best_rank[v] = shifts.rank[u];
+        owner[v] = u;
+        owner_dist[v] = dist[v];
+      }
+    }
+  }
+  return Decomposition(owner, owner_dist);
+}
+
+}  // namespace
+
+Decomposition exact_partition_discrete(const CsrGraph& g,
+                                       const Shifts& shifts) {
+  return brute_force<std::uint64_t>(
+      g, shifts, [&](vertex_t u, std::uint32_t d) {
+        return static_cast<std::uint64_t>(shifts.start_round[u]) + d;
+      });
+}
+
+Decomposition exact_partition_real(const CsrGraph& g, const Shifts& shifts) {
+  return brute_force<double>(g, shifts, [&](vertex_t u, std::uint32_t d) {
+    return static_cast<double>(d) - shifts.delta[u];
+  });
+}
+
+}  // namespace mpx

@@ -1,0 +1,29 @@
+// Algorithm 2 reference implementations, used to validate the BFS
+// implementation (Section 5 argues their equivalence; the tests prove it
+// executable-ly).
+//
+// Both are brute force — one BFS per candidate center, O(n m) — and are
+// meant for the small graphs in the test suite only.
+#pragma once
+
+#include "core/decomposition.hpp"
+#include "core/options.hpp"
+#include "core/shifts.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace mpx {
+
+/// Discrete reference: assign v to the center minimizing
+/// (start_round[u] + dist(u, v), rank[u]) lexicographically — exactly the
+/// order the delayed BFS resolves arrivals in.
+[[nodiscard]] Decomposition exact_partition_discrete(const CsrGraph& g,
+                                                     const Shifts& shifts);
+
+/// Real-valued reference (the literal Algorithm 2): assign v to the center
+/// minimizing dist(u, v) - delta[u] over real numbers, ties by rank. With
+/// TieBreak::kFractionalShift this coincides with the discrete order and
+/// hence with the BFS implementation.
+[[nodiscard]] Decomposition exact_partition_real(const CsrGraph& g,
+                                                 const Shifts& shifts);
+
+}  // namespace mpx

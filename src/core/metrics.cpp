@@ -1,0 +1,97 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+#include "graph/stats.hpp"
+#include "graph/subgraph.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "support/assert.hpp"
+
+namespace mpx {
+
+DecompositionStats analyze(const Decomposition& dec, const CsrGraph& g) {
+  const vertex_t n = g.num_vertices();
+  MPX_EXPECTS(dec.num_vertices() == n);
+  DecompositionStats s;
+  s.num_clusters = dec.num_clusters();
+
+  const auto assignment = dec.assignment();
+  const edge_t cut_arcs =
+      parallel_sum<edge_t>(vertex_t{0}, n, [&](vertex_t u) {
+        edge_t local = 0;
+        for (const vertex_t v : g.neighbors(u)) {
+          if (assignment[u] != assignment[v]) ++local;
+        }
+        return local;
+      });
+  s.cut_edges = cut_arcs / 2;
+  s.cut_fraction = g.num_edges() == 0
+                       ? 0.0
+                       : static_cast<double>(s.cut_edges) /
+                             static_cast<double>(g.num_edges());
+
+  s.max_radius = parallel_max(vertex_t{0}, n, std::uint32_t{0},
+                              [&](vertex_t v) { return dec.dist_to_center(v); });
+  s.mean_radius =
+      n == 0 ? 0.0
+             : static_cast<double>(parallel_sum<std::uint64_t>(
+                   vertex_t{0}, n,
+                   [&](vertex_t v) {
+                     return static_cast<std::uint64_t>(dec.dist_to_center(v));
+                   })) /
+                   static_cast<double>(n);
+
+  const std::vector<vertex_t> sizes = cluster_sizes(dec);
+  if (!sizes.empty()) {
+    s.max_cluster_size = *std::max_element(sizes.begin(), sizes.end());
+    s.min_cluster_size = *std::min_element(sizes.begin(), sizes.end());
+    s.mean_cluster_size =
+        static_cast<double>(n) / static_cast<double>(sizes.size());
+  }
+  return s;
+}
+
+std::vector<vertex_t> cluster_sizes(const Decomposition& dec) {
+  std::vector<vertex_t> sizes(dec.num_clusters(), 0);
+  const auto assignment = dec.assignment();
+  for (const cluster_t c : assignment) ++sizes[c];
+  return sizes;
+}
+
+std::vector<std::uint32_t> strong_diameters_exact(const Decomposition& dec,
+                                                  const CsrGraph& g) {
+  const cluster_t k = dec.num_clusters();
+  const std::vector<std::vector<vertex_t>> members =
+      cluster_members(dec.assignment(), k);
+  std::vector<std::uint32_t> diam(k, 0);
+  // Clusters are independent; distribute them dynamically since sizes are
+  // skewed.
+  parallel_for_dynamic(cluster_t{0}, k, [&](cluster_t c) {
+    const Subgraph sub = induced_subgraph(g, members[c]);
+    diam[c] = exact_diameter(sub.graph);
+  });
+  return diam;
+}
+
+std::uint32_t max_strong_diameter_exact(const Decomposition& dec,
+                                        const CsrGraph& g) {
+  const std::vector<std::uint32_t> diam = strong_diameters_exact(dec, g);
+  return diam.empty() ? 0 : *std::max_element(diam.begin(), diam.end());
+}
+
+std::vector<std::uint32_t> strong_diameters_two_sweep(const Decomposition& dec,
+                                                      const CsrGraph& g) {
+  const cluster_t k = dec.num_clusters();
+  const std::vector<std::vector<vertex_t>> members =
+      cluster_members(dec.assignment(), k);
+  std::vector<std::uint32_t> diam(k, 0);
+  parallel_for_dynamic(cluster_t{0}, k, [&](cluster_t c) {
+    const Subgraph sub = induced_subgraph(g, members[c]);
+    diam[c] = two_sweep_diameter_lower_bound(sub.graph);
+  });
+  return diam;
+}
+
+}  // namespace mpx

@@ -1,0 +1,60 @@
+// Quality measures of a decomposition: the two quantities Definition 1.1
+// bounds (inter-cluster edges and strong diameter) plus size diagnostics.
+//
+// Radii come free from the partition itself (dist_to_center). Exact strong
+// diameters require per-cluster all-pairs BFS and are exposed separately
+// because they cost O(sum_c n_c * m_c).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/decomposition.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace mpx {
+
+struct DecompositionStats {
+  cluster_t num_clusters = 0;
+  /// Undirected edges whose endpoints lie in different clusters.
+  edge_t cut_edges = 0;
+  /// cut_edges / m (0 when the graph has no edges).
+  double cut_fraction = 0.0;
+  /// max_v dist(v, center(v)) — the strong radius; strong diameter is at
+  /// most twice this (and at least this).
+  std::uint32_t max_radius = 0;
+  double mean_radius = 0.0;
+  vertex_t max_cluster_size = 0;
+  vertex_t min_cluster_size = 0;
+  double mean_cluster_size = 0.0;
+  /// Cheap upper bound on the max strong diameter: 2 * max_radius.
+  [[nodiscard]] std::uint32_t diameter_upper_bound() const {
+    return 2 * max_radius;
+  }
+};
+
+/// O(n + m) summary of the decomposition quality.
+[[nodiscard]] DecompositionStats analyze(const Decomposition& dec,
+                                         const CsrGraph& g);
+
+/// Exact strong diameter of every cluster: the diameter of the induced
+/// subgraph (all-pairs BFS inside each piece). Heavy; intended for tests
+/// and the Figure 1 bench where clusters are modest.
+[[nodiscard]] std::vector<std::uint32_t> strong_diameters_exact(
+    const Decomposition& dec, const CsrGraph& g);
+
+/// Convenience: max over strong_diameters_exact.
+[[nodiscard]] std::uint32_t max_strong_diameter_exact(const Decomposition& dec,
+                                                      const CsrGraph& g);
+
+/// Two-sweep strong-diameter estimates per cluster: BFS inside the piece
+/// from its center, then from the farthest vertex found. A lower bound on
+/// the true strong diameter, exact on trees and near-exact on mesh-like
+/// pieces; O(sum_c m_c) total, so usable at Figure 1 scale.
+[[nodiscard]] std::vector<std::uint32_t> strong_diameters_two_sweep(
+    const Decomposition& dec, const CsrGraph& g);
+
+/// Histogram of cluster sizes (index c = size of cluster c).
+[[nodiscard]] std::vector<vertex_t> cluster_sizes(const Decomposition& dec);
+
+}  // namespace mpx

@@ -1,0 +1,54 @@
+// Configuration for the MPX partition routine.
+#pragma once
+
+#include <cstdint>
+
+namespace mpx {
+
+/// How simultaneous arrivals at a vertex are ordered (Section 5 of the
+/// paper). The integer BFS round is always determined by the exponential
+/// shifts; the tie-break decides the winner among same-round arrivals.
+enum class TieBreak {
+  /// Order centers by the fractional part of (delta_max - delta_u) — the
+  /// faithful implementation of Algorithm 2: the combined order equals the
+  /// real-valued shifted-distance order (default).
+  kFractionalShift,
+  /// Order centers by an independent uniform random permutation — the
+  /// simplification suggested in Section 5's closing remarks.
+  kRandomPermutation,
+  /// Order centers by vertex id — the deterministic lexicographic rule of
+  /// Section 4's Algorithm 2 tie case. Quality is seed-independent only in
+  /// its tie handling; shifts still come from the seed.
+  kLexicographic,
+};
+
+/// Where the shift *values* come from (Section 5's closing remark: "One
+/// possibility is to generate a random permutation of the vertices, and
+/// assign the shift values based on positions in the permutation. ...
+/// might be more easily studied empirically"). Experiment E15 is that
+/// empirical study.
+enum class ShiftDistribution {
+  /// delta_u ~ Exp(beta) i.i.d. — the analyzed algorithm (default).
+  kExponential,
+  /// delta_u = the Exp(beta) quantile of u's position in a random
+  /// permutation: the same *sorted profile* as n exponential order
+  /// statistics in expectation, with only permutation randomness left.
+  kPermutationQuantile,
+  /// delta_u ~ Uniform[0, ln(n)/beta] i.i.d. — the locally-uniform shifts
+  /// of the predecessor algorithm [9], for comparison.
+  kUniform,
+};
+
+struct PartitionOptions {
+  /// The beta of Definition 1.1: target cut fraction; piece diameters come
+  /// out O(log n / beta). Must be in (0, 1].
+  double beta = 0.1;
+  /// Seed for the shift values (and the permutation tie-break, if chosen).
+  std::uint64_t seed = 0;
+  /// Tie-break rule for same-round arrivals.
+  TieBreak tie_break = TieBreak::kFractionalShift;
+  /// Distribution of the shift values themselves (Section 5 ablation).
+  ShiftDistribution distribution = ShiftDistribution::kExponential;
+};
+
+}  // namespace mpx

@@ -1,0 +1,32 @@
+// The paper's Partition routine (Theorem 1.2): computes a
+// (beta, O(log n / beta)) strong-diameter decomposition of an undirected
+// unweighted graph in O(m) work and one BFS round per level of depth.
+//
+//   1. every vertex draws delta_u ~ Exp(beta)                  [Algorithm 1, line 1]
+//   2. delta_max = max_u delta_u                               [line 2]
+//   3. delayed multi-source BFS: u starts at delta_max-delta_u [line 3]
+//   4. each vertex joins the search that reached it first      [line 4]
+//
+// The graph may be disconnected: every component is partitioned
+// independently by the same shifts (each component's last-surviving center
+// claims it).
+#pragma once
+
+#include "core/decomposition.hpp"
+#include "core/options.hpp"
+#include "core/shifts.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace mpx {
+
+/// Run Partition on g. Deterministic in (g, opt): same seed, same result,
+/// independent of thread count.
+[[nodiscard]] Decomposition partition(const CsrGraph& g,
+                                      const PartitionOptions& opt);
+
+/// Run Partition with externally supplied shifts (ablations and the
+/// cross-checks against the exact Algorithm 2 reference).
+[[nodiscard]] Decomposition partition_with_shifts(const CsrGraph& g,
+                                                  const Shifts& shifts);
+
+}  // namespace mpx

@@ -1,0 +1,109 @@
+#include "core/shifts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/sort.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace mpx {
+namespace {
+
+/// Ranks = ascending order of frac(delta_max - delta_u), ties by id.
+/// Sorting (frac, id) pairs gives each center a unique priority that
+/// reproduces the real-valued comparison of Algorithm 2.
+std::vector<std::uint32_t> fractional_ranks(const std::vector<double>& delta,
+                                            double delta_max) {
+  const std::size_t n = delta.size();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<double> frac(n);
+  parallel_for(std::size_t{0}, n, [&](std::size_t u) {
+    const double start = delta_max - delta[u];
+    frac[u] = start - std::floor(start);
+  });
+  parallel_sort(std::span<std::uint32_t>(order),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return frac[a] != frac[b] ? frac[a] < frac[b] : a < b;
+                });
+  std::vector<std::uint32_t> rank(n);
+  parallel_for(std::size_t{0}, n, [&](std::size_t i) {
+    rank[order[i]] = static_cast<std::uint32_t>(i);
+  });
+  return rank;
+}
+
+}  // namespace
+
+Shifts generate_shifts(vertex_t n, const PartitionOptions& opt) {
+  MPX_EXPECTS(opt.beta > 0.0 && opt.beta <= 1.0);
+  Shifts s;
+  s.delta.resize(n);
+  switch (opt.distribution) {
+    case ShiftDistribution::kExponential:
+      parallel_for(vertex_t{0}, n, [&](vertex_t u) {
+        s.delta[u] = exponential_shift(opt.seed, u, opt.beta);
+      });
+      break;
+    case ShiftDistribution::kPermutationQuantile: {
+      // Vertex at position p of a random permutation gets the
+      // ((p + 1/2)/n)-quantile of Exp(beta): the sorted shift profile is
+      // deterministic; only the permutation is random (Section 5).
+      const std::vector<std::uint32_t> perm = parallel_random_permutation(
+          n, hash_stream(opt.seed, 0x7175616e74696c65ULL));
+      parallel_for(std::size_t{0}, s.delta.size(), [&](std::size_t p) {
+        const double quantile =
+            (static_cast<double>(p) + 0.5) / static_cast<double>(n);
+        s.delta[perm[p]] = exponential_from_uniform(quantile, opt.beta);
+      });
+      break;
+    }
+    case ShiftDistribution::kUniform: {
+      // Locally-uniform shifts in the style of [9]; range ln(n)/beta keeps
+      // the same diameter scale as the exponential's w.h.p. maximum.
+      const double range =
+          std::log(static_cast<double>(n) + 1.0) / opt.beta;
+      parallel_for(vertex_t{0}, n, [&](vertex_t u) {
+        s.delta[u] = range * uniform_shift(opt.seed, u);
+      });
+      break;
+    }
+  }
+  s.delta_max = parallel_max(vertex_t{0}, n, 0.0,
+                             [&](vertex_t u) { return s.delta[u]; });
+
+  s.start_round.resize(n);
+  parallel_for(vertex_t{0}, n, [&](vertex_t u) {
+    const double start = s.delta_max - s.delta[u];
+    MPX_ASSERT(start >= 0.0);
+    s.start_round[u] = static_cast<std::uint32_t>(std::floor(start));
+  });
+
+  switch (opt.tie_break) {
+    case TieBreak::kFractionalShift:
+      s.rank = fractional_ranks(s.delta, s.delta_max);
+      break;
+    case TieBreak::kRandomPermutation: {
+      // rank[v] = position of v in a random permutation independent of the
+      // shift values (keyed off a decorrelated stream of the same seed).
+      const std::vector<std::uint32_t> perm = parallel_random_permutation(
+          n, hash_stream(opt.seed, 0x7065726d75746174ULL));
+      s.rank.resize(n);
+      parallel_for(std::size_t{0}, s.rank.size(), [&](std::size_t i) {
+        s.rank[perm[i]] = static_cast<std::uint32_t>(i);
+      });
+      break;
+    }
+    case TieBreak::kLexicographic:
+      s.rank.resize(n);
+      std::iota(s.rank.begin(), s.rank.end(), 0u);
+      break;
+  }
+  return s;
+}
+
+}  // namespace mpx

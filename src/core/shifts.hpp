@@ -1,0 +1,37 @@
+// Exponentially-shifted start times (Sections 3-5 of the paper).
+//
+// Each vertex u draws delta_u ~ Exp(beta) (line 1 of Algorithm 1). The BFS
+// implementation needs, per vertex:
+//   start_round[u] = floor(delta_max - delta_u)   (when u's search wakes up)
+//   rank[u]        = tie-break priority among same-round arrivals
+// For TieBreak::kFractionalShift, rank is the ascending order of
+// frac(delta_max - delta_u), which makes (start_round, rank) ordering
+// coincide exactly with the real-valued shifted-distance ordering of
+// Algorithm 2 (integer graph distances shift values by whole rounds and
+// leave the fractional part untouched).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.hpp"
+#include "support/types.hpp"
+
+namespace mpx {
+
+struct Shifts {
+  /// delta[u] ~ Exp(beta), deterministic in (seed, u).
+  std::vector<double> delta;
+  /// max_u delta[u]; E[delta_max] = H_n / beta (Lemma 4.2).
+  double delta_max = 0.0;
+  /// floor(delta_max - delta[u]): the BFS round at which u self-activates.
+  std::vector<std::uint32_t> start_round;
+  /// Unique tie-break priority; smaller wins same-round contests.
+  std::vector<std::uint32_t> rank;
+};
+
+/// Draw shifts for n vertices with rate `opt.beta` and build the discrete
+/// (start_round, rank) schedule per `opt.tie_break`.
+[[nodiscard]] Shifts generate_shifts(vertex_t n, const PartitionOptions& opt);
+
+}  // namespace mpx

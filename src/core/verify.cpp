@@ -1,0 +1,114 @@
+#include "core/verify.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "bfs/sequential_bfs.hpp"
+#include "graph/subgraph.hpp"
+#include "support/assert.hpp"
+
+namespace mpx {
+namespace {
+
+VerifyResult fail(const std::string& message) { return {false, message}; }
+
+}  // namespace
+
+VerifyResult verify_decomposition(const Decomposition& dec,
+                                  const CsrGraph& g) {
+  const vertex_t n = g.num_vertices();
+  if (dec.num_vertices() != n) {
+    return fail("decomposition size does not match graph");
+  }
+  const cluster_t k = dec.num_clusters();
+  if (n > 0 && k == 0) return fail("no clusters for non-empty graph");
+
+  for (vertex_t v = 0; v < n; ++v) {
+    if (dec.cluster_of(v) >= k) {
+      std::ostringstream os;
+      os << "vertex " << v << " has out-of-range cluster "
+         << dec.cluster_of(v);
+      return fail(os.str());
+    }
+  }
+  for (cluster_t c = 0; c < k; ++c) {
+    const vertex_t ctr = dec.center(c);
+    if (ctr >= n) return fail("center vertex out of range");
+    if (dec.cluster_of(ctr) != c) {
+      std::ostringstream os;
+      os << "center " << ctr << " of cluster " << c
+         << " is assigned to cluster " << dec.cluster_of(ctr);
+      return fail(os.str());
+    }
+    if (dec.dist_to_center(ctr) != 0) {
+      std::ostringstream os;
+      os << "center " << ctr << " has nonzero distance to itself";
+      return fail(os.str());
+    }
+  }
+
+  // Per-piece: in-piece BFS from the center must (a) reach every member
+  // (connectivity) and (b) agree with the recorded distances (Lemma 4.1).
+  const std::vector<std::vector<vertex_t>> members =
+      cluster_members(dec.assignment(), k);
+  for (cluster_t c = 0; c < k; ++c) {
+    const Subgraph sub = induced_subgraph(g, members[c]);
+    vertex_t center_local = kInvalidVertex;
+    for (vertex_t i = 0; i < sub.num_vertices(); ++i) {
+      if (sub.to_host[i] == dec.center(c)) {
+        center_local = i;
+        break;
+      }
+    }
+    if (center_local == kInvalidVertex) {
+      std::ostringstream os;
+      os << "cluster " << c << " does not contain its center";
+      return fail(os.str());
+    }
+    const std::vector<std::uint32_t> dist =
+        bfs_distances(sub.graph, center_local);
+    for (vertex_t i = 0; i < sub.num_vertices(); ++i) {
+      if (dist[i] == kInfDist) {
+        std::ostringstream os;
+        os << "cluster " << c << " is disconnected: vertex "
+           << sub.to_host[i] << " unreachable from center " << dec.center(c);
+        return fail(os.str());
+      }
+      if (dist[i] != dec.dist_to_center(sub.to_host[i])) {
+        std::ostringstream os;
+        os << "cluster " << c << ": vertex " << sub.to_host[i]
+           << " records distance " << dec.dist_to_center(sub.to_host[i])
+           << " but in-piece BFS distance is " << dist[i]
+           << " (Lemma 4.1 violation)";
+        return fail(os.str());
+      }
+    }
+  }
+  return {};
+}
+
+VerifyResult verify_decomposition(const Decomposition& dec, const CsrGraph& g,
+                                  const Shifts& shifts) {
+  VerifyResult structural = verify_decomposition(dec, g);
+  if (!structural.ok) return structural;
+  if (shifts.delta.size() != g.num_vertices()) {
+    return fail("shift vector size does not match graph");
+  }
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    const vertex_t ctr = dec.center(dec.cluster_of(v));
+    // Since dist_-delta(center, v) <= dist_-delta(v, v) = -delta_v, we have
+    // dist(center, v) <= delta_center - delta_v <= delta_center. The +1
+    // absorbs the floor() discretization of the BFS schedule.
+    if (static_cast<double>(dec.dist_to_center(v)) >
+        shifts.delta[ctr] + 1.0) {
+      std::ostringstream os;
+      os << "vertex " << v << " lies at distance " << dec.dist_to_center(v)
+         << " from center " << ctr << " whose shift is only "
+         << shifts.delta[ctr];
+      return fail(os.str());
+    }
+  }
+  return {};
+}
+
+}  // namespace mpx

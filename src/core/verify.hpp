@@ -1,0 +1,39 @@
+// Hard invariant checking for decompositions.
+//
+// `verify_decomposition` proves, by direct computation, the structural
+// facts the paper's analysis rests on:
+//   * the assignment is a partition of V (every vertex in exactly one piece),
+//   * every center belongs to and anchors its own piece,
+//   * every piece is connected *within itself*,
+//   * the recorded distance-to-center is the true in-piece BFS distance
+//     (the executable form of Lemma 4.1: the shortest path from the center
+//     to any member stays inside the piece),
+//   * when shifts are supplied, radius(v) <= delta[center] + 1 (the shift
+//     bound of Lemma 4.2 that caps the strong diameter).
+#pragma once
+
+#include <string>
+
+#include "core/decomposition.hpp"
+#include "core/shifts.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace mpx {
+
+struct VerifyResult {
+  bool ok = true;
+  std::string message;  ///< human-readable description of the first failure
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Structural verification (partition, connectivity, Lemma 4.1 distances).
+[[nodiscard]] VerifyResult verify_decomposition(const Decomposition& dec,
+                                                const CsrGraph& g);
+
+/// Structural verification plus the shift-based radius bound.
+[[nodiscard]] VerifyResult verify_decomposition(const Decomposition& dec,
+                                                const CsrGraph& g,
+                                                const Shifts& shifts);
+
+}  // namespace mpx

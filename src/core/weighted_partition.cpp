@@ -1,0 +1,129 @@
+#include "core/weighted_partition.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/shifts.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "support/assert.hpp"
+
+namespace mpx {
+namespace {
+
+struct QueueEntry {
+  double key;          // shifted distance from the super-source
+  std::uint32_t rank;  // deterministic tie-break
+  vertex_t owner;
+  vertex_t v;
+
+  /// Min-heap order on (key, rank, owner).
+  friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+    if (a.key != b.key) return a.key > b.key;
+    if (a.rank != b.rank) return a.rank > b.rank;
+    return a.owner > b.owner;
+  }
+};
+
+}  // namespace
+
+WeightedDecomposition weighted_partition(const WeightedCsrGraph& g,
+                                         const PartitionOptions& opt) {
+  return weighted_partition_with_shifts(g,
+                                        generate_shifts(g.num_vertices(), opt));
+}
+
+WeightedDecomposition weighted_partition_with_shifts(
+    const WeightedCsrGraph& g, const Shifts& shifts) {
+  const vertex_t n = g.num_vertices();
+  MPX_EXPECTS(shifts.delta.size() == n);
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  // Implicit super-source: vertex u is reachable at key delta_max-delta_u.
+  for (vertex_t u = 0; u < n; ++u) {
+    queue.push({shifts.delta_max - shifts.delta[u], shifts.rank[u], u, u});
+  }
+
+  std::vector<vertex_t> owner(n, kInvalidVertex);
+  std::vector<double> key(n, 0.0);
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    if (owner[top.v] != kInvalidVertex) continue;  // already settled
+    owner[top.v] = top.owner;
+    key[top.v] = top.key;
+    const auto nbrs = g.neighbors(top.v);
+    const auto ws = g.arc_weights(top.v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (owner[nbrs[i]] == kInvalidVertex) {
+        queue.push({top.key + ws[i], top.rank, top.owner, nbrs[i]});
+      }
+    }
+  }
+
+  WeightedDecomposition dec;
+  dec.dist_to_center.resize(n);
+  for (vertex_t v = 0; v < n; ++v) {
+    const double start = shifts.delta_max - shifts.delta[owner[v]];
+    dec.dist_to_center[v] = key[v] - start;
+    MPX_ASSERT(dec.dist_to_center[v] >= 0.0);
+  }
+  for (vertex_t v = 0; v < n; ++v) {
+    if (owner[v] == v) dec.centers.push_back(v);
+  }
+  std::vector<cluster_t> compact(n, kInvalidCluster);
+  for (std::size_t c = 0; c < dec.centers.size(); ++c) {
+    compact[dec.centers[c]] = static_cast<cluster_t>(c);
+  }
+  dec.assignment.resize(n);
+  for (vertex_t v = 0; v < n; ++v) {
+    MPX_ASSERT(compact[owner[v]] != kInvalidCluster);
+    dec.assignment[v] = compact[owner[v]];
+  }
+  return dec;
+}
+
+WeightedDecompositionStats analyze_weighted(const WeightedDecomposition& dec,
+                                            const WeightedCsrGraph& g) {
+  const vertex_t n = g.num_vertices();
+  MPX_EXPECTS(dec.num_vertices() == n);
+  WeightedDecompositionStats s;
+  s.num_clusters = dec.num_clusters();
+
+  edge_t cut_arcs = 0;
+  double cut_weight = 0.0;
+  double total_weight = 0.0;
+  for (vertex_t u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.arc_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (u > nbrs[i]) continue;  // each undirected edge once
+      total_weight += ws[i];
+      if (dec.assignment[u] != dec.assignment[nbrs[i]]) {
+        ++cut_arcs;
+        cut_weight += ws[i];
+      }
+    }
+  }
+  s.cut_edges = cut_arcs;
+  s.total_cut_weight = cut_weight;
+  s.cut_fraction = g.num_edges() == 0
+                       ? 0.0
+                       : static_cast<double>(cut_arcs) /
+                             static_cast<double>(g.num_edges());
+  s.cut_weight_fraction =
+      total_weight == 0.0 ? 0.0 : cut_weight / total_weight;
+
+  s.max_radius = 0.0;
+  double sum_radius = 0.0;
+  for (vertex_t v = 0; v < n; ++v) {
+    s.max_radius = std::max(s.max_radius, dec.dist_to_center[v]);
+    sum_radius += dec.dist_to_center[v];
+  }
+  s.mean_radius = n == 0 ? 0.0 : sum_radius / static_cast<double>(n);
+  return s;
+}
+
+}  // namespace mpx

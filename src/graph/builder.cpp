@@ -1,0 +1,118 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <span>
+#include <tuple>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/scan.hpp"
+#include "parallel/sort.hpp"
+
+namespace mpx {
+namespace {
+
+/// Sorted, deduplicated symmetric arc list (u, v) with u != v.
+std::vector<Edge> symmetrize(vertex_t n, std::span<const Edge> edges) {
+  std::vector<Edge> arcs;
+  arcs.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    MPX_EXPECTS(e.u < n && e.v < n);
+    if (e.u == e.v) continue;  // drop self-loops
+    arcs.push_back({e.u, e.v});
+    arcs.push_back({e.v, e.u});
+  }
+  parallel_sort(std::span<Edge>(arcs), [](const Edge& a, const Edge& b) {
+    return std::tie(a.u, a.v) < std::tie(b.u, b.v);
+  });
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  return arcs;
+}
+
+CsrGraph csr_from_sorted_arcs(vertex_t n, std::span<const Edge> arcs) {
+  std::vector<edge_t> counts(static_cast<std::size_t>(n), 0);
+  for (const Edge& a : arcs) ++counts[a.u];
+  std::vector<edge_t> offsets =
+      offsets_from_counts(std::span<const edge_t>(counts));
+  std::vector<vertex_t> targets(arcs.size());
+  parallel_for(std::size_t{0}, arcs.size(),
+               [&](std::size_t i) { targets[i] = arcs[i].v; });
+  return CsrGraph(std::move(offsets), std::move(targets));
+}
+
+}  // namespace
+
+CsrGraph build_undirected(vertex_t n, std::span<const Edge> edges) {
+  const std::vector<Edge> arcs = symmetrize(n, edges);
+  return csr_from_sorted_arcs(n, arcs);
+}
+
+WeightedCsrGraph build_undirected_weighted(
+    vertex_t n, std::span<const WeightedEdge> edges) {
+  std::vector<WeightedEdge> arcs;
+  arcs.reserve(edges.size() * 2);
+  for (const WeightedEdge& e : edges) {
+    MPX_EXPECTS(e.u < n && e.v < n);
+    MPX_EXPECTS(e.w > 0.0);
+    if (e.u == e.v) continue;
+    arcs.push_back({e.u, e.v, e.w});
+    arcs.push_back({e.v, e.u, e.w});
+  }
+  parallel_sort(std::span<WeightedEdge>(arcs),
+                [](const WeightedEdge& a, const WeightedEdge& b) {
+                  return std::tie(a.u, a.v, a.w) < std::tie(b.u, b.v, b.w);
+                });
+  // Dedup parallel edges keeping the smallest weight (first after sort).
+  std::vector<WeightedEdge> unique_arcs;
+  unique_arcs.reserve(arcs.size());
+  for (const WeightedEdge& a : arcs) {
+    if (!unique_arcs.empty() && unique_arcs.back().u == a.u &&
+        unique_arcs.back().v == a.v) {
+      continue;
+    }
+    unique_arcs.push_back(a);
+  }
+
+  std::vector<edge_t> counts(static_cast<std::size_t>(n), 0);
+  for (const WeightedEdge& a : unique_arcs) ++counts[a.u];
+  std::vector<edge_t> offsets =
+      offsets_from_counts(std::span<const edge_t>(counts));
+  std::vector<vertex_t> targets(unique_arcs.size());
+  std::vector<double> weights(unique_arcs.size());
+  parallel_for(std::size_t{0}, unique_arcs.size(), [&](std::size_t i) {
+    targets[i] = unique_arcs[i].v;
+    weights[i] = unique_arcs[i].w;
+  });
+  return WeightedCsrGraph(CsrGraph(std::move(offsets), std::move(targets)),
+                          std::move(weights));
+}
+
+std::vector<Edge> edge_list(const CsrGraph& g) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    for (const vertex_t v : g.neighbors(u)) {
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  return edges;
+}
+
+std::vector<WeightedEdge> edge_list(const WeightedCsrGraph& g) {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.arc_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (u < nbrs[i]) edges.push_back({u, nbrs[i], ws[i]});
+    }
+  }
+  return edges;
+}
+
+WeightedCsrGraph with_unit_weights(const CsrGraph& g) {
+  std::vector<double> weights(static_cast<std::size_t>(g.num_arcs()), 1.0);
+  return WeightedCsrGraph(g, std::move(weights));
+}
+
+}  // namespace mpx

@@ -1,0 +1,54 @@
+// Graph construction from edge lists.
+//
+// The builder normalizes arbitrary edge lists into the canonical undirected
+// CSR form the rest of the library assumes: self-loops dropped, parallel
+// edges deduplicated, both arc directions present, adjacency lists sorted.
+// Construction is parallel: sort the symmetrized arc list, dedup, then
+// derive offsets with a scan.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "support/types.hpp"
+
+namespace mpx {
+
+/// An undirected edge in a pre-CSR edge list.
+struct Edge {
+  vertex_t u;
+  vertex_t v;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// A weighted undirected edge.
+struct WeightedEdge {
+  vertex_t u;
+  vertex_t v;
+  double w;
+};
+
+/// Build an undirected unweighted graph on `n` vertices from `edges`.
+/// Drops self-loops, deduplicates parallel edges, symmetrizes. Endpoints
+/// must be < n. Work O(m log m).
+[[nodiscard]] CsrGraph build_undirected(vertex_t n,
+                                        std::span<const Edge> edges);
+
+/// Weighted variant; parallel edges keep the smallest weight (the natural
+/// choice for shortest-path semantics). All weights must be positive.
+[[nodiscard]] WeightedCsrGraph build_undirected_weighted(
+    vertex_t n, std::span<const WeightedEdge> edges);
+
+/// Convenience: extract the unique undirected edge list {u < v} of a graph.
+[[nodiscard]] std::vector<Edge> edge_list(const CsrGraph& g);
+
+/// Weighted convenience counterpart.
+[[nodiscard]] std::vector<WeightedEdge> edge_list(const WeightedCsrGraph& g);
+
+/// Attach unit weights to an unweighted topology.
+[[nodiscard]] WeightedCsrGraph with_unit_weights(const CsrGraph& g);
+
+}  // namespace mpx

@@ -1,0 +1,82 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+
+namespace mpx {
+
+Components connected_components_sequential(const CsrGraph& g) {
+  const vertex_t n = g.num_vertices();
+  Components result;
+  result.label.assign(n, kInvalidVertex);
+  std::vector<vertex_t> stack;
+  for (vertex_t s = 0; s < n; ++s) {
+    if (result.label[s] != kInvalidVertex) continue;
+    ++result.count;
+    result.label[s] = s;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const vertex_t u = stack.back();
+      stack.pop_back();
+      for (const vertex_t v : g.neighbors(u)) {
+        if (result.label[v] == kInvalidVertex) {
+          result.label[v] = s;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Components connected_components(const CsrGraph& g) {
+  const vertex_t n = g.num_vertices();
+  Components result;
+  result.label.resize(n);
+  std::vector<vertex_t>& label = result.label;
+  std::iota(label.begin(), label.end(), 0u);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Hook: adopt the smaller label across every edge.
+    const std::size_t hooks =
+        parallel_count_if(vertex_t{0}, n, [&](vertex_t u) {
+          bool any = false;
+          const vertex_t lu = atomic_load(label[u]);
+          for (const vertex_t v : g.neighbors(u)) {
+            const vertex_t lv = atomic_load(label[v]);
+            if (lv < lu) any |= atomic_fetch_min(label[u], lv);
+          }
+          return any;
+        });
+    changed = hooks != 0;
+    // Compress: pointer-jump labels toward roots. Labels only decrease, so
+    // concurrent jumps are safe as long as each access is atomic.
+    parallel_for(vertex_t{0}, n, [&](vertex_t u) {
+      vertex_t l = atomic_load(label[u]);
+      while (true) {
+        const vertex_t next = atomic_load(label[l]);
+        if (next == l) break;
+        l = next;
+      }
+      atomic_fetch_min(label[u], l);
+    });
+  }
+
+  // Count distinct roots (label[v] == v).
+  result.count = static_cast<vertex_t>(parallel_count_if(
+      vertex_t{0}, n, [&](vertex_t v) { return label[v] == v; }));
+  return result;
+}
+
+bool is_connected(const CsrGraph& g) {
+  if (g.num_vertices() <= 1) return true;
+  return connected_components(g).count == 1;
+}
+
+}  // namespace mpx

@@ -1,0 +1,32 @@
+// Connected components. Two implementations:
+//  * a sequential BFS sweep (reference, used by tests and the verifier on
+//    small per-cluster subgraphs), and
+//  * parallel label propagation with pointer jumping (hook-and-compress),
+//    the standard shared-memory CC kernel.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "support/types.hpp"
+
+namespace mpx {
+
+/// Component labelling: labels[v] identifies v's component; labels are
+/// component-minimum vertex ids, so they are canonical.
+struct Components {
+  std::vector<vertex_t> label;
+  vertex_t count = 0;
+};
+
+/// Sequential reference implementation (BFS sweep). O(n + m).
+[[nodiscard]] Components connected_components_sequential(const CsrGraph& g);
+
+/// Parallel label propagation + pointer jumping. Deterministic (labels are
+/// min ids). O((n + m) log n) work worst case, fast in practice.
+[[nodiscard]] Components connected_components(const CsrGraph& g);
+
+/// True iff g is connected (n <= 1 counts as connected).
+[[nodiscard]] bool is_connected(const CsrGraph& g);
+
+}  // namespace mpx

@@ -1,0 +1,48 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+
+namespace mpx {
+
+CsrGraph::CsrGraph(std::vector<edge_t> offsets, std::vector<vertex_t> targets)
+    : offsets_(std::move(offsets)), targets_(std::move(targets)) {
+  MPX_EXPECTS(!offsets_.empty());
+  MPX_EXPECTS(offsets_.front() == 0);
+  MPX_EXPECTS(offsets_.back() == targets_.size());
+  const vertex_t n = num_vertices();
+  parallel_for(vertex_t{0}, n, [&](vertex_t v) {
+    MPX_EXPECTS(offsets_[v] <= offsets_[v + 1]);
+  });
+  parallel_for(std::size_t{0}, targets_.size(),
+               [&](std::size_t e) { MPX_EXPECTS(targets_[e] < n); });
+}
+
+bool CsrGraph::has_edge(vertex_t u, vertex_t v) const {
+  MPX_EXPECTS(u < num_vertices() && v < num_vertices());
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+bool CsrGraph::is_symmetric() const {
+  const vertex_t n = num_vertices();
+  const std::size_t bad = parallel_count_if(vertex_t{0}, n, [&](vertex_t u) {
+    for (const vertex_t v : neighbors(u)) {
+      if (v == u) return true;           // self-loop
+      if (!has_edge(v, u)) return true;  // missing reverse arc
+    }
+    return false;
+  });
+  return bad == 0;
+}
+
+WeightedCsrGraph::WeightedCsrGraph(CsrGraph graph, std::vector<double> weights)
+    : graph_(std::move(graph)), weights_(std::move(weights)) {
+  MPX_EXPECTS(weights_.size() == graph_.num_arcs());
+  parallel_for(std::size_t{0}, weights_.size(),
+               [&](std::size_t e) { MPX_EXPECTS(weights_[e] > 0.0); });
+}
+
+}  // namespace mpx

@@ -1,0 +1,125 @@
+// Immutable compressed-sparse-row graph types.
+//
+// CsrGraph is the unweighted undirected graph of Definition 1.1: every
+// undirected edge {u,v} is stored as the two directed arcs (u,v) and (v,u);
+// self-loops are excluded by the builder. The representation is a value
+// type: cheap to move, deep-copied on copy, safe to share by const
+// reference across threads.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/types.hpp"
+
+namespace mpx {
+
+class CsrGraph {
+ public:
+  /// Empty graph.
+  CsrGraph() : offsets_{0} {}
+
+  /// Assemble from raw CSR arrays. `offsets` has n+1 entries with
+  /// offsets[0] == 0 and offsets[n] == targets.size(); each arc target is a
+  /// valid vertex. The builder guarantees symmetry; this constructor only
+  /// checks structural validity (symmetry is O(m log m) and verified in
+  /// tests via `is_symmetric`).
+  CsrGraph(std::vector<edge_t> offsets, std::vector<vertex_t> targets);
+
+  /// Number of vertices n.
+  [[nodiscard]] vertex_t num_vertices() const {
+    return static_cast<vertex_t>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges m (arc count / 2).
+  [[nodiscard]] edge_t num_edges() const { return num_arcs() / 2; }
+
+  /// Number of stored directed arcs (2m for undirected graphs).
+  [[nodiscard]] edge_t num_arcs() const {
+    return static_cast<edge_t>(targets_.size());
+  }
+
+  /// Out-degree of v (== undirected degree).
+  [[nodiscard]] vertex_t degree(vertex_t v) const {
+    MPX_EXPECTS(v < num_vertices());
+    return static_cast<vertex_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Neighbors of v, sorted ascending.
+  [[nodiscard]] std::span<const vertex_t> neighbors(vertex_t v) const {
+    MPX_EXPECTS(v < num_vertices());
+    return {targets_.data() + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  /// First arc index of v; arcs of v are [arc_begin(v), arc_begin(v+1)).
+  [[nodiscard]] edge_t arc_begin(vertex_t v) const {
+    MPX_EXPECTS(v < num_vertices());
+    return offsets_[v];
+  }
+
+  /// Target of arc index e.
+  [[nodiscard]] vertex_t arc_target(edge_t e) const {
+    MPX_EXPECTS(e < num_arcs());
+    return targets_[static_cast<std::size_t>(e)];
+  }
+
+  /// True iff {u, v} is an edge. O(log deg(u)).
+  [[nodiscard]] bool has_edge(vertex_t u, vertex_t v) const;
+
+  /// True iff every arc (u,v) has a matching arc (v,u) and no self-loops.
+  /// O(m log dmax); used by tests and the verifier, not hot paths.
+  [[nodiscard]] bool is_symmetric() const;
+
+  /// Raw arrays, for algorithms that stream the whole structure.
+  [[nodiscard]] std::span<const edge_t> offsets() const { return offsets_; }
+  [[nodiscard]] std::span<const vertex_t> targets() const { return targets_; }
+
+ private:
+  std::vector<edge_t> offsets_;
+  std::vector<vertex_t> targets_;
+};
+
+/// Undirected weighted graph: CsrGraph topology plus one positive length per
+/// arc (both arcs of an undirected edge carry equal weight). Used by the
+/// Section 6 weighted extension, low-stretch trees, and the Laplacian
+/// solver.
+class WeightedCsrGraph {
+ public:
+  WeightedCsrGraph() = default;
+
+  /// `weights[e]` is the length of arc e of `graph`; all weights positive.
+  WeightedCsrGraph(CsrGraph graph, std::vector<double> weights);
+
+  [[nodiscard]] const CsrGraph& topology() const { return graph_; }
+  [[nodiscard]] vertex_t num_vertices() const { return graph_.num_vertices(); }
+  [[nodiscard]] edge_t num_edges() const { return graph_.num_edges(); }
+  [[nodiscard]] edge_t num_arcs() const { return graph_.num_arcs(); }
+  [[nodiscard]] vertex_t degree(vertex_t v) const { return graph_.degree(v); }
+  [[nodiscard]] std::span<const vertex_t> neighbors(vertex_t v) const {
+    return graph_.neighbors(v);
+  }
+  [[nodiscard]] edge_t arc_begin(vertex_t v) const {
+    return graph_.arc_begin(v);
+  }
+
+  /// Weights of the arcs of v, aligned with neighbors(v).
+  [[nodiscard]] std::span<const double> arc_weights(vertex_t v) const {
+    return {weights_.data() + graph_.arc_begin(v),
+            static_cast<std::size_t>(graph_.degree(v))};
+  }
+
+  [[nodiscard]] double arc_weight(edge_t e) const {
+    MPX_EXPECTS(e < num_arcs());
+    return weights_[static_cast<std::size_t>(e)];
+  }
+
+  [[nodiscard]] std::span<const double> weights() const { return weights_; }
+
+ private:
+  CsrGraph graph_;
+  std::vector<double> weights_;
+};
+
+}  // namespace mpx

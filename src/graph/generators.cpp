@@ -1,0 +1,318 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace mpx::generators {
+namespace {
+
+CsrGraph from_edges(vertex_t n, const std::vector<Edge>& edges) {
+  return build_undirected(n, std::span<const Edge>(edges));
+}
+
+}  // namespace
+
+CsrGraph path(vertex_t n) {
+  MPX_EXPECTS(n >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (vertex_t i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return from_edges(n, edges);
+}
+
+CsrGraph cycle(vertex_t n) {
+  MPX_EXPECTS(n >= 3);
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (vertex_t i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  edges.push_back({n - 1, 0});
+  return from_edges(n, edges);
+}
+
+CsrGraph complete(vertex_t n) {
+  MPX_EXPECTS(n >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (vertex_t u = 0; u < n; ++u) {
+    for (vertex_t v = u + 1; v < n; ++v) edges.push_back({u, v});
+  }
+  return from_edges(n, edges);
+}
+
+CsrGraph star(vertex_t n) {
+  MPX_EXPECTS(n >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (vertex_t v = 1; v < n; ++v) edges.push_back({0, v});
+  return from_edges(n, edges);
+}
+
+CsrGraph grid2d(vertex_t rows, vertex_t cols, bool wrap) {
+  MPX_EXPECTS(rows >= 1 && cols >= 1);
+  const auto id = [cols](vertex_t r, vertex_t c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(rows) * cols * 2);
+  for (vertex_t r = 0; r < rows; ++r) {
+    for (vertex_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      else if (wrap && cols > 2) edges.push_back({id(r, c), id(r, 0)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+      else if (wrap && rows > 2) edges.push_back({id(r, c), id(0, c)});
+    }
+  }
+  return from_edges(rows * cols, edges);
+}
+
+CsrGraph grid3d(vertex_t nx, vertex_t ny, vertex_t nz, bool wrap) {
+  MPX_EXPECTS(nx >= 1 && ny >= 1 && nz >= 1);
+  const auto id = [ny, nz](vertex_t x, vertex_t y, vertex_t z) {
+    return (x * ny + y) * nz + z;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(nx) * ny * nz * 3);
+  for (vertex_t x = 0; x < nx; ++x) {
+    for (vertex_t y = 0; y < ny; ++y) {
+      for (vertex_t z = 0; z < nz; ++z) {
+        if (x + 1 < nx) edges.push_back({id(x, y, z), id(x + 1, y, z)});
+        else if (wrap && nx > 2) edges.push_back({id(x, y, z), id(0, y, z)});
+        if (y + 1 < ny) edges.push_back({id(x, y, z), id(x, y + 1, z)});
+        else if (wrap && ny > 2) edges.push_back({id(x, y, z), id(x, 0, z)});
+        if (z + 1 < nz) edges.push_back({id(x, y, z), id(x, y, z + 1)});
+        else if (wrap && nz > 2) edges.push_back({id(x, y, z), id(x, y, 0)});
+      }
+    }
+  }
+  return from_edges(nx * ny * nz, edges);
+}
+
+CsrGraph complete_binary_tree(vertex_t n) {
+  MPX_EXPECTS(n >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (vertex_t i = 1; i < n; ++i) edges.push_back({(i - 1) / 2, i});
+  return from_edges(n, edges);
+}
+
+CsrGraph hypercube(unsigned dim) {
+  MPX_EXPECTS(dim >= 1 && dim < 31);
+  const vertex_t n = vertex_t{1} << dim;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * dim / 2);
+  for (vertex_t u = 0; u < n; ++u) {
+    for (unsigned b = 0; b < dim; ++b) {
+      const vertex_t v = u ^ (vertex_t{1} << b);
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  return from_edges(n, edges);
+}
+
+CsrGraph erdos_renyi(vertex_t n, edge_t m, std::uint64_t seed) {
+  MPX_EXPECTS(n >= 2);
+  const edge_t max_edges =
+      static_cast<edge_t>(n) * (static_cast<edge_t>(n) - 1) / 2;
+  MPX_EXPECTS(m <= max_edges);
+  Xoshiro256pp rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  while (edges.size() < m) {
+    vertex_t u = static_cast<vertex_t>(rng.next_below(n));
+    vertex_t v = static_cast<vertex_t>(rng.next_below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) edges.push_back({u, v});
+  }
+  return from_edges(n, edges);
+}
+
+CsrGraph rmat(unsigned scale, double edge_factor, std::uint64_t seed,
+              double a, double b, double c) {
+  MPX_EXPECTS(scale >= 1 && scale < 31);
+  MPX_EXPECTS(edge_factor > 0);
+  MPX_EXPECTS(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0);
+  const vertex_t n = vertex_t{1} << scale;
+  const std::size_t target =
+      static_cast<std::size_t>(edge_factor * static_cast<double>(n));
+  Xoshiro256pp rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(target);
+  for (std::size_t i = 0; i < target; ++i) {
+    vertex_t u = 0;
+    vertex_t v = 0;
+    for (unsigned bit = 0; bit < scale; ++bit) {
+      const double r = rng.next_double();
+      // Quadrant choice: a = (0,0), b = (0,1), c = (1,0), d = (1,1).
+      const unsigned ubit = (r >= a + b) ? 1u : 0u;
+      const unsigned vbit = (r >= a && r < a + b) || (r >= a + b + c) ? 1u : 0u;
+      u = static_cast<vertex_t>((u << 1) | ubit);
+      v = static_cast<vertex_t>((v << 1) | vbit);
+    }
+    if (u != v) edges.push_back({u, v});
+  }
+  return from_edges(n, edges);
+}
+
+CsrGraph barbell(vertex_t k) {
+  MPX_EXPECTS(k >= 2);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(k) * (k - 1) + 1);
+  for (vertex_t u = 0; u < k; ++u) {
+    for (vertex_t v = u + 1; v < k; ++v) {
+      edges.push_back({u, v});
+      edges.push_back({static_cast<vertex_t>(k + u),
+                       static_cast<vertex_t>(k + v)});
+    }
+  }
+  edges.push_back({static_cast<vertex_t>(k - 1), k});  // the bridge
+  return from_edges(static_cast<vertex_t>(2 * k), edges);
+}
+
+CsrGraph caterpillar(vertex_t spine, vertex_t legs) {
+  MPX_EXPECTS(spine >= 1);
+  const vertex_t n = spine + spine * legs;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) - 1);
+  for (vertex_t i = 0; i + 1 < spine; ++i) edges.push_back({i, i + 1});
+  for (vertex_t i = 0; i < spine; ++i) {
+    for (vertex_t leg = 0; leg < legs; ++leg) {
+      edges.push_back({i, static_cast<vertex_t>(spine + i * legs + leg)});
+    }
+  }
+  return from_edges(n, edges);
+}
+
+CsrGraph random_matching_union(vertex_t n, unsigned degree,
+                               std::uint64_t seed) {
+  MPX_EXPECTS(n >= 2 && n % 2 == 0);
+  MPX_EXPECTS(degree >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) / 2 * degree);
+  for (unsigned round = 0; round < degree; ++round) {
+    const std::vector<std::uint32_t> perm =
+        random_permutation(n, hash_stream(seed, round));
+    for (vertex_t i = 0; i < n; i += 2) {
+      edges.push_back({perm[i], perm[i + 1]});
+    }
+  }
+  return from_edges(n, edges);
+}
+
+CsrGraph watts_strogatz(vertex_t n, unsigned k, double p,
+                        std::uint64_t seed) {
+  MPX_EXPECTS(n >= 3);
+  MPX_EXPECTS(k >= 2 && k % 2 == 0 && k < n);
+  MPX_EXPECTS(p >= 0.0 && p <= 1.0);
+  Xoshiro256pp rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * k / 2);
+  for (vertex_t u = 0; u < n; ++u) {
+    for (unsigned hop = 1; hop <= k / 2; ++hop) {
+      vertex_t v = static_cast<vertex_t>((u + hop) % n);
+      if (rng.next_double() < p) {
+        // Rewire to a uniform non-self target; duplicates are collapsed by
+        // the builder, matching the standard construction's tolerance.
+        vertex_t w = static_cast<vertex_t>(rng.next_below(n));
+        if (w != u) v = w;
+      }
+      if (u != v) edges.push_back({u, v});
+    }
+  }
+  return from_edges(n, edges);
+}
+
+CsrGraph random_geometric(vertex_t n, double radius, std::uint64_t seed) {
+  MPX_EXPECTS(n >= 1);
+  MPX_EXPECTS(radius > 0.0 && radius <= 1.5);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (vertex_t v = 0; v < n; ++v) {
+    x[v] = uniform_double(hash_stream(seed, 2 * static_cast<std::uint64_t>(v)));
+    y[v] = uniform_double(
+        hash_stream(seed, 2 * static_cast<std::uint64_t>(v) + 1));
+  }
+  // Uniform grid of cells with side `radius`: only neighboring cells can
+  // contain edge partners, so the scan is O(n) for constant density.
+  const std::size_t cells =
+      std::max<std::size_t>(1, static_cast<std::size_t>(1.0 / radius));
+  const auto cell_of = [&](vertex_t v) {
+    const std::size_t cx = std::min(
+        cells - 1, static_cast<std::size_t>(x[v] * static_cast<double>(cells)));
+    const std::size_t cy = std::min(
+        cells - 1, static_cast<std::size_t>(y[v] * static_cast<double>(cells)));
+    return cy * cells + cx;
+  };
+  std::vector<std::vector<vertex_t>> buckets(cells * cells);
+  for (vertex_t v = 0; v < n; ++v) buckets[cell_of(v)].push_back(v);
+
+  const double r2 = radius * radius;
+  std::vector<Edge> edges;
+  for (std::size_t cy = 0; cy < cells; ++cy) {
+    for (std::size_t cx = 0; cx < cells; ++cx) {
+      for (const vertex_t u : buckets[cy * cells + cx]) {
+        // Scan the 3x3 cell neighborhood; the v > u guard keeps each pair
+        // once even though both endpoints run the scan.
+        const std::size_t y_lo = cy == 0 ? 0 : cy - 1;
+        const std::size_t y_hi = std::min(cells - 1, cy + 1);
+        const std::size_t x_lo = cx == 0 ? 0 : cx - 1;
+        const std::size_t x_hi = std::min(cells - 1, cx + 1);
+        for (std::size_t ny = y_lo; ny <= y_hi; ++ny) {
+          for (std::size_t nx = x_lo; nx <= x_hi; ++nx) {
+            for (const vertex_t v : buckets[ny * cells + nx]) {
+              if (v <= u) continue;
+              const double dx = x[u] - x[v];
+              const double dyv = y[u] - y[v];
+              if (dx * dx + dyv * dyv <= r2) edges.push_back({u, v});
+            }
+          }
+        }
+      }
+    }
+  }
+  return from_edges(n, edges);
+}
+
+CsrGraph grid2d_diag(vertex_t rows, vertex_t cols) {
+  MPX_EXPECTS(rows >= 1 && cols >= 1);
+  const auto id = [cols](vertex_t r, vertex_t c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(rows) * cols * 4);
+  for (vertex_t r = 0; r < rows; ++r) {
+    for (vertex_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+      if (r + 1 < rows && c + 1 < cols) {
+        edges.push_back({id(r, c), id(r + 1, c + 1)});
+      }
+      if (r + 1 < rows && c >= 1) {
+        edges.push_back({id(r, c), id(r + 1, c - 1)});
+      }
+    }
+  }
+  return from_edges(rows * cols, edges);
+}
+
+CsrGraph disjoint_copies(const CsrGraph& g, vertex_t parts) {
+  MPX_EXPECTS(parts >= 1);
+  const vertex_t n = g.num_vertices();
+  const std::vector<Edge> base = edge_list(g);
+  std::vector<Edge> edges;
+  edges.reserve(base.size() * parts);
+  for (vertex_t p = 0; p < parts; ++p) {
+    const vertex_t off = p * n;
+    for (const Edge& e : base) {
+      edges.push_back({static_cast<vertex_t>(e.u + off),
+                       static_cast<vertex_t>(e.v + off)});
+    }
+  }
+  return from_edges(n * parts, edges);
+}
+
+}  // namespace mpx::generators

@@ -1,0 +1,90 @@
+// Graph family generators used throughout tests and benches.
+//
+// Families are chosen to stress the decomposition from every direction the
+// paper calls out: the line graph / path (maximum piece count, Section 3),
+// the complete graph (a single piece must swallow everything, Section 3),
+// bounded-degree meshes (Figure 1), expanders and power-law graphs
+// (small-diameter, skewed degrees), and trees (already optimally
+// decomposable).
+//
+// All generators are deterministic: random families take an explicit seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+
+namespace mpx::generators {
+
+/// Path v0 - v1 - ... - v_{n-1} (the "line graph" worst case of Section 3).
+[[nodiscard]] CsrGraph path(vertex_t n);
+
+/// Cycle on n >= 3 vertices.
+[[nodiscard]] CsrGraph cycle(vertex_t n);
+
+/// Complete graph K_n.
+[[nodiscard]] CsrGraph complete(vertex_t n);
+
+/// Star: vertex 0 adjacent to 1..n-1.
+[[nodiscard]] CsrGraph star(vertex_t n);
+
+/// rows x cols 4-neighbor mesh; vertex (r, c) has id r*cols + c.
+/// `wrap` turns it into a torus. Figure 1 uses grid2d(1000, 1000).
+[[nodiscard]] CsrGraph grid2d(vertex_t rows, vertex_t cols, bool wrap = false);
+
+/// 6-neighbor 3-D mesh (x by y by z), optionally toroidal.
+[[nodiscard]] CsrGraph grid3d(vertex_t nx, vertex_t ny, vertex_t nz,
+                              bool wrap = false);
+
+/// Complete binary tree on n vertices (heap indexing: children 2i+1, 2i+2).
+[[nodiscard]] CsrGraph complete_binary_tree(vertex_t n);
+
+/// d-dimensional hypercube: 2^d vertices, neighbors differ in one bit.
+[[nodiscard]] CsrGraph hypercube(unsigned dim);
+
+/// Erdős–Rényi G(n, m): m distinct uniform non-loop edges.
+/// Requires m <= n*(n-1)/2.
+[[nodiscard]] CsrGraph erdos_renyi(vertex_t n, edge_t m, std::uint64_t seed);
+
+/// RMAT power-law generator (Chakrabarti et al.): 2^scale vertices,
+/// approximately edge_factor * 2^scale distinct edges, quadrant
+/// probabilities (a, b, c; d = 1-a-b-c). Duplicates and self-loops are
+/// dropped, so the realized edge count is slightly smaller.
+[[nodiscard]] CsrGraph rmat(unsigned scale, double edge_factor,
+                            std::uint64_t seed, double a = 0.57,
+                            double b = 0.19, double c = 0.19);
+
+/// Two cliques K_k bridged by a single edge — small conductance bottleneck.
+[[nodiscard]] CsrGraph barbell(vertex_t k);
+
+/// Caterpillar: spine path of `spine` vertices, `legs` leaves per spine
+/// vertex.
+[[nodiscard]] CsrGraph caterpillar(vertex_t spine, vertex_t legs);
+
+/// Union of `degree` random perfect matchings on n vertices (n even):
+/// a cheap bounded-degree expander-like family. Realized degrees can be
+/// slightly below `degree` where matchings collide.
+[[nodiscard]] CsrGraph random_matching_union(vertex_t n, unsigned degree,
+                                             std::uint64_t seed);
+
+/// Disjoint union of `parts` copies of `g` (no inter-copy edges) — used to
+/// exercise disconnected-input handling.
+[[nodiscard]] CsrGraph disjoint_copies(const CsrGraph& g, vertex_t parts);
+
+/// Watts–Strogatz small world: ring of n vertices each wired to its k
+/// nearest neighbors (k even), every arc rewired with probability p.
+/// Interpolates between the high-diameter cycle (p = 0) and a random
+/// graph (p = 1).
+[[nodiscard]] CsrGraph watts_strogatz(vertex_t n, unsigned k, double p,
+                                      std::uint64_t seed);
+
+/// Random geometric graph: n points uniform in the unit square, edge when
+/// the Euclidean distance is below `radius`. Mesh-like with irregular
+/// degrees — a noisy cousin of the Figure 1 grid.
+[[nodiscard]] CsrGraph random_geometric(vertex_t n, double radius,
+                                        std::uint64_t seed);
+
+/// rows x cols 8-neighbor ("king move") mesh.
+[[nodiscard]] CsrGraph grid2d_diag(vertex_t rows, vertex_t cols);
+
+}  // namespace mpx::generators

@@ -1,0 +1,110 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+
+namespace mpx::io {
+namespace {
+
+/// Skip comments and return the next content line; false at EOF.
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') return true;
+  }
+  return false;
+}
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("mpx::io: malformed edge list: " + what);
+}
+
+}  // namespace
+
+void write_edge_list(std::ostream& out, const CsrGraph& g) {
+  out << "# mpx edge list (unweighted)\n";
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    for (const vertex_t v : g.neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+}
+
+void write_edge_list(std::ostream& out, const WeightedCsrGraph& g) {
+  out << "# mpx edge list (weighted)\n";
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.arc_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (u < nbrs[i]) out << u << ' ' << nbrs[i] << ' ' << ws[i] << '\n';
+    }
+  }
+}
+
+CsrGraph read_edge_list(std::istream& in) {
+  std::string line;
+  if (!next_content_line(in, line)) malformed("missing header");
+  std::istringstream header(line);
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  if (!(header >> n >> m)) malformed("bad header: " + line);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    if (!next_content_line(in, line)) malformed("unexpected EOF");
+    std::istringstream row(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(row >> u >> v)) malformed("bad edge: " + line);
+    if (u >= n || v >= n) malformed("endpoint out of range: " + line);
+    edges.push_back({static_cast<vertex_t>(u), static_cast<vertex_t>(v)});
+  }
+  return build_undirected(static_cast<vertex_t>(n),
+                          std::span<const Edge>(edges));
+}
+
+WeightedCsrGraph read_weighted_edge_list(std::istream& in) {
+  std::string line;
+  if (!next_content_line(in, line)) malformed("missing header");
+  std::istringstream header(line);
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  if (!(header >> n >> m)) malformed("bad header: " + line);
+  std::vector<WeightedEdge> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    if (!next_content_line(in, line)) malformed("unexpected EOF");
+    std::istringstream row(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    double w = 0.0;
+    if (!(row >> u >> v >> w)) malformed("bad weighted edge: " + line);
+    if (u >= n || v >= n) malformed("endpoint out of range: " + line);
+    if (!(w > 0.0)) malformed("non-positive weight: " + line);
+    edges.push_back({static_cast<vertex_t>(u), static_cast<vertex_t>(v), w});
+  }
+  return build_undirected_weighted(static_cast<vertex_t>(n),
+                                   std::span<const WeightedEdge>(edges));
+}
+
+void save_edge_list(const std::string& file_path, const CsrGraph& g) {
+  std::ofstream out(file_path);
+  if (!out) throw std::runtime_error("mpx::io: cannot open " + file_path);
+  write_edge_list(out, g);
+}
+
+CsrGraph load_edge_list(const std::string& file_path) {
+  std::ifstream in(file_path);
+  if (!in) throw std::runtime_error("mpx::io: cannot open " + file_path);
+  return read_edge_list(in);
+}
+
+}  // namespace mpx::io

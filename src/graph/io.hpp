@@ -1,0 +1,30 @@
+// Plain-text edge-list I/O.
+//
+// Format: '#'-prefixed comment lines, then a header line "n m", then m
+// lines "u v" (or "u v w" for weighted graphs) with 0-based endpoints.
+// Round-trips through the builder, so files with duplicates/self-loops load
+// into canonical form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace mpx::io {
+
+/// Write g as an edge list (one line per undirected edge, u < v).
+void write_edge_list(std::ostream& out, const CsrGraph& g);
+void write_edge_list(std::ostream& out, const WeightedCsrGraph& g);
+
+/// Parse an edge list written by `write_edge_list` (or hand-authored in the
+/// same format). Throws std::runtime_error on malformed input.
+[[nodiscard]] CsrGraph read_edge_list(std::istream& in);
+[[nodiscard]] WeightedCsrGraph read_weighted_edge_list(std::istream& in);
+
+/// File-path conveniences. Throw std::runtime_error if the file cannot be
+/// opened.
+void save_edge_list(const std::string& file_path, const CsrGraph& g);
+[[nodiscard]] CsrGraph load_edge_list(const std::string& file_path);
+
+}  // namespace mpx::io

@@ -1,0 +1,60 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+
+#include "bfs/sequential_bfs.hpp"
+#include "parallel/reduce.hpp"
+#include "support/assert.hpp"
+
+namespace mpx {
+
+DegreeStats degree_stats(const CsrGraph& g) {
+  const vertex_t n = g.num_vertices();
+  DegreeStats s;
+  if (n == 0) return s;
+  s.min_degree = parallel_min(vertex_t{0}, n, kInvalidVertex,
+                              [&](vertex_t v) { return g.degree(v); });
+  s.max_degree = parallel_max(vertex_t{0}, n, vertex_t{0},
+                              [&](vertex_t v) { return g.degree(v); });
+  s.mean_degree =
+      static_cast<double>(g.num_arcs()) / static_cast<double>(n);
+  s.isolated_vertices = static_cast<vertex_t>(parallel_count_if(
+      vertex_t{0}, n, [&](vertex_t v) { return g.degree(v) == 0; }));
+  return s;
+}
+
+std::uint32_t eccentricity(const CsrGraph& g, vertex_t v) {
+  MPX_EXPECTS(v < g.num_vertices());
+  const std::vector<std::uint32_t> dist = bfs_distances(g, v);
+  std::uint32_t ecc = 0;
+  for (const std::uint32_t d : dist) {
+    if (d != kInfDist) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t exact_diameter(const CsrGraph& g) {
+  const vertex_t n = g.num_vertices();
+  if (n <= 1) return 0;
+  return parallel_max(vertex_t{0}, n, std::uint32_t{0},
+                      [&](vertex_t v) { return eccentricity(g, v); });
+}
+
+std::uint32_t two_sweep_diameter_lower_bound(const CsrGraph& g,
+                                             vertex_t start) {
+  const vertex_t n = g.num_vertices();
+  if (n <= 1) return 0;
+  MPX_EXPECTS(start < n);
+  const std::vector<std::uint32_t> first = bfs_distances(g, start);
+  vertex_t far = start;
+  std::uint32_t far_dist = 0;
+  for (vertex_t v = 0; v < n; ++v) {
+    if (first[v] != kInfDist && first[v] > far_dist) {
+      far_dist = first[v];
+      far = v;
+    }
+  }
+  return eccentricity(g, far);
+}
+
+}  // namespace mpx

@@ -1,0 +1,34 @@
+// Whole-graph statistics: degree summaries, eccentricities and diameters.
+// Exact diameter is all-pairs BFS and reserved for the small graphs the
+// tests use; benches use the standard two-sweep lower bound.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "support/types.hpp"
+
+namespace mpx {
+
+struct DegreeStats {
+  vertex_t min_degree = 0;
+  vertex_t max_degree = 0;
+  double mean_degree = 0.0;
+  vertex_t isolated_vertices = 0;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const CsrGraph& g);
+
+/// Eccentricity of v: max BFS distance from v to any reachable vertex.
+[[nodiscard]] std::uint32_t eccentricity(const CsrGraph& g, vertex_t v);
+
+/// Exact diameter of the (connected) graph via all-pairs BFS. O(n m) —
+/// small graphs only. Returns 0 for n <= 1.
+[[nodiscard]] std::uint32_t exact_diameter(const CsrGraph& g);
+
+/// Two-sweep diameter lower bound: BFS from `start`, then BFS from the
+/// farthest vertex found. Exact on trees.
+[[nodiscard]] std::uint32_t two_sweep_diameter_lower_bound(const CsrGraph& g,
+                                                           vertex_t start = 0);
+
+}  // namespace mpx

@@ -1,0 +1,63 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "support/assert.hpp"
+
+namespace mpx {
+
+Subgraph induced_subgraph(const CsrGraph& g,
+                          std::span<const vertex_t> vertices) {
+  Subgraph sub;
+  sub.to_host.assign(vertices.begin(), vertices.end());
+  std::sort(sub.to_host.begin(), sub.to_host.end());
+  MPX_EXPECTS(std::adjacent_find(sub.to_host.begin(), sub.to_host.end()) ==
+              sub.to_host.end());
+
+  // Host -> local mapping via binary search keeps memory proportional to
+  // the subgraph, not the host graph (clusters are typically small).
+  const auto local_of = [&](vertex_t host) -> vertex_t {
+    const auto it =
+        std::lower_bound(sub.to_host.begin(), sub.to_host.end(), host);
+    if (it == sub.to_host.end() || *it != host) return kInvalidVertex;
+    return static_cast<vertex_t>(it - sub.to_host.begin());
+  };
+
+  std::vector<Edge> edges;
+  for (vertex_t local = 0; local < sub.to_host.size(); ++local) {
+    const vertex_t host = sub.to_host[local];
+    MPX_EXPECTS(host < g.num_vertices());
+    for (const vertex_t nbr : g.neighbors(host)) {
+      if (nbr <= host) continue;  // count each undirected edge once
+      const vertex_t nbr_local = local_of(nbr);
+      if (nbr_local != kInvalidVertex) edges.push_back({local, nbr_local});
+    }
+  }
+  sub.graph = build_undirected(static_cast<vertex_t>(sub.to_host.size()),
+                               std::span<const Edge>(edges));
+  return sub;
+}
+
+Subgraph extract_cluster(const CsrGraph& g,
+                         std::span<const cluster_t> assignment,
+                         cluster_t cluster) {
+  MPX_EXPECTS(assignment.size() == g.num_vertices());
+  std::vector<vertex_t> members;
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    if (assignment[v] == cluster) members.push_back(v);
+  }
+  return induced_subgraph(g, members);
+}
+
+std::vector<std::vector<vertex_t>> cluster_members(
+    std::span<const cluster_t> assignment, cluster_t num_clusters) {
+  std::vector<std::vector<vertex_t>> members(num_clusters);
+  for (std::size_t v = 0; v < assignment.size(); ++v) {
+    MPX_EXPECTS(assignment[v] < num_clusters);
+    members[assignment[v]].push_back(static_cast<vertex_t>(v));
+  }
+  return members;
+}
+
+}  // namespace mpx

@@ -1,0 +1,76 @@
+// Umbrella header: the full public API of the mpx library.
+//
+// mpx implements "Parallel Graph Decompositions Using Random Shifts"
+// (Miller, Peng, Xu — SPAA 2013): a one-shot parallel algorithm computing
+// (beta, O(log n / beta)) strong-diameter decompositions of undirected
+// unweighted graphs in O(m) work, plus the substrates it builds on and the
+// applications it feeds.
+//
+// Typical use:
+//   #include "mpx/mpx.hpp"
+//   mpx::CsrGraph g = mpx::generators::grid2d(1000, 1000);
+//   mpx::PartitionOptions opt{.beta = 0.01, .seed = 42};
+//   mpx::Decomposition dec = mpx::partition(g, opt);
+//   mpx::DecompositionStats stats = mpx::analyze(dec, g);
+#pragma once
+
+// Support (S1)
+#include "support/assert.hpp"
+#include "support/random.hpp"
+#include "support/timer.hpp"
+#include "support/types.hpp"
+
+// Parallel primitives (S2)
+#include "parallel/atomics.hpp"
+#include "parallel/pack.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/scan.hpp"
+#include "parallel/sort.hpp"
+#include "parallel/thread_env.hpp"
+
+// Graphs (S3)
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "graph/subgraph.hpp"
+
+// BFS engines (S4)
+#include "bfs/multi_source_bfs.hpp"
+#include "bfs/parallel_bfs.hpp"
+#include "bfs/sequential_bfs.hpp"
+
+// The MPX partition (S5)
+#include "core/bucketed_partition.hpp"
+#include "core/decomposition.hpp"
+#include "core/decomposition_io.hpp"
+#include "core/exact_partition.hpp"
+#include "core/metrics.hpp"
+#include "core/options.hpp"
+#include "core/partition.hpp"
+#include "core/shifts.hpp"
+#include "core/verify.hpp"
+#include "core/weighted_partition.hpp"
+
+// Baselines (S6, S7)
+#include "baselines/ball_growing.hpp"
+#include "baselines/bgkmpt.hpp"
+
+// Applications (S8)
+#include "apps/block_decomposition.hpp"
+#include "apps/conductance.hpp"
+#include "apps/distance_oracle.hpp"
+#include "apps/contraction.hpp"
+#include "apps/laplacian.hpp"
+#include "apps/low_stretch_tree.hpp"
+#include "apps/solver.hpp"
+#include "apps/spanner.hpp"
+#include "apps/tree_embedding.hpp"
+
+// Visualization (S9)
+#include "viz/grid_render.hpp"
+#include "viz/palette.hpp"
+#include "viz/ppm.hpp"

@@ -1,0 +1,71 @@
+// Lock-free helpers over plain arrays via std::atomic_ref (C++20).
+// All cross-thread races in the library go through these functions; no
+// other code touches shared mutable state concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace mpx {
+
+/// Atomically target = min(target, value). Returns true iff this call
+/// strictly lowered the stored value ("this thread won").
+template <typename T>
+bool atomic_fetch_min(T& target, T value) noexcept {
+  std::atomic_ref<T> ref(target);
+  T current = ref.load(std::memory_order_relaxed);
+  while (value < current) {
+    if (ref.compare_exchange_weak(current, value, std::memory_order_acq_rel,
+                                  std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Atomically target = max(target, value). Returns true iff lowered^W raised.
+template <typename T>
+bool atomic_fetch_max(T& target, T value) noexcept {
+  std::atomic_ref<T> ref(target);
+  T current = ref.load(std::memory_order_relaxed);
+  while (value > current) {
+    if (ref.compare_exchange_weak(current, value, std::memory_order_acq_rel,
+                                  std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Atomic compare-and-swap from `expected` to `desired`; true on success.
+/// Used to claim unvisited vertices exactly once per BFS round.
+template <typename T>
+bool atomic_claim(T& target, T expected, T desired) noexcept {
+  std::atomic_ref<T> ref(target);
+  return ref.compare_exchange_strong(expected, desired,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_relaxed);
+}
+
+/// Atomic post-increment; returns the previous value.
+template <typename T>
+T atomic_fetch_add(T& target, T delta) noexcept {
+  std::atomic_ref<T> ref(target);
+  return ref.fetch_add(delta, std::memory_order_relaxed);
+}
+
+/// Relaxed atomic load of a possibly-racing cell.
+template <typename T>
+T atomic_load(const T& target) noexcept {
+  std::atomic_ref<const T> ref(target);
+  return ref.load(std::memory_order_relaxed);
+}
+
+/// Relaxed atomic store.
+template <typename T>
+void atomic_store(T& target, T value) noexcept {
+  std::atomic_ref<T> ref(target);
+  ref.store(value, std::memory_order_relaxed);
+}
+
+}  // namespace mpx

@@ -1,0 +1,54 @@
+// Parallel filter/pack built on the scan primitive: collect the indices (or
+// mapped values) of elements satisfying a predicate, preserving order.
+// This is how BFS frontiers are compacted each round.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/scan.hpp"
+
+namespace mpx {
+
+/// Indices i in [0, n) with pred(i), in increasing order.
+template <typename Index, typename Pred>
+[[nodiscard]] std::vector<Index> pack_indices(Index n, Pred&& pred) {
+  std::vector<std::uint64_t> flags(static_cast<std::size_t>(n));
+  parallel_for(Index{0}, n, [&](Index i) {
+    flags[static_cast<std::size_t>(i)] = pred(i) ? 1u : 0u;
+  });
+  const std::uint64_t total =
+      exclusive_scan_inplace(std::span<std::uint64_t>(flags));
+  std::vector<Index> out(static_cast<std::size_t>(total));
+  parallel_for(Index{0}, n, [&](Index i) {
+    const std::size_t slot = static_cast<std::size_t>(i);
+    const bool kept = (slot + 1 < flags.size()) ? flags[slot + 1] != flags[slot]
+                                                : total != flags[slot];
+    if (kept) out[static_cast<std::size_t>(flags[slot])] = i;
+  });
+  return out;
+}
+
+/// Values f(i) for indices i in [0, n) with pred(i), in index order.
+template <typename T, typename Index, typename Pred, typename Map>
+[[nodiscard]] std::vector<T> pack_map(Index n, Pred&& pred, Map&& f) {
+  std::vector<std::uint64_t> flags(static_cast<std::size_t>(n));
+  parallel_for(Index{0}, n, [&](Index i) {
+    flags[static_cast<std::size_t>(i)] = pred(i) ? 1u : 0u;
+  });
+  const std::uint64_t total =
+      exclusive_scan_inplace(std::span<std::uint64_t>(flags));
+  std::vector<T> out(static_cast<std::size_t>(total));
+  parallel_for(Index{0}, n, [&](Index i) {
+    const std::size_t slot = static_cast<std::size_t>(i);
+    const bool kept = (slot + 1 < flags.size()) ? flags[slot + 1] != flags[slot]
+                                                : total != flags[slot];
+    if (kept) out[static_cast<std::size_t>(flags[slot])] = f(i);
+  });
+  return out;
+}
+
+}  // namespace mpx

@@ -1,0 +1,61 @@
+// parallel_for: the basic data-parallel loop, expressed once so every
+// subsystem shares the same grain-size policy and stays serial below a
+// threshold where forking costs more than the loop body.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace mpx {
+
+/// Below this trip count the loop runs serially; OpenMP fork/join overhead
+/// (~microseconds) dwarfs tiny loops.
+inline constexpr std::size_t kSerialGrain = 2048;
+
+/// Apply `f(i)` for every i in [begin, end), in parallel.
+/// `f` must be safe to invoke concurrently for distinct i.
+template <typename Index, typename Func>
+void parallel_for(Index begin, Index end, Func&& f) {
+  if (begin >= end) return;
+  const std::size_t trip = static_cast<std::size_t>(end - begin);
+  if (trip < kSerialGrain) {
+    for (Index i = begin; i < end; ++i) f(i);
+    return;
+  }
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = static_cast<std::int64_t>(begin);
+       i < static_cast<std::int64_t>(end); ++i) {
+    f(static_cast<Index>(i));
+  }
+#else
+  for (Index i = begin; i < end; ++i) f(i);
+#endif
+}
+
+/// Dynamic-schedule variant for irregular per-iteration work
+/// (e.g. per-vertex neighbor scans with skewed degrees).
+template <typename Index, typename Func>
+void parallel_for_dynamic(Index begin, Index end, Func&& f) {
+  if (begin >= end) return;
+  const std::size_t trip = static_cast<std::size_t>(end - begin);
+  if (trip < kSerialGrain) {
+    for (Index i = begin; i < end; ++i) f(i);
+    return;
+  }
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(dynamic, 256)
+  for (std::int64_t i = static_cast<std::int64_t>(begin);
+       i < static_cast<std::int64_t>(end); ++i) {
+    f(static_cast<Index>(i));
+  }
+#else
+  for (Index i = begin; i < end; ++i) f(i);
+#endif
+}
+
+}  // namespace mpx

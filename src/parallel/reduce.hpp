@@ -1,0 +1,75 @@
+// Parallel reductions over index ranges: general combine, plus the common
+// sum / max / min / count_if shapes used across the library.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "parallel/parallel_for.hpp"
+
+namespace mpx {
+
+/// reduce_{i in [begin,end)} combine(acc, f(i)) starting from `identity`.
+/// `combine` must be associative and commutative.
+template <typename T, typename Index, typename Map, typename Combine>
+[[nodiscard]] T parallel_reduce(Index begin, Index end, T identity, Map&& f,
+                                Combine&& combine) {
+  if (begin >= end) return identity;
+  const std::size_t trip = static_cast<std::size_t>(end - begin);
+  if (trip < kSerialGrain) {
+    T acc = identity;
+    for (Index i = begin; i < end; ++i) acc = combine(acc, f(i));
+    return acc;
+  }
+#if defined(_OPENMP)
+  T result = identity;
+#pragma omp parallel
+  {
+    T local = identity;
+#pragma omp for schedule(static) nowait
+    for (std::int64_t i = static_cast<std::int64_t>(begin);
+         i < static_cast<std::int64_t>(end); ++i) {
+      local = combine(local, f(static_cast<Index>(i)));
+    }
+#pragma omp critical(mpx_reduce)
+    result = combine(result, local);
+  }
+  return result;
+#else
+  T acc = identity;
+  for (Index i = begin; i < end; ++i) acc = combine(acc, f(i));
+  return acc;
+#endif
+}
+
+/// Sum of f(i) over [begin, end).
+template <typename T, typename Index, typename Map>
+[[nodiscard]] T parallel_sum(Index begin, Index end, Map&& f) {
+  return parallel_reduce<T>(begin, end, T{}, f,
+                            [](T a, T b) { return a + b; });
+}
+
+/// Maximum of f(i) over [begin, end); returns `identity` on empty range.
+template <typename T, typename Index, typename Map>
+[[nodiscard]] T parallel_max(Index begin, Index end, T identity, Map&& f) {
+  return parallel_reduce<T>(begin, end, identity, f,
+                            [](T a, T b) { return a > b ? a : b; });
+}
+
+/// Minimum of f(i) over [begin, end); returns `identity` on empty range.
+template <typename T, typename Index, typename Map>
+[[nodiscard]] T parallel_min(Index begin, Index end, T identity, Map&& f) {
+  return parallel_reduce<T>(begin, end, identity, f,
+                            [](T a, T b) { return a < b ? a : b; });
+}
+
+/// Number of i in [begin, end) for which pred(i) holds.
+template <typename Index, typename Pred>
+[[nodiscard]] std::size_t parallel_count_if(Index begin, Index end,
+                                            Pred&& pred) {
+  return parallel_sum<std::size_t>(
+      begin, end, [&](Index i) { return pred(i) ? std::size_t{1} : 0; });
+}
+
+}  // namespace mpx

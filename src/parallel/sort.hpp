@@ -1,0 +1,72 @@
+// Parallel sort: blocked std::sort followed by a logarithmic number of
+// pairwise parallel merges. Work O(n log n), depth O((n/p) log n).
+// Sufficient for the permutation and CSR-building workloads here; swap in a
+// sample sort if profiles ever show the merge tree as a bottleneck.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace mpx {
+
+/// Sort `data` in place with comparator `cmp` using all available threads.
+template <typename T, typename Compare = std::less<T>>
+void parallel_sort(std::span<T> data, Compare cmp = Compare{}) {
+  const std::size_t n = data.size();
+  if (n < 2 * kSerialGrain) {
+    std::sort(data.begin(), data.end(), cmp);
+    return;
+  }
+#if defined(_OPENMP)
+  const std::size_t threads = static_cast<std::size_t>(omp_get_max_threads());
+  // Round block count up to a power of two so the merge tree is balanced.
+  std::size_t num_blocks = 1;
+  while (num_blocks < 2 * threads) num_blocks <<= 1;
+  const std::size_t block = (n + num_blocks - 1) / num_blocks;
+
+  std::vector<std::size_t> bounds;
+  bounds.reserve(num_blocks + 1);
+  for (std::size_t b = 0; b * block < n; ++b) bounds.push_back(b * block);
+  bounds.push_back(n);
+  const std::size_t actual_blocks = bounds.size() - 1;
+
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::int64_t b = 0; b < static_cast<std::int64_t>(actual_blocks); ++b) {
+    const auto lo = bounds[static_cast<std::size_t>(b)];
+    const auto hi = bounds[static_cast<std::size_t>(b) + 1];
+    std::sort(data.begin() + static_cast<std::ptrdiff_t>(lo),
+              data.begin() + static_cast<std::ptrdiff_t>(hi), cmp);
+  }
+
+  for (std::size_t width = 1; width < actual_blocks; width *= 2) {
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::int64_t b = 0; b < static_cast<std::int64_t>(actual_blocks);
+         b += static_cast<std::int64_t>(2 * width)) {
+      const std::size_t lo = bounds[static_cast<std::size_t>(b)];
+      const std::size_t mid_idx = static_cast<std::size_t>(b) + width;
+      if (mid_idx >= actual_blocks) continue;
+      const std::size_t mid = bounds[mid_idx];
+      const std::size_t hi_idx =
+          std::min(static_cast<std::size_t>(b) + 2 * width, actual_blocks);
+      const std::size_t hi = bounds[hi_idx];
+      std::inplace_merge(data.begin() + static_cast<std::ptrdiff_t>(lo),
+                         data.begin() + static_cast<std::ptrdiff_t>(mid),
+                         data.begin() + static_cast<std::ptrdiff_t>(hi), cmp);
+    }
+  }
+#else
+  std::sort(data.begin(), data.end(), cmp);
+#endif
+}
+
+}  // namespace mpx

@@ -1,0 +1,48 @@
+#include "parallel/thread_env.hpp"
+
+#include "support/assert.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace mpx {
+
+int num_threads() {
+#if defined(_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+int max_threads() {
+#if defined(_OPENMP)
+  return omp_get_num_procs();
+#else
+  return 1;
+#endif
+}
+
+bool in_parallel() {
+#if defined(_OPENMP)
+  return omp_in_parallel() != 0;
+#else
+  return false;
+#endif
+}
+
+ScopedNumThreads::ScopedNumThreads(int threads) : saved_(num_threads()) {
+  MPX_EXPECTS(threads >= 1);
+#if defined(_OPENMP)
+  omp_set_num_threads(threads);
+#endif
+}
+
+ScopedNumThreads::~ScopedNumThreads() {
+#if defined(_OPENMP)
+  omp_set_num_threads(saved_);
+#endif
+}
+
+}  // namespace mpx

@@ -1,0 +1,30 @@
+// Thread-environment helpers: query and scope the OpenMP thread count.
+#pragma once
+
+namespace mpx {
+
+/// Number of threads an upcoming parallel region will use.
+[[nodiscard]] int num_threads();
+
+/// Hardware/OMP maximum thread count available to this process.
+[[nodiscard]] int max_threads();
+
+/// True when called from inside an active parallel region.
+[[nodiscard]] bool in_parallel();
+
+/// RAII guard that sets the global OpenMP thread count for its lifetime and
+/// restores the previous value on destruction. Used by the thread-scaling
+/// benches (experiment E8).
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int threads);
+  ~ScopedNumThreads();
+
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace mpx

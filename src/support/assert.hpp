@@ -1,0 +1,40 @@
+// Contract macros in the style of the C++ Core Guidelines (I.6 / I.8):
+// MPX_EXPECTS for preconditions, MPX_ENSURES for postconditions and
+// MPX_ASSERT for internal invariants. All three abort with a readable
+// message; they stay active in Release builds unless MPX_NO_CONTRACTS is
+// defined, because the library's correctness arguments (Lemma 4.1 closure,
+// partition coverage) are cheap relative to the BFS work they guard.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mpx::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "mpx: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace mpx::detail
+
+#if defined(MPX_NO_CONTRACTS)
+#define MPX_EXPECTS(cond) ((void)0)
+#define MPX_ENSURES(cond) ((void)0)
+#define MPX_ASSERT(cond) ((void)0)
+#else
+#define MPX_EXPECTS(cond)                                                  \
+  ((cond) ? (void)0                                                        \
+          : ::mpx::detail::contract_failure("precondition", #cond,         \
+                                            __FILE__, __LINE__))
+#define MPX_ENSURES(cond)                                                  \
+  ((cond) ? (void)0                                                        \
+          : ::mpx::detail::contract_failure("postcondition", #cond,        \
+                                            __FILE__, __LINE__))
+#define MPX_ASSERT(cond)                                                   \
+  ((cond) ? (void)0                                                        \
+          : ::mpx::detail::contract_failure("invariant", #cond, __FILE__,  \
+                                            __LINE__))
+#endif

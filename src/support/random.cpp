@@ -1,0 +1,65 @@
+#include "support/random.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace mpx {
+
+double exponential_from_uniform(double u, double rate) {
+  MPX_EXPECTS(rate > 0.0);
+  MPX_EXPECTS(u >= 0.0 && u < 1.0);
+  // -log1p(-u) is -ln(1-u) evaluated stably near u = 0.
+  return -std::log1p(-u) / rate;
+}
+
+double exponential_shift(std::uint64_t seed, std::uint64_t v, double rate) {
+  return exponential_from_uniform(uniform_double(hash_stream(seed, v)), rate);
+}
+
+std::uint64_t Xoshiro256pp::next_below(std::uint64_t bound) noexcept {
+  // Lemire's multiply-shift with rejection to remove modulo bias.
+  if (bound == 0) return 0;
+  while (true) {
+    const std::uint64_t x = (*this)();
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= bound || low >= (-bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::vector<std::uint32_t> random_permutation(std::size_t n,
+                                              std::uint64_t seed) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  Xoshiro256pp rng(seed);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<std::uint32_t> parallel_random_permutation(std::size_t n,
+                                                       std::uint64_t seed) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  // Sorting by a counter-based key is schedule-independent by construction;
+  // the (key, index) pair makes the order total even on 64-bit collisions.
+  std::sort(perm.begin(), perm.end(),
+            [seed](std::uint32_t a, std::uint32_t b) {
+              const std::uint64_t ka = hash_stream(seed, a);
+              const std::uint64_t kb = hash_stream(seed, b);
+              return ka != kb ? ka < kb : a < b;
+            });
+  return perm;
+}
+
+}  // namespace mpx

@@ -1,0 +1,120 @@
+// Determinism and randomness substrate (system S1 in DESIGN.md).
+//
+// Two kinds of randomness are provided:
+//
+//  1. Counter-based, stateless streams keyed by (seed, counter) via the
+//     SplitMix64 finalizer. These are the backbone of every parallel random
+//     decision in the library: the shift of vertex v depends only on
+//     (seed, v), never on which thread produced it or in what order, so all
+//     parallel algorithms are bitwise reproducible across thread counts and
+//     schedules.
+//  2. A sequential Xoshiro256++ engine satisfying UniformRandomBitGenerator
+//     for callers that want a classic stateful generator (e.g. graph
+//     generators that are sequential anyway).
+//
+// On top of these: uniform doubles in [0,1), exponential variates via the
+// inverse CDF (the Exp(beta) shifts of the paper, Section 3), and random
+// permutations (the Section 5 tie-breaking alternative).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace mpx {
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+/// Passes BigCrush when used as a counter-based generator.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Stateless stream draw: the `counter`-th value of the stream named `seed`.
+/// Mixing twice decorrelates (seed, counter) pairs that differ in one word.
+[[nodiscard]] constexpr std::uint64_t hash_stream(std::uint64_t seed,
+                                                  std::uint64_t counter) noexcept {
+  return splitmix64(splitmix64(seed) ^ splitmix64(counter * 0xd1342543de82ef95ULL + 1));
+}
+
+/// Map 64 random bits to a double uniform in [0, 1).
+/// Uses the top 53 bits so every representable value is equally likely.
+[[nodiscard]] constexpr double uniform_double(std::uint64_t bits) noexcept {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/// Inverse-CDF sample of Exp(rate) from a uniform u in [0, 1):
+/// F^{-1}(u) = -ln(1-u)/rate. `rate` is the beta of the paper; the mean of
+/// the returned variate is 1/rate.
+[[nodiscard]] double exponential_from_uniform(double u, double rate);
+
+/// Deterministic per-vertex exponential draw: Exp(rate) as a pure function
+/// of (seed, v). This is delta_v of Algorithm 1 line 1.
+[[nodiscard]] double exponential_shift(std::uint64_t seed, std::uint64_t v,
+                                       double rate);
+
+/// Deterministic per-vertex uniform draw in [0, 1) as a pure function of
+/// (seed, v). Used for fractional tie-breaking ablations.
+[[nodiscard]] inline double uniform_shift(std::uint64_t seed,
+                                          std::uint64_t v) noexcept {
+  return uniform_double(hash_stream(seed, v));
+}
+
+/// Xoshiro256++ engine (Blackman & Vigna). Satisfies
+/// UniformRandomBitGenerator; seeded via SplitMix64 expansion.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256pp(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    for (auto& word : state_) {
+      seed = splitmix64(seed);
+      word = seed;
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return ~static_cast<result_type>(0);
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept { return uniform_double((*this)()); }
+
+  /// Uniform integer in [0, bound). Unbiased via Lemire rejection.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+/// Deterministic Fisher-Yates permutation of [0, n) driven by `seed`.
+/// O(n) sequential; use `parallel_random_permutation` for large n.
+[[nodiscard]] std::vector<std::uint32_t> random_permutation(std::size_t n,
+                                                            std::uint64_t seed);
+
+/// Deterministic permutation of [0, n) computed by sorting indices by the
+/// counter-based key hash_stream(seed, i) (ties by index). Parallel-friendly
+/// and schedule-independent; identical output for any thread count.
+[[nodiscard]] std::vector<std::uint32_t> parallel_random_permutation(
+    std::size_t n, std::uint64_t seed);
+
+}  // namespace mpx

@@ -1,0 +1,10 @@
+#include "support/timer.hpp"
+
+namespace mpx {
+
+double WallTimer::seconds() const {
+  const auto elapsed = Clock::now() - start_;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+}  // namespace mpx

@@ -1,0 +1,28 @@
+// Minimal wall-clock timer used by benches and examples.
+#pragma once
+
+#include <chrono>
+
+namespace mpx {
+
+/// Wall-clock stopwatch. Starts on construction; `seconds()` reports the
+/// elapsed time since construction or the last `reset()`.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed wall time in seconds.
+  [[nodiscard]] double seconds() const;
+
+  /// Elapsed wall time in milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mpx

@@ -1,0 +1,34 @@
+// Core scalar types shared by every subsystem.
+//
+// Vertices are 32-bit (4B vertices is beyond laptop scale, and halving the
+// id width doubles effective memory bandwidth for frontier-bound BFS).
+// Edge offsets are 64-bit so CSR row offsets never overflow.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mpx {
+
+/// Vertex identifier; vertices of an n-vertex graph are [0, n).
+using vertex_t = std::uint32_t;
+
+/// Edge offset / edge count type (CSR row offsets).
+using edge_t = std::uint64_t;
+
+/// Cluster identifier produced by decompositions; clusters are [0, k).
+using cluster_t = std::uint32_t;
+
+/// Sentinel for "no vertex" (unreached, unassigned, no parent).
+inline constexpr vertex_t kInvalidVertex =
+    std::numeric_limits<vertex_t>::max();
+
+/// Sentinel for "no cluster".
+inline constexpr cluster_t kInvalidCluster =
+    std::numeric_limits<cluster_t>::max();
+
+/// Sentinel distance for "unreached" in BFS/Dijkstra routines.
+inline constexpr std::uint32_t kInfDist =
+    std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace mpx

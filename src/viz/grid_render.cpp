@@ -1,0 +1,19 @@
+#include "viz/grid_render.hpp"
+
+#include "support/assert.hpp"
+
+namespace mpx::viz {
+
+Image render_grid_decomposition(const Decomposition& dec, vertex_t rows,
+                                vertex_t cols) {
+  MPX_EXPECTS(static_cast<std::uint64_t>(rows) * cols == dec.num_vertices());
+  Image img(cols, rows);
+  for (vertex_t r = 0; r < rows; ++r) {
+    for (vertex_t c = 0; c < cols; ++c) {
+      img.at(c, r) = category_color(dec.cluster_of(r * cols + c));
+    }
+  }
+  return img;
+}
+
+}  // namespace mpx::viz

@@ -1,0 +1,16 @@
+// Render a decomposition of a 2-D grid graph as an image: pixel (c, r) is
+// the cluster color of vertex r*cols + c — the exact presentation of the
+// paper's Figure 1 panels.
+#pragma once
+
+#include "core/decomposition.hpp"
+#include "viz/ppm.hpp"
+
+namespace mpx::viz {
+
+/// Render the decomposition of a rows x cols grid (vertex (r, c) must have
+/// id r*cols + c, as produced by generators::grid2d).
+[[nodiscard]] Image render_grid_decomposition(const Decomposition& dec,
+                                              vertex_t rows, vertex_t cols);
+
+}  // namespace mpx::viz

@@ -1,0 +1,52 @@
+#include "viz/palette.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace mpx::viz {
+
+Rgb hsv_to_rgb(double h, double s, double v) {
+  MPX_EXPECTS(s >= 0.0 && s <= 1.0 && v >= 0.0 && v <= 1.0);
+  h = std::fmod(h, 360.0);
+  if (h < 0) h += 360.0;
+  const double c = v * s;
+  const double x = c * (1.0 - std::fabs(std::fmod(h / 60.0, 2.0) - 1.0));
+  const double m = v - c;
+  double r = 0, g = 0, b = 0;
+  if (h < 60) {
+    r = c; g = x;
+  } else if (h < 120) {
+    r = x; g = c;
+  } else if (h < 180) {
+    g = c; b = x;
+  } else if (h < 240) {
+    g = x; b = c;
+  } else if (h < 300) {
+    r = x; b = c;
+  } else {
+    r = c; b = x;
+  }
+  const auto to_byte = [m](double channel) {
+    return static_cast<std::uint8_t>(
+        std::lround(255.0 * std::min(1.0, std::max(0.0, channel + m))));
+  };
+  return {to_byte(r), to_byte(g), to_byte(b)};
+}
+
+Rgb category_color(std::size_t index) {
+  // Golden-angle hue walk; stagger saturation/value over three rails so
+  // adjacent indices stay distinguishable even with many categories.
+  const double hue = std::fmod(static_cast<double>(index) * 137.50776405, 360.0);
+  const double sat = 0.55 + 0.15 * static_cast<double>(index % 3);
+  const double val = 0.95 - 0.12 * static_cast<double>((index / 3) % 3);
+  return hsv_to_rgb(hue, sat, val);
+}
+
+std::vector<Rgb> make_palette(std::size_t count) {
+  std::vector<Rgb> palette(count);
+  for (std::size_t i = 0; i < count; ++i) palette[i] = category_color(i);
+  return palette;
+}
+
+}  // namespace mpx::viz

@@ -1,0 +1,28 @@
+// Categorical color palettes for rendering decompositions (Figure 1 uses
+// one color per cluster).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mpx::viz {
+
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  friend bool operator==(const Rgb&, const Rgb&) = default;
+};
+
+/// Color for category `index`: golden-angle hue rotation through HSV space,
+/// giving visually well-separated colors for arbitrarily many categories.
+[[nodiscard]] Rgb category_color(std::size_t index);
+
+/// Palette of `count` category colors (category_color for 0..count-1).
+[[nodiscard]] std::vector<Rgb> make_palette(std::size_t count);
+
+/// HSV (h in [0,360), s,v in [0,1]) to RGB.
+[[nodiscard]] Rgb hsv_to_rgb(double h, double s, double v);
+
+}  // namespace mpx::viz

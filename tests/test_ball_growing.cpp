@@ -1,0 +1,114 @@
+// Tests for the sequential ball-growing baseline. Unlike the randomized
+// MPX routine, ball growing gives deterministic guarantees: cut <= beta*m
+// always, radius <= O(log m / beta) always.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "baselines/ball_growing.hpp"
+#include "core/metrics.hpp"
+#include "core/verify.hpp"
+#include "graph/generators.hpp"
+
+namespace mpx {
+namespace {
+
+using namespace mpx::generators;
+
+BallGrowingOptions opts(double beta, BallOrder order = BallOrder::kById,
+                        std::uint64_t seed = 0) {
+  BallGrowingOptions o;
+  o.beta = beta;
+  o.order = order;
+  o.seed = seed;
+  return o;
+}
+
+TEST(BallGrowing, ProducesValidDecompositions) {
+  const CsrGraph graphs[] = {grid2d(20, 20), path(500), cycle(300),
+                             erdos_renyi(400, 1200, 3), complete(50),
+                             complete_binary_tree(255), barbell(12)};
+  for (const CsrGraph& g : graphs) {
+    const Decomposition dec = ball_growing_decomposition(g, opts(0.2));
+    const VerifyResult vr = verify_decomposition(dec, g);
+    EXPECT_TRUE(vr.ok) << vr.message;
+  }
+}
+
+TEST(BallGrowing, DeterministicCutGuarantee) {
+  // The charging argument gives cut <= beta * m unconditionally (each
+  // piece's boundary is within beta of the volume it swallowed).
+  const CsrGraph graphs[] = {grid2d(30, 30), erdos_renyi(500, 2000, 5),
+                             hypercube(9), rmat(9, 4.0, 2)};
+  for (const CsrGraph& g : graphs) {
+    for (const double beta : {0.1, 0.3, 0.6}) {
+      const Decomposition dec = ball_growing_decomposition(g, opts(beta));
+      const DecompositionStats s = analyze(dec, g);
+      EXPECT_LE(static_cast<double>(s.cut_edges),
+                beta * (static_cast<double>(g.num_edges()) +
+                        static_cast<double>(dec.num_clusters())))
+          << "beta=" << beta;
+    }
+  }
+}
+
+TEST(BallGrowing, RadiusWithinLogBound) {
+  const CsrGraph g = grid2d(40, 40);
+  for (const double beta : {0.1, 0.3}) {
+    const Decomposition dec = ball_growing_decomposition(g, opts(beta));
+    const DecompositionStats s = analyze(dec, g);
+    const double bound =
+        std::log(static_cast<double>(g.num_edges()) + 1.0) /
+            std::log(1.0 + beta) +
+        1.0;
+    EXPECT_LE(static_cast<double>(s.max_radius), bound) << "beta=" << beta;
+  }
+}
+
+TEST(BallGrowing, CompleteGraphIsOneBall) {
+  const CsrGraph g = complete(40);
+  const Decomposition dec = ball_growing_decomposition(g, opts(0.1));
+  EXPECT_EQ(dec.num_clusters(), 1u);
+}
+
+TEST(BallGrowing, RandomOrderIsSeedDeterministic) {
+  const CsrGraph g = erdos_renyi(300, 900, 9);
+  const Decomposition a =
+      ball_growing_decomposition(g, opts(0.2, BallOrder::kRandom, 5));
+  const Decomposition b =
+      ball_growing_decomposition(g, opts(0.2, BallOrder::kRandom, 5));
+  const Decomposition c =
+      ball_growing_decomposition(g, opts(0.2, BallOrder::kRandom, 6));
+  EXPECT_TRUE(std::equal(a.assignment().begin(), a.assignment().end(),
+                         b.assignment().begin()));
+  bool differs = false;
+  for (vertex_t v = 0; v < g.num_vertices() && !differs; ++v) {
+    differs = a.center(a.cluster_of(v)) != c.center(c.cluster_of(v));
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(BallGrowing, HandlesDisconnectedGraphs) {
+  const CsrGraph g = disjoint_copies(grid2d(8, 8), 3);
+  const Decomposition dec = ball_growing_decomposition(g, opts(0.2));
+  const VerifyResult vr = verify_decomposition(dec, g);
+  EXPECT_TRUE(vr.ok) << vr.message;
+}
+
+TEST(BallGrowing, EdgelessGraphGivesSingletons) {
+  const std::vector<Edge> none;
+  const CsrGraph g = build_undirected(7, std::span<const Edge>(none));
+  const Decomposition dec = ball_growing_decomposition(g, opts(0.5));
+  EXPECT_EQ(dec.num_clusters(), 7u);
+}
+
+TEST(BallGrowing, LargerBetaMeansSmallerPieces) {
+  const CsrGraph g = grid2d(30, 30);
+  const Decomposition coarse = ball_growing_decomposition(g, opts(0.05));
+  const Decomposition fine = ball_growing_decomposition(g, opts(0.6));
+  EXPECT_LT(coarse.num_clusters(), fine.num_clusters());
+}
+
+}  // namespace
+}  // namespace mpx

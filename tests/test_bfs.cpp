@@ -1,0 +1,149 @@
+// Tests for the BFS engines: sequential reference, parallel top-down and
+// direction-optimizing variants must all agree on distances.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "bfs/parallel_bfs.hpp"
+#include "bfs/sequential_bfs.hpp"
+#include "graph/generators.hpp"
+#include "parallel/thread_env.hpp"
+
+namespace mpx {
+namespace {
+
+using namespace mpx::generators;
+
+TEST(SequentialBfs, PathDistances) {
+  const CsrGraph g = path(6);
+  const auto dist = bfs_distances(g, 2);
+  EXPECT_EQ(dist, (std::vector<std::uint32_t>{2, 1, 0, 1, 2, 3}));
+}
+
+TEST(SequentialBfs, UnreachableVerticesAreInf) {
+  const CsrGraph g = disjoint_copies(path(3), 2);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], kInfDist);
+  EXPECT_EQ(dist[5], kInfDist);
+}
+
+TEST(SequentialBfs, MultiSourceTakesNearest) {
+  const CsrGraph g = path(10);
+  const std::vector<vertex_t> sources = {0, 9};
+  const auto dist = bfs_distances_multi(g, sources);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[9], 0u);
+  EXPECT_EQ(dist[4], 4u);
+  EXPECT_EQ(dist[5], 4u);
+}
+
+TEST(SequentialBfs, DuplicateSourcesAreHarmless) {
+  const CsrGraph g = cycle(8);
+  const std::vector<vertex_t> sources = {3, 3, 3};
+  const auto dist = bfs_distances_multi(g, sources);
+  EXPECT_EQ(dist[3], 0u);
+  EXPECT_EQ(dist[7], 4u);
+}
+
+TEST(BfsTree, ParentsFormShortestPathTree) {
+  const CsrGraph g = grid2d(5, 5);
+  const BfsTree tree = bfs_tree(g, 0);
+  EXPECT_EQ(tree.parent[0], kInvalidVertex);
+  for (vertex_t v = 1; v < g.num_vertices(); ++v) {
+    ASSERT_NE(tree.parent[v], kInvalidVertex);
+    EXPECT_EQ(tree.dist[v], tree.dist[tree.parent[v]] + 1);
+    EXPECT_TRUE(g.has_edge(v, tree.parent[v]));
+  }
+}
+
+std::vector<CsrGraph> test_graphs() {
+  std::vector<CsrGraph> graphs;
+  graphs.push_back(path(500));
+  graphs.push_back(cycle(333));
+  graphs.push_back(grid2d(20, 30));
+  graphs.push_back(complete(60));
+  graphs.push_back(star(200));
+  graphs.push_back(complete_binary_tree(255));
+  graphs.push_back(hypercube(9));
+  graphs.push_back(erdos_renyi(400, 900, 7));
+  graphs.push_back(rmat(9, 4.0, 11));
+  graphs.push_back(disjoint_copies(grid2d(6, 6), 4));
+  graphs.push_back(barbell(15));
+  return graphs;
+}
+
+TEST(ParallelBfs, TopDownMatchesSequentialAcrossFamilies) {
+  for (const CsrGraph& g : test_graphs()) {
+    const auto expected = bfs_distances(g, 0);
+    const ParallelBfsResult got =
+        parallel_bfs(g, 0, BfsStrategy::kTopDown);
+    EXPECT_EQ(got.dist, expected);
+  }
+}
+
+TEST(ParallelBfs, DirectionOptimizingMatchesSequentialAcrossFamilies) {
+  for (const CsrGraph& g : test_graphs()) {
+    const auto expected = bfs_distances(g, 0);
+    const ParallelBfsResult got =
+        parallel_bfs(g, 0, BfsStrategy::kDirectionOptimizing);
+    EXPECT_EQ(got.dist, expected);
+  }
+}
+
+TEST(ParallelBfs, ParentsAreConsistent) {
+  for (const auto strategy :
+       {BfsStrategy::kTopDown, BfsStrategy::kDirectionOptimizing}) {
+    const CsrGraph g = grid2d(17, 23);
+    const ParallelBfsResult r = parallel_bfs(g, 5, strategy);
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+      if (v == 5 || r.dist[v] == kInfDist) continue;
+      ASSERT_NE(r.parent[v], kInvalidVertex);
+      EXPECT_EQ(r.dist[v], r.dist[r.parent[v]] + 1);
+      EXPECT_TRUE(g.has_edge(v, r.parent[v]));
+    }
+  }
+}
+
+TEST(ParallelBfs, RoundsEqualEccentricityPlusOne) {
+  const CsrGraph g = path(100);
+  const ParallelBfsResult r = parallel_bfs(g, 0);
+  // 99 levels expanded plus the final empty check.
+  EXPECT_EQ(r.rounds, 100u);
+}
+
+TEST(ParallelBfs, MultiSourceMatchesSequential) {
+  const CsrGraph g = grid2d(25, 25);
+  const std::vector<vertex_t> sources = {0, 624, 300};
+  const auto expected = bfs_distances_multi(g, sources);
+  const ParallelBfsResult got = parallel_bfs_multi(g, sources);
+  EXPECT_EQ(got.dist, expected);
+}
+
+TEST(ParallelBfs, DistancesIndependentOfThreadCount) {
+  const CsrGraph g = rmat(10, 6.0, 3);
+  std::vector<std::uint32_t> with_one;
+  std::vector<std::uint32_t> with_max;
+  {
+    ScopedNumThreads guard(1);
+    with_one = parallel_bfs(g, 0).dist;
+  }
+  {
+    ScopedNumThreads guard(max_threads());
+    with_max = parallel_bfs(g, 0).dist;
+  }
+  EXPECT_EQ(with_one, with_max);
+}
+
+TEST(ParallelBfs, IsolatedSourceTerminatesImmediately) {
+  const std::vector<Edge> edges = {{1, 2}};
+  const CsrGraph g = build_undirected(3, std::span<const Edge>(edges));
+  const ParallelBfsResult r = parallel_bfs(g, 0);
+  EXPECT_EQ(r.dist[0], 0u);
+  EXPECT_EQ(r.dist[1], kInfDist);
+  EXPECT_EQ(r.dist[2], kInfDist);
+}
+
+}  // namespace
+}  // namespace mpx

@@ -1,0 +1,104 @@
+// Tests for the BGKMPT (SPAA'11) iterative baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "baselines/bgkmpt.hpp"
+#include "core/metrics.hpp"
+#include "core/verify.hpp"
+#include "graph/generators.hpp"
+
+namespace mpx {
+namespace {
+
+using namespace mpx::generators;
+
+BgkmptOptions opts(double beta, std::uint64_t seed) {
+  BgkmptOptions o;
+  o.beta = beta;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Bgkmpt, ProducesValidDecompositions) {
+  const CsrGraph graphs[] = {grid2d(20, 20), path(400), cycle(250),
+                             erdos_renyi(300, 900, 3),
+                             complete_binary_tree(255)};
+  for (const CsrGraph& g : graphs) {
+    const BgkmptResult r = bgkmpt_decomposition(g, opts(0.2, 1));
+    const VerifyResult vr = verify_decomposition(r.decomposition, g);
+    EXPECT_TRUE(vr.ok) << vr.message;
+  }
+}
+
+TEST(Bgkmpt, PhaseCountIsLogarithmic) {
+  const CsrGraph g = grid2d(32, 32);  // n = 1024
+  const BgkmptResult r = bgkmpt_decomposition(g, opts(0.2, 2));
+  // Sampling probability reaches 1 by phase ceil(log2 n); allow slack for
+  // empty early phases.
+  EXPECT_LE(r.phases, 12u);
+  EXPECT_GE(r.phases, 1u);
+}
+
+TEST(Bgkmpt, MultiPhaseDepthExceedsSingleShot) {
+  // The structural point of the comparison (E7): BGKMPT spends BFS rounds
+  // across many phases.
+  const CsrGraph g = grid2d(40, 40);
+  const BgkmptResult r = bgkmpt_decomposition(g, opts(0.1, 3));
+  EXPECT_GT(r.phases, 1u);
+  EXPECT_GT(r.total_rounds, 0u);
+}
+
+TEST(Bgkmpt, CutFractionIsModest) {
+  const CsrGraph g = grid2d(40, 40);
+  double cut = 0.0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const BgkmptResult r = bgkmpt_decomposition(g, opts(0.1, seed));
+    cut += analyze(r.decomposition, g).cut_fraction;
+  }
+  // Truncation adds boundary beyond the shifted-cut bound; stay generous.
+  EXPECT_LE(cut / 3.0, 0.6);
+}
+
+TEST(Bgkmpt, RadiusBounded) {
+  const CsrGraph g = erdos_renyi(800, 2400, 7);
+  const BgkmptOptions o = opts(0.15, 4);
+  const BgkmptResult r = bgkmpt_decomposition(g, o);
+  const DecompositionStats s = analyze(r.decomposition, g);
+  // Phase radius cap: shift window + radius budget.
+  const double budget =
+      o.radius_scale * std::log(static_cast<double>(g.num_vertices()) + 1.0) /
+      o.beta;
+  EXPECT_LE(static_cast<double>(s.max_radius),
+            budget + 3.0 * std::log(static_cast<double>(g.num_vertices())) /
+                         o.beta);
+}
+
+TEST(Bgkmpt, SeedDeterminism) {
+  const CsrGraph g = erdos_renyi(200, 600, 5);
+  const BgkmptResult a = bgkmpt_decomposition(g, opts(0.2, 9));
+  const BgkmptResult b = bgkmpt_decomposition(g, opts(0.2, 9));
+  EXPECT_TRUE(std::equal(a.decomposition.assignment().begin(),
+                         a.decomposition.assignment().end(),
+                         b.decomposition.assignment().begin()));
+  EXPECT_EQ(a.phases, b.phases);
+}
+
+TEST(Bgkmpt, HandlesDisconnectedAndTinyGraphs) {
+  const CsrGraph g = disjoint_copies(cycle(10), 4);
+  const BgkmptResult r = bgkmpt_decomposition(g, opts(0.3, 1));
+  EXPECT_TRUE(verify_decomposition(r.decomposition, g).ok);
+
+  const std::vector<Edge> none;
+  const CsrGraph empty = build_undirected(0, std::span<const Edge>(none));
+  const BgkmptResult r0 = bgkmpt_decomposition(empty, opts(0.3, 1));
+  EXPECT_EQ(r0.decomposition.num_clusters(), 0u);
+
+  const CsrGraph one = build_undirected(1, std::span<const Edge>(none));
+  const BgkmptResult r1 = bgkmpt_decomposition(one, opts(0.3, 1));
+  EXPECT_EQ(r1.decomposition.num_clusters(), 1u);
+}
+
+}  // namespace
+}  // namespace mpx

@@ -1,0 +1,108 @@
+// Tests for the Linial-Saks block decomposition via iterated LDD.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/block_decomposition.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "graph/subgraph.hpp"
+
+namespace mpx {
+namespace {
+
+using namespace mpx::generators;
+
+TEST(Blocks, EveryEdgeGetsExactlyOneBlock) {
+  const CsrGraph g = grid2d(15, 15);
+  const BlockDecomposition blocks = block_decomposition(g);
+  EXPECT_EQ(blocks.edges.size(), static_cast<std::size_t>(g.num_edges()));
+  for (const std::uint32_t b : blocks.block) {
+    EXPECT_LT(b, blocks.num_blocks);
+  }
+}
+
+TEST(Blocks, BlockCountIsLogarithmic) {
+  const CsrGraph g = erdos_renyi(1000, 4000, 3);
+  const BlockDecomposition blocks = block_decomposition(g);
+  // Expected: each iteration keeps >= half the edges, so ~log2(m) blocks.
+  const double log2m = std::log2(static_cast<double>(g.num_edges()));
+  EXPECT_LE(blocks.num_blocks, static_cast<std::uint32_t>(3 * log2m) + 4);
+  EXPECT_GE(blocks.num_blocks, 1u);
+}
+
+TEST(Blocks, ComponentsOfEveryBlockHaveSmallDiameter) {
+  // The defining property: every connected component of each block's
+  // spanning subgraph has diameter O(log n).
+  const CsrGraph g = grid2d(20, 20);
+  BlockDecompositionOptions opt;
+  opt.seed = 7;
+  const BlockDecomposition blocks = block_decomposition(g, opt);
+  const double bound =
+      6.0 * std::log(static_cast<double>(g.num_vertices())) / opt.beta;
+  for (std::uint32_t b = 0; b < blocks.num_blocks; ++b) {
+    const CsrGraph sub = block_subgraph(blocks, g.num_vertices(), b);
+    const Components comps = connected_components(sub);
+    // Check each nontrivial component's diameter via its induced subgraph.
+    std::vector<std::vector<vertex_t>> members(g.num_vertices());
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+      members[comps.label[v]].push_back(v);
+    }
+    for (const auto& comp : members) {
+      if (comp.size() < 2) continue;
+      const Subgraph induced = induced_subgraph(sub, comp);
+      EXPECT_LE(static_cast<double>(exact_diameter(induced.graph)), bound)
+          << "block " << b;
+    }
+  }
+}
+
+TEST(Blocks, FirstBlockHoldsAtLeastAThirdOfEdges) {
+  // In expectation the first iteration keeps ~(1 - beta') > half of m.
+  const CsrGraph g = erdos_renyi(800, 3000, 9);
+  const BlockDecomposition blocks = block_decomposition(g);
+  std::size_t first = 0;
+  for (const std::uint32_t b : blocks.block) {
+    if (b == 0) ++first;
+  }
+  EXPECT_GE(first, blocks.edges.size() / 3);
+}
+
+TEST(Blocks, BlockSubgraphContainsExactlyItsEdges) {
+  const CsrGraph g = cycle(50);
+  const BlockDecomposition blocks = block_decomposition(g);
+  edge_t total = 0;
+  for (std::uint32_t b = 0; b < blocks.num_blocks; ++b) {
+    total += block_subgraph(blocks, g.num_vertices(), b).num_edges();
+  }
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(Blocks, SeedDeterminism) {
+  const CsrGraph g = grid2d(12, 12);
+  BlockDecompositionOptions opt;
+  opt.seed = 42;
+  const BlockDecomposition a = block_decomposition(g, opt);
+  const BlockDecomposition b = block_decomposition(g, opt);
+  EXPECT_EQ(a.block, b.block);
+  EXPECT_EQ(a.num_blocks, b.num_blocks);
+}
+
+TEST(Blocks, TreeInputFitsInOneOrTwoBlocks) {
+  // A tree decomposes with zero... few cut edges per round.
+  const CsrGraph g = complete_binary_tree(127);
+  const BlockDecomposition blocks = block_decomposition(g);
+  EXPECT_LE(blocks.num_blocks, 8u);
+}
+
+TEST(Blocks, EdgelessGraph) {
+  const std::vector<Edge> none;
+  const CsrGraph g = build_undirected(5, std::span<const Edge>(none));
+  const BlockDecomposition blocks = block_decomposition(g);
+  EXPECT_EQ(blocks.num_blocks, 0u);
+  EXPECT_TRUE(blocks.edges.empty());
+}
+
+}  // namespace
+}  // namespace mpx

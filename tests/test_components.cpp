@@ -1,0 +1,76 @@
+// Tests for connected components: the parallel label-propagation kernel
+// must agree with the sequential BFS sweep on every family.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+
+namespace mpx {
+namespace {
+
+using namespace mpx::generators;
+
+TEST(ComponentsSequential, SingleComponentOnConnectedGraphs) {
+  EXPECT_EQ(connected_components_sequential(path(50)).count, 1u);
+  EXPECT_EQ(connected_components_sequential(cycle(50)).count, 1u);
+  EXPECT_EQ(connected_components_sequential(grid2d(7, 9)).count, 1u);
+}
+
+TEST(ComponentsSequential, CountsIsolatedVertices) {
+  const std::vector<Edge> edges = {{0, 1}};
+  const CsrGraph g = build_undirected(5, std::span<const Edge>(edges));
+  const Components c = connected_components_sequential(g);
+  EXPECT_EQ(c.count, 4u);  // {0,1} plus three singletons
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_NE(c.label[2], c.label[3]);
+}
+
+TEST(ComponentsSequential, LabelsAreComponentMinima) {
+  const CsrGraph g = disjoint_copies(cycle(4), 3);
+  const Components c = connected_components_sequential(g);
+  EXPECT_EQ(c.label[0], 0u);
+  EXPECT_EQ(c.label[5], 4u);
+  EXPECT_EQ(c.label[10], 8u);
+}
+
+TEST(ComponentsParallel, MatchesSequentialOnFamilies) {
+  const CsrGraph graphs[] = {
+      path(200),          cycle(111),
+      grid2d(13, 17),     complete(40),
+      star(99),           complete_binary_tree(127),
+      hypercube(7),       erdos_renyi(300, 500, 3),
+      rmat(8, 3.0, 4),    disjoint_copies(grid2d(5, 5), 7),
+      barbell(12),        caterpillar(20, 3),
+  };
+  for (const CsrGraph& g : graphs) {
+    const Components seq = connected_components_sequential(g);
+    const Components par = connected_components(g);
+    EXPECT_EQ(par.count, seq.count);
+    EXPECT_EQ(par.label, seq.label);  // both canonical (min ids)
+  }
+}
+
+TEST(ComponentsParallel, EmptyAndSingleton) {
+  const CsrGraph empty;
+  EXPECT_EQ(connected_components(empty).count, 0u);
+  const std::vector<Edge> none;
+  const CsrGraph one = build_undirected(1, std::span<const Edge>(none));
+  EXPECT_EQ(connected_components(one).count, 1u);
+}
+
+TEST(IsConnected, Basics) {
+  EXPECT_TRUE(is_connected(path(10)));
+  EXPECT_FALSE(is_connected(disjoint_copies(path(5), 2)));
+  const CsrGraph empty;
+  EXPECT_TRUE(is_connected(empty));
+}
+
+TEST(ComponentsParallel, ScalesToLargerGraphs) {
+  const CsrGraph g = disjoint_copies(grid2d(40, 40), 13);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 13u);
+}
+
+}  // namespace
+}  // namespace mpx

@@ -1,0 +1,117 @@
+// Tests for the conductance metric and the decomposition-based sparse-cut
+// heuristic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/conductance.hpp"
+#include "core/partition.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace mpx {
+namespace {
+
+using namespace mpx::generators;
+
+TEST(Conductance, HandComputedValues) {
+  // Path 0-1-2-3: split {0,1} vs {2,3}: cut 1, vol {0,1} = 1+2 = 3,
+  // vol {2,3} = 2+1 = 3 -> phi = 1/3.
+  const CsrGraph g = path(4);
+  const std::vector<std::uint8_t> half = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(conductance(g, half), 1.0 / 3.0);
+
+  // Singleton {0}: cut 1, vol 1 -> phi = 1.
+  const std::vector<std::uint8_t> single = {1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(conductance(g, single), 1.0);
+}
+
+TEST(Conductance, SymmetricInComplement) {
+  const CsrGraph g = grid2d(6, 6);
+  std::vector<std::uint8_t> in_set(g.num_vertices(), 0);
+  for (vertex_t v = 0; v < g.num_vertices() / 3; ++v) in_set[v] = 1;
+  std::vector<std::uint8_t> complement(g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    complement[v] = in_set[v] ? 0 : 1;
+  }
+  EXPECT_DOUBLE_EQ(conductance(g, in_set), conductance(g, complement));
+}
+
+TEST(Conductance, EmptyAndFullSidesAreInfinite) {
+  const CsrGraph g = cycle(8);
+  const std::vector<std::uint8_t> none(8, 0);
+  const std::vector<std::uint8_t> all(8, 1);
+  EXPECT_TRUE(std::isinf(conductance(g, none)));
+  EXPECT_TRUE(std::isinf(conductance(g, all)));
+}
+
+TEST(Conductance, PieceConductanceMatchesIndicatorForm) {
+  const CsrGraph g = grid2d(10, 10);
+  PartitionOptions opt;
+  opt.beta = 0.3;
+  opt.seed = 5;
+  const Decomposition dec = partition(g, opt);
+  ASSERT_GE(dec.num_clusters(), 2u);
+  for (cluster_t c = 0; c < std::min<cluster_t>(dec.num_clusters(), 5); ++c) {
+    std::vector<std::uint8_t> in_set(g.num_vertices(), 0);
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+      if (dec.cluster_of(v) == c) in_set[v] = 1;
+    }
+    EXPECT_DOUBLE_EQ(piece_conductance(g, dec, c), conductance(g, in_set));
+  }
+}
+
+TEST(SparseCut, FindsTheBarbellBridge) {
+  // The barbell's unique sparse cut is the bridge: phi = 1 / (k(k-1)+1).
+  // Pieces equal to one bell appear in roughly a third of partitions at
+  // beta >= 0.3, so a modest trial budget finds the cut w.h.p.
+  const vertex_t k = 12;
+  const CsrGraph g = barbell(k);
+  SparseCutOptions opt;
+  opt.seed = 3;
+  opt.betas = {0.2, 0.3, 0.5};
+  opt.trials_per_beta = 10;
+  const SparseCutResult r = best_piece_cut(g, opt);
+  const double bridge_phi =
+      1.0 / (static_cast<double>(k) * (k - 1) + 1.0);
+  EXPECT_LE(r.conductance_value, 2.0 * bridge_phi);
+  // The winning side is (close to) one bell.
+  EXPECT_GE(r.set_size, k - 2);
+  EXPECT_LE(r.set_size, k + 2);
+}
+
+TEST(SparseCut, DumbbellGridBeatsArbitraryCuts) {
+  // Two grids joined by one edge.
+  const CsrGraph block = grid2d(8, 8);
+  std::vector<Edge> edges = edge_list(disjoint_copies(block, 2));
+  edges.push_back({63, 64});
+  const CsrGraph g = build_undirected(128, std::span<const Edge>(edges));
+  SparseCutOptions opt;
+  opt.seed = 7;
+  const SparseCutResult r = best_piece_cut(g, opt);
+  // The bridge cut has phi = 1/225; the heuristic should land well under
+  // a generic grid cut (~1/16).
+  EXPECT_LT(r.conductance_value, 0.03);
+}
+
+TEST(SparseCut, ExpanderHasNoSparseCut) {
+  const CsrGraph g = random_matching_union(512, 6, 9);
+  SparseCutOptions opt;
+  opt.seed = 1;
+  const SparseCutResult r = best_piece_cut(g, opt);
+  // Expanders have conductance bounded below by a constant.
+  EXPECT_GT(r.conductance_value, 0.05);
+}
+
+TEST(SparseCut, DeterministicInSeed) {
+  const CsrGraph g = barbell(8);
+  SparseCutOptions opt;
+  opt.seed = 11;
+  const SparseCutResult a = best_piece_cut(g, opt);
+  const SparseCutResult b = best_piece_cut(g, opt);
+  EXPECT_EQ(a.in_set, b.in_set);
+  EXPECT_DOUBLE_EQ(a.conductance_value, b.conductance_value);
+}
+
+}  // namespace
+}  // namespace mpx

@@ -1,0 +1,70 @@
+// Death tests for the contract layer: public preconditions must abort
+// with a readable message instead of corrupting state.
+#include <gtest/gtest.h>
+
+#include "core/partition.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/generators.hpp"
+#include "support/assert.hpp"
+
+namespace mpx {
+namespace {
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, ExpectsAbortsWithMessage) {
+  EXPECT_DEATH(MPX_EXPECTS(1 == 2), "precondition");
+}
+
+TEST(ContractDeathTest, EnsuresAbortsWithMessage) {
+  EXPECT_DEATH(MPX_ENSURES(false), "postcondition");
+}
+
+TEST(ContractDeathTest, AssertAbortsWithMessage) {
+  EXPECT_DEATH(MPX_ASSERT(false), "invariant");
+}
+
+TEST(ContractDeathTest, GraphRejectsOutOfRangeTarget) {
+  std::vector<edge_t> offsets = {0, 1};
+  std::vector<vertex_t> targets = {5};  // vertex 5 in a 1-vertex graph
+  EXPECT_DEATH((CsrGraph(std::move(offsets), std::move(targets))),
+               "precondition");
+}
+
+TEST(ContractDeathTest, GraphRejectsBrokenOffsets) {
+  std::vector<edge_t> offsets = {0, 2, 1};  // not monotone
+  std::vector<vertex_t> targets = {0};
+  EXPECT_DEATH((CsrGraph(std::move(offsets), std::move(targets))),
+               "");
+}
+
+TEST(ContractDeathTest, BuilderRejectsOutOfRangeEndpoint) {
+  const std::vector<Edge> edges = {{0, 9}};
+  EXPECT_DEATH((void)build_undirected(3, std::span<const Edge>(edges)),
+               "precondition");
+}
+
+TEST(ContractDeathTest, WeightedBuilderRejectsNonPositiveWeight) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 0.0}};
+  EXPECT_DEATH(
+      (void)build_undirected_weighted(2, std::span<const WeightedEdge>(edges)),
+      "precondition");
+}
+
+TEST(ContractDeathTest, PartitionRejectsBadBeta) {
+  const CsrGraph g = generators::path(4);
+  PartitionOptions opt;
+  opt.beta = 0.0;
+  EXPECT_DEATH((void)partition(g, opt), "precondition");
+  opt.beta = 1.5;
+  EXPECT_DEATH((void)partition(g, opt), "precondition");
+}
+
+TEST(ContractDeathTest, NeighborsRejectsOutOfRangeVertex) {
+  const CsrGraph g = generators::path(4);
+  EXPECT_DEATH((void)g.neighbors(10), "precondition");
+}
+
+}  // namespace
+}  // namespace mpx

@@ -1,0 +1,85 @@
+// Tests for decomposition serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/decomposition_io.hpp"
+#include "core/partition.hpp"
+#include "core/verify.hpp"
+#include "graph/generators.hpp"
+
+namespace mpx {
+namespace {
+
+TEST(DecompositionIo, RoundTripPreservesEverything) {
+  const CsrGraph g = generators::grid2d(12, 13);
+  PartitionOptions opt;
+  opt.beta = 0.2;
+  opt.seed = 4;
+  const Decomposition dec = partition(g, opt);
+
+  std::stringstream buffer;
+  io::write_decomposition(buffer, dec);
+  const Decomposition back = io::read_decomposition(buffer);
+
+  ASSERT_EQ(back.num_vertices(), dec.num_vertices());
+  ASSERT_EQ(back.num_clusters(), dec.num_clusters());
+  for (cluster_t c = 0; c < dec.num_clusters(); ++c) {
+    EXPECT_EQ(back.center(c), dec.center(c));
+  }
+  for (vertex_t v = 0; v < dec.num_vertices(); ++v) {
+    EXPECT_EQ(back.cluster_of(v), dec.cluster_of(v));
+    EXPECT_EQ(back.dist_to_center(v), dec.dist_to_center(v));
+  }
+  // The reloaded decomposition still verifies against the graph.
+  EXPECT_TRUE(verify_decomposition(back, g).ok);
+}
+
+TEST(DecompositionIo, FileRoundTrip) {
+  const CsrGraph g = generators::cycle(30);
+  PartitionOptions opt;
+  opt.beta = 0.3;
+  opt.seed = 7;
+  const Decomposition dec = partition(g, opt);
+  const std::string path = ::testing::TempDir() + "/mpx_dec.txt";
+  io::save_decomposition(path, dec);
+  const Decomposition back = io::load_decomposition(path);
+  EXPECT_EQ(back.num_clusters(), dec.num_clusters());
+}
+
+TEST(DecompositionIo, RejectsMalformedInputs) {
+  {
+    std::stringstream in("# nothing\n");
+    EXPECT_THROW((void)io::read_decomposition(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("4 9\n");  // k > n
+    EXPECT_THROW((void)io::read_decomposition(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("4 1\n7\n");  // center out of range
+    EXPECT_THROW((void)io::read_decomposition(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("2 1\n0\n0 0\n");  // truncated rows
+    EXPECT_THROW((void)io::read_decomposition(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("2 1\n0\n5 0\n0 0\n");  // cluster id out of range
+    EXPECT_THROW((void)io::read_decomposition(in), std::runtime_error);
+  }
+}
+
+TEST(DecompositionIo, UnopenablePathThrows) {
+  const CsrGraph g = generators::path(4);
+  PartitionOptions opt;
+  opt.beta = 0.5;
+  const Decomposition dec = partition(g, opt);
+  EXPECT_THROW(io::save_decomposition("/nonexistent/x.txt", dec),
+               std::runtime_error);
+  EXPECT_THROW((void)io::load_decomposition("/nonexistent/x.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mpx

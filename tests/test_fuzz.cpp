@@ -1,0 +1,140 @@
+// Randomized property tests ("fuzz-lite"): the parallel primitives and the
+// graph builder against their std:: / sequential references over many
+// random shapes and sizes. Complements the hand-picked cases in the other
+// suites with breadth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "bfs/sequential_bfs.hpp"
+#include "bfs/parallel_bfs.hpp"
+#include "graph/builder.hpp"
+#include "parallel/pack.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/scan.hpp"
+#include "parallel/sort.hpp"
+#include "support/random.hpp"
+
+namespace mpx {
+namespace {
+
+class FuzzCase : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::size_t random_size(Xoshiro256pp& rng) {
+  // Sizes spanning the serial/parallel grain boundary and odd values.
+  const std::size_t buckets[] = {0, 1, 3, 100, 2047, 2048, 2049, 70000};
+  const std::size_t base = buckets[rng.next_below(8)];
+  return base + static_cast<std::size_t>(rng.next_below(17));
+}
+
+TEST_P(FuzzCase, ScanMatchesStdExclusiveScan) {
+  Xoshiro256pp rng(GetParam());
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t n = random_size(rng);
+    std::vector<std::uint64_t> data(n);
+    for (auto& x : data) x = rng.next_below(1000);
+    std::vector<std::uint64_t> expected(n);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      expected[i] = acc;
+      acc += data[i];
+    }
+    std::vector<std::uint64_t> got = data;
+    const std::uint64_t total =
+        exclusive_scan_inplace(std::span<std::uint64_t>(got));
+    ASSERT_EQ(total, acc) << "n=" << n;
+    ASSERT_EQ(got, expected) << "n=" << n;
+  }
+}
+
+TEST_P(FuzzCase, SortMatchesStdSort) {
+  Xoshiro256pp rng(GetParam() ^ 0xabcdef);
+  for (int round = 0; round < 5; ++round) {
+    const std::size_t n = random_size(rng);
+    std::vector<std::uint64_t> data(n);
+    for (auto& x : data) x = rng.next_below(50);  // heavy duplicates
+    std::vector<std::uint64_t> expected = data;
+    std::sort(expected.begin(), expected.end());
+    parallel_sort(std::span<std::uint64_t>(data));
+    ASSERT_EQ(data, expected) << "n=" << n;
+  }
+}
+
+TEST_P(FuzzCase, PackMatchesStdCopyIf) {
+  Xoshiro256pp rng(GetParam() ^ 0x777);
+  for (int round = 0; round < 5; ++round) {
+    const std::size_t n = random_size(rng);
+    std::vector<std::uint8_t> keep(n);
+    for (auto& k : keep) k = rng.next_below(2) != 0 ? 1 : 0;
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (keep[i]) expected.push_back(i);
+    }
+    const auto got =
+        pack_indices(n, [&](std::size_t i) { return keep[i] != 0; });
+    ASSERT_EQ(got, expected) << "n=" << n;
+  }
+}
+
+TEST_P(FuzzCase, ReduceMatchesStdAccumulate) {
+  Xoshiro256pp rng(GetParam() ^ 0x5151);
+  for (int round = 0; round < 5; ++round) {
+    const std::size_t n = random_size(rng);
+    std::vector<std::uint64_t> data(n);
+    for (auto& x : data) x = rng.next_below(1 << 20);
+    const std::uint64_t expected =
+        std::accumulate(data.begin(), data.end(), std::uint64_t{0});
+    const std::uint64_t got = parallel_sum<std::uint64_t>(
+        std::size_t{0}, n, [&](std::size_t i) { return data[i]; });
+    ASSERT_EQ(got, expected) << "n=" << n;
+  }
+}
+
+TEST_P(FuzzCase, BuilderIsIdempotentOnRandomEdgeSoup) {
+  Xoshiro256pp rng(GetParam() ^ 0x1234);
+  const vertex_t n = 2 + static_cast<vertex_t>(rng.next_below(60));
+  const std::size_t m = rng.next_below(200);
+  std::vector<Edge> soup;
+  for (std::size_t i = 0; i < m; ++i) {
+    soup.push_back({static_cast<vertex_t>(rng.next_below(n)),
+                    static_cast<vertex_t>(rng.next_below(n))});
+  }
+  const CsrGraph g = build_undirected(n, std::span<const Edge>(soup));
+  ASSERT_TRUE(g.is_symmetric());
+  // Rebuilding from the canonical edge list reproduces the graph.
+  const std::vector<Edge> canonical = edge_list(g);
+  const CsrGraph g2 = build_undirected(n, std::span<const Edge>(canonical));
+  ASSERT_EQ(g2.num_edges(), g.num_edges());
+  ASSERT_TRUE(std::equal(g2.targets().begin(), g2.targets().end(),
+                         g.targets().begin()));
+  // Degrees count each neighbor once.
+  for (vertex_t v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    ASSERT_TRUE(std::adjacent_find(nbrs.begin(), nbrs.end()) == nbrs.end());
+  }
+}
+
+TEST_P(FuzzCase, ParallelBfsMatchesSequentialOnRandomGraphs) {
+  Xoshiro256pp rng(GetParam() ^ 0x9e37);
+  const vertex_t n = 2 + static_cast<vertex_t>(rng.next_below(300));
+  const std::size_t m = rng.next_below(4 * static_cast<std::size_t>(n));
+  std::vector<Edge> soup;
+  for (std::size_t i = 0; i < m; ++i) {
+    soup.push_back({static_cast<vertex_t>(rng.next_below(n)),
+                    static_cast<vertex_t>(rng.next_below(n))});
+  }
+  const CsrGraph g = build_undirected(n, std::span<const Edge>(soup));
+  const vertex_t source = static_cast<vertex_t>(rng.next_below(n));
+  const auto expected = bfs_distances(g, source);
+  ASSERT_EQ(parallel_bfs(g, source, BfsStrategy::kTopDown).dist, expected);
+  ASSERT_EQ(parallel_bfs(g, source, BfsStrategy::kDirectionOptimizing).dist,
+            expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCase,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace mpx

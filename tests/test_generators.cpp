@@ -1,0 +1,245 @@
+// Tests for every graph family generator: vertex/edge counts, degree
+// structure, connectivity, and spot-checked adjacency.
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace mpx {
+namespace {
+
+using namespace mpx::generators;
+
+TEST(Path, CountsAndDegrees) {
+  const CsrGraph g = path(10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(9), 1u);
+  for (vertex_t v = 1; v < 9; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Path, SingleVertex) {
+  const CsrGraph g = path(1);
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Cycle, CountsDegreesDiameter) {
+  const CsrGraph g = cycle(12);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  for (vertex_t v = 0; v < 12; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(exact_diameter(g), 6u);
+}
+
+TEST(Complete, CountsAndDiameter) {
+  const CsrGraph g = complete(8);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_edges(), 28u);
+  for (vertex_t v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 7u);
+  EXPECT_EQ(exact_diameter(g), 1u);
+}
+
+TEST(Star, CountsAndDiameter) {
+  const CsrGraph g = star(9);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_EQ(g.degree(0), 8u);
+  for (vertex_t v = 1; v < 9; ++v) EXPECT_EQ(g.degree(v), 1u);
+  EXPECT_EQ(exact_diameter(g), 2u);
+}
+
+TEST(Grid2d, CountsAndStructure) {
+  const CsrGraph g = grid2d(5, 7);
+  EXPECT_EQ(g.num_vertices(), 35u);
+  // 5*(7-1) horizontal + 7*(5-1) vertical.
+  EXPECT_EQ(g.num_edges(), 5u * 6 + 7u * 4);
+  EXPECT_EQ(g.degree(0), 2u);        // corner
+  EXPECT_EQ(g.degree(3), 3u);        // top edge
+  EXPECT_EQ(g.degree(1 * 7 + 3), 4u);  // interior
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 7));
+  EXPECT_FALSE(g.has_edge(6, 7));  // row wrap must not exist
+}
+
+TEST(Grid2d, DiameterIsManhattan) {
+  const CsrGraph g = grid2d(4, 6);
+  EXPECT_EQ(exact_diameter(g), 3u + 5u);
+}
+
+TEST(Grid2d, TorusWrapAddsEdges) {
+  const CsrGraph g = grid2d(4, 4, /*wrap=*/true);
+  EXPECT_EQ(g.num_edges(), 2u * 16);  // 4-regular
+  for (vertex_t v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(g.has_edge(0, 3));   // row wrap
+  EXPECT_TRUE(g.has_edge(0, 12));  // column wrap
+}
+
+TEST(Grid3d, CountsAndInteriorDegree) {
+  const CsrGraph g = grid3d(3, 4, 5);
+  EXPECT_EQ(g.num_vertices(), 60u);
+  const edge_t expected = 2u * 4 * 5 + 3u * 3 * 5 + 3u * 4 * 4;
+  EXPECT_EQ(g.num_edges(), expected);
+  EXPECT_TRUE(is_connected(g));
+  // interior vertex (1,1,1) has 6 neighbors
+  EXPECT_EQ(g.degree((1u * 4 + 1) * 5 + 1), 6u);
+}
+
+TEST(Grid3d, TorusIsSixRegular) {
+  const CsrGraph g = grid3d(3, 3, 3, /*wrap=*/true);
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(g.degree(v), 6u);
+}
+
+TEST(CompleteBinaryTree, CountsAndAcyclicity) {
+  const CsrGraph g = complete_binary_tree(15);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(7), 1u);  // leaf
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 3));
+}
+
+TEST(Hypercube, CountsAndRegularity) {
+  const CsrGraph g = hypercube(5);
+  EXPECT_EQ(g.num_vertices(), 32u);
+  EXPECT_EQ(g.num_edges(), 32u * 5 / 2);
+  for (vertex_t v = 0; v < 32; ++v) EXPECT_EQ(g.degree(v), 5u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(exact_diameter(g), 5u);
+}
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  const CsrGraph g = erdos_renyi(100, 300, 7);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 300u);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(ErdosRenyi, SeedDeterminismAndVariation) {
+  const CsrGraph a = erdos_renyi(50, 100, 1);
+  const CsrGraph b = erdos_renyi(50, 100, 1);
+  const CsrGraph c = erdos_renyi(50, 100, 2);
+  EXPECT_TRUE(std::equal(a.targets().begin(), a.targets().end(),
+                         b.targets().begin()));
+  EXPECT_FALSE(std::equal(a.targets().begin(), a.targets().end(),
+                          c.targets().begin(), c.targets().end()));
+}
+
+TEST(ErdosRenyi, CanGenerateCompleteGraph) {
+  const CsrGraph g = erdos_renyi(10, 45, 3);
+  EXPECT_EQ(g.num_edges(), 45u);
+  EXPECT_EQ(exact_diameter(g), 1u);
+}
+
+TEST(Rmat, ProducesPowerLawishGraph) {
+  const CsrGraph g = rmat(10, 8.0, 5);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_GT(g.num_edges(), 1024u);           // dense enough
+  EXPECT_LE(g.num_edges(), 8192u);           // duplicates removed
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GT(s.max_degree, 4 * static_cast<vertex_t>(s.mean_degree))
+      << "RMAT should produce skewed degrees";
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(Rmat, SeedDeterminism) {
+  const CsrGraph a = rmat(8, 4.0, 11);
+  const CsrGraph b = rmat(8, 4.0, 11);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_TRUE(std::equal(a.targets().begin(), a.targets().end(),
+                         b.targets().begin()));
+}
+
+TEST(Barbell, BridgeStructure) {
+  const CsrGraph g = barbell(5);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 2u * 10 + 1);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(g.has_edge(4, 5));  // the bridge
+  EXPECT_EQ(g.degree(4), 5u);     // clique + bridge
+  EXPECT_EQ(g.degree(0), 4u);     // clique only
+}
+
+TEST(Caterpillar, CountsAndLeaves) {
+  const CsrGraph g = caterpillar(5, 3);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_edges(), 19u);  // a tree
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(5), 1u);  // first leaf hangs off spine vertex 0
+  EXPECT_EQ(g.degree(0), 1u + 3u);
+}
+
+TEST(RandomMatchingUnion, DegreesBounded) {
+  const CsrGraph g = random_matching_union(1000, 6, 13);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_LE(s.max_degree, 6u);
+  EXPECT_GE(s.mean_degree, 5.0);  // few collisions expected
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(RandomMatchingUnion, ThreeMatchingsConnectWhp) {
+  const CsrGraph g = random_matching_union(2000, 6, 17);
+  // Union of several random matchings is an expander w.h.p.
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(DisjointCopies, ComponentsMultiply) {
+  const CsrGraph base = cycle(5);
+  const CsrGraph g = disjoint_copies(base, 4);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_edges(), 20u);
+  EXPECT_EQ(connected_components(g).count, 4u);
+  EXPECT_TRUE(g.has_edge(5, 6));
+  EXPECT_FALSE(g.has_edge(4, 5));
+}
+
+/// Property sweep: every family is symmetric, self-loop free, and within
+/// its documented structural bounds.
+struct FamilyCase {
+  const char* name;
+  CsrGraph graph;
+  bool connected;
+};
+
+class GeneratorFamilies : public ::testing::TestWithParam<int> {};
+
+std::vector<FamilyCase> make_families() {
+  std::vector<FamilyCase> fams;
+  fams.push_back({"path", path(64), true});
+  fams.push_back({"cycle", cycle(64), true});
+  fams.push_back({"complete", complete(16), true});
+  fams.push_back({"star", star(64), true});
+  fams.push_back({"grid2d", grid2d(8, 8), true});
+  fams.push_back({"torus2d", grid2d(8, 8, true), true});
+  fams.push_back({"grid3d", grid3d(4, 4, 4), true});
+  fams.push_back({"tree", complete_binary_tree(63), true});
+  fams.push_back({"hypercube", hypercube(6), true});
+  fams.push_back({"er", erdos_renyi(64, 256, 1), false});
+  fams.push_back({"rmat", rmat(6, 4.0, 2), false});
+  fams.push_back({"barbell", barbell(8), true});
+  fams.push_back({"caterpillar", caterpillar(8, 2), true});
+  fams.push_back({"matchings", random_matching_union(64, 4, 3), false});
+  return fams;
+}
+
+TEST(GeneratorFamiliesSweep, AllSymmetricAndLoopFree) {
+  for (const FamilyCase& fam : make_families()) {
+    EXPECT_TRUE(fam.graph.is_symmetric()) << fam.name;
+    if (fam.connected) {
+      EXPECT_TRUE(is_connected(fam.graph)) << fam.name;
+    }
+    // No vertex exceeds n-1 neighbors; arcs are twice the edges.
+    const DegreeStats s = degree_stats(fam.graph);
+    EXPECT_LT(s.max_degree, fam.graph.num_vertices()) << fam.name;
+    EXPECT_EQ(fam.graph.num_arcs(), 2 * fam.graph.num_edges()) << fam.name;
+  }
+}
+
+}  // namespace
+}  // namespace mpx

@@ -1,0 +1,91 @@
+// Tests for the second batch of graph families (small world, geometric,
+// diagonal grid) and their interaction with the partition routine.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/partition.hpp"
+#include "core/verify.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace mpx {
+namespace {
+
+using namespace mpx::generators;
+
+TEST(WattsStrogatz, ZeroRewiringIsARingLattice) {
+  const CsrGraph g = watts_strogatz(50, 4, 0.0, 1);
+  EXPECT_EQ(g.num_vertices(), 50u);
+  EXPECT_EQ(g.num_edges(), 100u);  // n * k / 2
+  for (vertex_t v = 0; v < 50; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(WattsStrogatz, RewiringShrinksDiameter) {
+  const CsrGraph lattice = watts_strogatz(400, 4, 0.0, 2);
+  const CsrGraph small_world = watts_strogatz(400, 4, 0.3, 2);
+  EXPECT_LT(two_sweep_diameter_lower_bound(small_world),
+            two_sweep_diameter_lower_bound(lattice));
+}
+
+TEST(WattsStrogatz, SeedDeterminism) {
+  const CsrGraph a = watts_strogatz(100, 6, 0.2, 5);
+  const CsrGraph b = watts_strogatz(100, 6, 0.2, 5);
+  EXPECT_TRUE(std::equal(a.targets().begin(), a.targets().end(),
+                         b.targets().begin()));
+}
+
+TEST(RandomGeometric, EdgesRespectTheRadius) {
+  // Structural checks: symmetric, loop-free, deterministic, and dense
+  // enough for the chosen radius.
+  const CsrGraph g = random_geometric(500, 0.08, 3);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  EXPECT_TRUE(g.is_symmetric());
+  // Expected degree ~ n * pi * r^2 ~ 10; allow wide slack.
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GT(s.mean_degree, 2.0);
+  EXPECT_LT(s.mean_degree, 40.0);
+  const CsrGraph h = random_geometric(500, 0.08, 3);
+  EXPECT_TRUE(std::equal(g.targets().begin(), g.targets().end(),
+                         h.targets().begin()));
+}
+
+TEST(RandomGeometric, LargerRadiusMoreEdges) {
+  const CsrGraph sparse = random_geometric(400, 0.05, 7);
+  const CsrGraph dense = random_geometric(400, 0.15, 7);
+  EXPECT_LT(sparse.num_edges(), dense.num_edges());
+}
+
+TEST(Grid2dDiag, CountsAndDiameter) {
+  const CsrGraph g = grid2d_diag(5, 5);
+  EXPECT_EQ(g.num_vertices(), 25u);
+  // 5*4 horizontal + 4*5 vertical + 2 * 4*4 diagonals.
+  EXPECT_EQ(g.num_edges(), 20u + 20u + 32u);
+  // Chebyshev metric: diameter = max(rows, cols) - 1.
+  EXPECT_EQ(exact_diameter(g), 4u);
+  EXPECT_EQ(g.degree(12), 8u);  // interior king move
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(NewFamilies, PartitionProducesValidDecompositions) {
+  const CsrGraph graphs[] = {watts_strogatz(600, 6, 0.1, 3),
+                             random_geometric(600, 0.07, 5),
+                             grid2d_diag(20, 20)};
+  for (const CsrGraph& g : graphs) {
+    PartitionOptions opt;
+    opt.beta = 0.2;
+    opt.seed = 9;
+    const Decomposition dec = partition(g, opt);
+    const VerifyResult vr = verify_decomposition(dec, g);
+    EXPECT_TRUE(vr.ok) << vr.message;
+    const DecompositionStats s = analyze(dec, g);
+    EXPECT_LE(s.cut_fraction, 0.8);
+  }
+}
+
+}  // namespace
+}  // namespace mpx

@@ -1,0 +1,167 @@
+// Tests for the CSR graph types and the edge-list builder.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace mpx {
+namespace {
+
+CsrGraph triangle() {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}};
+  return build_undirected(3, std::span<const Edge>(edges));
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+}
+
+TEST(CsrGraph, TriangleBasics) {
+  const CsrGraph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_arcs(), 6u);
+  for (vertex_t v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(CsrGraph, NeighborsAreSortedAndCorrect) {
+  const std::vector<Edge> edges = {{0, 3}, {0, 1}, {0, 2}};
+  const CsrGraph g = build_undirected(4, std::span<const Edge>(edges));
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_EQ(nbrs[2], 3u);
+}
+
+TEST(CsrGraph, HasEdge) {
+  const CsrGraph g = triangle();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  const std::vector<Edge> edges = {{0, 1}};
+  const CsrGraph h = build_undirected(3, std::span<const Edge>(edges));
+  EXPECT_FALSE(h.has_edge(0, 2));
+  EXPECT_FALSE(h.has_edge(1, 2));
+}
+
+TEST(CsrGraph, ArcAccessors) {
+  const CsrGraph g = triangle();
+  EXPECT_EQ(g.arc_begin(0), 0u);
+  EXPECT_EQ(g.arc_begin(1), 2u);
+  EXPECT_EQ(g.arc_target(0), 1u);
+  EXPECT_EQ(g.arc_target(1), 2u);
+}
+
+TEST(CsrGraph, IsolatedVerticesHaveNoNeighbors) {
+  const std::vector<Edge> edges = {{0, 1}};
+  const CsrGraph g = build_undirected(5, std::span<const Edge>(edges));
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_TRUE(g.neighbors(3).empty());
+}
+
+TEST(Builder, DropsSelfLoops) {
+  const std::vector<Edge> edges = {{0, 0}, {0, 1}, {1, 1}};
+  const CsrGraph g = build_undirected(2, std::span<const Edge>(edges));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(Builder, DeduplicatesParallelEdges) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 0}, {0, 1}, {0, 1}};
+  const CsrGraph g = build_undirected(2, std::span<const Edge>(edges));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Builder, EmptyEdgeList) {
+  const std::vector<Edge> edges;
+  const CsrGraph g = build_undirected(4, std::span<const Edge>(edges));
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Builder, EdgeListRoundTrip) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}, {0, 3}, {1, 3}};
+  const CsrGraph g = build_undirected(4, std::span<const Edge>(edges));
+  const std::vector<Edge> out = edge_list(g);
+  ASSERT_EQ(out.size(), edges.size());
+  // edge_list is canonical: sorted by (u, v) with u < v.
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_LT(out[i].u, out[i].v);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_TRUE(out[i - 1].u < out[i].u ||
+                (out[i - 1].u == out[i].u && out[i - 1].v < out[i].v));
+  }
+  const CsrGraph g2 = build_undirected(4, std::span<const Edge>(out));
+  EXPECT_EQ(g2.offsets().size(), g.offsets().size());
+  EXPECT_TRUE(std::equal(g2.targets().begin(), g2.targets().end(),
+                         g.targets().begin()));
+}
+
+TEST(WeightedBuilder, KeepsSmallestWeightOnParallelEdges) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 5.0}, {1, 0, 2.0}, {0, 1, 9.0}};
+  const WeightedCsrGraph g =
+      build_undirected_weighted(2, std::span<const WeightedEdge>(edges));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.arc_weights(0)[0], 2.0);
+  EXPECT_DOUBLE_EQ(g.arc_weights(1)[0], 2.0);
+}
+
+TEST(WeightedBuilder, WeightsAlignWithNeighbors) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1.5}, {0, 2, 2.5}, {1, 2, 3.5}};
+  const WeightedCsrGraph g =
+      build_undirected_weighted(3, std::span<const WeightedEdge>(edges));
+  const auto nbrs = g.neighbors(0);
+  const auto ws = g.arc_weights(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_DOUBLE_EQ(ws[0], 1.5);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_DOUBLE_EQ(ws[1], 2.5);
+}
+
+TEST(WeightedBuilder, WeightedEdgeListRoundTrip) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1.0}, {1, 2, 0.5}};
+  const WeightedCsrGraph g =
+      build_undirected_weighted(3, std::span<const WeightedEdge>(edges));
+  const auto out = edge_list(g);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].u, 0u);
+  EXPECT_EQ(out[0].v, 1u);
+  EXPECT_DOUBLE_EQ(out[0].w, 1.0);
+  EXPECT_DOUBLE_EQ(out[1].w, 0.5);
+}
+
+TEST(WeightedBuilder, UnitWeights) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}};
+  const CsrGraph g = build_undirected(3, std::span<const Edge>(edges));
+  const WeightedCsrGraph w = with_unit_weights(g);
+  EXPECT_EQ(w.num_edges(), g.num_edges());
+  for (const double weight : w.weights()) EXPECT_DOUBLE_EQ(weight, 1.0);
+}
+
+TEST(CsrGraph, SymmetryDetectsAsymmetricInput) {
+  // Hand-build an asymmetric CSR: arc 0->1 without 1->0.
+  std::vector<edge_t> offsets = {0, 1, 1};
+  std::vector<vertex_t> targets = {1};
+  const CsrGraph g(std::move(offsets), std::move(targets));
+  EXPECT_FALSE(g.is_symmetric());
+}
+
+TEST(CsrGraph, SymmetryDetectsSelfLoop) {
+  std::vector<edge_t> offsets = {0, 1};
+  std::vector<vertex_t> targets = {0};
+  const CsrGraph g(std::move(offsets), std::move(targets));
+  EXPECT_FALSE(g.is_symmetric());
+}
+
+}  // namespace
+}  // namespace mpx

@@ -1,0 +1,78 @@
+// Tests for degree statistics, eccentricity and diameter estimators.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace mpx {
+namespace {
+
+using namespace mpx::generators;
+
+TEST(DegreeStats, PathGraph) {
+  const DegreeStats s = degree_stats(path(10));
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 18.0 / 10.0);
+  EXPECT_EQ(s.isolated_vertices, 0u);
+}
+
+TEST(DegreeStats, CountsIsolatedVertices) {
+  const std::vector<Edge> edges = {{0, 1}};
+  const CsrGraph g = build_undirected(4, std::span<const Edge>(edges));
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.min_degree, 0u);
+  EXPECT_EQ(s.isolated_vertices, 2u);
+}
+
+TEST(Eccentricity, PathEndpointsAndMiddle) {
+  const CsrGraph g = path(9);
+  EXPECT_EQ(eccentricity(g, 0), 8u);
+  EXPECT_EQ(eccentricity(g, 4), 4u);
+  EXPECT_EQ(eccentricity(g, 8), 8u);
+}
+
+TEST(Eccentricity, IgnoresOtherComponents) {
+  const CsrGraph g = disjoint_copies(path(5), 2);
+  EXPECT_EQ(eccentricity(g, 0), 4u);
+}
+
+TEST(ExactDiameter, KnownValues) {
+  EXPECT_EQ(exact_diameter(path(10)), 9u);
+  EXPECT_EQ(exact_diameter(cycle(10)), 5u);
+  EXPECT_EQ(exact_diameter(cycle(11)), 5u);
+  EXPECT_EQ(exact_diameter(complete(6)), 1u);
+  EXPECT_EQ(exact_diameter(star(10)), 2u);
+  EXPECT_EQ(exact_diameter(grid2d(4, 7)), 9u);
+  EXPECT_EQ(exact_diameter(hypercube(4)), 4u);
+}
+
+TEST(ExactDiameter, TrivialGraphs) {
+  const CsrGraph empty;
+  EXPECT_EQ(exact_diameter(empty), 0u);
+  EXPECT_EQ(exact_diameter(path(1)), 0u);
+  EXPECT_EQ(exact_diameter(path(2)), 1u);
+}
+
+TEST(TwoSweep, ExactOnTrees) {
+  EXPECT_EQ(two_sweep_diameter_lower_bound(path(33)), 32u);
+  EXPECT_EQ(two_sweep_diameter_lower_bound(complete_binary_tree(31)),
+            exact_diameter(complete_binary_tree(31)));
+  EXPECT_EQ(two_sweep_diameter_lower_bound(caterpillar(10, 2)),
+            exact_diameter(caterpillar(10, 2)));
+}
+
+TEST(TwoSweep, LowerBoundsExactDiameter) {
+  // Connected graphs only: the sweep starts at vertex 0 and measures the
+  // component containing it.
+  const CsrGraph graphs[] = {grid2d(6, 9), cycle(21), hypercube(5),
+                             caterpillar(12, 2), barbell(7)};
+  for (const CsrGraph& g : graphs) {
+    EXPECT_LE(two_sweep_diameter_lower_bound(g), exact_diameter(g));
+    EXPECT_GE(2 * two_sweep_diameter_lower_bound(g), exact_diameter(g));
+  }
+}
+
+}  // namespace
+}  // namespace mpx

@@ -1,0 +1,206 @@
+// End-to-end integration tests: the full pipelines a downstream user would
+// run, plus qualitative reproductions of the paper's claims at test scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "mpx/mpx.hpp"
+
+namespace mpx {
+namespace {
+
+using namespace mpx::generators;
+
+TEST(Integration, QuickstartPipeline) {
+  // The README quickstart, verbatim.
+  // beta = 0.3 keeps the O(log n / beta) radius well under the grid's
+  // side, so multiple clusters appear for essentially every seed.
+  const CsrGraph g = grid2d(50, 50);
+  PartitionOptions opt;
+  opt.beta = 0.3;
+  opt.seed = 42;
+  const Decomposition dec = partition(g, opt);
+  const DecompositionStats stats = analyze(dec, g);
+  EXPECT_TRUE(verify_decomposition(dec, g).ok);
+  EXPECT_GT(stats.num_clusters, 1u);
+  EXPECT_LT(stats.cut_fraction, 0.5);
+}
+
+TEST(Integration, Figure1TrendsAtTestScale) {
+  // Figure 1's qualitative content on a 60x60 grid: as beta grows, the
+  // number of clusters grows, the max radius shrinks, and the cut
+  // fraction grows.
+  const CsrGraph g = grid2d(60, 60);
+  const double betas[] = {0.02, 0.1, 0.4};
+  std::vector<double> clusters;
+  std::vector<double> radii;
+  std::vector<double> cuts;
+  for (const double beta : betas) {
+    double c = 0;
+    double r = 0;
+    double cut = 0;
+    const int kSeeds = 5;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      PartitionOptions opt;
+      opt.beta = beta;
+      opt.seed = static_cast<std::uint64_t>(seed);
+      const Decomposition dec = partition(g, opt);
+      const DecompositionStats s = analyze(dec, g);
+      c += s.num_clusters;
+      r += s.max_radius;
+      cut += s.cut_fraction;
+    }
+    clusters.push_back(c / kSeeds);
+    radii.push_back(r / kSeeds);
+    cuts.push_back(cut / kSeeds);
+  }
+  EXPECT_LT(clusters[0], clusters[1]);
+  EXPECT_LT(clusters[1], clusters[2]);
+  EXPECT_GT(radii[0], radii[1]);
+  EXPECT_GT(radii[1], radii[2]);
+  EXPECT_LT(cuts[0], cuts[1]);
+  EXPECT_LT(cuts[1], cuts[2]);
+}
+
+TEST(Integration, MpxVsBallGrowingQualityParity) {
+  // E7's qualitative claim: the parallel algorithm matches sequential ball
+  // growing's decomposition quality (within constants) at far lower depth.
+  const CsrGraph g = grid2d(40, 40);
+  const double beta = 0.1;
+
+  double mpx_cut = 0.0;
+  const int kSeeds = 5;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    PartitionOptions opt;
+    opt.beta = beta;
+    opt.seed = static_cast<std::uint64_t>(seed);
+    mpx_cut += analyze(partition(g, opt), g).cut_fraction;
+  }
+  mpx_cut /= kSeeds;
+
+  BallGrowingOptions bopt;
+  bopt.beta = beta;
+  const double ball_cut =
+      analyze(ball_growing_decomposition(g, bopt), g).cut_fraction;
+
+  EXPECT_LT(mpx_cut, 8.0 * std::max(ball_cut, beta / 4.0));
+}
+
+TEST(Integration, DecompositionFeedsSpannerAndTree) {
+  const CsrGraph g = erdos_renyi(300, 1200, 17);
+  PartitionOptions opt;
+  opt.beta = 0.2;
+  opt.seed = 9;
+
+  const SpannerResult spanner = ldd_spanner(g, opt);
+  EXPECT_LT(spanner.spanner.num_edges(), g.num_edges());
+  EXPECT_EQ(connected_components(spanner.spanner).count,
+            connected_components(g).count);
+
+  LowStretchTreeOptions lopt;
+  lopt.seed = 9;
+  const LowStretchTreeResult lst = low_stretch_tree(g, lopt);
+  EXPECT_TRUE(is_connected(lst.tree));
+  const EdgeStretch stretch = edge_stretch(g, lst.tree);
+  EXPECT_GE(stretch.average, 1.0);
+}
+
+TEST(Integration, SolverPipelineOnWeightedGraph) {
+  // Weighted end-to-end: random weights, tree preconditioner from the
+  // unweighted LSST topology reweighted by the graph's weights.
+  const CsrGraph topo = grid2d(12, 12);
+  const std::vector<Edge> edges = edge_list(topo);
+  std::vector<WeightedEdge> wedges;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    wedges.push_back({edges[i].u, edges[i].v,
+                      0.5 + uniform_double(hash_stream(3, i))});
+  }
+  const WeightedCsrGraph g = build_undirected_weighted(
+      topo.num_vertices(), std::span<const WeightedEdge>(wedges));
+
+  LowStretchTreeOptions lopt;
+  lopt.seed = 4;
+  const CsrGraph tree_topo = low_stretch_tree(topo, lopt).tree;
+  // Reweight tree edges with the host graph's weights.
+  std::vector<WeightedEdge> tree_edges;
+  for (vertex_t u = 0; u < tree_topo.num_vertices(); ++u) {
+    const auto nbrs = tree_topo.neighbors(u);
+    for (const vertex_t v : nbrs) {
+      if (u >= v) continue;
+      const auto host_nbrs = g.neighbors(u);
+      const auto host_ws = g.arc_weights(u);
+      for (std::size_t i = 0; i < host_nbrs.size(); ++i) {
+        if (host_nbrs[i] == v) {
+          tree_edges.push_back({u, v, host_ws[i]});
+          break;
+        }
+      }
+    }
+  }
+  const WeightedCsrGraph tree = build_undirected_weighted(
+      topo.num_vertices(), std::span<const WeightedEdge>(tree_edges));
+
+  const LaplacianOperator lap(g);
+  std::vector<double> b(g.num_vertices());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = uniform_double(hash_stream(8, i)) - 0.5;
+  }
+  project_mean_zero(b);
+  const TreePreconditioner precond(tree);
+  const PcgResult r = pcg_solve(lap, b, precond);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Integration, WeightedAndUnweightedAgreeOnUnitWeights) {
+  // Same seed, unit weights: the weighted Dijkstra and the BFS routine
+  // solve the same optimization, so cluster counts should be in the same
+  // ballpark (exact tie handling differs in degenerate integer cases).
+  const CsrGraph topo = grid2d(20, 20);
+  PartitionOptions opt;
+  opt.beta = 0.15;
+  opt.seed = 21;
+  const Decomposition unweighted = partition(topo, opt);
+  const WeightedDecomposition weighted =
+      weighted_partition(with_unit_weights(topo), opt);
+  const double ku = unweighted.num_clusters();
+  const double kw = weighted.num_clusters();
+  EXPECT_LT(std::fabs(ku - kw), 0.5 * std::max(ku, kw) + 5.0);
+}
+
+TEST(Integration, BlockDecompositionConsumesPartitions) {
+  // High-diameter input: a (1/2, O(log n)) partition of a grid always cuts
+  // something, so multiple blocks appear.
+  const CsrGraph g = grid2d(25, 25);
+  const BlockDecomposition blocks = block_decomposition(g);
+  EXPECT_GE(blocks.num_blocks, 2u);
+  // Union of blocks is the edge set.
+  EXPECT_EQ(blocks.edges.size(), static_cast<std::size_t>(g.num_edges()));
+}
+
+TEST(Integration, GridImageRoundTrip) {
+  // Figure 1's artifact at reduced scale: render and re-read the PPM.
+  const vertex_t side = 32;
+  const CsrGraph g = grid2d(side, side);
+  PartitionOptions opt;
+  opt.beta = 0.1;
+  opt.seed = 2;
+  const Decomposition dec = partition(g, opt);
+  const viz::Image img = viz::render_grid_decomposition(dec, side, side);
+  const std::string path = ::testing::TempDir() + "/mpx_fig1_small.ppm";
+  img.save_ppm(path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  std::size_t w = 0;
+  std::size_t h = 0;
+  int maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, side);
+  EXPECT_EQ(h, side);
+  EXPECT_EQ(maxval, 255);
+}
+
+}  // namespace
+}  // namespace mpx

@@ -1,0 +1,85 @@
+// Tests for plain-text edge-list I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace mpx {
+namespace {
+
+TEST(Io, RoundTripUnweighted) {
+  const CsrGraph g = generators::grid2d(6, 7);
+  std::stringstream buffer;
+  io::write_edge_list(buffer, g);
+  const CsrGraph back = io::read_edge_list(buffer);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_TRUE(std::equal(back.targets().begin(), back.targets().end(),
+                         g.targets().begin()));
+}
+
+TEST(Io, RoundTripWeighted) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1.5}, {1, 2, 2.25}};
+  const WeightedCsrGraph g =
+      build_undirected_weighted(3, std::span<const WeightedEdge>(edges));
+  std::stringstream buffer;
+  io::write_edge_list(buffer, g);
+  const WeightedCsrGraph back = io::read_weighted_edge_list(buffer);
+  EXPECT_EQ(back.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(back.arc_weights(0)[0], 1.5);
+  EXPECT_DOUBLE_EQ(back.arc_weights(2)[0], 2.25);
+}
+
+TEST(Io, SkipsComments) {
+  std::stringstream in("# a comment\n3 2\n# another\n0 1\n1 2\n");
+  const CsrGraph g = io::read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Io, NormalizesDuplicatesAndLoops) {
+  std::stringstream in("4 4\n0 1\n1 0\n2 2\n0 1\n");
+  const CsrGraph g = io::read_edge_list(in);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Io, ThrowsOnMissingHeader) {
+  std::stringstream in("# only comments\n");
+  EXPECT_THROW((void)io::read_edge_list(in), std::runtime_error);
+}
+
+TEST(Io, ThrowsOnTruncatedEdges) {
+  std::stringstream in("3 5\n0 1\n");
+  EXPECT_THROW((void)io::read_edge_list(in), std::runtime_error);
+}
+
+TEST(Io, ThrowsOnOutOfRangeEndpoint) {
+  std::stringstream in("3 1\n0 7\n");
+  EXPECT_THROW((void)io::read_edge_list(in), std::runtime_error);
+}
+
+TEST(Io, ThrowsOnNonPositiveWeight) {
+  std::stringstream in("3 1\n0 1 -2.0\n");
+  EXPECT_THROW((void)io::read_weighted_edge_list(in), std::runtime_error);
+}
+
+TEST(Io, ThrowsOnUnopenablePath) {
+  EXPECT_THROW((void)io::load_edge_list("/nonexistent/dir/graph.txt"),
+               std::runtime_error);
+}
+
+TEST(Io, FileRoundTrip) {
+  const CsrGraph g = generators::cycle(17);
+  const std::string path = ::testing::TempDir() + "/mpx_io_cycle.txt";
+  io::save_edge_list(path, g);
+  const CsrGraph back = io::load_edge_list(path);
+  EXPECT_EQ(back.num_edges(), 17u);
+  EXPECT_TRUE(std::equal(back.targets().begin(), back.targets().end(),
+                         g.targets().begin()));
+}
+
+}  // namespace
+}  // namespace mpx

@@ -1,0 +1,175 @@
+// Tests for the Laplacian operator and preconditioners.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "apps/laplacian.hpp"
+#include "apps/low_stretch_tree.hpp"
+#include "graph/generators.hpp"
+#include "support/random.hpp"
+
+namespace mpx {
+namespace {
+
+using namespace mpx::generators;
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = uniform_double(hash_stream(seed, i)) - 0.5;
+  }
+  return x;
+}
+
+/// Dense reference: (L x)_u = deg-weighted difference sum.
+std::vector<double> dense_laplacian_apply(const WeightedCsrGraph& g,
+                                          const std::vector<double>& x) {
+  std::vector<double> y(g.num_vertices(), 0.0);
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.arc_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      y[u] += ws[i] * (x[u] - x[nbrs[i]]);
+    }
+  }
+  return y;
+}
+
+TEST(Laplacian, ApplyMatchesDenseReference) {
+  const WeightedCsrGraph g = with_unit_weights(grid2d(9, 9));
+  const LaplacianOperator lap(g);
+  const std::vector<double> x = random_vector(g.num_vertices(), 3);
+  std::vector<double> y(g.num_vertices());
+  lap.apply(x, y);
+  const std::vector<double> expected = dense_laplacian_apply(g, x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], expected[i], 1e-12);
+  }
+}
+
+TEST(Laplacian, ConstantVectorsAreInTheNullspace) {
+  const WeightedCsrGraph g = with_unit_weights(erdos_renyi(100, 300, 2));
+  const LaplacianOperator lap(g);
+  const std::vector<double> ones(g.num_vertices(), 3.5);
+  std::vector<double> y(g.num_vertices());
+  lap.apply(ones, y);
+  for (const double v : y) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Laplacian, QuadraticFormIsEdgeEnergy) {
+  // x^T L x = sum_{uv} w(u,v) (x_u - x_v)^2.
+  const std::vector<WeightedEdge> edges = {{0, 1, 2.0}, {1, 2, 0.5}};
+  const WeightedCsrGraph g =
+      build_undirected_weighted(3, std::span<const WeightedEdge>(edges));
+  const LaplacianOperator lap(g);
+  const std::vector<double> x = {1.0, 3.0, 0.0};
+  std::vector<double> y(3);
+  lap.apply(x, y);
+  double quad = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) quad += x[i] * y[i];
+  EXPECT_NEAR(quad, 2.0 * 4.0 + 0.5 * 9.0, 1e-12);
+}
+
+TEST(Laplacian, DiagonalIsWeightedDegree) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 2.0}, {0, 2, 3.0}};
+  const WeightedCsrGraph g =
+      build_undirected_weighted(3, std::span<const WeightedEdge>(edges));
+  const LaplacianOperator lap(g);
+  EXPECT_DOUBLE_EQ(lap.diagonal(0), 5.0);
+  EXPECT_DOUBLE_EQ(lap.diagonal(1), 2.0);
+}
+
+TEST(Preconditioners, IdentityCopies) {
+  IdentityPreconditioner id;
+  const std::vector<double> r = {1.0, -2.0, 3.0};
+  std::vector<double> z(3);
+  id.apply(r, z);
+  EXPECT_EQ(z, r);
+}
+
+TEST(Preconditioners, JacobiDividesByDegree) {
+  const WeightedCsrGraph g = with_unit_weights(star(5));
+  JacobiPreconditioner jacobi(g);
+  const std::vector<double> r = {4.0, 1.0, 1.0, 1.0, 1.0};
+  std::vector<double> z(5);
+  jacobi.apply(r, z);
+  EXPECT_DOUBLE_EQ(z[0], 1.0);  // center has degree 4
+  EXPECT_DOUBLE_EQ(z[1], 1.0);  // leaves have degree 1
+}
+
+TEST(TreePreconditionerTest, SolvesTreeSystemsExactly) {
+  // On a tree, the preconditioner IS the (pseudo-)inverse: L_T z = r for
+  // mean-zero r.
+  for (const std::uint64_t seed : {1ull, 2ull}) {
+    const CsrGraph topo = complete_binary_tree(31);
+    const WeightedCsrGraph tree = with_unit_weights(topo);
+    const TreePreconditioner precond(tree);
+    std::vector<double> r = random_vector(tree.num_vertices(), seed);
+    project_mean_zero(r);
+    std::vector<double> z(tree.num_vertices());
+    precond.apply(r, z);
+    const LaplacianOperator lap(tree);
+    std::vector<double> back(tree.num_vertices());
+    lap.apply(z, back);
+    for (std::size_t i = 0; i < back.size(); ++i) {
+      EXPECT_NEAR(back[i], r[i], 1e-9);
+    }
+  }
+}
+
+TEST(TreePreconditionerTest, WeightedTreeSolve) {
+  const std::vector<WeightedEdge> edges = {
+      {0, 1, 2.0}, {1, 2, 0.25}, {1, 3, 1.0}, {3, 4, 4.0}};
+  const WeightedCsrGraph tree =
+      build_undirected_weighted(5, std::span<const WeightedEdge>(edges));
+  const TreePreconditioner precond(tree);
+  std::vector<double> r = {1.0, -0.5, 0.75, -1.5, 0.25};
+  project_mean_zero(r);
+  std::vector<double> z(5);
+  precond.apply(r, z);
+  const LaplacianOperator lap(tree);
+  std::vector<double> back(5);
+  lap.apply(z, back);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(back[i], r[i], 1e-10);
+}
+
+TEST(TreePreconditionerTest, HandlesForests) {
+  const CsrGraph forest = generators::disjoint_copies(path(4), 2);
+  const WeightedCsrGraph tree = with_unit_weights(forest);
+  const TreePreconditioner precond(tree);
+  // Mean-zero per component input.
+  std::vector<double> r = {1.0, -1.0, 2.0, -2.0, 0.5, -0.5, 1.5, -1.5};
+  std::vector<double> z(8);
+  precond.apply(r, z);
+  const LaplacianOperator lap(tree);
+  std::vector<double> back(8);
+  lap.apply(z, back);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(back[i], r[i], 1e-10);
+}
+
+TEST(TreePreconditionerTest, OutputIsMeanZero) {
+  const WeightedCsrGraph tree = with_unit_weights(path(16));
+  const TreePreconditioner precond(tree);
+  std::vector<double> r = random_vector(16, 9);
+  project_mean_zero(r);
+  std::vector<double> z(16);
+  precond.apply(r, z);
+  double sum = 0.0;
+  for (const double v : z) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(ProjectMeanZero, RemovesTheMean) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 6.0};
+  project_mean_zero(x);
+  EXPECT_DOUBLE_EQ(x[0], -2.0);
+  EXPECT_DOUBLE_EQ(x[3], 3.0);
+  double sum = 0.0;
+  for (const double v : x) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mpx

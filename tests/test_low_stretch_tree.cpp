@@ -1,0 +1,172 @@
+// Tests for contraction, the AKPW low-stretch tree, and the LCA-based
+// tree-distance oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/contraction.hpp"
+#include "apps/low_stretch_tree.hpp"
+#include "bfs/sequential_bfs.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+
+namespace mpx {
+namespace {
+
+using namespace mpx::generators;
+
+TEST(Contraction, QuotientOfPathBlocks) {
+  const CsrGraph g = path(6);
+  const std::vector<cluster_t> assignment = {0, 0, 1, 1, 2, 2};
+  const ContractionResult r = contract_clusters(g, assignment, 3);
+  EXPECT_EQ(r.graph.num_vertices(), 3u);
+  EXPECT_EQ(r.graph.num_edges(), 2u);
+  ASSERT_EQ(r.representative.size(), 2u);
+  // Quotient edge 0-1 is realized by original edge 1-2; 1-2 by 3-4.
+  EXPECT_EQ(r.representative[0].u, 1u);
+  EXPECT_EQ(r.representative[0].v, 2u);
+  EXPECT_EQ(r.representative[1].u, 3u);
+  EXPECT_EQ(r.representative[1].v, 4u);
+}
+
+TEST(Contraction, CollapsesParallelEdgesDeterministically) {
+  const CsrGraph g = cycle(6);
+  const std::vector<cluster_t> assignment = {0, 0, 0, 1, 1, 1};
+  const ContractionResult r = contract_clusters(g, assignment, 2);
+  EXPECT_EQ(r.graph.num_edges(), 1u);  // edges 2-3 and 5-0 collapse
+  // The smallest realizing edge is kept: (0,5) sorts before (2,3).
+  EXPECT_EQ(r.representative[0].u, 0u);
+  EXPECT_EQ(r.representative[0].v, 5u);
+}
+
+TEST(Contraction, RepresentativePropagation) {
+  // Two-level contraction: reps must refer to the original graph.
+  const CsrGraph g = path(8);
+  const std::vector<cluster_t> level1 = {0, 0, 1, 1, 2, 2, 3, 3};
+  const ContractionResult r1 = contract_clusters(g, level1, 4);
+  const std::vector<cluster_t> level2 = {0, 0, 1, 1};
+  const ContractionResult r2 =
+      contract_clusters(r1.graph, level2, 2,
+                        std::span<const Edge>(r1.representative));
+  ASSERT_EQ(r2.representative.size(), 1u);
+  // The surviving quotient edge joins {0..3} to {4..7}: original edge 3-4.
+  EXPECT_EQ(r2.representative[0].u, 3u);
+  EXPECT_EQ(r2.representative[0].v, 4u);
+}
+
+TEST(LowStretchTree, SpanningTreeOnConnectedGraphs) {
+  const CsrGraph graphs[] = {grid2d(12, 12), cycle(100),
+                             erdos_renyi(200, 800, 3), hypercube(7),
+                             barbell(10)};
+  for (const CsrGraph& g : graphs) {
+    const LowStretchTreeResult r = low_stretch_tree(g);
+    EXPECT_EQ(r.tree.num_vertices(), g.num_vertices());
+    EXPECT_EQ(r.tree.num_edges(),
+              static_cast<edge_t>(g.num_vertices()) - 1);
+    EXPECT_TRUE(is_connected(r.tree));
+    EXPECT_GE(r.levels, 1u);
+  }
+}
+
+TEST(LowStretchTree, SpanningForestOnDisconnectedGraphs) {
+  const CsrGraph g = disjoint_copies(grid2d(6, 6), 3);
+  const LowStretchTreeResult r = low_stretch_tree(g);
+  EXPECT_EQ(r.tree.num_edges(),
+            static_cast<edge_t>(g.num_vertices()) - 3);
+  EXPECT_EQ(connected_components(r.tree).count, 3u);
+}
+
+TEST(LowStretchTree, TreeEdgesAreGraphEdges) {
+  const CsrGraph g = erdos_renyi(150, 600, 5);
+  const LowStretchTreeResult r = low_stretch_tree(g);
+  for (vertex_t u = 0; u < r.tree.num_vertices(); ++u) {
+    for (const vertex_t v : r.tree.neighbors(u)) {
+      EXPECT_TRUE(g.has_edge(u, v));
+    }
+  }
+}
+
+TEST(LowStretchTree, TreeInputIsItself) {
+  const CsrGraph g = complete_binary_tree(63);
+  const LowStretchTreeResult r = low_stretch_tree(g);
+  EXPECT_EQ(r.tree.num_edges(), g.num_edges());
+  const EdgeStretch s = edge_stretch(g, r.tree);
+  EXPECT_DOUBLE_EQ(s.average, 1.0);
+  EXPECT_EQ(s.maximum, 1u);
+}
+
+TEST(LowStretchTree, StretchIsModestOnGrids) {
+  const CsrGraph g = grid2d(20, 20);
+  const LowStretchTreeResult r = low_stretch_tree(g);
+  const EdgeStretch s = edge_stretch(g, r.tree);
+  // AKPW-style average stretch on a 400-vertex grid should be far below
+  // the worst case (grid side = 20).
+  EXPECT_LT(s.average, 40.0);
+  EXPECT_GE(s.average, 1.0);
+}
+
+TEST(LowStretchTree, SeedDeterminism) {
+  const CsrGraph g = erdos_renyi(100, 300, 7);
+  LowStretchTreeOptions opt;
+  opt.seed = 11;
+  const LowStretchTreeResult a = low_stretch_tree(g, opt);
+  const LowStretchTreeResult b = low_stretch_tree(g, opt);
+  EXPECT_TRUE(std::equal(a.tree.targets().begin(), a.tree.targets().end(),
+                         b.tree.targets().begin()));
+}
+
+TEST(TreeOracle, DistancesMatchBfsOnRandomTrees) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    // Random spanning tree of an ER graph via low_stretch_tree.
+    const CsrGraph g = erdos_renyi(120, 500, seed);
+    LowStretchTreeOptions opt;
+    opt.seed = seed;
+    const CsrGraph tree = low_stretch_tree(g, opt).tree;
+    const TreeDistanceOracle oracle(tree);
+    for (vertex_t u = 0; u < tree.num_vertices(); u += 17) {
+      const auto dist = bfs_distances(tree, u);
+      for (vertex_t v = 0; v < tree.num_vertices(); ++v) {
+        EXPECT_EQ(oracle.distance(u, v), dist[v]) << u << "->" << v;
+      }
+    }
+  }
+}
+
+TEST(TreeOracle, PathTreeDistances) {
+  const CsrGraph tree = path(50);
+  const TreeDistanceOracle oracle(tree);
+  EXPECT_EQ(oracle.distance(0, 49), 49u);
+  EXPECT_EQ(oracle.distance(10, 10), 0u);
+  EXPECT_EQ(oracle.distance(7, 3), 4u);
+  EXPECT_EQ(oracle.lca(3, 7), 3u);  // rooted at 0
+}
+
+TEST(TreeOracle, LcaOnBinaryTree) {
+  const CsrGraph tree = complete_binary_tree(15);
+  const TreeDistanceOracle oracle(tree);
+  EXPECT_EQ(oracle.lca(7, 8), 3u);   // siblings under 3
+  EXPECT_EQ(oracle.lca(7, 14), 0u);  // opposite subtrees
+  EXPECT_EQ(oracle.lca(3, 7), 3u);   // ancestor
+  EXPECT_EQ(oracle.distance(7, 8), 2u);
+  EXPECT_EQ(oracle.distance(7, 14), 6u);
+}
+
+TEST(TreeOracle, CrossComponentQueriesAreInf) {
+  const CsrGraph forest = disjoint_copies(path(5), 2);
+  const TreeDistanceOracle oracle(forest);
+  EXPECT_EQ(oracle.distance(0, 7), kInfDist);
+  EXPECT_EQ(oracle.lca(0, 7), kInvalidVertex);
+  EXPECT_EQ(oracle.distance(5, 9), 4u);
+}
+
+TEST(EdgeStretchMetric, CycleWorstCase) {
+  // Spanning tree of a cycle = path; the closing edge stretches n-1.
+  const CsrGraph g = cycle(32);
+  const LowStretchTreeResult r = low_stretch_tree(g);
+  const EdgeStretch s = edge_stretch(g, r.tree);
+  EXPECT_EQ(s.maximum, 31u);
+  EXPECT_NEAR(s.average, (31.0 + 31.0) / 32.0, 1.0);
+}
+
+}  // namespace
+}  // namespace mpx

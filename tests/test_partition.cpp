@@ -1,0 +1,318 @@
+// Core correctness tests for mpx::partition: structural invariants,
+// equivalence between the BFS implementation (Algorithm 1) and the exact
+// Algorithm 2 references, determinism, and the shift-based diameter bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/random.hpp"
+#include "graph/builder.hpp"
+#include "core/exact_partition.hpp"
+#include "core/metrics.hpp"
+#include "core/partition.hpp"
+#include "core/verify.hpp"
+#include "graph/generators.hpp"
+#include "parallel/thread_env.hpp"
+
+namespace mpx {
+namespace {
+
+using namespace mpx::generators;
+
+PartitionOptions opts(double beta, std::uint64_t seed,
+                      TieBreak tb = TieBreak::kFractionalShift) {
+  PartitionOptions o;
+  o.beta = beta;
+  o.seed = seed;
+  o.tie_break = tb;
+  return o;
+}
+
+TEST(Partition, CoversEveryVertex) {
+  const CsrGraph g = grid2d(20, 20);
+  const Decomposition dec = partition(g, opts(0.2, 1));
+  EXPECT_EQ(dec.num_vertices(), g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LT(dec.cluster_of(v), dec.num_clusters());
+  }
+}
+
+TEST(Partition, CentersAnchorTheirOwnClusters) {
+  const CsrGraph g = erdos_renyi(500, 1500, 3);
+  const Decomposition dec = partition(g, opts(0.1, 5));
+  for (cluster_t c = 0; c < dec.num_clusters(); ++c) {
+    EXPECT_EQ(dec.cluster_of(dec.center(c)), c);
+    EXPECT_EQ(dec.dist_to_center(dec.center(c)), 0u);
+  }
+}
+
+TEST(Partition, VerifierAcceptsPartitions) {
+  const CsrGraph g = grid2d(15, 15);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Decomposition dec = partition(g, opts(0.15, seed));
+    const VerifyResult vr = verify_decomposition(dec, g);
+    EXPECT_TRUE(vr.ok) << vr.message;
+  }
+}
+
+TEST(Partition, VerifierWithShiftBound) {
+  const CsrGraph g = erdos_renyi(300, 900, 11);
+  const Shifts shifts = generate_shifts(g.num_vertices(), opts(0.1, 2));
+  const Decomposition dec = partition_with_shifts(g, shifts);
+  const VerifyResult vr = verify_decomposition(dec, g, shifts);
+  EXPECT_TRUE(vr.ok) << vr.message;
+}
+
+TEST(Partition, MatchesExactDiscreteReference) {
+  // The delayed BFS and the brute-force (start + dist, rank) argmin must
+  // agree exactly — this is the executable form of the Section 5
+  // equivalence argument.
+  const CsrGraph graphs[] = {path(40),           cycle(31),
+                             grid2d(8, 9),       complete(25),
+                             star(50),           complete_binary_tree(63),
+                             erdos_renyi(80, 200, 1), barbell(10)};
+  for (const CsrGraph& g : graphs) {
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      const Shifts shifts =
+          generate_shifts(g.num_vertices(), opts(0.2, seed));
+      const Decomposition bfs = partition_with_shifts(g, shifts);
+      const Decomposition exact = exact_partition_discrete(g, shifts);
+      ASSERT_EQ(bfs.num_clusters(), exact.num_clusters());
+      for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+        ASSERT_EQ(bfs.center(bfs.cluster_of(v)),
+                  exact.center(exact.cluster_of(v)))
+            << "vertex " << v << " seed " << seed;
+        ASSERT_EQ(bfs.dist_to_center(v), exact.dist_to_center(v));
+      }
+    }
+  }
+}
+
+TEST(Partition, MatchesExactRealReferenceUnderFractionalTies) {
+  // With fractional tie-breaking, the discrete schedule reproduces the
+  // real-valued shifted-distance ordering of Algorithm 2 exactly.
+  const CsrGraph graphs[] = {path(30), grid2d(7, 7),
+                             erdos_renyi(60, 150, 2), cycle(25)};
+  for (const CsrGraph& g : graphs) {
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      const Shifts shifts =
+          generate_shifts(g.num_vertices(),
+                          opts(0.3, seed, TieBreak::kFractionalShift));
+      const Decomposition bfs = partition_with_shifts(g, shifts);
+      const Decomposition real = exact_partition_real(g, shifts);
+      for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+        ASSERT_EQ(bfs.center(bfs.cluster_of(v)),
+                  real.center(real.cluster_of(v)))
+            << "vertex " << v << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(Partition, DeterministicAcrossThreadCounts) {
+  const CsrGraph g = rmat(10, 5.0, 9);
+  std::vector<cluster_t> a;
+  std::vector<cluster_t> b;
+  {
+    ScopedNumThreads guard(1);
+    const Decomposition dec = partition(g, opts(0.05, 77));
+    a.assign(dec.assignment().begin(), dec.assignment().end());
+  }
+  {
+    ScopedNumThreads guard(max_threads());
+    const Decomposition dec = partition(g, opts(0.05, 77));
+    b.assign(dec.assignment().begin(), dec.assignment().end());
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(Partition, SeedChangesTheResult) {
+  const CsrGraph g = grid2d(30, 30);
+  const Decomposition a = partition(g, opts(0.1, 1));
+  const Decomposition b = partition(g, opts(0.1, 2));
+  // Different shifts virtually always give different clusterings.
+  bool any_different = a.num_clusters() != b.num_clusters();
+  for (vertex_t v = 0; !any_different && v < g.num_vertices(); ++v) {
+    any_different = a.center(a.cluster_of(v)) != b.center(b.cluster_of(v));
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Partition, RadiusRespectsShiftBound) {
+  // dist(v, center) <= delta_center + 1 for every vertex (Lemma 4.2 route
+  // to the diameter bound).
+  const CsrGraph g = erdos_renyi(400, 1000, 4);
+  const Shifts shifts = generate_shifts(g.num_vertices(), opts(0.05, 3));
+  const Decomposition dec = partition_with_shifts(g, shifts);
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    const vertex_t center = dec.center(dec.cluster_of(v));
+    EXPECT_LE(static_cast<double>(dec.dist_to_center(v)),
+              shifts.delta[center] + 1.0);
+  }
+}
+
+TEST(Partition, SingletonAndEmptyGraphs) {
+  const std::vector<Edge> none;
+  const CsrGraph empty = build_undirected(0, std::span<const Edge>(none));
+  const Decomposition dec_empty = partition(empty, opts(0.5, 1));
+  EXPECT_EQ(dec_empty.num_clusters(), 0u);
+
+  const CsrGraph one = build_undirected(1, std::span<const Edge>(none));
+  const Decomposition dec_one = partition(one, opts(0.5, 1));
+  EXPECT_EQ(dec_one.num_clusters(), 1u);
+  EXPECT_EQ(dec_one.center(0), 0u);
+}
+
+TEST(Partition, EdgelessGraphMakesSingletons) {
+  const std::vector<Edge> none;
+  const CsrGraph g = build_undirected(10, std::span<const Edge>(none));
+  const Decomposition dec = partition(g, opts(0.3, 6));
+  EXPECT_EQ(dec.num_clusters(), 10u);
+  for (vertex_t v = 0; v < 10; ++v) {
+    EXPECT_EQ(dec.center(dec.cluster_of(v)), v);
+  }
+}
+
+TEST(Partition, DisconnectedGraphPartitionsEachComponent) {
+  const CsrGraph g = disjoint_copies(grid2d(6, 6), 3);
+  const Decomposition dec = partition(g, opts(0.2, 8));
+  const VerifyResult vr = verify_decomposition(dec, g);
+  EXPECT_TRUE(vr.ok) << vr.message;
+  // A cluster never spans two copies.
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(dec.center(dec.cluster_of(v)) / 36, v / 36);
+  }
+}
+
+TEST(Partition, CompleteGraphBecomesOneClusterForSmallBeta) {
+  // On K_n the first center to wake claims everything one round later
+  // unless another center wakes within that round; with tiny beta the
+  // start times are far apart, so a single cluster is typical.
+  const CsrGraph g = complete(60);
+  int single = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Decomposition dec = partition(g, opts(0.01, seed));
+    if (dec.num_clusters() <= 2) ++single;
+  }
+  EXPECT_GE(single, 8);
+}
+
+TEST(Partition, PathGraphClusterCountScalesWithBeta) {
+  // On a path, cut probability per edge ~ beta: expect ~ beta*n pieces.
+  const CsrGraph g = path(4000);
+  const Decomposition coarse = partition(g, opts(0.02, 3));
+  const Decomposition fine = partition(g, opts(0.2, 3));
+  EXPECT_LT(coarse.num_clusters(), fine.num_clusters());
+  EXPECT_GT(coarse.num_clusters(), 10u);     // ~80 expected
+  EXPECT_LT(coarse.num_clusters(), 400u);
+  EXPECT_GT(fine.num_clusters(), 300u);      // ~800 expected
+}
+
+TEST(Partition, AllTieBreakModesYieldValidDecompositions) {
+  const CsrGraph g = grid2d(12, 12);
+  for (const TieBreak tb :
+       {TieBreak::kFractionalShift, TieBreak::kRandomPermutation,
+        TieBreak::kLexicographic}) {
+    const Decomposition dec = partition(g, opts(0.15, 4, tb));
+    const VerifyResult vr = verify_decomposition(dec, g);
+    EXPECT_TRUE(vr.ok) << "mode " << static_cast<int>(tb) << ": "
+                       << vr.message;
+  }
+}
+
+TEST(Partition, TieBreakModeMatchesItsOwnExactReference) {
+  // The discrete reference uses the same (start, rank) order, so it must
+  // agree for permutation and lexicographic modes too.
+  const CsrGraph g = erdos_renyi(70, 180, 6);
+  for (const TieBreak tb :
+       {TieBreak::kRandomPermutation, TieBreak::kLexicographic}) {
+    const Shifts shifts = generate_shifts(g.num_vertices(), opts(0.2, 5, tb));
+    const Decomposition bfs = partition_with_shifts(g, shifts);
+    const Decomposition exact = exact_partition_discrete(g, shifts);
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(bfs.center(bfs.cluster_of(v)),
+                exact.center(exact.cluster_of(v)))
+          << "mode " << static_cast<int>(tb);
+    }
+  }
+}
+
+TEST(Partition, ProvenanceFieldsPopulated) {
+  const CsrGraph g = grid2d(25, 25);
+  const Decomposition dec = partition(g, opts(0.1, 12));
+  EXPECT_GT(dec.bfs_rounds, 0u);
+  EXPECT_GT(dec.arcs_scanned, 0u);
+  EXPECT_LE(dec.arcs_scanned, g.num_arcs());
+}
+
+TEST(Metrics, AnalyzeReportsConsistentNumbers) {
+  const CsrGraph g = grid2d(20, 20);
+  const Decomposition dec = partition(g, opts(0.2, 9));
+  const DecompositionStats s = analyze(dec, g);
+  EXPECT_EQ(s.num_clusters, dec.num_clusters());
+  EXPECT_LE(s.cut_edges, g.num_edges());
+  EXPECT_GE(s.cut_fraction, 0.0);
+  EXPECT_LE(s.cut_fraction, 1.0);
+  EXPECT_GE(s.max_radius, s.mean_radius);
+  EXPECT_EQ(s.diameter_upper_bound(), 2 * s.max_radius);
+
+  const std::vector<vertex_t> sizes = cluster_sizes(dec);
+  vertex_t total = 0;
+  for (const vertex_t size : sizes) {
+    EXPECT_GE(size, 1u);
+    total += size;
+  }
+  EXPECT_EQ(total, g.num_vertices());
+  EXPECT_EQ(s.max_cluster_size,
+            *std::max_element(sizes.begin(), sizes.end()));
+}
+
+TEST(Metrics, ExactStrongDiametersBoundedByTwiceRadius) {
+  const CsrGraph g = grid2d(14, 14);
+  const Decomposition dec = partition(g, opts(0.25, 2));
+  const DecompositionStats s = analyze(dec, g);
+  const std::vector<std::uint32_t> diams = strong_diameters_exact(dec, g);
+  ASSERT_EQ(diams.size(), dec.num_clusters());
+  const std::uint32_t max_diam = max_strong_diameter_exact(dec, g);
+  EXPECT_LE(max_diam, 2 * s.max_radius);
+  EXPECT_GE(max_diam, s.max_radius);
+  // Two-sweep estimates never exceed the exact values.
+  const std::vector<std::uint32_t> sweeps = strong_diameters_two_sweep(dec, g);
+  for (cluster_t c = 0; c < dec.num_clusters(); ++c) {
+    EXPECT_LE(sweeps[c], diams[c]);
+  }
+}
+
+TEST(Verify, RejectsCorruptedAssignment) {
+  const CsrGraph g = grid2d(10, 10);
+  const Decomposition dec = partition(g, opts(0.2, 1));
+  // Corrupt: move one vertex into a (likely) non-adjacent cluster by
+  // rebuilding a Decomposition with a tampered owner vector.
+  std::vector<vertex_t> owner(g.num_vertices());
+  std::vector<std::uint32_t> dist(g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    owner[v] = dec.center(dec.cluster_of(v));
+    dist[v] = dec.dist_to_center(v);
+  }
+  // Pick a non-center victim (distance >= 1) and hand it to a different
+  // cluster with an impossible recorded distance.
+  ASSERT_GE(dec.num_clusters(), 2u);
+  vertex_t victim = kInvalidVertex;
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    if (dec.dist_to_center(v) >= 1) {
+      victim = v;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidVertex);
+  owner[victim] = dec.center(dec.cluster_of(victim) == 0 ? 1 : 0);
+  dist[victim] = 0;  // definitely wrong: only centers are at distance 0
+  const Decomposition tampered(owner, dist);
+  const VerifyResult vr = verify_decomposition(tampered, g);
+  EXPECT_FALSE(vr.ok);
+  EXPECT_FALSE(vr.message.empty());
+}
+
+}  // namespace
+}  // namespace mpx

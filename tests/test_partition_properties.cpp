@@ -1,0 +1,138 @@
+// Property sweep for mpx::partition: Definition 1.1's two guarantees —
+// cut fraction O(beta) in expectation (Corollary 4.5) and strong diameter
+// O(log n / beta) w.h.p. (Lemma 4.2) — checked across graph families,
+// beta values, seeds and tie-break modes with the hard structural verifier
+// in the loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "core/metrics.hpp"
+#include "core/partition.hpp"
+#include "core/verify.hpp"
+#include "graph/generators.hpp"
+
+namespace mpx {
+namespace {
+
+using namespace mpx::generators;
+
+CsrGraph family_graph(const std::string& name) {
+  if (name == "grid") return grid2d(40, 40);
+  if (name == "torus") return grid2d(32, 32, true);
+  if (name == "path") return path(2000);
+  if (name == "cycle") return cycle(1500);
+  if (name == "tree") return complete_binary_tree(2047);
+  if (name == "hypercube") return hypercube(10);
+  if (name == "er") return erdos_renyi(1200, 4000, 99);
+  if (name == "rmat") return rmat(10, 4.0, 77);
+  if (name == "caterpillar") return caterpillar(300, 3);
+  if (name == "matchings") return random_matching_union(1024, 4, 55);
+  ADD_FAILURE() << "unknown family " << name;
+  return {};
+}
+
+using Param = std::tuple<std::string, double, int>;
+
+/// Readable test names: family_beta0p05_frac etc. (A named function: the
+/// INSTANTIATE macro splits on commas, so lambdas with structured bindings
+/// cannot be passed inline.)
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  const std::string& family = std::get<0>(info.param);
+  const double beta = std::get<1>(info.param);
+  const int tb = std::get<2>(info.param);
+  std::string name = family + "_beta";
+  for (const char ch : std::to_string(beta)) {
+    name += (ch == '.') ? 'p' : ch;
+  }
+  name += tb == static_cast<int>(TieBreak::kFractionalShift) ? "_frac"
+                                                             : "_perm";
+  return name;
+}
+
+class PartitionProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(PartitionProperty, StructurallyValidAndWithinBounds) {
+  const auto& [family, beta, tb_int] = GetParam();
+  const CsrGraph g = family_graph(family);
+  const vertex_t n = g.num_vertices();
+
+  PartitionOptions opt;
+  opt.beta = beta;
+  opt.tie_break = static_cast<TieBreak>(tb_int);
+
+  double total_cut_fraction = 0.0;
+  std::uint32_t worst_radius = 0;
+  const int kSeeds = 3;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    opt.seed = static_cast<std::uint64_t>(seed) * 7919 + 13;
+    const Shifts shifts = generate_shifts(n, opt);
+    const Decomposition dec = partition_with_shifts(g, shifts);
+
+    // Hard invariants (partition, connectivity, Lemma 4.1 distances,
+    // shift-based radius bound).
+    const VerifyResult vr = verify_decomposition(dec, g, shifts);
+    ASSERT_TRUE(vr.ok) << family << " beta=" << beta << " seed=" << seed
+                       << ": " << vr.message;
+
+    const DecompositionStats s = analyze(dec, g);
+    total_cut_fraction += s.cut_fraction;
+    worst_radius = std::max(worst_radius, s.max_radius);
+  }
+
+  // Corollary 4.5 (averaged over seeds, generous constant): the expected
+  // cut fraction is at most O(beta); empirically 1 - exp(-beta) <= beta.
+  const double mean_cut = total_cut_fraction / kSeeds;
+  EXPECT_LE(mean_cut, 4.0 * beta)
+      << family << " beta=" << beta << " cut=" << mean_cut;
+
+  // Lemma 4.2 w.h.p. bound with d = 2 and floor slack: radius never
+  // exceeds 3 ln(n)/beta + 1 across our seeds.
+  const double radius_bound =
+      3.0 * std::log(static_cast<double>(n)) / beta + 1.0;
+  EXPECT_LE(static_cast<double>(worst_radius), radius_bound)
+      << family << " beta=" << beta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, PartitionProperty,
+    ::testing::Combine(
+        ::testing::Values("grid", "torus", "path", "cycle", "tree",
+                          "hypercube", "er", "rmat", "caterpillar",
+                          "matchings"),
+        ::testing::Values(0.05, 0.2, 0.5),
+        ::testing::Values(static_cast<int>(TieBreak::kFractionalShift),
+                          static_cast<int>(TieBreak::kRandomPermutation))),
+    param_name);
+
+/// Monotonicity in beta: finer beta (smaller) must produce fewer, larger,
+/// wider clusters and fewer cut edges — the qualitative content of
+/// Figure 1.
+class BetaMonotonicity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BetaMonotonicity, CoarseBetaCutsFewerEdges) {
+  const CsrGraph g = family_graph(GetParam());
+  double prev_cut = -1.0;
+  // Average over seeds to tame variance; trends must be monotone.
+  for (const double beta : {0.02, 0.1, 0.5}) {
+    double cut = 0.0;
+    const int kSeeds = 5;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      PartitionOptions opt;
+      opt.beta = beta;
+      opt.seed = static_cast<std::uint64_t>(seed);
+      cut += analyze(partition(g, opt), g).cut_fraction;
+    }
+    cut /= kSeeds;
+    EXPECT_GT(cut, prev_cut) << "beta=" << beta;
+    prev_cut = cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, BetaMonotonicity,
+                         ::testing::Values("grid", "er", "path", "rmat"));
+
+}  // namespace
+}  // namespace mpx

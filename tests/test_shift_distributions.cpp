@@ -1,0 +1,133 @@
+// Tests for the Section 5 shift-distribution variants: permutation
+// quantiles and uniform shifts as alternatives to i.i.d. exponentials.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "core/partition.hpp"
+#include "core/verify.hpp"
+#include "graph/generators.hpp"
+
+namespace mpx {
+namespace {
+
+using namespace mpx::generators;
+
+PartitionOptions opts(double beta, std::uint64_t seed, ShiftDistribution d) {
+  PartitionOptions o;
+  o.beta = beta;
+  o.seed = seed;
+  o.distribution = d;
+  return o;
+}
+
+TEST(PermutationQuantileShifts, SortedProfileIsDeterministic) {
+  // Only the permutation is random: sorting the delta values gives the
+  // same profile for every seed.
+  const Shifts a = generate_shifts(
+      1000, opts(0.1, 1, ShiftDistribution::kPermutationQuantile));
+  const Shifts b = generate_shifts(
+      1000, opts(0.1, 2, ShiftDistribution::kPermutationQuantile));
+  std::vector<double> sa = a.delta;
+  std::vector<double> sb = b.delta;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);
+  EXPECT_NE(a.delta, b.delta);  // assignment differs
+}
+
+TEST(PermutationQuantileShifts, ValuesAreExpQuantiles) {
+  const vertex_t n = 100;
+  const Shifts s = generate_shifts(
+      n, opts(0.5, 3, ShiftDistribution::kPermutationQuantile));
+  std::vector<double> sorted = s.delta;
+  std::sort(sorted.begin(), sorted.end());
+  for (vertex_t p = 0; p < n; ++p) {
+    const double u = (static_cast<double>(p) + 0.5) / n;
+    EXPECT_NEAR(sorted[p], -std::log1p(-u) / 0.5, 1e-12);
+  }
+}
+
+TEST(PermutationQuantileShifts, MaxTracksHarmonicBound) {
+  // The top quantile is -ln(1/(2n))/beta = ln(2n)/beta ~ H_n/beta.
+  const vertex_t n = 4096;
+  const double beta = 0.05;
+  const Shifts s = generate_shifts(
+      n, opts(beta, 7, ShiftDistribution::kPermutationQuantile));
+  EXPECT_NEAR(s.delta_max, std::log(2.0 * n) / beta,
+              0.01 * std::log(2.0 * n) / beta);
+}
+
+TEST(UniformShifts, RangeIsLogOverBeta) {
+  const vertex_t n = 2048;
+  const double beta = 0.1;
+  const Shifts s =
+      generate_shifts(n, opts(beta, 5, ShiftDistribution::kUniform));
+  const double range = std::log(static_cast<double>(n) + 1.0) / beta;
+  for (const double d : s.delta) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, range);
+  }
+}
+
+TEST(AlternativeDistributions, ProduceValidDecompositions) {
+  const CsrGraph graphs[] = {grid2d(20, 20), erdos_renyi(300, 900, 3),
+                             path(500)};
+  for (const CsrGraph& g : graphs) {
+    for (const ShiftDistribution d :
+         {ShiftDistribution::kPermutationQuantile,
+          ShiftDistribution::kUniform}) {
+      for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        const Decomposition dec =
+            partition(g, opts(0.15, seed, d));
+        const VerifyResult vr = verify_decomposition(dec, g);
+        EXPECT_TRUE(vr.ok)
+            << "dist " << static_cast<int>(d) << ": " << vr.message;
+      }
+    }
+  }
+}
+
+TEST(AlternativeDistributions, QualityComparableToExponential) {
+  // The Section 5 conjecture, executable: permutation-quantile shifts give
+  // cut fractions within a constant of the exponential ones.
+  const CsrGraph g = grid2d(50, 50);
+  const double beta = 0.2;
+  double exp_cut = 0.0;
+  double quant_cut = 0.0;
+  const int kSeeds = 8;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    exp_cut += analyze(partition(g, opts(beta, static_cast<std::uint64_t>(seed),
+                                         ShiftDistribution::kExponential)),
+                       g)
+                   .cut_fraction;
+    quant_cut +=
+        analyze(partition(g, opts(beta, static_cast<std::uint64_t>(seed),
+                                  ShiftDistribution::kPermutationQuantile)),
+                g)
+            .cut_fraction;
+  }
+  EXPECT_LT(quant_cut, 3.0 * exp_cut + 0.01 * kSeeds);
+  EXPECT_LT(exp_cut, 3.0 * quant_cut + 0.01 * kSeeds);
+}
+
+TEST(AlternativeDistributions, RadiiRespectTheSameScale) {
+  const CsrGraph g = grid2d(40, 40);
+  const double beta = 0.1;
+  const double bound = 3.0 * std::log(1600.0) / beta;
+  for (const ShiftDistribution d :
+       {ShiftDistribution::kPermutationQuantile,
+        ShiftDistribution::kUniform}) {
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      const DecompositionStats s =
+          analyze(partition(g, opts(beta, seed, d)), g);
+      EXPECT_LE(static_cast<double>(s.max_radius), bound)
+          << "dist " << static_cast<int>(d);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpx

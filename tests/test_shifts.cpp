@@ -1,0 +1,159 @@
+// Tests for exponential shift generation (Lemma 4.2 quantities and the
+// Section 5 tie-break schedules).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "core/shifts.hpp"
+
+namespace mpx {
+namespace {
+
+PartitionOptions opts(double beta, std::uint64_t seed,
+                      TieBreak tb = TieBreak::kFractionalShift) {
+  PartitionOptions o;
+  o.beta = beta;
+  o.seed = seed;
+  o.tie_break = tb;
+  return o;
+}
+
+TEST(Shifts, SizesAndNonNegativity) {
+  const Shifts s = generate_shifts(1000, opts(0.1, 42));
+  EXPECT_EQ(s.delta.size(), 1000u);
+  EXPECT_EQ(s.start_round.size(), 1000u);
+  EXPECT_EQ(s.rank.size(), 1000u);
+  for (const double d : s.delta) EXPECT_GE(d, 0.0);
+}
+
+TEST(Shifts, DeltaMaxIsTheMaximum) {
+  const Shifts s = generate_shifts(5000, opts(0.2, 1));
+  const double expected = *std::max_element(s.delta.begin(), s.delta.end());
+  EXPECT_DOUBLE_EQ(s.delta_max, expected);
+}
+
+TEST(Shifts, StartRoundFormula) {
+  const Shifts s = generate_shifts(2000, opts(0.3, 7));
+  for (std::size_t v = 0; v < s.delta.size(); ++v) {
+    EXPECT_EQ(s.start_round[v], static_cast<std::uint32_t>(
+                                    std::floor(s.delta_max - s.delta[v])));
+  }
+  // The max-shift vertex starts immediately.
+  const auto argmax = static_cast<std::size_t>(
+      std::max_element(s.delta.begin(), s.delta.end()) - s.delta.begin());
+  EXPECT_EQ(s.start_round[argmax], 0u);
+}
+
+TEST(Shifts, SeedDeterminismAndVariation) {
+  const Shifts a = generate_shifts(500, opts(0.1, 9));
+  const Shifts b = generate_shifts(500, opts(0.1, 9));
+  const Shifts c = generate_shifts(500, opts(0.1, 10));
+  EXPECT_EQ(a.delta, b.delta);
+  EXPECT_EQ(a.rank, b.rank);
+  EXPECT_NE(a.delta, c.delta);
+}
+
+TEST(Shifts, RanksAreAPermutationInEveryMode) {
+  for (const TieBreak tb :
+       {TieBreak::kFractionalShift, TieBreak::kRandomPermutation,
+        TieBreak::kLexicographic}) {
+    const Shifts s = generate_shifts(777, opts(0.15, 3, tb));
+    std::vector<std::uint32_t> sorted = s.rank;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::uint32_t i = 0; i < sorted.size(); ++i) {
+      ASSERT_EQ(sorted[i], i) << "mode " << static_cast<int>(tb);
+    }
+  }
+}
+
+TEST(Shifts, FractionalRanksOrderByFractionalStart) {
+  const Shifts s = generate_shifts(400, opts(0.1, 5));
+  // rank[u] < rank[v] must imply frac(start_u) <= frac(start_v).
+  std::vector<std::uint32_t> order(400);
+  for (std::uint32_t v = 0; v < 400; ++v) order[s.rank[v]] = v;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const double fa = (s.delta_max - s.delta[order[i - 1]]) -
+                      std::floor(s.delta_max - s.delta[order[i - 1]]);
+    const double fb = (s.delta_max - s.delta[order[i]]) -
+                      std::floor(s.delta_max - s.delta[order[i]]);
+    EXPECT_LE(fa, fb);
+  }
+}
+
+TEST(Shifts, LexicographicRanksAreIdentity) {
+  const Shifts s = generate_shifts(100, opts(0.5, 2, TieBreak::kLexicographic));
+  for (std::uint32_t v = 0; v < 100; ++v) EXPECT_EQ(s.rank[v], v);
+}
+
+TEST(Shifts, PermutationModeDecorrelatedFromShifts) {
+  const Shifts s =
+      generate_shifts(2000, opts(0.1, 8, TieBreak::kRandomPermutation));
+  // Spearman-style check: rank and delta should be uncorrelated.
+  double mean_rank = (2000.0 - 1) / 2;
+  std::vector<std::uint32_t> delta_order(2000);
+  std::iota(delta_order.begin(), delta_order.end(), 0u);
+  std::sort(delta_order.begin(), delta_order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return s.delta[a] < s.delta[b];
+            });
+  double cov = 0.0;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    cov += (static_cast<double>(i) - mean_rank) *
+           (static_cast<double>(s.rank[delta_order[i]]) - mean_rank);
+  }
+  const double var = 2000.0 * (2000.0 * 2000.0 - 1) / 12.0;
+  EXPECT_LT(std::fabs(cov / var), 0.1);
+}
+
+TEST(Shifts, MaxShiftConcentratesAroundHarmonicOverBeta) {
+  // Lemma 4.2: E[delta_max] = H_n / beta. Average over seeds.
+  const vertex_t n = 4096;
+  const double beta = 0.05;
+  double h_n = 0.0;
+  for (vertex_t i = 1; i <= n; ++i) h_n += 1.0 / i;
+  double sum = 0.0;
+  const int kTrials = 40;
+  for (int t = 0; t < kTrials; ++t) {
+    sum += generate_shifts(n, opts(beta, static_cast<std::uint64_t>(t)))
+               .delta_max;
+  }
+  const double mean = sum / kTrials;
+  EXPECT_NEAR(mean, h_n / beta, 0.15 * h_n / beta);
+}
+
+TEST(Shifts, HighProbabilityTailBound) {
+  // Lemma 4.2 tail: P[delta_u > (d+1) ln n / beta] <= n^-(d+1); with d = 1
+  // the chance any of n vertices exceeds 2 ln n / beta is ~ 1/n.
+  const vertex_t n = 10000;
+  const double beta = 0.1;
+  int violations = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Shifts s = generate_shifts(n, opts(beta, seed));
+    if (s.delta_max > 2.0 * std::log(n) / beta) ++violations;
+  }
+  EXPECT_LE(violations, 2);
+}
+
+TEST(Shifts, SmallerBetaGivesLargerShifts) {
+  const Shifts coarse = generate_shifts(1000, opts(0.5, 4));
+  const Shifts fine = generate_shifts(1000, opts(0.01, 4));
+  EXPECT_GT(fine.delta_max, coarse.delta_max);
+  // Same seed and inverse-CDF sampling: shifts scale exactly by the rate
+  // ratio.
+  EXPECT_NEAR(fine.delta[0] * 0.01, coarse.delta[0] * 0.5, 1e-9);
+}
+
+TEST(Shifts, EmptyAndSingletonGraphs) {
+  const Shifts none = generate_shifts(0, opts(0.1, 1));
+  EXPECT_TRUE(none.delta.empty());
+  const Shifts one = generate_shifts(1, opts(0.1, 1));
+  EXPECT_EQ(one.start_round[0], 0u);
+  EXPECT_EQ(one.rank[0], 0u);
+}
+
+}  // namespace
+}  // namespace mpx

@@ -1,0 +1,104 @@
+// Tests for the LDD-based spanner construction.
+#include <gtest/gtest.h>
+
+#include "apps/spanner.hpp"
+#include "bfs/sequential_bfs.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+
+namespace mpx {
+namespace {
+
+using namespace mpx::generators;
+
+PartitionOptions opts(double beta, std::uint64_t seed) {
+  PartitionOptions o;
+  o.beta = beta;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Spanner, IsASubgraph) {
+  const CsrGraph g = erdos_renyi(300, 1500, 3);
+  const SpannerResult r = ldd_spanner(g, opts(0.2, 1));
+  EXPECT_EQ(r.spanner.num_vertices(), g.num_vertices());
+  for (vertex_t u = 0; u < r.spanner.num_vertices(); ++u) {
+    for (const vertex_t v : r.spanner.neighbors(u)) {
+      EXPECT_TRUE(g.has_edge(u, v)) << u << "-" << v;
+    }
+  }
+}
+
+TEST(Spanner, PreservesConnectivity) {
+  const CsrGraph graphs[] = {grid2d(15, 15), erdos_renyi(400, 2000, 5),
+                             hypercube(8), barbell(15),
+                             disjoint_copies(cycle(20), 3)};
+  for (const CsrGraph& g : graphs) {
+    const SpannerResult r = ldd_spanner(g, opts(0.3, 2));
+    EXPECT_EQ(connected_components(r.spanner).count,
+              connected_components(g).count);
+  }
+}
+
+TEST(Spanner, ExactStretchBoundOnSmallGraphs) {
+  // All-pairs check: every pair's spanner distance is within the
+  // decomposition-implied bound of the true distance... the bound holds
+  // per *edge*; composed over shortest paths it bounds all pairs.
+  const CsrGraph g = erdos_renyi(60, 240, 7);
+  const SpannerResult r = ldd_spanner(g, opts(0.3, 3));
+  const std::uint32_t bound = r.stretch_bound();
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    const auto dg = bfs_distances(g, u);
+    const auto ds = bfs_distances(r.spanner, u);
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+      if (dg[v] == kInfDist || dg[v] == 0) continue;
+      ASSERT_NE(ds[v], kInfDist);
+      EXPECT_LE(ds[v], bound * dg[v]) << u << "->" << v;
+    }
+  }
+}
+
+TEST(Spanner, SparsifiesDenseGraphs) {
+  const CsrGraph g = erdos_renyi(300, 8000, 11);
+  const SpannerResult r = ldd_spanner(g, opts(0.1, 4));
+  EXPECT_LT(r.spanner.num_edges(), g.num_edges() / 2);
+  // Tree edges are at most n - k.
+  EXPECT_LE(r.tree_edges,
+            static_cast<edge_t>(g.num_vertices()) -
+                r.decomposition.num_clusters());
+}
+
+TEST(Spanner, EdgeCountsAddUp) {
+  const CsrGraph g = grid2d(12, 12);
+  const SpannerResult r = ldd_spanner(g, opts(0.2, 5));
+  EXPECT_EQ(r.spanner.num_edges(), r.tree_edges + r.bridge_edges);
+}
+
+TEST(Spanner, MeasuredStretchWithinBound) {
+  const CsrGraph g = grid2d(20, 20);
+  const SpannerResult r = ldd_spanner(g, opts(0.2, 6));
+  const StretchSample s = measure_stretch(g, r.spanner, 30, 99);
+  EXPECT_GT(s.pairs_measured, 0u);
+  EXPECT_GE(s.mean_stretch, 1.0);
+  EXPECT_LE(s.max_stretch, static_cast<double>(r.stretch_bound()));
+}
+
+TEST(Spanner, MultilevelAddsEdgesAndTightensStretch) {
+  const CsrGraph g = erdos_renyi(250, 2500, 13);
+  const SpannerResult single = ldd_spanner(g, opts(0.4, 7));
+  const SpannerResult multi = ldd_spanner_multilevel(g, opts(0.4, 7), 3);
+  EXPECT_GE(multi.spanner.num_edges(), single.spanner.num_edges());
+  const StretchSample ss = measure_stretch(g, single.spanner, 25, 5);
+  const StretchSample ms = measure_stretch(g, multi.spanner, 25, 5);
+  EXPECT_LE(ms.mean_stretch, ss.mean_stretch + 0.25);
+}
+
+TEST(Spanner, TreeInputIsReturnedWhole) {
+  // A tree has no redundant edges: the spanner must keep all of them.
+  const CsrGraph g = complete_binary_tree(127);
+  const SpannerResult r = ldd_spanner(g, opts(0.2, 8));
+  EXPECT_EQ(r.spanner.num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace mpx

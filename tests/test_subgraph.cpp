@@ -1,0 +1,76 @@
+// Tests for induced-subgraph extraction — the strong-diameter verifier
+// depends on these being exactly right.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+
+namespace mpx {
+namespace {
+
+TEST(InducedSubgraph, KeepsOnlyInternalEdges) {
+  const CsrGraph g = generators::grid2d(3, 3);  // ids 0..8 row-major
+  const std::vector<vertex_t> vertices = {0, 1, 3, 4};  // top-left 2x2 block
+  const Subgraph sub = induced_subgraph(g, vertices);
+  EXPECT_EQ(sub.num_vertices(), 4u);
+  EXPECT_EQ(sub.graph.num_edges(), 4u);  // the 2x2 sub-grid's cycle
+  EXPECT_EQ(sub.to_host, vertices);
+}
+
+TEST(InducedSubgraph, LocalIdsMapBackToHost) {
+  const CsrGraph g = generators::cycle(10);
+  const std::vector<vertex_t> vertices = {2, 3, 4};
+  const Subgraph sub = induced_subgraph(g, vertices);
+  EXPECT_EQ(sub.graph.num_edges(), 2u);  // 2-3, 3-4
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));
+  EXPECT_TRUE(sub.graph.has_edge(1, 2));
+  EXPECT_FALSE(sub.graph.has_edge(0, 2));
+}
+
+TEST(InducedSubgraph, UnsortedInputIsCanonicalized) {
+  const CsrGraph g = generators::path(6);
+  const std::vector<vertex_t> vertices = {4, 1, 3, 2};
+  const Subgraph sub = induced_subgraph(g, vertices);
+  EXPECT_EQ(sub.to_host, (std::vector<vertex_t>{1, 2, 3, 4}));
+  EXPECT_EQ(sub.graph.num_edges(), 3u);
+}
+
+TEST(InducedSubgraph, EmptyAndSingleton) {
+  const CsrGraph g = generators::path(5);
+  const std::vector<vertex_t> none;
+  EXPECT_EQ(induced_subgraph(g, none).num_vertices(), 0u);
+  const std::vector<vertex_t> one = {2};
+  const Subgraph sub = induced_subgraph(g, one);
+  EXPECT_EQ(sub.num_vertices(), 1u);
+  EXPECT_EQ(sub.graph.num_edges(), 0u);
+}
+
+TEST(ExtractCluster, SelectsByAssignment) {
+  const CsrGraph g = generators::path(6);
+  const std::vector<cluster_t> assignment = {0, 0, 0, 1, 1, 1};
+  const Subgraph left = extract_cluster(g, assignment, 0);
+  const Subgraph right = extract_cluster(g, assignment, 1);
+  EXPECT_EQ(left.num_vertices(), 3u);
+  EXPECT_EQ(left.graph.num_edges(), 2u);
+  EXPECT_EQ(right.to_host, (std::vector<vertex_t>{3, 4, 5}));
+}
+
+TEST(ClusterMembers, GroupsAllVertices) {
+  const std::vector<cluster_t> assignment = {2, 0, 1, 0, 2, 2};
+  const auto members = cluster_members(assignment, 3);
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0], (std::vector<vertex_t>{1, 3}));
+  EXPECT_EQ(members[1], (std::vector<vertex_t>{2}));
+  EXPECT_EQ(members[2], (std::vector<vertex_t>{0, 4, 5}));
+}
+
+TEST(ClusterMembers, EmptyClustersAllowed) {
+  const std::vector<cluster_t> assignment = {0, 0};
+  const auto members = cluster_members(assignment, 3);
+  EXPECT_EQ(members[0].size(), 2u);
+  EXPECT_TRUE(members[1].empty());
+  EXPECT_TRUE(members[2].empty());
+}
+
+}  // namespace
+}  // namespace mpx

@@ -1,0 +1,255 @@
+// Tests for the S1 determinism/randomness substrate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "support/random.hpp"
+#include "support/timer.hpp"
+#include "support/types.hpp"
+
+namespace mpx {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_EQ(splitmix64(12345), splitmix64(12345));
+}
+
+TEST(SplitMix64, DistinctInputsGiveDistinctOutputs) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(splitmix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(SplitMix64, MixesLowBits) {
+  // Consecutive inputs must not produce consecutive outputs.
+  int close = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const std::uint64_t a = splitmix64(i);
+    const std::uint64_t b = splitmix64(i + 1);
+    if ((a > b ? a - b : b - a) < 1000) ++close;
+  }
+  EXPECT_LT(close, 5);
+}
+
+TEST(HashStream, SeedAndCounterBothMatter) {
+  EXPECT_NE(hash_stream(1, 0), hash_stream(2, 0));
+  EXPECT_NE(hash_stream(1, 0), hash_stream(1, 1));
+  EXPECT_EQ(hash_stream(7, 9), hash_stream(7, 9));
+}
+
+TEST(HashStream, StreamsLookIndependent) {
+  // Correlation proxy: matching bits between parallel streams ~ 32/64.
+  std::uint64_t total_matching = 0;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    const std::uint64_t x = hash_stream(1, i);
+    const std::uint64_t y = hash_stream(2, i);
+    total_matching += static_cast<std::uint64_t>(__builtin_popcountll(~(x ^ y)));
+  }
+  const double mean_matching =
+      static_cast<double>(total_matching) / 4096.0;
+  EXPECT_NEAR(mean_matching, 32.0, 1.0);
+}
+
+TEST(UniformDouble, RangeIsHalfOpen) {
+  EXPECT_EQ(uniform_double(0), 0.0);
+  EXPECT_LT(uniform_double(~std::uint64_t{0}), 1.0);
+  EXPECT_GE(uniform_double(~std::uint64_t{0}), 0.999999);
+}
+
+TEST(UniformDouble, MeanIsHalf) {
+  double sum = 0.0;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += uniform_double(hash_stream(42, static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(ExponentialFromUniform, ZeroMapsToZero) {
+  EXPECT_EQ(exponential_from_uniform(0.0, 1.0), 0.0);
+}
+
+TEST(ExponentialFromUniform, MedianMatchesTheory) {
+  // F^{-1}(1/2) = ln(2)/rate.
+  EXPECT_NEAR(exponential_from_uniform(0.5, 1.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(exponential_from_uniform(0.5, 0.1), std::log(2.0) / 0.1, 1e-10);
+}
+
+TEST(ExponentialShift, DeterministicPerSeedVertex) {
+  EXPECT_EQ(exponential_shift(3, 7, 0.5), exponential_shift(3, 7, 0.5));
+  EXPECT_NE(exponential_shift(3, 7, 0.5), exponential_shift(4, 7, 0.5));
+  EXPECT_NE(exponential_shift(3, 7, 0.5), exponential_shift(3, 8, 0.5));
+}
+
+TEST(ExponentialShift, EmpiricalMeanIsOneOverRate) {
+  for (const double rate : {0.05, 0.2, 1.0}) {
+    double sum = 0.0;
+    const int kSamples = 200000;
+    for (int i = 0; i < kSamples; ++i) {
+      sum += exponential_shift(99, static_cast<std::uint64_t>(i), rate);
+    }
+    const double mean = sum / kSamples;
+    EXPECT_NEAR(mean, 1.0 / rate, 0.03 / rate) << "rate " << rate;
+  }
+}
+
+TEST(ExponentialShift, EmpiricalVarianceIsOneOverRateSquared) {
+  const double rate = 0.5;
+  const int kSamples = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = exponential_shift(7, static_cast<std::uint64_t>(i), rate);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(var, 1.0 / (rate * rate), 0.1 / (rate * rate));
+}
+
+TEST(ExponentialShift, MemorylessTail) {
+  // P[X > s + t | X > s] should equal P[X > t].
+  const double rate = 0.3;
+  const int kSamples = 300000;
+  const double s = 1.0 / rate;
+  const double t = 0.7 / rate;
+  int beyond_s = 0;
+  int beyond_st = 0;
+  int beyond_t = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = exponential_shift(5, static_cast<std::uint64_t>(i), rate);
+    if (x > s) ++beyond_s;
+    if (x > s + t) ++beyond_st;
+    if (x > t) ++beyond_t;
+  }
+  ASSERT_GT(beyond_s, 0);
+  const double conditional =
+      static_cast<double>(beyond_st) / static_cast<double>(beyond_s);
+  const double unconditional =
+      static_cast<double>(beyond_t) / static_cast<double>(kSamples);
+  EXPECT_NEAR(conditional, unconditional, 0.02);
+}
+
+TEST(Xoshiro, ReproducibleFromSeed) {
+  Xoshiro256pp a(42);
+  Xoshiro256pp b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256pp a(1);
+  Xoshiro256pp b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, NextBelowStaysInRange) {
+  Xoshiro256pp rng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro, NextBelowIsRoughlyUniform) {
+  Xoshiro256pp rng(11);
+  const std::uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(bound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kSamples / 10.0, kSamples * 0.01);
+  }
+}
+
+TEST(Xoshiro, NextDoubleInUnitInterval) {
+  Xoshiro256pp rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+bool is_permutation_of_iota(const std::vector<std::uint32_t>& perm) {
+  std::vector<std::uint32_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != i) return false;
+  }
+  return true;
+}
+
+TEST(RandomPermutation, IsAPermutation) {
+  for (const std::size_t n : {0u, 1u, 2u, 17u, 1000u}) {
+    EXPECT_TRUE(is_permutation_of_iota(random_permutation(n, 5)))
+        << "n = " << n;
+  }
+}
+
+TEST(RandomPermutation, SeedDeterminism) {
+  EXPECT_EQ(random_permutation(100, 9), random_permutation(100, 9));
+  EXPECT_NE(random_permutation(100, 9), random_permutation(100, 10));
+}
+
+TEST(RandomPermutation, NotIdentityForLargeN) {
+  const auto perm = random_permutation(1000, 3);
+  std::size_t fixed = 0;
+  for (std::uint32_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] == i) ++fixed;
+  }
+  // Expected number of fixed points is 1.
+  EXPECT_LT(fixed, 10u);
+}
+
+TEST(ParallelRandomPermutation, IsAPermutation) {
+  for (const std::size_t n : {0u, 1u, 5u, 4096u, 100000u}) {
+    EXPECT_TRUE(is_permutation_of_iota(parallel_random_permutation(n, 21)))
+        << "n = " << n;
+  }
+}
+
+TEST(ParallelRandomPermutation, SeedDeterminism) {
+  EXPECT_EQ(parallel_random_permutation(5000, 1),
+            parallel_random_permutation(5000, 1));
+  EXPECT_NE(parallel_random_permutation(5000, 1),
+            parallel_random_permutation(5000, 2));
+}
+
+TEST(ParallelRandomPermutation, UniformFirstElement) {
+  // Distribution check: position of element 0 should be uniform-ish.
+  std::vector<int> buckets(10, 0);
+  for (std::uint64_t seed = 0; seed < 2000; ++seed) {
+    const auto perm = parallel_random_permutation(100, seed);
+    const auto it = std::find(perm.begin(), perm.end(), 0u);
+    const std::size_t pos = static_cast<std::size_t>(it - perm.begin());
+    ++buckets[pos / 10];
+  }
+  for (const int b : buckets) EXPECT_GT(b, 100);
+}
+
+TEST(WallTimer, MeasuresForwardTime) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(timer.seconds(), 0.0);
+  EXPECT_EQ(timer.millis() > 0.0, timer.seconds() > 0.0);
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 1.0);
+}
+
+TEST(Types, SentinelsAreMaxValues) {
+  EXPECT_EQ(kInvalidVertex, std::numeric_limits<vertex_t>::max());
+  EXPECT_EQ(kInfDist, std::numeric_limits<std::uint32_t>::max());
+}
+
+}  // namespace
+}  // namespace mpx

@@ -1,0 +1,128 @@
+// Tests for the hierarchical tree embedding: laminar structure, the
+// domination guarantee (dist_T >= dist_G for every pair, by construction),
+// and empirical distortion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/tree_embedding.hpp"
+#include "bfs/sequential_bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace mpx {
+namespace {
+
+using namespace mpx::generators;
+
+TEST(TreeEmbeddingTest, EveryVertexGetsALeaf) {
+  const CsrGraph g = grid2d(12, 12);
+  const TreeEmbedding tree = build_tree_embedding(g);
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LT(tree.leaf_of(v), tree.num_nodes());
+  }
+  EXPECT_GE(tree.levels(), 1u);
+}
+
+TEST(TreeEmbeddingTest, LeafChainsReachARoot) {
+  const CsrGraph g = erdos_renyi(200, 600, 3);
+  const TreeEmbedding tree = build_tree_embedding(g);
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    std::uint32_t node = tree.leaf_of(v);
+    std::uint32_t hops = 0;
+    while (tree.node(node).parent != kInfDist) {
+      // Levels strictly decrease toward the root.
+      EXPECT_LT(tree.node(tree.node(node).parent).level,
+                tree.node(node).level);
+      node = tree.node(node).parent;
+      ASSERT_LE(++hops, tree.levels());
+    }
+    EXPECT_EQ(tree.node(node).level, 0u);
+  }
+}
+
+TEST(TreeEmbeddingTest, SelfDistanceIsZeroAndSymmetry) {
+  const CsrGraph g = grid2d(8, 8);
+  const TreeEmbedding tree = build_tree_embedding(g);
+  EXPECT_DOUBLE_EQ(tree.distance(5, 5), 0.0);
+  for (vertex_t u = 0; u < 10; ++u) {
+    for (vertex_t v = 0; v < 10; ++v) {
+      EXPECT_DOUBLE_EQ(tree.distance(u, v), tree.distance(v, u));
+    }
+  }
+}
+
+TEST(TreeEmbeddingTest, DominationHoldsForAllPairsOnSmallGraphs) {
+  // The construction pays the parent's measured diameter bound on every
+  // climb, making domination deterministic — check every pair.
+  const CsrGraph graphs[] = {grid2d(7, 9), cycle(40), barbell(8),
+                             erdos_renyi(60, 180, 5),
+                             complete_binary_tree(63)};
+  for (const CsrGraph& g : graphs) {
+    for (std::uint64_t seed = 0; seed < 2; ++seed) {
+      TreeEmbeddingOptions opt;
+      opt.seed = seed;
+      const TreeEmbedding tree = build_tree_embedding(g, opt);
+      for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+        const std::vector<std::uint32_t> dist = bfs_distances(g, u);
+        for (vertex_t v = u + 1; v < g.num_vertices(); ++v) {
+          if (dist[v] == kInfDist) continue;
+          EXPECT_GE(tree.distance(u, v), static_cast<double>(dist[v]))
+              << u << " - " << v << " seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(TreeEmbeddingTest, CrossComponentDistanceIsInfinite) {
+  const CsrGraph g = disjoint_copies(path(6), 2);
+  const TreeEmbedding tree = build_tree_embedding(g);
+  EXPECT_TRUE(std::isinf(tree.distance(0, 8)));
+  EXPECT_FALSE(std::isinf(tree.distance(0, 5)));
+}
+
+TEST(TreeEmbeddingTest, DistortionIsModestOnGrids) {
+  const CsrGraph g = grid2d(30, 30);
+  TreeEmbeddingOptions opt;
+  opt.seed = 3;
+  const TreeEmbedding tree = build_tree_embedding(g, opt);
+  const DistortionSample s = measure_distortion(g, tree, 40, 11);
+  EXPECT_GT(s.pairs_measured, 0u);
+  EXPECT_EQ(s.domination_violations, 0u);
+  EXPECT_GE(s.mean_distortion, 1.0);
+  // Loose sanity bound: hierarchical decomposition keeps mean distortion
+  // far below the worst case n.
+  EXPECT_LT(s.mean_distortion, 120.0);
+}
+
+TEST(TreeEmbeddingTest, SeedDeterminism) {
+  const CsrGraph g = erdos_renyi(150, 450, 9);
+  TreeEmbeddingOptions opt;
+  opt.seed = 4;
+  const TreeEmbedding a = build_tree_embedding(g, opt);
+  const TreeEmbedding b = build_tree_embedding(g, opt);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(a.leaf_of(v), b.leaf_of(v));
+  }
+  EXPECT_DOUBLE_EQ(a.distance(0, 100), b.distance(0, 100));
+}
+
+TEST(TreeEmbeddingTest, TrivialGraphs) {
+  const std::vector<Edge> none;
+  const CsrGraph empty = build_undirected(0, std::span<const Edge>(none));
+  const TreeEmbedding t0 = build_tree_embedding(empty);
+  EXPECT_EQ(t0.num_nodes(), 0u);
+
+  const CsrGraph one = build_undirected(1, std::span<const Edge>(none));
+  const TreeEmbedding t1 = build_tree_embedding(one);
+  EXPECT_EQ(t1.distance(0, 0), 0.0);
+
+  const CsrGraph two = path(2);
+  const TreeEmbedding t2 = build_tree_embedding(two);
+  EXPECT_GE(t2.distance(0, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace mpx

@@ -1,0 +1,108 @@
+// Tests for the PPM writer, palette, and grid renderer.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "core/partition.hpp"
+#include "graph/generators.hpp"
+#include "viz/grid_render.hpp"
+#include "viz/palette.hpp"
+#include "viz/ppm.hpp"
+
+namespace mpx {
+namespace {
+
+TEST(Palette, HsvPrimaries) {
+  EXPECT_EQ(viz::hsv_to_rgb(0.0, 1.0, 1.0), (viz::Rgb{255, 0, 0}));
+  EXPECT_EQ(viz::hsv_to_rgb(120.0, 1.0, 1.0), (viz::Rgb{0, 255, 0}));
+  EXPECT_EQ(viz::hsv_to_rgb(240.0, 1.0, 1.0), (viz::Rgb{0, 0, 255}));
+  EXPECT_EQ(viz::hsv_to_rgb(0.0, 0.0, 0.0), (viz::Rgb{0, 0, 0}));
+  EXPECT_EQ(viz::hsv_to_rgb(0.0, 0.0, 1.0), (viz::Rgb{255, 255, 255}));
+}
+
+TEST(Palette, NegativeHueWraps) {
+  EXPECT_EQ(viz::hsv_to_rgb(-360.0, 1.0, 1.0), viz::hsv_to_rgb(0.0, 1.0, 1.0));
+}
+
+TEST(Palette, FirstColorsAreDistinct) {
+  std::set<std::uint32_t> seen;
+  for (std::size_t i = 0; i < 64; ++i) {
+    const viz::Rgb c = viz::category_color(i);
+    seen.insert((static_cast<std::uint32_t>(c.r) << 16) |
+                (static_cast<std::uint32_t>(c.g) << 8) | c.b);
+  }
+  EXPECT_GE(seen.size(), 60u);  // near-distinct; exact collisions are rare
+}
+
+TEST(Palette, MakePaletteMatchesCategoryColor) {
+  const auto palette = viz::make_palette(10);
+  ASSERT_EQ(palette.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(palette[i], viz::category_color(i));
+  }
+}
+
+TEST(Image, PixelAccess) {
+  viz::Image img(4, 3, {9, 8, 7});
+  EXPECT_EQ(img.width(), 4u);
+  EXPECT_EQ(img.height(), 3u);
+  EXPECT_EQ(img.at(0, 0), (viz::Rgb{9, 8, 7}));
+  img.at(2, 1) = {1, 2, 3};
+  EXPECT_EQ(img.at(2, 1), (viz::Rgb{1, 2, 3}));
+}
+
+TEST(Image, PpmFormat) {
+  viz::Image img(2, 2);
+  img.at(0, 0) = {255, 0, 0};
+  img.at(1, 1) = {0, 0, 255};
+  std::ostringstream out;
+  img.write_ppm(out);
+  const std::string data = out.str();
+  EXPECT_EQ(data.substr(0, 3), "P6\n");
+  EXPECT_NE(data.find("2 2\n255\n"), std::string::npos);
+  // Header + 12 bytes of pixels.
+  const std::size_t header = data.find("255\n") + 4;
+  EXPECT_EQ(data.size() - header, 12u);
+  EXPECT_EQ(static_cast<unsigned char>(data[header]), 255u);  // red pixel
+}
+
+TEST(Image, SaveToFile) {
+  viz::Image img(8, 8, {1, 2, 3});
+  const std::string path = ::testing::TempDir() + "/mpx_viz_test.ppm";
+  img.save_ppm(path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P6");
+}
+
+TEST(Image, SaveToBadPathThrows) {
+  viz::Image img(2, 2);
+  EXPECT_THROW(img.save_ppm("/nonexistent/dir/x.ppm"), std::runtime_error);
+}
+
+TEST(GridRender, DimensionsAndClusterColors) {
+  const vertex_t rows = 12;
+  const vertex_t cols = 18;
+  const CsrGraph g = generators::grid2d(rows, cols);
+  PartitionOptions opt;
+  opt.beta = 0.3;
+  opt.seed = 5;
+  const Decomposition dec = partition(g, opt);
+  const viz::Image img = viz::render_grid_decomposition(dec, rows, cols);
+  EXPECT_EQ(img.width(), cols);
+  EXPECT_EQ(img.height(), rows);
+  // Every pixel carries its vertex's cluster color.
+  for (vertex_t r = 0; r < rows; ++r) {
+    for (vertex_t c = 0; c < cols; ++c) {
+      EXPECT_EQ(img.at(c, r),
+                viz::category_color(dec.cluster_of(r * cols + c)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpx
