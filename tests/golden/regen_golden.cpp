@@ -1,0 +1,26 @@
+// Regenerates the checked-in golden files that pin the text formats of
+// graph/io and core/decomposition_io. Run after a *deliberate* format
+// change:
+//   cmake --build build --target regen_golden && ./build/regen_golden
+// Writes into the source tree (MPX_TEST_GOLDEN_DIR).
+#include <iostream>
+#include <string>
+
+#include "core/decomposition_io.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "tests/support/fixtures.hpp"
+
+int main() {
+  const std::string dir = MPX_TEST_GOLDEN_DIR;
+  const mpx::CsrGraph g = mpx::generators::grid2d(3, 3);
+
+  mpx::io::save_edge_list(dir + "/grid_3x3.edges", g);
+  std::cout << "wrote " << dir << "/grid_3x3.edges\n";
+
+  mpx::io::save_decomposition(
+      dir + "/grid_3x3_reference.dec",
+      mpx::testing::grid3x3_reference_decomposition());
+  std::cout << "wrote " << dir << "/grid_3x3_reference.dec\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "tests/support/golden.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/decomposition_io.hpp"
+#include "graph/io.hpp"
+
+namespace mpx::testing {
+
+std::string golden_path(const std::string& name) {
+  return std::string(MPX_TEST_GOLDEN_DIR) + "/" + name;
+}
+
+std::string read_file_or_fail(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    throw std::runtime_error("cannot open golden file: " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string serialize_edge_list(const CsrGraph& g) {
+  std::stringstream buffer;
+  io::write_edge_list(buffer, g);
+  return buffer.str();
+}
+
+std::string serialize_decomposition(const Decomposition& dec) {
+  std::stringstream buffer;
+  io::write_decomposition(buffer, dec);
+  return buffer.str();
+}
+
+}  // namespace mpx::testing

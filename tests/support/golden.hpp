@@ -1,0 +1,27 @@
+// Golden-file helpers shared by the I/O suites.
+//
+// Golden files live in tests/golden/ in the source tree (located at compile
+// time via MPX_TEST_GOLDEN_DIR) and pin the on-disk text formats; after a
+// deliberate format change regenerate them with the regen_golden target.
+#pragma once
+
+#include <string>
+
+#include "core/decomposition.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace mpx::testing {
+
+/// Absolute path of `name` inside tests/golden/.
+[[nodiscard]] std::string golden_path(const std::string& name);
+
+/// Whole-file read (binary). Throws std::runtime_error with the path when
+/// the file cannot be opened, so a missing golden fails loudly instead of
+/// diffing against an empty string.
+[[nodiscard]] std::string read_file_or_fail(const std::string& path);
+
+/// In-memory serializations via the library writers.
+[[nodiscard]] std::string serialize_edge_list(const CsrGraph& g);
+[[nodiscard]] std::string serialize_decomposition(const Decomposition& dec);
+
+}  // namespace mpx::testing

@@ -1,0 +1,47 @@
+#include "tests/support/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "core/verify.hpp"
+
+namespace mpx::testing {
+
+::testing::AssertionResult check_decomposition_invariants(
+    const Decomposition& dec, const CsrGraph& g, const InvariantOptions& opt) {
+  // Structural facts: vertex-count match, partition coverage with compact
+  // ids, centers anchor their own piece, in-piece connectivity, Lemma 4.1
+  // distances (+ Lemma 4.2 with shifts). All delegated to the library
+  // verifier, which tests elsewhere prove rejects corrupted decompositions.
+  const VerifyResult vr = opt.shifts != nullptr
+                              ? verify_decomposition(dec, g, *opt.shifts)
+                              : verify_decomposition(dec, g);
+  if (!vr.ok) {
+    return ::testing::AssertionFailure() << "verifier: " << vr.message;
+  }
+
+  if (opt.beta > 0.0 && g.num_vertices() > 0) {
+    const DecompositionStats stats = analyze(dec, g);
+    const double n = std::max<double>(g.num_vertices(), 2.0);
+    const double radius_bound = opt.radius_slack * std::log(n) / opt.beta;
+    if (static_cast<double>(stats.max_radius) > radius_bound) {
+      return ::testing::AssertionFailure()
+             << "max radius " << stats.max_radius << " exceeds "
+             << opt.radius_slack << " * ln(n)/beta = " << radius_bound
+             << " (beta=" << opt.beta << ", n=" << g.num_vertices() << ")";
+    }
+    if (opt.cut_slack > 0.0 && g.num_edges() > 0) {
+      const double cut_bound = opt.cut_slack * opt.beta;
+      if (stats.cut_fraction > cut_bound) {
+        return ::testing::AssertionFailure()
+               << "cut fraction " << stats.cut_fraction << " exceeds "
+               << opt.cut_slack << " * beta = " << cut_bound;
+      }
+    }
+  }
+
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace mpx::testing

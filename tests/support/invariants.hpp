@@ -1,0 +1,45 @@
+// Decomposition invariant checking for tests.
+//
+// check_decomposition_invariants() is the one assertion every suite that
+// produces a decomposition should run. It layers, on top of the library's
+// own structural verifier (partition coverage, in-piece connectivity,
+// Lemma 4.1 distances), the quality facts of Definition 1.1:
+//   * coverage: every vertex in exactly one piece, piece ids compact,
+//   * strong radius: max dist-to-center <= radius_slack * ln(n) / beta,
+//   * cut fraction: cut edges / m <= cut_slack * beta.
+// The quality bounds hold in expectation / w.h.p. in the paper, so the
+// slack factors default generously; tests that average over seeds can
+// tighten them.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "core/decomposition.hpp"
+#include "core/shifts.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace mpx::testing {
+
+struct InvariantOptions {
+  /// When > 0, enables the beta-dependent quality checks below.
+  double beta = 0.0;
+  /// Radius bound: max_radius <= radius_slack * ln(max(n, 2)) / beta.
+  /// Theorem 1.2 gives O(log n / beta) w.h.p.; 6x absorbs the constant.
+  double radius_slack = 6.0;
+  /// Cut bound: cut_fraction <= cut_slack * beta. The paper bounds the
+  /// expectation by beta; 0 disables (single-seed runs on tiny graphs can
+  /// legitimately exceed any constant multiple).
+  double cut_slack = 0.0;
+  /// When set, additionally check radius(v) <= delta[center] + 1
+  /// (Lemma 4.2) via the library verifier.
+  const Shifts* shifts = nullptr;
+};
+
+/// Returns success iff every enabled invariant holds; the failure message
+/// names the first violated invariant. Use as
+///   EXPECT_TRUE(check_decomposition_invariants(dec, g, {.beta = 0.2}));
+[[nodiscard]] ::testing::AssertionResult check_decomposition_invariants(
+    const Decomposition& dec, const CsrGraph& g,
+    const InvariantOptions& opt = {});
+
+}  // namespace mpx::testing

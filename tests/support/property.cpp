@@ -1,0 +1,74 @@
+#include "tests/support/property.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "graph/builder.hpp"
+
+namespace mpx::testing {
+
+std::vector<std::uint64_t> seed_corpus(std::size_t count,
+                                       std::uint64_t master) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    seeds.push_back(hash_stream(master, i));
+  }
+  return seeds;
+}
+
+std::vector<std::uint64_t> replay_or(std::vector<std::uint64_t> corpus) {
+  const char* replay = std::getenv("MPX_TEST_SEED");
+  if (replay == nullptr || *replay == '\0') return corpus;
+  // Strict parse (base 0: decimal or 0x-hex). This can run during static
+  // initialization (INSTANTIATE_TEST_SUITE_P), so report bad input plainly
+  // instead of throwing into a context with no test to fail.
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t seed = std::strtoull(replay, &end, 0);
+  if (errno != 0 || end == replay || *end != '\0') {
+    std::fprintf(stderr, "MPX_TEST_SEED='%s' is not a valid seed "
+                 "(expected a decimal or 0x-prefixed integer)\n", replay);
+    std::exit(2);
+  }
+  return {seed};
+}
+
+CsrGraph random_graph(Xoshiro256pp& rng, vertex_t max_n, double avg_degree) {
+  const vertex_t n =
+      1 + static_cast<vertex_t>(rng.next_below(std::max<vertex_t>(max_n, 1)));
+  const edge_t want =
+      static_cast<edge_t>(avg_degree * static_cast<double>(n) / 2.0);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(want));
+  for (edge_t e = 0; e < want; ++e) {
+    const auto u = static_cast<vertex_t>(rng.next_below(n));
+    const auto v = static_cast<vertex_t>(rng.next_below(n));
+    edges.push_back({u, v});  // builder drops self-loops and duplicates
+  }
+  return build_undirected(n, edges);
+}
+
+CsrGraph random_connected_graph(Xoshiro256pp& rng, vertex_t max_n,
+                                double avg_degree) {
+  const vertex_t n =
+      1 + static_cast<vertex_t>(rng.next_below(std::max<vertex_t>(max_n, 1)));
+  std::vector<Edge> edges;
+  // Random arborescence: each vertex v > 0 attaches to a uniform earlier
+  // vertex, which connects the graph by construction.
+  for (vertex_t v = 1; v < n; ++v) {
+    edges.push_back({static_cast<vertex_t>(rng.next_below(v)), v});
+  }
+  const edge_t extra =
+      static_cast<edge_t>(avg_degree * static_cast<double>(n) / 2.0);
+  for (edge_t e = 0; e < extra; ++e) {
+    const auto u = static_cast<vertex_t>(rng.next_below(n));
+    const auto v = static_cast<vertex_t>(rng.next_below(n));
+    edges.push_back({u, v});
+  }
+  return build_undirected(n, edges);
+}
+
+}  // namespace mpx::testing

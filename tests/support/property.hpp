@@ -1,0 +1,60 @@
+// Seeded randomized-property harness.
+//
+// Every randomized test in the repo draws its seeds from one deterministic
+// corpus so a ctest run is bitwise reproducible: there is no time(), no
+// std::random_device, and a failure message always names the seed that
+// produced it. Override the corpus ad hoc with MPX_TEST_SEED=<n> in the
+// environment to replay a single seed.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "support/random.hpp"
+
+namespace mpx::testing {
+
+/// Master seed of the shared corpus. Changing it re-rolls every
+/// randomized test in the repo at once — bump deliberately.
+inline constexpr std::uint64_t kCorpusMasterSeed = 0xC0FFEE20260729ULL;
+
+/// The `count` deterministic seeds derived from `master`. seed_corpus(k)
+/// is a prefix of seed_corpus(k + 1), so raising a test's count only adds
+/// cases.
+[[nodiscard]] std::vector<std::uint64_t> seed_corpus(
+    std::size_t count, std::uint64_t master = kCorpusMasterSeed);
+
+/// MPX_TEST_SEED replay hook used by for_each_seed; exposed for tests that
+/// iterate seeds manually. Returns {MPX_TEST_SEED} when the variable is
+/// set, `corpus` unchanged otherwise.
+[[nodiscard]] std::vector<std::uint64_t> replay_or(
+    std::vector<std::uint64_t> corpus);
+
+/// Run `fn(seed)` for each corpus seed, wrapping each call in a
+/// SCOPED_TRACE naming the seed. If MPX_TEST_SEED is set in the
+/// environment, runs only that seed (replay mode).
+template <typename Fn>
+void for_each_seed(std::size_t count, Fn&& fn) {
+  for (const std::uint64_t seed : replay_or(seed_corpus(count))) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    fn(seed);
+  }
+}
+
+/// Random sparse graph: n in [1, max_n], about `avg_degree * n / 2` edges,
+/// built through the canonical builder (dedup, no self-loops). Shape is a
+/// pure function of the rng state.
+[[nodiscard]] CsrGraph random_graph(Xoshiro256pp& rng, vertex_t max_n,
+                                    double avg_degree = 4.0);
+
+/// Random connected graph: random_graph plus a random spanning arborescence
+/// over all vertices, so BFS/decomposition tests see one component.
+[[nodiscard]] CsrGraph random_connected_graph(Xoshiro256pp& rng,
+                                              vertex_t max_n,
+                                              double avg_degree = 4.0);
+
+}  // namespace mpx::testing

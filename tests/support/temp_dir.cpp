@@ -1,0 +1,33 @@
+#include "tests/support/temp_dir.hpp"
+
+#include <atomic>
+#include <system_error>
+
+#if defined(_WIN32)
+#include <process.h>
+#define MPX_GETPID _getpid
+#else
+#include <unistd.h>
+#define MPX_GETPID getpid
+#endif
+
+namespace mpx::testing {
+
+namespace {
+std::atomic<unsigned> g_counter{0};
+}  // namespace
+
+TempDir::TempDir(const std::string& tag) {
+  const unsigned id = g_counter.fetch_add(1, std::memory_order_relaxed);
+  path_ = std::filesystem::temp_directory_path() /
+          ("mpx-test-" + tag + "-p" + std::to_string(MPX_GETPID()) + "-" +
+           std::to_string(id));
+  std::filesystem::create_directories(path_);
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);
+}
+
+}  // namespace mpx::testing

@@ -1,0 +1,39 @@
+// Scoped temporary directory for I/O tests.
+//
+// Each TempDir creates a unique directory under the system temp root and
+// removes it (recursively) on destruction, so golden-file and round-trip
+// tests never leak state between runs or between concurrently running
+// ctest jobs.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace mpx::testing {
+
+class TempDir {
+ public:
+  /// Create `<system-tmp>/mpx-test-<unique>`. `tag` is embedded in the
+  /// name to make stray leftovers attributable to a suite.
+  explicit TempDir(const std::string& tag = "scratch");
+
+  /// Best-effort recursive removal; errors are swallowed (a vanished tmp
+  /// root must not fail the suite that already passed).
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+  /// Absolute path of `name` inside the directory, as a string for the
+  /// io::save_* / io::load_* APIs.
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace mpx::testing

@@ -10,11 +10,14 @@
 #include "core/metrics.hpp"
 #include "core/verify.hpp"
 #include "graph/generators.hpp"
+#include "tests/support/fixtures.hpp"
+#include "tests/support/invariants.hpp"
 
 namespace mpx {
 namespace {
 
 using namespace mpx::generators;
+using mpx::testing::check_decomposition_invariants;
 
 BallGrowingOptions opts(double beta, BallOrder order = BallOrder::kById,
                         std::uint64_t seed = 0) {
@@ -26,13 +29,12 @@ BallGrowingOptions opts(double beta, BallOrder order = BallOrder::kById,
 }
 
 TEST(BallGrowing, ProducesValidDecompositions) {
-  const CsrGraph graphs[] = {grid2d(20, 20), path(500), cycle(300),
-                             erdos_renyi(400, 1200, 3), complete(50),
-                             complete_binary_tree(255), barbell(12)};
-  for (const CsrGraph& g : graphs) {
-    const Decomposition dec = ball_growing_decomposition(g, opts(0.2));
-    const VerifyResult vr = verify_decomposition(dec, g);
-    EXPECT_TRUE(vr.ok) << vr.message;
+  // canonical_graphs(): includes the multi-thousand-vertex shapes the old
+  // hand-rolled list covered (path_2000, grid_40x50, rmat_10, ...).
+  for (const auto& ng : mpx::testing::canonical_graphs()) {
+    SCOPED_TRACE(ng.name);
+    const Decomposition dec = ball_growing_decomposition(ng.graph, opts(0.2));
+    EXPECT_TRUE(check_decomposition_invariants(dec, ng.graph));
   }
 }
 

@@ -8,11 +8,14 @@
 #include "core/metrics.hpp"
 #include "core/verify.hpp"
 #include "graph/generators.hpp"
+#include "tests/support/fixtures.hpp"
+#include "tests/support/invariants.hpp"
 
 namespace mpx {
 namespace {
 
 using namespace mpx::generators;
+using mpx::testing::check_decomposition_invariants;
 
 BgkmptOptions opts(double beta, std::uint64_t seed) {
   BgkmptOptions o;
@@ -22,13 +25,10 @@ BgkmptOptions opts(double beta, std::uint64_t seed) {
 }
 
 TEST(Bgkmpt, ProducesValidDecompositions) {
-  const CsrGraph graphs[] = {grid2d(20, 20), path(400), cycle(250),
-                             erdos_renyi(300, 900, 3),
-                             complete_binary_tree(255)};
-  for (const CsrGraph& g : graphs) {
-    const BgkmptResult r = bgkmpt_decomposition(g, opts(0.2, 1));
-    const VerifyResult vr = verify_decomposition(r.decomposition, g);
-    EXPECT_TRUE(vr.ok) << vr.message;
+  for (const auto& ng : mpx::testing::canonical_graphs()) {
+    SCOPED_TRACE(ng.name);
+    const BgkmptResult r = bgkmpt_decomposition(ng.graph, opts(0.2, 1));
+    EXPECT_TRUE(check_decomposition_invariants(r.decomposition, ng.graph));
   }
 }
 

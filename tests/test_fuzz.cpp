@@ -2,6 +2,10 @@
 // graph builder against their std:: / sequential references over many
 // random shapes and sizes. Complements the hand-picked cases in the other
 // suites with breadth.
+//
+// Seeds come from the shared deterministic corpus (tests/support/property.hpp)
+// so every ctest run fuzzes the exact same cases; replay one case with
+// MPX_TEST_SEED=<n> in the environment.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -15,7 +19,10 @@
 #include "parallel/reduce.hpp"
 #include "parallel/scan.hpp"
 #include "parallel/sort.hpp"
+#include "core/partition.hpp"
 #include "support/random.hpp"
+#include "tests/support/invariants.hpp"
+#include "tests/support/property.hpp"
 
 namespace mpx {
 namespace {
@@ -133,8 +140,24 @@ TEST_P(FuzzCase, ParallelBfsMatchesSequentialOnRandomGraphs) {
             expected);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCase,
-                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+TEST_P(FuzzCase, PartitionInvariantsOnRandomGraphs) {
+  Xoshiro256pp rng(GetParam() ^ 0xdecaf);
+  for (int round = 0; round < 4; ++round) {
+    const CsrGraph g = mpx::testing::random_graph(rng, 400);
+    PartitionOptions opt;
+    opt.beta = 0.05 + 0.45 * rng.next_double();
+    opt.seed = rng();
+    const Decomposition dec = partition(g, opt);
+    ASSERT_TRUE(mpx::testing::check_decomposition_invariants(
+        dec, g, {.beta = opt.beta}))
+        << "n=" << g.num_vertices() << " beta=" << opt.beta
+        << " seed=" << opt.seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FuzzCase,
+    ::testing::ValuesIn(mpx::testing::replay_or(mpx::testing::seed_corpus(8))));
 
 }  // namespace
 }  // namespace mpx

@@ -6,11 +6,14 @@
 #include <fstream>
 
 #include "mpx/mpx.hpp"
+#include "tests/support/invariants.hpp"
+#include "tests/support/temp_dir.hpp"
 
 namespace mpx {
 namespace {
 
 using namespace mpx::generators;
+using mpx::testing::check_decomposition_invariants;
 
 TEST(Integration, QuickstartPipeline) {
   // The README quickstart, verbatim.
@@ -22,7 +25,7 @@ TEST(Integration, QuickstartPipeline) {
   opt.seed = 42;
   const Decomposition dec = partition(g, opt);
   const DecompositionStats stats = analyze(dec, g);
-  EXPECT_TRUE(verify_decomposition(dec, g).ok);
+  EXPECT_TRUE(check_decomposition_invariants(dec, g, {.beta = opt.beta}));
   EXPECT_GT(stats.num_clusters, 1u);
   EXPECT_LT(stats.cut_fraction, 0.5);
 }
@@ -187,7 +190,8 @@ TEST(Integration, GridImageRoundTrip) {
   opt.seed = 2;
   const Decomposition dec = partition(g, opt);
   const viz::Image img = viz::render_grid_decomposition(dec, side, side);
-  const std::string path = ::testing::TempDir() + "/mpx_fig1_small.ppm";
+  const mpx::testing::TempDir tmp("integration");
+  const std::string path = tmp.file("mpx_fig1_small.ppm");
   img.save_ppm(path);
   std::ifstream in(path, std::ios::binary);
   ASSERT_TRUE(in.good());

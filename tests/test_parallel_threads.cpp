@@ -1,0 +1,161 @@
+// Thread-count sweep for the parallel primitives: scan, reduce, sort and
+// pack must return the bitwise-identical answer at 1, 2 and 8 threads (the
+// library's determinism contract — results are pure functions of the input,
+// never of the schedule). Inputs span the serial/parallel grain boundary so
+// both code paths run at every width.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "parallel/pack.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/scan.hpp"
+#include "parallel/sort.hpp"
+#include "parallel/thread_env.hpp"
+#include "support/random.hpp"
+#include "tests/support/property.hpp"
+
+namespace mpx {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+// Sizes straddling kSerialGrain (2048) so every width exercises both the
+// serial short-circuit and the forked path.
+constexpr std::size_t kSizes[] = {0, 1, 7, 2047, 2048, 4097, 50000};
+
+std::vector<std::uint64_t> random_data(std::size_t n, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<std::uint64_t> data(n);
+  for (auto& x : data) x = rng.next_below(1u << 20);
+  return data;
+}
+
+TEST(ParallelThreads, ScanMatchesSequentialAtEveryWidth) {
+  for (const std::size_t n : kSizes) {
+    const std::vector<std::uint64_t> data = random_data(n, 0xa0 + n);
+    std::vector<std::uint64_t> expected(n);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      expected[i] = acc;
+      acc += data[i];
+    }
+    for (const int threads : kThreadCounts) {
+      SCOPED_TRACE("n=" + std::to_string(n) +
+                   " threads=" + std::to_string(threads));
+      ScopedNumThreads guard(threads);
+      std::vector<std::uint64_t> got = data;
+      const std::uint64_t total =
+          exclusive_scan_inplace(std::span<std::uint64_t>(got));
+      EXPECT_EQ(total, acc);
+      EXPECT_EQ(got, expected);
+    }
+  }
+}
+
+TEST(ParallelThreads, ReduceMatchesSequentialAtEveryWidth) {
+  for (const std::size_t n : kSizes) {
+    const std::vector<std::uint64_t> data = random_data(n, 0xb0 + n);
+    const std::uint64_t sum =
+        std::accumulate(data.begin(), data.end(), std::uint64_t{0});
+    const std::uint64_t max =
+        n == 0 ? 0 : *std::max_element(data.begin(), data.end());
+    for (const int threads : kThreadCounts) {
+      SCOPED_TRACE("n=" + std::to_string(n) +
+                   " threads=" + std::to_string(threads));
+      ScopedNumThreads guard(threads);
+      EXPECT_EQ(parallel_sum<std::uint64_t>(
+                    std::size_t{0}, n, [&](std::size_t i) { return data[i]; }),
+                sum);
+      EXPECT_EQ(parallel_max<std::uint64_t>(
+                    std::size_t{0}, n, std::uint64_t{0},
+                    [&](std::size_t i) { return data[i]; }),
+                max);
+      EXPECT_EQ(parallel_count_if(std::size_t{0}, n,
+                                  [&](std::size_t i) { return data[i] % 2; }),
+                static_cast<std::size_t>(std::count_if(
+                    data.begin(), data.end(),
+                    [](std::uint64_t x) { return x % 2; })));
+    }
+  }
+}
+
+TEST(ParallelThreads, SortMatchesSequentialAtEveryWidth) {
+  for (const std::size_t n : kSizes) {
+    // Heavy duplicates stress merge/partition tie handling.
+    Xoshiro256pp rng(0xc0 + n);
+    std::vector<std::uint64_t> data(n);
+    for (auto& x : data) x = rng.next_below(64);
+    std::vector<std::uint64_t> expected = data;
+    std::sort(expected.begin(), expected.end());
+    for (const int threads : kThreadCounts) {
+      SCOPED_TRACE("n=" + std::to_string(n) +
+                   " threads=" + std::to_string(threads));
+      ScopedNumThreads guard(threads);
+      std::vector<std::uint64_t> got = data;
+      parallel_sort(std::span<std::uint64_t>(got));
+      EXPECT_EQ(got, expected);
+    }
+  }
+}
+
+TEST(ParallelThreads, PackMatchesSequentialAtEveryWidth) {
+  for (const std::size_t n : kSizes) {
+    const std::vector<std::uint64_t> data = random_data(n, 0xd0 + n);
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (data[i] % 3 == 0) expected.push_back(i);
+    }
+    for (const int threads : kThreadCounts) {
+      SCOPED_TRACE("n=" + std::to_string(n) +
+                   " threads=" + std::to_string(threads));
+      ScopedNumThreads guard(threads);
+      EXPECT_EQ(
+          pack_indices(n, [&](std::size_t i) { return data[i] % 3 == 0; }),
+          expected);
+      EXPECT_EQ(pack_map<std::uint64_t>(
+                    n, [&](std::size_t i) { return data[i] % 3 == 0; },
+                    [&](std::size_t i) { return data[i] * 2; }),
+                [&] {
+                  std::vector<std::uint64_t> out;
+                  for (const std::size_t i : expected) out.push_back(data[i] * 2);
+                  return out;
+                }());
+    }
+  }
+}
+
+TEST(ParallelThreads, ResultsIdenticalAcrossWidthsOnRandomInputs) {
+  // Property form: for random shapes, every width agrees with width 1.
+  mpx::testing::for_each_seed(4, [](std::uint64_t seed) {
+    Xoshiro256pp rng(seed);
+    const std::size_t n = rng.next_below(30000);
+    std::vector<std::uint64_t> data(n);
+    for (auto& x : data) x = rng();
+
+    std::vector<std::uint64_t> scan1, sorted1;
+    std::uint64_t sum1 = 0;
+    {
+      ScopedNumThreads guard(1);
+      scan1 = data;
+      sum1 = exclusive_scan_inplace(std::span<std::uint64_t>(scan1));
+      sorted1 = data;
+      parallel_sort(std::span<std::uint64_t>(sorted1));
+    }
+    for (const int threads : {2, 8}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      ScopedNumThreads guard(threads);
+      std::vector<std::uint64_t> scan = data;
+      EXPECT_EQ(exclusive_scan_inplace(std::span<std::uint64_t>(scan)), sum1);
+      EXPECT_EQ(scan, scan1);
+      std::vector<std::uint64_t> sorted = data;
+      parallel_sort(std::span<std::uint64_t>(sorted));
+      EXPECT_EQ(sorted, sorted1);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace mpx

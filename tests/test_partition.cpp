@@ -14,11 +14,15 @@
 #include "core/verify.hpp"
 #include "graph/generators.hpp"
 #include "parallel/thread_env.hpp"
+#include "tests/support/fixtures.hpp"
+#include "tests/support/invariants.hpp"
 
 namespace mpx {
 namespace {
 
 using namespace mpx::generators;
+using mpx::testing::check_decomposition_invariants;
+using mpx::testing::NamedGraph;
 
 PartitionOptions opts(double beta, std::uint64_t seed,
                       TieBreak tb = TieBreak::kFractionalShift) {
@@ -50,9 +54,9 @@ TEST(Partition, CentersAnchorTheirOwnClusters) {
 TEST(Partition, VerifierAcceptsPartitions) {
   const CsrGraph g = grid2d(15, 15);
   for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
     const Decomposition dec = partition(g, opts(0.15, seed));
-    const VerifyResult vr = verify_decomposition(dec, g);
-    EXPECT_TRUE(vr.ok) << vr.message;
+    EXPECT_TRUE(check_decomposition_invariants(dec, g, {.beta = 0.15}));
   }
 }
 
@@ -60,8 +64,21 @@ TEST(Partition, VerifierWithShiftBound) {
   const CsrGraph g = erdos_renyi(300, 900, 11);
   const Shifts shifts = generate_shifts(g.num_vertices(), opts(0.1, 2));
   const Decomposition dec = partition_with_shifts(g, shifts);
-  const VerifyResult vr = verify_decomposition(dec, g, shifts);
-  EXPECT_TRUE(vr.ok) << vr.message;
+  EXPECT_TRUE(check_decomposition_invariants(dec, g,
+                                             {.beta = 0.1, .shifts = &shifts}));
+}
+
+TEST(Partition, InvariantsHoldAcrossCanonicalCorpus) {
+  // Every canonical shape — degenerate, disconnected, dense, mesh,
+  // power-law — must produce a decomposition satisfying the full
+  // invariant battery, for coarse and fine beta.
+  for (const NamedGraph& ng : mpx::testing::canonical_graphs()) {
+    for (const double beta : {0.1, 0.5}) {
+      SCOPED_TRACE(ng.name + " beta=" + std::to_string(beta));
+      const Decomposition dec = partition(ng.graph, opts(beta, 42));
+      EXPECT_TRUE(check_decomposition_invariants(dec, ng.graph, {.beta = beta}));
+    }
+  }
 }
 
 TEST(Partition, MatchesExactDiscreteReference) {
@@ -177,8 +194,7 @@ TEST(Partition, EdgelessGraphMakesSingletons) {
 TEST(Partition, DisconnectedGraphPartitionsEachComponent) {
   const CsrGraph g = disjoint_copies(grid2d(6, 6), 3);
   const Decomposition dec = partition(g, opts(0.2, 8));
-  const VerifyResult vr = verify_decomposition(dec, g);
-  EXPECT_TRUE(vr.ok) << vr.message;
+  EXPECT_TRUE(check_decomposition_invariants(dec, g, {.beta = 0.2}));
   // A cluster never spans two copies.
   for (vertex_t v = 0; v < g.num_vertices(); ++v) {
     EXPECT_EQ(dec.center(dec.cluster_of(v)) / 36, v / 36);
@@ -214,10 +230,9 @@ TEST(Partition, AllTieBreakModesYieldValidDecompositions) {
   for (const TieBreak tb :
        {TieBreak::kFractionalShift, TieBreak::kRandomPermutation,
         TieBreak::kLexicographic}) {
+    SCOPED_TRACE("mode=" + std::to_string(static_cast<int>(tb)));
     const Decomposition dec = partition(g, opts(0.15, 4, tb));
-    const VerifyResult vr = verify_decomposition(dec, g);
-    EXPECT_TRUE(vr.ok) << "mode " << static_cast<int>(tb) << ": "
-                       << vr.message;
+    EXPECT_TRUE(check_decomposition_invariants(dec, g, {.beta = 0.15}));
   }
 }
 

@@ -11,8 +11,8 @@
 
 #include "core/metrics.hpp"
 #include "core/partition.hpp"
-#include "core/verify.hpp"
 #include "graph/generators.hpp"
+#include "tests/support/invariants.hpp"
 
 namespace mpx {
 namespace {
@@ -72,10 +72,10 @@ TEST_P(PartitionProperty, StructurallyValidAndWithinBounds) {
     const Decomposition dec = partition_with_shifts(g, shifts);
 
     // Hard invariants (partition, connectivity, Lemma 4.1 distances,
-    // shift-based radius bound).
-    const VerifyResult vr = verify_decomposition(dec, g, shifts);
-    ASSERT_TRUE(vr.ok) << family << " beta=" << beta << " seed=" << seed
-                       << ": " << vr.message;
+    // shift-based radius bound) via the shared checker.
+    ASSERT_TRUE(mpx::testing::check_decomposition_invariants(
+        dec, g, {.beta = beta, .shifts = &shifts}))
+        << family << " beta=" << beta << " seed=" << seed;
 
     const DecompositionStats s = analyze(dec, g);
     total_cut_fraction += s.cut_fraction;

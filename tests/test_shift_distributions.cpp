@@ -7,8 +7,8 @@
 
 #include "core/metrics.hpp"
 #include "core/partition.hpp"
-#include "core/verify.hpp"
 #include "graph/generators.hpp"
+#include "tests/support/invariants.hpp"
 
 namespace mpx {
 namespace {
@@ -82,9 +82,8 @@ TEST(AlternativeDistributions, ProduceValidDecompositions) {
       for (std::uint64_t seed = 0; seed < 3; ++seed) {
         const Decomposition dec =
             partition(g, opts(0.15, seed, d));
-        const VerifyResult vr = verify_decomposition(dec, g);
-        EXPECT_TRUE(vr.ok)
-            << "dist " << static_cast<int>(d) << ": " << vr.message;
+        EXPECT_TRUE(mpx::testing::check_decomposition_invariants(dec, g))
+            << "dist " << static_cast<int>(d) << " seed " << seed;
       }
     }
   }
