@@ -2,19 +2,19 @@
 // the EDGES into O(log m) blocks so that every connected component of each
 // block has O(log n) diameter.
 //
-//   ./block_decomposition_demo [n] [m]
+//   ./block_decomposition_demo [n] [m] [--seed N]
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
+#include "example_cli.hpp"
 #include "mpx/mpx.hpp"
 
 int main(int argc, char** argv) {
-  const mpx::vertex_t n =
-      argc > 1 ? static_cast<mpx::vertex_t>(std::atoi(argv[1])) : 8192;
-  const mpx::edge_t m =
-      argc > 2 ? static_cast<mpx::edge_t>(std::atoll(argv[2]))
-               : static_cast<mpx::edge_t>(n) * 4;
+  const mpx::examples::Args args = mpx::examples::parse_args(argc, argv);
+  const mpx::vertex_t n = static_cast<mpx::vertex_t>(args.pos_int(0, 8192));
+  const mpx::edge_t m = static_cast<mpx::edge_t>(
+      args.pos_int(1, static_cast<long long>(n) * 4));
 
   const mpx::CsrGraph g = mpx::generators::erdos_renyi(n, m, 3);
   std::printf("input: n=%u, m=%llu; log2(m) = %.1f\n", g.num_vertices(),
@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
               std::log2(static_cast<double>(g.num_edges())));
 
   mpx::BlockDecompositionOptions opt;
-  opt.seed = 9;
+  opt.seed = args.seed_or(9);
   mpx::WallTimer timer;
   const mpx::BlockDecomposition blocks = mpx::block_decomposition(g, opt);
   std::printf("blocks: %u (built in %.3fs)\n", blocks.num_blocks,

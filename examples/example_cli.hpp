@@ -1,0 +1,62 @@
+// Minimal shared CLI handling for the examples: every example accepts
+// `--seed N` (or `--seed=N`) anywhere on the command line in addition to
+// its positional arguments, so CI (and scripted reproduction) can pin the
+// randomness without memorizing each example's positional order.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mpx::examples {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+
+  /// Positional argument i as a string, or `fallback` when absent.
+  [[nodiscard]] std::string pos(std::size_t i, const std::string& fallback) const {
+    return i < positional.size() ? positional[i] : fallback;
+  }
+  [[nodiscard]] long long pos_int(std::size_t i, long long fallback) const {
+    return i < positional.size() ? std::atoll(positional[i].c_str())
+                                 : fallback;
+  }
+  [[nodiscard]] double pos_double(std::size_t i, double fallback) const {
+    return i < positional.size() ? std::atof(positional[i].c_str())
+                                 : fallback;
+  }
+  /// The seed: --seed wins, then positional i (if given), then `fallback`.
+  [[nodiscard]] std::uint64_t seed_or(std::size_t i,
+                                      std::uint64_t fallback) const {
+    if (seed_set) return seed;
+    return static_cast<std::uint64_t>(
+        pos_int(i, static_cast<long long>(fallback)));
+  }
+  /// The seed for examples without a positional seed slot.
+  [[nodiscard]] std::uint64_t seed_or(std::uint64_t fallback) const {
+    return seed_set ? seed : fallback;
+  }
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      args.seed_set = true;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+      args.seed_set = true;
+    } else {
+      args.positional.emplace_back(arg);
+    }
+  }
+  return args;
+}
+
+}  // namespace mpx::examples

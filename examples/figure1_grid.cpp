@@ -2,19 +2,40 @@
 // cluster coloring as a PPM image.
 //
 //   ./figure1_grid [side] [beta] [seed] [out.ppm]
+//   (--seed N overrides the positional seed)
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "example_cli.hpp"
 #include "mpx/mpx.hpp"
 
 int main(int argc, char** argv) {
+  const mpx::examples::Args args = mpx::examples::parse_args(argc, argv);
   const mpx::vertex_t side =
-      argc > 1 ? static_cast<mpx::vertex_t>(std::atoi(argv[1])) : 500;
-  const double beta = argc > 2 ? std::atof(argv[2]) : 0.01;
-  const std::uint64_t seed =
-      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 2013;
-  const std::string out = argc > 4 ? argv[4] : "figure1_panel.ppm";
+      static_cast<mpx::vertex_t>(args.pos_int(0, 500));
+  const double beta = args.pos_double(1, 0.01);
+  // Trailing positionals: an all-digit token is the seed, anything else
+  // (including filenames that merely start with a digit, like
+  // 2025_panel.ppm) the output path — so `--seed N` composes with an
+  // output path at any position.
+  std::uint64_t seed = 2013;
+  std::string out = "figure1_panel.ppm";
+  for (std::size_t i = 2; i < args.positional.size(); ++i) {
+    const std::string& p = args.positional[i];
+    const bool all_digits =
+        !p.empty() && std::all_of(p.begin(), p.end(), [](unsigned char c) {
+          return std::isdigit(c) != 0;
+        });
+    if (all_digits) {
+      seed = static_cast<std::uint64_t>(std::atoll(p.c_str()));
+    } else {
+      out = p;
+    }
+  }
+  if (args.seed_set) seed = args.seed;
 
   const mpx::CsrGraph g = mpx::generators::grid2d(side, side);
   mpx::PartitionOptions opt;

@@ -1,16 +1,18 @@
 // AKPW low-stretch spanning tree demo: iterate (partition -> in-piece BFS
 // trees -> contract) and measure the average edge stretch.
 //
-//   ./low_stretch_tree_demo [grid_side] [beta]
+//   ./low_stretch_tree_demo [grid_side] [beta] [--seed N]
 #include <cstdio>
 #include <cstdlib>
 
+#include "example_cli.hpp"
 #include "mpx/mpx.hpp"
 
 int main(int argc, char** argv) {
+  const mpx::examples::Args args = mpx::examples::parse_args(argc, argv);
   const mpx::vertex_t side =
-      argc > 1 ? static_cast<mpx::vertex_t>(std::atoi(argv[1])) : 128;
-  const double beta = argc > 2 ? std::atof(argv[2]) : 0.2;
+      static_cast<mpx::vertex_t>(args.pos_int(0, 128));
+  const double beta = args.pos_double(1, 0.2);
 
   const mpx::CsrGraph g = mpx::generators::grid2d(side, side);
   std::printf("input: %ux%u grid (n=%u, m=%llu)\n", side, side,
@@ -19,7 +21,7 @@ int main(int argc, char** argv) {
 
   mpx::LowStretchTreeOptions opt;
   opt.beta = beta;
-  opt.seed = 2013;
+  opt.seed = args.seed_or(2013);
   mpx::WallTimer timer;
   const mpx::LowStretchTreeResult r = mpx::low_stretch_tree(g, opt);
   std::printf("spanning tree: %llu edges via %u contraction levels "

@@ -1,16 +1,17 @@
 // Quickstart: decompose a graph, inspect the pieces, verify the
 // guarantees. Mirrors the README's first example.
 //
-//   ./quickstart [beta] [seed]
+//   ./quickstart [beta] [seed]     (--seed N overrides the positional seed)
 #include <cstdio>
 #include <cstdlib>
 
+#include "example_cli.hpp"
 #include "mpx/mpx.hpp"
 
 int main(int argc, char** argv) {
-  const double beta = argc > 1 ? std::atof(argv[1]) : 0.05;
-  const std::uint64_t seed =
-      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 42;
+  const mpx::examples::Args args = mpx::examples::parse_args(argc, argv);
+  const double beta = args.pos_double(0, 0.05);
+  const std::uint64_t seed = args.seed_or(1, 42);
 
   // 1. Build a graph (here: a 200x200 grid; see mpx::generators for more,
   //    or mpx::build_undirected / mpx::io::load_edge_list for your own).

@@ -2,16 +2,18 @@
 // spanning tree -> tree preconditioner -> conjugate gradient on a graph
 // Laplacian.
 //
-//   ./solver_demo [grid_side]
+//   ./solver_demo [grid_side] [--seed N]
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "example_cli.hpp"
 #include "mpx/mpx.hpp"
 
 int main(int argc, char** argv) {
+  const mpx::examples::Args args = mpx::examples::parse_args(argc, argv);
   const mpx::vertex_t side =
-      argc > 1 ? static_cast<mpx::vertex_t>(std::atoi(argv[1])) : 100;
+      static_cast<mpx::vertex_t>(args.pos_int(0, 100));
 
   const mpx::CsrGraph topo = mpx::generators::grid2d(side, side);
   const mpx::WeightedCsrGraph g = mpx::with_unit_weights(topo);
@@ -48,7 +50,7 @@ int main(int argc, char** argv) {
   }
   {
     mpx::LowStretchTreeOptions lst_opt;
-    lst_opt.seed = 7;
+    lst_opt.seed = args.seed_or(7);
     mpx::WallTimer timer;
     const mpx::LowStretchTreeResult lst =
         mpx::low_stretch_tree(topo, lst_opt);

@@ -2,17 +2,18 @@
 // trees plus one bridge per adjacent piece pair, then measure how little
 // distances degrade.
 //
-//   ./spanner_demo [n] [avg_degree] [beta]
+//   ./spanner_demo [n] [avg_degree] [beta] [--seed N]
 #include <cstdio>
 #include <cstdlib>
 
+#include "example_cli.hpp"
 #include "mpx/mpx.hpp"
 
 int main(int argc, char** argv) {
-  const mpx::vertex_t n =
-      argc > 1 ? static_cast<mpx::vertex_t>(std::atoi(argv[1])) : 4096;
-  const unsigned degree = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 32;
-  const double beta = argc > 3 ? std::atof(argv[3]) : 0.2;
+  const mpx::examples::Args args = mpx::examples::parse_args(argc, argv);
+  const mpx::vertex_t n = static_cast<mpx::vertex_t>(args.pos_int(0, 4096));
+  const unsigned degree = static_cast<unsigned>(args.pos_int(1, 32));
+  const double beta = args.pos_double(2, 0.2);
 
   const mpx::CsrGraph g =
       mpx::generators::erdos_renyi(n, static_cast<mpx::edge_t>(n) * degree / 2, 7);
@@ -22,7 +23,7 @@ int main(int argc, char** argv) {
 
   mpx::PartitionOptions opt;
   opt.beta = beta;
-  opt.seed = 11;
+  opt.seed = args.seed_or(11);
   mpx::WallTimer timer;
   const mpx::SpannerResult r = mpx::ldd_spanner(g, opt);
   std::printf("spanner: %llu edges (%.1f%% of input) = %llu tree + %llu "

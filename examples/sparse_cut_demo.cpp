@@ -2,15 +2,16 @@
 // low-conductance cuts (the sparsest-cut connection of the paper's
 // introduction, [20, 24]).
 //
-//   ./sparse_cut_demo [bell_size]
+//   ./sparse_cut_demo [bell_size] [--seed N]
 #include <cstdio>
 #include <cstdlib>
 
+#include "example_cli.hpp"
 #include "mpx/mpx.hpp"
 
 int main(int argc, char** argv) {
-  const mpx::vertex_t k =
-      argc > 1 ? static_cast<mpx::vertex_t>(std::atoi(argv[1])) : 20;
+  const mpx::examples::Args args = mpx::examples::parse_args(argc, argv);
+  const mpx::vertex_t k = static_cast<mpx::vertex_t>(args.pos_int(0, 20));
 
   // A barbell: two K_k cliques joined by one bridge edge. The unique
   // sparse cut is the bridge.
@@ -22,7 +23,7 @@ int main(int argc, char** argv) {
   std::printf("bridge cut conductance: %.5f\n", bridge_phi);
 
   mpx::SparseCutOptions opt;
-  opt.seed = 42;
+  opt.seed = args.seed_or(42);
   mpx::WallTimer timer;
   const mpx::SparseCutResult r = mpx::best_piece_cut(g, opt);
   std::printf("best decomposition piece: conductance %.5f, side size %u, "

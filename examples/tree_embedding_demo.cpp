@@ -1,21 +1,23 @@
 // Hierarchical tree embedding demo: embed a graph metric into a dominating
 // tree metric via recursive MPX decomposition and measure distortion.
 //
-//   ./tree_embedding_demo [grid_side]
+//   ./tree_embedding_demo [grid_side] [--seed N]
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
+#include "example_cli.hpp"
 #include "mpx/mpx.hpp"
 
 int main(int argc, char** argv) {
+  const mpx::examples::Args args = mpx::examples::parse_args(argc, argv);
   const mpx::vertex_t side =
-      argc > 1 ? static_cast<mpx::vertex_t>(std::atoi(argv[1])) : 48;
+      static_cast<mpx::vertex_t>(args.pos_int(0, 48));
   const mpx::CsrGraph g = mpx::generators::grid2d(side, side);
   std::printf("input: %ux%u grid (n=%u)\n", side, side, g.num_vertices());
 
   mpx::TreeEmbeddingOptions opt;
-  opt.seed = 2013;
+  opt.seed = args.seed_or(2013);
   mpx::WallTimer timer;
   const mpx::TreeEmbedding tree = mpx::build_tree_embedding(g, opt);
   std::printf("hierarchy: %u levels, %zu tree nodes (%.3fs)\n",

@@ -3,6 +3,7 @@
 #include <numeric>
 #include <vector>
 
+#include "bfs/frontier.hpp"
 #include "support/assert.hpp"
 #include "support/random.hpp"
 
@@ -24,19 +25,20 @@ Decomposition ball_growing_decomposition(const CsrGraph& g,
     std::iota(order.begin(), order.end(), 0u);
   }
 
-  // Scratch reused across balls; `queue` holds the current ball in BFS
-  // order, levels delimited by `level_begin`.
-  std::vector<vertex_t> queue;
-  queue.reserve(n);
+  // The newest BFS level of the current ball, held in the library's shared
+  // Frontier type and reused across balls (clear() costs only the members
+  // of the finished level, so the total frontier cost stays O(n)).
+  Frontier level(n);
+  Frontier next_level(n);
 
   // Absorb v into the ball rooted at `root`, returning the number of
   // undirected edges from v into the ball so far. Counting at insertion
   // time tallies each internal edge exactly once (at its later endpoint).
-  const auto absorb = [&](vertex_t v, vertex_t root,
-                          std::uint32_t level) -> edge_t {
+  const auto absorb = [&](vertex_t v, vertex_t root, std::uint32_t d,
+                          Frontier& into) -> edge_t {
     owner[v] = root;
-    dist[v] = level;
-    queue.push_back(v);
+    dist[v] = d;
+    into.insert_serial(v);
     edge_t new_internal = 0;
     for (const vertex_t nbr : g.neighbors(v)) {
       if (owner[nbr] == root) ++new_internal;
@@ -47,20 +49,19 @@ Decomposition ball_growing_decomposition(const CsrGraph& g,
   for (const vertex_t root : order) {
     if (owner[root] != kInvalidVertex) continue;
 
-    queue.clear();
-    std::size_t level_begin = 0;
+    level.clear();
     std::uint32_t radius = 0;
-    edge_t internal_edges = absorb(root, root, 0);  // == 0 for the root
+    edge_t internal_edges = absorb(root, root, 0, level);  // == 0 for root
 
     while (true) {
       // Only the newest level can touch unassigned vertices (all earlier
       // levels' unassigned neighbors were absorbed), so the ball boundary
-      // into the remaining graph is exactly the newest level's frontier.
-      // Arcs into previously carved pieces were paid for by those pieces.
-      const std::size_t level_end = queue.size();
+      // into the remaining graph is exactly this frontier's out-arcs to
+      // unassigned vertices. Arcs into previously carved pieces were paid
+      // for by those pieces.
       edge_t boundary = 0;
-      for (std::size_t i = level_begin; i < level_end; ++i) {
-        for (const vertex_t nbr : g.neighbors(queue[i])) {
+      for (const vertex_t u : level.vertices()) {
+        for (const vertex_t nbr : g.neighbors(u)) {
           if (owner[nbr] == kInvalidVertex) ++boundary;
         }
       }
@@ -73,14 +74,15 @@ Decomposition ball_growing_decomposition(const CsrGraph& g,
         break;
       }
       ++radius;
-      for (std::size_t i = level_begin; i < level_end; ++i) {
-        for (const vertex_t nbr : g.neighbors(queue[i])) {
+      next_level.clear();
+      for (const vertex_t u : level.vertices()) {
+        for (const vertex_t nbr : g.neighbors(u)) {
           if (owner[nbr] == kInvalidVertex) {
-            internal_edges += absorb(nbr, root, radius);
+            internal_edges += absorb(nbr, root, radius, next_level);
           }
         }
       }
-      level_begin = level_end;
+      std::swap(level, next_level);
     }
   }
 

@@ -87,8 +87,8 @@ BgkmptResult bgkmpt_decomposition(const CsrGraph& g,
 
     const std::uint32_t max_rounds =
         static_cast<std::uint32_t>(std::floor(delta_max)) + radius_budget + 1;
-    const MultiSourceBfsResult bfs =
-        delayed_multi_source_bfs(sub.graph, start, rank, max_rounds);
+    const MultiSourceBfsResult bfs = delayed_multi_source_bfs(
+        sub.graph, start, rank, max_rounds, opt.engine);
     result.total_rounds += bfs.rounds;
 
     std::vector<vertex_t> still_remaining;

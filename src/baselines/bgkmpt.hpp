@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "bfs/traversal.hpp"
 #include "core/decomposition.hpp"
 #include "graph/csr_graph.hpp"
 
@@ -29,6 +30,9 @@ struct BgkmptOptions {
   /// Per-phase radius budget multiplier: pieces are truncated around
   /// radius_scale * ln(n) / beta hops past the phase's shift window.
   double radius_scale = 2.0;
+  /// Traversal engine for the per-phase shifted BFS (shared with
+  /// mpx::partition; result-invariant).
+  TraversalEngine engine = TraversalEngine::kAuto;
 };
 
 struct BgkmptResult {

@@ -1,0 +1,149 @@
+#include "bfs/frontier.hpp"
+
+#include <bit>
+
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/scan.hpp"
+#include "support/assert.hpp"
+
+namespace mpx {
+
+void Frontier::reset(vertex_t n) {
+  n_ = n;
+  const std::size_t words = (static_cast<std::size_t>(n) + kWordBits - 1) /
+                            kWordBits;
+  bits_.assign(words, 0);
+  summary_.assign((words + kBlockWords - 1) / kBlockWords, 0);
+  sparse_.clear();
+  sparse_valid_ = true;
+}
+
+std::size_t Frontier::size() const {
+  MPX_EXPECTS(sparse_valid_);
+  return sparse_.size();
+}
+
+bool Frontier::empty() const {
+  if (sparse_valid_) return sparse_.empty();
+  for (const std::uint64_t s : summary_) {
+    if (s != 0) return false;
+  }
+  return true;
+}
+
+std::span<const vertex_t> Frontier::vertices() const {
+  MPX_EXPECTS(sparse_valid_);
+  return sparse_;
+}
+
+bool Frontier::contains(vertex_t v) const {
+  MPX_EXPECTS(v < n_);
+  return (bits_[v / kWordBits] >> (v % kWordBits)) & 1u;
+}
+
+bool Frontier::insert_serial(vertex_t v) {
+  MPX_EXPECTS(v < n_ && sparse_valid_);
+  const std::size_t w = v / kWordBits;
+  const std::uint64_t mask = std::uint64_t{1} << (v % kWordBits);
+  if (bits_[w] & mask) return false;
+  if (bits_[w] == 0) summary_[w / kBlockWords] |= std::uint64_t{1}
+                                                  << (w % kBlockWords);
+  bits_[w] |= mask;
+  sparse_.push_back(v);
+  return true;
+}
+
+bool Frontier::insert_atomic(vertex_t v) {
+  // Catch callers that forgot invalidate_sparse(): a bitmap diverging from
+  // a still-"valid" sparse vector silently drops frontier members.
+  MPX_EXPECTS(v < n_ && !sparse_valid_);
+  const std::size_t w = v / kWordBits;
+  const std::uint64_t mask = std::uint64_t{1} << (v % kWordBits);
+  std::atomic_ref<std::uint64_t> word(bits_[w]);
+  const std::uint64_t before =
+      word.fetch_or(mask, std::memory_order_relaxed);
+  if (before & mask) return false;
+  // Exactly one inserter observes the word transitioning from empty and
+  // publishes its summary bit.
+  if (before == 0) set_summary_atomic(w);
+  return true;
+}
+
+void Frontier::invalidate_sparse() {
+  sparse_.clear();
+  sparse_valid_ = false;
+}
+
+void Frontier::merge_word(std::size_t w, std::uint64_t bits) {
+  if (bits == 0) return;
+  MPX_EXPECTS(w < bits_.size() && !sparse_valid_);
+  if (bits_[w] == 0) set_summary_atomic(w);
+  bits_[w] |= bits;
+}
+
+void Frontier::set_summary_atomic(std::size_t word_index) {
+  std::atomic_ref<std::uint64_t> s(summary_[word_index / kBlockWords]);
+  s.fetch_or(std::uint64_t{1} << (word_index % kBlockWords),
+             std::memory_order_relaxed);
+}
+
+void Frontier::ensure_sparse() {
+  if (sparse_valid_) return;
+  // Summary-blocked pack: only blocks whose summary word is nonzero are
+  // scanned, so compaction costs O(#summary words + occupied blocks)
+  // instead of O(n / 64) — the difference between a cheap per-round step
+  // and a full-graph sweep on high-diameter graphs.
+  std::vector<std::uint32_t> blocks;
+  for (std::size_t s = 0; s < summary_.size(); ++s) {
+    if (summary_[s] != 0) blocks.push_back(static_cast<std::uint32_t>(s));
+  }
+  std::vector<std::uint64_t> counts(blocks.size() + 1, 0);
+  parallel_for(std::size_t{0}, blocks.size(), [&](std::size_t b) {
+    const std::size_t lo = static_cast<std::size_t>(blocks[b]) * kBlockWords;
+    const std::size_t hi = std::min(lo + kBlockWords, bits_.size());
+    std::uint64_t count = 0;
+    for (std::size_t w = lo; w < hi; ++w) {
+      count += static_cast<std::uint64_t>(std::popcount(bits_[w]));
+    }
+    counts[b] = count;
+  });
+  const std::uint64_t total =
+      exclusive_scan_inplace(std::span<std::uint64_t>(counts));
+  sparse_.resize(static_cast<std::size_t>(total));
+  parallel_for(std::size_t{0}, blocks.size(), [&](std::size_t b) {
+    const std::size_t lo = static_cast<std::size_t>(blocks[b]) * kBlockWords;
+    const std::size_t hi = std::min(lo + kBlockWords, bits_.size());
+    std::size_t pos = static_cast<std::size_t>(counts[b]);
+    for (std::size_t w = lo; w < hi; ++w) {
+      std::uint64_t bits = bits_[w];
+      while (bits != 0) {
+        const unsigned tz = static_cast<unsigned>(std::countr_zero(bits));
+        sparse_[pos++] =
+            static_cast<vertex_t>(w * kWordBits + tz);
+        bits &= bits - 1;
+      }
+    }
+  });
+  sparse_valid_ = true;
+}
+
+void Frontier::clear() {
+  // Zero only the occupied blocks named by the summary.
+  parallel_for(std::size_t{0}, summary_.size(), [&](std::size_t s) {
+    if (summary_[s] == 0) return;
+    const std::size_t lo = s * kBlockWords;
+    const std::size_t hi = std::min(lo + kBlockWords, bits_.size());
+    for (std::size_t w = lo; w < hi; ++w) bits_[w] = 0;
+    summary_[s] = 0;
+  });
+  sparse_.clear();
+  sparse_valid_ = true;
+}
+
+void Frontier::assign(std::span<const vertex_t> vs) {
+  clear();
+  for (const vertex_t v : vs) insert_serial(v);
+}
+
+}  // namespace mpx

@@ -1,0 +1,107 @@
+// Frontier: the vertex-set representation shared by every level-synchronous
+// traversal in the library (delayed multi-source BFS, parallel BFS, the
+// baselines' searches).
+//
+// A frontier is held in up to two representations at once:
+//   * sparse  — a vector of vertex ids in ascending order, cheap to iterate
+//               when the frontier is a small fraction of the graph;
+//   * dense   — a bitmap (one bit per vertex) plus a summary bitmap with one
+//               bit per 64-bit word, so compaction and clearing touch only
+//               the occupied 4096-vertex blocks instead of all n bits.
+//
+// Candidate collection during a traversal round marks bits (atomically from
+// the push path, word-at-a-time without atomics from the pull path) and
+// converts to the sparse form with a summary-blocked pack — this replaces
+// per-thread candidate buffers stitched together serially, which was the
+// Amdahl bottleneck of the old round loop.
+//
+// The sparse form produced by ensure_sparse() is sorted ascending, so the
+// iteration order of a frontier is a pure function of its contents — never
+// of the thread schedule that built it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace mpx {
+
+class Frontier {
+ public:
+  /// Bits per bitmap word.
+  static constexpr std::size_t kWordBits = 64;
+  /// Words per summary block (= vertices covered by one summary word:
+  /// kBlockWords * kWordBits = 4096).
+  static constexpr std::size_t kBlockWords = 64;
+
+  Frontier() = default;
+  explicit Frontier(vertex_t n) { reset(n); }
+
+  /// Resize to a universe of n vertices and clear all members.
+  void reset(vertex_t n);
+
+  [[nodiscard]] vertex_t universe() const { return n_; }
+
+  /// Number of members. Requires the sparse form (call ensure_sparse()
+  /// after parallel insertion).
+  [[nodiscard]] std::size_t size() const;
+
+  /// True iff no members. Valid in either representation.
+  [[nodiscard]] bool empty() const;
+
+  /// True when the sparse vector mirrors the bitmap. Dense insertion
+  /// (insert_atomic()/merge_word()) requires a prior invalidate_sparse()
+  /// — both assert it — and ensure_sparse() makes the views agree again.
+  [[nodiscard]] bool has_sparse() const { return sparse_valid_; }
+
+  /// Members in ascending order. Requires has_sparse().
+  [[nodiscard]] std::span<const vertex_t> vertices() const;
+
+  /// Dense membership test.
+  [[nodiscard]] bool contains(vertex_t v) const;
+
+  /// Serial insert keeping sparse and dense in sync; returns true iff v was
+  /// newly inserted. Requires has_sparse(). The sparse order follows
+  /// insertion order until the next ensure_sparse() resorts it.
+  bool insert_serial(vertex_t v);
+
+  /// Thread-safe insert into the dense form; returns true iff this call set
+  /// the bit. Call invalidate_sparse() once before a parallel insertion
+  /// phase.
+  bool insert_atomic(vertex_t v);
+
+  /// Mark the start of parallel dense insertion: the sparse vector no
+  /// longer mirrors the bitmap until ensure_sparse().
+  void invalidate_sparse();
+
+  /// OR a whole bitmap word in (pull-style: the caller owns word w
+  /// exclusively, so the word write needs no atomics; only the shared
+  /// summary word is ORed atomically). No-op when bits == 0. Requires a
+  /// prior invalidate_sparse(), like insert_atomic().
+  void merge_word(std::size_t w, std::uint64_t bits);
+
+  /// Rebuild the sparse vector from the bitmap (summary-blocked pack,
+  /// ascending order). No-op when the sparse form is already valid. The
+  /// opposite conversion is free: every insert path maintains the bitmap,
+  /// so the dense form is always current.
+  void ensure_sparse();
+
+  /// Remove all members. Touches only the occupied summary blocks.
+  void clear();
+
+  /// Replace the contents with `vs` (serial; duplicates collapse).
+  void assign(std::span<const vertex_t> vs);
+
+ private:
+  void set_summary_atomic(std::size_t word_index);
+
+  vertex_t n_ = 0;
+  std::vector<vertex_t> sparse_;
+  std::vector<std::uint64_t> bits_;     // one bit per vertex
+  std::vector<std::uint64_t> summary_;  // bit w set iff bits_[w] != 0
+  bool sparse_valid_ = true;
+};
+
+}  // namespace mpx

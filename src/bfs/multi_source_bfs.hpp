@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "bfs/traversal.hpp"
 #include "graph/csr_graph.hpp"
 #include "support/types.hpp"
 
@@ -41,7 +42,11 @@ struct MultiSourceBfsResult {
   std::vector<std::uint32_t> settle_round;
   /// Number of parallel rounds executed (the depth proxy of experiment E3).
   std::uint32_t rounds = 0;
+  /// How many of those rounds the traversal engine ran bottom-up.
+  std::uint32_t pull_rounds = 0;
   /// Arcs scanned while expanding settled vertices (work proxy, O(m)).
+  /// Exact: equals the sum of deg(v) over settled vertices when the run
+  /// reaches quiescence, independent of the engine choice.
   edge_t arcs_scanned = 0;
 
   /// Graph distance from v to its owning center, recovered from the global
@@ -52,9 +57,12 @@ struct MultiSourceBfsResult {
   }
 };
 
-/// Run the delayed multi-source BFS. Rounds beyond `max_rounds` are not
-/// executed (vertices not yet settled stay unreached); the default runs to
-/// quiescence.
+/// Run the delayed multi-source BFS on the shared traversal engine.
+/// Rounds beyond `max_rounds` are not executed (vertices not yet settled
+/// stay unreached); the default runs to quiescence. The engine choice
+/// (push / pull / direction-optimizing auto) changes only the schedule,
+/// never the result: owner and settle_round are byte-identical across
+/// engines and thread counts.
 ///
 /// Preconditions: start_round.size() == rank.size() == n; every vertex with
 /// start_round != kNoStart has a rank, and ranks of such centers are
@@ -62,6 +70,7 @@ struct MultiSourceBfsResult {
 [[nodiscard]] MultiSourceBfsResult delayed_multi_source_bfs(
     const CsrGraph& g, std::span<const std::uint32_t> start_round,
     std::span<const std::uint32_t> rank,
-    std::uint32_t max_rounds = kInfDist);
+    std::uint32_t max_rounds = kInfDist,
+    TraversalEngine engine = TraversalEngine::kAuto);
 
 }  // namespace mpx

@@ -2,88 +2,64 @@
 
 #include <algorithm>
 
+#include "bfs/traversal.hpp"
 #include "parallel/atomics.hpp"
-#include "parallel/pack.hpp"
-#include "parallel/parallel_for.hpp"
-#include "parallel/reduce.hpp"
-#include "parallel/thread_env.hpp"
 #include "support/assert.hpp"
 
 namespace mpx {
 namespace {
 
-/// Claim v for parent u at distance d; true iff this thread won the CAS.
-bool try_visit(std::vector<std::uint32_t>& dist, std::vector<vertex_t>& parent,
-               vertex_t v, vertex_t u, std::uint32_t d) {
-  if (atomic_load(dist[v]) != kInfDist) return false;
-  if (!atomic_claim(dist[v], kInfDist, d)) return false;
-  parent[v] = u;  // exclusive after winning the CAS
-  return true;
-}
+/// Plain BFS claim semantics for the traversal engine: first search to
+/// reach a vertex wins. Push claims race on a parent CAS; pull scans the
+/// neighbors of an unvisited vertex for one settled at the previous level
+/// and adopts it, writing without atomics.
+struct PlainBfsVisitor {
+  const CsrGraph& g;
+  std::span<const vertex_t> sources;
+  ParallelBfsResult& result;
 
-/// One top-down round: expand `frontier`, returning the next frontier.
-std::vector<vertex_t> top_down_step(const CsrGraph& g,
-                                    std::span<const vertex_t> frontier,
-                                    std::uint32_t next_dist,
-                                    std::vector<std::uint32_t>& dist,
-                                    std::vector<vertex_t>& parent) {
-  // Per-thread buffers stitched together; order inside the next frontier is
-  // irrelevant to correctness (all elements share the same level). Small
-  // levels skip the parallel region — high-diameter graphs have many of
-  // them, and the fork/join cost would dwarf the work.
-  std::vector<std::vector<vertex_t>> buffers(
-      static_cast<std::size_t>(num_threads()));
-#if defined(_OPENMP)
-  if (frontier.size() >= kSerialGrain / 4) {
-#pragma omp parallel
-    {
-      auto& local = buffers[static_cast<std::size_t>(omp_get_thread_num())];
-#pragma omp for schedule(dynamic, 64)
-      for (std::int64_t i = 0; i < static_cast<std::int64_t>(frontier.size());
-           ++i) {
-        const vertex_t u = frontier[static_cast<std::size_t>(i)];
-        for (const vertex_t v : g.neighbors(u)) {
-          if (try_visit(dist, parent, v, u, next_dist)) local.push_back(v);
-        }
-      }
-    }
-  } else
-#endif
-  {
-    for (const vertex_t u : frontier) {
-      for (const vertex_t v : g.neighbors(u)) {
-        if (try_visit(dist, parent, v, u, next_dist)) buffers[0].push_back(v);
-      }
+  [[nodiscard]] std::span<const vertex_t> activations(std::uint32_t t) const {
+    return t == 0 ? sources : std::span<const vertex_t>{};
+  }
+
+  [[nodiscard]] bool activations_done(std::uint32_t t) const {
+    return sources.empty() || t > 0;
+  }
+
+  [[nodiscard]] bool settled(vertex_t v) const {
+    return atomic_load(result.dist[v]) != kInfDist;
+  }
+
+  bool offer_self(vertex_t s) {
+    // Sources keep parent == kInvalidVertex; dist is written at settle.
+    return !settled(s);
+  }
+
+  template <typename Emit>
+  void expand(vertex_t u, Emit&& emit) {
+    for (const vertex_t v : g.neighbors(u)) {
+      if (settled(v)) continue;
+      // First offer of the round wins the parent slot; later offers still
+      // emit so the candidate bitmap (not this CAS) decides membership.
+      atomic_claim(result.parent[v], kInvalidVertex, u);
+      emit(v);
     }
   }
-  std::size_t total = 0;
-  for (const auto& b : buffers) total += b.size();
-  std::vector<vertex_t> next;
-  next.reserve(total);
-  for (const auto& b : buffers) next.insert(next.end(), b.begin(), b.end());
-  return next;
-}
 
-/// One bottom-up round: every unvisited vertex scans its own neighbors for
-/// a frontier member. Returns the next frontier.
-std::vector<vertex_t> bottom_up_step(const CsrGraph& g,
-                                     const std::vector<std::uint8_t>& in_front,
-                                     std::uint32_t next_dist,
-                                     std::vector<std::uint32_t>& dist,
-                                     std::vector<vertex_t>& parent) {
-  const vertex_t n = g.num_vertices();
-  parallel_for_dynamic(vertex_t{0}, n, [&](vertex_t v) {
-    if (dist[v] != kInfDist) return;
+  bool pull(vertex_t v, std::uint32_t t) {
+    const std::uint32_t prev = t - 1;
     for (const vertex_t u : g.neighbors(v)) {
-      if (in_front[u]) {
-        dist[v] = next_dist;  // each v written by exactly one iteration
-        parent[v] = u;
-        break;
+      if (atomic_load(result.dist[u]) == prev) {
+        result.parent[v] = u;
+        atomic_store(result.dist[v], t);
+        return true;
       }
     }
-  });
-  return pack_indices(n, [&](vertex_t v) { return dist[v] == next_dist; });
-}
+    return false;
+  }
+
+  void settle(vertex_t v, std::uint32_t t) { result.dist[v] = t; }
+};
 
 }  // namespace
 
@@ -91,49 +67,21 @@ ParallelBfsResult parallel_bfs_multi(const CsrGraph& g,
                                      std::span<const vertex_t> sources,
                                      BfsStrategy strategy) {
   const vertex_t n = g.num_vertices();
+  for (const vertex_t s : sources) MPX_EXPECTS(s < n);
+
   ParallelBfsResult result;
   result.dist.assign(n, kInfDist);
   result.parent.assign(n, kInvalidVertex);
 
-  std::vector<vertex_t> frontier;
-  for (const vertex_t s : sources) {
-    MPX_EXPECTS(s < n);
-    if (result.dist[s] == 0) continue;
-    result.dist[s] = 0;
-    frontier.push_back(s);
-  }
-
-  // Direction-optimization heuristic: go bottom-up when the frontier's
-  // out-degree exceeds a fraction of the remaining edges (alpha), return
-  // top-down when the frontier shrinks below a fraction of n (beta).
-  constexpr double kAlpha = 1.0 / 15.0;
-  constexpr double kBeta = 1.0 / 20.0;
-
-  std::vector<std::uint8_t> in_front;
-  std::uint32_t level = 0;
-  while (!frontier.empty()) {
-    ++level;
-    bool bottom_up = false;
-    if (strategy == BfsStrategy::kDirectionOptimizing) {
-      const edge_t frontier_degree = parallel_sum<edge_t>(
-          std::size_t{0}, frontier.size(),
-          [&](std::size_t i) { return static_cast<edge_t>(g.degree(frontier[i])); });
-      bottom_up =
-          static_cast<double>(frontier_degree) >
-              kAlpha * static_cast<double>(g.num_arcs()) ||
-          static_cast<double>(frontier.size()) > kBeta * static_cast<double>(n);
-    }
-    if (bottom_up) {
-      if (in_front.empty()) in_front.assign(n, 0);
-      parallel_for(std::size_t{0}, in_front.size(),
-                   [&](std::size_t v) { in_front[v] = 0; });
-      for (const vertex_t u : frontier) in_front[u] = 1;
-      frontier = bottom_up_step(g, in_front, level, result.dist, result.parent);
-    } else {
-      frontier = top_down_step(g, frontier, level, result.dist, result.parent);
-    }
-  }
-  result.rounds = level;
+  PlainBfsVisitor vis{g, sources, result};
+  TraversalParams params;
+  params.engine = strategy == BfsStrategy::kDirectionOptimizing
+                      ? TraversalEngine::kAuto
+                      : TraversalEngine::kPush;
+  const TraversalStats stats = run_traversal(g, vis, params);
+  // The engine counts the round-0 source activation; the historical
+  // ParallelBfsResult convention counts expansion levels only.
+  result.rounds = stats.rounds == 0 ? 0 : stats.rounds - 1;
   return result;
 }
 

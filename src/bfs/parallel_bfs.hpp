@@ -1,12 +1,14 @@
 // Frontier-based parallel BFS, in the role Klein–Subramanian [18] plays in
 // the paper's Theorem 1.2: O(m) work, one parallel round per BFS level.
+// Built on the shared traversal engine (bfs/traversal.hpp).
 //
 // Two traversal strategies:
 //  * top-down: threads expand the frontier, claiming unvisited neighbors
 //    with CAS; work proportional to frontier out-degree.
-//  * direction-optimizing (Beamer et al. [8], cited by the paper): switch
-//    to bottom-up sweeps while the frontier is a large fraction of the
-//    graph, which skips most edge checks on low-diameter graphs.
+//  * direction-optimizing (Beamer et al. [8], cited by the paper): the
+//    engine's auto mode switches to bottom-up sweeps while the frontier is
+//    a large fraction of the graph, which skips most edge checks on
+//    low-diameter graphs.
 #pragma once
 
 #include <cstdint>

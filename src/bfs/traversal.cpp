@@ -1,0 +1,30 @@
+#include "bfs/traversal.hpp"
+
+namespace mpx {
+
+std::string_view traversal_engine_name(TraversalEngine engine) {
+  switch (engine) {
+    case TraversalEngine::kAuto:
+      return "auto";
+    case TraversalEngine::kPush:
+      return "push";
+    case TraversalEngine::kPull:
+      return "pull";
+  }
+  return "unknown";
+}
+
+bool parse_traversal_engine(std::string_view name, TraversalEngine& out) {
+  if (name == "auto") {
+    out = TraversalEngine::kAuto;
+  } else if (name == "push") {
+    out = TraversalEngine::kPush;
+  } else if (name == "pull") {
+    out = TraversalEngine::kPull;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mpx

@@ -44,6 +44,7 @@ Decomposition decomposition_from_bfs(
   });
   Decomposition dec(bfs.owner, dist);
   dec.bfs_rounds = bfs.rounds;
+  dec.pull_rounds = bfs.pull_rounds;
   dec.arcs_scanned = bfs.arcs_scanned;
   return dec;
 }

@@ -59,6 +59,8 @@ class Decomposition {
   /// Provenance: parallel rounds and arcs scanned by the producing BFS
   /// (zero when the decomposition was built by a non-BFS algorithm).
   std::uint32_t bfs_rounds = 0;
+  /// Rounds the traversal engine ran bottom-up (direction-optimizing).
+  std::uint32_t pull_rounds = 0;
   edge_t arcs_scanned = 0;
 
  private:

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "bfs/traversal.hpp"
+
 namespace mpx {
 
 /// How simultaneous arrivals at a vertex are ordered (Section 5 of the
@@ -49,6 +51,10 @@ struct PartitionOptions {
   TieBreak tie_break = TieBreak::kFractionalShift;
   /// Distribution of the shift values themselves (Section 5 ablation).
   ShiftDistribution distribution = ShiftDistribution::kExponential;
+  /// Traversal engine for the delayed multi-source BFS (push / pull /
+  /// direction-optimizing auto). Changes only the schedule, never the
+  /// decomposition: all engines produce identical output for a fixed seed.
+  TraversalEngine engine = TraversalEngine::kAuto;
 };
 
 }  // namespace mpx

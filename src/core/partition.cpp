@@ -5,17 +5,18 @@
 
 namespace mpx {
 
-Decomposition partition_with_shifts(const CsrGraph& g, const Shifts& shifts) {
+Decomposition partition_with_shifts(const CsrGraph& g, const Shifts& shifts,
+                                    TraversalEngine engine) {
   MPX_EXPECTS(shifts.start_round.size() == g.num_vertices());
   MPX_EXPECTS(shifts.rank.size() == g.num_vertices());
-  const MultiSourceBfsResult bfs =
-      delayed_multi_source_bfs(g, shifts.start_round, shifts.rank);
+  const MultiSourceBfsResult bfs = delayed_multi_source_bfs(
+      g, shifts.start_round, shifts.rank, kInfDist, engine);
   return decomposition_from_bfs(bfs, shifts.start_round);
 }
 
 Decomposition partition(const CsrGraph& g, const PartitionOptions& opt) {
   const Shifts shifts = generate_shifts(g.num_vertices(), opt);
-  return partition_with_shifts(g, shifts);
+  return partition_with_shifts(g, shifts, opt.engine);
 }
 
 }  // namespace mpx

@@ -25,8 +25,10 @@ namespace mpx {
                                       const PartitionOptions& opt);
 
 /// Run Partition with externally supplied shifts (ablations and the
-/// cross-checks against the exact Algorithm 2 reference).
-[[nodiscard]] Decomposition partition_with_shifts(const CsrGraph& g,
-                                                  const Shifts& shifts);
+/// cross-checks against the exact Algorithm 2 reference). The traversal
+/// engine changes only the schedule, never the decomposition.
+[[nodiscard]] Decomposition partition_with_shifts(
+    const CsrGraph& g, const Shifts& shifts,
+    TraversalEngine engine = TraversalEngine::kAuto);
 
 }  // namespace mpx

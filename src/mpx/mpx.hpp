@@ -39,9 +39,11 @@
 #include "graph/subgraph.hpp"
 
 // BFS engines (S4)
+#include "bfs/frontier.hpp"
 #include "bfs/multi_source_bfs.hpp"
 #include "bfs/parallel_bfs.hpp"
 #include "bfs/sequential_bfs.hpp"
+#include "bfs/traversal.hpp"
 
 // The MPX partition (S5)
 #include "core/bucketed_partition.hpp"

@@ -44,4 +44,142 @@ namespace mpx::testing {
   return ::testing::AssertionSuccess();
 }
 
+::testing::AssertionResult check_weighted_decomposition_invariants(
+    const WeightedDecomposition& dec, const WeightedCsrGraph& g,
+    const WeightedInvariantOptions& opt) {
+  const vertex_t n = g.num_vertices();
+  if (dec.num_vertices() != n) {
+    return ::testing::AssertionFailure()
+           << "assignment covers " << dec.num_vertices() << " vertices, graph has "
+           << n;
+  }
+  if (dec.dist_to_center.size() != n) {
+    return ::testing::AssertionFailure()
+           << "dist_to_center has " << dec.dist_to_center.size()
+           << " entries, expected " << n;
+  }
+  const cluster_t k = dec.num_clusters();
+  if (n > 0 && k == 0) {
+    return ::testing::AssertionFailure() << "no clusters on a non-empty graph";
+  }
+
+  // Coverage: valid compact ids everywhere; centers strictly increasing,
+  // each anchoring its own piece at distance zero.
+  for (vertex_t v = 0; v < n; ++v) {
+    if (dec.assignment[v] >= k) {
+      return ::testing::AssertionFailure()
+             << "vertex " << v << " assigned to invalid cluster "
+             << dec.assignment[v] << " (k=" << k << ")";
+    }
+    if (dec.dist_to_center[v] < 0.0) {
+      return ::testing::AssertionFailure()
+             << "vertex " << v << " has negative radius "
+             << dec.dist_to_center[v];
+    }
+  }
+  for (cluster_t c = 0; c < k; ++c) {
+    const vertex_t center = dec.centers[c];
+    if (center >= n) {
+      return ::testing::AssertionFailure()
+             << "cluster " << c << " has out-of-range center " << center;
+    }
+    if (c > 0 && dec.centers[c - 1] >= center) {
+      return ::testing::AssertionFailure()
+             << "centers not strictly increasing at cluster " << c;
+    }
+    if (dec.assignment[center] != c) {
+      return ::testing::AssertionFailure()
+             << "center " << center << " of cluster " << c
+             << " is assigned to cluster " << dec.assignment[center];
+    }
+    if (dec.dist_to_center[center] > opt.eps) {
+      return ::testing::AssertionFailure()
+             << "center " << center << " has nonzero radius "
+             << dec.dist_to_center[center];
+    }
+  }
+
+  // Distance exactness without Dijkstra: (a) feasibility — no in-piece arc
+  // can shorten any recorded distance, so dist[v] <= the true in-piece
+  // shortest-path distance; (b) realizability — every non-center has an
+  // in-piece predecessor with dist[v] == dist[u] + w(u,v), and since
+  // weights are positive the predecessor chain strictly decreases until it
+  // reaches the center, exhibiting an in-piece path of length dist[v].
+  // Together they pin dist as exact and prove in-piece connectivity.
+  for (vertex_t v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.arc_weights(v);
+    const double tol = opt.eps * (1.0 + dec.dist_to_center[v]);
+    bool has_predecessor = dec.centers[dec.assignment[v]] == v;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vertex_t u = nbrs[i];
+      if (dec.assignment[u] != dec.assignment[v]) continue;
+      const double via = dec.dist_to_center[u] + ws[i];
+      if (via < dec.dist_to_center[v] - tol) {
+        return ::testing::AssertionFailure()
+               << "dist_to_center[" << v << "]=" << dec.dist_to_center[v]
+               << " is not shortest: via in-piece neighbor " << u
+               << " it would be " << via;
+      }
+      if (std::abs(via - dec.dist_to_center[v]) <= tol) has_predecessor = true;
+    }
+    if (!has_predecessor) {
+      return ::testing::AssertionFailure()
+             << "vertex " << v << " (cluster " << dec.assignment[v]
+             << ", radius " << dec.dist_to_center[v]
+             << ") has no in-piece predecessor realizing its distance";
+    }
+  }
+
+  // Lemma 4.2 analogue: dist_w(v, center) <= delta[center].
+  if (opt.shifts != nullptr) {
+    for (vertex_t v = 0; v < n; ++v) {
+      const vertex_t center = dec.centers[dec.assignment[v]];
+      const double bound = opt.shifts->delta[center] +
+                           opt.eps * (1.0 + opt.shifts->delta[center]);
+      if (dec.dist_to_center[v] > bound) {
+        return ::testing::AssertionFailure()
+               << "radius " << dec.dist_to_center[v] << " of vertex " << v
+               << " exceeds its center's shift "
+               << opt.shifts->delta[center];
+      }
+    }
+  }
+
+  if (opt.beta > 0.0 && n > 0) {
+    double max_radius = 0.0;
+    for (vertex_t v = 0; v < n; ++v) {
+      max_radius = std::max(max_radius, dec.dist_to_center[v]);
+    }
+    const double nn = std::max<double>(n, 2.0);
+    const double radius_bound = opt.radius_slack * std::log(nn) / opt.beta;
+    if (max_radius > radius_bound) {
+      return ::testing::AssertionFailure()
+             << "max weighted radius " << max_radius << " exceeds "
+             << opt.radius_slack << " * ln(n)/beta = " << radius_bound;
+    }
+    if (opt.cut_slack > 0.0 && g.num_edges() > 0) {
+      edge_t cut_edges = 0;
+      double total_weight = 0.0;
+      for (vertex_t u = 0; u < n; ++u) {
+        const auto nbrs = g.neighbors(u);
+        const auto ws = g.arc_weights(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          if (u > nbrs[i]) continue;  // each undirected edge once
+          total_weight += ws[i];
+          if (dec.assignment[u] != dec.assignment[nbrs[i]]) ++cut_edges;
+        }
+      }
+      const double cut_bound = opt.cut_slack * opt.beta * total_weight;
+      if (static_cast<double>(cut_edges) > cut_bound) {
+        return ::testing::AssertionFailure()
+               << "cut edges " << cut_edges << " exceed " << opt.cut_slack
+               << " * beta * total_weight = " << cut_bound;
+      }
+    }
+  }
+
+  return ::testing::AssertionSuccess();
+}
+
 }  // namespace mpx::testing

@@ -16,6 +16,7 @@
 
 #include "core/decomposition.hpp"
 #include "core/shifts.hpp"
+#include "core/weighted_partition.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace mpx::testing {
@@ -41,5 +42,38 @@ struct InvariantOptions {
 [[nodiscard]] ::testing::AssertionResult check_decomposition_invariants(
     const Decomposition& dec, const CsrGraph& g,
     const InvariantOptions& opt = {});
+
+struct WeightedInvariantOptions {
+  /// When > 0, enables the beta-dependent quality checks below.
+  double beta = 0.0;
+  /// Radius bound: max weighted radius <= radius_slack * ln(max(n, 2)) /
+  /// beta. Shift values are drawn in weighted-distance units, so the bound
+  /// is weight-free, exactly as in the unweighted case.
+  double radius_slack = 6.0;
+  /// Cut bound: cut_edges <= cut_slack * beta * total_weight (the weighted
+  /// Corollary 4.5: P[e cut] <= beta * w(e)). 0 disables.
+  double cut_slack = 0.0;
+  /// When set, additionally check dist_to_center(v) <= delta[center] + eps
+  /// (the continuous Lemma 4.2 analogue — no floor slack in the Dijkstra
+  /// formulation).
+  const Shifts* shifts = nullptr;
+  /// Relative tolerance for floating-point distance comparisons.
+  double eps = 1e-6;
+};
+
+/// Weighted analogue of check_decomposition_invariants for
+/// WeightedDecomposition:
+///   * coverage: every vertex in exactly one piece, centers anchor their
+///     own piece at distance 0, center list strictly increasing,
+///   * connectivity + exact distances: every non-center has an in-piece
+///     predecessor realizing dist[v] == dist[u] + w(u,v), and no in-piece
+///     arc can shorten any recorded distance (feasibility + realizability
+///     pin dist as the true in-piece shortest-path distance, without
+///     running Dijkstra),
+///   * the optional shift / quality bounds above.
+[[nodiscard]] ::testing::AssertionResult
+check_weighted_decomposition_invariants(
+    const WeightedDecomposition& dec, const WeightedCsrGraph& g,
+    const WeightedInvariantOptions& opt = {});
 
 }  // namespace mpx::testing

@@ -13,6 +13,7 @@
 #include "graph/subgraph.hpp"
 #include "parallel/thread_env.hpp"
 #include "support/random.hpp"
+#include "tests/support/invariants.hpp"
 
 namespace mpx {
 namespace {
@@ -57,6 +58,8 @@ TEST(BucketedPartition, MatchesSequentialDijkstraExactly) {
           bucketed_weighted_partition_with_shifts(g, shifts);
       ASSERT_EQ(bucketed.decomposition.centers, sequential.centers);
       ASSERT_EQ(bucketed.decomposition.assignment, sequential.assignment);
+      ASSERT_TRUE(mpx::testing::check_weighted_decomposition_invariants(
+          bucketed.decomposition, g, {.shifts = &shifts}));
       for (vertex_t v = 0; v < g.num_vertices(); ++v) {
         // The sequential reference accumulates real-valued keys, so its
         // integer distances carry ~1e-15 float noise; the bucketed run is
@@ -94,6 +97,8 @@ TEST(BucketedPartition, ClustersAreInternallyConnected) {
         extract_cluster(g.topology(), r.decomposition.assignment, c);
     EXPECT_TRUE(is_connected(sub.graph)) << "cluster " << c;
   }
+  EXPECT_TRUE(mpx::testing::check_weighted_decomposition_invariants(
+      r.decomposition, g, {.beta = 0.2}));
 }
 
 TEST(BucketedPartition, DeterministicAcrossThreadCounts) {
@@ -144,6 +149,20 @@ TEST(BucketedPartition, LargerWeightsSlowTheSweep) {
   // More clusters too: a center's shift window covers 4x less territory.
   EXPECT_GE(slow.decomposition.num_clusters(),
             light.decomposition.num_clusters());
+}
+
+TEST(BucketedPartition, InvariantBatteryAcrossTopologies) {
+  const CsrGraph topologies[] = {grid2d(14, 14), barbell(10),
+                                 caterpillar(20, 3), rmat(8, 4.0, 5)};
+  for (const CsrGraph& topo : topologies) {
+    const WeightedCsrGraph g = integer_weights(topo, 7, 6);
+    PartitionOptions o = opts(0.2, 21);
+    const Shifts shifts = generate_shifts(g.num_vertices(), o);
+    const BucketedPartitionResult r =
+        bucketed_weighted_partition_with_shifts(g, shifts);
+    EXPECT_TRUE(mpx::testing::check_weighted_decomposition_invariants(
+        r.decomposition, g, {.beta = 0.2, .shifts = &shifts}));
+  }
 }
 
 TEST(BucketedPartition, SingleVertexAndEdgeless) {

@@ -195,8 +195,48 @@ TEST(DelayedBfs, DeterministicAcrossThreadCounts) {
 TEST(DelayedBfs, WorkIsLinearInArcs) {
   const CsrGraph g = grid2d(50, 50);
   const MultiSourceBfsResult r = voronoi_all(g);
-  // Every vertex settles once and is expanded once: arcs scanned == 2m.
-  EXPECT_LE(r.arcs_scanned, g.num_arcs());
+  // Every vertex settles once and is expanded once: arcs scanned == 2m,
+  // exactly — the counter is folded into the parallel expand phase but
+  // must stay exact.
+  EXPECT_EQ(r.arcs_scanned, g.num_arcs());
+}
+
+TEST(DelayedBfs, ArcsScannedExactAndEngineInvariant) {
+  // Partial coverage (some vertices unreached via max_rounds): the counter
+  // equals the settled vertices' degree sum for every engine.
+  const CsrGraph g = grid2d(24, 24);
+  const vertex_t n = g.num_vertices();
+  std::vector<std::uint32_t> start(n, kNoStart);
+  std::vector<std::uint32_t> rank(n, 0);
+  start[0] = 0;
+  start[n - 1] = 2;
+  rank[n - 1] = 1;
+  for (const TraversalEngine engine :
+       {TraversalEngine::kPush, TraversalEngine::kPull,
+        TraversalEngine::kAuto}) {
+    SCOPED_TRACE(std::string(traversal_engine_name(engine)));
+    const MultiSourceBfsResult r =
+        delayed_multi_source_bfs(g, start, rank, /*max_rounds=*/9, engine);
+    edge_t settled_degree = 0;
+    for (vertex_t v = 0; v < n; ++v) {
+      if (r.owner[v] != kInvalidVertex) {
+        settled_degree += static_cast<edge_t>(g.degree(v));
+      }
+    }
+    // Truncation stops before the last frontier expands, so the counter
+    // covers exactly the frontiers that did expand: every settled vertex
+    // except those still waiting in the final frontier.
+    EXPECT_LE(r.arcs_scanned, settled_degree);
+    const MultiSourceBfsResult full =
+        delayed_multi_source_bfs(g, start, rank, kInfDist, engine);
+    edge_t full_degree = 0;
+    for (vertex_t v = 0; v < n; ++v) {
+      if (full.owner[v] != kInvalidVertex) {
+        full_degree += static_cast<edge_t>(g.degree(v));
+      }
+    }
+    EXPECT_EQ(full.arcs_scanned, full_degree);
+  }
 }
 
 TEST(DelayedBfs, DisconnectedComponentsEachGetOwners) {

@@ -9,6 +9,8 @@
 #include <numeric>
 #include <vector>
 
+#include "bfs/multi_source_bfs.hpp"
+#include "core/shifts.hpp"
 #include "parallel/pack.hpp"
 #include "parallel/reduce.hpp"
 #include "parallel/scan.hpp"
@@ -125,6 +127,46 @@ TEST(ParallelThreads, PackMatchesSequentialAtEveryWidth) {
                 }());
     }
   }
+}
+
+TEST(ParallelThreads, TraversalEnginesMatchSequentialAtEveryWidth) {
+  // The traversal engine's contract doubled: for a fixed seed the result
+  // must be invariant across thread widths AND across engines (push /
+  // pull / auto). The reference is the push engine at one thread.
+  mpx::testing::for_each_seed(3, [](std::uint64_t seed) {
+    Xoshiro256pp rng(seed);
+    // Big enough to cross the engine's serial-round cutoff so parallel
+    // phases actually fork at widths > 1.
+    const CsrGraph g = mpx::testing::random_connected_graph(rng, 4000, 8.0);
+    PartitionOptions popt;
+    popt.beta = 0.2;
+    popt.seed = seed;
+    const Shifts shifts = generate_shifts(g.num_vertices(), popt);
+
+    std::vector<vertex_t> ref_owner;
+    std::vector<std::uint32_t> ref_settle;
+    {
+      ScopedNumThreads guard(1);
+      const MultiSourceBfsResult r = delayed_multi_source_bfs(
+          g, shifts.start_round, shifts.rank, kInfDist,
+          TraversalEngine::kPush);
+      ref_owner = r.owner;
+      ref_settle = r.settle_round;
+    }
+    for (const int threads : kThreadCounts) {
+      for (const TraversalEngine engine :
+           {TraversalEngine::kPush, TraversalEngine::kPull,
+            TraversalEngine::kAuto}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) + " engine=" +
+                     std::string(traversal_engine_name(engine)));
+        ScopedNumThreads guard(threads);
+        const MultiSourceBfsResult r = delayed_multi_source_bfs(
+            g, shifts.start_round, shifts.rank, kInfDist, engine);
+        EXPECT_EQ(r.owner, ref_owner);
+        EXPECT_EQ(r.settle_round, ref_settle);
+      }
+    }
+  });
 }
 
 TEST(ParallelThreads, ResultsIdenticalAcrossWidthsOnRandomInputs) {

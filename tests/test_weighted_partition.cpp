@@ -12,6 +12,7 @@
 #include "graph/generators.hpp"
 #include "graph/subgraph.hpp"
 #include "support/random.hpp"
+#include "tests/support/invariants.hpp"
 
 namespace mpx {
 namespace {
@@ -47,6 +48,7 @@ TEST(WeightedPartition, CoversEveryVertexAndAnchorsCenters) {
     EXPECT_EQ(dec.assignment[dec.centers[c]], c);
     EXPECT_DOUBLE_EQ(dec.dist_to_center[dec.centers[c]], 0.0);
   }
+  EXPECT_TRUE(mpx::testing::check_weighted_decomposition_invariants(dec, g));
 }
 
 TEST(WeightedPartition, ClustersAreInternallyConnected) {
@@ -56,6 +58,22 @@ TEST(WeightedPartition, ClustersAreInternallyConnected) {
     const Subgraph sub =
         extract_cluster(g.topology(), dec.assignment, c);
     EXPECT_TRUE(is_connected(sub.graph)) << "cluster " << c;
+  }
+  // The invariant battery proves connectivity a second way (predecessor
+  // chains) plus distance exactness.
+  EXPECT_TRUE(mpx::testing::check_weighted_decomposition_invariants(
+      dec, g, {.beta = 0.2}));
+}
+
+TEST(WeightedPartition, InvariantBatteryAcrossSeeds) {
+  const WeightedCsrGraph g = random_weights(grid2d(20, 20), 11, 0.25, 4.0);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    PartitionOptions o = opts(0.15, seed);
+    const Shifts shifts = generate_shifts(g.num_vertices(), o);
+    const WeightedDecomposition dec = weighted_partition_with_shifts(g, shifts);
+    EXPECT_TRUE(mpx::testing::check_weighted_decomposition_invariants(
+        dec, g, {.beta = 0.15, .shifts = &shifts}));
   }
 }
 
@@ -122,6 +140,8 @@ TEST(WeightedPartition, RadiusNeverExceedsCenterShift) {
     const vertex_t center = dec.centers[dec.assignment[v]];
     EXPECT_LE(dec.dist_to_center[v], shifts.delta[center] + 1e-9);
   }
+  EXPECT_TRUE(mpx::testing::check_weighted_decomposition_invariants(
+      dec, g, {.shifts = &shifts}));
 }
 
 TEST(WeightedPartition, MatchesBruteForceArgmin) {
@@ -177,6 +197,35 @@ TEST(WeightedPartition, MatchesBruteForceArgmin) {
   }
   for (vertex_t v = 0; v < n; ++v) {
     EXPECT_EQ(dec.centers[dec.assignment[v]], best_owner[v]) << v;
+  }
+}
+
+TEST(WeightedPartition, InvariantCheckerRejectsCorruption) {
+  const WeightedCsrGraph g = random_weights(grid2d(10, 10), 6, 0.5, 2.0);
+  const WeightedDecomposition good = weighted_partition(g, opts(0.2, 3));
+  ASSERT_TRUE(mpx::testing::check_weighted_decomposition_invariants(good, g));
+
+  {  // vertex moved to another piece: its distance can no longer be realized
+    WeightedDecomposition bad = good;
+    bad.assignment[0] = (bad.assignment[0] + 1) % bad.num_clusters();
+    if (bad.num_clusters() > 1) {
+      EXPECT_FALSE(
+          mpx::testing::check_weighted_decomposition_invariants(bad, g));
+    }
+  }
+  {  // inflated distance: feasibility/realizability must catch it
+    WeightedDecomposition bad = good;
+    vertex_t v = 0;
+    while (good.centers[good.assignment[v]] == v) ++v;  // pick a non-center
+    bad.dist_to_center[v] += 1.0;
+    EXPECT_FALSE(
+        mpx::testing::check_weighted_decomposition_invariants(bad, g));
+  }
+  {  // center displaced from its own piece
+    WeightedDecomposition bad = good;
+    bad.dist_to_center[bad.centers[0]] = 0.5;
+    EXPECT_FALSE(
+        mpx::testing::check_weighted_decomposition_invariants(bad, g));
   }
 }
 
