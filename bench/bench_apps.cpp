@@ -3,12 +3,33 @@
 // ([3, 15]; the AKPW recursion over our partition), and SDD/Laplacian
 // solving ([9, 11]): PCG iteration counts with no / Jacobi / low-stretch-
 // tree preconditioning.
+// "--graph <path>" (repeatable; text edge list or .mpxs snapshot) replaces
+// the generated families in every section.
 #include <cstdio>
 
+#include "graph_input.hpp"
 #include "mpx/mpx.hpp"
 #include "table.hpp"
 
 namespace {
+
+/// The bench's per-section family shape, fed either from generators or
+/// from --graph files.
+struct Family {
+  std::string name;
+  mpx::CsrGraph graph;
+};
+
+std::vector<Family> override_families(
+    std::vector<Family> defaults,
+    const std::vector<mpx::bench::NamedInput>& inputs) {
+  if (inputs.empty()) return defaults;
+  std::vector<Family> families;
+  for (const mpx::bench::NamedInput& input : inputs) {
+    families.push_back({input.name, input.graph});
+  }
+  return families;
+}
 
 std::vector<double> mean_zero_rhs(std::size_t n, std::uint64_t seed) {
   std::vector<double> b(n);
@@ -21,19 +42,18 @@ std::vector<double> mean_zero_rhs(std::size_t n, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpx;
+  const std::vector<bench::NamedInput> inputs =
+      bench::graphs_from_args(argc, argv);
 
   bench::section("E12a: LDD spanners");
   {
-    struct Family {
-      const char* name;
-      CsrGraph graph;
-    };
     std::vector<Family> families;
     families.push_back({"er-dense", generators::erdos_renyi(4096, 65536, 3)});
     families.push_back({"rmat12", generators::rmat(12, 16.0, 7)});
     families.push_back({"grid64", generators::grid2d(64, 64)});
+    families = override_families(std::move(families), inputs);
 
     bench::Table table({"family", "beta", "m", "spanner_m", "ratio",
                         "mean_stretch", "max_stretch", "bound"});
@@ -63,14 +83,11 @@ int main() {
 
   bench::section("E12b: AKPW low-stretch spanning trees");
   {
-    struct Family {
-      const char* name;
-      CsrGraph graph;
-    };
     std::vector<Family> families;
     families.push_back({"grid100", generators::grid2d(100, 100)});
     families.push_back({"er16k", generators::erdos_renyi(16384, 65536, 5)});
     families.push_back({"torus64", generators::grid2d(64, 64, true)});
+    families = override_families(std::move(families), inputs);
 
     bench::Table table({"family", "levels", "avg_stretch", "max_stretch",
                         "secs"});
@@ -93,10 +110,6 @@ int main() {
 
   bench::section("E12c: PCG on graph Laplacians (the [9, 11] pipeline)");
   {
-    struct Family {
-      const char* name;
-      CsrGraph graph;
-    };
     std::vector<Family> families;
     families.push_back({"grid64", generators::grid2d(64, 64)});
     families.push_back({"grid100", generators::grid2d(100, 100)});
@@ -119,6 +132,7 @@ int main() {
           {"near-tree", build_undirected(tree.num_vertices(),
                                          std::span<const Edge>(edges))});
     }
+    families = override_families(std::move(families), inputs);
 
     bench::Table table({"family", "preconditioner", "iterations",
                         "rel_resid", "secs"});

@@ -4,7 +4,11 @@
 // artifact BENCH_frontier.json so CI accumulates the perf history.
 //
 //   ./bench_frontier [out.json] [--scale small|full] [--reps N]
-//                    [--beta B] [--seed S]
+//                    [--beta B] [--seed S] [--graph file]...
+//
+// "--graph <path>" (repeatable; text edge list or .mpxs snapshot, see
+// docs/FORMATS.md) replaces the generated families, so big inputs are
+// ingested once instead of re-generated per run.
 //
 // JSON format (one object):
 //   {
@@ -25,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "graph_input.hpp"
 #include "mpx/mpx.hpp"
 #include "table.hpp"
 
@@ -129,6 +134,8 @@ int main(int argc, char** argv) {
       beta = std::atof(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--graph" && i + 1 < argc) {
+      ++i;  // loaded below via bench::graphs_from_args
     } else {
       out = arg;
     }
@@ -144,12 +151,17 @@ int main(int argc, char** argv) {
     CsrGraph graph;
   };
   std::vector<Family> families;
-  if (scale == "full") {
-    families.push_back({"grid2d_3000", generators::grid2d(3000, 3000)});
-    families.push_back({"rmat_20", generators::rmat(20, 8.0, 1)});
-  } else {
-    families.push_back({"grid2d_600", generators::grid2d(600, 600)});
-    families.push_back({"rmat_16", generators::rmat(16, 8.0, 1)});
+  for (bench::NamedInput& input : bench::graphs_from_args(argc, argv)) {
+    families.push_back({input.name, std::move(input.graph)});
+  }
+  if (families.empty()) {
+    if (scale == "full") {
+      families.push_back({"grid2d_3000", generators::grid2d(3000, 3000)});
+      families.push_back({"rmat_20", generators::rmat(20, 8.0, 1)});
+    } else {
+      families.push_back({"grid2d_600", generators::grid2d(600, 600)});
+      families.push_back({"rmat_16", generators::rmat(16, 8.0, 1)});
+    }
   }
 
   constexpr TraversalEngine kEngines[] = {

@@ -1,0 +1,212 @@
+// Graph-ingestion benchmark: text edge-list parsing vs the binary .mpxs
+// snapshot format (docs/FORMATS.md), at the scales the ROADMAP calls out.
+// Writes the machine-readable trajectory artifact BENCH_snapshot.json
+// (schema: docs/BENCHMARKS.md) so CI accumulates the ingestion history.
+//
+//   ./bench_snapshot [out.json] [--scale small|full] [--reps N]
+//                    [--keep-files]
+//
+// For each family the bench materializes both representations in a temp
+// directory, then measures:
+//   * text_load_seconds      io::load_edge_list (parse + sort + dedup)
+//   * snapshot_load_seconds  io::load_snapshot (block reads + checksum +
+//                            structural validation into owned buffers)
+//   * snapshot_map_seconds   io::map_snapshot (zero-copy mmap + structural
+//                            validation; checksum skipped, see the spec)
+//   * map_sweep_seconds      map_snapshot plus a full degree sweep, so the
+//                            number also covers fault-in of every page
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "mpx/mpx.hpp"
+#include "table.hpp"
+
+namespace {
+
+struct Run {
+  std::string graph;
+  mpx::vertex_t n = 0;
+  mpx::edge_t m = 0;
+  std::uint64_t text_bytes = 0;
+  std::uint64_t snapshot_bytes = 0;
+  double text_load_seconds = 0.0;
+  double snapshot_load_seconds = 0.0;
+  double snapshot_map_seconds = 0.0;
+  double map_sweep_seconds = 0.0;
+};
+
+/// Full pass over the CSR arrays of a mapped graph, forcing every page
+/// resident; returns a checksum-ish value so the sweep cannot be elided.
+std::uint64_t degree_sweep(const mpx::CsrGraph& g) {
+  std::uint64_t acc = 0;
+  for (mpx::vertex_t v = 0; v < g.num_vertices(); ++v) {
+    for (const mpx::vertex_t u : g.neighbors(v)) acc += u;
+  }
+  return acc;
+}
+
+Run measure(const std::string& name, const mpx::CsrGraph& g,
+            const std::string& dir, int reps) {
+  Run run;
+  run.graph = name;
+  run.n = g.num_vertices();
+  run.m = g.num_edges();
+  const std::string text_path = dir + "/" + name + ".edges";
+  const std::string snap_path = dir + "/" + name + ".mpxs";
+  mpx::io::save_edge_list(text_path, g);
+  mpx::io::save_snapshot(snap_path, g);
+  run.text_bytes = std::filesystem::file_size(text_path);
+  run.snapshot_bytes = std::filesystem::file_size(snap_path);
+
+  run.text_load_seconds = 1e100;
+  run.snapshot_load_seconds = 1e100;
+  run.snapshot_map_seconds = 1e100;
+  run.map_sweep_seconds = 1e100;
+  std::uint64_t sink = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      mpx::WallTimer timer;
+      const mpx::CsrGraph loaded = mpx::io::load_edge_list(text_path);
+      run.text_load_seconds = std::min(run.text_load_seconds, timer.seconds());
+      sink += loaded.num_arcs();
+    }
+    {
+      mpx::WallTimer timer;
+      const mpx::CsrGraph loaded = mpx::io::load_snapshot(snap_path);
+      run.snapshot_load_seconds =
+          std::min(run.snapshot_load_seconds, timer.seconds());
+      sink += loaded.num_arcs();
+    }
+    {
+      mpx::WallTimer timer;
+      const mpx::CsrGraph mapped = mpx::io::map_snapshot(snap_path);
+      run.snapshot_map_seconds =
+          std::min(run.snapshot_map_seconds, timer.seconds());
+      sink += mapped.num_arcs();
+    }
+    {
+      mpx::WallTimer timer;
+      const mpx::CsrGraph mapped = mpx::io::map_snapshot(snap_path);
+      sink += degree_sweep(mapped);
+      run.map_sweep_seconds = std::min(run.map_sweep_seconds, timer.seconds());
+    }
+  }
+  if (sink == 42) std::printf("(unlikely)\n");
+  return run;
+}
+
+void write_json(const std::string& path, const std::vector<Run>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"snapshot\",\n");
+  std::fprintf(f, "  \"threads\": %d,\n", mpx::max_threads());
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    std::fprintf(
+        f,
+        "    {\"graph\": \"%s\", \"n\": %u, \"m\": %llu, "
+        "\"text_bytes\": %llu, \"snapshot_bytes\": %llu, "
+        "\"text_load_seconds\": %.6f, \"snapshot_load_seconds\": %.6f, "
+        "\"snapshot_map_seconds\": %.6f, \"map_sweep_seconds\": %.6f, "
+        "\"speedup_load_vs_text\": %.3f, \"speedup_map_vs_text\": %.3f}%s\n",
+        r.graph.c_str(), r.n, static_cast<unsigned long long>(r.m),
+        static_cast<unsigned long long>(r.text_bytes),
+        static_cast<unsigned long long>(r.snapshot_bytes),
+        r.text_load_seconds, r.snapshot_load_seconds, r.snapshot_map_seconds,
+        r.map_sweep_seconds,
+        r.snapshot_load_seconds > 0.0
+            ? r.text_load_seconds / r.snapshot_load_seconds
+            : 0.0,
+        r.snapshot_map_seconds > 0.0
+            ? r.text_load_seconds / r.snapshot_map_seconds
+            : 0.0,
+        i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mpx;
+
+  std::string out = "BENCH_snapshot.json";
+  std::string scale = "full";
+  int reps = 2;
+  bool keep_files = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scale" && i + 1 < argc) {
+      scale = argv[++i];
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (arg == "--keep-files") {
+      keep_files = true;
+    } else {
+      out = arg;
+    }
+  }
+
+  bench::section("graph ingestion: text edge list vs .mpxs snapshot");
+  std::printf("threads: %d, scale=%s, reps=%d\n", max_threads(), scale.c_str(),
+              reps);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mpx_bench_snapshot")
+          .string();
+  std::filesystem::create_directories(dir);
+
+  struct Family {
+    std::string name;
+    CsrGraph graph;
+  };
+  std::vector<Family> families;
+  if (scale == "full") {
+    families.push_back({"grid2d_3000", generators::grid2d(3000, 3000)});
+    families.push_back({"rmat_20", generators::rmat(20, 8.0, 1)});
+  } else {
+    families.push_back({"grid2d_600", generators::grid2d(600, 600)});
+    families.push_back({"rmat_16", generators::rmat(16, 8.0, 1)});
+  }
+
+  std::vector<Run> runs;
+  bench::Table table({"graph", "n", "m", "text_s", "load_s", "map_s",
+                      "sweep_s", "load_x", "map_x"});
+  for (const Family& fam : families) {
+    const Run r = measure(fam.name, fam.graph, dir, reps);
+    runs.push_back(r);
+    table.row({r.graph, bench::Table::integer(r.n),
+               bench::Table::integer(r.m),
+               bench::Table::num(r.text_load_seconds, 3),
+               bench::Table::num(r.snapshot_load_seconds, 3),
+               bench::Table::num(r.snapshot_map_seconds, 3),
+               bench::Table::num(r.map_sweep_seconds, 3),
+               bench::Table::num(
+                   r.text_load_seconds / r.snapshot_load_seconds, 1),
+               bench::Table::num(
+                   r.text_load_seconds / r.snapshot_map_seconds, 1)});
+  }
+
+  if (!keep_files) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  } else {
+    std::printf("kept representation files under %s\n", dir.c_str());
+  }
+
+  write_json(out, runs);
+  std::printf(
+      "\nexpected shape: snapshot load and map are both >= 10x faster than "
+      "text parsing (the text path re-sorts and re-dedups every load); map "
+      "is near-constant time since validation is the only full pass.\n");
+  return 0;
+}

@@ -1,7 +1,14 @@
 // Experiment E8 — practical parallel speedup of the single-shot algorithm
 // (Theorem 1.2 realized on a multicore): wall time vs thread count.
+//
+//   ./bench_threads [--graph file]...
+//
+// "--graph <path>" (repeatable; text edge list or .mpxs snapshot) replaces
+// the generated families.
 #include <cstdio>
+#include <string>
 
+#include "graph_input.hpp"
 #include "mpx/mpx.hpp"
 #include "table.hpp"
 
@@ -23,19 +30,24 @@ double best_seconds(const mpx::CsrGraph& g, double beta, int reps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpx;
   bench::section("E8: thread scaling of partition()");
   std::printf("hardware threads available: %d\n", max_threads());
 
   struct Family {
-    const char* name;
+    std::string name;
     CsrGraph graph;
   };
   std::vector<Family> families;
-  families.push_back({"grid1000", generators::grid2d(1000, 1000)});
-  families.push_back(
-      {"er256k", generators::erdos_renyi(262144, 1048576, 3)});
+  for (bench::NamedInput& input : bench::graphs_from_args(argc, argv)) {
+    families.push_back({input.name, std::move(input.graph)});
+  }
+  if (families.empty()) {
+    families.push_back({"grid1000", generators::grid2d(1000, 1000)});
+    families.push_back(
+        {"er256k", generators::erdos_renyi(262144, 1048576, 3)});
+  }
 
   bench::Table table({"family", "threads", "secs", "speedup"});
   for (const Family& fam : families) {

@@ -1,0 +1,49 @@
+// Shared --graph handling for the bench drivers.
+//
+// Any number of "--graph <path>" pairs on a bench command line replace the
+// bench's built-in generated families, so a snapshot produced once with
+// snapshot_tool (or any text edge list — io::load_graph auto-detects by
+// magic) feeds every driver without re-generating or re-parsing:
+//
+//   ./snapshot_tool convert big.edges big.mpxs
+//   ./bench_frontier --graph big.mpxs
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/io.hpp"
+
+namespace mpx::bench {
+
+/// A graph plus the name benches print in table rows.
+struct NamedInput {
+  std::string name;
+  mpx::CsrGraph graph;
+};
+
+/// Basename without directories or extension: "data/rmat_20.mpxs" -> "rmat_20".
+inline std::string graph_display_name(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
+  return name;
+}
+
+/// Collect and load every "--graph <path>" pair from argv. Empty when no
+/// --graph flag is present (benches then fall back to generated families).
+/// Throws std::runtime_error (from io::load_graph) on unreadable files.
+inline std::vector<NamedInput> graphs_from_args(int argc, char** argv) {
+  std::vector<NamedInput> inputs;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--graph") {
+      const std::string path = argv[++i];
+      inputs.push_back({graph_display_name(path), mpx::io::load_graph(path)});
+    }
+  }
+  return inputs;
+}
+
+}  // namespace mpx::bench

@@ -1,7 +1,15 @@
 // Tiny fixed-width table printer shared by the experiment harnesses so
 // every bench emits the same readable row format.
+//
+// Columns self-size: each starts at max(kMinWidth, header width) and
+// widens permanently when a longer cell arrives (wide graph names from
+// --graph files used to run into the neighbouring column with no
+// separator). A single space always separates columns, so rows stay
+// splittable even when one cell overflows its column.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -12,23 +20,25 @@ class Table {
  public:
   explicit Table(std::vector<std::string> headers)
       : headers_(std::move(headers)) {
-    std::string line;
+    widths_.reserve(headers_.size());
     for (const auto& h : headers_) {
-      std::printf("%14s", h.c_str());
+      widths_.push_back(std::max(kMinWidth, h.size()));
     }
-    std::printf("\n");
+    print_cells(headers_);
     for (std::size_t i = 0; i < headers_.size(); ++i) {
-      std::printf("%14s", "------------");
+      std::printf("%*s%s", static_cast<int>(widths_[i]),
+                  std::string(widths_[i], '-').c_str(),
+                  i + 1 < headers_.size() ? " " : "\n");
     }
-    std::printf("\n");
   }
 
-  /// One row; cells must match the header count.
+  /// One row; cells must match the header count. A cell wider than its
+  /// column widens the column for all later rows.
   void row(const std::vector<std::string>& cells) {
-    for (const auto& c : cells) {
-      std::printf("%14s", c.c_str());
+    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      if (cells[i].size() > widths_[i]) widths_[i] = cells[i].size();
     }
-    std::printf("\n");
+    print_cells(cells);
     std::fflush(stdout);
   }
 
@@ -41,7 +51,18 @@ class Table {
   static std::string integer(std::uint64_t v) { return std::to_string(v); }
 
  private:
+  static constexpr std::size_t kMinWidth = 13;
+
+  void print_cells(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const std::size_t width = i < widths_.size() ? widths_[i] : kMinWidth;
+      std::printf("%*s%s", static_cast<int>(width), cells[i].c_str(),
+                  i + 1 < cells.size() ? " " : "\n");
+    }
+  }
+
   std::vector<std::string> headers_;
+  std::vector<std::size_t> widths_;
 };
 
 inline void section(const std::string& title) {

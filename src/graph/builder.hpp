@@ -1,10 +1,11 @@
-// Graph construction from edge lists.
-//
-// The builder normalizes arbitrary edge lists into the canonical undirected
-// CSR form the rest of the library assumes: self-loops dropped, parallel
-// edges deduplicated, both arc directions present, adjacency lists sorted.
-// Construction is parallel: sort the symmetrized arc list, dedup, then
-// derive offsets with a scan.
+/// \file
+/// \brief Graph construction from edge lists.
+///
+/// The builder normalizes arbitrary edge lists into the canonical undirected
+/// CSR form the rest of the library assumes: self-loops dropped, parallel
+/// edges deduplicated, both arc directions present, adjacency lists sorted.
+/// Construction is parallel: sort the symmetrized arc list, dedup, then
+/// derive offsets with a scan.
 #pragma once
 
 #include <cstdint>
@@ -18,17 +19,18 @@ namespace mpx {
 
 /// An undirected edge in a pre-CSR edge list.
 struct Edge {
-  vertex_t u;
-  vertex_t v;
+  vertex_t u;  ///< One endpoint.
+  vertex_t v;  ///< The other endpoint.
 
+  /// Memberwise equality (used by the builder's dedup).
   friend bool operator==(const Edge&, const Edge&) = default;
 };
 
 /// A weighted undirected edge.
 struct WeightedEdge {
-  vertex_t u;
-  vertex_t v;
-  double w;
+  vertex_t u;  ///< One endpoint.
+  vertex_t v;  ///< The other endpoint.
+  double w;    ///< Positive length carried by both arcs of the edge.
 };
 
 /// Build an undirected unweighted graph on `n` vertices from `edges`.

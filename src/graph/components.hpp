@@ -1,8 +1,9 @@
-// Connected components. Two implementations:
-//  * a sequential BFS sweep (reference, used by tests and the verifier on
-//    small per-cluster subgraphs), and
-//  * parallel label propagation with pointer jumping (hook-and-compress),
-//    the standard shared-memory CC kernel.
+/// \file
+/// \brief Connected components. Two implementations:
+///  * a sequential BFS sweep (reference, used by tests and the verifier on
+///    small per-cluster subgraphs), and
+///  * parallel label propagation with pointer jumping (hook-and-compress),
+///    the standard shared-memory CC kernel.
 #pragma once
 
 #include <vector>
@@ -15,8 +16,8 @@ namespace mpx {
 /// Component labelling: labels[v] identifies v's component; labels are
 /// component-minimum vertex ids, so they are canonical.
 struct Components {
-  std::vector<vertex_t> label;
-  vertex_t count = 0;
+  std::vector<vertex_t> label;  ///< Per-vertex component id (min member id).
+  vertex_t count = 0;           ///< Number of connected components.
 };
 
 /// Sequential reference implementation (BFS sweep). O(n + m).

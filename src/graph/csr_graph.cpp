@@ -1,14 +1,14 @@
 #include "graph/csr_graph.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "parallel/parallel_for.hpp"
 #include "parallel/reduce.hpp"
 
 namespace mpx {
 
-CsrGraph::CsrGraph(std::vector<edge_t> offsets, std::vector<vertex_t> targets)
-    : offsets_(std::move(offsets)), targets_(std::move(targets)) {
+void CsrGraph::check_structure() const {
   MPX_EXPECTS(!offsets_.empty());
   MPX_EXPECTS(offsets_.front() == 0);
   MPX_EXPECTS(offsets_.back() == targets_.size());
@@ -18,6 +18,91 @@ CsrGraph::CsrGraph(std::vector<edge_t> offsets, std::vector<vertex_t> targets)
   });
   parallel_for(std::size_t{0}, targets_.size(),
                [&](std::size_t e) { MPX_EXPECTS(targets_[e] < n); });
+}
+
+CsrGraph::CsrGraph(std::vector<edge_t> offsets, std::vector<vertex_t> targets)
+    : owned_offsets_(std::move(offsets)), owned_targets_(std::move(targets)) {
+  MPX_EXPECTS(!owned_offsets_.empty());
+  bind_owned();
+  check_structure();
+}
+
+CsrGraph::CsrGraph(std::span<const edge_t> offsets,
+                   std::span<const vertex_t> targets,
+                   std::shared_ptr<const void> keepalive)
+    : keepalive_(std::move(keepalive)), offsets_(offsets), targets_(targets) {
+  MPX_EXPECTS(keepalive_ != nullptr);
+  check_structure();
+}
+
+CsrGraph::CsrGraph(std::vector<edge_t> offsets, std::vector<vertex_t> targets,
+                   Trusted)
+    : owned_offsets_(std::move(offsets)), owned_targets_(std::move(targets)) {
+  MPX_EXPECTS(!owned_offsets_.empty());
+  bind_owned();
+}
+
+CsrGraph::CsrGraph(std::span<const edge_t> offsets,
+                   std::span<const vertex_t> targets,
+                   std::shared_ptr<const void> keepalive, Trusted)
+    : keepalive_(std::move(keepalive)), offsets_(offsets), targets_(targets) {
+  MPX_EXPECTS(keepalive_ != nullptr);
+  MPX_EXPECTS(!offsets_.empty());
+}
+
+CsrGraph::CsrGraph(const CsrGraph& other)
+    : owned_offsets_(other.owned_offsets_),
+      owned_targets_(other.owned_targets_),
+      keepalive_(other.keepalive_) {
+  if (keepalive_ != nullptr) {
+    // View: the bytes are externally owned and immutable; alias them.
+    offsets_ = other.offsets_;
+    targets_ = other.targets_;
+  } else {
+    bind_owned();
+  }
+}
+
+CsrGraph& CsrGraph::operator=(const CsrGraph& other) {
+  if (this != &other) {
+    CsrGraph copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+CsrGraph::CsrGraph(CsrGraph&& other) noexcept
+    : owned_offsets_(std::move(other.owned_offsets_)),
+      owned_targets_(std::move(other.owned_targets_)),
+      keepalive_(std::move(other.keepalive_)),
+      offsets_(other.offsets_),
+      targets_(other.targets_) {
+  // Vector moves transfer the heap buffer, so the spans stay valid; rebind
+  // anyway to keep the owning invariant independent of libstdc++ details.
+  if (keepalive_ == nullptr) bind_owned();
+  other.owned_offsets_.clear();
+  other.owned_targets_.clear();
+  other.keepalive_.reset();
+  other.bind_owned();
+}
+
+CsrGraph& CsrGraph::operator=(CsrGraph&& other) noexcept {
+  if (this != &other) {
+    owned_offsets_ = std::move(other.owned_offsets_);
+    owned_targets_ = std::move(other.owned_targets_);
+    keepalive_ = std::move(other.keepalive_);
+    if (keepalive_ != nullptr) {
+      offsets_ = other.offsets_;
+      targets_ = other.targets_;
+    } else {
+      bind_owned();
+    }
+    other.owned_offsets_.clear();
+    other.owned_targets_.clear();
+    other.keepalive_.reset();
+    other.bind_owned();
+  }
+  return *this;
 }
 
 bool CsrGraph::has_edge(vertex_t u, vertex_t v) const {
@@ -38,11 +123,92 @@ bool CsrGraph::is_symmetric() const {
   return bad == 0;
 }
 
-WeightedCsrGraph::WeightedCsrGraph(CsrGraph graph, std::vector<double> weights)
-    : graph_(std::move(graph)), weights_(std::move(weights)) {
+void WeightedCsrGraph::check_weights() const {
   MPX_EXPECTS(weights_.size() == graph_.num_arcs());
   parallel_for(std::size_t{0}, weights_.size(),
                [&](std::size_t e) { MPX_EXPECTS(weights_[e] > 0.0); });
+}
+
+WeightedCsrGraph::WeightedCsrGraph(CsrGraph graph, std::vector<double> weights)
+    : graph_(std::move(graph)), owned_weights_(std::move(weights)) {
+  bind_owned();
+  check_weights();
+}
+
+WeightedCsrGraph::WeightedCsrGraph(CsrGraph graph,
+                                   std::span<const double> weights,
+                                   std::shared_ptr<const void> keepalive)
+    : graph_(std::move(graph)),
+      weights_keepalive_(std::move(keepalive)),
+      weights_(weights) {
+  MPX_EXPECTS(weights_keepalive_ != nullptr);
+  check_weights();
+}
+
+WeightedCsrGraph::WeightedCsrGraph(CsrGraph graph, std::vector<double> weights,
+                                   CsrGraph::Trusted)
+    : graph_(std::move(graph)), owned_weights_(std::move(weights)) {
+  bind_owned();
+  MPX_EXPECTS(weights_.size() == graph_.num_arcs());
+}
+
+WeightedCsrGraph::WeightedCsrGraph(CsrGraph graph,
+                                   std::span<const double> weights,
+                                   std::shared_ptr<const void> keepalive,
+                                   CsrGraph::Trusted)
+    : graph_(std::move(graph)),
+      weights_keepalive_(std::move(keepalive)),
+      weights_(weights) {
+  MPX_EXPECTS(weights_keepalive_ != nullptr);
+  MPX_EXPECTS(weights_.size() == graph_.num_arcs());
+}
+
+WeightedCsrGraph::WeightedCsrGraph(const WeightedCsrGraph& other)
+    : graph_(other.graph_),
+      owned_weights_(other.owned_weights_),
+      weights_keepalive_(other.weights_keepalive_) {
+  if (weights_keepalive_ != nullptr) {
+    weights_ = other.weights_;
+  } else {
+    bind_owned();
+  }
+}
+
+WeightedCsrGraph& WeightedCsrGraph::operator=(const WeightedCsrGraph& other) {
+  if (this != &other) {
+    WeightedCsrGraph copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+WeightedCsrGraph::WeightedCsrGraph(WeightedCsrGraph&& other) noexcept
+    : graph_(std::move(other.graph_)),
+      owned_weights_(std::move(other.owned_weights_)),
+      weights_keepalive_(std::move(other.weights_keepalive_)),
+      weights_(other.weights_) {
+  if (weights_keepalive_ == nullptr) bind_owned();
+  other.owned_weights_.clear();
+  other.weights_keepalive_.reset();
+  other.bind_owned();
+}
+
+WeightedCsrGraph& WeightedCsrGraph::operator=(
+    WeightedCsrGraph&& other) noexcept {
+  if (this != &other) {
+    graph_ = std::move(other.graph_);
+    owned_weights_ = std::move(other.owned_weights_);
+    weights_keepalive_ = std::move(other.weights_keepalive_);
+    if (weights_keepalive_ != nullptr) {
+      weights_ = other.weights_;
+    } else {
+      bind_owned();
+    }
+    other.owned_weights_.clear();
+    other.weights_keepalive_.reset();
+    other.bind_owned();
+  }
+  return *this;
 }
 
 }  // namespace mpx

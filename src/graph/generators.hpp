@@ -1,13 +1,14 @@
-// Graph family generators used throughout tests and benches.
-//
-// Families are chosen to stress the decomposition from every direction the
-// paper calls out: the line graph / path (maximum piece count, Section 3),
-// the complete graph (a single piece must swallow everything, Section 3),
-// bounded-degree meshes (Figure 1), expanders and power-law graphs
-// (small-diameter, skewed degrees), and trees (already optimally
-// decomposable).
-//
-// All generators are deterministic: random families take an explicit seed.
+/// \file
+/// \brief Graph family generators used throughout tests and benches.
+///
+/// Families are chosen to stress the decomposition from every direction the
+/// paper calls out: the line graph / path (maximum piece count, Section 3),
+/// the complete graph (a single piece must swallow everything, Section 3),
+/// bounded-degree meshes (Figure 1), expanders and power-law graphs
+/// (small-diameter, skewed degrees), and trees (already optimally
+/// decomposable).
+///
+/// All generators are deterministic: random families take an explicit seed.
 #pragma once
 
 #include <cstdint>

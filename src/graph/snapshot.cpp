@@ -1,0 +1,429 @@
+#include "graph/snapshot.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "parallel/reduce.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MPX_SNAPSHOT_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace mpx::io {
+namespace {
+
+// The v1 spec (docs/FORMATS.md) defines all multi-byte fields as
+// little-endian and this implementation reads/writes them as host integers.
+static_assert(std::endian::native == std::endian::little,
+              "the .mpxs snapshot format requires a little-endian host");
+static_assert(sizeof(edge_t) == 8 && sizeof(vertex_t) == 4 &&
+                  sizeof(double) == 8,
+              "snapshot section element sizes are fixed by the v1 spec");
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("mpx::snapshot: " + path + ": " + what);
+}
+
+/// FNV-1a 64-bit over a byte range (the spec's checksum function).
+std::uint64_t fnv1a(std::uint64_t h, const unsigned char* data,
+                    std::size_t bytes) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= data[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+
+/// Checksum of the section payloads in file order (padding excluded).
+std::uint64_t section_checksum(std::span<const edge_t> offsets,
+                               std::span<const vertex_t> targets,
+                               std::span<const double> weights) {
+  std::uint64_t h = kFnvOffsetBasis;
+  h = fnv1a(h, reinterpret_cast<const unsigned char*>(offsets.data()),
+            offsets.size_bytes());
+  h = fnv1a(h, reinterpret_cast<const unsigned char*>(targets.data()),
+            targets.size_bytes());
+  h = fnv1a(h, reinterpret_cast<const unsigned char*>(weights.data()),
+            weights.size_bytes());
+  return h;
+}
+
+std::uint64_t align_up(std::uint64_t offset) {
+  const std::uint64_t a = kSnapshotSectionAlign;
+  return (offset + a - 1) / a * a;
+}
+
+/// Header-level validation: everything checkable without touching the
+/// section payloads. Throws on the first violation.
+void validate_header(const SnapshotHeader& h, std::uint64_t file_bytes,
+                     const std::string& path) {
+  if (std::memcmp(h.magic, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    fail(path, "bad magic (not an mpx snapshot)");
+  }
+  if (h.version != kSnapshotVersion) {
+    fail(path, "unsupported format version " + std::to_string(h.version) +
+                   " (this reader supports version " +
+                   std::to_string(kSnapshotVersion) + ")");
+  }
+  if ((h.flags & ~(kSnapshotFlagWeighted | kSnapshotFlagUndirected)) != 0) {
+    fail(path, "unknown flag bits set: " + std::to_string(h.flags));
+  }
+  if ((h.flags & kSnapshotFlagUndirected) == 0) {
+    fail(path, "directed snapshots are not defined in format version 1");
+  }
+  for (const unsigned char byte : h.reserved) {
+    if (byte != 0) fail(path, "nonzero reserved header bytes");
+  }
+  // Vertex ids are 32-bit with one sentinel value reserved.
+  if (h.num_vertices >= 0xFFFFFFFFull) {
+    fail(path, "num_vertices exceeds the 32-bit vertex id space");
+  }
+  // Section sizes are fully determined by n, num_arcs and the flags.
+  if (h.offsets_bytes != (h.num_vertices + 1) * sizeof(edge_t)) {
+    fail(path, "offsets_bytes inconsistent with num_vertices");
+  }
+  if (h.num_arcs > file_bytes / sizeof(vertex_t) ||
+      h.targets_bytes != h.num_arcs * sizeof(vertex_t)) {
+    fail(path, "targets_bytes inconsistent with num_arcs");
+  }
+  const bool weighted = (h.flags & kSnapshotFlagWeighted) != 0;
+  const std::uint64_t want_weights_bytes =
+      weighted ? h.num_arcs * sizeof(double) : 0;
+  if (h.weights_bytes != want_weights_bytes) {
+    fail(path, "weights_bytes inconsistent with num_arcs/flags");
+  }
+  if (!weighted && h.weights_offset != 0) {
+    fail(path, "weights_offset set on an unweighted snapshot");
+  }
+  // Version 1 fixes the section layout completely: offsets at 128,
+  // targets and weights each at the 64-byte-aligned end of the previous
+  // section. Enforcing equality (not just bounds) rejects overlapping or
+  // reordered sections no conforming writer can produce.
+  if (h.offsets_offset != kSnapshotHeaderBytes) {
+    fail(path, "offsets section not at the canonical offset");
+  }
+  if (h.targets_offset != align_up(h.offsets_offset + h.offsets_bytes)) {
+    fail(path, "targets section not at the canonical offset");
+  }
+  if (weighted &&
+      h.weights_offset != align_up(h.targets_offset + h.targets_bytes)) {
+    fail(path, "weights section not at the canonical offset");
+  }
+  // The header fully determines the file size: every section (including
+  // the last) is padded to the 64-byte boundary and nothing may follow.
+  const std::uint64_t expected_end =
+      weighted ? align_up(h.weights_offset + h.weights_bytes)
+               : align_up(h.targets_offset + h.targets_bytes);
+  if (file_bytes != expected_end) {
+    fail(path, "file size " + std::to_string(file_bytes) +
+                   " does not match the header (expected " +
+                   std::to_string(expected_end) +
+                   "; truncated or trailing bytes)");
+  }
+}
+
+/// Payload-level validation: the sections must describe a canonical CSR
+/// graph. O(n + m) parallel scans; throws on the first violation.
+void validate_structure(std::span<const edge_t> offsets,
+                        std::span<const vertex_t> targets,
+                        std::span<const double> weights,
+                        const std::string& path) {
+  const auto n = static_cast<vertex_t>(offsets.size() - 1);
+  if (offsets.front() != 0) fail(path, "offsets[0] != 0");
+  if (offsets.back() != targets.size()) {
+    fail(path, "offsets[n] != num_arcs");
+  }
+  const std::size_t non_monotone =
+      parallel_count_if(vertex_t{0}, n, [&](vertex_t v) {
+        return offsets[v] > offsets[v + 1];
+      });
+  if (non_monotone != 0) fail(path, "offsets are not monotone");
+  const std::size_t out_of_range =
+      parallel_count_if(std::size_t{0}, targets.size(), [&](std::size_t e) {
+        return targets[e] >= n;
+      });
+  if (out_of_range != 0) fail(path, "arc target out of range");
+  if (!weights.empty()) {
+    const std::size_t bad_weights = parallel_count_if(
+        std::size_t{0}, weights.size(),
+        [&](std::size_t e) { return !(weights[e] > 0.0); });
+    if (bad_weights != 0) fail(path, "non-positive arc weight");
+  }
+}
+
+void write_padded_section(std::ofstream& out, const void* data,
+                          std::uint64_t bytes) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+  const std::uint64_t padded = align_up(bytes);
+  static constexpr char kZeros[kSnapshotSectionAlign] = {};
+  out.write(kZeros, static_cast<std::streamsize>(padded - bytes));
+}
+
+/// Shared writer. `weighted` is explicit (not inferred from the span) so
+/// an edgeless weighted graph still writes a weighted snapshot.
+void save_sections(const std::string& path, std::span<const edge_t> offsets,
+                   std::span<const vertex_t> targets,
+                   std::span<const double> weights, bool weighted) {
+  SnapshotHeader h{};
+  std::memcpy(h.magic, kSnapshotMagic, sizeof(kSnapshotMagic));
+  h.version = kSnapshotVersion;
+  h.flags = kSnapshotFlagUndirected | (weighted ? kSnapshotFlagWeighted : 0u);
+  h.num_vertices = offsets.size() - 1;
+  h.num_arcs = targets.size();
+  h.offsets_bytes = offsets.size_bytes();
+  h.targets_bytes = targets.size_bytes();
+  h.weights_bytes = weights.size_bytes();
+  h.offsets_offset = kSnapshotHeaderBytes;
+  h.targets_offset = align_up(h.offsets_offset + h.offsets_bytes);
+  h.weights_offset =
+      weighted ? align_up(h.targets_offset + h.targets_bytes) : 0;
+  h.checksum = section_checksum(offsets, targets, weights);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail(path, "cannot open for writing");
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  write_padded_section(out, offsets.data(), h.offsets_bytes);
+  write_padded_section(out, targets.data(), h.targets_bytes);
+  if (weighted) write_padded_section(out, weights.data(), h.weights_bytes);
+  out.flush();
+  if (!out) fail(path, "write failed");
+}
+
+std::uint64_t file_size_or_fail(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) fail(path, "cannot stat: " + ec.message());
+  return static_cast<std::uint64_t>(size);
+}
+
+SnapshotHeader read_header(std::istream& in, const std::string& path) {
+  SnapshotHeader h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (in.gcount() != sizeof(h)) {
+    fail(path, "file shorter than the 128-byte header");
+  }
+  return h;
+}
+
+/// Owned-buffer section loads shared by load_snapshot and
+/// load_weighted_snapshot. Verifies checksum + structure.
+struct LoadedSections {
+  std::vector<edge_t> offsets;
+  std::vector<vertex_t> targets;
+  std::vector<double> weights;
+  SnapshotHeader header;
+};
+
+LoadedSections load_sections(const std::string& path) {
+  const std::uint64_t file_bytes = file_size_or_fail(path);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open");
+  LoadedSections s;
+  s.header = read_header(in, path);
+  validate_header(s.header, file_bytes, path);
+
+  const auto read_section = [&](std::uint64_t offset, std::uint64_t bytes,
+                                void* into) {
+    if (bytes == 0) return;  // edgeless section (e.g. weighted, m == 0)
+    in.seekg(static_cast<std::streamoff>(offset));
+    in.read(static_cast<char*>(into), static_cast<std::streamsize>(bytes));
+    if (static_cast<std::uint64_t>(in.gcount()) != bytes) {
+      fail(path, "short read (truncated file?)");
+    }
+  };
+  s.offsets.resize(s.header.num_vertices + 1);
+  read_section(s.header.offsets_offset, s.header.offsets_bytes,
+               s.offsets.data());
+  s.targets.resize(s.header.num_arcs);
+  read_section(s.header.targets_offset, s.header.targets_bytes,
+               s.targets.data());
+  if ((s.header.flags & kSnapshotFlagWeighted) != 0) {
+    s.weights.resize(s.header.num_arcs);
+    read_section(s.header.weights_offset, s.header.weights_bytes,
+                 s.weights.data());
+  }
+  if (section_checksum(s.offsets, s.targets, s.weights) != s.header.checksum) {
+    fail(path, "checksum mismatch (corrupt payload)");
+  }
+  validate_structure(s.offsets, s.targets, s.weights, path);
+  return s;
+}
+
+#if MPX_SNAPSHOT_HAVE_MMAP
+/// Keepalive for mmap-ed snapshots: unmaps when the last graph view dies.
+struct MappedFile {
+  const unsigned char* base = nullptr;
+  std::size_t bytes = 0;
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile() = default;
+  ~MappedFile() {
+    if (base != nullptr) {
+      ::munmap(const_cast<unsigned char*>(base), bytes);
+    }
+  }
+};
+
+/// mmap the whole file MAP_PRIVATE read-only.
+std::shared_ptr<MappedFile> map_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail(path, "cannot open");
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    fail(path, "cannot stat");
+  }
+  auto mapping = std::make_shared<MappedFile>();
+  mapping->bytes = static_cast<std::size_t>(st.st_size);
+  if (mapping->bytes == 0) {
+    ::close(fd);
+    fail(path, "file shorter than the 128-byte header");
+  }
+  void* addr = ::mmap(nullptr, mapping->bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) fail(path, "mmap failed");
+  mapping->base = static_cast<const unsigned char*>(addr);
+  return mapping;
+}
+
+/// Header + spans for a mapped snapshot; shared by the two map_* entries.
+struct MappedSections {
+  std::shared_ptr<MappedFile> mapping;
+  SnapshotHeader header;
+  std::span<const edge_t> offsets;
+  std::span<const vertex_t> targets;
+  std::span<const double> weights;  // empty when unweighted
+};
+
+MappedSections map_sections(const std::string& path, bool verify_checksum) {
+  MappedSections s;
+  s.mapping = map_file(path);
+  if (s.mapping->bytes < kSnapshotHeaderBytes) {
+    fail(path, "file shorter than the 128-byte header");
+  }
+  std::memcpy(&s.header, s.mapping->base, sizeof(s.header));
+  validate_header(s.header, s.mapping->bytes, path);
+  const unsigned char* base = s.mapping->base;
+  s.offsets = {reinterpret_cast<const edge_t*>(base + s.header.offsets_offset),
+               static_cast<std::size_t>(s.header.num_vertices + 1)};
+  s.targets = {
+      reinterpret_cast<const vertex_t*>(base + s.header.targets_offset),
+      static_cast<std::size_t>(s.header.num_arcs)};
+  if ((s.header.flags & kSnapshotFlagWeighted) != 0) {
+    s.weights = {
+        reinterpret_cast<const double*>(base + s.header.weights_offset),
+        static_cast<std::size_t>(s.header.num_arcs)};
+  }
+  if (verify_checksum &&
+      section_checksum(s.offsets, s.targets, s.weights) != s.header.checksum) {
+    fail(path, "checksum mismatch (corrupt payload)");
+  }
+  validate_structure(s.offsets, s.targets, s.weights, path);
+  return s;
+}
+#endif  // MPX_SNAPSHOT_HAVE_MMAP
+
+}  // namespace
+
+void save_snapshot(const std::string& path, const CsrGraph& g) {
+  save_sections(path, g.offsets(), g.targets(), {}, /*weighted=*/false);
+}
+
+void save_snapshot(const std::string& path, const WeightedCsrGraph& g) {
+  save_sections(path, g.topology().offsets(), g.topology().targets(),
+                g.weights(), /*weighted=*/true);
+}
+
+// The loaders construct with CsrGraph::Trusted: validate_structure has
+// already run the exact same O(n + m) checks (with recoverable errors),
+// so the constructor contract scans would only repeat them on the
+// ingestion hot path.
+
+CsrGraph load_snapshot(const std::string& path) {
+  LoadedSections s = load_sections(path);
+  if ((s.header.flags & kSnapshotFlagWeighted) != 0) {
+    fail(path, "weighted snapshot; use load_weighted_snapshot");
+  }
+  return CsrGraph(std::move(s.offsets), std::move(s.targets),
+                  CsrGraph::Trusted{});
+}
+
+WeightedCsrGraph load_weighted_snapshot(const std::string& path) {
+  LoadedSections s = load_sections(path);
+  if ((s.header.flags & kSnapshotFlagWeighted) == 0) {
+    fail(path, "unweighted snapshot; use load_snapshot");
+  }
+  return WeightedCsrGraph(
+      CsrGraph(std::move(s.offsets), std::move(s.targets),
+               CsrGraph::Trusted{}),
+      std::move(s.weights), CsrGraph::Trusted{});
+}
+
+CsrGraph map_snapshot(const std::string& path, bool verify_checksum) {
+#if MPX_SNAPSHOT_HAVE_MMAP
+  MappedSections s = map_sections(path, verify_checksum);
+  if ((s.header.flags & kSnapshotFlagWeighted) != 0) {
+    fail(path, "weighted snapshot; use map_weighted_snapshot");
+  }
+  return CsrGraph(s.offsets, s.targets, std::move(s.mapping),
+                  CsrGraph::Trusted{});
+#else
+  (void)verify_checksum;
+  return load_snapshot(path);
+#endif
+}
+
+WeightedCsrGraph map_weighted_snapshot(const std::string& path,
+                                       bool verify_checksum) {
+#if MPX_SNAPSHOT_HAVE_MMAP
+  MappedSections s = map_sections(path, verify_checksum);
+  if ((s.header.flags & kSnapshotFlagWeighted) == 0) {
+    fail(path, "unweighted snapshot; use map_snapshot");
+  }
+  // The topology view and the weight span share one mapping keepalive.
+  CsrGraph topology(s.offsets, s.targets, s.mapping, CsrGraph::Trusted{});
+  return WeightedCsrGraph(std::move(topology), s.weights,
+                          std::move(s.mapping), CsrGraph::Trusted{});
+#else
+  (void)verify_checksum;
+  return load_weighted_snapshot(path);
+#endif
+}
+
+SnapshotInfo read_snapshot_info(const std::string& path) {
+  SnapshotInfo info;
+  info.file_bytes = file_size_or_fail(path);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open");
+  info.header = read_header(in, path);
+  validate_header(info.header, info.file_bytes, path);
+  return info;
+}
+
+SnapshotInfo verify_snapshot(const std::string& path) {
+  // load_sections performs the full pass: header geometry, checksum over
+  // every payload byte, and the CSR structural invariants.
+  const LoadedSections s = load_sections(path);
+  SnapshotInfo info;
+  info.header = s.header;
+  info.file_bytes = file_size_or_fail(path);
+  return info;
+}
+
+}  // namespace mpx::io

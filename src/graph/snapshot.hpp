@@ -1,0 +1,134 @@
+/// \file
+/// \brief Binary mmap-able CSR snapshot I/O (the `.mpxs` format).
+///
+/// The snapshot format stores a canonical CSR graph byte-for-byte as the
+/// library holds it in memory, so loading is a bounded number of block
+/// reads (`load_snapshot`) or a zero-copy `mmap` (`map_snapshot`) instead
+/// of the parse + sort + dedup pipeline text edge lists pay on every load.
+///
+/// The on-disk layout is **normatively specified in docs/FORMATS.md**; the
+/// `SnapshotHeader` static_asserts below pin this implementation to the
+/// spec's stated byte offsets. Summary: a 128-byte little-endian header
+/// (magic, version, flags, n, arc count, per-section byte offsets/sizes,
+/// FNV-1a checksum) followed by 64-byte-aligned sections — `offsets`
+/// (u64), `targets` (u32), and for weighted graphs `weights` (f64).
+///
+/// Readers reject corrupt input (truncation, bad magic, future versions,
+/// unknown flags, misaligned or out-of-bounds sections, non-CSR content)
+/// with `std::runtime_error`; they never abort on bad bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace mpx::io {
+
+/// First 8 file bytes of every snapshot: "MPXSNAP\0".
+inline constexpr unsigned char kSnapshotMagic[8] = {'M', 'P', 'X', 'S',
+                                                    'N', 'A', 'P', '\0'};
+
+/// Current (and only) format version. Readers reject anything else.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Header flag bit: a `weights` section is present (WeightedCsrGraph).
+inline constexpr std::uint32_t kSnapshotFlagWeighted = 1u << 0;
+/// Header flag bit: the graph is undirected/symmetric. Version 1 writers
+/// always set it; readers reject files without it.
+inline constexpr std::uint32_t kSnapshotFlagUndirected = 1u << 1;
+
+/// Header size in bytes; the first section starts here.
+inline constexpr std::size_t kSnapshotHeaderBytes = 128;
+
+/// Every section's byte offset is a multiple of this, so mmap-ed section
+/// pointers are aligned for their element types (and for cache lines).
+inline constexpr std::size_t kSnapshotSectionAlign = 64;
+
+/// The on-disk header, exactly as the first 128 file bytes (little-endian,
+/// naturally aligned, no implicit padding). docs/FORMATS.md section
+/// "Header layout" states these offsets normatively; the static_asserts
+/// after the struct keep the implementation honest.
+struct SnapshotHeader {
+  unsigned char magic[8];       ///< kSnapshotMagic.
+  std::uint32_t version;        ///< kSnapshotVersion.
+  std::uint32_t flags;          ///< kSnapshotFlag* bits; others must be 0.
+  std::uint64_t num_vertices;   ///< n.
+  std::uint64_t num_arcs;       ///< Stored directed arcs (2m).
+  std::uint64_t offsets_offset; ///< File offset of the offsets section.
+  std::uint64_t offsets_bytes;  ///< == (n + 1) * 8.
+  std::uint64_t targets_offset; ///< File offset of the targets section.
+  std::uint64_t targets_bytes;  ///< == num_arcs * 4.
+  std::uint64_t weights_offset; ///< File offset of weights; 0 if absent.
+  std::uint64_t weights_bytes;  ///< == num_arcs * 8 if weighted, else 0.
+  std::uint64_t checksum;       ///< FNV-1a-64 over the section payloads.
+  unsigned char reserved[40];   ///< Must be zero in version 1.
+};
+
+// Byte offsets per docs/FORMATS.md "Header layout" — a mismatch here means
+// either the spec or the struct changed without the other.
+static_assert(sizeof(SnapshotHeader) == kSnapshotHeaderBytes);
+static_assert(offsetof(SnapshotHeader, magic) == 0);
+static_assert(offsetof(SnapshotHeader, version) == 8);
+static_assert(offsetof(SnapshotHeader, flags) == 12);
+static_assert(offsetof(SnapshotHeader, num_vertices) == 16);
+static_assert(offsetof(SnapshotHeader, num_arcs) == 24);
+static_assert(offsetof(SnapshotHeader, offsets_offset) == 32);
+static_assert(offsetof(SnapshotHeader, offsets_bytes) == 40);
+static_assert(offsetof(SnapshotHeader, targets_offset) == 48);
+static_assert(offsetof(SnapshotHeader, targets_bytes) == 56);
+static_assert(offsetof(SnapshotHeader, weights_offset) == 64);
+static_assert(offsetof(SnapshotHeader, weights_bytes) == 72);
+static_assert(offsetof(SnapshotHeader, checksum) == 80);
+static_assert(offsetof(SnapshotHeader, reserved) == 88);
+
+/// Decoded header plus file size — what `snapshot_tool info` prints.
+struct SnapshotInfo {
+  SnapshotHeader header;        ///< The validated on-disk header.
+  std::uint64_t file_bytes = 0; ///< Total file size.
+
+  /// True when the file carries a weights section.
+  [[nodiscard]] bool weighted() const {
+    return (header.flags & kSnapshotFlagWeighted) != 0;
+  }
+};
+
+/// Write `g` as a version-1 snapshot. Overwrites `path`. Throws
+/// std::runtime_error on I/O failure.
+void save_snapshot(const std::string& path, const CsrGraph& g);
+/// Weighted overload; sets kSnapshotFlagWeighted and appends the weights
+/// section.
+void save_snapshot(const std::string& path, const WeightedCsrGraph& g);
+
+/// Read an unweighted snapshot into owned buffers. Verifies the checksum
+/// and the CSR structure; throws std::runtime_error on any corruption or
+/// if the file is weighted.
+[[nodiscard]] CsrGraph load_snapshot(const std::string& path);
+/// Weighted counterpart of `load_snapshot`; throws if the file carries no
+/// weights section.
+[[nodiscard]] WeightedCsrGraph load_weighted_snapshot(const std::string& path);
+
+/// mmap `path` (MAP_PRIVATE, read-only) and return a zero-copy view graph
+/// whose spans alias the mapping; the mapping lives until the last copy of
+/// the returned graph dies. Header and CSR structure are always validated;
+/// the checksum is verified only when `verify_checksum` is set, because it
+/// forces every page resident and defeats lazy mapping (snapshot_tool
+/// --verify covers it instead). On hosts without POSIX mmap this falls
+/// back to `load_snapshot`.
+[[nodiscard]] CsrGraph map_snapshot(const std::string& path,
+                                    bool verify_checksum = false);
+/// Weighted counterpart of `map_snapshot`.
+[[nodiscard]] WeightedCsrGraph map_weighted_snapshot(
+    const std::string& path, bool verify_checksum = false);
+
+/// Read and validate only the header (magic, version, flags, section
+/// geometry vs file size). Throws std::runtime_error on malformed headers.
+[[nodiscard]] SnapshotInfo read_snapshot_info(const std::string& path);
+
+/// Full validation pass: header, checksum, and CSR structure (monotone
+/// offsets, in-range targets, positive weights). Throws std::runtime_error
+/// describing the first failure; returns the header info on success.
+SnapshotInfo verify_snapshot(const std::string& path);
+
+}  // namespace mpx::io

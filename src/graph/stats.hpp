@@ -1,6 +1,7 @@
-// Whole-graph statistics: degree summaries, eccentricities and diameters.
-// Exact diameter is all-pairs BFS and reserved for the small graphs the
-// tests use; benches use the standard two-sweep lower bound.
+/// \file
+/// \brief Whole-graph statistics: degree summaries, eccentricities and
+/// diameters. Exact diameter is all-pairs BFS and reserved for the small
+/// graphs the tests use; benches use the standard two-sweep lower bound.
 #pragma once
 
 #include <cstdint>
@@ -10,13 +11,15 @@
 
 namespace mpx {
 
+/// Degree distribution summary of a graph.
 struct DegreeStats {
-  vertex_t min_degree = 0;
-  vertex_t max_degree = 0;
-  double mean_degree = 0.0;
-  vertex_t isolated_vertices = 0;
+  vertex_t min_degree = 0;         ///< Minimum vertex degree.
+  vertex_t max_degree = 0;         ///< Maximum vertex degree.
+  double mean_degree = 0.0;        ///< 2m / n (0 for the empty graph).
+  vertex_t isolated_vertices = 0;  ///< Vertices with degree 0.
 };
 
+/// One-pass degree summary. O(n).
 [[nodiscard]] DegreeStats degree_stats(const CsrGraph& g);
 
 /// Eccentricity of v: max BFS distance from v to any reachable vertex.

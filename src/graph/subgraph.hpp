@@ -1,7 +1,8 @@
-// Induced subgraph extraction, including the per-cluster extraction the
-// strong-diameter verifier depends on: strong diameter (Definition 1.1)
-// must be measured inside the piece, so the verifier BFSes the induced
-// subgraph of each cluster, never the host graph.
+/// \file
+/// \brief Induced subgraph extraction, including the per-cluster extraction
+/// the strong-diameter verifier depends on: strong diameter (Definition 1.1)
+/// must be measured inside the piece, so the verifier BFSes the induced
+/// subgraph of each cluster, never the host graph.
 #pragma once
 
 #include <span>
@@ -15,9 +16,10 @@ namespace mpx {
 /// An induced subgraph together with the vertex correspondence:
 /// `to_host[i]` is the host-graph id of local vertex i.
 struct Subgraph {
-  CsrGraph graph;
-  std::vector<vertex_t> to_host;
+  CsrGraph graph;                 ///< The induced topology, local ids.
+  std::vector<vertex_t> to_host;  ///< Local id -> host-graph id, ascending.
 
+  /// Number of vertices of the induced subgraph.
   [[nodiscard]] vertex_t num_vertices() const {
     return graph.num_vertices();
   }

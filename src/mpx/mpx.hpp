@@ -1,18 +1,32 @@
-// Umbrella header: the full public API of the mpx library.
-//
-// mpx implements "Parallel Graph Decompositions Using Random Shifts"
-// (Miller, Peng, Xu — SPAA 2013): a one-shot parallel algorithm computing
-// (beta, O(log n / beta)) strong-diameter decompositions of undirected
-// unweighted graphs in O(m) work, plus the substrates it builds on and the
-// applications it feeds.
-//
-// Typical use:
-//   #include "mpx/mpx.hpp"
-//   mpx::CsrGraph g = mpx::generators::grid2d(1000, 1000);
-//   mpx::PartitionOptions opt{.beta = 0.01, .seed = 42};
-//   mpx::Decomposition dec = mpx::partition(g, opt);
-//   mpx::DecompositionStats stats = mpx::analyze(dec, g);
+/// \file
+/// \brief Umbrella header: the full public API of the mpx library.
+///
+/// mpx implements "Parallel Graph Decompositions Using Random Shifts"
+/// (Miller, Peng, Xu — SPAA 2013): a one-shot parallel algorithm computing
+/// (beta, O(log n / beta)) strong-diameter decompositions of undirected
+/// unweighted graphs in O(m) work, plus the substrates it builds on and the
+/// applications it feeds. See docs/ARCHITECTURE.md for the layer map.
+///
+/// Typical use:
+/// \code
+///   #include "mpx/mpx.hpp"
+///   mpx::CsrGraph g = mpx::generators::grid2d(1000, 1000);
+///   mpx::PartitionOptions opt{.beta = 0.01, .seed = 42};
+///   mpx::Decomposition dec = mpx::partition(g, opt);
+///   mpx::DecompositionStats stats = mpx::analyze(dec, g);
+/// \endcode
 #pragma once
+
+/// \namespace mpx
+/// \brief All library symbols: graph types, parallel primitives, the MPX
+/// partition, baselines and applications (docs/ARCHITECTURE.md).
+
+/// \namespace mpx::io
+/// \brief On-disk graph formats: text edge lists, binary mmap-able
+/// snapshots, decomposition files (docs/FORMATS.md).
+
+/// \namespace mpx::generators
+/// \brief Deterministic graph family generators for tests and benches.
 
 // Support (S1)
 #include "support/assert.hpp"
@@ -35,6 +49,7 @@
 #include "graph/csr_graph.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "graph/snapshot.hpp"
 #include "graph/stats.hpp"
 #include "graph/subgraph.hpp"
 

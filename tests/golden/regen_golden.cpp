@@ -9,6 +9,7 @@
 #include "core/decomposition_io.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "graph/snapshot.hpp"
 #include "tests/support/fixtures.hpp"
 
 int main() {
@@ -22,5 +23,15 @@ int main() {
       dir + "/grid_3x3_reference.dec",
       mpx::testing::grid3x3_reference_decomposition());
   std::cout << "wrote " << dir << "/grid_3x3_reference.dec\n";
+
+  // Binary snapshot goldens (docs/FORMATS.md). A format change here means
+  // a version bump: update the spec and the test_snapshot expectations
+  // before regenerating.
+  mpx::io::save_snapshot(dir + "/grid_3x3.mpxs", g);
+  std::cout << "wrote " << dir << "/grid_3x3.mpxs\n";
+
+  mpx::io::save_snapshot(dir + "/grid_3x3_weighted.mpxs",
+                         mpx::testing::grid3x3_weighted_reference());
+  std::cout << "wrote " << dir << "/grid_3x3_weighted.mpxs\n";
   return 0;
 }

@@ -51,6 +51,18 @@ std::vector<NamedGraph> canonical_graphs() {
   return out;
 }
 
+WeightedCsrGraph grid3x3_weighted_reference() {
+  const CsrGraph grid = mpx::generators::grid2d(3, 3);
+  std::vector<WeightedEdge> edges;
+  for (const Edge& e : edge_list(grid)) {
+    // Multiples of 0.25 are exact in binary64, so the bytes the writers
+    // emit are identical on every IEEE 754 platform.
+    edges.push_back({e.u, e.v, 1.0 + 0.25 * ((e.u + 2 * e.v) % 5)});
+  }
+  return build_undirected_weighted(grid.num_vertices(),
+                                   std::span<const WeightedEdge>(edges));
+}
+
 Decomposition grid3x3_reference_decomposition() {
   // Grid ids:  0 1 2     Piece A (center 0): {0, 1, 2} along the top row.
   //            3 4 5     Piece B (center 4): the remaining six vertices.

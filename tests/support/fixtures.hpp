@@ -32,6 +32,11 @@ struct NamedGraph {
 /// Includes everything in small_graphs().
 [[nodiscard]] std::vector<NamedGraph> canonical_graphs();
 
+/// Deterministic weighted fixture: generators::grid2d(3, 3) topology with
+/// exactly-representable per-edge weights (multiples of 0.25), so golden
+/// files built from it are byte-stable across platforms.
+[[nodiscard]] WeightedCsrGraph grid3x3_weighted_reference();
+
 /// Hand-authored two-piece decomposition of generators::grid2d(3, 3),
 /// valid under verify_decomposition. Integer-only construction, so the
 /// golden file built from it pins the serialization format alone — no

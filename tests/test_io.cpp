@@ -3,11 +3,13 @@
 // pinning the on-disk format.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "graph/snapshot.hpp"
 #include "tests/support/fixtures.hpp"
 #include "tests/support/golden.hpp"
 #include "tests/support/temp_dir.hpp"
@@ -107,6 +109,130 @@ TEST(Io, WriteReadWriteIsBitwiseStable) {
     std::stringstream in(first);
     const std::string second = serialize_edge_list(io::read_edge_list(in));
     EXPECT_EQ(first, second);
+  }
+}
+
+TEST(Io, ParseErrorIncludesLineNumber) {
+  // Line 1 is a comment, line 2 the header, line 4 the bad edge.
+  std::stringstream in("# comment\n5 3\n0 1\n0 nonsense\n2 3\n");
+  try {
+    (void)io::read_edge_list(in);
+    FAIL() << "expected parse failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Io, LoadErrorIncludesPathAndLineNumber) {
+  TempDir tmp("io");
+  const std::string path = tmp.file("broken.edges");
+  {
+    std::ofstream out(path);
+    out << "3 2\n0 1\n0 99\n";  // endpoint out of range on line 3
+  }
+  try {
+    (void)io::load_edge_list(path);
+    FAIL() << "expected parse failure";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path + ":3:"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+}
+
+TEST(Io, WeightedLoadErrorIncludesPathAndLineNumber) {
+  TempDir tmp("io");
+  const std::string path = tmp.file("broken_weighted.edges");
+  {
+    std::ofstream out(path);
+    out << "# mpx edge list (weighted)\n3 2\n0 1 1.5\n1 2 -4\n";
+  }
+  try {
+    (void)io::load_weighted_edge_list(path);
+    FAIL() << "expected parse failure";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path + ":4:"), std::string::npos) << what;
+    EXPECT_NE(what.find("non-positive weight"), std::string::npos) << what;
+  }
+}
+
+TEST(Io, DetectsAllFourFormats) {
+  TempDir tmp("io");
+  const CsrGraph g = generators::grid2d(3, 3);
+  const WeightedCsrGraph wg = mpx::testing::grid3x3_weighted_reference();
+
+  const std::string text = tmp.file("g.edges");
+  io::save_edge_list(text, g);
+  EXPECT_EQ(io::detect_graph_format(text), io::GraphFileFormat::kEdgeListText);
+
+  const std::string wtext = tmp.file("g_weighted.edges");
+  io::save_edge_list(wtext, wg);
+  EXPECT_EQ(io::detect_graph_format(wtext),
+            io::GraphFileFormat::kWeightedEdgeListText);
+
+  const std::string snap = tmp.file("g.mpxs");
+  io::save_snapshot(snap, g);
+  EXPECT_EQ(io::detect_graph_format(snap), io::GraphFileFormat::kSnapshot);
+
+  const std::string wsnap = tmp.file("g_weighted.mpxs");
+  io::save_snapshot(wsnap, wg);
+  EXPECT_EQ(io::detect_graph_format(wsnap),
+            io::GraphFileFormat::kWeightedSnapshot);
+}
+
+TEST(Io, DetectsWeightedEmptyGraphByComment) {
+  // No edge rows to count columns of; the writer's comment disambiguates.
+  TempDir tmp("io");
+  const std::string path = tmp.file("empty_weighted.edges");
+  io::save_edge_list(path, WeightedCsrGraph{});
+  EXPECT_EQ(io::detect_graph_format(path),
+            io::GraphFileFormat::kWeightedEdgeListText);
+}
+
+TEST(Io, LoadGraphAutoDetects) {
+  TempDir tmp("io");
+  const CsrGraph g = generators::grid2d(4, 5);
+  const std::string text = tmp.file("auto.edges");
+  const std::string snap = tmp.file("auto.mpxs");
+  io::save_edge_list(text, g);
+  io::save_snapshot(snap, g);
+  for (const std::string& path : {text, snap}) {
+    SCOPED_TRACE(path);
+    const CsrGraph back = io::load_graph(path);
+    ASSERT_EQ(back.num_arcs(), g.num_arcs());
+    EXPECT_TRUE(std::equal(back.targets().begin(), back.targets().end(),
+                           g.targets().begin()));
+  }
+}
+
+TEST(Io, LoadGraphRejectsWeightednessMismatch) {
+  TempDir tmp("io");
+  const WeightedCsrGraph wg = mpx::testing::grid3x3_weighted_reference();
+  const std::string wtext = tmp.file("w.edges");
+  io::save_edge_list(wtext, wg);
+  EXPECT_THROW((void)io::load_graph(wtext), std::runtime_error);
+
+  const CsrGraph g = generators::grid2d(3, 3);
+  const std::string text = tmp.file("u.edges");
+  io::save_edge_list(text, g);
+  EXPECT_THROW((void)io::load_weighted_graph(text), std::runtime_error);
+}
+
+TEST(Io, LoadWeightedGraphAutoDetects) {
+  TempDir tmp("io");
+  const WeightedCsrGraph wg = mpx::testing::grid3x3_weighted_reference();
+  const std::string wtext = tmp.file("w.edges");
+  const std::string wsnap = tmp.file("w.mpxs");
+  io::save_edge_list(wtext, wg);
+  io::save_snapshot(wsnap, wg);
+  for (const std::string& path : {wtext, wsnap}) {
+    SCOPED_TRACE(path);
+    const WeightedCsrGraph back = io::load_weighted_graph(path);
+    ASSERT_EQ(back.num_arcs(), wg.num_arcs());
+    EXPECT_TRUE(std::equal(back.weights().begin(), back.weights().end(),
+                           wg.weights().begin()));
   }
 }
 

@@ -1,0 +1,152 @@
+// snapshot_tool — convert, inspect and verify mpx graph files.
+//
+// The binary .mpxs snapshot format is specified in docs/FORMATS.md; this
+// tool is the operational companion: it turns text edge lists into
+// snapshots benches can mmap (`--graph file.mpxs`), dumps headers, and
+// runs the full corruption check (header geometry, FNV-1a checksum, CSR
+// structure) that CI executes over the golden fixtures under ASan/UBSan.
+//
+// usage:
+//   snapshot_tool convert <in> <out>   convert between text edge list and
+//                                      binary snapshot. Input format is
+//                                      auto-detected (magic / column
+//                                      count); output format follows the
+//                                      extension: .mpxs = snapshot,
+//                                      anything else = text. Weightedness
+//                                      is preserved.
+//   snapshot_tool info <file.mpxs>     print the decoded header.
+//   snapshot_tool verify <file...>     full validation of each file;
+//                                      exit 1 on the first failure.
+//
+// --convert/--info/--verify are accepted as aliases.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "graph/io.hpp"
+#include "graph/snapshot.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using mpx::io::GraphFileFormat;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  snapshot_tool convert <in> <out>   text <-> binary "
+               "(.mpxs extension selects binary output)\n"
+               "  snapshot_tool info <file.mpxs>     dump the snapshot "
+               "header\n"
+               "  snapshot_tool verify <file...>     checksum + structural "
+               "validation\n");
+  return 2;
+}
+
+bool wants_snapshot(const std::string& path) {
+  const std::string ext = ".mpxs";
+  return path.size() >= ext.size() &&
+         path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+int cmd_convert(const std::string& in, const std::string& out) {
+  const GraphFileFormat format = mpx::io::detect_graph_format(in);
+  const bool weighted = format == GraphFileFormat::kWeightedEdgeListText ||
+                        format == GraphFileFormat::kWeightedSnapshot;
+  mpx::WallTimer timer;
+  if (weighted) {
+    const mpx::WeightedCsrGraph g = mpx::io::load_weighted_graph(in);
+    if (wants_snapshot(out)) {
+      mpx::io::save_snapshot(out, g);
+    } else {
+      mpx::io::save_edge_list(out, g);
+    }
+    std::printf("%s (%s, n=%u, m=%llu, weighted) -> %s [%.3fs]\n", in.c_str(),
+                std::string(mpx::io::graph_file_format_name(format)).c_str(),
+                g.num_vertices(),
+                static_cast<unsigned long long>(g.num_edges()), out.c_str(),
+                timer.seconds());
+  } else {
+    const mpx::CsrGraph g = mpx::io::load_graph(in);
+    if (wants_snapshot(out)) {
+      mpx::io::save_snapshot(out, g);
+    } else {
+      mpx::io::save_edge_list(out, g);
+    }
+    std::printf("%s (%s, n=%u, m=%llu) -> %s [%.3fs]\n", in.c_str(),
+                std::string(mpx::io::graph_file_format_name(format)).c_str(),
+                g.num_vertices(),
+                static_cast<unsigned long long>(g.num_edges()), out.c_str(),
+                timer.seconds());
+  }
+  return 0;
+}
+
+int cmd_info(const std::string& path) {
+  const mpx::io::SnapshotInfo info = mpx::io::read_snapshot_info(path);
+  const auto& h = info.header;
+  std::printf("%s: mpx snapshot (docs/FORMATS.md)\n", path.c_str());
+  std::printf("  version        %u\n", h.version);
+  std::printf("  flags          0x%08x (%s%s)\n", h.flags,
+              (h.flags & mpx::io::kSnapshotFlagUndirected) ? "undirected"
+                                                           : "?",
+              (h.flags & mpx::io::kSnapshotFlagWeighted) ? ", weighted" : "");
+  std::printf("  num_vertices   %llu\n",
+              static_cast<unsigned long long>(h.num_vertices));
+  std::printf("  num_arcs       %llu (m = %llu undirected edges)\n",
+              static_cast<unsigned long long>(h.num_arcs),
+              static_cast<unsigned long long>(h.num_arcs / 2));
+  std::printf("  offsets        offset %llu, %llu bytes\n",
+              static_cast<unsigned long long>(h.offsets_offset),
+              static_cast<unsigned long long>(h.offsets_bytes));
+  std::printf("  targets        offset %llu, %llu bytes\n",
+              static_cast<unsigned long long>(h.targets_offset),
+              static_cast<unsigned long long>(h.targets_bytes));
+  std::printf("  weights        offset %llu, %llu bytes\n",
+              static_cast<unsigned long long>(h.weights_offset),
+              static_cast<unsigned long long>(h.weights_bytes));
+  std::printf("  checksum       0x%016llx (FNV-1a-64)\n",
+              static_cast<unsigned long long>(h.checksum));
+  std::printf("  file size      %llu bytes\n",
+              static_cast<unsigned long long>(info.file_bytes));
+  return 0;
+}
+
+int cmd_verify(const std::vector<std::string>& paths) {
+  for (const std::string& path : paths) {
+    mpx::WallTimer timer;
+    const mpx::io::SnapshotInfo info = mpx::io::verify_snapshot(path);
+    std::printf("%s: OK (n=%llu, arcs=%llu%s, %llu bytes) [%.3fs]\n",
+                path.c_str(),
+                static_cast<unsigned long long>(info.header.num_vertices),
+                static_cast<unsigned long long>(info.header.num_arcs),
+                info.weighted() ? ", weighted" : "",
+                static_cast<unsigned long long>(info.file_bytes),
+                timer.seconds());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  if (cmd.rfind("--", 0) == 0) cmd = cmd.substr(2);
+  try {
+    if (cmd == "convert" && argc == 4) {
+      return cmd_convert(argv[2], argv[3]);
+    }
+    if (cmd == "info" && argc == 3) {
+      return cmd_info(argv[2]);
+    }
+    if (cmd == "verify" && argc >= 3) {
+      return cmd_verify(std::vector<std::string>(argv + 2, argv + argc));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "snapshot_tool: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
