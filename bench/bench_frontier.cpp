@@ -17,7 +17,9 @@
 //     "beta": <double>, "seed": <int>,
 //     "results": [                 // one entry per graph x engine
 //       {"graph": str, "n": int, "m": int, "engine": "push|pull|auto",
-//        "seconds": double,        // best-of-reps wall time
+//        "seconds": double,        // best-of-reps search-phase seconds
+//                                  // (RunTelemetry.search_seconds: the
+//                                  // engine-dependent BFS, shifts excluded)
 //        "rounds": int, "pull_rounds": int, "arcs_scanned": int,
 //        "clusters": int},
 //       ...
@@ -48,23 +50,29 @@ struct Run {
 };
 
 Run measure(const std::string& name, const mpx::CsrGraph& g,
-            const mpx::Shifts& shifts, mpx::TraversalEngine engine,
-            int reps) {
+            const mpx::DecompositionRequest& base, mpx::TraversalEngine engine,
+            int reps, mpx::DecompositionWorkspace& workspace) {
   Run run;
   run.graph = name;
   run.n = g.num_vertices();
   run.m = g.num_edges();
   run.engine = engine;
   run.seconds = 1e100;
+  mpx::DecompositionRequest req = base;
+  req.engine = engine;
   for (int rep = 0; rep < reps; ++rep) {
-    mpx::WallTimer timer;
-    const mpx::Decomposition dec =
-        mpx::partition_with_shifts(g, shifts, engine);
-    run.seconds = std::min(run.seconds, timer.seconds());
-    run.rounds = dec.bfs_rounds;
-    run.pull_rounds = dec.pull_rounds;
-    run.arcs_scanned = dec.arcs_scanned;
-    run.clusters = dec.num_clusters();
+    const mpx::DecompositionResult result =
+        mpx::decompose(g, req, &workspace);
+    // The telemetry's search phase is the engine-dependent quantity: shift
+    // generation is identical across engines and excluded (as the
+    // pre-facade partition_with_shifts timing also excluded it). Note the
+    // pre-facade timing *included* the O(n) result-assembly pass, so the
+    // "seconds" series steps down once at the facade migration commit.
+    run.seconds = std::min(run.seconds, result.telemetry.search_seconds);
+    run.rounds = result.telemetry.rounds;
+    run.pull_rounds = result.telemetry.pull_rounds;
+    run.arcs_scanned = result.telemetry.arcs_scanned;
+    run.clusters = result.num_clusters();
   }
   return run;
 }
@@ -170,14 +178,19 @@ int main(int argc, char** argv) {
   std::vector<Run> runs;
   bench::Table table({"graph", "engine", "secs", "rounds", "pull", "arcs",
                       "vs push"});
+  DecompositionWorkspace workspace;  // shared across engines and graphs
   for (const Family& fam : families) {
-    PartitionOptions opt;
-    opt.beta = beta;
-    opt.seed = seed;
-    const Shifts shifts = generate_shifts(fam.graph.num_vertices(), opt);
+    DecompositionRequest base;
+    base.beta = beta;
+    base.seed = seed;
+    // Warm the workspace for this family before any engine is timed, so
+    // the first-measured engine does not absorb the scratch allocation
+    // the later ones skip.
+    (void)decompose(fam.graph, base, &workspace);
     double push_seconds = 0.0;
     for (const TraversalEngine engine : kEngines) {
-      const Run r = measure(fam.name, fam.graph, shifts, engine, reps);
+      const Run r = measure(fam.name, fam.graph, base, engine, reps,
+                            workspace);
       if (engine == TraversalEngine::kPush) push_seconds = r.seconds;
       runs.push_back(r);
       table.row({fam.name, std::string(traversal_engine_name(engine)),

@@ -1,0 +1,237 @@
+// Session-layer benchmark: the "same graph, many decompositions" shape the
+// decomposer facade exists for. Two measurements per graph:
+//
+//  * workspace reuse — repeated decompose() calls with a shared
+//    DecompositionWorkspace (warm) vs a fresh workspace per call (cold).
+//    The warm path re-initializes the shift/frontier/claim scratch in
+//    place instead of reallocating ~50n bytes per call; the win is the
+//    allocation+fault overhead, visible at rmat(20) scale.
+//  * batch multi-beta — DecompositionSession::run_batch over a beta ladder
+//    (shift draws generated once per seed, derived per beta) vs one
+//    independent decompose() per beta.
+//
+// Writes the machine-readable trajectory artifact BENCH_session.json
+// (schema: docs/BENCHMARKS.md) so CI accumulates the perf history.
+//
+//   ./bench_session [out.json] [--scale small|full] [--reps N]
+//                   [--beta B] [--seed S] [--graph file]...
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph_input.hpp"
+#include "mpx/mpx.hpp"
+#include "table.hpp"
+
+namespace {
+
+struct Run {
+  std::string graph;
+  mpx::vertex_t n;
+  mpx::edge_t m;
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  double cold_shift_seconds = 0.0;  // where allocation reuse concentrates
+  double warm_shift_seconds = 0.0;
+  std::vector<double> batch_betas;
+  double individual_seconds = 0.0;
+  double batch_seconds = 0.0;
+
+  [[nodiscard]] double workspace_speedup() const {
+    return warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0;
+  }
+  [[nodiscard]] double batch_speedup() const {
+    return batch_seconds > 0.0 ? individual_seconds / batch_seconds : 0.0;
+  }
+};
+
+Run measure(const std::string& name, const mpx::CsrGraph& g, double beta,
+            std::uint64_t seed, int reps, const std::vector<double>& betas) {
+  Run run;
+  run.graph = name;
+  run.n = g.num_vertices();
+  run.m = g.num_edges();
+  run.batch_betas = betas;
+
+  mpx::DecompositionRequest req;
+  req.beta = beta;
+  req.seed = seed;
+
+  // Cold vs warm, interleaved per rep so slow machine drift hits both
+  // sides equally. Cold pays its own scratch allocations every call; warm
+  // shares one workspace (sized by a warmup call outside the timers).
+  // Seeds vary across reps — the realistic repeated-decomposition shape:
+  // pipelines draw fresh shifts per level/trial, so nothing is trivially
+  // cacheable.
+  mpx::DecompositionWorkspace workspace;
+  (void)mpx::decompose(g, req, &workspace);
+  run.cold_seconds = 1e100;
+  run.cold_shift_seconds = 1e100;
+  run.warm_seconds = 1e100;
+  run.warm_shift_seconds = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    req.seed = seed + static_cast<std::uint64_t>(rep);
+    {
+      mpx::WallTimer timer;
+      const mpx::DecompositionResult r = mpx::decompose(g, req);
+      run.cold_seconds = std::min(run.cold_seconds, timer.seconds());
+      run.cold_shift_seconds =
+          std::min(run.cold_shift_seconds, r.telemetry.shift_seconds);
+    }
+    {
+      mpx::WallTimer timer;
+      const mpx::DecompositionResult r = mpx::decompose(g, req, &workspace);
+      run.warm_seconds = std::min(run.warm_seconds, timer.seconds());
+      run.warm_shift_seconds =
+          std::min(run.warm_shift_seconds, r.telemetry.shift_seconds);
+    }
+  }
+  req.seed = seed;
+
+  // Individual multi-beta runs: each generates its own shifts, but shares
+  // the (already warm) workspace — the session's batch path also runs
+  // warm, so the comparison isolates the ShiftBasis amortization rather
+  // than re-measuring workspace reuse. Results are retained, as the
+  // session retains its cache — same memory footprint on both sides.
+  {
+    std::vector<mpx::DecompositionResult> retained;
+    retained.reserve(betas.size());
+    mpx::WallTimer timer;
+    for (const double b : betas) {
+      req.beta = b;
+      retained.push_back(mpx::decompose(g, req, &workspace));
+    }
+    run.individual_seconds = timer.seconds();
+  }
+  req.beta = beta;
+
+  // Batched through a session: shifts drawn once per seed, derived per
+  // beta. The session's internal workspace is warmed by one run at a beta
+  // outside the ladder (cached separately, so every ladder beta still
+  // decomposes fresh inside the timer) — both sides of the comparison run
+  // warm, isolating the ShiftBasis amortization.
+  {
+    mpx::DecompositionSession session((mpx::CsrGraph(g)));
+    req.beta = 0.9;
+    (void)session.run(req);
+    req.beta = beta;
+    mpx::WallTimer timer;
+    (void)session.run_batch(req, betas);
+    run.batch_seconds = timer.seconds();
+  }
+  return run;
+}
+
+void write_json(const std::string& path, const std::vector<Run>& runs,
+                double beta, std::uint64_t seed) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"session\",\n");
+  std::fprintf(f, "  \"threads\": %d,\n", mpx::max_threads());
+  std::fprintf(f, "  \"beta\": %g,\n  \"seed\": %llu,\n", beta,
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    std::fprintf(f,
+                 "    {\"graph\": \"%s\", \"n\": %u, \"m\": %llu, "
+                 "\"algorithm\": \"mpx\", \"cold_seconds\": %.6f, "
+                 "\"warm_seconds\": %.6f, \"workspace_speedup\": %.3f, "
+                 "\"cold_shift_seconds\": %.6f, \"warm_shift_seconds\": %.6f, "
+                 "\"batch_betas\": [",
+                 r.graph.c_str(), r.n, static_cast<unsigned long long>(r.m),
+                 r.cold_seconds, r.warm_seconds, r.workspace_speedup(),
+                 r.cold_shift_seconds, r.warm_shift_seconds);
+    for (std::size_t b = 0; b < r.batch_betas.size(); ++b) {
+      std::fprintf(f, "%s%g", b == 0 ? "" : ", ", r.batch_betas[b]);
+    }
+    std::fprintf(f,
+                 "], \"individual_seconds\": %.6f, \"batch_seconds\": %.6f, "
+                 "\"batch_speedup\": %.3f}%s\n",
+                 r.individual_seconds, r.batch_seconds, r.batch_speedup(),
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mpx;
+
+  std::string out = "BENCH_session.json";
+  std::string scale = "full";
+  int reps = 3;
+  double beta = 0.1;
+  std::uint64_t seed = 2013;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scale" && i + 1 < argc) {
+      scale = argv[++i];
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (arg == "--beta" && i + 1 < argc) {
+      beta = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--graph" && i + 1 < argc) {
+      ++i;  // loaded below via bench::graphs_from_args
+    } else {
+      out = arg;
+    }
+  }
+
+  bench::section("session layer: workspace reuse + batch multi-beta");
+  std::printf("threads: %d, beta=%g, seed=%llu, scale=%s, reps=%d\n",
+              max_threads(), beta, static_cast<unsigned long long>(seed),
+              scale.c_str(), reps);
+
+  struct Family {
+    std::string name;
+    CsrGraph graph;
+  };
+  std::vector<Family> families;
+  for (bench::NamedInput& input : bench::graphs_from_args(argc, argv)) {
+    families.push_back({input.name, std::move(input.graph)});
+  }
+  if (families.empty()) {
+    if (scale == "full") {
+      families.push_back({"grid2d_3000", generators::grid2d(3000, 3000)});
+      families.push_back({"rmat_20", generators::rmat(20, 8.0, 1)});
+    } else {
+      families.push_back({"grid2d_600", generators::grid2d(600, 600)});
+      families.push_back({"rmat_16", generators::rmat(16, 8.0, 1)});
+    }
+  }
+  const std::vector<double> betas = {0.5, 0.2, 0.1, 0.05};
+
+  std::vector<Run> runs;
+  bench::Table table({"graph", "cold", "warm", "ws_speedup", "indiv",
+                      "batch", "batch_speedup"});
+  for (const Family& fam : families) {
+    const Run r = measure(fam.name, fam.graph, beta, seed, reps, betas);
+    runs.push_back(r);
+    table.row({fam.name, bench::Table::num(r.cold_seconds, 3),
+               bench::Table::num(r.warm_seconds, 3),
+               bench::Table::num(r.workspace_speedup(), 2),
+               bench::Table::num(r.individual_seconds, 3),
+               bench::Table::num(r.batch_seconds, 3),
+               bench::Table::num(r.batch_speedup(), 2)});
+  }
+
+  write_json(out, runs, beta, seed);
+  std::printf(
+      "\nexpected shape: warm < cold on every graph (the workspace removes "
+      "per-call scratch allocation). batch <= individual: the amortized "
+      "shift draws win where the draw cost matters (rmat); on meshes the "
+      "beta-dependent rank sort dominates the shift phase and batch lands "
+      "at parity.\n");
+  return 0;
+}

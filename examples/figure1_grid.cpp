@@ -38,17 +38,18 @@ int main(int argc, char** argv) {
   if (args.seed_set) seed = args.seed;
 
   const mpx::CsrGraph g = mpx::generators::grid2d(side, side);
-  mpx::PartitionOptions opt;
-  opt.beta = beta;
-  opt.seed = seed;
+  mpx::DecompositionRequest req;
+  req.beta = beta;
+  req.seed = seed;
 
-  mpx::WallTimer timer;
-  const mpx::Decomposition dec = mpx::partition(g, opt);
+  const mpx::DecompositionResult result = mpx::decompose(g, req);
+  const mpx::Decomposition& dec = result.decomposition;
   const mpx::DecompositionStats stats = mpx::analyze(dec, g);
   std::printf("%ux%u grid, beta=%.4g: %u clusters, cut %.3f%%, max radius "
               "%u (%.2fs)\n",
               side, side, beta, dec.num_clusters(),
-              100.0 * stats.cut_fraction, stats.max_radius, timer.seconds());
+              100.0 * stats.cut_fraction, stats.max_radius,
+              result.telemetry.total_seconds);
 
   mpx::viz::render_grid_decomposition(dec, side, side).save_ppm(out);
   std::printf("wrote %s — compare with the paper's Figure 1 panel for "

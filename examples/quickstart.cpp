@@ -1,5 +1,6 @@
-// Quickstart: decompose a graph, inspect the pieces, verify the
-// guarantees. Mirrors the README's first example.
+// Quickstart: decompose a graph through the unified decomposer facade,
+// inspect the pieces and the run telemetry, verify the guarantees. Mirrors
+// the README's first example.
 //
 //   ./quickstart [beta] [seed]     (--seed N overrides the positional seed)
 #include <cstdio>
@@ -14,23 +15,31 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.seed_or(1, 42);
 
   // 1. Build a graph (here: a 200x200 grid; see mpx::generators for more,
-  //    or mpx::build_undirected / mpx::io::load_edge_list for your own).
+  //    or mpx::build_undirected / mpx::io::load_graph for your own).
   const mpx::CsrGraph g = mpx::generators::grid2d(200, 200);
   std::printf("graph: n = %u vertices, m = %llu edges\n", g.num_vertices(),
               static_cast<unsigned long long>(g.num_edges()));
 
-  // 2. Run the MPX partition (Algorithm 1 of the paper).
-  mpx::PartitionOptions opt;
-  opt.beta = beta;
-  opt.seed = seed;
-  mpx::WallTimer timer;
-  const mpx::Decomposition dec = mpx::partition(g, opt);
-  std::printf("partition(beta=%.3f, seed=%llu): %u clusters in %.3fs "
-              "(%u BFS rounds)\n",
-              beta, static_cast<unsigned long long>(seed),
-              dec.num_clusters(), timer.seconds(), dec.bfs_rounds);
+  // 2. Describe the run: every algorithm in the library answers the same
+  //    request shape ("mpx" is Algorithm 1 of the paper; see
+  //    mpx::registered_algorithms() for the rest).
+  mpx::DecompositionRequest req;
+  req.algorithm = "mpx";
+  req.beta = beta;
+  req.seed = seed;
 
-  // 3. Inspect the quality: Definition 1.1's two quantities.
+  // 3. Run it. The result carries the owner/settle arrays, the compacted
+  //    decomposition, and uniform telemetry for every algorithm.
+  const mpx::DecompositionResult result = mpx::decompose(g, req);
+  const mpx::Decomposition& dec = result.decomposition;
+  std::printf("decompose(%s, beta=%.3f, seed=%llu): %u clusters in %.3fs "
+              "(%u BFS rounds, %llu arcs scanned)\n",
+              req.algorithm.c_str(), beta,
+              static_cast<unsigned long long>(seed), dec.num_clusters(),
+              result.telemetry.total_seconds, result.telemetry.rounds,
+              static_cast<unsigned long long>(result.telemetry.arcs_scanned));
+
+  // 4. Inspect the quality: Definition 1.1's two quantities.
   const mpx::DecompositionStats stats = mpx::analyze(dec, g);
   std::printf("cut edges: %llu (%.2f%% of m; expectation is O(beta) = "
               "%.2f%%)\n",
@@ -43,14 +52,18 @@ int main(int argc, char** argv) {
               stats.min_cluster_size, stats.mean_cluster_size,
               stats.max_cluster_size);
 
-  // 4. Per-vertex API: which piece is a vertex in, and how far from its
+  // 5. Per-vertex API: which piece is a vertex in, and how far from its
   //    center?
   const mpx::vertex_t v = g.num_vertices() / 2;
   std::printf("vertex %u: cluster %u, center %u, distance-to-center %u\n",
-              v, dec.cluster_of(v), dec.center(dec.cluster_of(v)),
-              dec.dist_to_center(v));
+              v, result.cluster_of(v), result.owner[v], result.settle[v]);
 
-  // 5. Hard verification (tests run this on every configuration).
+  // 6. Serving many decompositions of one graph? Use a session: results
+  //    are cached by request, batch runs share the shift draws, and the
+  //    session answers cluster/boundary/distance queries directly (see
+  //    examples/session_demo.cpp).
+
+  // 7. Hard verification (tests run this on every configuration).
   const mpx::VerifyResult vr = mpx::verify_decomposition(dec, g);
   std::printf("verify_decomposition: %s\n",
               vr.ok ? "OK" : vr.message.c_str());

@@ -2,8 +2,8 @@
 
 #include <vector>
 
+#include "core/decomposer.hpp"
 #include "core/metrics.hpp"
-#include "core/partition.hpp"
 #include "support/assert.hpp"
 #include "support/random.hpp"
 
@@ -21,6 +21,11 @@ BlockDecomposition block_decomposition(const CsrGraph& g,
   for (std::size_t i = 0; i < active.size(); ++i) active[i] = i;
 
   const vertex_t n = g.num_vertices();
+  // The residual graphs shrink every iteration; one workspace serves the
+  // whole peeling loop allocation-free after the first round.
+  DecompositionWorkspace workspace;
+  DecompositionRequest req;
+  req.beta = opt.beta;
   std::uint32_t b = 0;
   while (!active.empty()) {
     MPX_ASSERT(b < opt.max_blocks);
@@ -29,10 +34,8 @@ BlockDecomposition block_decomposition(const CsrGraph& g,
     for (const std::size_t i : active) current.push_back(result.edges[i]);
     const CsrGraph h = build_undirected(n, std::span<const Edge>(current));
 
-    PartitionOptions popt;
-    popt.beta = opt.beta;
-    popt.seed = hash_stream(opt.seed, b);  // fresh shifts each iteration
-    const Decomposition dec = partition(h, popt);
+    req.seed = hash_stream(opt.seed, b);  // fresh shifts each iteration
+    const Decomposition dec = decompose(h, req, &workspace).decomposition;
 
     std::vector<std::size_t> still_active;
     for (const std::size_t i : active) {

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <limits>
 
-#include "core/partition.hpp"
+#include "core/decomposer.hpp"
 #include "parallel/reduce.hpp"
 #include "support/assert.hpp"
 #include "support/random.hpp"
@@ -53,16 +53,19 @@ SparseCutResult best_piece_cut(const CsrGraph& g,
   const vertex_t n = g.num_vertices();
   std::vector<edge_t> piece_volume;
   std::vector<edge_t> piece_cut;
+  // One workspace across the whole (beta x trial) sweep: same graph every
+  // time, so nothing reallocates after the first partition.
+  DecompositionWorkspace workspace;
 
   for (const double beta : opt.betas) {
     for (std::uint32_t trial = 0; trial < opt.trials_per_beta; ++trial) {
-      PartitionOptions popt;
-      popt.beta = beta;
-      popt.seed = hash_stream(opt.seed,
-                              hash_stream(static_cast<std::uint64_t>(
-                                              beta * 1e6),
-                                          trial));
-      const Decomposition dec = partition(g, popt);
+      DecompositionRequest req;
+      req.beta = beta;
+      req.seed = hash_stream(opt.seed,
+                             hash_stream(static_cast<std::uint64_t>(
+                                             beta * 1e6),
+                                         trial));
+      const Decomposition dec = decompose(g, req, &workspace).decomposition;
       const cluster_t k = dec.num_clusters();
 
       // One pass computes every piece's cut and volume simultaneously.

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <queue>
+#include <utility>
 
 #include "bfs/sequential_bfs.hpp"
-#include "core/partition.hpp"
+#include "core/decomposer.hpp"
 #include "parallel/parallel_for.hpp"
 #include "support/assert.hpp"
 #include "support/random.hpp"
@@ -53,7 +54,13 @@ CenterGraph build_center_graph(const CsrGraph& g, const Decomposition& dec) {
 
 DistanceOracle::DistanceOracle(const CsrGraph& g,
                                const PartitionOptions& opt)
-    : dec_(partition(g, opt)) {
+    : DistanceOracle(
+          g, decompose(g, DecompositionRequest::from_options("mpx", opt))
+                 .decomposition) {}
+
+DistanceOracle::DistanceOracle(const CsrGraph& g, Decomposition dec)
+    : dec_(std::move(dec)) {
+  MPX_EXPECTS(dec_.num_vertices() == g.num_vertices());
   k_ = dec_.num_clusters();
   const CenterGraph cg = build_center_graph(g, dec_);
 

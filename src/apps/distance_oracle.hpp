@@ -27,9 +27,14 @@ namespace mpx {
 
 class DistanceOracle {
  public:
-  /// Build from a graph and partition options. O(m + k^2 log k) work,
-  /// O(k^2 + n) space.
+  /// Build from a graph and partition options (runs the partition through
+  /// the decomposer facade). O(m + k^2 log k) work, O(k^2 + n) space.
   DistanceOracle(const CsrGraph& g, const PartitionOptions& opt);
+
+  /// Build from an already-computed decomposition of g — the
+  /// DecompositionSession path: one cached partition serves cluster and
+  /// distance queries without re-running the algorithm.
+  DistanceOracle(const CsrGraph& g, Decomposition dec);
 
   /// Upper-bound estimate of dist(u, v); kInfDist across components.
   [[nodiscard]] std::uint32_t estimate(vertex_t u, vertex_t v) const;

@@ -4,7 +4,7 @@
 
 #include "apps/contraction.hpp"
 #include "bfs/sequential_bfs.hpp"
-#include "core/partition.hpp"
+#include "core/decomposer.hpp"
 #include "support/assert.hpp"
 #include "support/random.hpp"
 
@@ -66,13 +66,18 @@ LowStretchTreeResult low_stretch_tree(const CsrGraph& g,
   std::vector<Edge> tree_edges;
   tree_edges.reserve(n);
 
+  // One workspace across the AKPW levels: each level's partition reuses
+  // the previous level's shift/frontier/claim scratch (levels shrink, so
+  // after level 0 nothing reallocates).
+  DecompositionWorkspace workspace;
+  DecompositionRequest req;
+  req.beta = opt.beta;
+
   std::uint32_t level = 0;
   while (current.num_edges() > 0) {
     MPX_ASSERT(level < opt.max_levels);
-    PartitionOptions popt;
-    popt.beta = opt.beta;
-    popt.seed = hash_stream(opt.seed, level);
-    const Decomposition dec = partition(current, popt);
+    req.seed = hash_stream(opt.seed, level);
+    const Decomposition dec = decompose(current, req, &workspace).decomposition;
 
     const std::vector<Edge> level_edges = edge_list(current);
     const std::vector<Edge> level_tree = piece_tree_edges(current, dec);

@@ -5,8 +5,8 @@
 #include <vector>
 
 #include "bfs/sequential_bfs.hpp"
+#include "core/decomposer.hpp"
 #include "core/metrics.hpp"
-#include "core/partition.hpp"
 #include "graph/builder.hpp"
 #include "support/assert.hpp"
 #include "support/random.hpp"
@@ -82,9 +82,16 @@ std::uint32_t SpannerResult::stretch_bound() const {
   return 4 * max_radius + 1;
 }
 
-SpannerResult ldd_spanner(const CsrGraph& g, const PartitionOptions& opt) {
+namespace {
+
+/// Facade-path core of ldd_spanner; the workspace is shared across the
+/// levels of the multilevel variant.
+SpannerResult ldd_spanner_impl(const CsrGraph& g, const PartitionOptions& opt,
+                               DecompositionWorkspace& workspace) {
   SpannerResult result;
-  result.decomposition = partition(g, opt);
+  result.decomposition =
+      decompose(g, DecompositionRequest::from_options("mpx", opt), &workspace)
+          .decomposition;
 
   std::vector<Edge> edges = piece_tree_edges(g, result.decomposition);
   result.tree_edges = edges.size();
@@ -97,6 +104,13 @@ SpannerResult ldd_spanner(const CsrGraph& g, const PartitionOptions& opt) {
   return result;
 }
 
+}  // namespace
+
+SpannerResult ldd_spanner(const CsrGraph& g, const PartitionOptions& opt) {
+  DecompositionWorkspace workspace;
+  return ldd_spanner_impl(g, opt, workspace);
+}
+
 SpannerResult ldd_spanner_multilevel(const CsrGraph& g,
                                      const PartitionOptions& opt,
                                      unsigned levels) {
@@ -104,9 +118,10 @@ SpannerResult ldd_spanner_multilevel(const CsrGraph& g,
   SpannerResult combined;
   std::vector<Edge> edges;
   PartitionOptions level_opt = opt;
+  DecompositionWorkspace workspace;  // shared by every level's partition
   for (unsigned level = 0; level < levels; ++level) {
     level_opt.seed = hash_stream(opt.seed, level);
-    SpannerResult r = ldd_spanner(g, level_opt);
+    SpannerResult r = ldd_spanner_impl(g, level_opt, workspace);
     const std::vector<Edge> level_edges = edge_list(r.spanner);
     edges.insert(edges.end(), level_edges.begin(), level_edges.end());
     combined.tree_edges += r.tree_edges;

@@ -5,7 +5,7 @@
 #include <limits>
 
 #include "bfs/sequential_bfs.hpp"
-#include "core/partition.hpp"
+#include "core/decomposer.hpp"
 #include "graph/components.hpp"
 #include "graph/subgraph.hpp"
 #include "support/assert.hpp"
@@ -68,6 +68,11 @@ TreeEmbedding build_tree_embedding(const CsrGraph& g,
     }
   }
 
+  // One workspace serves every per-cluster partition of the refinement;
+  // cluster sizes only shrink down the recursion, so the scratch is
+  // allocated once at the root level.
+  DecompositionWorkspace workspace;
+
   std::uint32_t level = 0;
   while (!frontier.empty()) {
     ++level;
@@ -89,11 +94,11 @@ TreeEmbedding build_tree_embedding(const CsrGraph& g,
         for (vertex_t v = 0; v < sub.num_vertices(); ++v) owner[v] = v;
         dec = Decomposition(owner, dist);
       } else {
-        PartitionOptions popt;
-        popt.beta = std::min(1.0, opt.beta_scale * log_n / child_target);
-        popt.seed = hash_stream(opt.seed,
-                                hash_stream(level, item.members.front()));
-        dec = partition(sub.graph, popt);
+        DecompositionRequest req;
+        req.beta = std::min(1.0, opt.beta_scale * log_n / child_target);
+        req.seed = hash_stream(opt.seed,
+                               hash_stream(level, item.members.front()));
+        dec = decompose(sub.graph, req, &workspace).decomposition;
       }
 
       // The edge from every child to this node weighs this node's

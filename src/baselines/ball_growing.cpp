@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "bfs/frontier.hpp"
+#include "core/options.hpp"
 #include "support/assert.hpp"
 #include "support/random.hpp"
 
@@ -11,7 +12,7 @@ namespace mpx {
 
 Decomposition ball_growing_decomposition(const CsrGraph& g,
                                          const BallGrowingOptions& opt) {
-  MPX_EXPECTS(opt.beta > 0.0 && opt.beta <= 1.0);
+  validate_partition_options(PartitionOptions{opt.beta});
   const vertex_t n = g.num_vertices();
 
   std::vector<vertex_t> owner(n, kInvalidVertex);

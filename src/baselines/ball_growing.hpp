@@ -35,6 +35,10 @@ struct BallGrowingOptions {
 
 /// Run sequential ball growing. Returns a decomposition in the same format
 /// as mpx::partition (centers are the ball roots; distances are in-piece).
+///
+/// Compatibility entry point — the decomposer facade runs this as
+/// `{.algorithm = "ball-growing"}` (seeded random center order). Throws
+/// std::invalid_argument when opt.beta is NaN or outside (0, 1].
 [[nodiscard]] Decomposition ball_growing_decomposition(
     const CsrGraph& g, const BallGrowingOptions& opt);
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bfs/multi_source_bfs.hpp"
+#include "core/options.hpp"
 #include "graph/subgraph.hpp"
 #include "support/assert.hpp"
 #include "support/random.hpp"
@@ -14,7 +15,7 @@ namespace mpx {
 
 BgkmptResult bgkmpt_decomposition(const CsrGraph& g,
                                   const BgkmptOptions& opt) {
-  MPX_EXPECTS(opt.beta > 0.0 && opt.beta <= 1.0);
+  validate_partition_options(PartitionOptions{opt.beta});
   const vertex_t n = g.num_vertices();
 
   std::vector<vertex_t> owner(n, kInvalidVertex);

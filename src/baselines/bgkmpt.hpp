@@ -43,6 +43,9 @@ struct BgkmptResult {
   std::uint32_t total_rounds = 0;
 };
 
+/// Compatibility entry point — the decomposer facade runs this as
+/// `{.algorithm = "bgkmpt"}` (default radius_scale). Throws
+/// std::invalid_argument when opt.beta is NaN or outside (0, 1].
 [[nodiscard]] BgkmptResult bgkmpt_decomposition(const CsrGraph& g,
                                                 const BgkmptOptions& opt);
 

@@ -26,10 +26,11 @@ constexpr vertex_t center_of(std::uint64_t word) noexcept {
 }
 
 /// Activation schedule: centers grouped by start round, as one flat array
-/// plus offsets (counting sort on start_round).
+/// plus offsets (counting sort on start_round). Views the storage held by a
+/// MultiSourceBfsWorkspace so repeated runs reuse it.
 struct ActivationBuckets {
-  std::vector<vertex_t> centers;     // grouped by round
-  std::vector<std::size_t> offsets;  // offsets[t]..offsets[t+1]
+  std::span<const vertex_t> centers;     // grouped by round
+  std::span<const std::size_t> offsets;  // offsets[t]..offsets[t+1]
   std::uint32_t max_round = 0;
 
   [[nodiscard]] std::span<const vertex_t> bucket(std::uint32_t t) const {
@@ -38,7 +39,8 @@ struct ActivationBuckets {
   }
 };
 
-ActivationBuckets build_buckets(std::span<const std::uint32_t> start_round) {
+ActivationBuckets build_buckets(std::span<const std::uint32_t> start_round,
+                                MultiSourceBfsWorkspace& ws) {
   ActivationBuckets b;
   const std::size_t n = start_round.size();
   std::uint32_t max_round = 0;
@@ -49,24 +51,25 @@ ActivationBuckets build_buckets(std::span<const std::uint32_t> start_round) {
     max_round = std::max(max_round, start_round[v]);
   }
   b.max_round = max_round;
-  std::vector<std::size_t> counts(static_cast<std::size_t>(max_round) + 2, 0);
+  const std::size_t num_rounds = static_cast<std::size_t>(max_round) + 2;
+  ws.bucket_offsets.assign(num_rounds + 1, 0);
   for (std::size_t v = 0; v < n; ++v) {
-    if (start_round[v] != kNoStart) ++counts[start_round[v]];
+    if (start_round[v] != kNoStart) ++ws.bucket_offsets[start_round[v] + 1];
   }
-  b.offsets.assign(counts.size() + 1, 0);
-  std::size_t acc = 0;
-  for (std::size_t t = 0; t < counts.size(); ++t) {
-    b.offsets[t] = acc;
-    acc += counts[t];
+  for (std::size_t t = 1; t <= num_rounds; ++t) {
+    ws.bucket_offsets[t] += ws.bucket_offsets[t - 1];
   }
-  b.offsets[counts.size()] = acc;
-  b.centers.resize(active);
-  std::vector<std::size_t> cursor(b.offsets.begin(), b.offsets.end() - 1);
+  ws.bucket_centers.resize(active);
+  ws.bucket_cursor.assign(ws.bucket_offsets.begin(),
+                          ws.bucket_offsets.end() - 1);
   for (std::size_t v = 0; v < n; ++v) {
     if (start_round[v] != kNoStart) {
-      b.centers[cursor[start_round[v]]++] = static_cast<vertex_t>(v);
+      ws.bucket_centers[ws.bucket_cursor[start_round[v]]++] =
+          static_cast<vertex_t>(v);
     }
   }
+  b.centers = ws.bucket_centers;
+  b.offsets = ws.bucket_offsets;
   return b;
 }
 
@@ -81,17 +84,19 @@ struct DelayedBfsVisitor {
   std::span<const std::uint32_t> rank;
   ActivationBuckets buckets;
   MultiSourceBfsResult& result;
-  std::vector<std::uint64_t> claim;
+  std::vector<std::uint64_t>& claim;  // workspace-owned, reset per run
 
   DelayedBfsVisitor(const CsrGraph& graph,
                     std::span<const std::uint32_t> start_round,
                     std::span<const std::uint32_t> rank_in,
-                    MultiSourceBfsResult& out)
+                    MultiSourceBfsResult& out, MultiSourceBfsWorkspace& ws)
       : g(graph),
         rank(rank_in),
-        buckets(build_buckets(start_round)),
+        buckets(build_buckets(start_round, ws)),
         result(out),
-        claim(g.num_vertices(), kUnclaimed) {}
+        claim(ws.claim) {
+    claim.assign(g.num_vertices(), kUnclaimed);
+  }
 
   [[nodiscard]] std::span<const vertex_t> activations(std::uint32_t t) const {
     return buckets.bucket(t);
@@ -151,16 +156,19 @@ struct DelayedBfsVisitor {
 MultiSourceBfsResult delayed_multi_source_bfs(
     const CsrGraph& g, std::span<const std::uint32_t> start_round,
     std::span<const std::uint32_t> rank, std::uint32_t max_rounds,
-    TraversalEngine engine) {
+    TraversalEngine engine, MultiSourceBfsWorkspace* workspace) {
   const vertex_t n = g.num_vertices();
   MPX_EXPECTS(start_round.size() == n);
   MPX_EXPECTS(rank.size() == n);
+
+  MultiSourceBfsWorkspace local;
+  MultiSourceBfsWorkspace& ws = workspace != nullptr ? *workspace : local;
 
   MultiSourceBfsResult result;
   result.owner.assign(n, kInvalidVertex);
   result.settle_round.assign(n, kInfDist);
 
-  DelayedBfsVisitor vis(g, start_round, rank, result);
+  DelayedBfsVisitor vis(g, start_round, rank, result, ws);
   TraversalParams params;
   params.engine = engine;
   params.max_rounds = max_rounds;
@@ -179,7 +187,7 @@ MultiSourceBfsResult delayed_multi_source_bfs(
         avg_degree > 0.0 && static_cast<double>(max_degree) >= 8.0 * avg_degree;
     params.alpha_div = skewed ? 4 : 1;
   }
-  const TraversalStats stats = run_traversal(g, vis, params);
+  const TraversalStats stats = run_traversal(g, vis, params, &ws.traversal);
 
   result.rounds = stats.rounds;
   result.pull_rounds = stats.pull_rounds;

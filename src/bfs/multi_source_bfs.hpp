@@ -57,12 +57,26 @@ struct MultiSourceBfsResult {
   }
 };
 
+/// Reusable scratch for delayed_multi_source_bfs: the per-vertex claim
+/// words, the activation-bucket schedule, and the traversal engine's
+/// frontier/unsettled structures. Repeated runs over graphs of similar size
+/// re-initialize these in place instead of reallocating ~18n bytes per
+/// call. Not thread-safe; one workspace per thread.
+struct MultiSourceBfsWorkspace {
+  TraversalWorkspace traversal;
+  std::vector<std::uint64_t> claim;
+  std::vector<vertex_t> bucket_centers;
+  std::vector<std::size_t> bucket_offsets;
+  std::vector<std::size_t> bucket_cursor;
+};
+
 /// Run the delayed multi-source BFS on the shared traversal engine.
 /// Rounds beyond `max_rounds` are not executed (vertices not yet settled
 /// stay unreached); the default runs to quiescence. The engine choice
 /// (push / pull / direction-optimizing auto) changes only the schedule,
 /// never the result: owner and settle_round are byte-identical across
-/// engines and thread counts.
+/// engines and thread counts. `workspace`, when non-null, supplies the
+/// scratch buffers (the result is identical with or without it).
 ///
 /// Preconditions: start_round.size() == rank.size() == n; every vertex with
 /// start_round != kNoStart has a rank, and ranks of such centers are
@@ -71,6 +85,7 @@ struct MultiSourceBfsResult {
     const CsrGraph& g, std::span<const std::uint32_t> start_round,
     std::span<const std::uint32_t> rank,
     std::uint32_t max_rounds = kInfDist,
-    TraversalEngine engine = TraversalEngine::kAuto);
+    TraversalEngine engine = TraversalEngine::kAuto,
+    MultiSourceBfsWorkspace* workspace = nullptr);
 
 }  // namespace mpx

@@ -116,7 +116,13 @@ namespace detail {
 /// cost from O(n) into O(unsettled volume).
 class UnsettledSet {
  public:
-  explicit UnsettledSet(vertex_t n) {
+  UnsettledSet() = default;
+  explicit UnsettledSet(vertex_t n) { reset(n); }
+
+  /// Re-initialize for a universe of n vertices (all unsettled). Reuses the
+  /// existing word storage, so a workspace-held set allocates only when the
+  /// graph grows.
+  void reset(vertex_t n) {
     const std::size_t num_words =
         (static_cast<std::size_t>(n) + Frontier::kWordBits - 1) /
         Frontier::kWordBits;
@@ -242,17 +248,38 @@ std::pair<std::size_t, edge_t> pull_sweep(const CsrGraph& g, Visitor& vis,
 
 }  // namespace detail
 
+/// Reusable traversal scratch: the two frontiers and the unsettled set.
+/// Passing the same workspace to successive run_traversal() calls on graphs
+/// of similar size re-initializes the buffers in place instead of
+/// reallocating ~3 bitmap/list structures per run — the per-call overhead
+/// that DecompositionWorkspace (core/decomposer.hpp) eliminates for
+/// repeated same-graph decompositions. A workspace is not thread-safe;
+/// share one per thread, never across concurrent runs.
+struct TraversalWorkspace {
+  Frontier cur;
+  Frontier next;
+  detail::UnsettledSet unsettled;
+};
+
 /// Run the round loop to quiescence (or params.max_rounds). The visitor
 /// carries all per-vertex state; the engine owns frontiers, direction
-/// choice, candidate compaction, and work accounting.
+/// choice, candidate compaction, and work accounting. `workspace`, when
+/// non-null, supplies the frontier/unsettled scratch (reused across calls);
+/// the result is identical with or without it.
 template <typename Visitor>
 TraversalStats run_traversal(const CsrGraph& g, Visitor& vis,
-                             const TraversalParams& params = {}) {
+                             const TraversalParams& params = {},
+                             TraversalWorkspace* workspace = nullptr) {
   const vertex_t n = g.num_vertices();
   TraversalStats stats;
-  Frontier cur(n);
-  Frontier next(n);
-  detail::UnsettledSet unsettled(n);
+  TraversalWorkspace local;
+  TraversalWorkspace& ws = workspace != nullptr ? *workspace : local;
+  ws.cur.reset(n);
+  ws.next.reset(n);
+  ws.unsettled.reset(n);
+  Frontier& cur = ws.cur;
+  Frontier& next = ws.next;
+  detail::UnsettledSet& unsettled = ws.unsettled;
   edge_t unexplored_arcs = g.num_arcs();
   edge_t frontier_degree = 0;   // out-degree of cur
   std::size_t frontier_size = 0;

@@ -185,6 +185,7 @@ BucketedPartitionResult bucketed_weighted_partition_with_shifts(
 
 BucketedPartitionResult bucketed_weighted_partition(
     const WeightedCsrGraph& g, const PartitionOptions& opt) {
+  validate_partition_options(opt);
   return bucketed_weighted_partition_with_shifts(
       g, generate_shifts(g.num_vertices(), opt));
 }

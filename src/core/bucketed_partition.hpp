@@ -34,6 +34,10 @@ struct BucketedPartitionResult {
 /// Run the parallel bucketed weighted partition. Every arc weight must be
 /// a positive integer (checked). Deterministic in (g, opt) independent of
 /// thread count.
+///
+/// Compatibility entry point — prefer `mpx::decompose(g, {.algorithm =
+/// "mpx-bucketed", ...})` (core/decomposer.hpp) in new code. Throws
+/// std::invalid_argument when opt.beta is NaN or outside (0, 1].
 [[nodiscard]] BucketedPartitionResult bucketed_weighted_partition(
     const WeightedCsrGraph& g, const PartitionOptions& opt);
 

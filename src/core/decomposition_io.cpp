@@ -1,7 +1,9 @@
 #include "core/decomposition_io.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -21,28 +23,33 @@ bool next_content_line(std::istream& in, std::string& line) {
   throw std::runtime_error("mpx::io: malformed decomposition: " + what);
 }
 
-}  // namespace
-
-void write_decomposition(std::ostream& out, const Decomposition& dec) {
-  out << "# mpx decomposition\n";
-  out << dec.num_vertices() << ' ' << dec.num_clusters() << '\n';
-  for (cluster_t c = 0; c < dec.num_clusters(); ++c) {
-    out << dec.center(c) << '\n';
+/// Shortest decimal form that round-trips a double exactly.
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  double parsed = 0.0;
+  if (std::sscanf(buf, "%lf", &parsed) == 1 && parsed == value) {
+    for (int precision = 1; precision < 17; ++precision) {
+      char shorter[64];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+      if (std::sscanf(shorter, "%lf", &parsed) == 1 && parsed == value) {
+        return shorter;
+      }
+    }
   }
-  for (vertex_t v = 0; v < dec.num_vertices(); ++v) {
-    out << dec.cluster_of(v) << ' ' << dec.dist_to_center(v) << '\n';
-  }
+  return buf;
 }
 
-Decomposition read_decomposition(std::istream& in) {
-  std::string line;
-  if (!next_content_line(in, line)) malformed("missing header");
-  std::istringstream header(line);
+/// Parse the decomposition body given the already-consumed "n k" header
+/// line; shared by both readers.
+Decomposition read_body(std::istream& in, const std::string& header_line) {
+  std::istringstream header(header_line);
   std::uint64_t n = 0;
   std::uint64_t k = 0;
-  if (!(header >> n >> k)) malformed("bad header: " + line);
+  if (!(header >> n >> k)) malformed("bad header: " + header_line);
   if (k > n) malformed("more clusters than vertices");
 
+  std::string line;
   std::vector<vertex_t> centers(k);
   for (std::uint64_t c = 0; c < k; ++c) {
     if (!next_content_line(in, line)) malformed("unexpected EOF in centers");
@@ -68,6 +75,159 @@ Decomposition read_decomposition(std::istream& in) {
   return Decomposition(owner, dist);
 }
 
+/// One "#! <key> <value>" telemetry line. Unknown keys and unparsable
+/// values are corruption, not noise: a block we cannot faithfully restore
+/// must not be silently dropped. Integer values are parsed from the raw
+/// token (digits only, explicit range check) because istream extraction
+/// into unsigned types silently wraps negatives and the cast to a narrower
+/// type would silently truncate.
+void parse_telemetry_line(const std::string& key, std::istringstream& row,
+                          RunTelemetry& t) {
+  const auto read_uint = [&](std::uint64_t max_value) -> std::uint64_t {
+    std::string token;
+    if (!(row >> token) || token.empty()) {
+      malformed("bad telemetry value for " + key);
+    }
+    std::uint64_t value = 0;
+    for (const char c : token) {
+      if (c < '0' || c > '9') malformed("bad telemetry value for " + key);
+      const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+      if (value > (max_value - digit) / 10) {
+        malformed("telemetry value out of range for " + key);
+      }
+      value = value * 10 + digit;
+    }
+    return value;
+  };
+  const auto read_u32 = [&](std::uint32_t& out) {
+    out = static_cast<std::uint32_t>(
+        read_uint(std::numeric_limits<std::uint32_t>::max()));
+  };
+  const auto read_double = [&](double& out) {
+    if (!(row >> out)) malformed("bad telemetry value for " + key);
+  };
+  if (key == "algorithm") {
+    if (!(row >> t.algorithm)) malformed("bad telemetry value for " + key);
+  } else if (key == "engine") {
+    if (!(row >> t.engine)) malformed("bad telemetry value for " + key);
+  } else if (key == "threads") {
+    t.threads = static_cast<int>(
+        read_uint(static_cast<std::uint64_t>(std::numeric_limits<int>::max())));
+  } else if (key == "rounds") {
+    read_u32(t.rounds);
+  } else if (key == "pull_rounds") {
+    read_u32(t.pull_rounds);
+  } else if (key == "phases") {
+    read_u32(t.phases);
+  } else if (key == "arcs_scanned") {
+    t.arcs_scanned = read_uint(std::numeric_limits<edge_t>::max());
+  } else if (key == "shift_seconds") {
+    read_double(t.shift_seconds);
+  } else if (key == "search_seconds") {
+    read_double(t.search_seconds);
+  } else if (key == "assemble_seconds") {
+    read_double(t.assemble_seconds);
+  } else if (key == "total_seconds") {
+    read_double(t.total_seconds);
+  } else {
+    malformed("unknown telemetry key: " + key);
+  }
+  std::string extra;
+  if (row >> extra) malformed("trailing content after telemetry " + key);
+}
+
+/// The header line + centers + assignment rows — the one copy of the body
+/// format both writer overloads share.
+void write_body(std::ostream& out, const Decomposition& dec) {
+  out << dec.num_vertices() << ' ' << dec.num_clusters() << '\n';
+  for (cluster_t c = 0; c < dec.num_clusters(); ++c) {
+    out << dec.center(c) << '\n';
+  }
+  for (vertex_t v = 0; v < dec.num_vertices(); ++v) {
+    out << dec.cluster_of(v) << ' ' << dec.dist_to_center(v) << '\n';
+  }
+}
+
+}  // namespace
+
+void write_decomposition(std::ostream& out, const Decomposition& dec) {
+  out << "# mpx decomposition\n";
+  write_body(out, dec);
+}
+
+void write_decomposition(std::ostream& out, const Decomposition& dec,
+                         const RunTelemetry& telemetry) {
+  out << "# mpx decomposition\n";
+  out << "#! telemetry v1\n";
+  out << "#! algorithm " << telemetry.algorithm << '\n';
+  out << "#! engine " << telemetry.engine << '\n';
+  out << "#! threads " << telemetry.threads << '\n';
+  out << "#! rounds " << telemetry.rounds << '\n';
+  out << "#! pull_rounds " << telemetry.pull_rounds << '\n';
+  out << "#! phases " << telemetry.phases << '\n';
+  out << "#! arcs_scanned " << telemetry.arcs_scanned << '\n';
+  out << "#! shift_seconds " << format_double(telemetry.shift_seconds) << '\n';
+  out << "#! search_seconds " << format_double(telemetry.search_seconds)
+      << '\n';
+  out << "#! assemble_seconds " << format_double(telemetry.assemble_seconds)
+      << '\n';
+  out << "#! total_seconds " << format_double(telemetry.total_seconds) << '\n';
+  out << "#! end telemetry\n";
+  write_body(out, dec);
+}
+
+Decomposition read_decomposition(std::istream& in) {
+  std::string line;
+  if (!next_content_line(in, line)) malformed("missing header");
+  return read_body(in, line);
+}
+
+LoadedDecomposition read_decomposition_full(std::istream& in) {
+  LoadedDecomposition out;
+  std::string line;
+  bool in_block = false;
+  bool have_header = false;
+  std::string header_line;
+  while (std::getline(in, line)) {
+    if (line.rfind("#!", 0) == 0) {
+      std::istringstream row(line.substr(2));
+      std::string key;
+      if (!(row >> key)) malformed("empty #! line");
+      if (!in_block) {
+        std::string version;
+        if (key != "telemetry" || !(row >> version)) {
+          malformed("#! line outside a telemetry block: " + line);
+        }
+        if (version != "v1") {
+          malformed("unsupported telemetry version: " + version);
+        }
+        if (out.has_telemetry) malformed("duplicate telemetry block");
+        in_block = true;
+        out.has_telemetry = true;
+        continue;
+      }
+      if (key == "end") {
+        std::string what;
+        if (!(row >> what) || what != "telemetry") {
+          malformed("bad telemetry terminator: " + line);
+        }
+        in_block = false;
+        continue;
+      }
+      parse_telemetry_line(key, row, out.telemetry);
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    header_line = line;
+    have_header = true;
+    break;
+  }
+  if (in_block) malformed("unterminated telemetry block");
+  if (!have_header) malformed("missing header");
+  out.decomposition = read_body(in, header_line);
+  return out;
+}
+
 void save_decomposition(const std::string& file_path,
                         const Decomposition& dec) {
   std::ofstream out(file_path);
@@ -75,10 +235,23 @@ void save_decomposition(const std::string& file_path,
   write_decomposition(out, dec);
 }
 
+void save_decomposition(const std::string& file_path, const Decomposition& dec,
+                        const RunTelemetry& telemetry) {
+  std::ofstream out(file_path);
+  if (!out) throw std::runtime_error("mpx::io: cannot open " + file_path);
+  write_decomposition(out, dec, telemetry);
+}
+
 Decomposition load_decomposition(const std::string& file_path) {
   std::ifstream in(file_path);
   if (!in) throw std::runtime_error("mpx::io: cannot open " + file_path);
   return read_decomposition(in);
+}
+
+LoadedDecomposition load_decomposition_full(const std::string& file_path) {
+  std::ifstream in(file_path);
+  if (!in) throw std::runtime_error("mpx::io: cannot open " + file_path);
+  return read_decomposition_full(in);
 }
 
 }  // namespace mpx::io

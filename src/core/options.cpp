@@ -1,0 +1,16 @@
+#include "core/options.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace mpx {
+
+void validate_partition_options(const PartitionOptions& opt) {
+  if (std::isnan(opt.beta) || !(opt.beta > 0.0 && opt.beta <= 1.0)) {
+    throw std::invalid_argument(
+        "mpx: beta must be in (0, 1], got " + std::to_string(opt.beta));
+  }
+}
+
+}  // namespace mpx

@@ -43,7 +43,7 @@ enum class ShiftDistribution {
 
 struct PartitionOptions {
   /// The beta of Definition 1.1: target cut fraction; piece diameters come
-  /// out O(log n / beta). Must be in (0, 1].
+  /// out O(log n / beta). Must be in (0, 1] (validate_partition_options).
   double beta = 0.1;
   /// Seed for the shift values (and the permutation tie-break, if chosen).
   std::uint64_t seed = 0;
@@ -56,5 +56,10 @@ struct PartitionOptions {
   /// decomposition: all engines produce identical output for a fixed seed.
   TraversalEngine engine = TraversalEngine::kAuto;
 };
+
+/// Throws std::invalid_argument when opt.beta is NaN or outside (0, 1].
+/// The one boundary check shared by the decomposer facade
+/// (core/decomposer.hpp) and every legacy algorithm entry point.
+void validate_partition_options(const PartitionOptions& opt);
 
 }  // namespace mpx

@@ -15,6 +15,7 @@ Decomposition partition_with_shifts(const CsrGraph& g, const Shifts& shifts,
 }
 
 Decomposition partition(const CsrGraph& g, const PartitionOptions& opt) {
+  validate_partition_options(opt);
   const Shifts shifts = generate_shifts(g.num_vertices(), opt);
   return partition_with_shifts(g, shifts, opt.engine);
 }

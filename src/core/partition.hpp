@@ -21,6 +21,13 @@ namespace mpx {
 
 /// Run Partition on g. Deterministic in (g, opt): same seed, same result,
 /// independent of thread count.
+///
+/// Compatibility entry point — prefer the decomposer facade
+/// (`mpx::decompose(g, {.algorithm = "mpx", ...})`, core/decomposer.hpp)
+/// in new code: it adds uniform telemetry, workspace reuse, and registry
+/// dispatch, with byte-identical owner/settle output (asserted by
+/// tests/test_decomposer.cpp). Throws std::invalid_argument when opt.beta
+/// is NaN or outside (0, 1].
 [[nodiscard]] Decomposition partition(const CsrGraph& g,
                                       const PartitionOptions& opt);
 

@@ -1,0 +1,223 @@
+#include "core/session.hpp"
+
+#include <bit>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "apps/distance_oracle.hpp"
+#include "core/decomposition_io.hpp"
+#include "graph/snapshot.hpp"
+#include "support/assert.hpp"
+
+namespace mpx {
+
+DecompositionSession::DecompositionSession(CsrGraph g)
+    : graph_(std::move(g)), weighted_(false) {}
+
+DecompositionSession::DecompositionSession(WeightedCsrGraph g)
+    : wgraph_(std::move(g)), weighted_(true) {}
+
+DecompositionSession DecompositionSession::open_snapshot(
+    const std::string& path) {
+  const io::SnapshotInfo info = io::read_snapshot_info(path);
+  if (info.weighted()) {
+    return DecompositionSession(io::map_weighted_snapshot(path));
+  }
+  return DecompositionSession(io::map_snapshot(path));
+}
+
+DecompositionSession::DecompositionSession(DecompositionSession&&) noexcept =
+    default;
+DecompositionSession& DecompositionSession::operator=(
+    DecompositionSession&&) noexcept = default;
+DecompositionSession::~DecompositionSession() = default;
+
+const CsrGraph& DecompositionSession::topology() const {
+  return weighted_ ? wgraph_.topology() : graph_;
+}
+
+const WeightedCsrGraph& DecompositionSession::weighted_graph() const {
+  MPX_EXPECTS(weighted_);
+  return wgraph_;
+}
+
+DecompositionSession::Key DecompositionSession::key_of(
+    const DecompositionRequest& req) {
+  return Key(req.algorithm, std::bit_cast<std::uint64_t>(req.beta), req.seed,
+             static_cast<int>(req.tie_break),
+             static_cast<int>(req.distribution),
+             static_cast<int>(req.engine));
+}
+
+DecompositionSession::CacheEntry& DecompositionSession::entry_for(
+    const DecompositionRequest& req, const ShiftBasis* basis) {
+  const Key key = key_of(req);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  CacheEntry entry;
+  entry.result = weighted_ ? decompose(wgraph_, req, &workspace_, basis)
+                           : decompose(graph_, req, &workspace_, basis);
+  return cache_.emplace(key, std::move(entry)).first->second;
+}
+
+const ShiftBasis& DecompositionSession::basis_for(
+    const DecompositionRequest& req) {
+  const auto key = std::make_pair(req.seed, static_cast<int>(req.distribution));
+  const auto it = bases_.find(key);
+  if (it != bases_.end()) return it->second;
+  return bases_.emplace(key, make_shift_basis(topology().num_vertices(),
+                                              req.partition_options()))
+      .first->second;
+}
+
+const DecompositionResult& DecompositionSession::run(
+    const DecompositionRequest& req) {
+  validate_request(req);
+  return entry_for(req).result;
+}
+
+std::vector<const DecompositionResult*> DecompositionSession::run_batch(
+    const DecompositionRequest& base, std::span<const double> betas) {
+  std::vector<const DecompositionResult*> results;
+  results.reserve(betas.size());
+  DecompositionRequest req = base;
+  // Validate every beta up front so a bad one cannot abandon the batch
+  // half-executed.
+  for (const double beta : betas) {
+    req.beta = beta;
+    validate_request(req);
+  }
+  const AlgorithmInfo* info = find_algorithm(base.algorithm);
+  const ShiftBasis* basis =
+      info != nullptr && info->uses_shifts && !betas.empty()
+          ? &basis_for(base)
+          : nullptr;
+  for (const double beta : betas) {
+    req.beta = beta;
+    results.push_back(&entry_for(req, basis).result);
+  }
+  return results;
+}
+
+const DecompositionResult* DecompositionSession::cached(
+    const DecompositionRequest& req) const {
+  const auto it = cache_.find(key_of(req));
+  return it != cache_.end() ? &it->second.result : nullptr;
+}
+
+void DecompositionSession::clear_cache() { cache_.clear(); }
+
+vertex_t DecompositionSession::owner_of(vertex_t v,
+                                        const DecompositionRequest& req) {
+  MPX_EXPECTS(v < topology().num_vertices());
+  return run(req).owner[v];
+}
+
+cluster_t DecompositionSession::cluster_of(vertex_t v,
+                                           const DecompositionRequest& req) {
+  MPX_EXPECTS(v < topology().num_vertices());
+  return run(req).cluster_of(v);
+}
+
+cluster_t DecompositionSession::num_clusters(const DecompositionRequest& req) {
+  return run(req).num_clusters();
+}
+
+std::span<const Edge> DecompositionSession::boundary_arcs(
+    const DecompositionRequest& req) {
+  validate_request(req);
+  CacheEntry& entry = entry_for(req);
+  if (!entry.boundary.has_value()) {
+    std::vector<Edge> boundary;
+    const CsrGraph& g = topology();
+    const std::vector<vertex_t>& owner = entry.result.owner;
+    for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+      for (const vertex_t v : g.neighbors(u)) {
+        if (u < v && owner[u] != owner[v]) boundary.push_back({u, v});
+      }
+    }
+    entry.boundary = std::move(boundary);
+  }
+  return *entry.boundary;
+}
+
+std::uint32_t DecompositionSession::estimate_distance(
+    vertex_t u, vertex_t v, const DecompositionRequest& req) {
+  MPX_EXPECTS(u < topology().num_vertices() &&
+              v < topology().num_vertices());
+  validate_request(req);
+  CacheEntry& entry = entry_for(req);
+  if (entry.result.weighted()) {
+    throw std::invalid_argument(
+        "mpx: estimate_distance serves unweighted algorithms; '" +
+        req.algorithm + "' produces real-valued radii");
+  }
+  if (entry.oracle == nullptr) {
+    entry.oracle = std::make_unique<DistanceOracle>(
+        topology(), entry.result.decomposition);
+  }
+  return entry.oracle->estimate(u, v);
+}
+
+void DecompositionSession::save_cached(const DecompositionRequest& req,
+                                       const std::string& path) {
+  validate_request(req);
+  CacheEntry& entry = entry_for(req);
+  if (entry.result.weighted()) {
+    throw std::invalid_argument(
+        "mpx: save_cached supports unweighted algorithms; '" + req.algorithm +
+        "' produces real-valued radii");
+  }
+  io::save_decomposition(path, entry.result.decomposition,
+                         entry.result.telemetry);
+}
+
+bool DecompositionSession::load_cached(const DecompositionRequest& req,
+                                       const std::string& path) {
+  validate_request(req);
+  const AlgorithmInfo* info = find_algorithm(req.algorithm);
+  if (info != nullptr && info->needs_weights) {
+    // Mirror save_cached: the text format carries no radii, so a weighted
+    // request can never be restored shape-consistently from it.
+    throw std::invalid_argument(
+        "mpx: load_cached supports unweighted algorithms; '" + req.algorithm +
+        "' produces real-valued radii");
+  }
+  // An already-resident entry wins: results are deterministic in the
+  // request, so the computed entry equals anything a valid file holds,
+  // and skipping the load keeps every outstanding run()/boundary_arcs()
+  // reference into that entry valid (the documented lifetime contract).
+  if (cache_.find(key_of(req)) != cache_.end()) return true;
+  {
+    std::ifstream probe(path);
+    if (!probe) return false;
+  }
+  io::LoadedDecomposition loaded = io::load_decomposition_full(path);
+  if (loaded.has_telemetry && loaded.telemetry.algorithm != req.algorithm) {
+    throw std::runtime_error(
+        "mpx: cached decomposition in " + path + " was produced by '" +
+        loaded.telemetry.algorithm + "', not the requested '" +
+        req.algorithm + "'");
+  }
+  if (loaded.decomposition.num_vertices() != topology().num_vertices()) {
+    throw std::runtime_error(
+        "mpx: cached decomposition in " + path + " has " +
+        std::to_string(loaded.decomposition.num_vertices()) +
+        " vertices; this session's graph has " +
+        std::to_string(topology().num_vertices()));
+  }
+  CacheEntry entry;
+  DecompositionResult& result = entry.result;
+  result.decomposition = std::move(loaded.decomposition);
+  detail::owner_settle_from_decomposition(result.decomposition, result);
+  if (loaded.has_telemetry) {
+    result.telemetry = std::move(loaded.telemetry);
+  } else {
+    result.telemetry.algorithm = req.algorithm;
+  }
+  cache_.emplace(key_of(req), std::move(entry));
+  return true;
+}
+
+}  // namespace mpx

@@ -1,0 +1,146 @@
+/// \file
+/// \brief DecompositionSession: one graph, many cached decompositions,
+/// query answering — the in-process core of the future serving layer.
+///
+/// A session owns a graph (constructible straight from a `.mpxs` snapshot
+/// via `open_snapshot`, so startup is O(header) + page faults), a
+/// `DecompositionWorkspace` shared by every run it executes, and a cache of
+/// `DecompositionResult`s keyed by the full `DecompositionRequest`. On top
+/// of the cache it answers the queries a decomposition service serves:
+/// which cluster a vertex is in, which edges cross cluster boundaries, and
+/// approximate point-to-point distances (a per-result `DistanceOracle`
+/// built lazily on first use).
+///
+/// Batch multi-beta runs (`run_batch`) generate the random draws once per
+/// seed (`ShiftBasis`) and derive every beta's shifts from them —
+/// bitwise-identical to running each request individually, at a fraction
+/// of the shift-generation cost.
+///
+/// Sessions are not thread-safe: the workspace and cache mutate on every
+/// run. One session per worker thread; the underlying snapshot mapping is
+/// shared safely by the graph's keepalive.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/decomposer.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace mpx {
+
+class DistanceOracle;
+
+class DecompositionSession {
+ public:
+  /// Serve decompositions of an unweighted graph.
+  explicit DecompositionSession(CsrGraph g);
+  /// Serve decompositions of a weighted graph (weighted algorithms become
+  /// available; unweighted ones run on the topology).
+  explicit DecompositionSession(WeightedCsrGraph g);
+  /// Open a `.mpxs` snapshot zero-copy (io::map_snapshot); the weighted
+  /// flag in the header selects the graph type. Throws std::runtime_error
+  /// on unreadable or corrupt snapshots.
+  [[nodiscard]] static DecompositionSession open_snapshot(
+      const std::string& path);
+
+  DecompositionSession(DecompositionSession&&) noexcept;
+  DecompositionSession& operator=(DecompositionSession&&) noexcept;
+  DecompositionSession(const DecompositionSession&) = delete;
+  DecompositionSession& operator=(const DecompositionSession&) = delete;
+  ~DecompositionSession();
+
+  /// The graph's unweighted topology (always available).
+  [[nodiscard]] const CsrGraph& topology() const;
+  /// True when the session holds edge weights.
+  [[nodiscard]] bool weighted() const { return weighted_; }
+  /// The weighted graph; requires weighted().
+  [[nodiscard]] const WeightedCsrGraph& weighted_graph() const;
+
+  /// Run (or fetch from cache) the decomposition for `req`. The returned
+  /// reference stays valid until clear_cache() or session destruction.
+  const DecompositionResult& run(const DecompositionRequest& req);
+
+  /// Run `base` at each beta of `betas`, generating the seed's random
+  /// draws once (ShiftBasis) for shift-based algorithms. Results are
+  /// bitwise-identical to individual run() calls; cached entries are
+  /// reused. The returned pointers follow run()'s lifetime rule.
+  std::vector<const DecompositionResult*> run_batch(
+      const DecompositionRequest& base, std::span<const double> betas);
+
+  /// The cached result for `req`, or nullptr when never run.
+  [[nodiscard]] const DecompositionResult* cached(
+      const DecompositionRequest& req) const;
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  /// Drop every cached result (and their lazily-built oracles).
+  void clear_cache();
+
+  // --- queries (each runs the request first when not cached) ---
+
+  /// Center vertex that claimed v.
+  vertex_t owner_of(vertex_t v, const DecompositionRequest& req);
+  /// Compact cluster id of v, in [0, num_clusters(req)).
+  cluster_t cluster_of(vertex_t v, const DecompositionRequest& req);
+  cluster_t num_clusters(const DecompositionRequest& req);
+  /// The undirected edges {u, v} (u < v) whose endpoints lie in different
+  /// clusters — the beta-fraction boundary of Definition 1.1. Computed
+  /// once per cached result, in (u, v) order.
+  std::span<const Edge> boundary_arcs(const DecompositionRequest& req);
+  /// Upper-bound estimate of dist(u, v) through the decomposition's
+  /// center graph (apps/distance_oracle.hpp); kInfDist across components.
+  /// Requires an unweighted algorithm; throws std::invalid_argument for
+  /// weighted ones.
+  std::uint32_t estimate_distance(vertex_t u, vertex_t v,
+                                  const DecompositionRequest& req);
+
+  // --- persistence (unweighted algorithms) ---
+
+  /// Save the cached result for `req` (running it first if needed) as a
+  /// decomposition file with its telemetry block, so a later session can
+  /// load_cached() it instead of recomputing.
+  void save_cached(const DecompositionRequest& req, const std::string& path);
+  /// Restore a previously saved result into the cache under `req`.
+  /// Returns false when the file does not exist; returns true without
+  /// reading when `req` is already cached (results are deterministic in
+  /// the request, and outstanding references into the resident entry stay
+  /// valid). Throws std::runtime_error on malformed content, a
+  /// vertex-count mismatch with this graph, or a telemetry block naming a
+  /// different algorithm than `req`; throws std::invalid_argument for
+  /// weighted algorithms (the text format carries no radii — mirror of
+  /// save_cached).
+  bool load_cached(const DecompositionRequest& req, const std::string& path);
+
+ private:
+  struct CacheEntry {
+    DecompositionResult result;
+    std::optional<std::vector<Edge>> boundary;
+    std::unique_ptr<DistanceOracle> oracle;
+  };
+  /// Exact request identity: algorithm, beta bit pattern, seed, and the
+  /// three enums. Distinct engines are distinct entries (results are
+  /// engine-invariant, but telemetry is not).
+  using Key = std::tuple<std::string, std::uint64_t, std::uint64_t, int, int,
+                         int>;
+  static Key key_of(const DecompositionRequest& req);
+
+  CacheEntry& entry_for(const DecompositionRequest& req,
+                        const ShiftBasis* basis = nullptr);
+  const ShiftBasis& basis_for(const DecompositionRequest& req);
+
+  CsrGraph graph_;            // unweighted sessions
+  WeightedCsrGraph wgraph_;   // weighted sessions
+  bool weighted_ = false;
+  DecompositionWorkspace workspace_;
+  std::map<Key, CacheEntry> cache_;
+  /// Shift bases shared by batch runs, keyed by (seed, distribution).
+  std::map<std::pair<std::uint64_t, int>, ShiftBasis> bases_;
+};
+
+}  // namespace mpx

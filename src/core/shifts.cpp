@@ -16,12 +16,15 @@ namespace {
 /// Ranks = ascending order of frac(delta_max - delta_u), ties by id.
 /// Sorting (frac, id) pairs gives each center a unique priority that
 /// reproduces the real-valued comparison of Algorithm 2.
-std::vector<std::uint32_t> fractional_ranks(const std::vector<double>& delta,
-                                            double delta_max) {
+void fractional_ranks(const std::vector<double>& delta, double delta_max,
+                      std::vector<std::uint32_t>& rank,
+                      ShiftWorkspace& scratch) {
   const std::size_t n = delta.size();
-  std::vector<std::uint32_t> order(n);
+  std::vector<std::uint32_t>& order = scratch.order;
+  std::vector<double>& frac = scratch.frac;
+  order.resize(n);
   std::iota(order.begin(), order.end(), 0u);
-  std::vector<double> frac(n);
+  frac.resize(n);
   parallel_for(std::size_t{0}, n, [&](std::size_t u) {
     const double start = delta_max - delta[u];
     frac[u] = start - std::floor(start);
@@ -30,49 +33,16 @@ std::vector<std::uint32_t> fractional_ranks(const std::vector<double>& delta,
                 [&](std::uint32_t a, std::uint32_t b) {
                   return frac[a] != frac[b] ? frac[a] < frac[b] : a < b;
                 });
-  std::vector<std::uint32_t> rank(n);
+  rank.resize(n);
   parallel_for(std::size_t{0}, n, [&](std::size_t i) {
     rank[order[i]] = static_cast<std::uint32_t>(i);
   });
-  return rank;
 }
 
-}  // namespace
-
-Shifts generate_shifts(vertex_t n, const PartitionOptions& opt) {
-  MPX_EXPECTS(opt.beta > 0.0 && opt.beta <= 1.0);
-  Shifts s;
-  s.delta.resize(n);
-  switch (opt.distribution) {
-    case ShiftDistribution::kExponential:
-      parallel_for(vertex_t{0}, n, [&](vertex_t u) {
-        s.delta[u] = exponential_shift(opt.seed, u, opt.beta);
-      });
-      break;
-    case ShiftDistribution::kPermutationQuantile: {
-      // Vertex at position p of a random permutation gets the
-      // ((p + 1/2)/n)-quantile of Exp(beta): the sorted shift profile is
-      // deterministic; only the permutation is random (Section 5).
-      const std::vector<std::uint32_t> perm = parallel_random_permutation(
-          n, hash_stream(opt.seed, 0x7175616e74696c65ULL));
-      parallel_for(std::size_t{0}, s.delta.size(), [&](std::size_t p) {
-        const double quantile =
-            (static_cast<double>(p) + 0.5) / static_cast<double>(n);
-        s.delta[perm[p]] = exponential_from_uniform(quantile, opt.beta);
-      });
-      break;
-    }
-    case ShiftDistribution::kUniform: {
-      // Locally-uniform shifts in the style of [9]; range ln(n)/beta keeps
-      // the same diameter scale as the exponential's w.h.p. maximum.
-      const double range =
-          std::log(static_cast<double>(n) + 1.0) / opt.beta;
-      parallel_for(vertex_t{0}, n, [&](vertex_t u) {
-        s.delta[u] = range * uniform_shift(opt.seed, u);
-      });
-      break;
-    }
-  }
+/// The delta -> (delta_max, start_round, rank) finishing pass shared by the
+/// direct and basis-derived generation paths.
+void finish_shifts(vertex_t n, const PartitionOptions& opt, Shifts& s,
+                   ShiftWorkspace& scratch) {
   s.delta_max = parallel_max(vertex_t{0}, n, 0.0,
                              [&](vertex_t u) { return s.delta[u]; });
 
@@ -85,7 +55,7 @@ Shifts generate_shifts(vertex_t n, const PartitionOptions& opt) {
 
   switch (opt.tie_break) {
     case TieBreak::kFractionalShift:
-      s.rank = fractional_ranks(s.delta, s.delta_max);
+      fractional_ranks(s.delta, s.delta_max, s.rank, scratch);
       break;
     case TieBreak::kRandomPermutation: {
       // rank[v] = position of v in a random permutation independent of the
@@ -103,7 +73,117 @@ Shifts generate_shifts(vertex_t n, const PartitionOptions& opt) {
       std::iota(s.rank.begin(), s.rank.end(), 0u);
       break;
   }
+}
+
+}  // namespace
+
+void generate_shifts(vertex_t n, const PartitionOptions& opt, Shifts& out,
+                     ShiftWorkspace* scratch) {
+  MPX_EXPECTS(opt.beta > 0.0 && opt.beta <= 1.0);
+  ShiftWorkspace local;
+  ShiftWorkspace& ws = scratch != nullptr ? *scratch : local;
+  out.delta.resize(n);
+  switch (opt.distribution) {
+    case ShiftDistribution::kExponential:
+      parallel_for(vertex_t{0}, n, [&](vertex_t u) {
+        out.delta[u] = exponential_shift(opt.seed, u, opt.beta);
+      });
+      break;
+    case ShiftDistribution::kPermutationQuantile: {
+      // Vertex at position p of a random permutation gets the
+      // ((p + 1/2)/n)-quantile of Exp(beta): the sorted shift profile is
+      // deterministic; only the permutation is random (Section 5).
+      const std::vector<std::uint32_t> perm = parallel_random_permutation(
+          n, hash_stream(opt.seed, 0x7175616e74696c65ULL));
+      parallel_for(std::size_t{0}, out.delta.size(), [&](std::size_t p) {
+        const double quantile =
+            (static_cast<double>(p) + 0.5) / static_cast<double>(n);
+        out.delta[perm[p]] = exponential_from_uniform(quantile, opt.beta);
+      });
+      break;
+    }
+    case ShiftDistribution::kUniform: {
+      // Locally-uniform shifts in the style of [9]; range ln(n)/beta keeps
+      // the same diameter scale as the exponential's w.h.p. maximum.
+      const double range =
+          std::log(static_cast<double>(n) + 1.0) / opt.beta;
+      parallel_for(vertex_t{0}, n, [&](vertex_t u) {
+        out.delta[u] = range * uniform_shift(opt.seed, u);
+      });
+      break;
+    }
+  }
+  finish_shifts(n, opt, out, ws);
+}
+
+Shifts generate_shifts(vertex_t n, const PartitionOptions& opt) {
+  Shifts s;
+  generate_shifts(n, opt, s);
   return s;
+}
+
+ShiftBasis make_shift_basis(vertex_t n, const PartitionOptions& opt) {
+  ShiftBasis basis;
+  basis.distribution = opt.distribution;
+  basis.seed = opt.seed;
+  basis.n = n;
+  basis.base.resize(n);
+  switch (opt.distribution) {
+    case ShiftDistribution::kExponential:
+      // The unit-rate exponential -ln(1 - u_v); the direct draw divides
+      // this exact value by beta (exponential_from_uniform), so the
+      // per-beta scaling in shifts_from_basis is bitwise-faithful.
+      parallel_for(vertex_t{0}, n, [&](vertex_t u) {
+        basis.base[u] =
+            -std::log1p(-uniform_double(hash_stream(opt.seed, u)));
+      });
+      break;
+    case ShiftDistribution::kPermutationQuantile: {
+      const std::vector<std::uint32_t> perm = parallel_random_permutation(
+          n, hash_stream(opt.seed, 0x7175616e74696c65ULL));
+      parallel_for(std::size_t{0}, basis.base.size(), [&](std::size_t p) {
+        const double quantile =
+            (static_cast<double>(p) + 0.5) / static_cast<double>(n);
+        basis.base[perm[p]] = -std::log1p(-quantile);
+      });
+      break;
+    }
+    case ShiftDistribution::kUniform:
+      parallel_for(vertex_t{0}, n, [&](vertex_t u) {
+        basis.base[u] = uniform_shift(opt.seed, u);
+      });
+      break;
+  }
+  return basis;
+}
+
+void shifts_from_basis(const ShiftBasis& basis, const PartitionOptions& opt,
+                       Shifts& out, ShiftWorkspace* scratch) {
+  MPX_EXPECTS(opt.beta > 0.0 && opt.beta <= 1.0);
+  MPX_EXPECTS(basis.distribution == opt.distribution);
+  MPX_EXPECTS(basis.seed == opt.seed);
+  const vertex_t n = basis.n;
+  MPX_EXPECTS(basis.base.size() == n);
+  ShiftWorkspace local;
+  ShiftWorkspace& ws = scratch != nullptr ? *scratch : local;
+  out.delta.resize(n);
+  switch (opt.distribution) {
+    case ShiftDistribution::kExponential:
+    case ShiftDistribution::kPermutationQuantile:
+      parallel_for(vertex_t{0}, n, [&](vertex_t u) {
+        out.delta[u] = basis.base[u] / opt.beta;
+      });
+      break;
+    case ShiftDistribution::kUniform: {
+      const double range =
+          std::log(static_cast<double>(n) + 1.0) / opt.beta;
+      parallel_for(vertex_t{0}, n, [&](vertex_t u) {
+        out.delta[u] = range * basis.base[u];
+      });
+      break;
+    }
+  }
+  finish_shifts(n, opt, out, ws);
 }
 
 }  // namespace mpx

@@ -34,4 +34,44 @@ struct Shifts {
 /// (start_round, rank) schedule per `opt.tie_break`.
 [[nodiscard]] Shifts generate_shifts(vertex_t n, const PartitionOptions& opt);
 
+/// Reusable scratch for the fractional-shift rank sort (the order/key
+/// arrays), so repeated shift generation through a workspace stops
+/// allocating ~12n bytes per call.
+struct ShiftWorkspace {
+  std::vector<std::uint32_t> order;
+  std::vector<double> frac;
+};
+
+/// In-place variant of generate_shifts: writes into `out`, reusing its
+/// vectors (and `scratch`, when non-null). Bitwise-identical to the
+/// returning form.
+void generate_shifts(vertex_t n, const PartitionOptions& opt, Shifts& out,
+                     ShiftWorkspace* scratch = nullptr);
+
+/// The seed-dependent, beta-independent part of the shift draws: for the
+/// exponential and permutation-quantile distributions, -ln(1 - u_v) (the
+/// unit-rate exponential each vertex scales by 1/beta); for the uniform
+/// distribution, the uniform draw u_v itself. Computing the basis once per
+/// (seed, distribution) and deriving each beta's shifts from it is how
+/// batch multi-beta runs (DecompositionSession) generate shifts once per
+/// seed — `shifts_from_basis` is guaranteed bitwise-identical to
+/// `generate_shifts` at every beta, because the per-beta scaling performs
+/// the exact floating-point operations of the direct draw.
+struct ShiftBasis {
+  ShiftDistribution distribution = ShiftDistribution::kExponential;
+  std::uint64_t seed = 0;
+  vertex_t n = 0;
+  /// Per-vertex beta-independent draw (see above).
+  std::vector<double> base;
+};
+
+/// Compute the shift basis for n vertices (beta is not read).
+[[nodiscard]] ShiftBasis make_shift_basis(vertex_t n,
+                                          const PartitionOptions& opt);
+
+/// Derive the shifts of `opt.beta` from a precomputed basis. Preconditions:
+/// the basis was built for the same n, seed, and distribution.
+void shifts_from_basis(const ShiftBasis& basis, const PartitionOptions& opt,
+                       Shifts& out, ShiftWorkspace* scratch = nullptr);
+
 }  // namespace mpx

@@ -1,0 +1,42 @@
+// RunTelemetry: the uniform per-run telemetry of the decomposer contract
+// (core/decomposer.hpp). Split into its own light header so lower layers
+// that only *name* telemetry — decomposition_io persists it as a comment
+// block — need not include the whole facade.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/types.hpp"
+
+namespace mpx {
+
+/// Uniform per-run telemetry attached to every DecompositionResult. All
+/// algorithms fill the counters that apply to them and zero the rest; the
+/// timings always cover the whole run.
+struct RunTelemetry {
+  /// Registry id of the algorithm that produced the result.
+  std::string algorithm;
+  /// Traversal engine the search ran on ("auto" / "push" / "pull"), or "-"
+  /// for algorithms that do not use the shared engine.
+  std::string engine = "-";
+  /// OpenMP thread budget the run executed under.
+  int threads = 1;
+  /// Parallel rounds executed (BFS levels, Dial rounds); the depth proxy.
+  std::uint32_t rounds = 0;
+  /// Rounds the traversal engine ran bottom-up.
+  std::uint32_t pull_rounds = 0;
+  /// Outer phases (bgkmpt's phase loop; 1 for single-shot algorithms).
+  std::uint32_t phases = 1;
+  /// Arcs scanned by the search (the O(m) work proxy; 0 for non-BFS runs).
+  edge_t arcs_scanned = 0;
+  /// Per-phase wall timings, in seconds.
+  double shift_seconds = 0.0;     ///< drawing/deriving the random shifts
+  double search_seconds = 0.0;    ///< the search itself
+  double assemble_seconds = 0.0;  ///< owner/settle -> result assembly
+  double total_seconds = 0.0;     ///< whole decompose() call
+
+  friend bool operator==(const RunTelemetry&, const RunTelemetry&) = default;
+};
+
+}  // namespace mpx

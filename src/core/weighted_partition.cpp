@@ -29,6 +29,7 @@ struct QueueEntry {
 
 WeightedDecomposition weighted_partition(const WeightedCsrGraph& g,
                                          const PartitionOptions& opt) {
+  validate_partition_options(opt);
   return weighted_partition_with_shifts(g,
                                         generate_shifts(g.num_vertices(), opt));
 }

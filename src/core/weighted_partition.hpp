@@ -49,6 +49,10 @@ struct WeightedDecompositionStats {
 };
 
 /// Run the weighted partition. Deterministic in (g, opt).
+///
+/// Compatibility entry point — prefer `mpx::decompose(g, {.algorithm =
+/// "mpx-weighted", ...})` (core/decomposer.hpp) in new code. Throws
+/// std::invalid_argument when opt.beta is NaN or outside (0, 1].
 [[nodiscard]] WeightedDecomposition weighted_partition(
     const WeightedCsrGraph& g, const PartitionOptions& opt);
 

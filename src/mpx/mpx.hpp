@@ -7,14 +7,27 @@
 /// unweighted graphs in O(m) work, plus the substrates it builds on and the
 /// applications it feeds. See docs/ARCHITECTURE.md for the layer map.
 ///
-/// Typical use:
+/// Typical use — every algorithm answers one request shape through the
+/// decomposer facade (core/decomposer.hpp):
 /// \code
 ///   #include "mpx/mpx.hpp"
 ///   mpx::CsrGraph g = mpx::generators::grid2d(1000, 1000);
-///   mpx::PartitionOptions opt{.beta = 0.01, .seed = 42};
-///   mpx::Decomposition dec = mpx::partition(g, opt);
-///   mpx::DecompositionStats stats = mpx::analyze(dec, g);
+///   mpx::DecompositionRequest req{.algorithm = "mpx", .beta = 0.01,
+///                                 .seed = 42};
+///   mpx::DecompositionResult result = mpx::decompose(g, req);
+///   mpx::DecompositionStats stats = mpx::analyze(result.decomposition, g);
 /// \endcode
+///
+/// Serving many decompositions of one graph: mpx::DecompositionSession
+/// (core/session.hpp) caches results by request, batches multi-beta runs
+/// (shift draws generated once per seed), and answers cluster/boundary/
+/// distance queries; construct it straight from a `.mpxs` snapshot with
+/// DecompositionSession::open_snapshot (zero-copy mmap).
+///
+/// The pre-facade entry points (mpx::partition, mpx::weighted_partition,
+/// mpx::bucketed_weighted_partition, mpx::ball_growing_decomposition,
+/// mpx::bgkmpt_decomposition) remain as thin compatibility wrappers with
+/// byte-identical output; prefer mpx::decompose in new code.
 #pragma once
 
 /// \namespace mpx
@@ -62,12 +75,14 @@
 
 // The MPX partition (S5)
 #include "core/bucketed_partition.hpp"
+#include "core/decomposer.hpp"
 #include "core/decomposition.hpp"
 #include "core/decomposition_io.hpp"
 #include "core/exact_partition.hpp"
 #include "core/metrics.hpp"
 #include "core/options.hpp"
 #include "core/partition.hpp"
+#include "core/session.hpp"
 #include "core/shifts.hpp"
 #include "core/verify.hpp"
 #include "core/weighted_partition.hpp"

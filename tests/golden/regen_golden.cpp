@@ -11,6 +11,7 @@
 #include "graph/io.hpp"
 #include "graph/snapshot.hpp"
 #include "tests/support/fixtures.hpp"
+#include "viz/grid_render.hpp"
 
 int main() {
   const std::string dir = MPX_TEST_GOLDEN_DIR;
@@ -33,5 +34,18 @@ int main() {
   mpx::io::save_snapshot(dir + "/grid_3x3_weighted.mpxs",
                          mpx::testing::grid3x3_weighted_reference());
   std::cout << "wrote " << dir << "/grid_3x3_weighted.mpxs\n";
+
+  // Telemetry-block golden: the reference decomposition with the
+  // hand-authored exactly-representable telemetry fixture.
+  mpx::io::save_decomposition(dir + "/grid_3x3_telemetry.dec",
+                              mpx::testing::grid3x3_reference_decomposition(),
+                              mpx::testing::reference_telemetry());
+  std::cout << "wrote " << dir << "/grid_3x3_telemetry.dec\n";
+
+  // Viz pipeline golden: reference decomposition -> owner colors -> PPM.
+  mpx::viz::render_grid_decomposition(
+      mpx::testing::grid3x3_reference_decomposition(), 3, 3)
+      .save_ppm(dir + "/grid_3x3_reference.ppm");
+  std::cout << "wrote " << dir << "/grid_3x3_reference.ppm\n";
   return 0;
 }

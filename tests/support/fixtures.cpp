@@ -72,4 +72,20 @@ Decomposition grid3x3_reference_decomposition() {
   return Decomposition(owner, dist);
 }
 
+RunTelemetry reference_telemetry() {
+  RunTelemetry t;
+  t.algorithm = "mpx";
+  t.engine = "auto";
+  t.threads = 8;
+  t.rounds = 6;
+  t.pull_rounds = 2;
+  t.phases = 1;
+  t.arcs_scanned = 48;
+  t.shift_seconds = 0.25;
+  t.search_seconds = 0.5;
+  t.assemble_seconds = 0.125;
+  t.total_seconds = 0.875;
+  return t;
+}
+
 }  // namespace mpx::testing

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/decomposition.hpp"
+#include "core/telemetry.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace mpx::testing {
@@ -42,5 +43,10 @@ struct NamedGraph {
 /// golden file built from it pins the serialization format alone — no
 /// dependence on partition()'s floating-point shift draws.
 [[nodiscard]] Decomposition grid3x3_reference_decomposition();
+
+/// Hand-authored RunTelemetry with exactly-representable timings
+/// (multiples of 1/8), so the telemetry-block golden file is byte-stable
+/// across platforms.
+[[nodiscard]] RunTelemetry reference_telemetry();
 
 }  // namespace mpx::testing

@@ -1,0 +1,185 @@
+// Tests for apps/contraction (cluster quotient graphs): structural
+// invariants of the quotient, representative-edge provenance, round trips
+// with real decomposition output, and the multi-level provenance chain the
+// AKPW recursion depends on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "apps/contraction.hpp"
+#include "core/decomposer.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "tests/support/fixtures.hpp"
+
+namespace mpx {
+namespace {
+
+using mpx::testing::NamedGraph;
+
+/// Canonical (min, max) form of an edge for set membership.
+std::pair<vertex_t, vertex_t> canon(const Edge& e) {
+  return {std::min(e.u, e.v), std::max(e.u, e.v)};
+}
+
+TEST(Contraction, QuotientOfReferenceDecompositionIsASingleEdge) {
+  const CsrGraph g = generators::grid2d(3, 3);
+  const Decomposition dec = mpx::testing::grid3x3_reference_decomposition();
+  const ContractionResult r =
+      contract_clusters(g, dec.assignment(), dec.num_clusters());
+
+  // Two pieces, adjacent: the quotient is K2.
+  EXPECT_EQ(r.graph.num_vertices(), 2u);
+  EXPECT_EQ(r.graph.num_edges(), 1u);
+  ASSERT_EQ(r.quotient_edges.size(), 1u);
+  EXPECT_EQ(r.quotient_edges[0], (Edge{0, 1}));
+  // The representative is the smallest boundary edge of the input graph:
+  // {0, 3} (vertex 0 in piece A, vertex 3 in piece B).
+  ASSERT_EQ(r.representative.size(), 1u);
+  EXPECT_EQ(canon(r.representative[0]), (std::pair<vertex_t, vertex_t>{0, 3}));
+}
+
+// The quotient-graph invariants, on real partitions across the corpus:
+//  * one quotient vertex per cluster,
+//  * an edge between two clusters iff some input edge crosses them,
+//  * no self-loops (internal edges vanish),
+//  * every representative is a real input edge crossing exactly the
+//    cluster pair its quotient edge names.
+TEST(Contraction, QuotientInvariantsAcrossCorpus) {
+  for (const NamedGraph& ng : mpx::testing::small_graphs()) {
+    SCOPED_TRACE(ng.name);
+    DecompositionRequest req;
+    req.beta = 0.3;
+    req.seed = 23;
+    const Decomposition dec = decompose(ng.graph, req).decomposition;
+    const ContractionResult r =
+        contract_clusters(ng.graph, dec.assignment(), dec.num_clusters());
+
+    EXPECT_EQ(r.graph.num_vertices(), dec.num_clusters());
+    EXPECT_TRUE(r.graph.is_symmetric());
+    ASSERT_EQ(r.quotient_edges.size(), r.representative.size());
+    ASSERT_EQ(r.quotient_edges.size(), r.graph.num_edges());
+
+    // Expected adjacent cluster pairs, from the input graph directly.
+    std::set<std::pair<cluster_t, cluster_t>> expected;
+    for (vertex_t u = 0; u < ng.graph.num_vertices(); ++u) {
+      for (const vertex_t v : ng.graph.neighbors(u)) {
+        const cluster_t cu = dec.cluster_of(u);
+        const cluster_t cv = dec.cluster_of(v);
+        if (cu != cv) expected.insert({std::min(cu, cv), std::max(cu, cv)});
+      }
+    }
+    std::set<std::pair<cluster_t, cluster_t>> got;
+    for (std::size_t i = 0; i < r.quotient_edges.size(); ++i) {
+      const Edge& qe = r.quotient_edges[i];
+      EXPECT_NE(qe.u, qe.v) << "self-loop in quotient";
+      got.insert(canon(qe));
+      // Provenance: the representative is a real input edge crossing
+      // exactly this cluster pair.
+      const Edge& rep = r.representative[i];
+      EXPECT_TRUE(ng.graph.has_edge(rep.u, rep.v))
+          << rep.u << "-" << rep.v << " is not an edge of the input";
+      const std::pair<cluster_t, cluster_t> rep_pair = {
+          std::min(dec.cluster_of(rep.u), dec.cluster_of(rep.v)),
+          std::max(dec.cluster_of(rep.u), dec.cluster_of(rep.v))};
+      EXPECT_EQ(rep_pair, canon(qe));
+    }
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(Contraction, RoundTripWithDecompositionOutput) {
+  // Contract, then reconstruct the cut structure from the quotient: every
+  // input edge is either internal to a cluster or maps to a quotient edge,
+  // and the quotient carries no other edges — together the partition's cut
+  // edges and the quotient are the same object at two granularities.
+  for (const NamedGraph& ng : mpx::testing::small_graphs()) {
+    SCOPED_TRACE(ng.name);
+    DecompositionRequest req;
+    req.beta = 0.4;
+    req.seed = 5;
+    const Decomposition dec = decompose(ng.graph, req).decomposition;
+    const ContractionResult r =
+        contract_clusters(ng.graph, dec.assignment(), dec.num_clusters());
+
+    edge_t cut_edges = 0;
+    for (const Edge& e : edge_list(ng.graph)) {
+      const cluster_t cu = dec.cluster_of(e.u);
+      const cluster_t cv = dec.cluster_of(e.v);
+      if (cu == cv) continue;
+      ++cut_edges;
+      EXPECT_TRUE(
+          r.graph.has_edge(std::min(cu, cv), std::max(cu, cv)))
+          << "cut edge " << e.u << "-" << e.v << " missing from quotient";
+    }
+    // Parallel cut edges collapse, so the quotient is no bigger than the
+    // cut — and empty exactly when the cut is.
+    EXPECT_LE(r.graph.num_edges(), cut_edges);
+    EXPECT_EQ(r.graph.num_edges() == 0, cut_edges == 0);
+  }
+}
+
+TEST(Contraction, SingletonClustersReproduceTheGraph) {
+  // Contracting the discrete partition (every vertex its own cluster) is
+  // the identity on simple graphs.
+  const CsrGraph g = generators::grid2d(4, 5);
+  std::vector<cluster_t> assignment(g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) assignment[v] = v;
+  const ContractionResult r = contract_clusters(
+      g, assignment, static_cast<cluster_t>(g.num_vertices()));
+  EXPECT_EQ(r.graph.num_vertices(), g.num_vertices());
+  EXPECT_EQ(r.graph.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < r.quotient_edges.size(); ++i) {
+    EXPECT_EQ(canon(r.quotient_edges[i]), canon(r.representative[i]));
+  }
+}
+
+TEST(Contraction, OneClusterContractsToAPoint) {
+  const CsrGraph g = generators::complete(6);
+  const std::vector<cluster_t> assignment(g.num_vertices(), 0);
+  const ContractionResult r = contract_clusters(g, assignment, 1);
+  EXPECT_EQ(r.graph.num_vertices(), 1u);
+  EXPECT_EQ(r.graph.num_edges(), 0u);
+  EXPECT_TRUE(r.quotient_edges.empty());
+}
+
+TEST(Contraction, RepresentativesChainThroughTwoLevels) {
+  // Level 0: contract a 6x6 grid partition. Level 1: contract the quotient
+  // again, passing level 0's representatives through rep_of_edge. Every
+  // level-1 representative must still be an edge of the *original* graph
+  // crossing the composed cluster pair — the provenance chain the AKPW
+  // low-stretch recursion maps tree edges back with.
+  const CsrGraph g = generators::grid2d(6, 6);
+  DecompositionRequest req;
+  req.beta = 0.6;
+  req.seed = 11;
+  const Decomposition dec0 = decompose(g, req).decomposition;
+  const ContractionResult level0 =
+      contract_clusters(g, dec0.assignment(), dec0.num_clusters());
+  if (level0.graph.num_edges() == 0) GTEST_SKIP() << "quotient already trivial";
+
+  req.seed = 12;
+  const Decomposition dec1 = decompose(level0.graph, req).decomposition;
+  const ContractionResult level1 = contract_clusters(
+      level0.graph, dec1.assignment(), dec1.num_clusters(),
+      std::span<const Edge>(level0.representative));
+
+  for (std::size_t i = 0; i < level1.quotient_edges.size(); ++i) {
+    const Edge& rep = level1.representative[i];
+    EXPECT_TRUE(g.has_edge(rep.u, rep.v))
+        << "level-1 representative is not an original edge";
+    // Composed assignment: original vertex -> level-0 cluster -> level-1
+    // cluster; the representative's endpoints must land on the quotient
+    // edge's two endpoints.
+    const cluster_t cu = dec1.cluster_of(dec0.cluster_of(rep.u));
+    const cluster_t cv = dec1.cluster_of(dec0.cluster_of(rep.v));
+    EXPECT_EQ((std::pair<cluster_t, cluster_t>{std::min(cu, cv),
+                                               std::max(cu, cv)}),
+              canon(level1.quotient_edges[i]));
+  }
+}
+
+}  // namespace
+}  // namespace mpx

@@ -53,12 +53,15 @@ TEST(ContractDeathTest, WeightedBuilderRejectsNonPositiveWeight) {
 }
 
 TEST(ContractDeathTest, PartitionRejectsBadBeta) {
+  // Invalid beta is a recoverable caller error at the facade boundary
+  // (std::invalid_argument), not a contract abort — a serving layer must
+  // survive bad requests. See test_decomposer.cpp for the full matrix.
   const CsrGraph g = generators::path(4);
   PartitionOptions opt;
   opt.beta = 0.0;
-  EXPECT_DEATH((void)partition(g, opt), "precondition");
+  EXPECT_THROW((void)partition(g, opt), std::invalid_argument);
   opt.beta = 1.5;
-  EXPECT_DEATH((void)partition(g, opt), "precondition");
+  EXPECT_THROW((void)partition(g, opt), std::invalid_argument);
 }
 
 TEST(ContractDeathTest, NeighborsRejectsOutOfRangeVertex) {

@@ -104,6 +104,120 @@ TEST(DecompositionIo, RejectsMalformedInputs) {
   }
 }
 
+std::string serialize_with_telemetry(const Decomposition& dec,
+                                     const RunTelemetry& telemetry) {
+  std::ostringstream out;
+  io::write_decomposition(out, dec, telemetry);
+  return out.str();
+}
+
+TEST(DecompositionIo, TelemetryBlockRoundTrips) {
+  const CsrGraph g = generators::grid2d(8, 9);
+  PartitionOptions opt;
+  opt.beta = 0.3;
+  opt.seed = 6;
+  const Decomposition dec = partition(g, opt);
+  const RunTelemetry telemetry = mpx::testing::reference_telemetry();
+
+  std::stringstream buffer;
+  io::write_decomposition(buffer, dec, telemetry);
+  const io::LoadedDecomposition back = io::read_decomposition_full(buffer);
+  ASSERT_TRUE(back.has_telemetry);
+  EXPECT_EQ(back.telemetry, telemetry);
+  EXPECT_EQ(serialize_decomposition(back.decomposition),
+            serialize_decomposition(dec));
+}
+
+TEST(DecompositionIo, TelemetryTimingsRoundTripExactly) {
+  // Arbitrary (non-representable) doubles survive bitwise: the writer
+  // prints the shortest decimal form that parses back exactly.
+  RunTelemetry telemetry = mpx::testing::reference_telemetry();
+  telemetry.shift_seconds = 0.1234567890123456789;
+  telemetry.search_seconds = 3.0e-9;
+  telemetry.total_seconds = 1.0 / 3.0;
+  std::stringstream buffer;
+  io::write_decomposition(
+      buffer, mpx::testing::grid3x3_reference_decomposition(), telemetry);
+  const io::LoadedDecomposition back = io::read_decomposition_full(buffer);
+  ASSERT_TRUE(back.has_telemetry);
+  EXPECT_EQ(back.telemetry.shift_seconds, telemetry.shift_seconds);
+  EXPECT_EQ(back.telemetry.search_seconds, telemetry.search_seconds);
+  EXPECT_EQ(back.telemetry.total_seconds, telemetry.total_seconds);
+}
+
+TEST(DecompositionIo, LegacyReaderSkipsTelemetryBlock) {
+  // Readers that predate the block (read_decomposition) treat "#!" lines
+  // as comments, so files with telemetry stay loadable everywhere.
+  const Decomposition dec = mpx::testing::grid3x3_reference_decomposition();
+  std::stringstream buffer;
+  io::write_decomposition(buffer, dec, mpx::testing::reference_telemetry());
+  const Decomposition back = io::read_decomposition(buffer);
+  EXPECT_EQ(serialize_decomposition(back), serialize_decomposition(dec));
+}
+
+TEST(DecompositionIo, FullReaderAcceptsFilesWithoutTelemetry) {
+  const Decomposition dec = mpx::testing::grid3x3_reference_decomposition();
+  std::stringstream buffer;
+  io::write_decomposition(buffer, dec);
+  const io::LoadedDecomposition back = io::read_decomposition_full(buffer);
+  EXPECT_FALSE(back.has_telemetry);
+  EXPECT_EQ(serialize_decomposition(back.decomposition),
+            serialize_decomposition(dec));
+}
+
+TEST(DecompositionIo, TelemetryGoldenMatchesWriter) {
+  // Pins the telemetry block format; timings in the fixture are
+  // exactly-representable so the bytes are platform-stable. Regenerate
+  // deliberately with: regen_golden.
+  EXPECT_EQ(
+      serialize_with_telemetry(mpx::testing::grid3x3_reference_decomposition(),
+                               mpx::testing::reference_telemetry()),
+      read_file_or_fail(golden_path("grid_3x3_telemetry.dec")));
+}
+
+TEST(DecompositionIo, TelemetryGoldenLoadsAndVerifies) {
+  const io::LoadedDecomposition back =
+      io::load_decomposition_full(golden_path("grid_3x3_telemetry.dec"));
+  ASSERT_TRUE(back.has_telemetry);
+  EXPECT_EQ(back.telemetry, mpx::testing::reference_telemetry());
+  EXPECT_TRUE(check_decomposition_invariants(back.decomposition,
+                                             generators::grid2d(3, 3)));
+}
+
+TEST(DecompositionIo, RejectsCorruptTelemetryBlocks) {
+  const std::string body = "2 1\n0\n0 0\n0 1\n";
+  const auto reject = [&](const std::string& preamble) {
+    SCOPED_TRACE(preamble);
+    std::stringstream in(preamble + body);
+    EXPECT_THROW((void)io::read_decomposition_full(in), std::runtime_error);
+  };
+  // Unsupported version.
+  reject("#! telemetry v2\n#! end telemetry\n");
+  // "#!" line outside any block.
+  reject("#! rounds 3\n");
+  // Unknown key inside a block.
+  reject("#! telemetry v1\n#! bogus 1\n#! end telemetry\n");
+  // Non-numeric value.
+  reject("#! telemetry v1\n#! rounds many\n#! end telemetry\n");
+  // Out-of-range u32 (would truncate to 0 via a naive cast).
+  reject("#! telemetry v1\n#! rounds 4294967296\n#! end telemetry\n");
+  // Negative value (istream >> unsigned would silently wrap it).
+  reject("#! telemetry v1\n#! rounds -1\n#! end telemetry\n");
+  // Trailing content after a value.
+  reject("#! telemetry v1\n#! rounds 3 4\n#! end telemetry\n");
+  // Bad terminator.
+  reject("#! telemetry v1\n#! end\n#! end telemetry\n");
+  // Duplicate block.
+  reject(
+      "#! telemetry v1\n#! end telemetry\n"
+      "#! telemetry v1\n#! end telemetry\n");
+  // Unterminated block (header line swallowed as a stray key).
+  {
+    std::stringstream in("#! telemetry v1\n");
+    EXPECT_THROW((void)io::read_decomposition_full(in), std::runtime_error);
+  }
+}
+
 TEST(DecompositionIo, UnopenablePathThrows) {
   const CsrGraph g = generators::path(4);
   PartitionOptions opt;

@@ -1,0 +1,273 @@
+// Tests for DecompositionSession (core/session.hpp): snapshot-backed
+// construction, request-keyed caching, batch multi-beta runs sharing one
+// shift basis, query answering (cluster-of / boundary / distance oracle),
+// and persistence of cached results with their telemetry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "apps/distance_oracle.hpp"
+#include "bfs/sequential_bfs.hpp"
+#include "core/decomposer.hpp"
+#include "core/session.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/snapshot.hpp"
+#include "tests/support/fixtures.hpp"
+#include "tests/support/temp_dir.hpp"
+
+namespace mpx {
+namespace {
+
+DecompositionRequest request(double beta, std::uint64_t seed = 42,
+                             const char* algorithm = "mpx") {
+  DecompositionRequest req;
+  req.algorithm = algorithm;
+  req.beta = beta;
+  req.seed = seed;
+  return req;
+}
+
+TEST(Session, RunMatchesFreeFacadeAndCaches) {
+  const CsrGraph g = generators::grid2d(30, 30);
+  DecompositionSession session((CsrGraph(g)));
+  const DecompositionRequest req = request(0.2);
+
+  EXPECT_EQ(session.cached(req), nullptr);
+  const DecompositionResult& first = session.run(req);
+  const DecompositionResult direct = decompose(g, req);
+  EXPECT_EQ(first.owner, direct.owner);
+  EXPECT_EQ(first.settle, direct.settle);
+
+  // Second run returns the same cached object, not a recomputation.
+  const DecompositionResult& second = session.run(req);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(session.cache_size(), 1u);
+  EXPECT_EQ(session.cached(req), &first);
+
+  // A different request is a different entry.
+  (void)session.run(request(0.5));
+  EXPECT_EQ(session.cache_size(), 2u);
+  session.clear_cache();
+  EXPECT_EQ(session.cache_size(), 0u);
+  EXPECT_EQ(session.cached(req), nullptr);
+}
+
+TEST(Session, OpenSnapshotServesTheGraphZeroCopy) {
+  mpx::testing::TempDir dir("mpx_session");
+  const CsrGraph g = generators::grid2d(12, 9);
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, g);
+
+  DecompositionSession session = DecompositionSession::open_snapshot(path);
+  EXPECT_FALSE(session.weighted());
+  EXPECT_EQ(session.topology().num_vertices(), g.num_vertices());
+  EXPECT_FALSE(session.topology().owns_storage());  // mmap view
+
+  const DecompositionRequest req = request(0.3);
+  const DecompositionResult& result = session.run(req);
+  EXPECT_EQ(result.owner, decompose(g, req).owner);
+}
+
+TEST(Session, OpenWeightedSnapshotSelectsWeightedGraph) {
+  mpx::testing::TempDir dir("mpx_session");
+  const WeightedCsrGraph wg = mpx::testing::grid3x3_weighted_reference();
+  const std::string path = dir.file("grid_w.mpxs");
+  io::save_snapshot(path, wg);
+
+  DecompositionSession session = DecompositionSession::open_snapshot(path);
+  EXPECT_TRUE(session.weighted());
+  const DecompositionRequest req = request(0.4, 7, "mpx-weighted");
+  const DecompositionResult& result = session.run(req);
+  EXPECT_TRUE(result.weighted());
+  EXPECT_EQ(result.radii, decompose(wg, req).radii);
+}
+
+TEST(Session, BatchMatchesIndividualRunsBitwise) {
+  const CsrGraph g = generators::grid2d(40, 40);
+  const double betas[] = {0.5, 0.2, 0.1, 0.05};
+
+  DecompositionSession batch_session((CsrGraph(g)));
+  const auto batch = batch_session.run_batch(request(0.0), betas);
+  ASSERT_EQ(batch.size(), 4u);
+
+  for (std::size_t i = 0; i < std::size(betas); ++i) {
+    SCOPED_TRACE("beta=" + std::to_string(betas[i]));
+    const DecompositionResult individual = decompose(g, request(betas[i]));
+    EXPECT_EQ(batch[i]->owner, individual.owner);
+    EXPECT_EQ(batch[i]->settle, individual.settle);
+  }
+  EXPECT_EQ(batch_session.cache_size(), 4u);
+
+  // A second batch over an overlapping beta set reuses the cache.
+  const double more[] = {0.2, 0.07};
+  const auto again = batch_session.run_batch(request(0.0), more);
+  EXPECT_EQ(again[0], batch[1]);
+  EXPECT_EQ(batch_session.cache_size(), 5u);
+}
+
+TEST(Session, BatchValidatesEveryBetaUpFront) {
+  DecompositionSession session(generators::grid2d(5, 5));
+  const double betas[] = {0.5, 0.0};
+  EXPECT_THROW((void)session.run_batch(request(0.1), betas),
+               std::invalid_argument);
+  EXPECT_EQ(session.cache_size(), 0u);  // nothing half-executed
+}
+
+TEST(Session, ClusterQueriesAgreeWithTheResult) {
+  const CsrGraph g = generators::grid2d(20, 20);
+  DecompositionSession session((CsrGraph(g)));
+  const DecompositionRequest req = request(0.3);
+  const DecompositionResult& result = session.run(req);
+
+  for (vertex_t v = 0; v < g.num_vertices(); v += 17) {
+    EXPECT_EQ(session.cluster_of(v, req), result.cluster_of(v));
+    EXPECT_EQ(session.owner_of(v, req), result.owner[v]);
+  }
+  EXPECT_EQ(session.num_clusters(req), result.num_clusters());
+}
+
+TEST(Session, BoundaryArcsAreExactlyTheCutEdges) {
+  const CsrGraph g = generators::grid2d(15, 15);
+  DecompositionSession session((CsrGraph(g)));
+  const DecompositionRequest req = request(0.4);
+  const DecompositionResult& result = session.run(req);
+
+  const std::span<const Edge> boundary = session.boundary_arcs(req);
+  std::set<std::pair<vertex_t, vertex_t>> expected;
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    for (const vertex_t v : g.neighbors(u)) {
+      if (u < v && result.owner[u] != result.owner[v]) {
+        expected.insert({u, v});
+      }
+    }
+  }
+  ASSERT_EQ(boundary.size(), expected.size());
+  for (const Edge& e : boundary) {
+    EXPECT_TRUE(expected.count({e.u, e.v})) << e.u << "-" << e.v;
+  }
+  // Second call returns the cached list (same address).
+  EXPECT_EQ(session.boundary_arcs(req).data(), boundary.data());
+}
+
+TEST(Session, DistanceEstimatesMatchAStandaloneOracle) {
+  const CsrGraph g = generators::grid2d(18, 18);
+  DecompositionSession session((CsrGraph(g)));
+  const DecompositionRequest req = request(0.25);
+  const DecompositionResult& result = session.run(req);
+
+  const DistanceOracle oracle(g, Decomposition(result.decomposition));
+  for (vertex_t u = 0; u < g.num_vertices(); u += 41) {
+    for (vertex_t v = 0; v < g.num_vertices(); v += 37) {
+      EXPECT_EQ(session.estimate_distance(u, v, req), oracle.estimate(u, v));
+    }
+  }
+  // Estimates never undershoot the true distance (they are realized paths).
+  const std::vector<std::uint32_t> exact = bfs_distances(g, 0);
+  for (vertex_t v = 0; v < g.num_vertices(); v += 23) {
+    EXPECT_GE(session.estimate_distance(0, v, req), exact[v]);
+  }
+}
+
+TEST(Session, DistanceQueriesRejectWeightedResults) {
+  DecompositionSession session(mpx::testing::grid3x3_weighted_reference());
+  const DecompositionRequest req = request(0.4, 1, "mpx-weighted");
+  EXPECT_THROW((void)session.estimate_distance(0, 1, req),
+               std::invalid_argument);
+}
+
+TEST(Session, SaveAndReloadCachedResultAcrossSessions) {
+  mpx::testing::TempDir dir("mpx_session");
+  const std::string path = dir.file("cached.dec");
+  const CsrGraph g = generators::grid2d(10, 10);
+  const DecompositionRequest req = request(0.3, 9);
+
+  RunTelemetry saved_telemetry;
+  {
+    DecompositionSession session((CsrGraph(g)));
+    (void)session.run(req);
+    saved_telemetry = session.run(req).telemetry;
+    session.save_cached(req, path);
+  }
+
+  DecompositionSession restored((CsrGraph(g)));
+  EXPECT_FALSE(restored.load_cached(req, dir.file("missing.dec")));
+  ASSERT_TRUE(restored.load_cached(req, path));
+  EXPECT_EQ(restored.cache_size(), 1u);
+
+  const DecompositionResult* cached = restored.cached(req);
+  ASSERT_NE(cached, nullptr);
+  const DecompositionResult direct = decompose(g, req);
+  EXPECT_EQ(cached->owner, direct.owner);
+  EXPECT_EQ(cached->settle, direct.settle);
+  // The telemetry block survived the round trip.
+  EXPECT_EQ(cached->telemetry, saved_telemetry);
+  // Queries work off the restored entry without recomputation.
+  EXPECT_EQ(restored.num_clusters(req), direct.num_clusters());
+}
+
+TEST(Session, PersistenceRejectsWeightedAlgorithms) {
+  mpx::testing::TempDir dir("mpx_session");
+  DecompositionSession session(mpx::testing::grid3x3_weighted_reference());
+  const DecompositionRequest req = request(0.4, 1, "mpx-weighted");
+  EXPECT_THROW(session.save_cached(req, dir.file("w.dec")),
+               std::invalid_argument);
+  // load_cached mirrors the guard even before touching the file: a text
+  // decomposition can never restore real-valued radii shape-consistently.
+  EXPECT_THROW((void)session.load_cached(req, dir.file("absent.dec")),
+               std::invalid_argument);
+}
+
+TEST(Session, LoadCachedRejectsAlgorithmMismatch) {
+  mpx::testing::TempDir dir("mpx_session");
+  const std::string path = dir.file("cached.dec");
+  const CsrGraph g = generators::grid2d(8, 8);
+  {
+    DecompositionSession session((CsrGraph(g)));
+    session.save_cached(request(0.3), path);  // telemetry says "mpx"
+  }
+  DecompositionSession other((CsrGraph(g)));
+  EXPECT_THROW((void)other.load_cached(request(0.3, 42, "ball-growing"), path),
+               std::runtime_error);
+}
+
+TEST(Session, LoadCachedKeepsResidentEntriesAlive) {
+  mpx::testing::TempDir dir("mpx_session");
+  const std::string path = dir.file("cached.dec");
+  const CsrGraph g = generators::grid2d(8, 8);
+  const DecompositionRequest req = request(0.3);
+  DecompositionSession session((CsrGraph(g)));
+  session.save_cached(req, path);
+  const DecompositionResult& resident = session.run(req);
+  // Loading over a resident entry is a no-op: the computed result equals
+  // the file (determinism), and outstanding references stay valid.
+  ASSERT_TRUE(session.load_cached(req, path));
+  EXPECT_EQ(&session.run(req), &resident);
+}
+
+TEST(Session, LoadCachedRejectsMismatchedGraph) {
+  mpx::testing::TempDir dir("mpx_session");
+  const std::string path = dir.file("cached.dec");
+  const DecompositionRequest req = request(0.3);
+  {
+    DecompositionSession session(generators::grid2d(10, 10));
+    session.save_cached(req, path);
+  }
+  DecompositionSession other(generators::grid2d(4, 4));
+  EXPECT_THROW((void)other.load_cached(req, path), std::runtime_error);
+}
+
+TEST(Session, UnweightedAlgorithmsRunOnWeightedSessions) {
+  DecompositionSession session(mpx::testing::grid3x3_weighted_reference());
+  const DecompositionRequest req = request(0.5, 3);
+  const DecompositionResult& result = session.run(req);
+  EXPECT_FALSE(result.weighted());
+  const DecompositionResult direct =
+      decompose(mpx::testing::grid3x3_weighted_reference().topology(), req);
+  EXPECT_EQ(result.owner, direct.owner);
+}
+
+}  // namespace
+}  // namespace mpx

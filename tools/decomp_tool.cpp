@@ -1,0 +1,297 @@
+// decomp_tool — run, batch, and query graph decompositions through the
+// unified decomposer facade (core/decomposer.hpp) and DecompositionSession
+// (core/session.hpp). The operational companion of the serving layer: what
+// a service would answer over RPC, this tool answers on the command line,
+// and CI drives it over the golden snapshots under ASan/UBSan.
+//
+// usage:
+//   decomp_tool run <graph> [opts] [--out <file.dec>]
+//       one decomposition; prints quality + telemetry. --out saves the
+//       result with its telemetry block (decomposition_io format).
+//   decomp_tool batch <graph> --betas b1,b2,... [opts]
+//       multi-beta batch through one session: shifts are generated once
+//       per seed and derived per beta. Prints one table row per beta.
+//   decomp_tool query <graph> [opts] [--load <file.dec>] <queries...>
+//       answer queries from a (possibly reloaded) decomposition:
+//         --cluster-of V   cluster/center/distance of vertex V (repeatable)
+//         --distance U V   distance-oracle estimate between U and V
+//         --boundary       boundary (cut) edge count and sample
+//   decomp_tool algorithms
+//       list the algorithm registry.
+//
+// common opts: --algo <name> (default mpx), --beta B (default 0.1),
+//              --seed S (default 0), --engine auto|push|pull
+//
+// <graph> is any format io::detect_graph_format understands; `.mpxs`
+// snapshots are mmap-ed zero-copy (session startup is O(header)).
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/decomposer.hpp"
+#include "core/session.hpp"
+#include "graph/io.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using mpx::DecompositionRequest;
+using mpx::DecompositionResult;
+using mpx::DecompositionSession;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  decomp_tool run <graph> [opts] [--out <file.dec>]\n"
+      "  decomp_tool batch <graph> --betas b1,b2,... [opts]\n"
+      "  decomp_tool query <graph> [opts] [--load <file.dec>]\n"
+      "              [--cluster-of V]... [--distance U V] [--boundary]\n"
+      "  decomp_tool algorithms\n"
+      "opts: --algo <name> --beta B --seed S --engine auto|push|pull\n");
+  return 2;
+}
+
+struct Cli {
+  std::string graph_path;
+  DecompositionRequest request;
+  std::vector<double> betas;                // batch
+  std::string out_path;                     // run --out
+  std::string load_path;                    // query --load
+  std::vector<mpx::vertex_t> cluster_of;    // query
+  bool boundary = false;                    // query
+  bool has_distance = false;                // query
+  mpx::vertex_t distance_u = 0;
+  mpx::vertex_t distance_v = 0;
+};
+
+bool parse_betas(const std::string& list, std::vector<double>& out) {
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string item = list.substr(pos, comma - pos);
+    if (item.empty()) return false;
+    out.push_back(std::atof(item.c_str()));
+    pos = comma + 1;
+  }
+  return !out.empty();
+}
+
+/// Parse everything after the subcommand. Returns false on bad syntax.
+bool parse_cli(int argc, char** argv, int first, Cli& cli) {
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](std::string& into) {
+      if (i + 1 >= argc) return false;
+      into = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "--algo" && next(value)) {
+      cli.request.algorithm = value;
+    } else if (arg == "--beta" && next(value)) {
+      cli.request.beta = std::atof(value.c_str());
+    } else if (arg == "--seed" && next(value)) {
+      cli.request.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (arg == "--engine" && next(value)) {
+      if (!mpx::parse_traversal_engine(value, cli.request.engine)) {
+        std::fprintf(stderr, "decomp_tool: unknown engine '%s'\n",
+                     value.c_str());
+        return false;
+      }
+    } else if (arg == "--betas" && next(value)) {
+      if (!parse_betas(value, cli.betas)) return false;
+    } else if (arg == "--out" && next(value)) {
+      cli.out_path = value;
+    } else if (arg == "--load" && next(value)) {
+      cli.load_path = value;
+    } else if (arg == "--cluster-of" && next(value)) {
+      cli.cluster_of.push_back(
+          static_cast<mpx::vertex_t>(std::atoll(value.c_str())));
+    } else if (arg == "--distance") {
+      std::string u;
+      std::string v;
+      if (!next(u) || !next(v)) return false;
+      cli.has_distance = true;
+      cli.distance_u = static_cast<mpx::vertex_t>(std::atoll(u.c_str()));
+      cli.distance_v = static_cast<mpx::vertex_t>(std::atoll(v.c_str()));
+    } else if (arg == "--boundary") {
+      cli.boundary = true;
+    } else if (cli.graph_path.empty() && arg.rfind("--", 0) != 0) {
+      cli.graph_path = arg;
+    } else {
+      std::fprintf(stderr, "decomp_tool: unexpected argument '%s'\n",
+                   arg.c_str());
+      return false;
+    }
+  }
+  return !cli.graph_path.empty();
+}
+
+DecompositionSession open_session(const std::string& path) {
+  const mpx::io::GraphFileFormat format = mpx::io::detect_graph_format(path);
+  switch (format) {
+    case mpx::io::GraphFileFormat::kSnapshot:
+    case mpx::io::GraphFileFormat::kWeightedSnapshot:
+      return DecompositionSession::open_snapshot(path);  // zero-copy mmap
+    case mpx::io::GraphFileFormat::kWeightedEdgeListText:
+      return DecompositionSession(mpx::io::load_weighted_graph(path));
+    case mpx::io::GraphFileFormat::kEdgeListText:
+      break;
+  }
+  return DecompositionSession(mpx::io::load_graph(path));
+}
+
+void print_result_line(const DecompositionSession& session,
+                       const DecompositionResult& result) {
+  (void)session;
+  const mpx::RunTelemetry& t = result.telemetry;
+  std::printf("clusters: %u\n", result.num_clusters());
+  std::printf(
+      "telemetry: engine=%s threads=%d rounds=%u pull_rounds=%u phases=%u "
+      "arcs_scanned=%llu\n",
+      t.engine.c_str(), t.threads, t.rounds, t.pull_rounds, t.phases,
+      static_cast<unsigned long long>(t.arcs_scanned));
+  std::printf(
+      "timings: shifts %.6fs, search %.6fs, assemble %.6fs, total %.6fs\n",
+      t.shift_seconds, t.search_seconds, t.assemble_seconds, t.total_seconds);
+}
+
+int cmd_algorithms() {
+  std::printf("registered algorithms (core/decomposer.hpp):\n");
+  for (const mpx::AlgorithmInfo& info : mpx::registered_algorithms()) {
+    std::printf("  %-14s %s%s\n", std::string(info.name).c_str(),
+                std::string(info.summary).c_str(),
+                info.needs_weights ? " [needs weights]" : "");
+  }
+  return 0;
+}
+
+int cmd_run(const Cli& cli) {
+  DecompositionSession session = open_session(cli.graph_path);
+  std::printf("graph: %s, n=%u, m=%llu%s\n", cli.graph_path.c_str(),
+              session.topology().num_vertices(),
+              static_cast<unsigned long long>(session.topology().num_edges()),
+              session.weighted() ? ", weighted" : "");
+  std::printf("run: algo=%s beta=%g seed=%llu\n",
+              cli.request.algorithm.c_str(), cli.request.beta,
+              static_cast<unsigned long long>(cli.request.seed));
+  const DecompositionResult& result = session.run(cli.request);
+  print_result_line(session, result);
+  const std::size_t cut = session.boundary_arcs(cli.request).size();
+  const mpx::edge_t m = session.topology().num_edges();
+  std::printf("boundary: %zu cut edges (%.2f%% of m)\n", cut,
+              m == 0 ? 0.0 : 100.0 * static_cast<double>(cut) /
+                                 static_cast<double>(m));
+  if (!cli.out_path.empty()) {
+    session.save_cached(cli.request, cli.out_path);
+    std::printf("wrote %s (decomposition + telemetry block)\n",
+                cli.out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_batch(const Cli& cli) {
+  if (cli.betas.empty()) {
+    std::fprintf(stderr, "decomp_tool batch: --betas is required\n");
+    return 2;
+  }
+  DecompositionSession session = open_session(cli.graph_path);
+  std::printf("graph: %s, n=%u, m=%llu%s\n", cli.graph_path.c_str(),
+              session.topology().num_vertices(),
+              static_cast<unsigned long long>(session.topology().num_edges()),
+              session.weighted() ? ", weighted" : "");
+  mpx::WallTimer timer;
+  const std::vector<const DecompositionResult*> results =
+      session.run_batch(cli.request, cli.betas);
+  const double batch_seconds = timer.seconds();
+
+  std::printf("%10s %10s %12s %10s %12s\n", "beta", "clusters", "cut_edges",
+              "rounds", "search_secs");
+  DecompositionRequest req = cli.request;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    req.beta = cli.betas[i];
+    const std::size_t cut = session.boundary_arcs(req).size();
+    std::printf("%10g %10u %12zu %10u %12.6f\n", cli.betas[i],
+                results[i]->num_clusters(), cut, results[i]->telemetry.rounds,
+                results[i]->telemetry.search_seconds);
+  }
+  std::printf("batch of %zu betas in %.6fs (shifts generated once per seed)\n",
+              results.size(), batch_seconds);
+  return 0;
+}
+
+int cmd_query(const Cli& cli) {
+  DecompositionSession session = open_session(cli.graph_path);
+  if (!cli.load_path.empty()) {
+    if (session.load_cached(cli.request, cli.load_path)) {
+      std::printf("loaded cached decomposition from %s\n",
+                  cli.load_path.c_str());
+    } else {
+      std::fprintf(stderr, "decomp_tool: cannot open %s\n",
+                   cli.load_path.c_str());
+      return 1;
+    }
+  }
+  const mpx::vertex_t n = session.topology().num_vertices();
+  for (const mpx::vertex_t v : cli.cluster_of) {
+    if (v >= n) {
+      std::fprintf(stderr, "decomp_tool: vertex %u out of range (n=%u)\n", v,
+                   n);
+      return 1;
+    }
+    std::printf("vertex %u: cluster %u, center %u\n", v,
+                session.cluster_of(v, cli.request),
+                session.owner_of(v, cli.request));
+  }
+  if (cli.has_distance) {
+    if (cli.distance_u >= n || cli.distance_v >= n) {
+      std::fprintf(stderr, "decomp_tool: vertex out of range (n=%u)\n", n);
+      return 1;
+    }
+    const std::uint32_t estimate = session.estimate_distance(
+        cli.distance_u, cli.distance_v, cli.request);
+    if (estimate == mpx::kInfDist) {
+      std::printf("distance(%u, %u) ~ unreachable\n", cli.distance_u,
+                  cli.distance_v);
+    } else {
+      std::printf("distance(%u, %u) <= %u\n", cli.distance_u, cli.distance_v,
+                  estimate);
+    }
+  }
+  if (cli.boundary) {
+    const std::span<const mpx::Edge> boundary =
+        session.boundary_arcs(cli.request);
+    std::printf("boundary: %zu cut edges\n", boundary.size());
+    for (std::size_t i = 0; i < boundary.size() && i < 8; ++i) {
+      std::printf("  %u - %u\n", boundary[i].u, boundary[i].v);
+    }
+  }
+  if (cli.cluster_of.empty() && !cli.has_distance && !cli.boundary) {
+    std::fprintf(stderr, "decomp_tool query: no query given\n");
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "algorithms") return cmd_algorithms();
+    Cli cli;
+    if (!parse_cli(argc, argv, 2, cli)) return usage();
+    if (cmd == "run") return cmd_run(cli);
+    if (cmd == "batch") return cmd_batch(cli);
+    if (cmd == "query") return cmd_query(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "decomp_tool: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
