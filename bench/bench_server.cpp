@@ -1,0 +1,246 @@
+// Decomposition-server benchmark: request latency and throughput through
+// the process boundary (src/server/), per worker count. The shape the
+// serving layer is judged on:
+//
+//  * cold_run_seconds    — first run request for a fresh request key: the
+//                          decomposition itself dominates; the wire adds
+//                          framing + owner/settle-free summary bytes.
+//  * cached_run_seconds  — the same run request again (worker cache hit):
+//                          pure request overhead (frame round trip +
+//                          cache lookup), the number a query-serving
+//                          deployment lives on.
+//  * query_seconds       — one cluster-of query against the cached
+//                          result (the smallest request the protocol
+//                          carries).
+//  * queries_per_second  — aggregate throughput with one client
+//                          connection per worker hammering cached
+//                          cluster-of queries concurrently.
+//
+// Writes the machine-readable trajectory artifact BENCH_server.json
+// (schema: docs/BENCHMARKS.md) so CI accumulates the serving history.
+//
+//   ./bench_server [out.json] [--scale small|full] [--reps N] [--beta B]
+//                  [--seed S]
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mpx/mpx.hpp"
+#include "table.hpp"
+
+namespace {
+
+struct Run {
+  std::string graph;
+  mpx::vertex_t n = 0;
+  mpx::edge_t m = 0;
+  int workers = 0;
+  double cold_run_seconds = 0.0;
+  double cached_run_seconds = 0.0;
+  double query_seconds = 0.0;
+  double queries_per_second = 0.0;
+};
+
+Run measure(const std::string& name, const mpx::CsrGraph& g,
+            const std::string& snapshot_path, const std::string& socket_dir,
+            int workers, double beta, std::uint64_t seed, int reps) {
+  Run run;
+  run.graph = name;
+  run.n = g.num_vertices();
+  run.m = g.num_edges();
+  run.workers = workers;
+
+  const std::string socket_path =
+      socket_dir + "/bench_w" + std::to_string(workers) + ".sock";
+  std::error_code ec;
+  std::filesystem::remove(socket_path, ec);  // stale leftover from a crash
+  mpx::server::ServerConfig config;
+  config.snapshot_path = snapshot_path;
+  config.socket_path = socket_path;
+  config.workers = workers;
+  mpx::server::DecompServer server(std::move(config));
+  server.start();
+
+  mpx::DecompositionRequest req;
+  req.beta = beta;
+  req.seed = seed;
+
+  // Latency numbers are best-of-reps on one pinned connection (the
+  // server pins a connection to one worker, so "cached" really hits that
+  // worker's cache). Each rep's cold run uses a fresh seed so the cache
+  // cannot answer it.
+  run.cold_run_seconds = 1e100;
+  run.cached_run_seconds = 1e100;
+  run.query_seconds = 1e100;
+  {
+    mpx::server::DecompClient client =
+        mpx::server::DecompClient::connect_unix(socket_path);
+    for (int rep = 0; rep < reps; ++rep) {
+      req.seed = seed + static_cast<std::uint64_t>(rep);
+      {
+        mpx::WallTimer timer;
+        (void)client.run(req);
+        run.cold_run_seconds =
+            std::min(run.cold_run_seconds, timer.seconds());
+      }
+      {
+        mpx::WallTimer timer;
+        (void)client.run(req);
+        run.cached_run_seconds =
+            std::min(run.cached_run_seconds, timer.seconds());
+      }
+      {
+        mpx::WallTimer timer;
+        (void)client.cluster_of(0, req);
+        run.query_seconds = std::min(run.query_seconds, timer.seconds());
+      }
+    }
+    req.seed = seed;
+  }
+
+  // Throughput: one connection per worker, each hammering cached
+  // cluster-of queries. Every connection warms its own worker first
+  // (outside the timer) so the loop measures steady-state serving.
+  const int kQueriesPerClient = 2000;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(workers));
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<long long> answered{0};
+  mpx::WallTimer wall;
+  for (int c = 0; c < workers; ++c) {
+    clients.emplace_back([&, c] {
+      mpx::server::DecompClient client =
+          mpx::server::DecompClient::connect_unix(socket_path);
+      (void)client.run(req);  // warm this connection's worker
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      const mpx::vertex_t n = run.n;
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        (void)client.cluster_of(
+            static_cast<mpx::vertex_t>((c * 7919 + i * 104729) % n), req);
+      }
+      answered.fetch_add(kQueriesPerClient);
+    });
+  }
+  while (ready.load() != workers) std::this_thread::yield();
+  wall = mpx::WallTimer();
+  go.store(true);
+  for (std::thread& t : clients) t.join();
+  const double elapsed = wall.seconds();
+  run.queries_per_second =
+      elapsed > 0.0 ? static_cast<double>(answered.load()) / elapsed : 0.0;
+
+  server.stop();
+  return run;
+}
+
+void write_json(const std::string& path, const std::vector<Run>& runs,
+                double beta, std::uint64_t seed) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"server\",\n");
+  std::fprintf(f, "  \"threads\": %d,\n", mpx::max_threads());
+  std::fprintf(f, "  \"beta\": %g,\n  \"seed\": %llu,\n", beta,
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    std::fprintf(f,
+                 "    {\"graph\": \"%s\", \"n\": %u, \"m\": %llu, "
+                 "\"workers\": %d, \"cold_run_seconds\": %.6f, "
+                 "\"cached_run_seconds\": %.6f, \"query_seconds\": %.6f, "
+                 "\"queries_per_second\": %.1f}%s\n",
+                 r.graph.c_str(), r.n,
+                 static_cast<unsigned long long>(r.m), r.workers,
+                 r.cold_run_seconds, r.cached_run_seconds, r.query_seconds,
+                 r.queries_per_second, i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mpx;
+
+  std::string out = "BENCH_server.json";
+  std::string scale = "full";
+  int reps = 3;
+  double beta = 0.1;
+  std::uint64_t seed = 2013;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scale" && i + 1 < argc) {
+      scale = argv[++i];
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (arg == "--beta" && i + 1 < argc) {
+      beta = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      out = arg;
+    }
+  }
+
+  bench::section("decomposition server: request latency + throughput");
+  std::printf("threads: %d, beta=%g, seed=%llu, scale=%s, reps=%d\n",
+              max_threads(), beta, static_cast<unsigned long long>(seed),
+              scale.c_str(), reps);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mpx_bench_server").string();
+  std::filesystem::create_directories(dir);
+
+  struct Family {
+    std::string name;
+    CsrGraph graph;
+  };
+  std::vector<Family> families;
+  if (scale == "full") {
+    families.push_back({"grid2d_1000", generators::grid2d(1000, 1000)});
+  } else {
+    families.push_back({"grid2d_300", generators::grid2d(300, 300)});
+  }
+
+  std::vector<Run> runs;
+  bench::Table table({"graph", "workers", "cold_run", "cached_run", "query",
+                      "queries/s"});
+  for (const Family& fam : families) {
+    const std::string snapshot_path = dir + "/" + fam.name + ".mpxs";
+    io::save_snapshot(snapshot_path, fam.graph);
+    for (const int workers : {1, 2, 8}) {
+      const Run r = measure(fam.name, fam.graph, snapshot_path, dir, workers,
+                            beta, seed, reps);
+      runs.push_back(r);
+      table.row({fam.name, std::to_string(workers),
+                 bench::Table::num(r.cold_run_seconds, 4),
+                 bench::Table::num(r.cached_run_seconds, 6),
+                 bench::Table::num(r.query_seconds, 6),
+                 bench::Table::num(r.queries_per_second, 0)});
+    }
+  }
+
+  write_json(out, runs, beta, seed);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::printf(
+      "\nexpected shape: cached_run and query are request overhead "
+      "(microseconds to tens of microseconds over a unix socket) and sit "
+      "orders of magnitude under cold_run, which pays the decomposition. "
+      "queries_per_second grows with workers until the box runs out of "
+      "cores — each connection is pinned to one worker, so concurrency "
+      "equals the client count.\n");
+  return 0;
+}

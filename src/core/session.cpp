@@ -106,7 +106,15 @@ const DecompositionResult* DecompositionSession::cached(
   return it != cache_.end() ? &it->second.result : nullptr;
 }
 
-void DecompositionSession::clear_cache() { cache_.clear(); }
+void DecompositionSession::clear_cache() {
+  cache_.clear();
+  // The shift bases are cache too: one n-sized ShiftBasis per distinct
+  // (seed, distribution) ever batched. Keeping them across a clear would
+  // leak under request-key churn (seed sweeps, hostile clients) — the
+  // exact growth clear_cache() exists to stop. They are derived state;
+  // the next batch regenerates them bitwise-identically.
+  bases_.clear();
+}
 
 vertex_t DecompositionSession::owner_of(vertex_t v,
                                         const DecompositionRequest& req) {
@@ -124,20 +132,25 @@ cluster_t DecompositionSession::num_clusters(const DecompositionRequest& req) {
   return run(req).num_clusters();
 }
 
+std::vector<Edge> DecompositionSession::compute_boundary(
+    const DecompositionResult& result) const {
+  std::vector<Edge> boundary;
+  const CsrGraph& g = topology();
+  const std::vector<vertex_t>& owner = result.owner;
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    for (const vertex_t v : g.neighbors(u)) {
+      if (u < v && owner[u] != owner[v]) boundary.push_back({u, v});
+    }
+  }
+  return boundary;
+}
+
 std::span<const Edge> DecompositionSession::boundary_arcs(
     const DecompositionRequest& req) {
   validate_request(req);
   CacheEntry& entry = entry_for(req);
   if (!entry.boundary.has_value()) {
-    std::vector<Edge> boundary;
-    const CsrGraph& g = topology();
-    const std::vector<vertex_t>& owner = entry.result.owner;
-    for (vertex_t u = 0; u < g.num_vertices(); ++u) {
-      for (const vertex_t v : g.neighbors(u)) {
-        if (u < v && owner[u] != owner[v]) boundary.push_back({u, v});
-      }
-    }
-    entry.boundary = std::move(boundary);
+    entry.boundary = compute_boundary(entry.result);
   }
   return *entry.boundary;
 }
@@ -156,6 +169,79 @@ std::uint32_t DecompositionSession::estimate_distance(
   if (entry.oracle == nullptr) {
     entry.oracle = std::make_unique<DistanceOracle>(
         topology(), entry.result.decomposition);
+  }
+  return entry.oracle->estimate(u, v);
+}
+
+const DecompositionResult& DecompositionSession::materialize(
+    const DecompositionRequest& req) {
+  validate_request(req);
+  CacheEntry& entry = entry_for(req);
+  if (!entry.boundary.has_value()) {
+    entry.boundary = compute_boundary(entry.result);
+  }
+  if (!entry.result.weighted() && entry.oracle == nullptr) {
+    entry.oracle = std::make_unique<DistanceOracle>(
+        topology(), entry.result.decomposition);
+  }
+  return entry.result;
+}
+
+bool DecompositionSession::entry_is_materialized(const CacheEntry& entry) {
+  return entry.boundary.has_value() &&
+         (entry.result.weighted() || entry.oracle != nullptr);
+}
+
+bool DecompositionSession::materialized(
+    const DecompositionRequest& req) const {
+  const auto it = cache_.find(key_of(req));
+  return it != cache_.end() && entry_is_materialized(it->second);
+}
+
+const DecompositionSession::CacheEntry&
+DecompositionSession::materialized_entry(
+    const DecompositionRequest& req) const {
+  const auto it = cache_.find(key_of(req));
+  if (it == cache_.end() || !entry_is_materialized(it->second)) {
+    throw std::logic_error(
+        "mpx: const session query before materialize() for algorithm '" +
+        req.algorithm + "'; the concurrent read-only query path requires a "
+        "prior materialize(req) on this session");
+  }
+  return it->second;
+}
+
+vertex_t DecompositionSession::owner_of(vertex_t v,
+                                        const DecompositionRequest& req) const {
+  MPX_EXPECTS(v < topology().num_vertices());
+  return materialized_entry(req).result.owner[v];
+}
+
+cluster_t DecompositionSession::cluster_of(
+    vertex_t v, const DecompositionRequest& req) const {
+  MPX_EXPECTS(v < topology().num_vertices());
+  return materialized_entry(req).result.cluster_of(v);
+}
+
+cluster_t DecompositionSession::num_clusters(
+    const DecompositionRequest& req) const {
+  return materialized_entry(req).result.num_clusters();
+}
+
+std::span<const Edge> DecompositionSession::boundary_arcs(
+    const DecompositionRequest& req) const {
+  return *materialized_entry(req).boundary;
+}
+
+std::uint32_t DecompositionSession::estimate_distance(
+    vertex_t u, vertex_t v, const DecompositionRequest& req) const {
+  MPX_EXPECTS(u < topology().num_vertices() &&
+              v < topology().num_vertices());
+  const CacheEntry& entry = materialized_entry(req);
+  if (entry.result.weighted()) {
+    throw std::invalid_argument(
+        "mpx: estimate_distance serves unweighted algorithms; '" +
+        req.algorithm + "' produces real-valued radii");
   }
   return entry.oracle->estimate(u, v);
 }

@@ -16,9 +16,22 @@
 /// bitwise-identical to running each request individually, at a fraction
 /// of the shift-generation cost.
 ///
-/// Sessions are not thread-safe: the workspace and cache mutate on every
-/// run. One session per worker thread; the underlying snapshot mapping is
-/// shared safely by the graph's keepalive.
+/// Sessions are not thread-safe in general: the workspace and cache mutate
+/// on every run, and the default query path materializes boundary lists
+/// and distance oracles lazily. One session per worker thread; the
+/// underlying snapshot mapping is shared safely by the graph's keepalive.
+///
+/// There is one documented exception: after `materialize(req)` returns,
+/// the **const** query overloads (`owner_of` / `cluster_of` /
+/// `num_clusters` / `boundary_arcs` / `estimate_distance`) for that
+/// request only read immutable state and may be called concurrently from
+/// any number of threads, as long as no thread concurrently runs a
+/// mutating member (`run`, `run_batch`, the non-const queries,
+/// `load_cached`, `clear_cache`). `tests/test_session.cpp` hammers this
+/// guarantee. The decomposition server (src/server/) keeps each worker's
+/// session worker-private today and uses materialize() for warm starts;
+/// the guarantee is the foundation for sharing materialized results
+/// *across* workers (the ROADMAP's shared result store).
 #pragma once
 
 #include <cstdint>
@@ -79,7 +92,9 @@ class DecompositionSession {
   [[nodiscard]] const DecompositionResult* cached(
       const DecompositionRequest& req) const;
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
-  /// Drop every cached result (and their lazily-built oracles).
+  /// Drop every cached result (and their lazily-built oracles and
+  /// boundary lists), plus the shared shift bases — everything derived;
+  /// subsequent runs regenerate bitwise-identical state.
   void clear_cache();
 
   // --- queries (each runs the request first when not cached) ---
@@ -99,6 +114,33 @@ class DecompositionSession {
   /// weighted ones.
   std::uint32_t estimate_distance(vertex_t u, vertex_t v,
                                   const DecompositionRequest& req);
+
+  // --- the concurrent read-only query path ---
+
+  /// Run `req` (or fetch it from cache) and eagerly build every query
+  /// artifact the lazy path would otherwise materialize on first use: the
+  /// boundary edge list and, for unweighted results, the distance oracle.
+  /// After this returns, the const query overloads below answer `req`
+  /// from immutable state and are safe to call concurrently (see the
+  /// class comment for the exact guarantee).
+  const DecompositionResult& materialize(const DecompositionRequest& req);
+  /// True when `req` has been materialize()d (every const query below
+  /// will answer without throwing).
+  [[nodiscard]] bool materialized(const DecompositionRequest& req) const;
+
+  // Const query overloads: answer strictly from materialized state, never
+  // mutate, throw std::logic_error when `req` was not materialize()d.
+  // estimate_distance keeps the mutable overload's std::invalid_argument
+  // for weighted algorithms.
+  [[nodiscard]] vertex_t owner_of(vertex_t v,
+                                  const DecompositionRequest& req) const;
+  [[nodiscard]] cluster_t cluster_of(vertex_t v,
+                                     const DecompositionRequest& req) const;
+  [[nodiscard]] cluster_t num_clusters(const DecompositionRequest& req) const;
+  [[nodiscard]] std::span<const Edge> boundary_arcs(
+      const DecompositionRequest& req) const;
+  [[nodiscard]] std::uint32_t estimate_distance(
+      vertex_t u, vertex_t v, const DecompositionRequest& req) const;
 
   // --- persistence (unweighted algorithms) ---
 
@@ -133,6 +175,14 @@ class DecompositionSession {
   CacheEntry& entry_for(const DecompositionRequest& req,
                         const ShiftBasis* basis = nullptr);
   const ShiftBasis& basis_for(const DecompositionRequest& req);
+  /// True when `entry` carries every artifact the const query path reads.
+  static bool entry_is_materialized(const CacheEntry& entry);
+  /// The fully-materialized entry for `req`; throws std::logic_error when
+  /// materialize(req) has not run (the const query path's shared guard).
+  const CacheEntry& materialized_entry(const DecompositionRequest& req) const;
+  /// Compute the cut-edge list of `result` (shared by the lazy and eager
+  /// boundary builders).
+  std::vector<Edge> compute_boundary(const DecompositionResult& result) const;
 
   CsrGraph graph_;            // unweighted sessions
   WeightedCsrGraph wgraph_;   // weighted sessions

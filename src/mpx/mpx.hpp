@@ -106,3 +106,8 @@
 #include "viz/grid_render.hpp"
 #include "viz/palette.hpp"
 #include "viz/ppm.hpp"
+
+// The decomposition service (S10): wire protocol, server, client
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"

@@ -1,0 +1,262 @@
+#include "server/client.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MPX_SERVER_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "server/socket_util.hpp"
+#endif
+
+namespace mpx::server {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("mpx::client: " + what);
+}
+
+#if MPX_SERVER_HAVE_SOCKETS
+[[noreturn]] void fail_errno(const std::string& where) {
+  fail(where + ": " + std::strerror(errno));
+}
+#endif
+
+}  // namespace
+
+struct DecompClient::Impl {
+  int fd = -1;
+
+  ~Impl() {
+#if MPX_SERVER_HAVE_SOCKETS
+    if (fd >= 0) ::close(fd);
+#endif
+  }
+};
+
+DecompClient::DecompClient(int fd) : impl_(std::make_unique<Impl>()) {
+  impl_->fd = fd;
+}
+
+DecompClient::DecompClient(DecompClient&&) noexcept = default;
+DecompClient& DecompClient::operator=(DecompClient&&) noexcept = default;
+DecompClient::~DecompClient() = default;
+
+#if MPX_SERVER_HAVE_SOCKETS
+
+DecompClient DecompClient::connect_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (!detail::fill_unix_address(socket_path, addr)) {
+    fail(socket_path + ": socket path longer than sun_path");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno(socket_path);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno(socket_path);
+  }
+  detail::disable_sigpipe(fd);
+  return DecompClient(fd);
+}
+
+DecompClient DecompClient::connect_tcp(const std::string& host,
+                                       std::uint16_t port) {
+  const std::string where = host + ":" + std::to_string(port);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    fail(where + ": not an IPv4 address");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno(where);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno(where);
+  }
+  detail::disable_sigpipe(fd);
+  detail::disable_nagle(fd);
+  return DecompClient(fd);
+}
+
+namespace {
+
+void write_all_or_fail(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        detail::send_some(fd, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void read_exact_or_fail(int fd, std::uint8_t* into, std::size_t bytes) {
+  std::size_t got = 0;
+  while (got < bytes) {
+    const ssize_t n = ::recv(fd, into + got, bytes - got, 0);
+    if (n == 0) fail("server closed the connection mid-response");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("recv");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> DecompClient::round_trip(
+    std::span<const std::uint8_t> frame, MessageType expect) {
+  if (impl_ == nullptr || impl_->fd < 0) {
+    fail("client is not connected (moved-from?)");
+  }
+  write_all_or_fail(impl_->fd, frame);
+  std::uint8_t header_bytes[kFrameHeaderBytes];
+  read_exact_or_fail(impl_->fd, header_bytes, sizeof(header_bytes));
+  const FrameHeader header = decode_frame_header(header_bytes);
+  // Grow the buffer as bytes actually arrive (1 MiB steps) instead of
+  // trusting the length prefix with one up-front allocation: a corrupt
+  // or hostile peer claiming a payload near kMaxFramePayloadBytes then
+  // costs nothing unless it really streams those bytes.
+  constexpr std::size_t kChunkBytes = 1u << 20;
+  std::vector<std::uint8_t> payload;
+  payload.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(header.payload_bytes, kChunkBytes)));
+  std::uint64_t remaining = header.payload_bytes;
+  while (remaining > 0) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, kChunkBytes));
+    const std::size_t old_size = payload.size();
+    payload.resize(old_size + chunk);
+    read_exact_or_fail(impl_->fd, payload.data() + old_size, chunk);
+    remaining -= chunk;
+  }
+  if (header.type == MessageType::kErrorResponse) {
+    const ErrorResponse err = decode_error_response(payload);
+    throw ServerError(err.code, err.message);
+  }
+  if (header.type != expect) {
+    throw ProtocolError("unexpected response type " +
+                        std::to_string(static_cast<int>(header.type)) +
+                        " (expected " +
+                        std::to_string(static_cast<int>(expect)) + ")");
+  }
+  return payload;
+}
+
+#else  // !MPX_SERVER_HAVE_SOCKETS
+
+DecompClient DecompClient::connect_unix(const std::string&) {
+  fail("socket transports are unavailable on this platform");
+}
+DecompClient DecompClient::connect_tcp(const std::string&, std::uint16_t) {
+  fail("socket transports are unavailable on this platform");
+}
+std::vector<std::uint8_t> DecompClient::round_trip(
+    std::span<const std::uint8_t>, MessageType) {
+  fail("socket transports are unavailable on this platform");
+}
+
+#endif  // MPX_SERVER_HAVE_SOCKETS
+
+InfoResponse DecompClient::info() {
+  const auto payload =
+      round_trip(encode_message(MessageType::kInfoRequest, InfoRequest{}),
+                 MessageType::kInfoResponse);
+  return decode_info_response(payload);
+}
+
+RunResponse DecompClient::run(const DecompositionRequest& request,
+                              bool include_arrays) {
+  RunRequest msg;
+  msg.request = request;
+  msg.include_arrays = include_arrays;
+  const auto payload = round_trip(
+      encode_message(MessageType::kRunRequest, msg), MessageType::kRunResponse);
+  return decode_run_response(payload);
+}
+
+namespace {
+
+QueryRequest make_query(const DecompositionRequest& request, QueryKind kind,
+                        vertex_t u, vertex_t v) {
+  QueryRequest msg;
+  msg.request = request;
+  msg.kind = kind;
+  msg.u = u;
+  msg.v = v;
+  return msg;
+}
+
+}  // namespace
+
+cluster_t DecompClient::cluster_of(vertex_t v,
+                                   const DecompositionRequest& request) {
+  const auto payload = round_trip(
+      encode_message(MessageType::kQueryRequest,
+                     make_query(request, QueryKind::kClusterOf, v, 0)),
+      MessageType::kQueryResponse);
+  return static_cast<cluster_t>(decode_query_response(payload).value);
+}
+
+vertex_t DecompClient::owner_of(vertex_t v,
+                                const DecompositionRequest& request) {
+  const auto payload = round_trip(
+      encode_message(MessageType::kQueryRequest,
+                     make_query(request, QueryKind::kOwnerOf, v, 0)),
+      MessageType::kQueryResponse);
+  return static_cast<vertex_t>(decode_query_response(payload).value);
+}
+
+std::uint32_t DecompClient::estimate_distance(
+    vertex_t u, vertex_t v, const DecompositionRequest& request) {
+  const auto payload = round_trip(
+      encode_message(MessageType::kQueryRequest,
+                     make_query(request, QueryKind::kDistance, u, v)),
+      MessageType::kQueryResponse);
+  return static_cast<std::uint32_t>(decode_query_response(payload).value);
+}
+
+std::vector<Edge> DecompClient::boundary_arcs(
+    const DecompositionRequest& request) {
+  BoundaryRequest msg;
+  msg.request = request;
+  const auto payload =
+      round_trip(encode_message(MessageType::kBoundaryRequest, msg),
+                 MessageType::kBoundaryResponse);
+  return decode_boundary_response(payload).edges;
+}
+
+BatchResponse DecompClient::batch(const DecompositionRequest& base,
+                                  std::span<const double> betas) {
+  BatchRequest msg;
+  msg.base = base;
+  msg.betas.assign(betas.begin(), betas.end());
+  const auto payload =
+      round_trip(encode_message(MessageType::kBatchRequest, msg),
+                 MessageType::kBatchResponse);
+  return decode_batch_response(payload);
+}
+
+void DecompClient::shutdown_server() {
+  (void)round_trip(
+      encode_message(MessageType::kShutdownRequest, ShutdownRequest{}),
+      MessageType::kShutdownResponse);
+}
+
+}  // namespace mpx::server

@@ -1,0 +1,104 @@
+/// \file
+/// \brief DecompClient: the client side of the decomposition service.
+///
+/// A thin, synchronous library over the wire protocol (protocol.hpp):
+/// connect to a `DecompServer` over its Unix-domain socket or loopback
+/// TCP port, then call the same query surface `DecompositionSession`
+/// answers in process — `run`, `cluster_of` / `owner_of` /
+/// `estimate_distance`, `boundary_arcs`, `batch` — plus `info` and
+/// `shutdown_server`. One client owns one connection; requests on it are
+/// serialized (the server pins a connection to one worker, so repeated
+/// requests hit that worker's warm cache). Not thread-safe: one client
+/// per thread.
+///
+/// Server-side rejections (kErrorResponse frames) surface as
+/// `ServerError` carrying the protocol error code; transport garbage
+/// surfaces as `ProtocolError`; a vanished server as
+/// `std::runtime_error`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace mpx::server {
+
+/// A well-formed kErrorResponse from the server: the request was framed
+/// correctly but declined.
+class ServerError : public std::runtime_error {
+ public:
+  ServerError(ErrorCode code, const std::string& message)
+      : std::runtime_error("mpx::server error " +
+                           std::to_string(static_cast<int>(code)) + ": " +
+                           message),
+        code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+class DecompClient {
+ public:
+  /// Connect to a Unix-domain socket. Throws std::runtime_error with a
+  /// `path: errno-message` string when the path is unavailable.
+  [[nodiscard]] static DecompClient connect_unix(
+      const std::string& socket_path);
+  /// Connect to a loopback TCP server.
+  [[nodiscard]] static DecompClient connect_tcp(const std::string& host,
+                                                std::uint16_t port);
+
+  DecompClient(DecompClient&&) noexcept;
+  DecompClient& operator=(DecompClient&&) noexcept;
+  DecompClient(const DecompClient&) = delete;
+  DecompClient& operator=(const DecompClient&) = delete;
+  ~DecompClient();  ///< closes the connection
+
+  /// Graph/server metadata.
+  [[nodiscard]] InfoResponse info();
+
+  /// Run (or fetch from the worker's cache) one decomposition.
+  /// `include_arrays` requests the full owner/settle arrays.
+  [[nodiscard]] RunResponse run(const DecompositionRequest& request,
+                                bool include_arrays = false);
+
+  /// Compact cluster id of v.
+  [[nodiscard]] cluster_t cluster_of(vertex_t v,
+                                     const DecompositionRequest& request);
+  /// Center vertex that claimed v.
+  [[nodiscard]] vertex_t owner_of(vertex_t v,
+                                  const DecompositionRequest& request);
+  /// Distance-oracle estimate of dist(u, v); kInfDist across components.
+  [[nodiscard]] std::uint32_t estimate_distance(
+      vertex_t u, vertex_t v, const DecompositionRequest& request);
+
+  /// The cut-edge list, (u, v)-ordered with u < v.
+  [[nodiscard]] std::vector<Edge> boundary_arcs(
+      const DecompositionRequest& request);
+
+  /// Multi-beta batch run (run_batch semantics on the serving worker).
+  [[nodiscard]] BatchResponse batch(const DecompositionRequest& base,
+                                    std::span<const double> betas);
+
+  /// Ask the server to shut down gracefully; returns once acknowledged.
+  void shutdown_server();
+
+ private:
+  explicit DecompClient(int fd);
+
+  /// Send one framed request, read one framed response. Throws
+  /// ServerError on kErrorResponse, ProtocolError when the response type
+  /// is not `expect`, std::runtime_error on transport failure.
+  std::vector<std::uint8_t> round_trip(std::span<const std::uint8_t> frame,
+                                       MessageType expect);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mpx::server

@@ -1,0 +1,543 @@
+#include "server/protocol.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <limits>
+
+namespace mpx::server {
+namespace {
+
+// The v1 spec (docs/PROTOCOL.md) defines all multi-byte fields as
+// little-endian and this implementation reads/writes them as host
+// integers — same portability stance as the snapshot format.
+static_assert(std::endian::native == std::endian::little,
+              "the mpx wire protocol requires a little-endian host");
+
+/// Longest algorithm id the protocol will carry. Registry names are
+/// short; the bound keeps a corrupt length byte from dragging the string
+/// decode across the payload.
+inline constexpr std::size_t kMaxAlgorithmBytes = 255;
+/// Longest error message the protocol will carry.
+inline constexpr std::size_t kMaxErrorMessageBytes = 4096;
+
+[[noreturn]] void fail(const std::string& what) { throw ProtocolError(what); }
+
+/// Append-only little-endian payload builder.
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void raw(const void* data, std::size_t bytes) {
+    if (bytes == 0) return;
+    const std::size_t old = out_.size();
+    out_.resize(old + bytes);
+    std::memcpy(out_.data() + old, data, bytes);
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Bounds-checked little-endian payload reader. Every overrun throws; a
+/// decoder MUST call finish() so trailing junk is rejected too.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1, "u8");
+    return bytes_[pos_++];
+  }
+  std::uint16_t u16() { return scalar<std::uint16_t>("u16"); }
+  std::uint32_t u32() { return scalar<std::uint32_t>("u32"); }
+  std::uint64_t u64() { return scalar<std::uint64_t>("u64"); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  void raw(void* into, std::size_t bytes, const char* what) {
+    if (bytes == 0) return;  // empty-span data() may be null
+    need(bytes, what);
+    std::memcpy(into, bytes_.data() + pos_, bytes);
+    pos_ += bytes;
+  }
+
+  /// Reject payloads longer than their content: a well-formed frame's
+  /// payload is exactly its fields, nothing more.
+  void finish() const {
+    if (pos_ != bytes_.size()) {
+      fail("trailing junk: payload carries " + std::to_string(bytes_.size()) +
+           " bytes but the message consumed only " + std::to_string(pos_));
+    }
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T scalar(const char* what) {
+    T v;
+    raw(&v, sizeof(v), what);
+    return v;
+  }
+
+  void need(std::size_t bytes, const char* what) const {
+    if (bytes_.size() - pos_ < bytes) {
+      fail(std::string("truncated payload while reading ") + what +
+           " (need " + std::to_string(bytes) + " bytes, have " +
+           std::to_string(bytes_.size() - pos_) + ")");
+    }
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+void write_request(Writer& w, const DecompositionRequest& req) {
+  if (req.algorithm.empty() || req.algorithm.size() > kMaxAlgorithmBytes) {
+    fail("algorithm id length " + std::to_string(req.algorithm.size()) +
+         " outside [1, " + std::to_string(kMaxAlgorithmBytes) + "]");
+  }
+  w.u16(static_cast<std::uint16_t>(req.algorithm.size()));
+  w.raw(req.algorithm.data(), req.algorithm.size());
+  w.f64(req.beta);
+  w.u64(req.seed);
+  w.u8(static_cast<std::uint8_t>(req.tie_break));
+  w.u8(static_cast<std::uint8_t>(req.distribution));
+  w.u8(static_cast<std::uint8_t>(req.engine));
+}
+
+DecompositionRequest read_request(Reader& r) {
+  DecompositionRequest req;
+  const std::uint16_t len = r.u16();
+  if (len == 0 || len > kMaxAlgorithmBytes) {
+    fail("algorithm id length " + std::to_string(len) + " outside [1, " +
+         std::to_string(kMaxAlgorithmBytes) + "]");
+  }
+  req.algorithm.resize(len);
+  r.raw(req.algorithm.data(), len, "algorithm id");
+  req.beta = r.f64();
+  req.seed = r.u64();
+  const std::uint8_t tie = r.u8();
+  const std::uint8_t dist = r.u8();
+  const std::uint8_t engine = r.u8();
+  if (tie > static_cast<std::uint8_t>(TieBreak::kLexicographic)) {
+    fail("tie-break value " + std::to_string(tie) + " out of range");
+  }
+  if (dist > static_cast<std::uint8_t>(ShiftDistribution::kUniform)) {
+    fail("shift-distribution value " + std::to_string(dist) + " out of range");
+  }
+  if (engine > static_cast<std::uint8_t>(TraversalEngine::kPull)) {
+    fail("traversal-engine value " + std::to_string(engine) + " out of range");
+  }
+  req.tie_break = static_cast<TieBreak>(tie);
+  req.distribution = static_cast<ShiftDistribution>(dist);
+  req.engine = static_cast<TraversalEngine>(engine);
+  return req;
+}
+
+/// Shared guard for array counts inside payloads: the count must be
+/// realizable within the remaining payload bytes (elements are at least
+/// `element_bytes` wide), so a corrupt count cannot force a huge resize.
+void check_count(std::uint64_t count, std::size_t element_bytes,
+                 std::size_t remaining, const char* what) {
+  if (count > remaining / element_bytes) {
+    fail(std::string(what) + " count " + std::to_string(count) +
+         " exceeds the payload");
+  }
+}
+
+}  // namespace
+
+bool is_known_message_type(std::uint16_t raw) {
+  switch (static_cast<MessageType>(raw)) {
+    case MessageType::kInfoRequest:
+    case MessageType::kRunRequest:
+    case MessageType::kQueryRequest:
+    case MessageType::kBoundaryRequest:
+    case MessageType::kBatchRequest:
+    case MessageType::kShutdownRequest:
+    case MessageType::kInfoResponse:
+    case MessageType::kRunResponse:
+    case MessageType::kQueryResponse:
+    case MessageType::kBoundaryResponse:
+    case MessageType::kBatchResponse:
+    case MessageType::kShutdownResponse:
+    case MessageType::kErrorResponse:
+      return true;
+  }
+  return false;
+}
+
+FrameHeader decode_frame_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    fail("truncated frame header: " + std::to_string(bytes.size()) +
+         " of " + std::to_string(kFrameHeaderBytes) + " bytes");
+  }
+  if (std::memcmp(bytes.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    fail("bad magic (not an mpx protocol frame)");
+  }
+  std::uint16_t version;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  if (version != kProtocolVersion) {
+    fail("unsupported protocol version " + std::to_string(version) +
+         " (this peer speaks version " + std::to_string(kProtocolVersion) +
+         ")");
+  }
+  std::uint16_t raw_type;
+  std::memcpy(&raw_type, bytes.data() + 6, sizeof(raw_type));
+  if (!is_known_message_type(raw_type)) {
+    fail("unknown message type " + std::to_string(raw_type));
+  }
+  FrameHeader header;
+  header.type = static_cast<MessageType>(raw_type);
+  std::memcpy(&header.payload_bytes, bytes.data() + 8,
+              sizeof(header.payload_bytes));
+  if (header.payload_bytes > kMaxFramePayloadBytes) {
+    fail("oversized payload length " + std::to_string(header.payload_bytes) +
+         " (limit " + std::to_string(kMaxFramePayloadBytes) + ")");
+  }
+  return header;
+}
+
+std::vector<std::uint8_t> encode_frame(MessageType type,
+                                       std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFramePayloadBytes) {
+    fail("payload of " + std::to_string(payload.size()) +
+         " bytes exceeds the frame limit");
+  }
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  Writer w(frame);
+  w.raw(kFrameMagic, sizeof(kFrameMagic));
+  w.u16(kProtocolVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u64(payload.size());
+  w.raw(payload.data(), payload.size());
+  return frame;
+}
+
+// --- InfoRequest / InfoResponse -------------------------------------------
+
+std::vector<std::uint8_t> encode_payload(const InfoRequest&) { return {}; }
+
+InfoRequest decode_info_request(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  r.finish();
+  return {};
+}
+
+std::vector<std::uint8_t> encode_payload(const InfoResponse& msg) {
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  w.u64(msg.num_vertices);
+  w.u64(msg.num_edges);
+  w.u8(msg.weighted ? 1 : 0);
+  w.u16(msg.workers);
+  w.u64(msg.requests_served);
+  return out;
+}
+
+InfoResponse decode_info_response(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  InfoResponse msg;
+  msg.num_vertices = r.u64();
+  msg.num_edges = r.u64();
+  const std::uint8_t weighted = r.u8();
+  if (weighted > 1) fail("weighted flag must be 0 or 1");
+  msg.weighted = weighted != 0;
+  msg.workers = r.u16();
+  msg.requests_served = r.u64();
+  r.finish();
+  return msg;
+}
+
+// --- RunRequest / RunResponse ---------------------------------------------
+
+std::vector<std::uint8_t> encode_payload(const RunRequest& msg) {
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  write_request(w, msg.request);
+  w.u8(msg.include_arrays ? 1 : 0);
+  return out;
+}
+
+RunRequest decode_run_request(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  RunRequest msg;
+  msg.request = read_request(r);
+  const std::uint8_t arrays = r.u8();
+  if (arrays > 1) fail("include_arrays flag must be 0 or 1");
+  msg.include_arrays = arrays != 0;
+  r.finish();
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_payload(const RunResponse& msg) {
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  w.u32(msg.num_clusters);
+  w.u8(msg.is_weighted ? 1 : 0);
+  w.u8(msg.from_cache ? 1 : 0);
+  w.u32(msg.rounds);
+  w.u32(msg.phases);
+  w.u64(msg.arcs_scanned);
+  w.u8(msg.has_arrays ? 1 : 0);
+  if (msg.has_arrays) {
+    w.u64(msg.owner.size());
+    w.raw(msg.owner.data(), msg.owner.size() * sizeof(vertex_t));
+    w.u64(msg.settle.size());
+    w.raw(msg.settle.data(), msg.settle.size() * sizeof(std::uint32_t));
+  }
+  return out;
+}
+
+RunResponse decode_run_response(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  RunResponse msg;
+  msg.num_clusters = r.u32();
+  const std::uint8_t weighted = r.u8();
+  if (weighted > 1) fail("is_weighted flag must be 0 or 1");
+  msg.is_weighted = weighted != 0;
+  const std::uint8_t cached = r.u8();
+  if (cached > 1) fail("from_cache flag must be 0 or 1");
+  msg.from_cache = cached != 0;
+  msg.rounds = r.u32();
+  msg.phases = r.u32();
+  msg.arcs_scanned = r.u64();
+  const std::uint8_t arrays = r.u8();
+  if (arrays > 1) fail("has_arrays flag must be 0 or 1");
+  msg.has_arrays = arrays != 0;
+  if (msg.has_arrays) {
+    const std::uint64_t owner_count = r.u64();
+    check_count(owner_count, sizeof(vertex_t), r.remaining(), "owner");
+    msg.owner.resize(owner_count);
+    r.raw(msg.owner.data(), owner_count * sizeof(vertex_t), "owner array");
+    const std::uint64_t settle_count = r.u64();
+    check_count(settle_count, sizeof(std::uint32_t), r.remaining(), "settle");
+    if (settle_count != 0 && settle_count != owner_count) {
+      fail("settle count " + std::to_string(settle_count) +
+           " is neither 0 nor the owner count");
+    }
+    msg.settle.resize(settle_count);
+    r.raw(msg.settle.data(), settle_count * sizeof(std::uint32_t),
+          "settle array");
+  }
+  r.finish();
+  return msg;
+}
+
+// --- QueryRequest / QueryResponse -----------------------------------------
+
+std::vector<std::uint8_t> encode_payload(const QueryRequest& msg) {
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  write_request(w, msg.request);
+  w.u8(static_cast<std::uint8_t>(msg.kind));
+  w.u32(msg.u);
+  w.u32(msg.v);
+  return out;
+}
+
+QueryRequest decode_query_request(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  QueryRequest msg;
+  msg.request = read_request(r);
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(QueryKind::kDistance)) {
+    fail("query kind " + std::to_string(kind) + " out of range");
+  }
+  msg.kind = static_cast<QueryKind>(kind);
+  msg.u = r.u32();
+  msg.v = r.u32();
+  r.finish();
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_payload(const QueryResponse& msg) {
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  w.u64(msg.value);
+  return out;
+}
+
+QueryResponse decode_query_response(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  QueryResponse msg;
+  msg.value = r.u64();
+  r.finish();
+  return msg;
+}
+
+// --- BoundaryRequest / BoundaryResponse -----------------------------------
+
+std::vector<std::uint8_t> encode_payload(const BoundaryRequest& msg) {
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  write_request(w, msg.request);
+  return out;
+}
+
+BoundaryRequest decode_boundary_request(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  BoundaryRequest msg;
+  msg.request = read_request(r);
+  r.finish();
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_payload(const BoundaryResponse& msg) {
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  w.u64(msg.edges.size());
+  for (const Edge& e : msg.edges) {
+    w.u32(e.u);
+    w.u32(e.v);
+  }
+  return out;
+}
+
+BoundaryResponse decode_boundary_response(
+    std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  BoundaryResponse msg;
+  const std::uint64_t count = r.u64();
+  check_count(count, 2 * sizeof(vertex_t), r.remaining(), "boundary edge");
+  msg.edges.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Edge e{};
+    e.u = r.u32();
+    e.v = r.u32();
+    if (e.u >= e.v) {
+      fail("boundary edge (" + std::to_string(e.u) + ", " +
+           std::to_string(e.v) + ") violates u < v");
+    }
+    msg.edges.push_back(e);
+  }
+  r.finish();
+  return msg;
+}
+
+// --- BatchRequest / BatchResponse -----------------------------------------
+
+std::vector<std::uint8_t> encode_payload(const BatchRequest& msg) {
+  if (msg.betas.size() > kMaxBatchBetas) {
+    fail("batch of " + std::to_string(msg.betas.size()) +
+         " betas exceeds the ladder limit (" + std::to_string(kMaxBatchBetas) +
+         ")");
+  }
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  write_request(w, msg.base);
+  w.u32(static_cast<std::uint32_t>(msg.betas.size()));
+  for (const double beta : msg.betas) w.f64(beta);
+  return out;
+}
+
+BatchRequest decode_batch_request(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  BatchRequest msg;
+  msg.base = read_request(r);
+  const std::uint32_t count = r.u32();
+  if (count > kMaxBatchBetas) {
+    fail("batch of " + std::to_string(count) +
+         " betas exceeds the ladder limit (" + std::to_string(kMaxBatchBetas) +
+         "); each beta caches a full result on the serving worker");
+  }
+  check_count(count, sizeof(double), r.remaining(), "beta");
+  msg.betas.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) msg.betas.push_back(r.f64());
+  r.finish();
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_payload(const BatchResponse& msg) {
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  w.u32(static_cast<std::uint32_t>(msg.entries.size()));
+  for (const BatchEntry& e : msg.entries) {
+    w.f64(e.beta);
+    w.u32(e.num_clusters);
+    w.u32(e.rounds);
+    w.u64(e.boundary_edges);
+  }
+  return out;
+}
+
+BatchResponse decode_batch_response(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  BatchResponse msg;
+  const std::uint32_t count = r.u32();
+  check_count(count, sizeof(double) + 2 * sizeof(std::uint32_t) +
+                         sizeof(std::uint64_t),
+              r.remaining(), "batch entry");
+  msg.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BatchEntry e;
+    e.beta = r.f64();
+    e.num_clusters = r.u32();
+    e.rounds = r.u32();
+    e.boundary_edges = r.u64();
+    msg.entries.push_back(e);
+  }
+  r.finish();
+  return msg;
+}
+
+// --- Shutdown / Error -----------------------------------------------------
+
+std::vector<std::uint8_t> encode_payload(const ShutdownRequest&) { return {}; }
+
+ShutdownRequest decode_shutdown_request(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  r.finish();
+  return {};
+}
+
+std::vector<std::uint8_t> encode_payload(const ShutdownResponse&) {
+  return {};
+}
+
+ShutdownResponse decode_shutdown_response(
+    std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  r.finish();
+  return {};
+}
+
+std::vector<std::uint8_t> encode_payload(const ErrorResponse& msg) {
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  w.u32(static_cast<std::uint32_t>(msg.code));
+  const std::size_t len =
+      std::min(msg.message.size(), kMaxErrorMessageBytes);
+  w.u32(static_cast<std::uint32_t>(len));
+  w.raw(msg.message.data(), len);
+  return out;
+}
+
+ErrorResponse decode_error_response(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  ErrorResponse msg;
+  const std::uint32_t code = r.u32();
+  if (code < static_cast<std::uint32_t>(ErrorCode::kInvalidRequest) ||
+      code > static_cast<std::uint32_t>(ErrorCode::kInternal)) {
+    fail("error code " + std::to_string(code) + " out of range");
+  }
+  msg.code = static_cast<ErrorCode>(code);
+  const std::uint32_t len = r.u32();
+  if (len > kMaxErrorMessageBytes) {
+    fail("error message length " + std::to_string(len) + " exceeds the cap");
+  }
+  msg.message.resize(len);
+  r.raw(msg.message.data(), len, "error message");
+  r.finish();
+  return msg;
+}
+
+}  // namespace mpx::server

@@ -1,0 +1,636 @@
+#include "server/server.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/session.hpp"
+#include "graph/snapshot.hpp"
+#include "server/protocol.hpp"
+#include "support/timer.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MPX_SERVER_HAVE_SOCKETS 1
+#include <errno.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "server/socket_util.hpp"
+#endif
+
+namespace mpx::server {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("mpx::server: " + what);
+}
+
+#if MPX_SERVER_HAVE_SOCKETS
+
+/// The promised "clear path:errno message" for unavailable sockets.
+[[noreturn]] void fail_errno(const std::string& path) {
+  fail(path + ": " + std::strerror(errno));
+}
+
+/// Poll interval for stop-flag checks while blocked on a socket.
+inline constexpr int kPollMillis = 200;
+
+/// An application-level rejection raised inside a request handler; the
+/// serve loop turns it into a kErrorResponse (the connection survives).
+struct HandlerError {
+  ErrorCode code;
+  std::string message;
+};
+
+#endif  // MPX_SERVER_HAVE_SOCKETS
+
+}  // namespace
+
+struct DecompServer::Impl {
+  ServerConfig config;
+
+  bool weighted = false;
+  CsrGraph graph;            // unweighted snapshots
+  WeightedCsrGraph wgraph;   // weighted snapshots
+  std::vector<DecompositionSession> sessions;  // one per worker
+
+  int listen_fd = -1;
+  std::uint16_t bound_port = 0;
+  std::atomic<bool> started{false};
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> joined{false};
+
+  /// Set the stop flag under the queue mutex (so a cv waiter between its
+  /// predicate check and its sleep cannot miss the wakeup) and wake
+  /// everyone.
+  void signal_stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stopping.store(true);
+    }
+    cv.notify_all();
+  }
+
+  std::thread acceptor;
+  std::vector<std::thread> workers;
+  std::mutex mutex;             // guards pending + the stop condition
+  std::condition_variable cv;   // workers wait here; wait() too
+  std::deque<int> pending;      // accepted, not-yet-served connections
+
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> info_requests{0};
+  std::atomic<std::uint64_t> run_requests{0};
+  std::atomic<std::uint64_t> query_requests{0};
+  std::atomic<std::uint64_t> boundary_requests{0};
+  std::atomic<std::uint64_t> batch_requests{0};
+  std::atomic<std::uint64_t> service_nanos{0};
+
+#if MPX_SERVER_HAVE_SOCKETS
+  void open_listener();
+  void accept_loop();
+  void worker_loop(DecompositionSession& session);
+  void serve_connection(int fd, DecompositionSession& session);
+  std::vector<std::uint8_t> handle_frame(const FrameHeader& header,
+                                         std::span<const std::uint8_t> payload,
+                                         DecompositionSession& session,
+                                         bool& close_connection);
+  void restore_warm(DecompositionSession& session, bool strict);
+  void enforce_cache_bound(DecompositionSession& session);
+#endif
+};
+
+#if MPX_SERVER_HAVE_SOCKETS
+namespace {
+
+/// Read exactly `bytes` unless the peer closes first. Returns the byte
+/// count actually read: `bytes` on success, anything else means EOF, a
+/// transport error, or a stop request (checked every poll interval even
+/// mid-frame, so a stalled peer can never block graceful shutdown).
+std::size_t read_exact(int fd, std::uint8_t* into, std::size_t bytes,
+                       const std::atomic<bool>& stopping) {
+  std::size_t got = 0;
+  while (got < bytes) {
+    if (stopping.load(std::memory_order_relaxed)) return got;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return got;
+    }
+    if (ready == 0) continue;  // timeout: re-check the stop flag
+    const ssize_t n = ::recv(fd, into + got, bytes - got, 0);
+    if (n == 0) return got;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return got;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+/// Write the whole buffer; false when the peer is gone or a stop request
+/// interrupts a *blocked* write (a slow reader with a full socket buffer
+/// must not pin its worker past shutdown — the mirror of read_exact's
+/// stop polling). Progress is always attempted before the flag is
+/// consulted, so small responses — the shutdown ack included — complete
+/// even while the server is draining.
+bool write_all(int fd, std::span<const std::uint8_t> bytes,
+               const std::atomic<bool>& stopping) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = detail::send_some(fd, bytes.data() + sent,
+                                        bytes.size() - sent, MSG_DONTWAIT);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+      return false;
+    }
+    // No progress: the buffer is full. Wait for writability, abandoning
+    // the connection if a stop arrives first.
+    if (stopping.load(std::memory_order_relaxed)) return false;
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready < 0 && errno != EINTR) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void DecompServer::Impl::restore_warm(DecompositionSession& session,
+                                      bool strict) {
+  for (const WarmStartEntry& entry : config.warm) {
+    if (!session.load_cached(entry.request, entry.path)) {
+      // At start() a missing file is an operator error; after a runtime
+      // eviction (the file may have been deleted since) the entry is
+      // simply recomputed on demand.
+      if (strict) fail(entry.path + ": warm-start file not found");
+      continue;
+    }
+    (void)session.materialize(entry.request);
+  }
+}
+
+/// Request keys are client-controlled, so the per-worker result cache
+/// would otherwise grow one DecompositionResult per distinct request
+/// forever. Over the bound: drop everything, restore the warm set.
+void DecompServer::Impl::enforce_cache_bound(DecompositionSession& session) {
+  if (config.max_cached_results == 0) return;
+  if (session.cache_size() <= config.max_cached_results) return;
+  session.clear_cache();
+  restore_warm(session, /*strict=*/false);
+}
+
+void DecompServer::Impl::open_listener() {
+  if (!config.socket_path.empty()) {
+    sockaddr_un addr{};
+    if (!detail::fill_unix_address(config.socket_path, addr)) {
+      fail(config.socket_path + ": socket path longer than sun_path (" +
+           std::to_string(sizeof(addr.sun_path) - 1) + " bytes)");
+    }
+    // Reclaim a stale socket file left by a crashed server (which never
+    // reached the clean-shutdown unlink). Only an actual socket that
+    // refuses connections is removed: a live server still fails the bind
+    // below with EADDRINUSE, and a non-socket file at the path is never
+    // touched (it is not ours to delete).
+    struct stat st {};
+    if (::lstat(config.socket_path.c_str(), &st) == 0 &&
+        S_ISSOCK(st.st_mode)) {
+      const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (probe >= 0) {
+        const bool refused =
+            ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) != 0 &&
+            errno == ECONNREFUSED;
+        ::close(probe);
+        if (refused) ::unlink(config.socket_path.c_str());
+      }
+    }
+    listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0) fail_errno(config.socket_path);
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const int saved = errno;
+      ::close(listen_fd);
+      listen_fd = -1;
+      errno = saved;
+      fail_errno(config.socket_path);
+    }
+  } else {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    const std::string where =
+        "127.0.0.1:" + std::to_string(config.tcp_port);
+    if (listen_fd < 0) fail_errno(where);
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(config.tcp_port);
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const int saved = errno;
+      ::close(listen_fd);
+      listen_fd = -1;
+      errno = saved;
+      fail_errno(where);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      bound_port = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(listen_fd, 64) != 0) {
+    const int saved = errno;
+    ::close(listen_fd);
+    listen_fd = -1;
+    errno = saved;
+    fail_errno(config.socket_path.empty()
+                   ? "127.0.0.1:" + std::to_string(bound_port)
+                   : config.socket_path);
+  }
+}
+
+void DecompServer::Impl::accept_loop() {
+  while (!stopping.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready <= 0) continue;  // timeout, EINTR: re-check the stop flag
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;  // ECONNABORTED etc.; the loop condition governs
+    detail::disable_sigpipe(fd);
+    if (config.socket_path.empty()) detail::disable_nagle(fd);
+    connections.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      pending.push_back(fd);
+    }
+    cv.notify_one();
+  }
+}
+
+void DecompServer::Impl::worker_loop(DecompositionSession& session) {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] {
+        return stopping.load(std::memory_order_relaxed) || !pending.empty();
+      });
+      if (stopping.load(std::memory_order_relaxed)) return;
+      fd = pending.front();
+      pending.pop_front();
+    }
+    try {
+      serve_connection(fd, session);
+    } catch (const std::exception&) {
+      // A connection must never take its worker down (e.g. bad_alloc on
+      // a huge-but-in-bounds payload claim); drop it and serve the next.
+    }
+    ::close(fd);
+  }
+}
+
+void DecompServer::Impl::serve_connection(int fd,
+                                          DecompositionSession& session) {
+  std::vector<std::uint8_t> payload;
+  for (;;) {
+    std::uint8_t header_bytes[kFrameHeaderBytes];
+    const std::size_t got =
+        read_exact(fd, header_bytes, sizeof(header_bytes), stopping);
+    if (got == 0) return;  // clean close (or stop requested while idle)
+    if (got != sizeof(header_bytes) &&
+        stopping.load(std::memory_order_relaxed)) {
+      return;  // stop interrupted a partial frame; just drop it
+    }
+    FrameHeader header;
+    try {
+      if (got != sizeof(header_bytes)) {
+        throw ProtocolError("truncated frame header: " + std::to_string(got) +
+                            " of " + std::to_string(kFrameHeaderBytes) +
+                            " bytes");
+      }
+      header = decode_frame_header(header_bytes);
+      if (header.payload_bytes > kMaxRequestPayloadBytes) {
+        throw ProtocolError(
+            "request payload of " + std::to_string(header.payload_bytes) +
+            " bytes exceeds the request-direction limit (" +
+            std::to_string(kMaxRequestPayloadBytes) + ")");
+      }
+    } catch (const ProtocolError& e) {
+      // The stream is unsynchronized: answer best-effort, then drop it.
+      errors.fetch_add(1, std::memory_order_relaxed);
+      requests.fetch_add(1, std::memory_order_relaxed);
+      (void)write_all(fd,
+                      encode_message(MessageType::kErrorResponse,
+                                     ErrorResponse{
+                                         ErrorCode::kMalformedPayload,
+                                         e.what()}),
+                      stopping);
+      return;
+    }
+    payload.resize(header.payload_bytes);
+    if (header.payload_bytes != 0 &&
+        read_exact(fd, payload.data(), payload.size(), stopping) !=
+            payload.size()) {
+      return;  // peer vanished mid-frame; nothing sane to answer
+    }
+
+    WallTimer timer;
+    bool close_connection = false;
+    std::vector<std::uint8_t> response;
+    try {
+      response = handle_frame(header, payload, session, close_connection);
+    } catch (const HandlerError& e) {
+      errors.fetch_add(1, std::memory_order_relaxed);
+      response = encode_message(MessageType::kErrorResponse,
+                                ErrorResponse{e.code, e.message});
+    } catch (const ProtocolError& e) {
+      errors.fetch_add(1, std::memory_order_relaxed);
+      response = encode_message(
+          MessageType::kErrorResponse,
+          ErrorResponse{ErrorCode::kMalformedPayload, e.what()});
+    } catch (const std::invalid_argument& e) {
+      errors.fetch_add(1, std::memory_order_relaxed);
+      response =
+          encode_message(MessageType::kErrorResponse,
+                         ErrorResponse{ErrorCode::kInvalidRequest, e.what()});
+    } catch (const std::exception& e) {
+      errors.fetch_add(1, std::memory_order_relaxed);
+      response =
+          encode_message(MessageType::kErrorResponse,
+                         ErrorResponse{ErrorCode::kInternal, e.what()});
+    }
+    requests.fetch_add(1, std::memory_order_relaxed);
+    service_nanos.fetch_add(
+        static_cast<std::uint64_t>(timer.seconds() * 1e9),
+        std::memory_order_relaxed);
+    if (!write_all(fd, response, stopping)) return;
+    if (close_connection) return;
+    enforce_cache_bound(session);
+  }
+}
+
+std::vector<std::uint8_t> DecompServer::Impl::handle_frame(
+    const FrameHeader& header, std::span<const std::uint8_t> payload,
+    DecompositionSession& session, bool& close_connection) {
+  const vertex_t n = session.topology().num_vertices();
+  switch (header.type) {
+    case MessageType::kInfoRequest: {
+      (void)decode_info_request(payload);
+      info_requests.fetch_add(1, std::memory_order_relaxed);
+      InfoResponse info;
+      info.num_vertices = n;
+      info.num_edges = session.topology().num_edges();
+      info.weighted = session.weighted();
+      info.workers = static_cast<std::uint16_t>(config.workers);
+      info.requests_served = requests.load(std::memory_order_relaxed);
+      return encode_message(MessageType::kInfoResponse, info);
+    }
+    case MessageType::kRunRequest: {
+      const RunRequest req = decode_run_request(payload);
+      run_requests.fetch_add(1, std::memory_order_relaxed);
+      validate_request(req.request);
+      RunResponse out;
+      out.from_cache = session.cached(req.request) != nullptr;
+      const DecompositionResult& result = session.run(req.request);
+      out.num_clusters = result.num_clusters();
+      out.is_weighted = result.weighted();
+      out.rounds = result.telemetry.rounds;
+      out.phases = result.telemetry.phases;
+      out.arcs_scanned = result.telemetry.arcs_scanned;
+      if (req.include_arrays) {
+        out.has_arrays = true;
+        out.owner = result.owner;
+        out.settle = result.settle;
+      }
+      return encode_message(MessageType::kRunResponse, out);
+    }
+    case MessageType::kQueryRequest: {
+      const QueryRequest req = decode_query_request(payload);
+      query_requests.fetch_add(1, std::memory_order_relaxed);
+      validate_request(req.request);
+      if (req.u >= n || (req.kind == QueryKind::kDistance && req.v >= n)) {
+        throw HandlerError{
+            ErrorCode::kOutOfRange,
+            "vertex out of range (n=" + std::to_string(n) + ")"};
+      }
+      QueryResponse out;
+      switch (req.kind) {
+        case QueryKind::kClusterOf:
+          out.value = session.cluster_of(req.u, req.request);
+          break;
+        case QueryKind::kOwnerOf:
+          out.value = session.owner_of(req.u, req.request);
+          break;
+        case QueryKind::kDistance: {
+          const AlgorithmInfo* info = find_algorithm(req.request.algorithm);
+          if (info != nullptr && info->needs_weights) {
+            throw HandlerError{
+                ErrorCode::kUnsupportedQuery,
+                "distance estimates serve unweighted algorithms; '" +
+                    req.request.algorithm + "' produces real-valued radii"};
+          }
+          out.value = session.estimate_distance(req.u, req.v, req.request);
+          break;
+        }
+      }
+      return encode_message(MessageType::kQueryResponse, out);
+    }
+    case MessageType::kBoundaryRequest: {
+      const BoundaryRequest req = decode_boundary_request(payload);
+      boundary_requests.fetch_add(1, std::memory_order_relaxed);
+      validate_request(req.request);
+      const std::span<const Edge> edges = session.boundary_arcs(req.request);
+      BoundaryResponse out;
+      out.edges.assign(edges.begin(), edges.end());
+      return encode_message(MessageType::kBoundaryResponse, out);
+    }
+    case MessageType::kBatchRequest: {
+      const BatchRequest req = decode_batch_request(payload);
+      batch_requests.fetch_add(1, std::memory_order_relaxed);
+      const std::vector<const DecompositionResult*> results =
+          session.run_batch(req.base, req.betas);
+      BatchResponse out;
+      out.entries.reserve(results.size());
+      DecompositionRequest per_beta = req.base;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        per_beta.beta = req.betas[i];
+        BatchEntry entry;
+        entry.beta = req.betas[i];
+        entry.num_clusters = results[i]->num_clusters();
+        entry.rounds = results[i]->telemetry.rounds;
+        entry.boundary_edges = session.boundary_arcs(per_beta).size();
+        out.entries.push_back(entry);
+      }
+      return encode_message(MessageType::kBatchResponse, out);
+    }
+    case MessageType::kShutdownRequest: {
+      (void)decode_shutdown_request(payload);
+      close_connection = true;
+      // Reply first (the caller writes the response), then the stop flag
+      // drains the pool; in-flight requests on other workers finish.
+      signal_stop();
+      return encode_message(MessageType::kShutdownResponse,
+                            ShutdownResponse{});
+    }
+    case MessageType::kInfoResponse:
+    case MessageType::kRunResponse:
+    case MessageType::kQueryResponse:
+    case MessageType::kBoundaryResponse:
+    case MessageType::kBatchResponse:
+    case MessageType::kShutdownResponse:
+    case MessageType::kErrorResponse:
+      break;
+  }
+  // A response type arriving at the server is a peer bug; drop the
+  // connection after answering so the stream cannot drift further.
+  close_connection = true;
+  throw ProtocolError("unexpected response-type frame " +
+                      std::to_string(static_cast<int>(header.type)) +
+                      " sent to a server");
+}
+
+#endif  // MPX_SERVER_HAVE_SOCKETS
+
+DecompServer::DecompServer(ServerConfig config)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->config = std::move(config);
+}
+
+DecompServer::~DecompServer() {
+  if (impl_ != nullptr && impl_->started.load()) stop();
+}
+
+const ServerConfig& DecompServer::config() const { return impl_->config; }
+
+std::uint16_t DecompServer::port() const { return impl_->bound_port; }
+
+bool DecompServer::running() const {
+  return impl_->started.load() && !(impl_->stopping.load() && impl_->joined);
+}
+
+bool DecompServer::stop_requested() const { return impl_->stopping.load(); }
+
+ServerStats DecompServer::stats() const {
+  ServerStats s;
+  s.connections = impl_->connections.load(std::memory_order_relaxed);
+  s.requests = impl_->requests.load(std::memory_order_relaxed);
+  s.errors = impl_->errors.load(std::memory_order_relaxed);
+  s.info_requests = impl_->info_requests.load(std::memory_order_relaxed);
+  s.run_requests = impl_->run_requests.load(std::memory_order_relaxed);
+  s.query_requests = impl_->query_requests.load(std::memory_order_relaxed);
+  s.boundary_requests =
+      impl_->boundary_requests.load(std::memory_order_relaxed);
+  s.batch_requests = impl_->batch_requests.load(std::memory_order_relaxed);
+  s.service_seconds =
+      static_cast<double>(
+          impl_->service_nanos.load(std::memory_order_relaxed)) /
+      1e9;
+  return s;
+}
+
+#if MPX_SERVER_HAVE_SOCKETS
+
+void DecompServer::start() {
+  Impl& impl = *impl_;
+  if (impl.started.load()) fail("start() called twice");
+  if (impl.config.snapshot_path.empty()) {
+    throw std::invalid_argument("mpx::server: config.snapshot_path is empty");
+  }
+  if (impl.config.workers < 1) {
+    throw std::invalid_argument("mpx::server: config.workers must be >= 1");
+  }
+
+  // Map the snapshot once; worker sessions share the mapping through the
+  // view graph's keepalive (copies are shallow).
+  const io::SnapshotInfo info = io::read_snapshot_info(impl.config.snapshot_path);
+  impl.weighted = info.weighted();
+  if (impl.weighted) {
+    impl.wgraph = io::map_weighted_snapshot(impl.config.snapshot_path);
+  } else {
+    impl.graph = io::map_snapshot(impl.config.snapshot_path);
+  }
+  impl.sessions.clear();
+  impl.sessions.reserve(static_cast<std::size_t>(impl.config.workers));
+  for (int i = 0; i < impl.config.workers; ++i) {
+    if (impl.weighted) {
+      impl.sessions.emplace_back(WeightedCsrGraph(impl.wgraph));
+    } else {
+      impl.sessions.emplace_back(CsrGraph(impl.graph));
+    }
+    impl.restore_warm(impl.sessions.back(), /*strict=*/true);
+  }
+
+  impl.open_listener();
+  impl.stopping.store(false);
+  impl.joined = false;
+  impl.started.store(true);
+  impl.acceptor = std::thread([&impl] { impl.accept_loop(); });
+  impl.workers.reserve(impl.sessions.size());
+  for (DecompositionSession& session : impl.sessions) {
+    impl.workers.emplace_back(
+        [&impl, &session] { impl.worker_loop(session); });
+  }
+}
+
+void DecompServer::request_stop() { impl_->signal_stop(); }
+
+void DecompServer::wait() {
+  Impl& impl = *impl_;
+  if (!impl.started.load()) return;
+  {
+    std::unique_lock<std::mutex> lock(impl.mutex);
+    impl.cv.wait(lock, [&] { return impl.stopping.load(); });
+    if (impl.joined.exchange(true)) return;
+  }
+  if (impl.acceptor.joinable()) impl.acceptor.join();
+  for (std::thread& worker : impl.workers) {
+    if (worker.joinable()) worker.join();
+  }
+  impl.workers.clear();
+  for (const int fd : impl.pending) ::close(fd);
+  impl.pending.clear();
+  if (impl.listen_fd >= 0) {
+    ::close(impl.listen_fd);
+    impl.listen_fd = -1;
+  }
+  if (!impl.config.socket_path.empty()) {
+    ::unlink(impl.config.socket_path.c_str());
+  }
+  impl.sessions.clear();
+}
+
+void DecompServer::stop() {
+  request_stop();
+  wait();
+}
+
+#else  // !MPX_SERVER_HAVE_SOCKETS
+
+void DecompServer::start() {
+  fail("socket transports are unavailable on this platform");
+}
+void DecompServer::request_stop() {}
+void DecompServer::wait() {}
+void DecompServer::stop() {}
+
+#endif  // MPX_SERVER_HAVE_SOCKETS
+
+}  // namespace mpx::server

@@ -1,0 +1,127 @@
+/// \file
+/// \brief DecompServer: the standing, concurrent decomposition query
+/// service around DecompositionSession.
+///
+/// The server turns the in-process session (core/session.hpp) into the
+/// process boundary the ROADMAP's serving layer calls for. One
+/// `.mpxs` snapshot is mapped **once** (zero-copy); every worker thread
+/// owns a private `DecompositionSession` + `DecompositionWorkspace` over
+/// a shallow copy of that mapped graph (the copies share the mmap
+/// keepalive, so the graph bytes exist once in memory no matter how many
+/// workers run). Connections are accepted on a Unix-domain or loopback
+/// TCP socket and handed to the worker pool; a worker serves every frame
+/// of its connection (docs/PROTOCOL.md) until the peer closes, so a
+/// client's repeated requests hit one worker's warm cache.
+///
+/// Lifecycle: construct with a `ServerConfig`, `start()` (binds, loads
+/// the graph, spawns the pool — throws with a `path: errno-message`
+/// string when the socket is unavailable), then either `wait()` for a
+/// stop (client kShutdownRequest or `request_stop()`) or call `stop()`
+/// directly. Shutdown is graceful: in-flight requests finish, then
+/// connections and the listener close. Warm-start: `ServerConfig::warm`
+/// entries are `load_cached` + `materialize`d into every worker session
+/// before the first connection is accepted.
+///
+/// Per-request telemetry (counts by type, error count, summed service
+/// seconds) is exposed via `stats()`.
+///
+/// Only Unix-like hosts have the socket transports; elsewhere `start()`
+/// throws std::runtime_error (the protocol layer itself is portable).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/decomposer.hpp"
+
+namespace mpx::server {
+
+/// One decomposition to restore into every worker's cache before serving
+/// (DecompositionSession::load_cached + materialize).
+struct WarmStartEntry {
+  DecompositionRequest request;  ///< cache key the file restores
+  std::string path;              ///< decomposition file (save_cached output)
+};
+
+/// Everything the server needs to stand up.
+struct ServerConfig {
+  /// `.mpxs` snapshot to serve; mapped zero-copy once, shared by every
+  /// worker. Required.
+  std::string snapshot_path;
+  /// Unix-domain socket path. When non-empty, the server listens here
+  /// (and unlinks the path on clean shutdown).
+  std::string socket_path;
+  /// Loopback TCP port, used when `socket_path` is empty. 0 picks an
+  /// ephemeral port; read it back with DecompServer::port().
+  std::uint16_t tcp_port = 0;
+  /// Worker threads; each owns one DecompositionSession + workspace.
+  int workers = 1;
+  /// Cached decompositions to restore into every worker before serving.
+  std::vector<WarmStartEntry> warm;
+  /// Per-worker result-cache bound. Request keys are client-controlled
+  /// (every distinct algorithm/beta/seed is a new cached result), so an
+  /// unbounded cache is an OOM waiting for a long-lived deployment: once
+  /// a worker's cache exceeds this many entries it is cleared and the
+  /// `warm` entries restored. 0 disables the bound.
+  std::size_t max_cached_results = 256;
+};
+
+/// Snapshot of the server's lifetime request telemetry.
+struct ServerStats {
+  std::uint64_t connections = 0;       ///< connections accepted
+  std::uint64_t requests = 0;          ///< frames answered (errors included)
+  std::uint64_t errors = 0;            ///< kErrorResponse frames sent
+  std::uint64_t info_requests = 0;
+  std::uint64_t run_requests = 0;
+  std::uint64_t query_requests = 0;
+  std::uint64_t boundary_requests = 0;
+  std::uint64_t batch_requests = 0;
+  double service_seconds = 0.0;        ///< summed per-request handle time
+};
+
+class DecompServer {
+ public:
+  explicit DecompServer(ServerConfig config);
+  ~DecompServer();  ///< stops and joins if still running
+
+  DecompServer(const DecompServer&) = delete;
+  DecompServer& operator=(const DecompServer&) = delete;
+
+  /// Map the snapshot, restore warm-start entries, bind the socket, and
+  /// spawn the acceptor + worker pool. Throws std::runtime_error with a
+  /// `mpx::server: <path>: <errno message>` string when the socket path
+  /// or port is unavailable, and std::invalid_argument on a bad config
+  /// (no snapshot, workers < 1).
+  void start();
+
+  /// Ask the server to stop; returns immediately. Safe from any thread,
+  /// including workers (a client kShutdownRequest uses this internally).
+  void request_stop();
+
+  /// Block until a stop has been requested, then join every thread and
+  /// release the socket. Call from the owning thread (not a worker).
+  void wait();
+
+  /// request_stop() + wait(): graceful synchronous shutdown.
+  void stop();
+
+  /// True between start() and the completion of shutdown.
+  [[nodiscard]] bool running() const;
+  /// True once a stop has been requested (wait() will return promptly).
+  [[nodiscard]] bool stop_requested() const;
+
+  /// The bound TCP port (after start(); meaningful when socket_path is
+  /// empty). Lets tests and benches bind port 0 and discover the result.
+  [[nodiscard]] std::uint16_t port() const;
+
+  [[nodiscard]] const ServerConfig& config() const;
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mpx::server

@@ -1,0 +1,70 @@
+/// \file
+/// \brief Shared socket helpers for the server and client transports.
+///
+/// Internal to src/server/ (not part of the public API): the send path
+/// and Unix-address setup appear on both sides of the connection, and a
+/// portability fix applied to one side only would leave the other broken
+/// — most notably SIGPIPE suppression, which is per-send on Linux
+/// (MSG_NOSIGNAL) but per-socket on macOS (SO_NOSIGPIPE).
+#pragma once
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <cstring>
+#include <string>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/un.h>
+
+namespace mpx::server::detail {
+
+/// Keep a dead peer from killing the process: on platforms without
+/// MSG_NOSIGNAL (macOS), mark the socket itself SO_NOSIGPIPE. Call on
+/// every connected/accepted fd before the first send.
+inline void disable_sigpipe(int fd) {
+#if defined(SO_NOSIGPIPE)
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  (void)fd;
+#endif
+}
+
+/// One send() that never raises SIGPIPE (MSG_NOSIGNAL where available;
+/// elsewhere disable_sigpipe() on the fd provides the guarantee).
+/// `extra_flags` composes additional send flags (e.g. MSG_DONTWAIT for
+/// the server's stop-aware write loop).
+inline ssize_t send_some(int fd, const void* data, std::size_t bytes,
+                         int extra_flags = 0) {
+#if defined(MSG_NOSIGNAL)
+  return ::send(fd, data, bytes, MSG_NOSIGNAL | extra_flags);
+#else
+  return ::send(fd, data, bytes, extra_flags);
+#endif
+}
+
+/// Disable Nagle on a TCP socket: the protocol is strict
+/// request/response, so coalescing the tail segment of a framed message
+/// only adds delayed-ACK latency. Harmless no-op on non-TCP fds (the
+/// error is ignored).
+inline void disable_nagle(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Fill a sockaddr_un for `path`; false when the path does not fit
+/// sun_path (the caller owns the error message).
+inline bool fill_unix_address(const std::string& path, sockaddr_un& addr) {
+  addr = sockaddr_un{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) return false;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace mpx::server::detail
+
+#endif  // defined(__unix__) || defined(__APPLE__)

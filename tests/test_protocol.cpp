@@ -1,0 +1,372 @@
+// Tests for the decomposition-service wire protocol
+// (src/server/protocol.hpp): frame-header byte layout pinned against
+// docs/PROTOCOL.md, round trips of every message type, and the
+// corruption-rejection suite — truncated frames, oversized length
+// prefixes, unknown message types, future protocol versions, trailing
+// junk, embedded-length overruns, out-of-range enum values. Everything
+// malformed must throw ProtocolError; nothing may abort. Mirrors
+// test_snapshot.cpp's rejection style for the on-wire format.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace mpx::server {
+namespace {
+
+DecompositionRequest sample_request() {
+  DecompositionRequest req;
+  req.algorithm = "mpx-bucketed";
+  req.beta = 0.37;
+  req.seed = 0xDEADBEEFCAFEull;
+  req.tie_break = TieBreak::kRandomPermutation;
+  req.distribution = ShiftDistribution::kUniform;
+  req.engine = TraversalEngine::kPull;
+  return req;
+}
+
+std::span<const std::uint8_t> payload_of(
+    const std::vector<std::uint8_t>& frame) {
+  return std::span<const std::uint8_t>(frame).subspan(kFrameHeaderBytes);
+}
+
+// --- framing ---------------------------------------------------------------
+
+TEST(Protocol, FrameHeaderLayoutMatchesSpec) {
+  // docs/PROTOCOL.md "Frame header layout": magic at 0, version u16 at 4,
+  // type u16 at 6, payload_bytes u64 at 8, payload at 16.
+  const std::vector<std::uint8_t> payload = {0xAA, 0xBB, 0xCC};
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MessageType::kQueryRequest, payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+  EXPECT_EQ(frame[0], 'M');
+  EXPECT_EQ(frame[1], 'P');
+  EXPECT_EQ(frame[2], 'X');
+  EXPECT_EQ(frame[3], 'Q');
+  EXPECT_EQ(frame[4], kProtocolVersion);  // little-endian u16
+  EXPECT_EQ(frame[5], 0);
+  EXPECT_EQ(frame[6], 0x03);  // kQueryRequest
+  EXPECT_EQ(frame[7], 0);
+  std::uint64_t length;
+  std::memcpy(&length, frame.data() + 8, sizeof(length));
+  EXPECT_EQ(length, payload.size());
+  EXPECT_EQ(frame[16], 0xAA);
+
+  const FrameHeader header = decode_frame_header(frame);
+  EXPECT_EQ(header.type, MessageType::kQueryRequest);
+  EXPECT_EQ(header.payload_bytes, payload.size());
+}
+
+TEST(Protocol, RejectsTruncatedFrameHeader) {
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MessageType::kInfoRequest, {});
+  for (const std::size_t keep : {0u, 1u, 4u, 8u, 15u}) {
+    SCOPED_TRACE("keep=" + std::to_string(keep));
+    EXPECT_THROW(
+        (void)decode_frame_header(
+            std::span<const std::uint8_t>(frame.data(), keep)),
+        ProtocolError);
+  }
+}
+
+TEST(Protocol, RejectsBadMagic) {
+  std::vector<std::uint8_t> frame = encode_frame(MessageType::kInfoRequest, {});
+  frame[0] = 'X';
+  EXPECT_THROW((void)decode_frame_header(frame), ProtocolError);
+}
+
+TEST(Protocol, RejectsFutureProtocolVersion) {
+  std::vector<std::uint8_t> frame = encode_frame(MessageType::kInfoRequest, {});
+  frame[4] = kProtocolVersion + 1;
+  EXPECT_THROW((void)decode_frame_header(frame), ProtocolError);
+  // Version 0 (older than anything we ever spoke) is equally rejected.
+  frame[4] = 0;
+  EXPECT_THROW((void)decode_frame_header(frame), ProtocolError);
+}
+
+TEST(Protocol, RejectsUnknownMessageType) {
+  std::vector<std::uint8_t> frame = encode_frame(MessageType::kInfoRequest, {});
+  frame[6] = 0x42;  // not a defined type
+  EXPECT_THROW((void)decode_frame_header(frame), ProtocolError);
+  EXPECT_FALSE(is_known_message_type(0x42));
+  EXPECT_TRUE(is_known_message_type(0x01));
+  EXPECT_TRUE(is_known_message_type(0xFF));
+}
+
+TEST(Protocol, RejectsOversizedLengthPrefix) {
+  std::vector<std::uint8_t> frame = encode_frame(MessageType::kRunRequest, {});
+  const std::uint64_t huge = kMaxFramePayloadBytes + 1;
+  std::memcpy(frame.data() + 8, &huge, sizeof(huge));
+  EXPECT_THROW((void)decode_frame_header(frame), ProtocolError);
+}
+
+// --- message round trips ---------------------------------------------------
+
+TEST(Protocol, InfoMessagesRoundTrip) {
+  EXPECT_EQ(decode_info_request(encode_payload(InfoRequest{})), InfoRequest{});
+  InfoResponse info;
+  info.num_vertices = 1u << 20;
+  info.num_edges = 123456789;
+  info.weighted = true;
+  info.workers = 8;
+  info.requests_served = 42;
+  EXPECT_EQ(decode_info_response(encode_payload(info)), info);
+}
+
+TEST(Protocol, RunRequestRoundTripsEveryEnum) {
+  for (const TieBreak tie : {TieBreak::kFractionalShift,
+                             TieBreak::kRandomPermutation,
+                             TieBreak::kLexicographic}) {
+    for (const ShiftDistribution dist :
+         {ShiftDistribution::kExponential,
+          ShiftDistribution::kPermutationQuantile, ShiftDistribution::kUniform}) {
+      for (const TraversalEngine engine :
+           {TraversalEngine::kAuto, TraversalEngine::kPush,
+            TraversalEngine::kPull}) {
+        RunRequest msg;
+        msg.request = sample_request();
+        msg.request.tie_break = tie;
+        msg.request.distribution = dist;
+        msg.request.engine = engine;
+        msg.include_arrays = true;
+        EXPECT_EQ(decode_run_request(encode_payload(msg)), msg);
+      }
+    }
+  }
+}
+
+TEST(Protocol, RunResponseRoundTripsWithAndWithoutArrays) {
+  RunResponse summary;
+  summary.num_clusters = 17;
+  summary.rounds = 9;
+  summary.phases = 2;
+  summary.arcs_scanned = 123456;
+  summary.from_cache = true;
+  EXPECT_EQ(decode_run_response(encode_payload(summary)), summary);
+
+  RunResponse arrays = summary;
+  arrays.has_arrays = true;
+  arrays.owner = {0, 0, 2, 2, 4};
+  arrays.settle = {0, 1, 0, 1, 0};
+  EXPECT_EQ(decode_run_response(encode_payload(arrays)), arrays);
+
+  // mpx-weighted shape: owner populated, settle empty.
+  arrays.is_weighted = true;
+  arrays.settle.clear();
+  EXPECT_EQ(decode_run_response(encode_payload(arrays)), arrays);
+}
+
+TEST(Protocol, QueryMessagesRoundTrip) {
+  for (const QueryKind kind :
+       {QueryKind::kClusterOf, QueryKind::kOwnerOf, QueryKind::kDistance}) {
+    QueryRequest msg;
+    msg.request = sample_request();
+    msg.kind = kind;
+    msg.u = 7;
+    msg.v = 11;
+    EXPECT_EQ(decode_query_request(encode_payload(msg)), msg);
+  }
+  QueryResponse answer{0xFFFFFFFFull};
+  EXPECT_EQ(decode_query_response(encode_payload(answer)), answer);
+}
+
+TEST(Protocol, BoundaryMessagesRoundTrip) {
+  BoundaryRequest req;
+  req.request = sample_request();
+  EXPECT_EQ(decode_boundary_request(encode_payload(req)), req);
+
+  BoundaryResponse resp;
+  resp.edges = {{0, 1}, {0, 5}, {3, 4}};
+  EXPECT_EQ(decode_boundary_response(encode_payload(resp)), resp);
+  EXPECT_EQ(decode_boundary_response(encode_payload(BoundaryResponse{})),
+            BoundaryResponse{});
+}
+
+TEST(Protocol, BatchMessagesRoundTrip) {
+  BatchRequest req;
+  req.base = sample_request();
+  req.betas = {0.5, 0.2, 0.1, 0.05};
+  EXPECT_EQ(decode_batch_request(encode_payload(req)), req);
+
+  BatchResponse resp;
+  resp.entries = {{0.5, 10, 4, 123}, {0.1, 2, 19, 7}};
+  EXPECT_EQ(decode_batch_response(encode_payload(resp)), resp);
+}
+
+TEST(Protocol, ShutdownAndErrorMessagesRoundTrip) {
+  EXPECT_EQ(decode_shutdown_request(encode_payload(ShutdownRequest{})),
+            ShutdownRequest{});
+  EXPECT_EQ(decode_shutdown_response(encode_payload(ShutdownResponse{})),
+            ShutdownResponse{});
+  ErrorResponse err;
+  err.code = ErrorCode::kUnsupportedQuery;
+  err.message = "distance estimates serve unweighted algorithms";
+  EXPECT_EQ(decode_error_response(encode_payload(err)), err);
+}
+
+TEST(Protocol, EncodeMessageFramesThePayload) {
+  QueryResponse answer{99};
+  const std::vector<std::uint8_t> frame =
+      encode_message(MessageType::kQueryResponse, answer);
+  const FrameHeader header = decode_frame_header(frame);
+  EXPECT_EQ(header.type, MessageType::kQueryResponse);
+  EXPECT_EQ(decode_query_response(payload_of(frame)), answer);
+}
+
+// --- payload corruption ----------------------------------------------------
+
+TEST(Protocol, RejectsTruncatedPayloadAtEveryLength) {
+  RunRequest msg;
+  msg.request = sample_request();
+  const std::vector<std::uint8_t> payload = encode_payload(msg);
+  for (std::size_t keep = 0; keep < payload.size(); ++keep) {
+    SCOPED_TRACE("keep=" + std::to_string(keep));
+    EXPECT_THROW(
+        (void)decode_run_request(
+            std::span<const std::uint8_t>(payload.data(), keep)),
+        ProtocolError);
+  }
+}
+
+TEST(Protocol, RejectsTrailingJunkOnEveryMessage) {
+  const auto with_junk = [](std::vector<std::uint8_t> payload) {
+    payload.push_back(0x5A);
+    return payload;
+  };
+  RunRequest run;
+  run.request = sample_request();
+  EXPECT_THROW((void)decode_info_request(with_junk(encode_payload(
+                   InfoRequest{}))),
+               ProtocolError);
+  EXPECT_THROW((void)decode_run_request(with_junk(encode_payload(run))),
+               ProtocolError);
+  EXPECT_THROW((void)decode_query_response(with_junk(encode_payload(
+                   QueryResponse{1}))),
+               ProtocolError);
+  EXPECT_THROW((void)decode_shutdown_request(with_junk(encode_payload(
+                   ShutdownRequest{}))),
+               ProtocolError);
+  BatchResponse batch;
+  batch.entries = {{0.5, 1, 1, 1}};
+  EXPECT_THROW((void)decode_batch_response(with_junk(encode_payload(batch))),
+               ProtocolError);
+}
+
+TEST(Protocol, RejectsAlgorithmLengthOverrunningThePayload) {
+  RunRequest msg;
+  msg.request = sample_request();
+  std::vector<std::uint8_t> payload = encode_payload(msg);
+  // The leading u16 is the algorithm length; claim more than exists.
+  const std::uint16_t huge = 250;
+  std::memcpy(payload.data(), &huge, sizeof(huge));
+  EXPECT_THROW((void)decode_run_request(payload), ProtocolError);
+  // Zero-length ids are equally invalid.
+  const std::uint16_t zero = 0;
+  std::memcpy(payload.data(), &zero, sizeof(zero));
+  EXPECT_THROW((void)decode_run_request(payload), ProtocolError);
+}
+
+TEST(Protocol, RejectsOutOfRangeEnums) {
+  RunRequest msg;
+  msg.request = sample_request();
+  const std::vector<std::uint8_t> good = encode_payload(msg);
+  // The three enum bytes sit directly before the trailing include_arrays
+  // flag: ... tie_break, distribution, engine, include_arrays.
+  for (const std::size_t back_offset : {2u, 3u, 4u}) {
+    std::vector<std::uint8_t> bad = good;
+    bad[bad.size() - back_offset] = 99;
+    SCOPED_TRACE("back_offset=" + std::to_string(back_offset));
+    EXPECT_THROW((void)decode_run_request(bad), ProtocolError);
+  }
+  // And the query kind byte (before the two u32 vertex ids).
+  QueryRequest query;
+  query.request = sample_request();
+  std::vector<std::uint8_t> bad_query = encode_payload(query);
+  bad_query[bad_query.size() - 9] = 99;
+  EXPECT_THROW((void)decode_query_request(bad_query), ProtocolError);
+}
+
+TEST(Protocol, RejectsArrayCountsExceedingThePayload) {
+  RunResponse msg;
+  msg.has_arrays = true;
+  msg.owner = {1, 2, 3};
+  msg.settle = {1, 2, 3};
+  std::vector<std::uint8_t> payload = encode_payload(msg);
+  // The owner count u64 follows the fixed 23-byte summary prefix.
+  const std::size_t count_at = 23;
+  const std::uint64_t huge = 1ull << 40;
+  std::memcpy(payload.data() + count_at, &huge, sizeof(huge));
+  EXPECT_THROW((void)decode_run_response(payload), ProtocolError);
+}
+
+TEST(Protocol, RejectsSettleCountDisagreeingWithOwner) {
+  RunResponse msg;
+  msg.has_arrays = true;
+  msg.owner = {1, 2, 3};
+  msg.settle = {1, 2, 3};
+  std::vector<std::uint8_t> payload = encode_payload(msg);
+  // Rewrite the settle count (after summary + owner count + 3 owners)
+  // from 3 to 2 and drop one settle word: well-formed lengths, but the
+  // settle array no longer matches the owner array.
+  const std::size_t settle_count_at = 23 + 8 + 3 * sizeof(vertex_t);
+  const std::uint64_t two = 2;
+  std::memcpy(payload.data() + settle_count_at, &two, sizeof(two));
+  payload.resize(payload.size() - sizeof(std::uint32_t));
+  EXPECT_THROW((void)decode_run_response(payload), ProtocolError);
+}
+
+TEST(Protocol, RejectsBoundaryEdgesViolatingTheOrderContract) {
+  BoundaryResponse msg;
+  msg.edges = {{3, 1}};  // u >= v: the wire contract requires u < v
+  const std::vector<std::uint8_t> payload = encode_payload(msg);
+  EXPECT_THROW((void)decode_boundary_response(payload), ProtocolError);
+}
+
+TEST(Protocol, RejectsBatchLaddersOverTheLimit) {
+  BatchRequest msg;
+  msg.base = sample_request();
+  msg.betas.assign(kMaxBatchBetas, 0.1);
+  const std::vector<std::uint8_t> good = encode_payload(msg);  // at the cap
+  EXPECT_EQ(decode_batch_request(good).betas.size(), kMaxBatchBetas);
+
+  // One over the cap is rejected on encode...
+  msg.betas.push_back(0.1);
+  EXPECT_THROW((void)encode_payload(msg), ProtocolError);
+  // ...and a forged on-wire count is rejected before the beta reads (the
+  // count u32 sits directly after the encoded base request).
+  std::vector<std::uint8_t> forged = good;
+  const std::size_t count_at = forged.size() - kMaxBatchBetas * 8 - 4;
+  const std::uint32_t huge = kMaxBatchBetas + 1;
+  std::memcpy(forged.data() + count_at, &huge, sizeof(huge));
+  EXPECT_THROW((void)decode_batch_request(forged), ProtocolError);
+}
+
+TEST(Protocol, RejectsOverlongAlgorithmOnEncode) {
+  RunRequest msg;
+  msg.request = sample_request();
+  msg.request.algorithm.assign(300, 'x');
+  EXPECT_THROW((void)encode_payload(msg), ProtocolError);
+  msg.request.algorithm.clear();
+  EXPECT_THROW((void)encode_payload(msg), ProtocolError);
+}
+
+TEST(Protocol, RejectsErrorResponseCorruption) {
+  ErrorResponse err;
+  err.code = ErrorCode::kInternal;
+  err.message = "boom";
+  std::vector<std::uint8_t> payload = encode_payload(err);
+  // Out-of-range code.
+  const std::uint32_t bad_code = 77;
+  std::memcpy(payload.data(), &bad_code, sizeof(bad_code));
+  EXPECT_THROW((void)decode_error_response(payload), ProtocolError);
+  // Message length overrunning the payload.
+  payload = encode_payload(err);
+  const std::uint32_t huge = 4097;
+  std::memcpy(payload.data() + 4, &huge, sizeof(huge));
+  EXPECT_THROW((void)decode_error_response(payload), ProtocolError);
+}
+
+}  // namespace
+}  // namespace mpx::server

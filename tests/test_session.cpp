@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 #include <stdexcept>
+#include <thread>
 
 #include "apps/distance_oracle.hpp"
 #include "bfs/sequential_bfs.hpp"
@@ -257,6 +259,92 @@ TEST(Session, LoadCachedRejectsMismatchedGraph) {
   }
   DecompositionSession other(generators::grid2d(4, 4));
   EXPECT_THROW((void)other.load_cached(req, path), std::runtime_error);
+}
+
+TEST(Session, ConstQueriesRequireMaterialize) {
+  DecompositionSession session(generators::grid2d(6, 6));
+  const DecompositionRequest req = request(0.3);
+  const DecompositionSession& view = session;
+
+  EXPECT_FALSE(session.materialized(req));
+  EXPECT_THROW((void)view.cluster_of(0, req), std::logic_error);
+  EXPECT_THROW((void)view.boundary_arcs(req), std::logic_error);
+
+  // run() alone is not enough: the boundary list and oracle are still
+  // lazy, so the const path keeps refusing until materialize().
+  (void)session.run(req);
+  EXPECT_FALSE(session.materialized(req));
+  EXPECT_THROW((void)view.owner_of(0, req), std::logic_error);
+
+  (void)session.materialize(req);
+  EXPECT_TRUE(session.materialized(req));
+  EXPECT_EQ(view.cluster_of(0, req), session.cluster_of(0, req));
+  EXPECT_EQ(view.num_clusters(req), session.num_clusters(req));
+}
+
+TEST(Session, MaterializeReturnsTheCachedResult) {
+  DecompositionSession session(generators::grid2d(10, 10));
+  const DecompositionRequest req = request(0.3);
+  const DecompositionResult& run_ref = session.run(req);
+  EXPECT_EQ(&session.materialize(req), &run_ref);
+  // Weighted results materialize without an oracle (there is nothing the
+  // unweighted distance oracle could serve).
+  DecompositionSession wsession(mpx::testing::grid3x3_weighted_reference());
+  const DecompositionRequest wreq = request(0.4, 1, "mpx-weighted");
+  (void)wsession.materialize(wreq);
+  EXPECT_TRUE(wsession.materialized(wreq));
+  const DecompositionSession& wview = wsession;
+  EXPECT_THROW((void)wview.estimate_distance(0, 1, wreq),
+               std::invalid_argument);
+}
+
+// The documented server guarantee: after materialize(req), the const
+// query path only reads immutable state, so any number of threads may
+// query concurrently. Run under ASan/TSan-less CI this still catches
+// logic races via wrong answers; under sanitizers it catches UB.
+TEST(Session, ConstQueryPathSurvivesConcurrentHammering) {
+  const CsrGraph g = generators::grid2d(40, 40);
+  DecompositionSession session((CsrGraph(g)));
+  const DecompositionRequest req = request(0.25);
+  const DecompositionResult& result = session.materialize(req);
+  const std::span<const Edge> boundary = session.boundary_arcs(req);
+  const DecompositionSession& view = session;
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const vertex_t n = g.num_vertices();
+      for (int i = 0; i < kIters; ++i) {
+        const auto v = static_cast<vertex_t>((t * 7919 + i * 104729) % n);
+        const auto u = static_cast<vertex_t>((t * 104729 + i * 7919) % n);
+        if (view.owner_of(v, req) != result.owner[v]) ++mismatches;
+        if (view.cluster_of(v, req) != result.cluster_of(v)) ++mismatches;
+        if (view.num_clusters(req) != result.num_clusters()) ++mismatches;
+        const std::span<const Edge> b = view.boundary_arcs(req);
+        if (b.data() != boundary.data() || b.size() != boundary.size()) {
+          ++mismatches;
+        }
+        // Distance estimates must be stable across threads (the oracle is
+        // immutable after materialize); symmetric sampling covers u == v.
+        if (view.estimate_distance(u, v, req) !=
+            view.estimate_distance(u, v, req)) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Sequential spot check that the concurrent answers were the right ones.
+  const DistanceOracle oracle(g, Decomposition(result.decomposition));
+  for (vertex_t v = 0; v < g.num_vertices(); v += 97) {
+    EXPECT_EQ(view.estimate_distance(0, v, req), oracle.estimate(0, v));
+  }
 }
 
 TEST(Session, UnweightedAlgorithmsRunOnWeightedSessions) {

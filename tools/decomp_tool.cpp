@@ -18,21 +18,40 @@
 //         --boundary       boundary (cut) edge count and sample
 //   decomp_tool algorithms
 //       list the algorithm registry.
+//   decomp_tool serve <graph.mpxs> --socket <path> [--port P]
+//               [--workers N] [--warm <file.dec>] [opts]
+//       stand up the decomposition server (src/server/) on a Unix-domain
+//       socket (--socket) or loopback TCP port (--port): one worker
+//       session per thread over the shared mmap-ed snapshot. --warm
+//       restores a save_cached file (under the request described by
+//       [opts]) into every worker before serving. Runs until SIGINT /
+//       SIGTERM or a client --shutdown.
+//   decomp_tool connect --socket <path> | --port P [--host H] [opts]
+//               [--run] [--cluster-of V]... [--distance U V] [--boundary]
+//               [--betas b1,b2,...] [--info] [--shutdown]
+//       drive a running server through the client library: the same
+//       queries `query` answers in process, over the wire protocol
+//       (docs/PROTOCOL.md).
 //
 // common opts: --algo <name> (default mpx), --beta B (default 0.1),
 //              --seed S (default 0), --engine auto|push|pull
 //
 // <graph> is any format io::detect_graph_format understands; `.mpxs`
 // snapshots are mmap-ed zero-copy (session startup is O(header)).
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/decomposer.hpp"
 #include "core/session.hpp"
 #include "graph/io.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
 #include "support/timer.hpp"
 
 namespace {
@@ -49,6 +68,11 @@ int usage() {
       "  decomp_tool batch <graph> --betas b1,b2,... [opts]\n"
       "  decomp_tool query <graph> [opts] [--load <file.dec>]\n"
       "              [--cluster-of V]... [--distance U V] [--boundary]\n"
+      "  decomp_tool serve <graph.mpxs> --socket <path> [--port P]\n"
+      "              [--workers N] [--warm <file.dec>] [opts]\n"
+      "  decomp_tool connect --socket <path> | --port P [--host H] [opts]\n"
+      "              [--run] [--cluster-of V]... [--distance U V]\n"
+      "              [--boundary] [--betas b1,b2,...] [--info] [--shutdown]\n"
       "  decomp_tool algorithms\n"
       "opts: --algo <name> --beta B --seed S --engine auto|push|pull\n");
   return 2;
@@ -57,14 +81,22 @@ int usage() {
 struct Cli {
   std::string graph_path;
   DecompositionRequest request;
-  std::vector<double> betas;                // batch
+  std::vector<double> betas;                // batch / connect
   std::string out_path;                     // run --out
   std::string load_path;                    // query --load
-  std::vector<mpx::vertex_t> cluster_of;    // query
-  bool boundary = false;                    // query
-  bool has_distance = false;                // query
+  std::vector<mpx::vertex_t> cluster_of;    // query / connect
+  bool boundary = false;                    // query / connect
+  bool has_distance = false;                // query / connect
   mpx::vertex_t distance_u = 0;
   mpx::vertex_t distance_v = 0;
+  std::string socket_path;                  // serve / connect
+  std::string host = "127.0.0.1";           // connect
+  int port = -1;                            // serve / connect
+  int workers = 1;                          // serve
+  std::string warm_path;                    // serve --warm
+  bool do_run = false;                      // connect --run
+  bool do_info = false;                     // connect --info
+  bool do_shutdown = false;                 // connect --shutdown
 };
 
 bool parse_betas(const std::string& list, std::vector<double>& out) {
@@ -81,7 +113,10 @@ bool parse_betas(const std::string& list, std::vector<double>& out) {
 }
 
 /// Parse everything after the subcommand. Returns false on bad syntax.
-bool parse_cli(int argc, char** argv, int first, Cli& cli) {
+/// `needs_graph` is false for `connect`, which addresses a server
+/// instead of a graph file.
+bool parse_cli(int argc, char** argv, int first, Cli& cli,
+               bool needs_graph = true) {
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&](std::string& into) {
@@ -120,15 +155,42 @@ bool parse_cli(int argc, char** argv, int first, Cli& cli) {
       cli.distance_v = static_cast<mpx::vertex_t>(std::atoll(v.c_str()));
     } else if (arg == "--boundary") {
       cli.boundary = true;
-    } else if (cli.graph_path.empty() && arg.rfind("--", 0) != 0) {
+    } else if (arg == "--socket" && next(value)) {
+      cli.socket_path = value;
+    } else if (arg == "--host" && next(value)) {
+      cli.host = value;
+    } else if (arg == "--port" && next(value)) {
+      cli.port = std::atoi(value.c_str());
+      if (cli.port < 0 || cli.port > 65535) {
+        std::fprintf(stderr, "decomp_tool: bad port '%s'\n", value.c_str());
+        return false;
+      }
+    } else if (arg == "--workers" && next(value)) {
+      cli.workers = std::atoi(value.c_str());
+      if (cli.workers < 1) {
+        std::fprintf(stderr, "decomp_tool: --workers must be >= 1\n");
+        return false;
+      }
+    } else if (arg == "--warm" && next(value)) {
+      cli.warm_path = value;
+    } else if (arg == "--run") {
+      cli.do_run = true;
+    } else if (arg == "--info") {
+      cli.do_info = true;
+    } else if (arg == "--shutdown") {
+      cli.do_shutdown = true;
+    } else if (needs_graph && cli.graph_path.empty() &&
+               arg.rfind("--", 0) != 0) {
       cli.graph_path = arg;
     } else {
+      // connect takes no positional argument: silently absorbing one as
+      // an unused graph path would hide a forgotten --socket.
       std::fprintf(stderr, "decomp_tool: unexpected argument '%s'\n",
                    arg.c_str());
       return false;
     }
   }
-  return !cli.graph_path.empty();
+  return !needs_graph || !cli.graph_path.empty();
 }
 
 DecompositionSession open_session(const std::string& path) {
@@ -277,6 +339,147 @@ int cmd_query(const Cli& cli) {
   return 0;
 }
 
+// --- serve / connect: the process boundary (src/server/) -------------------
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+int cmd_serve(const Cli& cli) {
+  if (cli.socket_path.empty() && cli.port < 0) {
+    std::fprintf(stderr, "decomp_tool serve: --socket or --port required\n");
+    return 2;
+  }
+  mpx::server::ServerConfig config;
+  config.snapshot_path = cli.graph_path;
+  config.socket_path = cli.socket_path;
+  config.tcp_port = cli.port < 0 ? 0 : static_cast<std::uint16_t>(cli.port);
+  config.workers = cli.workers;
+  if (!cli.warm_path.empty()) {
+    config.warm.push_back({cli.request, cli.warm_path});
+  }
+
+  mpx::server::DecompServer server(std::move(config));
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    // The promised clear path:errno message — never an abort.
+    std::fprintf(stderr, "decomp_tool serve: %s\n", e.what());
+    return 1;
+  }
+  if (!cli.socket_path.empty()) {
+    std::printf("serving %s on unix:%s (%d worker%s)\n",
+                cli.graph_path.c_str(), cli.socket_path.c_str(), cli.workers,
+                cli.workers == 1 ? "" : "s");
+  } else {
+    // The server binds loopback only; print the address it actually
+    // listens on, not a --host the flag parser happened to accept.
+    std::printf("serving %s on tcp:127.0.0.1:%u (%d worker%s)\n",
+                cli.graph_path.c_str(), server.port(), cli.workers,
+                cli.workers == 1 ? "" : "s");
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (g_stop_requested == 0 && !server.stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+  const mpx::server::ServerStats stats = server.stats();
+  std::printf(
+      "served %llu request%s on %llu connection%s (%llu error%s, "
+      "%.3fs total service time)\n",
+      static_cast<unsigned long long>(stats.requests),
+      stats.requests == 1 ? "" : "s",
+      static_cast<unsigned long long>(stats.connections),
+      stats.connections == 1 ? "" : "s",
+      static_cast<unsigned long long>(stats.errors),
+      stats.errors == 1 ? "" : "s", stats.service_seconds);
+  return 0;
+}
+
+int cmd_connect(const Cli& cli) {
+  if (cli.socket_path.empty() && cli.port < 0) {
+    std::fprintf(stderr, "decomp_tool connect: --socket or --port required\n");
+    return 2;
+  }
+  mpx::server::DecompClient client =
+      cli.socket_path.empty()
+          ? mpx::server::DecompClient::connect_tcp(
+                cli.host, static_cast<std::uint16_t>(cli.port))
+          : mpx::server::DecompClient::connect_unix(cli.socket_path);
+
+  bool did_something = false;
+  if (cli.do_info) {
+    const mpx::server::InfoResponse info = client.info();
+    std::printf("server: n=%llu, m=%llu%s, %u worker%s, %llu requests "
+                "served\n",
+                static_cast<unsigned long long>(info.num_vertices),
+                static_cast<unsigned long long>(info.num_edges),
+                info.weighted ? ", weighted" : "", info.workers,
+                info.workers == 1 ? "" : "s",
+                static_cast<unsigned long long>(info.requests_served));
+    did_something = true;
+  }
+  if (cli.do_run) {
+    const mpx::server::RunResponse run = client.run(cli.request);
+    std::printf("run: algo=%s beta=%g seed=%llu -> %u clusters, %u rounds%s\n",
+                cli.request.algorithm.c_str(), cli.request.beta,
+                static_cast<unsigned long long>(cli.request.seed),
+                run.num_clusters, run.rounds,
+                run.from_cache ? " (cached)" : "");
+    did_something = true;
+  }
+  if (!cli.betas.empty()) {
+    const mpx::server::BatchResponse batch =
+        client.batch(cli.request, cli.betas);
+    std::printf("%10s %10s %12s %10s\n", "beta", "clusters", "cut_edges",
+                "rounds");
+    for (const mpx::server::BatchEntry& e : batch.entries) {
+      std::printf("%10g %10u %12llu %10u\n", e.beta, e.num_clusters,
+                  static_cast<unsigned long long>(e.boundary_edges), e.rounds);
+    }
+    did_something = true;
+  }
+  for (const mpx::vertex_t v : cli.cluster_of) {
+    std::printf("vertex %u: cluster %u, center %u\n", v,
+                client.cluster_of(v, cli.request),
+                client.owner_of(v, cli.request));
+    did_something = true;
+  }
+  if (cli.has_distance) {
+    const std::uint32_t estimate = client.estimate_distance(
+        cli.distance_u, cli.distance_v, cli.request);
+    if (estimate == mpx::kInfDist) {
+      std::printf("distance(%u, %u) ~ unreachable\n", cli.distance_u,
+                  cli.distance_v);
+    } else {
+      std::printf("distance(%u, %u) <= %u\n", cli.distance_u, cli.distance_v,
+                  estimate);
+    }
+    did_something = true;
+  }
+  if (cli.boundary) {
+    const std::vector<mpx::Edge> boundary = client.boundary_arcs(cli.request);
+    std::printf("boundary: %zu cut edges\n", boundary.size());
+    for (std::size_t i = 0; i < boundary.size() && i < 8; ++i) {
+      std::printf("  %u - %u\n", boundary[i].u, boundary[i].v);
+    }
+    did_something = true;
+  }
+  if (cli.do_shutdown) {
+    client.shutdown_server();
+    std::printf("server acknowledged shutdown\n");
+    did_something = true;
+  }
+  if (!did_something) {
+    std::fprintf(stderr, "decomp_tool connect: no request given\n");
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -285,10 +488,14 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "algorithms") return cmd_algorithms();
     Cli cli;
-    if (!parse_cli(argc, argv, 2, cli)) return usage();
+    if (!parse_cli(argc, argv, 2, cli, /*needs_graph=*/cmd != "connect")) {
+      return usage();
+    }
     if (cmd == "run") return cmd_run(cli);
     if (cmd == "batch") return cmd_batch(cli);
     if (cmd == "query") return cmd_query(cli);
+    if (cmd == "serve") return cmd_serve(cli);
+    if (cmd == "connect") return cmd_connect(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "decomp_tool: %s\n", e.what());
     return 1;
