@@ -5,16 +5,24 @@
 //  * cold_run_seconds    — first run request for a fresh request key: the
 //                          decomposition itself dominates; the wire adds
 //                          framing + owner/settle-free summary bytes.
-//  * cached_run_seconds  — the same run request again (worker cache hit):
+//  * cached_run_seconds  — the same run request again (shared-store hit):
 //                          pure request overhead (frame round trip +
-//                          cache lookup), the number a query-serving
+//                          store lookup), the number a query-serving
 //                          deployment lives on.
 //  * query_seconds       — one cluster-of query against the cached
 //                          result (the smallest request the protocol
 //                          carries).
 //  * queries_per_second  — aggregate throughput with one client
 //                          connection per worker hammering cached
-//                          cluster-of queries concurrently.
+//                          cluster-of queries concurrently. The series
+//                          the worker-scaling fix is judged on: more
+//                          workers must never mean fewer queries.
+//
+// A second table sweeps connections ≫ workers (the regime that exposed
+// the old pinned design, where `workers + 1` connections could starve
+// service entirely): 64 concurrent connections against 1/2/8 workers,
+// reporting aggregate throughput and the pooled p50/p99 of per-query
+// latency.
 //
 // Writes the machine-readable trajectory artifact BENCH_server.json
 // (schema: docs/BENCHMARKS.md) so CI accumulates the serving history.
@@ -46,6 +54,27 @@ struct Run {
   double queries_per_second = 0.0;
 };
 
+struct SweepRun {
+  std::string graph;
+  int workers = 0;
+  int connections = 0;
+  double queries_per_second = 0.0;
+  double query_p50_seconds = 0.0;
+  double query_p99_seconds = 0.0;
+};
+
+mpx::server::DecompServer make_server(const std::string& snapshot_path,
+                                      const std::string& socket_path,
+                                      int workers) {
+  std::error_code ec;
+  std::filesystem::remove(socket_path, ec);  // stale leftover from a crash
+  mpx::server::ServerConfig config;
+  config.snapshot_path = snapshot_path;
+  config.socket_path = socket_path;
+  config.workers = workers;
+  return mpx::server::DecompServer(std::move(config));
+}
+
 Run measure(const std::string& name, const mpx::CsrGraph& g,
             const std::string& snapshot_path, const std::string& socket_dir,
             int workers, double beta, std::uint64_t seed, int reps) {
@@ -57,22 +86,17 @@ Run measure(const std::string& name, const mpx::CsrGraph& g,
 
   const std::string socket_path =
       socket_dir + "/bench_w" + std::to_string(workers) + ".sock";
-  std::error_code ec;
-  std::filesystem::remove(socket_path, ec);  // stale leftover from a crash
-  mpx::server::ServerConfig config;
-  config.snapshot_path = snapshot_path;
-  config.socket_path = socket_path;
-  config.workers = workers;
-  mpx::server::DecompServer server(std::move(config));
+  mpx::server::DecompServer server =
+      make_server(snapshot_path, socket_path, workers);
   server.start();
 
   mpx::DecompositionRequest req;
   req.beta = beta;
   req.seed = seed;
 
-  // Latency numbers are best-of-reps on one pinned connection (the
-  // server pins a connection to one worker, so "cached" really hits that
-  // worker's cache). Each rep's cold run uses a fresh seed so the cache
+  // Latency numbers are best-of-reps on one connection. The result store
+  // is fleet-wide, so "cached" means cached for every worker and every
+  // connection; each rep's cold run uses a fresh seed so the store
   // cannot answer it.
   run.cold_run_seconds = 1e100;
   run.cached_run_seconds = 1e100;
@@ -104,44 +128,146 @@ Run measure(const std::string& name, const mpx::CsrGraph& g,
   }
 
   // Throughput: one connection per worker, each hammering cached
-  // cluster-of queries. Every connection warms its own worker first
-  // (outside the timer) so the loop measures steady-state serving.
-  const int kQueriesPerClient = 2000;
-  std::vector<std::thread> clients;
-  clients.reserve(static_cast<std::size_t>(workers));
-  std::atomic<int> ready{0};
-  std::atomic<bool> go{false};
-  std::atomic<long long> answered{0};
-  mpx::WallTimer wall;
-  for (int c = 0; c < workers; ++c) {
-    clients.emplace_back([&, c] {
-      mpx::server::DecompClient client =
-          mpx::server::DecompClient::connect_unix(socket_path);
-      (void)client.run(req);  // warm this connection's worker
-      ready.fetch_add(1);
-      while (!go.load()) std::this_thread::yield();
-      const mpx::vertex_t n = run.n;
-      for (int i = 0; i < kQueriesPerClient; ++i) {
-        (void)client.cluster_of(
-            static_cast<mpx::vertex_t>((c * 7919 + i * 104729) % n), req);
-      }
-      answered.fetch_add(kQueriesPerClient);
-    });
+  // cluster-of queries. The first run request warms the shared store for
+  // the whole fleet (outside the timer) so the loop measures
+  // steady-state serving. Best-of-reps, like the latency metrics above:
+  // a single shot is a ~50 ms window and scheduler preemption on a
+  // shared box can cost any one rep double-digit percent.
+  const int kQueriesPerClient = 4000;
+  run.queries_per_second = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(workers));
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::atomic<long long> answered{0};
+    mpx::WallTimer wall;
+    for (int c = 0; c < workers; ++c) {
+      clients.emplace_back([&, c] {
+        mpx::server::DecompClient client =
+            mpx::server::DecompClient::connect_unix(socket_path);
+        (void)client.run(req);  // warm the shared store / verify the key
+        ready.fetch_add(1);
+        while (!go.load()) std::this_thread::yield();
+        const mpx::vertex_t n = run.n;
+        for (int i = 0; i < kQueriesPerClient; ++i) {
+          (void)client.cluster_of(
+              static_cast<mpx::vertex_t>((c * 7919 + i * 104729) % n), req);
+        }
+        answered.fetch_add(kQueriesPerClient);
+      });
+    }
+    while (ready.load() != workers) std::this_thread::yield();
+    wall = mpx::WallTimer();
+    go.store(true);
+    for (std::thread& t : clients) t.join();
+    const double elapsed = wall.seconds();
+    if (elapsed > 0.0) {
+      run.queries_per_second =
+          std::max(run.queries_per_second,
+                   static_cast<double>(answered.load()) / elapsed);
+    }
   }
-  while (ready.load() != workers) std::this_thread::yield();
-  wall = mpx::WallTimer();
-  go.store(true);
-  for (std::thread& t : clients) t.join();
-  const double elapsed = wall.seconds();
-  run.queries_per_second =
-      elapsed > 0.0 ? static_cast<double>(answered.load()) / elapsed : 0.0;
+
+  server.stop();
+  return run;
+}
+
+/// connections ≫ workers: every connection issues synchronous cluster-of
+/// queries against the warm store; per-query latencies are pooled across
+/// connections for the percentiles. Best-of-reps (the rep with the
+/// highest throughput supplies every reported figure), matching the
+/// main-table convention: one rep is a sub-second window and scheduler
+/// preemption on a shared box can cost any single rep double-digit
+/// percent.
+SweepRun measure_sweep(const std::string& name, const mpx::CsrGraph& g,
+                       const std::string& snapshot_path,
+                       const std::string& socket_dir, int workers,
+                       int connections, int queries_per_connection,
+                       double beta, std::uint64_t seed, int reps) {
+  SweepRun run;
+  run.graph = name;
+  run.workers = workers;
+  run.connections = connections;
+
+  const std::string socket_path =
+      socket_dir + "/sweep_w" + std::to_string(workers) + ".sock";
+  mpx::server::DecompServer server =
+      make_server(snapshot_path, socket_path, workers);
+  server.start();
+
+  mpx::DecompositionRequest req;
+  req.beta = beta;
+  req.seed = seed;
+  {
+    mpx::server::DecompClient warm =
+        mpx::server::DecompClient::connect_unix(socket_path);
+    (void)warm.run(req);  // one cold compute warms the whole fleet
+  }
+
+  run.queries_per_second = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<std::vector<double>> latencies(
+        static_cast<std::size_t>(connections));
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(connections));
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    mpx::WallTimer wall;
+    for (int c = 0; c < connections; ++c) {
+      clients.emplace_back([&, c] {
+        mpx::server::DecompClient client =
+            mpx::server::DecompClient::connect_unix(socket_path);
+        (void)client.cluster_of(0, req);  // connection warm-up, unmeasured
+        std::vector<double>& mine = latencies[static_cast<std::size_t>(c)];
+        mine.reserve(static_cast<std::size_t>(queries_per_connection));
+        ready.fetch_add(1);
+        while (!go.load()) std::this_thread::yield();
+        const mpx::vertex_t n = g.num_vertices();
+        for (int i = 0; i < queries_per_connection; ++i) {
+          mpx::WallTimer timer;
+          (void)client.cluster_of(
+              static_cast<mpx::vertex_t>((c * 7919 + i * 104729) % n), req);
+          mine.push_back(timer.seconds());
+        }
+      });
+    }
+    while (ready.load() != connections) std::this_thread::yield();
+    wall = mpx::WallTimer();
+    go.store(true);
+    for (std::thread& t : clients) t.join();
+    const double elapsed = wall.seconds();
+
+    std::vector<double> pooled;
+    pooled.reserve(static_cast<std::size_t>(connections) *
+                   static_cast<std::size_t>(queries_per_connection));
+    for (const std::vector<double>& per_conn : latencies) {
+      pooled.insert(pooled.end(), per_conn.begin(), per_conn.end());
+    }
+    std::sort(pooled.begin(), pooled.end());
+    const auto percentile = [&](double p) {
+      if (pooled.empty()) return 0.0;
+      const std::size_t idx = std::min(
+          pooled.size() - 1,
+          static_cast<std::size_t>(p * static_cast<double>(pooled.size())));
+      return pooled[idx];
+    };
+    const double qps =
+        elapsed > 0.0 ? static_cast<double>(pooled.size()) / elapsed : 0.0;
+    if (qps > run.queries_per_second) {
+      run.queries_per_second = qps;
+      run.query_p50_seconds = percentile(0.50);
+      run.query_p99_seconds = percentile(0.99);
+    }
+  }
 
   server.stop();
   return run;
 }
 
 void write_json(const std::string& path, const std::vector<Run>& runs,
-                double beta, std::uint64_t seed) {
+                const std::vector<SweepRun>& sweeps, double beta,
+                std::uint64_t seed) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -163,6 +289,18 @@ void write_json(const std::string& path, const std::vector<Run>& runs,
                  static_cast<unsigned long long>(r.m), r.workers,
                  r.cold_run_seconds, r.cached_run_seconds, r.query_seconds,
                  r.queries_per_second, i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"sweep\": [\n");
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const SweepRun& s = sweeps[i];
+    std::fprintf(f,
+                 "    {\"graph\": \"%s\", \"workers\": %d, "
+                 "\"connections\": %d, \"queries_per_second\": %.1f, "
+                 "\"query_p50_seconds\": %.6f, "
+                 "\"query_p99_seconds\": %.6f}%s\n",
+                 s.graph.c_str(), s.workers, s.connections,
+                 s.queries_per_second, s.query_p50_seconds,
+                 s.query_p99_seconds, i + 1 < sweeps.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -215,6 +353,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Run> runs;
+  std::vector<SweepRun> sweeps;
   bench::Table table({"graph", "workers", "cold_run", "cached_run", "query",
                       "queries/s"});
   for (const Family& fam : families) {
@@ -232,15 +371,38 @@ int main(int argc, char** argv) {
     }
   }
 
-  write_json(out, runs, beta, seed);
+  bench::section("connections >> workers sweep (64 connections)");
+  bench::Table sweep_table(
+      {"graph", "workers", "conns", "queries/s", "p50_us", "p99_us"});
+  constexpr int kSweepConnections = 64;
+  const int sweep_queries = scale == "full" ? 300 : 150;
+  for (const Family& fam : families) {
+    const std::string snapshot_path = dir + "/" + fam.name + ".mpxs";
+    for (const int workers : {1, 2, 8}) {
+      const SweepRun s =
+          measure_sweep(fam.name, fam.graph, snapshot_path, dir, workers,
+                        kSweepConnections, sweep_queries, beta, seed, reps);
+      sweeps.push_back(s);
+      sweep_table.row({fam.name, std::to_string(workers),
+                       std::to_string(s.connections),
+                       bench::Table::num(s.queries_per_second, 0),
+                       bench::Table::num(s.query_p50_seconds * 1e6, 1),
+                       bench::Table::num(s.query_p99_seconds * 1e6, 1)});
+    }
+  }
+
+  write_json(out, runs, sweeps, beta, seed);
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
   std::printf(
       "\nexpected shape: cached_run and query are request overhead "
       "(microseconds to tens of microseconds over a unix socket) and sit "
       "orders of magnitude under cold_run, which pays the decomposition. "
-      "queries_per_second grows with workers until the box runs out of "
-      "cores — each connection is pinned to one worker, so concurrency "
-      "equals the client count.\n");
+      "Connections are not pinned to workers — requests dispatch to any "
+      "idle worker and results come from one fleet-wide store — so in the "
+      "connections>>workers sweep queries_per_second must not drop at any "
+      "step when workers are added, and in the main table 8 workers must "
+      "clearly beat 1 (single-shot rows can still wobble within scheduler "
+      "noise).\n");
   return 0;
 }

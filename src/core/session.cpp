@@ -132,17 +132,21 @@ cluster_t DecompositionSession::num_clusters(const DecompositionRequest& req) {
   return run(req).num_clusters();
 }
 
-std::vector<Edge> DecompositionSession::compute_boundary(
-    const DecompositionResult& result) const {
+std::vector<Edge> compute_boundary_edges(const CsrGraph& topology,
+                                         const DecompositionResult& result) {
   std::vector<Edge> boundary;
-  const CsrGraph& g = topology();
   const std::vector<vertex_t>& owner = result.owner;
-  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
-    for (const vertex_t v : g.neighbors(u)) {
+  for (vertex_t u = 0; u < topology.num_vertices(); ++u) {
+    for (const vertex_t v : topology.neighbors(u)) {
       if (u < v && owner[u] != owner[v]) boundary.push_back({u, v});
     }
   }
   return boundary;
+}
+
+std::vector<Edge> DecompositionSession::compute_boundary(
+    const DecompositionResult& result) const {
+  return compute_boundary_edges(topology(), result);
 }
 
 std::span<const Edge> DecompositionSession::boundary_arcs(
@@ -259,22 +263,27 @@ void DecompositionSession::save_cached(const DecompositionRequest& req,
                          entry.result.telemetry);
 }
 
-bool DecompositionSession::load_cached(const DecompositionRequest& req,
-                                       const std::string& path) {
-  validate_request(req);
+namespace {
+
+/// Reject weighted requests on the load path. Mirror of save_cached: the
+/// text format carries no radii, so a weighted request can never be
+/// restored shape-consistently from it.
+void reject_weighted_load(const DecompositionRequest& req) {
   const AlgorithmInfo* info = find_algorithm(req.algorithm);
   if (info != nullptr && info->needs_weights) {
-    // Mirror save_cached: the text format carries no radii, so a weighted
-    // request can never be restored shape-consistently from it.
     throw std::invalid_argument(
         "mpx: load_cached supports unweighted algorithms; '" + req.algorithm +
         "' produces real-valued radii");
   }
-  // An already-resident entry wins: results are deterministic in the
-  // request, so the computed entry equals anything a valid file holds,
-  // and skipping the load keeps every outstanding run()/boundary_arcs()
-  // reference into that entry valid (the documented lifetime contract).
-  if (cache_.find(key_of(req)) != cache_.end()) return true;
+}
+
+/// Probe + load + validate a save_cached() file into a result. Returns
+/// false (leaving `result` untouched) when the file does not exist;
+/// throws std::runtime_error on malformed content, a vertex-count
+/// mismatch, or a telemetry block naming a different algorithm. Shared by
+/// DecompositionSession::load_cached and SharedResultStore::load_cached.
+bool load_saved_result(const DecompositionRequest& req, const std::string& path,
+                       vertex_t num_vertices, DecompositionResult& result) {
   {
     std::ifstream probe(path);
     if (!probe) return false;
@@ -286,15 +295,13 @@ bool DecompositionSession::load_cached(const DecompositionRequest& req,
         loaded.telemetry.algorithm + "', not the requested '" +
         req.algorithm + "'");
   }
-  if (loaded.decomposition.num_vertices() != topology().num_vertices()) {
+  if (loaded.decomposition.num_vertices() != num_vertices) {
     throw std::runtime_error(
         "mpx: cached decomposition in " + path + " has " +
         std::to_string(loaded.decomposition.num_vertices()) +
         " vertices; this session's graph has " +
-        std::to_string(topology().num_vertices()));
+        std::to_string(num_vertices));
   }
-  CacheEntry entry;
-  DecompositionResult& result = entry.result;
   result.decomposition = std::move(loaded.decomposition);
   detail::owner_settle_from_decomposition(result.decomposition, result);
   if (loaded.has_telemetry) {
@@ -302,8 +309,219 @@ bool DecompositionSession::load_cached(const DecompositionRequest& req,
   } else {
     result.telemetry.algorithm = req.algorithm;
   }
+  return true;
+}
+
+}  // namespace
+
+bool DecompositionSession::load_cached(const DecompositionRequest& req,
+                                       const std::string& path) {
+  validate_request(req);
+  reject_weighted_load(req);
+  // An already-resident entry wins: results are deterministic in the
+  // request, so the computed entry equals anything a valid file holds,
+  // and skipping the load keeps every outstanding run()/boundary_arcs()
+  // reference into that entry valid (the documented lifetime contract).
+  if (cache_.find(key_of(req)) != cache_.end()) return true;
+  CacheEntry entry;
+  if (!load_saved_result(req, path, topology().num_vertices(), entry.result)) {
+    return false;
+  }
   cache_.emplace(key_of(req), std::move(entry));
   return true;
+}
+
+// --- MaterializedDecomposition --------------------------------------------
+
+MaterializedDecomposition::MaterializedDecomposition(const CsrGraph& topology,
+                                                     DecompositionResult result)
+    : result_(std::move(result)),
+      boundary_(compute_boundary_edges(topology, result_)) {
+  if (!result_.weighted()) {
+    oracle_ =
+        std::make_unique<DistanceOracle>(topology, result_.decomposition);
+  }
+}
+
+MaterializedDecomposition::~MaterializedDecomposition() = default;
+
+vertex_t MaterializedDecomposition::owner_of(vertex_t v) const {
+  MPX_EXPECTS(v < result_.owner.size());
+  return result_.owner[v];
+}
+
+cluster_t MaterializedDecomposition::cluster_of(vertex_t v) const {
+  MPX_EXPECTS(v < result_.owner.size());
+  return result_.cluster_of(v);
+}
+
+cluster_t MaterializedDecomposition::num_clusters() const {
+  return result_.num_clusters();
+}
+
+std::uint32_t MaterializedDecomposition::estimate_distance(vertex_t u,
+                                                           vertex_t v) const {
+  if (result_.weighted()) {
+    throw std::invalid_argument(
+        "mpx: estimate_distance serves unweighted algorithms; '" +
+        result_.telemetry.algorithm + "' produces real-valued radii");
+  }
+  return oracle_->estimate(u, v);
+}
+
+// --- SharedResultStore ----------------------------------------------------
+
+SharedResultStore::SharedResultStore(CsrGraph g)
+    : graph_(std::move(g)), weighted_(false) {}
+
+SharedResultStore::SharedResultStore(WeightedCsrGraph g)
+    : wgraph_(std::move(g)), weighted_(true) {}
+
+SharedResultStore::~SharedResultStore() = default;
+
+const CsrGraph& SharedResultStore::topology() const {
+  return weighted_ ? wgraph_.topology() : graph_;
+}
+
+const WeightedCsrGraph& SharedResultStore::weighted_graph() const {
+  MPX_EXPECTS(weighted_);
+  return wgraph_;
+}
+
+SharedResultStore::Key SharedResultStore::key_of(
+    const DecompositionRequest& req) {
+  return Key(req.algorithm, std::bit_cast<std::uint64_t>(req.beta), req.seed,
+             static_cast<int>(req.tie_break),
+             static_cast<int>(req.distribution),
+             static_cast<int>(req.engine));
+}
+
+const ShiftBasis& SharedResultStore::basis_for_locked(
+    const DecompositionRequest& req) {
+  const auto key = std::make_pair(req.seed, static_cast<int>(req.distribution));
+  const auto it = bases_.find(key);
+  if (it != bases_.end()) return it->second;
+  return bases_.emplace(key, make_shift_basis(topology().num_vertices(),
+                                              req.partition_options()))
+      .first->second;
+}
+
+std::shared_ptr<const MaterializedDecomposition>
+SharedResultStore::compute_locked(const DecompositionRequest& req) {
+  // Shift-based algorithms always run off the shared basis, so single
+  // and batch acquisitions of the same request are bitwise-identical
+  // (the basis-derived shifts equal the per-run draws by construction;
+  // run_batch's guarantee).
+  const AlgorithmInfo* info = find_algorithm(req.algorithm);
+  const ShiftBasis* basis =
+      info != nullptr && info->uses_shifts ? &basis_for_locked(req) : nullptr;
+  DecompositionResult result = weighted_
+                                   ? decompose(wgraph_, req, &workspace_, basis)
+                                   : decompose(graph_, req, &workspace_, basis);
+  return std::make_shared<const MaterializedDecomposition>(topology(),
+                                                           std::move(result));
+}
+
+SharedResultStore::Acquired SharedResultStore::acquire(
+    const DecompositionRequest& req) {
+  validate_request(req);
+  const Key key = key_of(req);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      const auto it = entries_.find(key);
+      if (it != entries_.end()) return {it->second, /*from_cache=*/true};
+      if (inflight_.insert(key).second) break;  // this thread computes
+      // Another thread is computing this key: wait for it to publish (or
+      // fail), then re-check. A failed compute wakes us with the key
+      // absent from both maps, and the loop claims it.
+      cv_.wait(lock);
+    }
+  }
+  std::shared_ptr<const MaterializedDecomposition> built;
+  try {
+    std::lock_guard<std::mutex> compute(compute_mutex_);
+    built = compute_locked(req);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(key);
+    cv_.notify_all();
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.emplace(key, built);
+    inflight_.erase(key);
+    ++computes_;
+  }
+  cv_.notify_all();
+  return {std::move(built), /*from_cache=*/false};
+}
+
+std::vector<SharedResultStore::Acquired> SharedResultStore::acquire_batch(
+    const DecompositionRequest& base, std::span<const double> betas) {
+  // Validate every beta up front so a bad one cannot abandon the batch
+  // half-executed (run_batch's contract).
+  DecompositionRequest req = base;
+  for (const double beta : betas) {
+    req.beta = beta;
+    validate_request(req);
+  }
+  std::vector<Acquired> acquired;
+  acquired.reserve(betas.size());
+  for (const double beta : betas) {
+    req.beta = beta;
+    acquired.push_back(acquire(req));
+  }
+  return acquired;
+}
+
+std::shared_ptr<const MaterializedDecomposition> SharedResultStore::cached(
+    const DecompositionRequest& req) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key_of(req));
+  return it != entries_.end() ? it->second : nullptr;
+}
+
+bool SharedResultStore::load_cached(const DecompositionRequest& req,
+                                    const std::string& path) {
+  validate_request(req);
+  reject_weighted_load(req);
+  const Key key = key_of(req);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.find(key) != entries_.end()) return true;
+  }
+  DecompositionResult result;
+  if (!load_saved_result(req, path, topology().num_vertices(), result)) {
+    return false;
+  }
+  auto built = std::make_shared<const MaterializedDecomposition>(
+      topology(), std::move(result));
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A concurrent load or compute may have published first; the resident
+  // entry wins (results are deterministic in the request).
+  entries_.emplace(key, std::move(built));
+  return true;
+}
+
+std::size_t SharedResultStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t SharedResultStore::computes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return computes_;
+}
+
+void SharedResultStore::clear() {
+  // Both locks: compute_mutex_ owns bases_, mutex_ owns entries_.
+  // scoped_lock's deadlock avoidance keeps the pair safe against the
+  // acquire path (which never holds both at once).
+  std::scoped_lock both(compute_mutex_, mutex_);
+  entries_.clear();
+  bases_.clear();
 }
 
 }  // namespace mpx

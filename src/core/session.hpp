@@ -28,16 +28,24 @@
 /// any number of threads, as long as no thread concurrently runs a
 /// mutating member (`run`, `run_batch`, the non-const queries,
 /// `load_cached`, `clear_cache`). `tests/test_session.cpp` hammers this
-/// guarantee. The decomposition server (src/server/) keeps each worker's
-/// session worker-private today and uses materialize() for warm starts;
-/// the guarantee is the foundation for sharing materialized results
-/// *across* workers (the ROADMAP's shared result store).
+/// guarantee.
+///
+/// `SharedResultStore` turns that guarantee into a fleet-wide cache: it
+/// holds each result as an immutable `MaterializedDecomposition` (the
+/// exact artifact set materialize() builds — result, boundary list,
+/// distance oracle) behind a `shared_ptr`, computes each distinct request
+/// exactly once no matter how many threads ask (single-flight), and hands
+/// every asker the same entry. The decomposition server (src/server/)
+/// serves all of its workers from one store.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <span>
 #include <string>
 #include <tuple>
@@ -191,6 +199,163 @@ class DecompositionSession {
   std::map<Key, CacheEntry> cache_;
   /// Shift bases shared by batch runs, keyed by (seed, distribution).
   std::map<std::pair<std::uint64_t, int>, ShiftBasis> bases_;
+};
+
+/// Compute the cut-edge list of `result` over `topology`: the undirected
+/// edges {u, v} (u < v) whose endpoints lie in different clusters, in
+/// (u, v) order — the beta-fraction boundary of Definition 1.1. Shared by
+/// DecompositionSession's lazy/eager builders and MaterializedDecomposition.
+[[nodiscard]] std::vector<Edge> compute_boundary_edges(
+    const CsrGraph& topology, const DecompositionResult& result);
+
+/// One fully materialized decomposition: the result plus every artifact
+/// the session's const query path reads — the boundary edge list and, for
+/// unweighted results, the distance oracle — all built eagerly in the
+/// constructor. Instances are immutable afterwards, so any number of
+/// threads may query one concurrently without synchronization (the same
+/// property DecompositionSession::materialize establishes for its cache
+/// entries, reified as a standalone shareable object).
+class MaterializedDecomposition {
+ public:
+  /// Build every query artifact for `result` over `topology`. `topology`
+  /// is only read during construction.
+  MaterializedDecomposition(const CsrGraph& topology,
+                            DecompositionResult result);
+
+  MaterializedDecomposition(MaterializedDecomposition&&) noexcept = default;
+  MaterializedDecomposition(const MaterializedDecomposition&) = delete;
+  MaterializedDecomposition& operator=(const MaterializedDecomposition&) =
+      delete;
+  ~MaterializedDecomposition();
+
+  [[nodiscard]] const DecompositionResult& result() const { return result_; }
+  /// Center vertex that claimed v.
+  [[nodiscard]] vertex_t owner_of(vertex_t v) const;
+  /// Compact cluster id of v, in [0, num_clusters()).
+  [[nodiscard]] cluster_t cluster_of(vertex_t v) const;
+  [[nodiscard]] cluster_t num_clusters() const;
+  /// The cut-edge list, (u, v)-ordered with u < v.
+  [[nodiscard]] std::span<const Edge> boundary_arcs() const {
+    return boundary_;
+  }
+  /// Distance-oracle estimate of dist(u, v); kInfDist across components.
+  /// Throws std::invalid_argument for weighted results (mirror of
+  /// DecompositionSession::estimate_distance).
+  [[nodiscard]] std::uint32_t estimate_distance(vertex_t u, vertex_t v) const;
+
+ private:
+  DecompositionResult result_;
+  std::vector<Edge> boundary_;
+  std::unique_ptr<DistanceOracle> oracle_;  // unweighted results only
+};
+
+/// A thread-safe, fleet-wide cache of materialized decompositions: the
+/// server's shared result store (every worker serves from one instance,
+/// so a result computed once is warm for the whole fleet and `from_cache`
+/// is a fleet-wide property, not a per-worker accident).
+///
+/// Concurrency contract:
+///  - `acquire` is **single-flight** per request key: when N threads ask
+///    for the same cold key, one computes and the rest block until the
+///    entry publishes; `computes()` counts the actual decompositions run.
+///  - Distinct cold keys serialize on one internal compute lock (the
+///    store owns one `DecompositionWorkspace`, mirroring the per-session
+///    workspace-reuse design), but cache hits never touch it.
+///  - Entries are handed out as `shared_ptr<const MaterializedDecomposition>`
+///    — immutable and lock-free to query. `clear()` drops the store's
+///    references; outstanding pointers (and response bytes in flight that
+///    view their arrays) stay valid until released.
+///
+/// Shift-based algorithms always draw from a shared per-(seed,
+/// distribution) `ShiftBasis`, so batch and individual acquisitions of
+/// the same request are bitwise-identical (run_batch's guarantee, made
+/// unconditional).
+class SharedResultStore {
+ public:
+  /// Serve decompositions of an unweighted graph.
+  explicit SharedResultStore(CsrGraph g);
+  /// Serve decompositions of a weighted graph.
+  explicit SharedResultStore(WeightedCsrGraph g);
+  ~SharedResultStore();
+
+  SharedResultStore(const SharedResultStore&) = delete;
+  SharedResultStore& operator=(const SharedResultStore&) = delete;
+
+  /// The graph's unweighted topology (always available).
+  [[nodiscard]] const CsrGraph& topology() const;
+  /// True when the store holds edge weights.
+  [[nodiscard]] bool weighted() const { return weighted_; }
+  /// The weighted graph; requires weighted().
+  [[nodiscard]] const WeightedCsrGraph& weighted_graph() const;
+
+  /// An acquired entry plus whether it was answered without running the
+  /// decomposition for this call (a prior compute, a warm-start load, or
+  /// another thread's in-flight compute this call waited on).
+  struct Acquired {
+    std::shared_ptr<const MaterializedDecomposition> entry;
+    bool from_cache = false;
+  };
+
+  /// Fetch `req`'s entry, computing and materializing it first when cold
+  /// (single-flight; see the class comment). Throws what
+  /// `validate_request` / `decompose` throw; a failed compute leaves the
+  /// store unchanged.
+  [[nodiscard]] Acquired acquire(const DecompositionRequest& req);
+
+  /// Acquire `base` at each beta of `betas` (run_batch semantics: every
+  /// beta validated up front, the seed's shift draws generated once).
+  /// Results are bitwise-identical to individual acquire() calls.
+  [[nodiscard]] std::vector<Acquired> acquire_batch(
+      const DecompositionRequest& base, std::span<const double> betas);
+
+  /// The cached entry for `req`, or nullptr when not resident. Never
+  /// computes and never blocks on an in-flight compute.
+  [[nodiscard]] std::shared_ptr<const MaterializedDecomposition> cached(
+      const DecompositionRequest& req) const;
+
+  /// Restore a save_cached() file into the store under `req` (the
+  /// warm-start path; DecompositionSession::load_cached semantics and
+  /// error contract, plus eager materialization). Returns false when the
+  /// file does not exist.
+  bool load_cached(const DecompositionRequest& req, const std::string& path);
+
+  /// Resident entry count (in-flight computes excluded).
+  [[nodiscard]] std::size_t size() const;
+  /// Lifetime count of decompositions actually computed — acquire()
+  /// traffic minus every flavor of cache hit.
+  [[nodiscard]] std::uint64_t computes() const;
+  /// Drop every resident entry and the shared shift bases. Outstanding
+  /// shared_ptrs stay valid; a compute in flight during the clear still
+  /// publishes afterwards.
+  void clear();
+
+ private:
+  using Key = std::tuple<std::string, std::uint64_t, std::uint64_t, int, int,
+                         int>;
+  static Key key_of(const DecompositionRequest& req);
+  /// The shared basis for req's (seed, distribution); call with
+  /// compute_mutex_ held.
+  const ShiftBasis& basis_for_locked(const DecompositionRequest& req);
+  /// Run + materialize `req`; call with compute_mutex_ held.
+  [[nodiscard]] std::shared_ptr<const MaterializedDecomposition>
+  compute_locked(const DecompositionRequest& req);
+
+  CsrGraph graph_;            // unweighted stores
+  WeightedCsrGraph wgraph_;   // weighted stores
+  bool weighted_ = false;
+
+  /// Serializes decompositions (workspace_ and bases_ are only touched
+  /// under this lock). Never held together with mutex_ except in clear().
+  std::mutex compute_mutex_;
+  DecompositionWorkspace workspace_;
+  std::map<std::pair<std::uint64_t, int>, ShiftBasis> bases_;
+
+  /// Guards entries_, inflight_, computes_.
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;  ///< waiters for in-flight keys
+  std::map<Key, std::shared_ptr<const MaterializedDecomposition>> entries_;
+  std::set<Key> inflight_;
+  std::uint64_t computes_ = 0;
 };
 
 }  // namespace mpx

@@ -33,6 +33,23 @@ namespace {
 
 struct DecompClient::Impl {
   int fd = -1;
+  /// Read-side buffer: one large recv typically captures a whole small
+  /// response (header + payload) instead of two syscalls, and captures
+  /// many back-to-back responses of a pipelined burst at once.
+  std::vector<std::uint8_t> rdbuf;
+  std::size_t rdpos = 0;  ///< consumed prefix of rdbuf
+  std::size_t rdlen = 0;  ///< valid bytes in rdbuf
+
+  /// Blocking buffered read; throws on EOF/transport failure.
+  void take_or_fail(std::uint8_t* into, std::size_t want);
+  /// read_response into a reusable buffer (cleared, capacity kept).
+  void read_response_into(std::vector<std::uint8_t>& payload,
+                          MessageType expect);
+
+  /// Hot-path scratch: point queries rebuild their request frame and
+  /// response payload in place, so the steady state allocates nothing.
+  std::vector<std::uint8_t> query_frame;
+  std::vector<std::uint8_t> query_payload;
 
   ~Impl() {
 #if MPX_SERVER_HAVE_SOCKETS
@@ -118,23 +135,73 @@ void read_exact_or_fail(int fd, std::uint8_t* into, std::size_t bytes) {
   }
 }
 
+constexpr std::size_t kReadBufferBytes = 1u << 16;
+
 }  // namespace
 
-std::vector<std::uint8_t> DecompClient::round_trip(
-    std::span<const std::uint8_t> frame, MessageType expect) {
+/// Drain the buffer, then refill with large recvs. Wants bigger than
+/// the buffer (array payloads) read straight into the destination once
+/// the buffer is empty.
+void DecompClient::Impl::take_or_fail(std::uint8_t* into, std::size_t want) {
+  const std::size_t buffered = rdlen - rdpos;
+  const std::size_t from_buffer = std::min(want, buffered);
+  std::memcpy(into, rdbuf.data() + rdpos, from_buffer);
+  rdpos += from_buffer;
+  into += from_buffer;
+  want -= from_buffer;
+  if (want == 0) return;
+  rdpos = rdlen = 0;  // buffer fully drained
+  if (rdbuf.empty()) rdbuf.resize(kReadBufferBytes);
+  if (want >= rdbuf.size()) {
+    read_exact_or_fail(fd, into, want);
+    return;
+  }
+  while (want > 0) {
+    const ssize_t n = ::recv(fd, rdbuf.data(), rdbuf.size(), 0);
+    if (n == 0) fail("server closed the connection mid-response");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("recv");
+    }
+    rdlen = static_cast<std::size_t>(n);
+    const std::size_t use = std::min(want, rdlen);
+    std::memcpy(into, rdbuf.data(), use);
+    rdpos = use;
+    into += use;
+    want -= use;
+  }
+}
+
+void DecompClient::send_frames(std::span<const std::uint8_t> bytes) {
   if (impl_ == nullptr || impl_->fd < 0) {
     fail("client is not connected (moved-from?)");
   }
-  write_all_or_fail(impl_->fd, frame);
+  write_all_or_fail(impl_->fd, bytes);
+}
+
+std::vector<std::uint8_t> DecompClient::round_trip(
+    std::span<const std::uint8_t> frame, MessageType expect) {
+  send_frames(frame);
+  return read_response(expect);
+}
+
+std::vector<std::uint8_t> DecompClient::read_response(MessageType expect) {
+  std::vector<std::uint8_t> payload;
+  impl_->read_response_into(payload, expect);
+  return payload;
+}
+
+void DecompClient::Impl::read_response_into(
+    std::vector<std::uint8_t>& payload, MessageType expect) {
   std::uint8_t header_bytes[kFrameHeaderBytes];
-  read_exact_or_fail(impl_->fd, header_bytes, sizeof(header_bytes));
+  take_or_fail(header_bytes, sizeof(header_bytes));
   const FrameHeader header = decode_frame_header(header_bytes);
   // Grow the buffer as bytes actually arrive (1 MiB steps) instead of
   // trusting the length prefix with one up-front allocation: a corrupt
   // or hostile peer claiming a payload near kMaxFramePayloadBytes then
   // costs nothing unless it really streams those bytes.
   constexpr std::size_t kChunkBytes = 1u << 20;
-  std::vector<std::uint8_t> payload;
+  payload.clear();
   payload.reserve(static_cast<std::size_t>(
       std::min<std::uint64_t>(header.payload_bytes, kChunkBytes)));
   std::uint64_t remaining = header.payload_bytes;
@@ -143,7 +210,7 @@ std::vector<std::uint8_t> DecompClient::round_trip(
         std::min<std::uint64_t>(remaining, kChunkBytes));
     const std::size_t old_size = payload.size();
     payload.resize(old_size + chunk);
-    read_exact_or_fail(impl_->fd, payload.data() + old_size, chunk);
+    take_or_fail(payload.data() + old_size, chunk);
     remaining -= chunk;
   }
   if (header.type == MessageType::kErrorResponse) {
@@ -156,7 +223,6 @@ std::vector<std::uint8_t> DecompClient::round_trip(
                         " (expected " +
                         std::to_string(static_cast<int>(expect)) + ")");
   }
-  return payload;
 }
 
 #else  // !MPX_SERVER_HAVE_SOCKETS
@@ -169,6 +235,16 @@ DecompClient DecompClient::connect_tcp(const std::string&, std::uint16_t) {
 }
 std::vector<std::uint8_t> DecompClient::round_trip(
     std::span<const std::uint8_t>, MessageType) {
+  fail("socket transports are unavailable on this platform");
+}
+void DecompClient::send_frames(std::span<const std::uint8_t>) {
+  fail("socket transports are unavailable on this platform");
+}
+std::vector<std::uint8_t> DecompClient::read_response(MessageType) {
+  fail("socket transports are unavailable on this platform");
+}
+void DecompClient::Impl::read_response_into(std::vector<std::uint8_t>&,
+                                            MessageType) {
   fail("socket transports are unavailable on this platform");
 }
 
@@ -191,45 +267,81 @@ RunResponse DecompClient::run(const DecompositionRequest& request,
   return decode_run_response(payload);
 }
 
-namespace {
-
-QueryRequest make_query(const DecompositionRequest& request, QueryKind kind,
-                        vertex_t u, vertex_t v) {
-  QueryRequest msg;
-  msg.request = request;
-  msg.kind = kind;
-  msg.u = u;
-  msg.v = v;
-  return msg;
+std::vector<RunResponse> DecompClient::run_pipelined(
+    std::span<const DecompositionRequest> requests, bool include_arrays) {
+  std::vector<std::uint8_t> frames;
+  for (const DecompositionRequest& request : requests) {
+    RunRequest msg;
+    msg.request = request;
+    msg.include_arrays = include_arrays;
+    const auto frame = encode_message(MessageType::kRunRequest, msg);
+    frames.insert(frames.end(), frame.begin(), frame.end());
+  }
+  send_frames(frames);
+  std::vector<RunResponse> responses;
+  responses.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    responses.push_back(
+        decode_run_response(read_response(MessageType::kRunResponse)));
+  }
+  return responses;
 }
 
-}  // namespace
+std::uint64_t DecompClient::query_round_trip(
+    const DecompositionRequest& request, QueryKind kind, vertex_t u,
+    vertex_t v) {
+  if (impl_ == nullptr || impl_->fd < 0) {
+    fail("client is not connected (moved-from?)");
+  }
+  // Point queries are the hot path: frame and payload buffers live on
+  // the connection and are rebuilt in place, allocation-free once warm,
+  // straight from the caller's request (no QueryRequest materialized).
+  encode_query_request_frame_into(impl_->query_frame, request, kind, u, v);
+  send_frames(impl_->query_frame);
+  impl_->read_response_into(impl_->query_payload, MessageType::kQueryResponse);
+  return decode_query_response(impl_->query_payload).value;
+}
 
 cluster_t DecompClient::cluster_of(vertex_t v,
                                    const DecompositionRequest& request) {
-  const auto payload = round_trip(
-      encode_message(MessageType::kQueryRequest,
-                     make_query(request, QueryKind::kClusterOf, v, 0)),
-      MessageType::kQueryResponse);
-  return static_cast<cluster_t>(decode_query_response(payload).value);
+  return static_cast<cluster_t>(
+      query_round_trip(request, QueryKind::kClusterOf, v, 0));
 }
 
 vertex_t DecompClient::owner_of(vertex_t v,
                                 const DecompositionRequest& request) {
-  const auto payload = round_trip(
-      encode_message(MessageType::kQueryRequest,
-                     make_query(request, QueryKind::kOwnerOf, v, 0)),
-      MessageType::kQueryResponse);
-  return static_cast<vertex_t>(decode_query_response(payload).value);
+  return static_cast<vertex_t>(
+      query_round_trip(request, QueryKind::kOwnerOf, v, 0));
 }
 
 std::uint32_t DecompClient::estimate_distance(
     vertex_t u, vertex_t v, const DecompositionRequest& request) {
-  const auto payload = round_trip(
-      encode_message(MessageType::kQueryRequest,
-                     make_query(request, QueryKind::kDistance, u, v)),
-      MessageType::kQueryResponse);
-  return static_cast<std::uint32_t>(decode_query_response(payload).value);
+  return static_cast<std::uint32_t>(
+      query_round_trip(request, QueryKind::kDistance, u, v));
+}
+
+std::vector<cluster_t> DecompClient::cluster_of_pipelined(
+    std::span<const vertex_t> vertices, const DecompositionRequest& request) {
+  if (impl_ == nullptr || impl_->fd < 0) {
+    fail("client is not connected (moved-from?)");
+  }
+  std::vector<std::uint8_t> frames;
+  for (const vertex_t v : vertices) {
+    encode_query_request_frame_into(impl_->query_frame, request,
+                                    QueryKind::kClusterOf, v, 0);
+    frames.insert(frames.end(), impl_->query_frame.begin(),
+                  impl_->query_frame.end());
+  }
+  send_frames(frames);
+  std::vector<cluster_t> clusters;
+  clusters.reserve(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    impl_->read_response_into(impl_->query_payload,
+                              MessageType::kQueryResponse);
+    clusters.push_back(static_cast<cluster_t>(
+        decode_query_response(impl_->query_payload).value));
+  }
+  return clusters;
 }
 
 std::vector<Edge> DecompClient::boundary_arcs(

@@ -6,10 +6,19 @@
 /// TCP port, then call the same query surface `DecompositionSession`
 /// answers in process — `run`, `cluster_of` / `owner_of` /
 /// `estimate_distance`, `boundary_arcs`, `batch` — plus `info` and
-/// `shutdown_server`. One client owns one connection; requests on it are
-/// serialized (the server pins a connection to one worker, so repeated
-/// requests hit that worker's warm cache). Not thread-safe: one client
-/// per thread.
+/// `shutdown_server`. One client owns one connection. The server
+/// dispatches each request to any idle worker and serves results from
+/// one fleet-wide store, so connections are interchangeable for cache
+/// warmth. Not thread-safe: one client per thread.
+///
+/// The `*_pipelined` calls exploit the protocol's pipelining guarantee
+/// (docs/PROTOCOL.md): all requests are written back-to-back before any
+/// response is read, collapsing N round trips into one. Responses come
+/// back in request order. Keep a pipelined batch's response volume
+/// bounded (well under the server's 4 MiB per-connection response
+/// window) — a client that writes unboundedly without reading can
+/// deadlock against server-side flow control and will eventually be
+/// dropped by the server's write timeout.
 ///
 /// Server-side rejections (kErrorResponse frames) surface as
 /// `ServerError` carrying the protocol error code; transport garbage
@@ -62,10 +71,18 @@ class DecompClient {
   /// Graph/server metadata.
   [[nodiscard]] InfoResponse info();
 
-  /// Run (or fetch from the worker's cache) one decomposition.
-  /// `include_arrays` requests the full owner/settle arrays.
+  /// Run (or fetch from the server's shared result store) one
+  /// decomposition. `include_arrays` requests the full owner/settle
+  /// arrays.
   [[nodiscard]] RunResponse run(const DecompositionRequest& request,
                                 bool include_arrays = false);
+
+  /// Pipelined run(): send every request back-to-back, then read the
+  /// responses, which arrive in request order. Throws ServerError on the
+  /// first error response (responses before it are lost to the caller).
+  [[nodiscard]] std::vector<RunResponse> run_pipelined(
+      std::span<const DecompositionRequest> requests,
+      bool include_arrays = false);
 
   /// Compact cluster id of v.
   [[nodiscard]] cluster_t cluster_of(vertex_t v,
@@ -76,6 +93,11 @@ class DecompClient {
   /// Distance-oracle estimate of dist(u, v); kInfDist across components.
   [[nodiscard]] std::uint32_t estimate_distance(
       vertex_t u, vertex_t v, const DecompositionRequest& request);
+
+  /// Pipelined cluster_of(): one write of every query, one in-order read
+  /// of every answer. The workhorse for high-throughput point lookups.
+  [[nodiscard]] std::vector<cluster_t> cluster_of_pipelined(
+      std::span<const vertex_t> vertices, const DecompositionRequest& request);
 
   /// The cut-edge list, (u, v)-ordered with u < v.
   [[nodiscard]] std::vector<Edge> boundary_arcs(
@@ -96,6 +118,13 @@ class DecompClient {
   /// is not `expect`, std::runtime_error on transport failure.
   std::vector<std::uint8_t> round_trip(std::span<const std::uint8_t> frame,
                                        MessageType expect);
+  /// Write raw frame bytes (several frames back-to-back for pipelining).
+  void send_frames(std::span<const std::uint8_t> bytes);
+  /// Read one framed response; same error contract as round_trip.
+  std::vector<std::uint8_t> read_response(MessageType expect);
+  /// Round trip of one point query on the reusable hot-path buffers.
+  std::uint64_t query_round_trip(const DecompositionRequest& request,
+                                 QueryKind kind, vertex_t u, vertex_t v);
 
   struct Impl;
   std::unique_ptr<Impl> impl_;

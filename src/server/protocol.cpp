@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstddef>
 #include <cstring>
 #include <limits>
 
@@ -334,14 +335,40 @@ RunResponse decode_run_response(std::span<const std::uint8_t> payload) {
 
 // --- QueryRequest / QueryResponse -----------------------------------------
 
-std::vector<std::uint8_t> encode_payload(const QueryRequest& msg) {
-  std::vector<std::uint8_t> out;
-  Writer w(out);
+namespace {
+
+void append_query_request(Writer& w, const QueryRequest& msg) {
   write_request(w, msg.request);
   w.u8(static_cast<std::uint8_t>(msg.kind));
   w.u32(msg.u);
   w.u32(msg.v);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_payload(const QueryRequest& msg) {
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  append_query_request(w, msg);
   return out;
+}
+
+QueryTail decode_query_request_tail(std::span<const std::uint8_t> payload) {
+  if (payload.size() < kQueryRequestTailBytes) {
+    fail("query payload of " + std::to_string(payload.size()) +
+         " bytes is shorter than the fixed kind/u/v tail");
+  }
+  const std::uint8_t* tail_bytes =
+      payload.data() + payload.size() - kQueryRequestTailBytes;
+  const std::uint8_t kind = tail_bytes[0];
+  if (kind > static_cast<std::uint8_t>(QueryKind::kDistance)) {
+    fail("query kind " + std::to_string(kind) + " out of range");
+  }
+  QueryTail tail;
+  tail.kind = static_cast<QueryKind>(kind);
+  std::memcpy(&tail.u, tail_bytes + 1, sizeof(tail.u));
+  std::memcpy(&tail.v, tail_bytes + 1 + sizeof(tail.u), sizeof(tail.v));
+  return tail;
 }
 
 QueryRequest decode_query_request(std::span<const std::uint8_t> payload) {
@@ -364,6 +391,51 @@ std::vector<std::uint8_t> encode_payload(const QueryResponse& msg) {
   Writer w(out);
   w.u64(msg.value);
   return out;
+}
+
+namespace {
+
+/// Frame a payload directly into `frame` behind the header — no
+/// temporary payload buffer, and allocation-free once `frame` has
+/// capacity. The length field is patched after the body is written.
+template <typename BuildPayload>
+void build_frame_into(std::vector<std::uint8_t>& frame, MessageType type,
+                      BuildPayload&& body) {
+  frame.clear();
+  Writer w(frame);
+  w.raw(kFrameMagic, sizeof(kFrameMagic));
+  w.u16(kProtocolVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u64(0);  // payload length, patched below
+  body(w);
+  const std::uint64_t payload_bytes = frame.size() - kFrameHeaderBytes;
+  std::memcpy(frame.data() + kFrameHeaderBytes - sizeof(payload_bytes),
+              &payload_bytes, sizeof(payload_bytes));
+}
+
+}  // namespace
+
+void encode_query_request_frame_into(std::vector<std::uint8_t>& frame,
+                                     const QueryRequest& msg) {
+  build_frame_into(frame, MessageType::kQueryRequest,
+                   [&](Writer& w) { append_query_request(w, msg); });
+}
+
+void encode_query_request_frame_into(std::vector<std::uint8_t>& frame,
+                                     const DecompositionRequest& request,
+                                     QueryKind kind, vertex_t u, vertex_t v) {
+  build_frame_into(frame, MessageType::kQueryRequest, [&](Writer& w) {
+    write_request(w, request);
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.u32(u);
+    w.u32(v);
+  });
+}
+
+void encode_query_response_frame_into(std::vector<std::uint8_t>& frame,
+                                      const QueryResponse& msg) {
+  build_frame_into(frame, MessageType::kQueryResponse,
+                   [&](Writer& w) { w.u64(msg.value); });
 }
 
 QueryResponse decode_query_response(std::span<const std::uint8_t> payload) {
@@ -538,6 +610,116 @@ ErrorResponse decode_error_response(std::span<const std::uint8_t> payload) {
   r.raw(msg.message.data(), len, "error message");
   r.finish();
   return msg;
+}
+
+// --- zero-copy framing ----------------------------------------------------
+
+// The borrowed-array chunks reinterpret typed vectors as wire bytes, so
+// the in-memory layout must equal the spec's: consecutive little-endian
+// u32 pairs for Edge, consecutive little-endian u32s for the arrays. The
+// little-endian static_assert above covers byte order; these pin the
+// struct layout.
+static_assert(sizeof(vertex_t) == 4);
+static_assert(sizeof(Edge) == 8 && offsetof(Edge, u) == 0 &&
+                  offsetof(Edge, v) == 4,
+              "Edge must lay out as the wire's (u, v) u32 pair");
+
+std::size_t EncodedFrame::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& chunk : chunks) total += chunk.size();
+  return total;
+}
+
+std::vector<std::uint8_t> EncodedFrame::flatten() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(total_bytes());
+  for (const auto& chunk : chunks) {
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  return out;
+}
+
+EncodedFrame make_owned_frame(std::vector<std::uint8_t> frame) {
+  EncodedFrame out;
+  out.owned.push_back(std::move(frame));
+  out.chunks.emplace_back(out.owned.back());
+  return out;
+}
+
+namespace {
+
+/// Frame header + the fixed RunResponse payload fields into one buffer.
+void write_frame_header(Writer& w, MessageType type,
+                        std::uint64_t payload_bytes) {
+  if (payload_bytes > kMaxFramePayloadBytes) {
+    fail("payload of " + std::to_string(payload_bytes) +
+         " bytes exceeds the frame limit");
+  }
+  w.raw(kFrameMagic, sizeof(kFrameMagic));
+  w.u16(kProtocolVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u64(payload_bytes);
+}
+
+}  // namespace
+
+EncodedFrame encode_run_response_frame(const RunResponse& summary,
+                                       std::span<const vertex_t> owner,
+                                       std::span<const std::uint32_t> settle) {
+  // Fixed payload prefix: u32 + u8 + u8 + u32 + u32 + u64 + u8.
+  constexpr std::uint64_t kFixedBytes = 23;
+  const std::uint64_t payload_bytes =
+      summary.has_arrays ? kFixedBytes + 8 + owner.size_bytes() + 8 +
+                               settle.size_bytes()
+                         : kFixedBytes;
+  EncodedFrame out;
+  std::vector<std::uint8_t> head;
+  head.reserve(kFrameHeaderBytes + kFixedBytes + 8);
+  Writer w(head);
+  write_frame_header(w, MessageType::kRunResponse, payload_bytes);
+  w.u32(summary.num_clusters);
+  w.u8(summary.is_weighted ? 1 : 0);
+  w.u8(summary.from_cache ? 1 : 0);
+  w.u32(summary.rounds);
+  w.u32(summary.phases);
+  w.u64(summary.arcs_scanned);
+  w.u8(summary.has_arrays ? 1 : 0);
+  if (!summary.has_arrays) {
+    out.owned.push_back(std::move(head));
+    out.chunks.emplace_back(out.owned.back());
+    return out;
+  }
+  w.u64(owner.size());
+  std::vector<std::uint8_t> mid;
+  Writer m(mid);
+  m.u64(settle.size());
+  out.owned.push_back(std::move(head));
+  out.owned.push_back(std::move(mid));
+  out.chunks.emplace_back(out.owned[0]);
+  out.chunks.emplace_back(
+      reinterpret_cast<const std::uint8_t*>(owner.data()),
+      owner.size_bytes());
+  out.chunks.emplace_back(out.owned[1]);
+  out.chunks.emplace_back(
+      reinterpret_cast<const std::uint8_t*>(settle.data()),
+      settle.size_bytes());
+  return out;
+}
+
+EncodedFrame encode_boundary_response_frame(std::span<const Edge> edges) {
+  const std::uint64_t payload_bytes = 8 + edges.size_bytes();
+  EncodedFrame out;
+  std::vector<std::uint8_t> head;
+  head.reserve(kFrameHeaderBytes + 8);
+  Writer w(head);
+  write_frame_header(w, MessageType::kBoundaryResponse, payload_bytes);
+  w.u64(edges.size());
+  out.owned.push_back(std::move(head));
+  out.chunks.emplace_back(out.owned.back());
+  out.chunks.emplace_back(
+      reinterpret_cast<const std::uint8_t*>(edges.data()),
+      edges.size_bytes());
+  return out;
 }
 
 }  // namespace mpx::server

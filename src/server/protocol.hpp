@@ -304,4 +304,81 @@ template <typename Message>
   return encode_frame(type, encode_payload(msg));
 }
 
+// --- allocation-free hot-path framing -------------------------------------
+
+/// Rebuild a complete kQueryRequest frame in `frame`, reusing its
+/// capacity: byte-identical to `encode_message(kQueryRequest, msg)` but
+/// allocation-free once the buffer has warmed up. Point queries are the
+/// serving hot path, where one malloc per message is measurable.
+void encode_query_request_frame_into(std::vector<std::uint8_t>& frame,
+                                     const QueryRequest& msg);
+
+/// Component-wise overload: identical bytes without materializing a
+/// QueryRequest (skips the DecompositionRequest copy per point query).
+void encode_query_request_frame_into(std::vector<std::uint8_t>& frame,
+                                     const DecompositionRequest& request,
+                                     QueryKind kind, vertex_t u, vertex_t v);
+
+/// Same for the kQueryResponse direction (the server's hottest reply).
+void encode_query_response_frame_into(std::vector<std::uint8_t>& frame,
+                                      const QueryResponse& msg);
+
+/// The kQueryRequest payload is `[request][kind:u8][u:u32][v:u32]`: a
+/// variable-length DecompositionRequest encoding followed by this fixed
+/// tail. The request encoding is deterministic, so two well-formed query
+/// payloads of equal length whose bytes match everywhere before the tail
+/// carry the same DecompositionRequest — a server can memoize the decoded
+/// request per connection and re-read only the tail of repeat queries.
+inline constexpr std::size_t kQueryRequestTailBytes = 9;
+
+/// The fixed tail of a query-request payload.
+struct QueryTail {
+  QueryKind kind = QueryKind::kClusterOf;
+  vertex_t u = 0;
+  vertex_t v = 0;
+};
+
+/// Decode just the fixed tail of a kQueryRequest payload. Throws
+/// ProtocolError when the payload is shorter than the tail or the kind
+/// byte is out of range (matching decode_query_request's contract).
+[[nodiscard]] QueryTail decode_query_request_tail(
+    std::span<const std::uint8_t> payload);
+
+// --- zero-copy framing ----------------------------------------------------
+
+/// A frame encoded as an ordered chunk sequence instead of one contiguous
+/// buffer: small owned header/count pieces interleaved with borrowed
+/// views of long-lived arrays. `chunks` is the wire order; each span
+/// points either into `owned` or into caller-provided storage that must
+/// outlive every write of the frame (the server parks the storage's
+/// shared_ptr next to the frame until the last byte is flushed). Moving
+/// an EncodedFrame keeps every span valid: the spans into `owned` view
+/// heap buffers whose addresses moves do not change.
+struct EncodedFrame {
+  std::vector<std::vector<std::uint8_t>> owned;       ///< backing storage
+  std::vector<std::span<const std::uint8_t>> chunks;  ///< wire order
+  [[nodiscard]] std::size_t total_bytes() const;
+  /// Concatenate the chunks (tests, and writers without vectored I/O).
+  [[nodiscard]] std::vector<std::uint8_t> flatten() const;
+};
+
+/// Wrap an already-contiguous frame (encode_message output) as a
+/// single-chunk EncodedFrame, so mixed response paths write one type.
+[[nodiscard]] EncodedFrame make_owned_frame(std::vector<std::uint8_t> frame);
+
+/// Zero-copy kRunResponse frame: byte-identical to
+/// `encode_message(kRunResponse, msg)` for a RunResponse carrying these
+/// arrays, but the owner/settle payload bytes are borrowed views of
+/// `owner`/`settle` rather than copies. `summary.owner`/`summary.settle`
+/// are ignored; `summary.has_arrays` selects the arrayless layout (the
+/// spans are then unused).
+[[nodiscard]] EncodedFrame encode_run_response_frame(
+    const RunResponse& summary, std::span<const vertex_t> owner,
+    std::span<const std::uint32_t> settle);
+
+/// Zero-copy kBoundaryResponse frame over a borrowed edge list
+/// (byte-identical to encoding a BoundaryResponse holding `edges`).
+[[nodiscard]] EncodedFrame encode_boundary_response_frame(
+    std::span<const Edge> edges);
+
 }  // namespace mpx::server

@@ -1,12 +1,16 @@
 #include "server/server.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <cstring>
 #include <deque>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "core/session.hpp"
@@ -17,10 +21,12 @@
 #if defined(__unix__) || defined(__APPLE__)
 #define MPX_SERVER_HAVE_SOCKETS 1
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -41,15 +47,144 @@ namespace {
   fail(path + ": " + std::strerror(errno));
 }
 
-/// Poll interval for stop-flag checks while blocked on a socket.
+/// Dispatcher poll interval: the upper bound on stop-flag, accept-backoff
+/// and write-timeout latency.
 inline constexpr int kPollMillis = 200;
 
+/// Complete frames one worker handles per connection checkout before the
+/// connection goes back to the ready queue — the fairness cap that keeps
+/// one deeply-pipelined client from starving interleaved ones.
+inline constexpr int kMaxFramesPerTurn = 32;
+
+/// Response backpressure: while a connection has more queued unsent
+/// response bytes than this, the server stops reading more requests from
+/// it (docs/PROTOCOL.md documents the bound as the pipelining flow-control
+/// contract).
+inline constexpr std::size_t kOutboxPauseBytes = 4u << 20;
+
+/// Cap on buffered-but-unparsed request bytes per connection; always
+/// enough for at least one maximal request frame.
+inline constexpr std::size_t kInbufPauseBytes =
+    2 * (kFrameHeaderBytes + kMaxRequestPayloadBytes);
+
+/// recv granularity for the non-blocking read path.
+inline constexpr std::size_t kReadChunkBytes = 64u << 10;
+
 /// An application-level rejection raised inside a request handler; the
-/// serve loop turns it into a kErrorResponse (the connection survives).
+/// service loop turns it into a kErrorResponse (the connection survives).
 struct HandlerError {
   ErrorCode code;
   std::string message;
 };
+
+/// One client connection's full state. Ownership alternates: the
+/// dispatcher touches a connection only while state == kPolling, a worker
+/// only after checking it out (state == kBusy); every transition happens
+/// under the server mutex, which makes the handoff race-free without
+/// per-connection locks.
+struct Connection {
+  enum class State : std::uint8_t {
+    kPolling,  ///< parked in the dispatcher's poll set
+    kReady,    ///< queued for a worker
+    kBusy,     ///< checked out by a worker
+  };
+
+  explicit Connection(int fd_in) : fd(fd_in) {}
+
+  int fd = -1;
+  State state = State::kPolling;
+
+  // Inbound: raw bytes, parsed up to `inpos` (frames may arrive split or
+  // back-to-back — pipelining).
+  std::vector<std::uint8_t> inbuf;
+  std::size_t inpos = 0;
+  bool saw_eof = false;
+
+  /// One queued response frame plus the store entry its zero-copy chunks
+  /// view (null for owned-only frames); `chunk`/`offset` is the flush
+  /// cursor.
+  struct Outbound {
+    EncodedFrame frame;
+    std::shared_ptr<const MaterializedDecomposition> keepalive;
+    std::size_t chunk = 0;
+    std::size_t offset = 0;
+  };
+  std::deque<Outbound> outbox;  ///< responses in request order
+  std::size_t outbox_bytes = 0;
+  /// Recycled small-frame buffers (owned-only, single chunk): flush()
+  /// returns retired frames here and the query hot path reuses them, so
+  /// steady-state point queries respond without allocating.
+  std::vector<EncodedFrame> frame_pool;
+  /// Hot-path memo: the store entry the last run/query on this
+  /// connection resolved, keyed by its request. Point queries that
+  /// repeat the request (the dominant serving pattern) skip the store's
+  /// mutex + map entirely. Determinism makes this safe across store
+  /// evictions — a recompute of the same key yields identical bytes —
+  /// at the cost of pinning at most one entry per connection.
+  DecompositionRequest memo_request;
+  std::shared_ptr<const MaterializedDecomposition> memo_entry;
+  /// Byte-level fast path over the memo: the exact payload bytes of the
+  /// last kQueryRequest that populated memo_entry. The query encoding is
+  /// deterministic and ends in a fixed kind/u/v tail, so a repeat whose
+  /// bytes match everywhere before the tail carries the same request —
+  /// its decode, validation and store lookup all still stand. Cleared
+  /// whenever memo_entry is repopulated by a non-query handler.
+  std::vector<std::uint8_t> memo_payload;
+  /// Whether memo_request's algorithm supports kDistance (unweighted) —
+  /// saves the registry lookup on memoized distance queries.
+  bool memo_distance_ok = true;
+  /// Last instant a write made progress while the outbox was non-empty
+  /// (the write-timeout clock).
+  std::chrono::steady_clock::time_point write_stalled_since{};
+  /// Flush the outbox, then close: set by kShutdownRequest and by
+  /// stream-desynchronizing errors (bad header, oversized payload),
+  /// after any earlier in-order responses — the protocol's error
+  /// resynchronization rule.
+  bool close_after_flush = false;
+};
+
+/// What a worker decided after servicing a checked-out connection.
+enum class Disposition : std::uint8_t {
+  kClose,    ///< close the fd and forget the connection
+  kRequeue,  ///< complete frames still buffered: straight back to ready
+  kPark,     ///< hand back to the dispatcher's poll set
+};
+
+/// Return a retired outbound frame's buffer to the connection's pool so
+/// the next small response reuses it. Only plain frames qualify: owned
+/// single-buffer, no keepalive, and a capacity worth keeping.
+void recycle_frame(Connection& conn, Connection::Outbound&& done) {
+  constexpr std::size_t kPoolFrames = 4;
+  constexpr std::size_t kPoolFrameCapBytes = 4096;
+  if (done.keepalive != nullptr) return;
+  EncodedFrame& frame = done.frame;
+  if (frame.owned.size() != 1 ||
+      frame.owned[0].capacity() > kPoolFrameCapBytes ||
+      conn.frame_pool.size() >= kPoolFrames) {
+    return;
+  }
+  frame.chunks.clear();
+  frame.owned[0].clear();
+  conn.frame_pool.push_back(std::move(frame));
+}
+
+/// A frame buffer for a small response: pooled when available, with one
+/// owned buffer ready to encode into (chunks left for the caller).
+[[nodiscard]] EncodedFrame take_pooled_frame(Connection& conn) {
+  EncodedFrame frame;
+  if (!conn.frame_pool.empty()) {
+    frame = std::move(conn.frame_pool.back());
+    conn.frame_pool.pop_back();
+  } else {
+    frame.owned.emplace_back();
+  }
+  return frame;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
 
 #endif  // MPX_SERVER_HAVE_SOCKETS
 
@@ -61,30 +196,74 @@ struct DecompServer::Impl {
   bool weighted = false;
   CsrGraph graph;            // unweighted snapshots
   WeightedCsrGraph wgraph;   // weighted snapshots
-  std::vector<DecompositionSession> sessions;  // one per worker
+  std::unique_ptr<SharedResultStore> store;  // the fleet-wide result cache
 
   int listen_fd = -1;
+  int wake_fds[2] = {-1, -1};  ///< self-pipe: workers re-arm the dispatcher
   std::uint16_t bound_port = 0;
   std::atomic<bool> started{false};
   std::atomic<bool> stopping{false};
   std::atomic<bool> joined{false};
 
-  /// Set the stop flag under the queue mutex (so a cv waiter between its
+  /// Set the stop flag under the mutex (so a cv waiter between its
   /// predicate check and its sleep cannot miss the wakeup) and wake
-  /// everyone.
+  /// everyone, the poll-blocked dispatcher included.
   void signal_stop() {
     {
       std::lock_guard<std::mutex> lock(mutex);
       stopping.store(true);
     }
-    cv.notify_all();
+    ready_cv.notify_all();
+    stop_cv.notify_all();
+    wake_dispatcher();
   }
 
-  std::thread acceptor;
+  void wake_dispatcher() {
+#if MPX_SERVER_HAVE_SOCKETS
+    if (wake_fds[1] >= 0) {
+      const char byte = 1;
+      (void)::write(wake_fds[1], &byte, 1);  // pipe full = already awake
+    }
+#endif
+  }
+
+  std::thread dispatcher;
   std::vector<std::thread> workers;
-  std::mutex mutex;             // guards pending + the stop condition
-  std::condition_variable cv;   // workers wait here; wait() too
-  std::deque<int> pending;      // accepted, not-yet-served connections
+  std::mutex mutex;               ///< guards conns, ready, state moves
+  std::condition_variable ready_cv;  ///< workers wait here
+  std::condition_variable stop_cv;   ///< wait() waits here
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  std::deque<Connection*> ready;
+  /// True from just before the dispatcher snapshots its poll set until
+  /// poll() returns. A worker parking a connection needs the wake pipe
+  /// only inside that window — outside it the dispatcher is processing
+  /// and will pick the parked connection up in its next snapshot anyway.
+  /// Set BEFORE the snapshot so a park that misses the snapshot is
+  /// guaranteed to see the flag and write the pipe.
+  std::atomic<bool> dispatcher_polling{false};
+  /// Coalesces wake-pipe writes within one poll window: the first park
+  /// flips this and writes the pipe; later parks in the same window skip
+  /// the syscall (one byte already guarantees the poll return that
+  /// re-snapshots every parked connection). Cleared at the top of each
+  /// cycle, before the snapshot, so post-snapshot parks start fresh.
+  std::atomic<bool> wake_pending{false};
+  /// Workers asleep on ready_cv (guarded by mutex; incremented only
+  /// around an actual block, so notify_one with idle_workers > 0 always
+  /// lands on a real sleeper).
+  std::size_t idle_workers = 0;
+  /// Wakes issued but not yet consumed by a sleeper (guarded by mutex).
+  /// Notifies are need-based, not per-item: the dispatcher wakes one
+  /// worker per batch, and a worker about to enter a blocking store
+  /// operation calls kick_helper() so the rest of the queue is not
+  /// stranded behind its cold compute. Invariant: whenever the ready
+  /// queue is non-empty, either an awake worker will re-check it before
+  /// sleeping or a notify is in flight — every enqueue (dispatcher) and
+  /// every potential block (worker) re-establishes it. A fast drain thus
+  /// costs one futex wake per batch, not one per item.
+  std::size_t notifies_in_flight = 0;
+  /// Listener exclusion window after an fd-exhaustion accept failure;
+  /// dispatcher-thread-only.
+  std::chrono::steady_clock::time_point accept_backoff_until{};
 
   std::atomic<std::uint64_t> connections{0};
   std::atomic<std::uint64_t> requests{0};
@@ -94,105 +273,63 @@ struct DecompServer::Impl {
   std::atomic<std::uint64_t> query_requests{0};
   std::atomic<std::uint64_t> boundary_requests{0};
   std::atomic<std::uint64_t> batch_requests{0};
+  std::atomic<std::uint64_t> accept_backoffs{0};
+  std::atomic<std::uint64_t> write_timeouts{0};
   std::atomic<std::uint64_t> service_nanos{0};
 
 #if MPX_SERVER_HAVE_SOCKETS
   void open_listener();
-  void accept_loop();
-  void worker_loop(DecompositionSession& session);
-  void serve_connection(int fd, DecompositionSession& session);
-  std::vector<std::uint8_t> handle_frame(const FrameHeader& header,
-                                         std::span<const std::uint8_t> payload,
-                                         DecompositionSession& session,
-                                         bool& close_connection);
-  void restore_warm(DecompositionSession& session, bool strict);
-  void enforce_cache_bound(DecompositionSession& session);
+  void dispatch_loop();
+  void accept_new();
+  void worker_loop();
+  /// Called by a worker right before a store operation that may block
+  /// (cold compute, single-flight wait, warm-file IO): wakes one sleeping
+  /// worker if the ready queue would otherwise be stranded behind us.
+  void kick_helper();
+  [[nodiscard]] Disposition service(Connection& conn);
+  /// Non-blocking flush of the outbox front; false on a dead transport.
+  [[nodiscard]] bool flush(Connection& conn);
+  /// Non-blocking read of whatever the socket holds (bounded by
+  /// kInbufPauseBytes); false on a dead transport.
+  [[nodiscard]] bool read_available(Connection& conn);
+  void handle_frame(Connection& conn, const FrameHeader& header,
+                    std::span<const std::uint8_t> payload);
+  void enqueue(Connection& conn, EncodedFrame frame,
+               std::shared_ptr<const MaterializedDecomposition> keepalive =
+                   nullptr);
+  void enqueue_error(Connection& conn, ErrorCode code,
+                     const std::string& message);
+  void restore_warm(bool strict);
+  void enforce_cache_bound();
 #endif
 };
 
 #if MPX_SERVER_HAVE_SOCKETS
-namespace {
 
-/// Read exactly `bytes` unless the peer closes first. Returns the byte
-/// count actually read: `bytes` on success, anything else means EOF, a
-/// transport error, or a stop request (checked every poll interval even
-/// mid-frame, so a stalled peer can never block graceful shutdown).
-std::size_t read_exact(int fd, std::uint8_t* into, std::size_t bytes,
-                       const std::atomic<bool>& stopping) {
-  std::size_t got = 0;
-  while (got < bytes) {
-    if (stopping.load(std::memory_order_relaxed)) return got;
-    pollfd pfd{fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollMillis);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      return got;
-    }
-    if (ready == 0) continue;  // timeout: re-check the stop flag
-    const ssize_t n = ::recv(fd, into + got, bytes - got, 0);
-    if (n == 0) return got;  // peer closed
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN) continue;
-      return got;
-    }
-    got += static_cast<std::size_t>(n);
-  }
-  return got;
-}
-
-/// Write the whole buffer; false when the peer is gone or a stop request
-/// interrupts a *blocked* write (a slow reader with a full socket buffer
-/// must not pin its worker past shutdown — the mirror of read_exact's
-/// stop polling). Progress is always attempted before the flag is
-/// consulted, so small responses — the shutdown ack included — complete
-/// even while the server is draining.
-bool write_all(int fd, std::span<const std::uint8_t> bytes,
-               const std::atomic<bool>& stopping) {
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = detail::send_some(fd, bytes.data() + sent,
-                                        bytes.size() - sent, MSG_DONTWAIT);
-    if (n > 0) {
-      sent += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
-      return false;
-    }
-    // No progress: the buffer is full. Wait for writability, abandoning
-    // the connection if a stop arrives first.
-    if (stopping.load(std::memory_order_relaxed)) return false;
-    pollfd pfd{fd, POLLOUT, 0};
-    const int ready = ::poll(&pfd, 1, kPollMillis);
-    if (ready < 0 && errno != EINTR) return false;
-  }
-  return true;
-}
-
-}  // namespace
-
-void DecompServer::Impl::restore_warm(DecompositionSession& session,
-                                      bool strict) {
+void DecompServer::Impl::restore_warm(bool strict) {
   for (const WarmStartEntry& entry : config.warm) {
-    if (!session.load_cached(entry.request, entry.path)) {
+    if (!store->load_cached(entry.request, entry.path)) {
       // At start() a missing file is an operator error; after a runtime
       // eviction (the file may have been deleted since) the entry is
       // simply recomputed on demand.
       if (strict) fail(entry.path + ": warm-start file not found");
-      continue;
     }
-    (void)session.materialize(entry.request);
   }
 }
 
-/// Request keys are client-controlled, so the per-worker result cache
-/// would otherwise grow one DecompositionResult per distinct request
+/// Request keys are client-controlled, so the shared result store would
+/// otherwise grow one MaterializedDecomposition per distinct request
 /// forever. Over the bound: drop everything, restore the warm set.
-void DecompServer::Impl::enforce_cache_bound(DecompositionSession& session) {
+/// Entries referenced by queued responses stay alive through their
+/// keepalive shared_ptrs. Called after every store acquire — the only
+/// operation that can grow the store — so memoized point queries skip
+/// the store mutex entirely.
+void DecompServer::Impl::enforce_cache_bound() {
   if (config.max_cached_results == 0) return;
-  if (session.cache_size() <= config.max_cached_results) return;
-  session.clear_cache();
-  restore_warm(session, /*strict=*/false);
+  if (store->size() <= config.max_cached_results) return;
+  kick_helper();  // reload of the warm set does file IO
+  store->clear();
+  restore_warm(/*strict=*/false);
 }
 
 void DecompServer::Impl::open_listener() {
@@ -265,68 +402,347 @@ void DecompServer::Impl::open_listener() {
                    ? "127.0.0.1:" + std::to_string(bound_port)
                    : config.socket_path);
   }
+  set_nonblocking(listen_fd);
 }
 
-void DecompServer::Impl::accept_loop() {
-  while (!stopping.load(std::memory_order_relaxed)) {
-    pollfd pfd{listen_fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollMillis);
-    if (ready <= 0) continue;  // timeout, EINTR: re-check the stop flag
+void DecompServer::Impl::accept_new() {
+  for (;;) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) continue;  // ECONNABORTED etc.; the loop condition governs
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained
+      // EMFILE/ENFILE/ENOBUFS/ENOMEM (and anything else persistent): the
+      // listener stays POLLIN-ready with a backlog we cannot drain, so
+      // polling it again immediately would busy-spin. Exclude it from
+      // the poll set for one interval; pending connections stay in the
+      // backlog and are accepted once descriptors free up.
+      accept_backoffs.fetch_add(1, std::memory_order_relaxed);
+      accept_backoff_until =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(kPollMillis);
+      return;
+    }
+    set_nonblocking(fd);
     detail::disable_sigpipe(fd);
     if (config.socket_path.empty()) detail::disable_nagle(fd);
     connections.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mutex);
-      pending.push_back(fd);
+      conns.emplace(fd, std::make_unique<Connection>(fd));
     }
-    cv.notify_one();
   }
 }
 
-void DecompServer::Impl::worker_loop(DecompositionSession& session) {
+void DecompServer::Impl::dispatch_loop() {
+  std::vector<pollfd> pfds;
+  std::vector<Connection*> polled;
+  const bool timeout_enabled = config.write_timeout > 0.0;
+  const auto write_timeout = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(timeout_enabled ? config.write_timeout
+                                                    : 0.0));
+  while (!stopping.load(std::memory_order_relaxed)) {
+    pfds.clear();
+    polled.clear();
+    pfds.push_back(pollfd{wake_fds[0], POLLIN, 0});
+    const bool listener_polled =
+        std::chrono::steady_clock::now() >= accept_backoff_until;
+    if (listener_polled) pfds.push_back(pollfd{listen_fd, POLLIN, 0});
+    const std::size_t first_conn = pfds.size();
+    // Raised BEFORE the snapshot: a worker that parks a connection after
+    // this store either lands in the snapshot below (park completed
+    // before we took the lock) or sees the flag and writes the wake
+    // pipe. Either way the connection is re-armed without a poll-timeout
+    // stall, and parks that happen while we process results (flag down)
+    // skip the pipe write entirely — the next snapshot picks them up.
+    dispatcher_polling.store(true, std::memory_order_seq_cst);
+    wake_pending.store(false, std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      for (auto& [fd, conn] : conns) {
+        if (conn->state != Connection::State::kPolling) continue;
+        short events = 0;
+        if (!conn->outbox.empty()) events |= POLLOUT;
+        if (!conn->saw_eof && !conn->close_after_flush &&
+            conn->outbox_bytes <= kOutboxPauseBytes &&
+            conn->inbuf.size() - conn->inpos <= kInbufPauseBytes) {
+          events |= POLLIN;
+        }
+        if (events == 0) continue;  // nothing can unblock it but a worker
+        pfds.push_back(pollfd{fd, events, 0});
+        polled.push_back(conn.get());
+      }
+    }
+    const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                          kPollMillis);
+    dispatcher_polling.store(false, std::memory_order_seq_cst);
+    if (stopping.load(std::memory_order_relaxed)) break;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;  // poll itself failing is unrecoverable
+    }
+    if ((pfds[0].revents & POLLIN) != 0) {
+      char buf[64];
+      while (::read(wake_fds[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (listener_polled && (pfds[1].revents & POLLIN) != 0) accept_new();
+    std::size_t woke = 0;
+    bool kick = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t i = first_conn; i < pfds.size(); ++i) {
+        Connection* conn = polled[i - first_conn];
+        if (conn->state != Connection::State::kPolling) continue;
+        if ((pfds[i].revents &
+             (POLLIN | POLLOUT | POLLERR | POLLHUP | POLLNVAL)) != 0) {
+          conn->state = Connection::State::kReady;
+          ready.push_back(conn);
+          ++woke;
+          continue;
+        }
+        // No progress possible: a non-empty outbox whose peer accepts no
+        // bytes for write_timeout gets dropped (the dead-reader guard).
+        if (timeout_enabled && !conn->outbox.empty() &&
+            now - conn->write_stalled_since >= write_timeout) {
+          write_timeouts.fetch_add(1, std::memory_order_relaxed);
+          ::close(conn->fd);
+          conns.erase(conn->fd);
+        }
+      }
+      // One notify starts the drain; an awake worker keeps popping until
+      // the queue is empty, and kicks a helper itself if it is about to
+      // block (kick_helper in handle_frame). Skip the wake when one is
+      // already in flight or every worker is awake.
+      if (woke > 0 && idle_workers > 0 && notifies_in_flight == 0) {
+        ++notifies_in_flight;
+        kick = true;
+      }
+    }
+    if (kick) ready_cv.notify_one();
+  }
+}
+
+void DecompServer::Impl::kick_helper() {
+  bool kick = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!ready.empty() && idle_workers > 0 && notifies_in_flight == 0) {
+      ++notifies_in_flight;
+      kick = true;
+    }
+  }
+  if (kick) ready_cv.notify_one();
+}
+
+void DecompServer::Impl::worker_loop() {
+  // One critical section per iteration: apply the previous connection's
+  // disposition AND pop the next ready connection under the same lock
+  // (a busy server otherwise pays two acquires per request).
+  Connection* done = nullptr;
+  Disposition disposition = Disposition::kPark;
   for (;;) {
-    int fd = -1;
+    Connection* conn = nullptr;
+    bool park = false;
     {
       std::unique_lock<std::mutex> lock(mutex);
-      cv.wait(lock, [&] {
-        return stopping.load(std::memory_order_relaxed) || !pending.empty();
-      });
+      if (done != nullptr) {
+        switch (disposition) {
+          case Disposition::kClose:
+            ::close(done->fd);
+            conns.erase(done->fd);
+            break;
+          case Disposition::kRequeue:
+            // Net queue size is unchanged (we push one, we pop one
+            // below), so no other worker needs a wakeup.
+            done->state = Connection::State::kReady;
+            ready.push_back(done);
+            break;
+          case Disposition::kPark:
+            done->state = Connection::State::kPolling;
+            park = true;
+            break;
+        }
+        done = nullptr;
+      }
+      // The dispatcher builds its poll set once per cycle; a freshly
+      // parked connection needs a re-arm to be seen before the next
+      // timeout — but only when the dispatcher is actually blocked in
+      // poll(). Outside that window it re-snapshots conns (where the
+      // parked connection now sits as kPolling) before blocking again,
+      // so the pipe write would be a wasted syscall. The flag goes up
+      // before the snapshot, so a park that misses the snapshot always
+      // observes it.
+      if (park) {
+        if (dispatcher_polling.load(std::memory_order_seq_cst) &&
+            !wake_pending.exchange(true, std::memory_order_seq_cst)) {
+          lock.unlock();
+          wake_dispatcher();
+          lock.lock();
+        }
+        park = false;
+      }
+      while (!stopping.load(std::memory_order_relaxed) && ready.empty()) {
+        ++idle_workers;
+        ready_cv.wait(lock);
+        --idle_workers;
+        // Consume the wake that (probably) targeted us. A spurious
+        // wakeup can over-consume, which at worst costs one extra
+        // notify later — never a stranded queue.
+        if (notifies_in_flight > 0) --notifies_in_flight;
+      }
       if (stopping.load(std::memory_order_relaxed)) return;
-      fd = pending.front();
-      pending.pop_front();
+      conn = ready.front();
+      ready.pop_front();
+      conn->state = Connection::State::kBusy;
     }
+    disposition = Disposition::kClose;
     try {
-      serve_connection(fd, session);
+      disposition = service(*conn);
     } catch (const std::exception&) {
       // A connection must never take its worker down (e.g. bad_alloc on
       // a huge-but-in-bounds payload claim); drop it and serve the next.
     }
-    ::close(fd);
+    done = conn;
   }
 }
 
-void DecompServer::Impl::serve_connection(int fd,
-                                          DecompositionSession& session) {
-  std::vector<std::uint8_t> payload;
-  for (;;) {
-    std::uint8_t header_bytes[kFrameHeaderBytes];
-    const std::size_t got =
-        read_exact(fd, header_bytes, sizeof(header_bytes), stopping);
-    if (got == 0) return;  // clean close (or stop requested while idle)
-    if (got != sizeof(header_bytes) &&
-        stopping.load(std::memory_order_relaxed)) {
-      return;  // stop interrupted a partial frame; just drop it
+bool DecompServer::Impl::flush(Connection& conn) {
+  while (!conn.outbox.empty()) {
+    // Gather a vectored batch from the front of the outbox: with
+    // zero-copy frames this writes header bytes and borrowed array bytes
+    // in one syscall, no intermediate copy.
+    iovec iov[16];
+    int iov_count = 0;
+    for (auto it = conn.outbox.begin();
+         it != conn.outbox.end() && iov_count < 16; ++it) {
+      for (std::size_t c = it->chunk;
+           c < it->frame.chunks.size() && iov_count < 16; ++c) {
+        const std::span<const std::uint8_t> chunk = it->frame.chunks[c];
+        const std::size_t offset = c == it->chunk ? it->offset : 0;
+        if (chunk.size() == offset) continue;
+        iov[iov_count].iov_base =
+            const_cast<std::uint8_t*>(chunk.data()) + offset;
+        iov[iov_count].iov_len = chunk.size() - offset;
+        ++iov_count;
+      }
     }
+    if (iov_count == 0) {
+      recycle_frame(conn, std::move(conn.outbox.front()));
+      conn.outbox.pop_front();
+      continue;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<decltype(msg.msg_iovlen)>(iov_count);
+#if defined(MSG_NOSIGNAL)
+    const ssize_t sent = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+#else
+    const ssize_t sent = ::sendmsg(conn.fd, &msg, MSG_DONTWAIT);
+#endif
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // parked
+      return false;
+    }
+    conn.write_stalled_since = std::chrono::steady_clock::now();
+    conn.outbox_bytes -= static_cast<std::size_t>(sent);
+    // Advance the flush cursor across frames/chunks, retiring completed
+    // frames (and releasing their keepalive store entries).
+    std::size_t remaining = static_cast<std::size_t>(sent);
+    while (remaining > 0 || (!conn.outbox.empty() &&
+                             conn.outbox.front().chunk ==
+                                 conn.outbox.front().frame.chunks.size())) {
+      Connection::Outbound& front = conn.outbox.front();
+      while (front.chunk < front.frame.chunks.size()) {
+        const std::size_t chunk_bytes =
+            front.frame.chunks[front.chunk].size() - front.offset;
+        if (chunk_bytes == 0) {
+          ++front.chunk;
+          front.offset = 0;
+          continue;
+        }
+        const std::size_t take = std::min(chunk_bytes, remaining);
+        front.offset += take;
+        remaining -= take;
+        if (front.offset == front.frame.chunks[front.chunk].size()) {
+          ++front.chunk;
+          front.offset = 0;
+        }
+        if (remaining == 0) break;
+      }
+      if (front.chunk == front.frame.chunks.size()) {
+        recycle_frame(conn, std::move(front));
+        conn.outbox.pop_front();
+      } else {
+        break;  // partial frame: the cursor holds the position
+      }
+    }
+  }
+  return true;
+}
+
+bool DecompServer::Impl::read_available(Connection& conn) {
+  // Receive into a scratch block and append only the bytes that actually
+  // arrived. Growing inbuf first (resize + recv in place) looks cheaper
+  // but value-initializes the full chunk — a 64 KiB memset per service
+  // turn that dwarfs a small request's entire handling cost.
+  std::uint8_t scratch[kReadChunkBytes];
+  while (conn.inbuf.size() - conn.inpos < kInbufPauseBytes) {
+    const ssize_t n = ::recv(conn.fd, scratch, sizeof(scratch), MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;
+    }
+    if (n == 0) {
+      conn.saw_eof = true;
+      return true;
+    }
+    conn.inbuf.insert(conn.inbuf.end(), scratch,
+                      scratch + static_cast<std::size_t>(n));
+    if (static_cast<std::size_t>(n) < sizeof(scratch)) return true;
+  }
+  return true;
+}
+
+namespace {
+
+/// True when the parse position holds a complete frame — or bytes that
+/// will immediately produce a (stream-closing) error, which is work too.
+bool complete_frame_buffered(const Connection& conn) {
+  const std::size_t available = conn.inbuf.size() - conn.inpos;
+  if (available < kFrameHeaderBytes) return false;
+  try {
+    const FrameHeader header = decode_frame_header(
+        std::span<const std::uint8_t>(conn.inbuf.data() + conn.inpos,
+                                      kFrameHeaderBytes));
+    if (header.payload_bytes > kMaxRequestPayloadBytes) return true;
+    return available >= kFrameHeaderBytes + header.payload_bytes;
+  } catch (const ProtocolError&) {
+    return true;
+  }
+}
+
+}  // namespace
+
+Disposition DecompServer::Impl::service(Connection& conn) {
+  if (!flush(conn)) return Disposition::kClose;
+  if (!conn.saw_eof && !conn.close_after_flush &&
+      conn.outbox_bytes <= kOutboxPauseBytes) {
+    if (!read_available(conn)) return Disposition::kClose;
+  }
+
+  int handled = 0;
+  while (!conn.close_after_flush && handled < kMaxFramesPerTurn &&
+         !stopping.load(std::memory_order_relaxed)) {
+    const std::size_t available = conn.inbuf.size() - conn.inpos;
+    if (available < kFrameHeaderBytes) break;
     FrameHeader header;
     try {
-      if (got != sizeof(header_bytes)) {
-        throw ProtocolError("truncated frame header: " + std::to_string(got) +
-                            " of " + std::to_string(kFrameHeaderBytes) +
-                            " bytes");
-      }
-      header = decode_frame_header(header_bytes);
+      header = decode_frame_header(std::span<const std::uint8_t>(
+          conn.inbuf.data() + conn.inpos, kFrameHeaderBytes));
       if (header.payload_bytes > kMaxRequestPayloadBytes) {
         throw ProtocolError(
             "request payload of " + std::to_string(header.payload_bytes) +
@@ -334,161 +750,267 @@ void DecompServer::Impl::serve_connection(int fd,
             std::to_string(kMaxRequestPayloadBytes) + ")");
       }
     } catch (const ProtocolError& e) {
-      // The stream is unsynchronized: answer best-effort, then drop it.
-      errors.fetch_add(1, std::memory_order_relaxed);
+      // The stream is unsynchronized past this point. Pipelining's error
+      // resynchronization rule: every earlier in-order response is
+      // already queued ahead, then this error frame, then close.
       requests.fetch_add(1, std::memory_order_relaxed);
-      (void)write_all(fd,
-                      encode_message(MessageType::kErrorResponse,
-                                     ErrorResponse{
-                                         ErrorCode::kMalformedPayload,
-                                         e.what()}),
-                      stopping);
-      return;
+      errors.fetch_add(1, std::memory_order_relaxed);
+      enqueue(conn, make_owned_frame(encode_message(
+                        MessageType::kErrorResponse,
+                        ErrorResponse{ErrorCode::kMalformedPayload,
+                                      e.what()})));
+      conn.close_after_flush = true;
+      break;
     }
-    payload.resize(header.payload_bytes);
-    if (header.payload_bytes != 0 &&
-        read_exact(fd, payload.data(), payload.size(), stopping) !=
-            payload.size()) {
-      return;  // peer vanished mid-frame; nothing sane to answer
-    }
+    if (available < kFrameHeaderBytes + header.payload_bytes) break;
+    const std::span<const std::uint8_t> payload(
+        conn.inbuf.data() + conn.inpos + kFrameHeaderBytes,
+        static_cast<std::size_t>(header.payload_bytes));
+    conn.inpos += kFrameHeaderBytes + header.payload_bytes;
+    ++handled;
 
     WallTimer timer;
-    bool close_connection = false;
-    std::vector<std::uint8_t> response;
     try {
-      response = handle_frame(header, payload, session, close_connection);
+      handle_frame(conn, header, payload);
     } catch (const HandlerError& e) {
-      errors.fetch_add(1, std::memory_order_relaxed);
-      response = encode_message(MessageType::kErrorResponse,
-                                ErrorResponse{e.code, e.message});
+      enqueue_error(conn, e.code, e.message);
     } catch (const ProtocolError& e) {
-      errors.fetch_add(1, std::memory_order_relaxed);
-      response = encode_message(
-          MessageType::kErrorResponse,
-          ErrorResponse{ErrorCode::kMalformedPayload, e.what()});
+      enqueue_error(conn, ErrorCode::kMalformedPayload, e.what());
     } catch (const std::invalid_argument& e) {
-      errors.fetch_add(1, std::memory_order_relaxed);
-      response =
-          encode_message(MessageType::kErrorResponse,
-                         ErrorResponse{ErrorCode::kInvalidRequest, e.what()});
+      enqueue_error(conn, ErrorCode::kInvalidRequest, e.what());
     } catch (const std::exception& e) {
-      errors.fetch_add(1, std::memory_order_relaxed);
-      response =
-          encode_message(MessageType::kErrorResponse,
-                         ErrorResponse{ErrorCode::kInternal, e.what()});
+      enqueue_error(conn, ErrorCode::kInternal, e.what());
     }
     requests.fetch_add(1, std::memory_order_relaxed);
     service_nanos.fetch_add(
         static_cast<std::uint64_t>(timer.seconds() * 1e9),
         std::memory_order_relaxed);
-    if (!write_all(fd, response, stopping)) return;
-    if (close_connection) return;
-    enforce_cache_bound(session);
+    // Keep queued response memory bounded while a pipelining client
+    // blasts requests: push bytes to the socket between frames.
+    if (conn.outbox_bytes > kOutboxPauseBytes && !flush(conn)) {
+      return Disposition::kClose;
+    }
   }
+
+  // Reclaim consumed input (fully drained: cheap clear; else compact so
+  // a pathological trickle cannot grow the buffer unboundedly).
+  if (conn.inpos == conn.inbuf.size()) {
+    conn.inbuf.clear();
+    conn.inpos = 0;
+  } else if (conn.inpos >= kReadChunkBytes) {
+    conn.inbuf.erase(conn.inbuf.begin(),
+                     conn.inbuf.begin() +
+                         static_cast<std::ptrdiff_t>(conn.inpos));
+    conn.inpos = 0;
+  }
+
+  if (!flush(conn)) return Disposition::kClose;
+  if (conn.close_after_flush) {
+    return conn.outbox.empty() ? Disposition::kClose : Disposition::kPark;
+  }
+  if (complete_frame_buffered(conn)) {
+    // More parsed work is already buffered; skip the poll round-trip
+    // unless backpressure wants the outbox drained first.
+    if (conn.outbox_bytes <= kOutboxPauseBytes &&
+        !stopping.load(std::memory_order_relaxed)) {
+      return Disposition::kRequeue;
+    }
+    return Disposition::kPark;
+  }
+  if (conn.saw_eof) {
+    // Nothing more will arrive; any trailing partial frame is dropped.
+    return conn.outbox.empty() ? Disposition::kClose : Disposition::kPark;
+  }
+  return Disposition::kPark;
 }
 
-std::vector<std::uint8_t> DecompServer::Impl::handle_frame(
-    const FrameHeader& header, std::span<const std::uint8_t> payload,
-    DecompositionSession& session, bool& close_connection) {
-  const vertex_t n = session.topology().num_vertices();
+void DecompServer::Impl::enqueue(
+    Connection& conn, EncodedFrame frame,
+    std::shared_ptr<const MaterializedDecomposition> keepalive) {
+  if (conn.outbox.empty()) {
+    conn.write_stalled_since = std::chrono::steady_clock::now();
+  }
+  conn.outbox_bytes += frame.total_bytes();
+  Connection::Outbound out;
+  out.frame = std::move(frame);
+  out.keepalive = std::move(keepalive);
+  conn.outbox.push_back(std::move(out));
+}
+
+void DecompServer::Impl::enqueue_error(Connection& conn, ErrorCode code,
+                                       const std::string& message) {
+  errors.fetch_add(1, std::memory_order_relaxed);
+  enqueue(conn, make_owned_frame(encode_message(MessageType::kErrorResponse,
+                                                ErrorResponse{code, message})));
+}
+
+void DecompServer::Impl::handle_frame(Connection& conn,
+                                      const FrameHeader& header,
+                                      std::span<const std::uint8_t> payload) {
+  const vertex_t n = store->topology().num_vertices();
   switch (header.type) {
     case MessageType::kInfoRequest: {
       (void)decode_info_request(payload);
       info_requests.fetch_add(1, std::memory_order_relaxed);
       InfoResponse info;
       info.num_vertices = n;
-      info.num_edges = session.topology().num_edges();
-      info.weighted = session.weighted();
+      info.num_edges = store->topology().num_edges();
+      info.weighted = store->weighted();
       info.workers = static_cast<std::uint16_t>(config.workers);
       info.requests_served = requests.load(std::memory_order_relaxed);
-      return encode_message(MessageType::kInfoResponse, info);
+      enqueue(conn,
+              make_owned_frame(encode_message(MessageType::kInfoResponse,
+                                              info)));
+      return;
     }
     case MessageType::kRunRequest: {
       const RunRequest req = decode_run_request(payload);
       run_requests.fetch_add(1, std::memory_order_relaxed);
-      validate_request(req.request);
+      kick_helper();  // acquire may block on a cold decomposition
+      const SharedResultStore::Acquired acquired =
+          store->acquire(req.request);
+      // Only an acquire can push the store over its bound (the acquired
+      // entry itself stays alive through the shared_ptr regardless).
+      enforce_cache_bound();
+      const DecompositionResult& result = acquired.entry->result();
       RunResponse out;
-      out.from_cache = session.cached(req.request) != nullptr;
-      const DecompositionResult& result = session.run(req.request);
       out.num_clusters = result.num_clusters();
       out.is_weighted = result.weighted();
+      out.from_cache = acquired.from_cache;
       out.rounds = result.telemetry.rounds;
       out.phases = result.telemetry.phases;
       out.arcs_scanned = result.telemetry.arcs_scanned;
-      if (req.include_arrays) {
-        out.has_arrays = true;
-        out.owner = result.owner;
-        out.settle = result.settle;
-      }
-      return encode_message(MessageType::kRunResponse, out);
+      out.has_arrays = req.include_arrays;
+      conn.memo_entry = acquired.entry;
+      conn.memo_request = req.request;
+      conn.memo_payload.clear();  // byte memo no longer matches the entry
+      // Zero-copy: the frame's array chunks view the stored result; the
+      // entry rides along as the keepalive until the bytes flush.
+      enqueue(conn,
+              encode_run_response_frame(out, result.owner, result.settle),
+              acquired.entry);
+      return;
     }
     case MessageType::kQueryRequest: {
-      const QueryRequest req = decode_query_request(payload);
       query_requests.fetch_add(1, std::memory_order_relaxed);
+      const auto serve = [&](QueryKind kind, vertex_t u, vertex_t v) {
+        const MaterializedDecomposition& entry = *conn.memo_entry;
+        QueryResponse out;
+        switch (kind) {
+          case QueryKind::kClusterOf:
+            out.value = entry.cluster_of(u);
+            break;
+          case QueryKind::kOwnerOf:
+            out.value = entry.owner_of(u);
+            break;
+          case QueryKind::kDistance:
+            out.value = entry.estimate_distance(u, v);
+            break;
+        }
+        EncodedFrame frame = take_pooled_frame(conn);
+        encode_query_response_frame_into(frame.owned[0], out);
+        frame.chunks.emplace_back(frame.owned[0].data(),
+                                  frame.owned[0].size());
+        enqueue(conn, std::move(frame));
+      };
+      // Byte-level memo hit: everything but the fixed kind/u/v tail
+      // matches the payload that populated memo_entry, so the decoded
+      // request — and its validation and store lookup — still stand.
+      // Point queries that repeat the request are the dominant serving
+      // pattern; this skips the full request decode per query.
+      if (conn.memo_entry != nullptr &&
+          payload.size() == conn.memo_payload.size() &&
+          payload.size() >= kQueryRequestTailBytes &&
+          std::memcmp(payload.data(), conn.memo_payload.data(),
+                      payload.size() - kQueryRequestTailBytes) == 0) {
+        const QueryTail tail = decode_query_request_tail(payload);
+        if (tail.u >= n ||
+            (tail.kind == QueryKind::kDistance && tail.v >= n)) {
+          throw HandlerError{
+              ErrorCode::kOutOfRange,
+              "vertex out of range (n=" + std::to_string(n) + ")"};
+        }
+        if (tail.kind == QueryKind::kDistance && !conn.memo_distance_ok) {
+          throw HandlerError{
+              ErrorCode::kUnsupportedQuery,
+              "distance estimates serve unweighted algorithms; '" +
+                  conn.memo_request.algorithm + "' produces real-valued radii"};
+        }
+        serve(tail.kind, tail.u, tail.v);
+        return;
+      }
+      const QueryRequest req = decode_query_request(payload);
       validate_request(req.request);
       if (req.u >= n || (req.kind == QueryKind::kDistance && req.v >= n)) {
         throw HandlerError{
             ErrorCode::kOutOfRange,
             "vertex out of range (n=" + std::to_string(n) + ")"};
       }
-      QueryResponse out;
-      switch (req.kind) {
-        case QueryKind::kClusterOf:
-          out.value = session.cluster_of(req.u, req.request);
-          break;
-        case QueryKind::kOwnerOf:
-          out.value = session.owner_of(req.u, req.request);
-          break;
-        case QueryKind::kDistance: {
-          const AlgorithmInfo* info = find_algorithm(req.request.algorithm);
-          if (info != nullptr && info->needs_weights) {
-            throw HandlerError{
-                ErrorCode::kUnsupportedQuery,
-                "distance estimates serve unweighted algorithms; '" +
-                    req.request.algorithm + "' produces real-valued radii"};
-          }
-          out.value = session.estimate_distance(req.u, req.v, req.request);
-          break;
-        }
+      const AlgorithmInfo* info = find_algorithm(req.request.algorithm);
+      const bool distance_ok = !(info != nullptr && info->needs_weights);
+      if (req.kind == QueryKind::kDistance && !distance_ok) {
+        throw HandlerError{
+            ErrorCode::kUnsupportedQuery,
+            "distance estimates serve unweighted algorithms; '" +
+                req.request.algorithm + "' produces real-valued radii"};
       }
-      return encode_message(MessageType::kQueryResponse, out);
+      kick_helper();  // acquire may block on a cold decomposition
+      conn.memo_entry = store->acquire(req.request).entry;
+      conn.memo_request = req.request;
+      conn.memo_payload.assign(payload.begin(), payload.end());
+      conn.memo_distance_ok = distance_ok;
+      enforce_cache_bound();  // only an acquire can exceed the bound
+      serve(req.kind, req.u, req.v);
+      return;
     }
     case MessageType::kBoundaryRequest: {
       const BoundaryRequest req = decode_boundary_request(payload);
       boundary_requests.fetch_add(1, std::memory_order_relaxed);
-      validate_request(req.request);
-      const std::span<const Edge> edges = session.boundary_arcs(req.request);
-      BoundaryResponse out;
-      out.edges.assign(edges.begin(), edges.end());
-      return encode_message(MessageType::kBoundaryResponse, out);
+      if (conn.memo_entry == nullptr || !(conn.memo_request == req.request)) {
+        kick_helper();  // acquire may block on a cold decomposition
+        conn.memo_entry = store->acquire(req.request).entry;
+        conn.memo_request = req.request;
+        conn.memo_payload.clear();  // byte memo no longer matches the entry
+        enforce_cache_bound();  // only an acquire can exceed the bound
+      }
+      // Zero-copy: the edge-list chunk views the stored boundary.
+      enqueue(conn,
+              encode_boundary_response_frame(conn.memo_entry->boundary_arcs()),
+              conn.memo_entry);
+      return;
     }
     case MessageType::kBatchRequest: {
       const BatchRequest req = decode_batch_request(payload);
       batch_requests.fetch_add(1, std::memory_order_relaxed);
-      const std::vector<const DecompositionResult*> results =
-          session.run_batch(req.base, req.betas);
+      kick_helper();  // the batch may block on several cold decompositions
+      const std::vector<SharedResultStore::Acquired> acquired =
+          store->acquire_batch(req.base, req.betas);
+      enforce_cache_bound();  // only an acquire can exceed the bound
       BatchResponse out;
-      out.entries.reserve(results.size());
-      DecompositionRequest per_beta = req.base;
-      for (std::size_t i = 0; i < results.size(); ++i) {
-        per_beta.beta = req.betas[i];
+      out.entries.reserve(acquired.size());
+      for (std::size_t i = 0; i < acquired.size(); ++i) {
         BatchEntry entry;
         entry.beta = req.betas[i];
-        entry.num_clusters = results[i]->num_clusters();
-        entry.rounds = results[i]->telemetry.rounds;
-        entry.boundary_edges = session.boundary_arcs(per_beta).size();
+        entry.num_clusters = acquired[i].entry->num_clusters();
+        entry.rounds = acquired[i].entry->result().telemetry.rounds;
+        entry.boundary_edges = acquired[i].entry->boundary_arcs().size();
         out.entries.push_back(entry);
       }
-      return encode_message(MessageType::kBatchResponse, out);
+      enqueue(conn,
+              make_owned_frame(encode_message(MessageType::kBatchResponse,
+                                              out)));
+      return;
     }
     case MessageType::kShutdownRequest: {
       (void)decode_shutdown_request(payload);
-      close_connection = true;
-      // Reply first (the caller writes the response), then the stop flag
-      // drains the pool; in-flight requests on other workers finish.
+      conn.close_after_flush = true;
+      // Queue the ack first (the final flush pushes it out), then the
+      // stop flag drains the pool; in-flight requests finish.
+      enqueue(conn,
+              make_owned_frame(encode_message(MessageType::kShutdownResponse,
+                                              ShutdownResponse{})));
       signal_stop();
-      return encode_message(MessageType::kShutdownResponse,
-                            ShutdownResponse{});
+      return;
     }
     case MessageType::kInfoResponse:
     case MessageType::kRunResponse:
@@ -501,7 +1023,7 @@ std::vector<std::uint8_t> DecompServer::Impl::handle_frame(
   }
   // A response type arriving at the server is a peer bug; drop the
   // connection after answering so the stream cannot drift further.
-  close_connection = true;
+  conn.close_after_flush = true;
   throw ProtocolError("unexpected response-type frame " +
                       std::to_string(static_cast<int>(header.type)) +
                       " sent to a server");
@@ -539,6 +1061,10 @@ ServerStats DecompServer::stats() const {
   s.boundary_requests =
       impl_->boundary_requests.load(std::memory_order_relaxed);
   s.batch_requests = impl_->batch_requests.load(std::memory_order_relaxed);
+  s.accept_backoffs = impl_->accept_backoffs.load(std::memory_order_relaxed);
+  s.write_timeouts = impl_->write_timeouts.load(std::memory_order_relaxed);
+  s.results_computed =
+      impl_->store != nullptr ? impl_->store->computes() : 0;
   s.service_seconds =
       static_cast<double>(
           impl_->service_nanos.load(std::memory_order_relaxed)) /
@@ -558,35 +1084,35 @@ void DecompServer::start() {
     throw std::invalid_argument("mpx::server: config.workers must be >= 1");
   }
 
-  // Map the snapshot once; worker sessions share the mapping through the
-  // view graph's keepalive (copies are shallow).
+  // Map the snapshot once; the shared store's graph is a shallow copy
+  // that shares the mapping through the view graph's keepalive.
   const io::SnapshotInfo info = io::read_snapshot_info(impl.config.snapshot_path);
   impl.weighted = info.weighted();
   if (impl.weighted) {
     impl.wgraph = io::map_weighted_snapshot(impl.config.snapshot_path);
+    impl.store =
+        std::make_unique<SharedResultStore>(WeightedCsrGraph(impl.wgraph));
   } else {
     impl.graph = io::map_snapshot(impl.config.snapshot_path);
+    impl.store = std::make_unique<SharedResultStore>(CsrGraph(impl.graph));
   }
-  impl.sessions.clear();
-  impl.sessions.reserve(static_cast<std::size_t>(impl.config.workers));
-  for (int i = 0; i < impl.config.workers; ++i) {
-    if (impl.weighted) {
-      impl.sessions.emplace_back(WeightedCsrGraph(impl.wgraph));
-    } else {
-      impl.sessions.emplace_back(CsrGraph(impl.graph));
-    }
-    impl.restore_warm(impl.sessions.back(), /*strict=*/true);
-  }
+  impl.restore_warm(/*strict=*/true);
 
   impl.open_listener();
+  if (::pipe(impl.wake_fds) != 0) {
+    ::close(impl.listen_fd);
+    impl.listen_fd = -1;
+    fail_errno("wake pipe");
+  }
+  set_nonblocking(impl.wake_fds[0]);
+  set_nonblocking(impl.wake_fds[1]);
   impl.stopping.store(false);
   impl.joined = false;
   impl.started.store(true);
-  impl.acceptor = std::thread([&impl] { impl.accept_loop(); });
-  impl.workers.reserve(impl.sessions.size());
-  for (DecompositionSession& session : impl.sessions) {
-    impl.workers.emplace_back(
-        [&impl, &session] { impl.worker_loop(session); });
+  impl.dispatcher = std::thread([&impl] { impl.dispatch_loop(); });
+  impl.workers.reserve(static_cast<std::size_t>(impl.config.workers));
+  for (int i = 0; i < impl.config.workers; ++i) {
+    impl.workers.emplace_back([&impl] { impl.worker_loop(); });
   }
 }
 
@@ -597,24 +1123,31 @@ void DecompServer::wait() {
   if (!impl.started.load()) return;
   {
     std::unique_lock<std::mutex> lock(impl.mutex);
-    impl.cv.wait(lock, [&] { return impl.stopping.load(); });
+    impl.stop_cv.wait(lock, [&] { return impl.stopping.load(); });
     if (impl.joined.exchange(true)) return;
   }
-  if (impl.acceptor.joinable()) impl.acceptor.join();
+  if (impl.dispatcher.joinable()) impl.dispatcher.join();
   for (std::thread& worker : impl.workers) {
     if (worker.joinable()) worker.join();
   }
   impl.workers.clear();
-  for (const int fd : impl.pending) ::close(fd);
-  impl.pending.clear();
+  for (auto& [fd, conn] : impl.conns) ::close(fd);
+  impl.conns.clear();
+  impl.ready.clear();
   if (impl.listen_fd >= 0) {
     ::close(impl.listen_fd);
     impl.listen_fd = -1;
   }
+  for (int& fd : impl.wake_fds) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
   if (!impl.config.socket_path.empty()) {
     ::unlink(impl.config.socket_path.c_str());
   }
-  impl.sessions.clear();
+  impl.store.reset();
 }
 
 void DecompServer::stop() {

@@ -1,29 +1,38 @@
 /// \file
 /// \brief DecompServer: the standing, concurrent decomposition query
-/// service around DecompositionSession.
+/// service around SharedResultStore.
 ///
-/// The server turns the in-process session (core/session.hpp) into the
-/// process boundary the ROADMAP's serving layer calls for. One
-/// `.mpxs` snapshot is mapped **once** (zero-copy); every worker thread
-/// owns a private `DecompositionSession` + `DecompositionWorkspace` over
-/// a shallow copy of that mapped graph (the copies share the mmap
-/// keepalive, so the graph bytes exist once in memory no matter how many
-/// workers run). Connections are accepted on a Unix-domain or loopback
-/// TCP socket and handed to the worker pool; a worker serves every frame
-/// of its connection (docs/PROTOCOL.md) until the peer closes, so a
-/// client's repeated requests hit one worker's warm cache.
+/// The server turns the in-process store (core/session.hpp) into the
+/// process boundary the ROADMAP's serving layer calls for. One `.mpxs`
+/// snapshot is mapped **once** (zero-copy) into one fleet-wide
+/// `SharedResultStore`: a result computed (or warm-loaded) once is served
+/// by every worker, and a response's `from_cache` bit is a fleet-wide
+/// property rather than a per-worker accident.
+///
+/// Connections are **never pinned to workers**. A dispatcher thread polls
+/// every parked connection (plus the listener); when bytes or write space
+/// arrive, the connection moves to a shared ready queue and any idle
+/// worker checks it out exclusively, does non-blocking reads/writes,
+/// handles the complete frames it buffered (responses stay in request
+/// order per connection — the protocol's pipelining guarantee), then
+/// parks it again. Workers never block on sockets: a stalled sender or a
+/// non-draining reader costs a poll slot, not a worker. Zero-copy
+/// framing: array-carrying responses are written straight out of the
+/// stored result (protocol.hpp EncodedFrame), with the store entry's
+/// shared_ptr parked beside the frame until the last byte flushes.
 ///
 /// Lifecycle: construct with a `ServerConfig`, `start()` (binds, loads
-/// the graph, spawns the pool — throws with a `path: errno-message`
-/// string when the socket is unavailable), then either `wait()` for a
-/// stop (client kShutdownRequest or `request_stop()`) or call `stop()`
-/// directly. Shutdown is graceful: in-flight requests finish, then
-/// connections and the listener close. Warm-start: `ServerConfig::warm`
-/// entries are `load_cached` + `materialize`d into every worker session
-/// before the first connection is accepted.
+/// the graph, spawns the dispatcher + pool — throws with a
+/// `path: errno-message` string when the socket is unavailable), then
+/// either `wait()` for a stop (client kShutdownRequest or
+/// `request_stop()`) or call `stop()` directly. Shutdown is graceful:
+/// in-flight requests finish, then connections and the listener close.
+/// Warm-start: `ServerConfig::warm` entries are loaded + materialized
+/// into the shared store before the first connection is accepted.
 ///
 /// Per-request telemetry (counts by type, error count, summed service
-/// seconds) is exposed via `stats()`.
+/// seconds, fd-exhaustion backoffs, write-timeout drops) is exposed via
+/// `stats()`.
 ///
 /// Only Unix-like hosts have the socket transports; elsewhere `start()`
 /// throws std::runtime_error (the protocol layer itself is portable).
@@ -38,8 +47,8 @@
 
 namespace mpx::server {
 
-/// One decomposition to restore into every worker's cache before serving
-/// (DecompositionSession::load_cached + materialize).
+/// One decomposition to restore into the shared result store before
+/// serving (SharedResultStore::load_cached; materialization is eager).
 struct WarmStartEntry {
   DecompositionRequest request;  ///< cache key the file restores
   std::string path;              ///< decomposition file (save_cached output)
@@ -56,16 +65,25 @@ struct ServerConfig {
   /// Loopback TCP port, used when `socket_path` is empty. 0 picks an
   /// ephemeral port; read it back with DecompServer::port().
   std::uint16_t tcp_port = 0;
-  /// Worker threads; each owns one DecompositionSession + workspace.
+  /// Worker threads draining the shared ready queue (a dispatcher thread
+  /// runs in addition to these).
   int workers = 1;
-  /// Cached decompositions to restore into every worker before serving.
+  /// Cached decompositions to restore into the shared store before
+  /// serving.
   std::vector<WarmStartEntry> warm;
-  /// Per-worker result-cache bound. Request keys are client-controlled
+  /// Fleet-wide result-store bound. Request keys are client-controlled
   /// (every distinct algorithm/beta/seed is a new cached result), so an
-  /// unbounded cache is an OOM waiting for a long-lived deployment: once
-  /// a worker's cache exceeds this many entries it is cleared and the
-  /// `warm` entries restored. 0 disables the bound.
+  /// unbounded store is an OOM waiting for a long-lived deployment: once
+  /// the store exceeds this many entries it is cleared and the `warm`
+  /// entries restored (entries still referenced by in-flight responses
+  /// stay alive until those responses flush). 0 disables the bound.
   std::size_t max_cached_results = 256;
+  /// Seconds a connection may sit with queued response bytes and a peer
+  /// that accepts none of them before the server drops it (counted in
+  /// ServerStats::write_timeouts). Any write progress resets the clock.
+  /// 0 disables the timeout. Granularity is the server's poll interval
+  /// (~200 ms).
+  double write_timeout = 30.0;
 };
 
 /// Snapshot of the server's lifetime request telemetry.
@@ -78,6 +96,17 @@ struct ServerStats {
   std::uint64_t query_requests = 0;
   std::uint64_t boundary_requests = 0;
   std::uint64_t batch_requests = 0;
+  /// Times the acceptor backed off for a poll interval because accept()
+  /// hit fd exhaustion (EMFILE/ENFILE and kin) — without the backoff a
+  /// ready listener it cannot drain would busy-spin the dispatcher.
+  std::uint64_t accept_backoffs = 0;
+  /// Connections dropped because a peer stopped draining its socket for
+  /// longer than ServerConfig::write_timeout.
+  std::uint64_t write_timeouts = 0;
+  /// Decompositions actually computed by the shared store — request
+  /// traffic minus every flavor of cache hit (fleet-wide, so N workers
+  /// asked the same cold request still compute once).
+  std::uint64_t results_computed = 0;
   double service_seconds = 0.0;        ///< summed per-request handle time
 };
 

@@ -5,10 +5,14 @@
 // prefixes, unknown message types, future protocol versions, trailing
 // junk, embedded-length overruns, out-of-range enum values. Everything
 // malformed must throw ProtocolError; nothing may abort. Mirrors
-// test_snapshot.cpp's rejection style for the on-wire format.
+// test_snapshot.cpp's rejection style for the on-wire format. The
+// zero-copy EncodedFrame builders are pinned byte-identical to
+// encode_message so the server's vectored writes can never diverge from
+// the documented wire layout.
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "server/protocol.hpp"
@@ -350,6 +354,156 @@ TEST(Protocol, RejectsOverlongAlgorithmOnEncode) {
   EXPECT_THROW((void)encode_payload(msg), ProtocolError);
   msg.request.algorithm.clear();
   EXPECT_THROW((void)encode_payload(msg), ProtocolError);
+}
+
+// --- zero-copy framing ------------------------------------------------------
+
+TEST(Protocol, ZeroCopyRunFrameIsByteIdenticalToEncodeMessage) {
+  RunResponse msg;
+  msg.num_clusters = 5;
+  msg.is_weighted = false;
+  msg.from_cache = true;
+  msg.rounds = 7;
+  msg.phases = 3;
+  msg.arcs_scanned = 12345;
+  msg.has_arrays = true;
+  msg.owner = {3, 3, 0, 7, 7, 7, 1, 0};
+  msg.settle = {0, 1, 1, 2, 2, 3, 3, 4};
+  const std::vector<std::uint8_t> expected =
+      encode_message(MessageType::kRunResponse, msg);
+
+  // The arrays reach the zero-copy encoder as borrowed spans; the
+  // summary's own vectors must be ignored.
+  RunResponse summary = msg;
+  summary.owner.clear();
+  summary.settle.clear();
+  const EncodedFrame frame =
+      encode_run_response_frame(summary, msg.owner, msg.settle);
+  EXPECT_EQ(frame.total_bytes(), expected.size());
+  EXPECT_EQ(frame.flatten(), expected);
+  // The array bytes really are borrowed, not copied: some chunk aliases
+  // the owner vector's storage.
+  const auto* owner_bytes =
+      reinterpret_cast<const std::uint8_t*>(msg.owner.data());
+  bool borrowed = false;
+  for (const auto& chunk : frame.chunks) {
+    if (chunk.data() == owner_bytes) borrowed = true;
+  }
+  EXPECT_TRUE(borrowed);
+}
+
+TEST(Protocol, ZeroCopyRunFrameHandlesEmptySettleAndNoArrays) {
+  // mpx-weighted results carry owner but no settle array.
+  RunResponse weighted;
+  weighted.num_clusters = 2;
+  weighted.is_weighted = true;
+  weighted.arcs_scanned = 9;
+  weighted.has_arrays = true;
+  weighted.owner = {1, 1, 0};
+  const EncodedFrame with_empty_settle =
+      encode_run_response_frame(weighted, weighted.owner, weighted.settle);
+  EXPECT_EQ(with_empty_settle.flatten(),
+            encode_message(MessageType::kRunResponse, weighted));
+
+  // has_arrays = false selects the arrayless layout; the spans are unused.
+  RunResponse summary_only = weighted;
+  summary_only.has_arrays = false;
+  summary_only.owner.clear();
+  const EncodedFrame arrayless =
+      encode_run_response_frame(summary_only, weighted.owner, weighted.settle);
+  EXPECT_EQ(arrayless.flatten(),
+            encode_message(MessageType::kRunResponse, summary_only));
+}
+
+TEST(Protocol, ZeroCopyBoundaryFrameIsByteIdenticalToEncodeMessage) {
+  BoundaryResponse msg;
+  msg.edges = {{0, 1}, {0, 3}, {2, 5}, {4, 5}};
+  EXPECT_EQ(encode_boundary_response_frame(msg.edges).flatten(),
+            encode_message(MessageType::kBoundaryResponse, msg));
+  // The empty cut is a valid (header + zero-count) frame too.
+  EXPECT_EQ(encode_boundary_response_frame({}).flatten(),
+            encode_message(MessageType::kBoundaryResponse, BoundaryResponse{}));
+}
+
+TEST(Protocol, ZeroCopyFramesSurviveMoves) {
+  // The server moves EncodedFrames into a connection's outbox; the spans
+  // must stay valid because they view heap storage, not the struct.
+  RunResponse msg;
+  msg.num_clusters = 1;
+  msg.has_arrays = true;
+  msg.owner = {0, 0};
+  msg.settle = {0, 1};
+  const std::vector<std::uint8_t> expected =
+      encode_message(MessageType::kRunResponse, msg);
+  EncodedFrame frame = encode_run_response_frame(msg, msg.owner, msg.settle);
+  const EncodedFrame moved = std::move(frame);
+  EXPECT_EQ(moved.flatten(), expected);
+}
+
+TEST(Protocol, HotPathQueryFramesAreByteIdenticalToEncodeMessage) {
+  QueryRequest msg;
+  msg.request = sample_request();
+  msg.kind = QueryKind::kDistance;
+  msg.u = 7;
+  msg.v = 11;
+  const std::vector<std::uint8_t> expected =
+      encode_message(MessageType::kQueryRequest, msg);
+  // Start from stale contents: the encoder must rebuild, not append.
+  std::vector<std::uint8_t> frame{0xAA, 0xBB, 0xCC};
+  encode_query_request_frame_into(frame, msg);
+  EXPECT_EQ(frame, expected);
+  encode_query_request_frame_into(frame, msg.request, msg.kind, msg.u, msg.v);
+  EXPECT_EQ(frame, expected);
+
+  QueryResponse answer{0x123456789ABCDEF0ull};
+  encode_query_response_frame_into(frame, answer);
+  EXPECT_EQ(frame, encode_message(MessageType::kQueryResponse, answer));
+}
+
+TEST(Protocol, QueryTailDecodeMatchesTheFullDecode) {
+  QueryRequest msg;
+  msg.request = sample_request();
+  std::vector<std::uint8_t> first;
+  for (const QueryKind kind :
+       {QueryKind::kClusterOf, QueryKind::kOwnerOf, QueryKind::kDistance}) {
+    msg.kind = kind;
+    msg.u = 0xDEADBEEF;
+    msg.v = 0x0BADF00D;
+    const std::vector<std::uint8_t> payload = encode_payload(msg);
+    const QueryTail tail = decode_query_request_tail(payload);
+    EXPECT_EQ(tail.kind, kind);
+    EXPECT_EQ(tail.u, msg.u);
+    EXPECT_EQ(tail.v, msg.v);
+    // The tail is exactly the last kQueryRequestTailBytes: payloads that
+    // differ only in kind/u/v share every byte before it (the byte-memo
+    // contract servers rely on).
+    ASSERT_GE(payload.size(), kQueryRequestTailBytes);
+    if (first.empty()) {
+      first = payload;
+    } else {
+      ASSERT_EQ(payload.size(), first.size());
+      EXPECT_TRUE(std::equal(
+          payload.begin(),
+          payload.end() - static_cast<std::ptrdiff_t>(kQueryRequestTailBytes),
+          first.begin()));
+    }
+  }
+  // Shorter than the tail: rejected, same contract as the full decoder.
+  const std::vector<std::uint8_t> runt(kQueryRequestTailBytes - 1, 0);
+  EXPECT_THROW((void)decode_query_request_tail(runt), ProtocolError);
+  // Out-of-range kind byte: rejected.
+  std::vector<std::uint8_t> bad_kind = encode_payload(msg);
+  bad_kind[bad_kind.size() - kQueryRequestTailBytes] = 99;
+  EXPECT_THROW((void)decode_query_request_tail(bad_kind), ProtocolError);
+}
+
+TEST(Protocol, MakeOwnedFrameWrapsContiguousBytes) {
+  const std::vector<std::uint8_t> wire =
+      encode_message(MessageType::kInfoRequest, InfoRequest{});
+  const EncodedFrame frame = make_owned_frame(std::vector<std::uint8_t>(wire));
+  ASSERT_EQ(frame.chunks.size(), 1u);
+  EXPECT_EQ(frame.total_bytes(), wire.size());
+  EXPECT_EQ(frame.flatten(), wire);
 }
 
 TEST(Protocol, RejectsErrorResponseCorruption) {

@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +28,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define MPX_TEST_HAVE_SOCKETS 1
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -57,6 +60,37 @@ int connect_raw(const std::string& socket_path) {
     return -1;
   }
   return fd;
+}
+
+/// Blocking exact read on a raw fd; false on EOF or error.
+bool read_exact(int fd, std::uint8_t* into, std::size_t bytes) {
+  std::size_t got = 0;
+  while (got < bytes) {
+    const ssize_t n = ::recv(fd, into + got, bytes - got, 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One framed round trip on a raw fd (tests that manage the socket
+/// themselves, e.g. across an fd-exhaustion window).
+InfoResponse raw_info_round_trip(int fd) {
+  const std::vector<std::uint8_t> frame =
+      encode_message(MessageType::kInfoRequest, InfoRequest{});
+  EXPECT_EQ(::send(fd, frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+  std::uint8_t header_bytes[kFrameHeaderBytes];
+  EXPECT_TRUE(read_exact(fd, header_bytes, sizeof(header_bytes)));
+  const FrameHeader header = decode_frame_header(header_bytes);
+  EXPECT_EQ(header.type, MessageType::kInfoResponse);
+  std::vector<std::uint8_t> payload(header.payload_bytes);
+  EXPECT_TRUE(read_exact(fd, payload.data(), payload.size()));
+  return decode_info_response(payload);
 }
 
 /// A server over `snapshot` on a unix socket inside `dir`, plus the
@@ -206,6 +240,32 @@ TEST(Server, RepeatRequestsHitTheWorkerCache) {
   EXPECT_FALSE(client.run(request(0.3)).from_cache);
   EXPECT_TRUE(client.run(request(0.3)).from_cache);
   EXPECT_FALSE(client.run(request(0.5)).from_cache);  // new entry
+}
+
+TEST(Server, QueryMemoTracksRequestSwitchesOnOneConnection) {
+  // The per-connection query memo (including its byte-level fast path)
+  // must never serve a stale entry: interleave point queries of two
+  // requests with run() calls that repoint the memo at a different
+  // decomposition, and check every answer against the session.
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, generators::grid2d(12, 12));
+  ServedSnapshot served(dir, path, 1);
+  DecompClient client = served.connect();
+
+  const DecompositionRequest a = request(0.3);
+  const DecompositionRequest b = request(0.5, 99);
+  const vertex_t n = served.session.topology().num_vertices();
+  for (vertex_t v = 0; v < n; v += 17) {
+    EXPECT_EQ(client.cluster_of(v, a), served.session.cluster_of(v, a));
+  }
+  (void)client.run(b);  // repoints the connection memo at b's entry
+  for (vertex_t v = 0; v < n; v += 17) {
+    // Same bytes as the earlier queries: must not hit b's entry.
+    EXPECT_EQ(client.cluster_of(v, a), served.session.cluster_of(v, a));
+    EXPECT_EQ(client.cluster_of(v, b), served.session.cluster_of(v, b));
+    EXPECT_EQ(client.owner_of(v, a), served.session.owner_of(v, a));
+  }
 }
 
 TEST(Server, RejectsBadRequestsWithTypedErrors) {
@@ -574,6 +634,245 @@ TEST(Server, TcpLoopbackTransportWorks) {
     DecompositionSession session = DecompositionSession::open_snapshot(path);
     EXPECT_EQ(client.run(req, true).owner, session.run(req).owner);
   }
+  server.stop();
+}
+
+// --- per-request dispatch regression suite ---------------------------------
+// Everything below pins the never-pinned design: idle connections must
+// not hold workers, pipelined streams interleave fairly, fd exhaustion
+// backs off instead of spinning, dead readers are dropped, and the
+// result store is fleet-wide.
+
+TEST(Server, IdleConnectionsBeyondWorkerCountDoNotStarveService) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, generators::grid2d(10, 10));
+  constexpr int kWorkers = 2;
+  ServedSnapshot served(dir, path, kWorkers);
+  const std::string socket_path = served.server->config().socket_path;
+
+  // workers + 1 connections that connect and then send nothing. Under
+  // the old pinned design each one parked a worker in recv() forever, so
+  // this many idle peers stopped all service.
+  std::vector<int> idle;
+  for (int i = 0; i < kWorkers + 1; ++i) {
+    const int fd = connect_raw(socket_path);
+    ASSERT_GE(fd, 0);
+    idle.push_back(fd);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const DecompositionRequest req = request(0.4);
+  auto answered = std::async(std::launch::async, [&] {
+    DecompClient client = served.connect();
+    return client.run(req, /*include_arrays=*/true);
+  });
+  ASSERT_EQ(answered.wait_for(std::chrono::seconds(20)),
+            std::future_status::ready)
+      << "an active client starved behind " << idle.size()
+      << " idle connections";
+  EXPECT_EQ(answered.get().owner, served.session.run(req).owner);
+  for (const int fd : idle) ::close(fd);
+}
+
+TEST(Server, InterleavedPipelinedClientsAllProgressOnOneWorker) {
+  mpx::testing::TempDir dir("mpx_server");
+  const CsrGraph g = generators::grid2d(12, 12);
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, g);
+  ServedSnapshot served(dir, path, /*workers=*/1);
+  const DecompositionRequest req = request(0.3);
+  const DecompositionResult& expected = served.session.run(req);
+
+  // Each client streams bursts longer than the server's per-turn frame
+  // cap, so one worker must round-robin the connections rather than
+  // draining any one of them to completion. Every client finishing with
+  // correct in-order answers is the fairness property.
+  constexpr int kClients = 4;
+  constexpr int kBursts = 5;
+  constexpr std::size_t kBurst = 48;  // > the server's frames-per-turn cap
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      DecompClient client = served.connect();
+      const vertex_t n = g.num_vertices();
+      std::vector<vertex_t> vertices(kBurst);
+      for (int b = 0; b < kBursts; ++b) {
+        for (std::size_t i = 0; i < kBurst; ++i) {
+          vertices[i] =
+              static_cast<vertex_t>((c * 7919 + b * 613 + i * 104729) % n);
+        }
+        const std::vector<cluster_t> clusters =
+            client.cluster_of_pipelined(vertices, req);
+        for (std::size_t i = 0; i < kBurst; ++i) {
+          if (clusters[i] != expected.cluster_of(vertices[i])) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Server, PipelinedResponsesMatchSessionAcrossWorkers) {
+  mpx::testing::TempDir dir("mpx_server");
+  const CsrGraph g = generators::grid2d(20, 20);
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, g);
+  for (const int workers : {1, 2, 8}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ServedSnapshot served(dir, path, workers);
+    DecompClient client = served.connect();
+
+    // A pipelined run burst, including a duplicate that must come back
+    // from the shared store, answers byte-identically to the session.
+    const std::vector<DecompositionRequest> reqs = {
+        request(0.4, 7), request(0.3, 7), request(0.5, 9), request(0.4, 7)};
+    const std::vector<RunResponse> responses =
+        client.run_pipelined(reqs, /*include_arrays=*/true);
+    ASSERT_EQ(responses.size(), reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      SCOPED_TRACE("request " + std::to_string(i));
+      const DecompositionResult& expected = served.session.run(reqs[i]);
+      EXPECT_EQ(responses[i].num_clusters, expected.num_clusters());
+      EXPECT_EQ(responses[i].rounds, expected.telemetry.rounds);
+      ASSERT_TRUE(responses[i].has_arrays);
+      EXPECT_EQ(responses[i].owner, expected.owner);
+      EXPECT_EQ(responses[i].settle, expected.settle);
+    }
+    EXPECT_TRUE(responses.back().from_cache);  // the duplicate request
+
+    // A pipelined point-query sweep over every vertex stays in order.
+    std::vector<vertex_t> vertices(g.num_vertices());
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) vertices[v] = v;
+    const std::vector<cluster_t> clusters =
+        client.cluster_of_pipelined(vertices, reqs[0]);
+    const DecompositionResult& expected = served.session.run(reqs[0]);
+    ASSERT_EQ(clusters.size(), vertices.size());
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(clusters[v], expected.cluster_of(v)) << "vertex " << v;
+    }
+  }
+}
+
+TEST(Server, ColdIdenticalRequestsComputeOnceFleetWide) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, generators::grid2d(40, 40));
+  ServedSnapshot served(dir, path, /*workers=*/8);
+  const DecompositionRequest req = request(0.25, 11);
+
+  // Eight connections race the same cold request. The store is
+  // single-flight, so exactly one response is cold and the server runs
+  // exactly one decomposition — from_cache is fleet-wide, not
+  // per-worker.
+  constexpr int kClients = 8;
+  std::atomic<int> cold_count{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      DecompClient client = served.connect();
+      if (!client.run(req).from_cache) ++cold_count;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(cold_count.load(), 1);
+  EXPECT_EQ(served.server->stats().results_computed, 1u);
+
+  // A brand-new connection is warm too.
+  DecompClient late = served.connect();
+  EXPECT_TRUE(late.run(req).from_cache);
+}
+
+TEST(Server, AcceptBacksOffUnderFdExhaustionAndRecovers) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, generators::grid2d(4, 4));
+  ServedSnapshot served(dir, path, /*workers=*/1);
+  const std::string socket_path = served.server->config().socket_path;
+
+  // Shrink the process fd table to exactly one free slot: enough for a
+  // client socket(), nothing for the server's accept(). connect() still
+  // completes against the listener backlog without an accept.
+  rlimit saved{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+  const int next_free = ::dup(0);
+  ASSERT_GE(next_free, 0);
+  ::close(next_free);
+  rlimit tight = saved;
+  tight.rlim_cur = static_cast<rlim_t>(next_free) + 1;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+  const int fd = connect_raw(socket_path);
+  if (fd < 0) {
+    ::setrlimit(RLIMIT_NOFILE, &saved);
+    FAIL() << "client connect failed under the tight fd limit";
+  }
+
+  // The dispatcher must register the fd exhaustion as a backoff (the old
+  // accept loop hot-spun on the permanently-ready listener here).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (served.server->stats().accept_backoffs == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const std::uint64_t backoffs = served.server->stats().accept_backoffs;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &saved), 0);
+  EXPECT_GE(backoffs, 1u);
+
+  // Once fds are available again, the backlogged connection is accepted
+  // and served on its original socket — nothing was dropped.
+  EXPECT_EQ(raw_info_round_trip(fd).num_vertices, 16u);
+  ::close(fd);
+  DecompClient client = served.connect();  // and new connections work
+  EXPECT_EQ(client.info().num_vertices, 16u);
+}
+
+TEST(Server, DropsConnectionsThatStopDrainingResponses) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, generators::grid2d(100, 100));
+  ServerConfig config;
+  config.snapshot_path = path;
+  config.socket_path = dir.file("timeout.sock");
+  config.workers = 2;
+  config.write_timeout = 0.3;  // seconds; ~200 ms poll granularity
+  DecompServer server(std::move(config));
+  server.start();
+
+  // A client that requests full arrays repeatedly and never reads a
+  // byte: the responses (~80 KB each) overflow the kernel socket buffer
+  // into the server's outbox, the outbox stops draining, and the write
+  // timeout must drop the connection instead of holding its memory
+  // forever. (A worker was never blocked on it either way — that is the
+  // dispatch design — so the timeout is purely a resource bound.)
+  const int dead = connect_raw(server.config().socket_path);
+  ASSERT_GE(dead, 0);
+  RunRequest msg;
+  msg.request = request(0.3);
+  msg.include_arrays = true;
+  const std::vector<std::uint8_t> frame =
+      encode_message(MessageType::kRunRequest, msg);
+  for (int i = 0; i < 16; ++i) {
+    // Later sends may fail once the server drops us; that is the point.
+    if (::send(dead, frame.data(), frame.size(), MSG_NOSIGNAL) < 0) break;
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().write_timeouts == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_GE(server.stats().write_timeouts, 1u);
+  ::close(dead);
+
+  // The server sheds the dead reader and keeps serving everyone else.
+  DecompClient client = DecompClient::connect_unix(server.config().socket_path);
+  EXPECT_EQ(client.info().num_vertices, 10000u);
   server.stop();
 }
 

@@ -1,14 +1,21 @@
 // Tests for DecompositionSession (core/session.hpp): snapshot-backed
 // construction, request-keyed caching, batch multi-beta runs sharing one
 // shift basis, query answering (cluster-of / boundary / distance oracle),
-// and persistence of cached results with their telemetry.
+// and persistence of cached results with their telemetry. Also covers
+// SharedResultStore, the thread-safe fleet-wide cache the server builds
+// on: single-flight concurrent acquires, bitwise identity with session
+// answers, warm loads, and the clear()-with-outstanding-references
+// lifetime contract.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <set>
+#include <span>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "apps/distance_oracle.hpp"
 #include "bfs/sequential_bfs.hpp"
@@ -355,6 +362,176 @@ TEST(Session, UnweightedAlgorithmsRunOnWeightedSessions) {
   const DecompositionResult direct =
       decompose(mpx::testing::grid3x3_weighted_reference().topology(), req);
   EXPECT_EQ(result.owner, direct.owner);
+}
+
+// --- SharedResultStore ------------------------------------------------------
+
+TEST(SharedStore, AcquireMatchesSessionAndCachesFleetWide) {
+  const CsrGraph g = generators::grid2d(20, 20);
+  SharedResultStore store((CsrGraph(g)));
+  const DecompositionRequest req = request(0.3);
+
+  EXPECT_EQ(store.cached(req), nullptr);
+  const SharedResultStore::Acquired cold = store.acquire(req);
+  ASSERT_NE(cold.entry, nullptr);
+  EXPECT_FALSE(cold.from_cache);
+  EXPECT_EQ(store.computes(), 1u);
+  EXPECT_EQ(store.size(), 1u);
+
+  // The materialized entry answers exactly like a session over the same
+  // graph (both draw from the same shared per-seed shift basis).
+  DecompositionSession session((CsrGraph(g)));
+  const DecompositionResult& expected = session.run(req);
+  EXPECT_EQ(cold.entry->result().owner, expected.owner);
+  EXPECT_EQ(cold.entry->result().settle, expected.settle);
+  EXPECT_EQ(cold.entry->num_clusters(), expected.num_clusters());
+  for (vertex_t v = 0; v < g.num_vertices(); v += 13) {
+    EXPECT_EQ(cold.entry->cluster_of(v), session.cluster_of(v, req));
+    EXPECT_EQ(cold.entry->owner_of(v), session.owner_of(v, req));
+  }
+  const std::span<const Edge> expected_cut = session.boundary_arcs(req);
+  const std::span<const Edge> cut = cold.entry->boundary_arcs();
+  ASSERT_EQ(cut.size(), expected_cut.size());
+  EXPECT_TRUE(std::equal(cut.begin(), cut.end(), expected_cut.begin()));
+  for (vertex_t v = 0; v < g.num_vertices(); v += 131) {
+    EXPECT_EQ(cold.entry->estimate_distance(0, v),
+              session.estimate_distance(0, v, req));
+  }
+
+  // Re-acquiring is a hit on the same immutable entry, not a recompute.
+  const SharedResultStore::Acquired warm = store.acquire(req);
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_EQ(warm.entry.get(), cold.entry.get());
+  EXPECT_EQ(store.computes(), 1u);
+  EXPECT_EQ(store.cached(req).get(), cold.entry.get());
+  EXPECT_EQ(store.cached(request(0.5)), nullptr);  // distinct key
+}
+
+TEST(SharedStore, ConcurrentColdAcquiresAreSingleFlight) {
+  const CsrGraph g = generators::grid2d(40, 40);
+  SharedResultStore store((CsrGraph(g)));
+  const DecompositionRequest req = request(0.25, 11);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> cold_count{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  const DecompositionResult expected = decompose(g, req);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      const SharedResultStore::Acquired got = store.acquire(req);
+      if (!got.from_cache) ++cold_count;
+      if (got.entry->result().owner != expected.owner) ++mismatches;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // One thread computed; everyone else either waited on the in-flight
+  // compute or found the published entry — all of those are cache hits.
+  EXPECT_EQ(cold_count.load(), 1);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(store.computes(), 1u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(SharedStore, BatchMatchesIndividualAcquiresBitwise) {
+  const CsrGraph g = generators::grid2d(30, 30);
+  const double betas[] = {0.5, 0.2, 0.1};
+
+  SharedResultStore batch_store((CsrGraph(g)));
+  const std::vector<SharedResultStore::Acquired> batch =
+      batch_store.acquire_batch(request(0.0), betas);
+  ASSERT_EQ(batch.size(), std::size(betas));
+
+  SharedResultStore one_by_one((CsrGraph(g)));
+  for (std::size_t i = 0; i < std::size(betas); ++i) {
+    SCOPED_TRACE("beta=" + std::to_string(betas[i]));
+    const SharedResultStore::Acquired single =
+        one_by_one.acquire(request(betas[i]));
+    EXPECT_EQ(batch[i].entry->result().owner, single.entry->result().owner);
+    EXPECT_EQ(batch[i].entry->result().settle, single.entry->result().settle);
+  }
+
+  // Overlapping betas hit the entries the batch populated.
+  EXPECT_TRUE(batch_store.acquire(request(0.2)).from_cache);
+  // And a bad beta anywhere in the ladder fails before any compute.
+  const double bad[] = {0.5, 0.0};
+  EXPECT_THROW((void)batch_store.acquire_batch(request(0.1), bad),
+               std::invalid_argument);
+}
+
+TEST(SharedStore, ClearKeepsOutstandingEntriesAliveAndRecomputesIdentically) {
+  const CsrGraph g = generators::grid2d(12, 12);
+  SharedResultStore store((CsrGraph(g)));
+  const DecompositionRequest req = request(0.3, 7);
+
+  const std::shared_ptr<const MaterializedDecomposition> held =
+      store.acquire(req).entry;
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.cached(req), nullptr);
+
+  // The outstanding reference is untouched by the clear (the server parks
+  // these next to in-flight responses).
+  EXPECT_EQ(held->result().owner.size(), g.num_vertices());
+  (void)held->cluster_of(0);
+
+  // Recomputing after the clear reproduces the same bytes: the shift
+  // draws are a deterministic function of (seed, distribution), so
+  // dropping the shared bases loses no information.
+  const SharedResultStore::Acquired again = store.acquire(req);
+  EXPECT_FALSE(again.from_cache);
+  EXPECT_EQ(store.computes(), 2u);
+  EXPECT_NE(again.entry.get(), held.get());
+  EXPECT_EQ(again.entry->result().owner, held->result().owner);
+  EXPECT_EQ(again.entry->result().settle, held->result().settle);
+}
+
+TEST(SharedStore, LoadCachedRestoresSavedResultsWarm) {
+  mpx::testing::TempDir dir("mpx_store");
+  const std::string path = dir.file("cached.dec");
+  const CsrGraph g = generators::grid2d(10, 10);
+  const DecompositionRequest req = request(0.3, 9);
+  DecompositionResult expected;
+  {
+    DecompositionSession session((CsrGraph(g)));
+    expected = session.run(req);
+    session.save_cached(req, path);
+  }
+
+  SharedResultStore store((CsrGraph(g)));
+  ASSERT_TRUE(store.load_cached(req, path));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.computes(), 0u);  // loaded, not computed
+  const SharedResultStore::Acquired got = store.acquire(req);
+  EXPECT_TRUE(got.from_cache);
+  EXPECT_EQ(got.entry->result().owner, expected.owner);
+  EXPECT_EQ(got.entry->result().settle, expected.settle);
+
+  // A missing file for a non-resident key is a false return (the lenient
+  // warm-restore path; a resident key short-circuits to true without
+  // touching the file, per the session contract); mismatched requests
+  // keep the session's hard error contract.
+  EXPECT_FALSE(store.load_cached(request(0.7), dir.file("missing.dec")));
+  EXPECT_TRUE(store.load_cached(req, dir.file("missing.dec")));
+  EXPECT_THROW(
+      (void)store.load_cached(request(0.3, 9, "ball-growing"), path),
+      std::runtime_error);
+  EXPECT_THROW(
+      (void)store.load_cached(request(0.3, 9, "mpx-weighted"), path),
+      std::invalid_argument);
+}
+
+TEST(SharedStore, MaterializedDecompositionRejectsWeightedDistanceQueries) {
+  SharedResultStore store(mpx::testing::grid3x3_weighted_reference());
+  ASSERT_TRUE(store.weighted());
+  const SharedResultStore::Acquired got =
+      store.acquire(request(0.5, 3, "mpx-weighted"));
+  EXPECT_TRUE(got.entry->result().weighted());
+  EXPECT_THROW((void)got.entry->estimate_distance(0, 1),
+               std::invalid_argument);
+  (void)got.entry->cluster_of(0);  // non-distance queries still answer
 }
 
 }  // namespace
