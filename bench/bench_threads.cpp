@@ -1,12 +1,18 @@
 // Experiment E8 — practical parallel speedup of the single-shot algorithm
-// (Theorem 1.2 realized on a multicore): wall time vs thread count.
+// (Theorem 1.2 realized on a multicore): wall time vs thread count, with
+// the shift phase (and its draw/rank split) broken out so the next
+// multicore push can see which phase stops scaling.
 //
-//   ./bench_threads [--graph file]...
+//   ./bench_threads [out.json] [--reps N] [--graph file]...
 //
-// "--graph <path>" (repeatable; text edge list or .mpxs snapshot) replaces
-// the generated families.
+// Sweeps a fixed 1/2/4/8-thread ladder (oversubscribing if the host has
+// fewer cores — the sweep is a baseline artifact, so its shape must not
+// depend on the machine it ran on) and writes BENCH_threads.json
+// (schema: docs/BENCHMARKS.md).
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "graph_input.hpp"
 #include "mpx/mpx.hpp"
@@ -14,19 +20,69 @@
 
 namespace {
 
-double best_seconds(const mpx::CsrGraph& g, double beta, int reps,
-                    mpx::DecompositionWorkspace& workspace) {
-  double best = 1e100;
+struct Sample {
+  std::string graph;
+  mpx::vertex_t n;
+  mpx::edge_t m;
+  int threads = 1;
+  double total_seconds = 0.0;
+  double shift_seconds = 0.0;
+  double shift_draw_seconds = 0.0;
+  double shift_rank_seconds = 0.0;
+};
+
+Sample best_run(const std::string& name, const mpx::CsrGraph& g, double beta,
+                int reps, mpx::DecompositionWorkspace& workspace,
+                int threads) {
+  Sample s;
+  s.graph = name;
+  s.n = g.num_vertices();
+  s.m = g.num_edges();
+  s.threads = threads;
+  s.total_seconds = 1e100;
   mpx::DecompositionRequest req;
   req.beta = beta;
   req.seed = 11;
   for (int rep = 0; rep < reps; ++rep) {
     mpx::WallTimer timer;
-    const mpx::DecompositionResult result =
-        mpx::decompose(g, req, &workspace);
-    best = std::min(best, timer.seconds());
+    const mpx::DecompositionResult result = mpx::decompose(g, req, &workspace);
+    const double secs = timer.seconds();
+    if (secs < s.total_seconds) {
+      s.total_seconds = secs;
+      s.shift_seconds = result.telemetry.shift_seconds;
+      s.shift_draw_seconds = result.telemetry.shift_draw_seconds;
+      s.shift_rank_seconds = result.telemetry.shift_rank_seconds;
+    }
   }
-  return best;
+  return s;
+}
+
+void write_json(const std::string& path, const std::vector<Sample>& samples,
+                double beta) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"threads\",\n");
+  std::fprintf(f, "  \"hardware_threads\": %d,\n", mpx::max_threads());
+  std::fprintf(f, "  \"beta\": %g,\n", beta);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(f,
+                 "    {\"graph\": \"%s\", \"n\": %u, \"m\": %llu, "
+                 "\"threads\": %d, \"total_seconds\": %.6f, "
+                 "\"shift_seconds\": %.6f, \"shift_draw_seconds\": %.6f, "
+                 "\"shift_rank_seconds\": %.6f}%s\n",
+                 s.graph.c_str(), s.n, static_cast<unsigned long long>(s.m),
+                 s.threads, s.total_seconds, s.shift_seconds,
+                 s.shift_draw_seconds, s.shift_rank_seconds,
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::printf("wrote %s\n", path.c_str());
+  std::fclose(f);
 }
 
 }  // namespace
@@ -35,6 +91,19 @@ int main(int argc, char** argv) {
   using namespace mpx;
   bench::section("E8: thread scaling of partition()");
   std::printf("hardware threads available: %d\n", max_threads());
+
+  std::string out = "BENCH_threads.json";
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (arg == "--graph" && i + 1 < argc) {
+      ++i;  // loaded below via bench::graphs_from_args
+    } else {
+      out = arg;
+    }
+  }
 
   struct Family {
     std::string name;
@@ -45,29 +114,40 @@ int main(int argc, char** argv) {
     families.push_back({input.name, std::move(input.graph)});
   }
   if (families.empty()) {
-    families.push_back({"grid1000", generators::grid2d(1000, 1000)});
+    families.push_back({"grid2d_1000", generators::grid2d(1000, 1000)});
     families.push_back(
         {"er256k", generators::erdos_renyi(262144, 1048576, 3)});
   }
 
-  bench::Table table({"family", "threads", "secs", "speedup"});
+  const double beta = 0.05;
+  bench::Table table({"family", "threads", "secs", "speedup", "shift",
+                      "draw", "rank"});
+  std::vector<Sample> samples;
   // The serving shape: one workspace reused across repeated runs, so the
   // sweep measures the algorithm, not per-call scratch allocation.
   DecompositionWorkspace workspace;
   for (const Family& fam : families) {
     double base = 0.0;
-    for (int threads = 1; threads <= max_threads(); ++threads) {
+    for (const int threads : {1, 2, 4, 8}) {
       ScopedNumThreads guard(threads);
-      const double secs = best_seconds(fam.graph, 0.05, 3, workspace);
-      if (threads == 1) base = secs;
-      table.row({fam.name, bench::Table::integer(
-                               static_cast<std::uint64_t>(threads)),
-                 bench::Table::num(secs, 3),
-                 bench::Table::num(base / secs, 2)});
+      const Sample s =
+          best_run(fam.name, fam.graph, beta, reps, workspace, threads);
+      if (threads == 1) base = s.total_seconds;
+      samples.push_back(s);
+      table.row({fam.name,
+                 bench::Table::integer(static_cast<std::uint64_t>(threads)),
+                 bench::Table::num(s.total_seconds, 3),
+                 bench::Table::num(base / s.total_seconds, 2),
+                 bench::Table::num(s.shift_seconds, 3),
+                 bench::Table::num(s.shift_draw_seconds, 3),
+                 bench::Table::num(s.shift_rank_seconds, 3)});
     }
   }
+
+  write_json(out, samples, beta);
   std::printf(
-      "\nexpected shape: speedup grows with threads (BFS rounds are "
-      "data-parallel); identical decompositions at every thread count.\n");
+      "\nexpected shape: speedup grows with threads up to the core count "
+      "(BFS rounds and the bucketed rank are data-parallel); identical "
+      "decompositions at every thread count.\n");
   return 0;
 }

@@ -15,14 +15,19 @@ namespace mpx {
 namespace {
 
 /// Shift generation shared by every shift-based runner: derive from the
-/// basis when one is supplied (batch runs), draw directly otherwise.
+/// basis when one is supplied (batch runs), draw directly otherwise. The
+/// workspace-recorded draw/rank split lands in `telemetry` so the shift
+/// phase is attributable (sort retirement made rank the variable part).
 void shifts_for(vertex_t n, const PartitionOptions& opt,
-                DecompositionWorkspace& ws, const ShiftBasis* basis) {
+                DecompositionWorkspace& ws, const ShiftBasis* basis,
+                RunTelemetry& telemetry) {
   if (basis != nullptr) {
     shifts_from_basis(*basis, opt, ws.shifts, &ws.shift_scratch);
   } else {
     generate_shifts(n, opt, ws.shifts, &ws.shift_scratch);
   }
+  telemetry.shift_draw_seconds = ws.shift_scratch.last_draw_seconds;
+  telemetry.shift_rank_seconds = ws.shift_scratch.last_rank_seconds;
 }
 
 using detail::owner_settle_from_decomposition;
@@ -47,7 +52,7 @@ DecompositionResult run_mpx(const CsrGraph& g, const DecompositionRequest& req,
   const PartitionOptions opt = req.partition_options();
 
   WallTimer phase;
-  shifts_for(g.num_vertices(), opt, ws, basis);
+  shifts_for(g.num_vertices(), opt, ws, basis, result.telemetry);
   result.telemetry.shift_seconds = phase.seconds();
 
   phase.reset();
@@ -137,7 +142,7 @@ DecompositionResult run_mpx_weighted(const WeightedCsrGraph& g,
   const PartitionOptions opt = req.partition_options();
 
   WallTimer phase;
-  shifts_for(g.num_vertices(), opt, ws, basis);
+  shifts_for(g.num_vertices(), opt, ws, basis, result.telemetry);
   result.telemetry.shift_seconds = phase.seconds();
 
   phase.reset();
@@ -161,7 +166,7 @@ DecompositionResult run_mpx_bucketed(const WeightedCsrGraph& g,
   const PartitionOptions opt = req.partition_options();
 
   WallTimer phase;
-  shifts_for(g.num_vertices(), opt, ws, basis);
+  shifts_for(g.num_vertices(), opt, ws, basis, result.telemetry);
   result.telemetry.shift_seconds = phase.seconds();
 
   phase.reset();

@@ -123,6 +123,10 @@ void parse_telemetry_line(const std::string& key, std::istringstream& row,
     t.arcs_scanned = read_uint(std::numeric_limits<edge_t>::max());
   } else if (key == "shift_seconds") {
     read_double(t.shift_seconds);
+  } else if (key == "shift_draw_seconds") {
+    read_double(t.shift_draw_seconds);
+  } else if (key == "shift_rank_seconds") {
+    read_double(t.shift_rank_seconds);
   } else if (key == "search_seconds") {
     read_double(t.search_seconds);
   } else if (key == "assemble_seconds") {
@@ -167,6 +171,10 @@ void write_decomposition(std::ostream& out, const Decomposition& dec,
   out << "#! phases " << telemetry.phases << '\n';
   out << "#! arcs_scanned " << telemetry.arcs_scanned << '\n';
   out << "#! shift_seconds " << format_double(telemetry.shift_seconds) << '\n';
+  out << "#! shift_draw_seconds "
+      << format_double(telemetry.shift_draw_seconds) << '\n';
+  out << "#! shift_rank_seconds "
+      << format_double(telemetry.shift_rank_seconds) << '\n';
   out << "#! search_seconds " << format_double(telemetry.search_seconds)
       << '\n';
   out << "#! assemble_seconds " << format_double(telemetry.assemble_seconds)

@@ -14,7 +14,12 @@
 /// Batch multi-beta runs (`run_batch`) generate the random draws once per
 /// seed (`ShiftBasis`) and derive every beta's shifts from them —
 /// bitwise-identical to running each request individually, at a fraction
-/// of the shift-generation cost.
+/// of the shift-generation cost. Each beta reuses the basis's cached
+/// maximum (ShiftBasis::base_max) on top of the shared draws, so the
+/// per-beta work is one scaling pass plus the bucketed rank; what a basis
+/// cannot share is the rank order itself — frac(delta_max - delta) moves
+/// its floor boundaries with beta, so every beta's tie-break order is
+/// genuinely different (see ARCHITECTURE.md, shift phase).
 ///
 /// Sessions are not thread-safe in general: the workspace and cache mutate
 /// on every run, and the default query path materializes boundary lists

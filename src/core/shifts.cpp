@@ -4,47 +4,58 @@
 #include <cmath>
 #include <numeric>
 
+#include "parallel/bucket_rank.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/reduce.hpp"
-#include "parallel/sort.hpp"
 #include "support/assert.hpp"
 #include "support/random.hpp"
+#include "support/timer.hpp"
 
 namespace mpx {
 namespace {
 
-/// Ranks = ascending order of frac(delta_max - delta_u), ties by id.
-/// Sorting (frac, id) pairs gives each center a unique priority that
-/// reproduces the real-valued comparison of Algorithm 2.
+/// Ranks = ascending order of frac(delta_max - delta_u), ties by id — the
+/// exact order the retired comparator sort produced, built by a bucketed
+/// rank instead: frac keys are near-uniform in [0, 1) for exponential
+/// shifts, so floor(frac * B) is a monotone bucket map that localizes the
+/// sort to ~4-item buckets (parallel/bucket_rank.hpp proves the
+/// bitwise-identity argument; tests/test_shift_rank_identity.cpp checks it
+/// against the old sort across every distribution, tie-break, and thread
+/// count).
 void fractional_ranks(const std::vector<double>& delta, double delta_max,
                       std::vector<std::uint32_t>& rank,
                       ShiftWorkspace& scratch) {
   const std::size_t n = delta.size();
-  std::vector<std::uint32_t>& order = scratch.order;
-  std::vector<double>& frac = scratch.frac;
-  order.resize(n);
-  std::iota(order.begin(), order.end(), 0u);
-  frac.resize(n);
-  parallel_for(std::size_t{0}, n, [&](std::size_t u) {
-    const double start = delta_max - delta[u];
-    frac[u] = start - std::floor(start);
-  });
-  parallel_sort(std::span<std::uint32_t>(order),
-                [&](std::uint32_t a, std::uint32_t b) {
-                  return frac[a] != frac[b] ? frac[a] < frac[b] : a < b;
-                });
   rank.resize(n);
+  if (n == 0) return;
+  const std::size_t buckets = bucket_count_for(n);
+  const double scale = static_cast<double>(buckets);
+  bucketed_sort_ids<double>(
+      n, buckets,
+      [&](std::uint32_t u) {
+        const double start = delta_max - delta[u];
+        return start - std::floor(start);
+      },
+      // frac < 1 puts frac * B below B mathematically, but the product can
+      // round up to exactly B for frac within one ulp of 1 — clamp.
+      [&](double key) {
+        return std::min(static_cast<std::size_t>(key * scale), buckets - 1);
+      },
+      scratch.rank_scratch);
+  const std::vector<KeyedItem<double>>& items = scratch.rank_scratch.items;
   parallel_for(std::size_t{0}, n, [&](std::size_t i) {
-    rank[order[i]] = static_cast<std::uint32_t>(i);
+    rank[items[i].id] = static_cast<std::uint32_t>(i);
   });
 }
 
-/// The delta -> (delta_max, start_round, rank) finishing pass shared by the
-/// direct and basis-derived generation paths.
-void finish_shifts(vertex_t n, const PartitionOptions& opt, Shifts& s,
-                   ShiftWorkspace& scratch) {
-  s.delta_max = parallel_max(vertex_t{0}, n, 0.0,
-                             [&](vertex_t u) { return s.delta[u]; });
+/// delta -> (delta_max, start_round). `known_max` is the basis-derived
+/// maximum when the caller already has it (batch runs); it must equal the
+/// reduction bitwise — see ShiftBasis::base_max.
+void finish_start_rounds(vertex_t n, Shifts& s, const double* known_max) {
+  s.delta_max = known_max != nullptr
+                    ? *known_max
+                    : parallel_max(vertex_t{0}, n, 0.0,
+                                   [&](vertex_t u) { return s.delta[u]; });
 
   s.start_round.resize(n);
   parallel_for(vertex_t{0}, n, [&](vertex_t u) {
@@ -52,7 +63,11 @@ void finish_shifts(vertex_t n, const PartitionOptions& opt, Shifts& s,
     MPX_ASSERT(start >= 0.0);
     s.start_round[u] = static_cast<std::uint32_t>(std::floor(start));
   });
+}
 
+/// The tie-break rank construction of `opt.tie_break`.
+void build_ranks(vertex_t n, const PartitionOptions& opt, Shifts& s,
+                 ShiftWorkspace& scratch) {
   switch (opt.tie_break) {
     case TieBreak::kFractionalShift:
       fractional_ranks(s.delta, s.delta_max, s.rank, scratch);
@@ -60,6 +75,8 @@ void finish_shifts(vertex_t n, const PartitionOptions& opt, Shifts& s,
     case TieBreak::kRandomPermutation: {
       // rank[v] = position of v in a random permutation independent of the
       // shift values (keyed off a decorrelated stream of the same seed).
+      // parallel_random_permutation ranks its uniform 64-bit hash keys
+      // through the same bucketed pass the fractional path uses.
       const std::vector<std::uint32_t> perm = parallel_random_permutation(
           n, hash_stream(opt.seed, 0x7065726d75746174ULL));
       s.rank.resize(n);
@@ -75,6 +92,19 @@ void finish_shifts(vertex_t n, const PartitionOptions& opt, Shifts& s,
   }
 }
 
+/// The delta -> (delta_max, start_round, rank) finishing pass shared by the
+/// direct and basis-derived generation paths. `timer` has been running
+/// since the caller started drawing; the draw/rank split lands in the
+/// workspace for the decomposer's telemetry.
+void finish_shifts(vertex_t n, const PartitionOptions& opt, Shifts& s,
+                   ShiftWorkspace& scratch, const WallTimer& timer,
+                   const double* known_max) {
+  finish_start_rounds(n, s, known_max);
+  scratch.last_draw_seconds = timer.seconds();
+  build_ranks(n, opt, s, scratch);
+  scratch.last_rank_seconds = timer.seconds() - scratch.last_draw_seconds;
+}
+
 }  // namespace
 
 void generate_shifts(vertex_t n, const PartitionOptions& opt, Shifts& out,
@@ -82,6 +112,7 @@ void generate_shifts(vertex_t n, const PartitionOptions& opt, Shifts& out,
   MPX_EXPECTS(opt.beta > 0.0 && opt.beta <= 1.0);
   ShiftWorkspace local;
   ShiftWorkspace& ws = scratch != nullptr ? *scratch : local;
+  const WallTimer timer;
   out.delta.resize(n);
   switch (opt.distribution) {
     case ShiftDistribution::kExponential:
@@ -113,7 +144,7 @@ void generate_shifts(vertex_t n, const PartitionOptions& opt, Shifts& out,
       break;
     }
   }
-  finish_shifts(n, opt, out, ws);
+  finish_shifts(n, opt, out, ws, timer, nullptr);
 }
 
 Shifts generate_shifts(vertex_t n, const PartitionOptions& opt) {
@@ -154,6 +185,8 @@ ShiftBasis make_shift_basis(vertex_t n, const PartitionOptions& opt) {
       });
       break;
   }
+  basis.base_max = parallel_max(vertex_t{0}, n, 0.0,
+                                [&](vertex_t u) { return basis.base[u]; });
   return basis;
 }
 
@@ -166,13 +199,19 @@ void shifts_from_basis(const ShiftBasis& basis, const PartitionOptions& opt,
   MPX_EXPECTS(basis.base.size() == n);
   ShiftWorkspace local;
   ShiftWorkspace& ws = scratch != nullptr ? *scratch : local;
+  const WallTimer timer;
   out.delta.resize(n);
+  // The per-beta scaling is monotone, so the scaled base_max IS the
+  // delta_max a fresh reduction would find (same argmax vertex, same
+  // rounding) — each beta of a batch skips that O(n) pass.
+  double derived_max = 0.0;
   switch (opt.distribution) {
     case ShiftDistribution::kExponential:
     case ShiftDistribution::kPermutationQuantile:
       parallel_for(vertex_t{0}, n, [&](vertex_t u) {
         out.delta[u] = basis.base[u] / opt.beta;
       });
+      derived_max = basis.base_max / opt.beta;
       break;
     case ShiftDistribution::kUniform: {
       const double range =
@@ -180,10 +219,11 @@ void shifts_from_basis(const ShiftBasis& basis, const PartitionOptions& opt,
       parallel_for(vertex_t{0}, n, [&](vertex_t u) {
         out.delta[u] = range * basis.base[u];
       });
+      derived_max = range * basis.base_max;
       break;
     }
   }
-  finish_shifts(n, opt, out, ws);
+  finish_shifts(n, opt, out, ws, timer, n > 0 ? &derived_max : nullptr);
 }
 
 }  // namespace mpx

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/options.hpp"
+#include "parallel/bucket_rank.hpp"
 #include "support/types.hpp"
 
 namespace mpx {
@@ -34,12 +35,25 @@ struct Shifts {
 /// (start_round, rank) schedule per `opt.tie_break`.
 [[nodiscard]] Shifts generate_shifts(vertex_t n, const PartitionOptions& opt);
 
-/// Reusable scratch for the fractional-shift rank sort (the order/key
-/// arrays), so repeated shift generation through a workspace stops
-/// allocating ~12n bytes per call.
+/// Reusable scratch for the fractional-shift rank, so repeated shift
+/// generation through a workspace allocates nothing on warm runs
+/// (tests/test_shift_rank_identity.cpp counts allocations to hold that).
+///
+/// The `order`/`frac` vectors of the retired comparator-sort rank are
+/// gone: the bucketed rank scatters contiguous (key, id) records and
+/// bucket offsets instead (parallel/bucket_rank.hpp), which is both its
+/// scratch and the reason the finishing pass never chases a random index
+/// per comparison.
 struct ShiftWorkspace {
-  std::vector<std::uint32_t> order;
-  std::vector<double> frac;
+  /// Bucket scatter records + offsets for the fractional rank.
+  BucketSortScratch<double> rank_scratch;
+  /// Phase breakdown of the most recent generate_shifts /
+  /// shifts_from_basis call through this workspace: drawing the deltas
+  /// (delta fill + delta_max + start rounds) vs building the tie-break
+  /// rank. Surfaced as RunTelemetry::shift_draw_seconds /
+  /// shift_rank_seconds by the decomposer.
+  double last_draw_seconds = 0.0;
+  double last_rank_seconds = 0.0;
 };
 
 /// In-place variant of generate_shifts: writes into `out`, reusing its
@@ -63,6 +77,12 @@ struct ShiftBasis {
   vertex_t n = 0;
   /// Per-vertex beta-independent draw (see above).
   std::vector<double> base;
+  /// max_v base[v], computed once per basis. Every beta's per-vertex
+  /// scaling is monotone (divide by beta, or multiply by the uniform
+  /// range), so scaling base_max yields delta_max bitwise-equal to a
+  /// fresh reduction over the scaled deltas — shifts_from_basis uses it
+  /// to skip one full O(n) pass per beta of a batch.
+  double base_max = 0.0;
 };
 
 /// Compute the shift basis for n vertices (beta is not read).

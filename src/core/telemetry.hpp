@@ -31,7 +31,10 @@ struct RunTelemetry {
   /// Arcs scanned by the search (the O(m) work proxy; 0 for non-BFS runs).
   edge_t arcs_scanned = 0;
   /// Per-phase wall timings, in seconds.
-  double shift_seconds = 0.0;     ///< drawing/deriving the random shifts
+  double shift_seconds = 0.0;      ///< drawing/deriving the random shifts
+  /// Breakdown of shift_seconds (zero for algorithms without shifts):
+  double shift_draw_seconds = 0.0;  ///< delta fill + delta_max + start rounds
+  double shift_rank_seconds = 0.0;  ///< tie-break rank construction
   double search_seconds = 0.0;    ///< the search itself
   double assemble_seconds = 0.0;  ///< owner/settle -> result assembly
   double total_seconds = 0.0;     ///< whole decompose() call

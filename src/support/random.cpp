@@ -1,8 +1,12 @@
 #include "support/random.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numeric>
+
+#include "parallel/bucket_rank.hpp"
+#include "parallel/parallel_for.hpp"
 
 #if defined(_OPENMP)
 #include <omp.h>
@@ -49,16 +53,26 @@ std::vector<std::uint32_t> random_permutation(std::size_t n,
 
 std::vector<std::uint32_t> parallel_random_permutation(std::size_t n,
                                                        std::uint64_t seed) {
-  std::vector<std::uint32_t> perm(n);
-  std::iota(perm.begin(), perm.end(), 0u);
-  // Sorting by a counter-based key is schedule-independent by construction;
+  // Ordering by a counter-based key is schedule-independent by construction;
   // the (key, index) pair makes the order total even on 64-bit collisions.
-  std::sort(perm.begin(), perm.end(),
-            [seed](std::uint32_t a, std::uint32_t b) {
-              const std::uint64_t ka = hash_stream(seed, a);
-              const std::uint64_t kb = hash_stream(seed, b);
-              return ka != kb ? ka < kb : a < b;
-            });
+  // The hash keys are uniform over the full 64-bit range, so their high bits
+  // bucket them near-perfectly: the bucketed rank reproduces the retired
+  // std::sort's order exactly (parallel/bucket_rank.hpp) in O(n) work.
+  std::vector<std::uint32_t> perm(n);
+  if (n == 0) return perm;
+  const std::size_t buckets = bucket_count_for(n);
+  const int shift = 64 - std::countr_zero(buckets);
+  BucketSortScratch<std::uint64_t> scratch;
+  bucketed_sort_ids<std::uint64_t>(
+      n, buckets,
+      [seed](std::uint32_t i) { return hash_stream(seed, i); },
+      [shift](std::uint64_t key) {
+        return static_cast<std::size_t>(key >> shift);
+      },
+      scratch);
+  parallel_for(std::size_t{0}, n, [&](std::size_t i) {
+    perm[i] = scratch.items[i].id;
+  });
   return perm;
 }
 

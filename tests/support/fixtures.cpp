@@ -82,6 +82,8 @@ RunTelemetry reference_telemetry() {
   t.phases = 1;
   t.arcs_scanned = 48;
   t.shift_seconds = 0.25;
+  t.shift_draw_seconds = 0.1875;
+  t.shift_rank_seconds = 0.0625;
   t.search_seconds = 0.5;
   t.assemble_seconds = 0.125;
   t.total_seconds = 0.875;
