@@ -1,0 +1,177 @@
+#include "graph/snapshot_blocks.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "graph/snapshot_internal.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace mpx::io {
+
+SnapshotBlockReader::SnapshotBlockReader(const std::string& path)
+    : path_(path) {
+  detail::SnapshotFileView view = detail::snapshot_file_view(path);
+  header_ = detail::validate_header_v2(view.data, view.bytes, path);
+  if ((header_.flags & kSnapshotFlagColdTargets) == 0) {
+    detail::snap_fail(path, "not a cold-tier snapshot (hot files mmap raw)");
+  }
+  const unsigned char* base = view.data;
+
+  // Eager half of cold validation. Index first: its checksum guards the
+  // geometry that every later per-block read trusts.
+  if (codec::fnv1a_64(codec::kFnvOffsetBasis,
+                      base + header_.block_index_offset,
+                      header_.block_index_bytes) !=
+      header_.block_index_checksum) {
+    detail::snap_fail(path, "block index checksum mismatch");
+  }
+  index_.resize(static_cast<std::size_t>(header_.block_index_bytes /
+                                         sizeof(codec::BlockIndexEntry)));
+  std::memcpy(index_.data(), base + header_.block_index_offset,
+              header_.block_index_bytes);
+  detail::validate_block_index(header_, index_, path);
+
+  // Offsets are resident: the varint degree stream is checksummed and
+  // decoded up front (block decoding needs run boundaries).
+  if (codec::fnv1a_64(codec::kFnvOffsetBasis, base + header_.offsets_offset,
+                      header_.offsets_bytes) != header_.offsets_checksum) {
+    detail::snap_fail(path, "offsets section checksum mismatch");
+  }
+  offsets_ = codec::decode_degree_section(
+      {base + header_.offsets_offset,
+       static_cast<std::size_t>(header_.offsets_bytes)},
+      header_.num_vertices, header_.num_arcs);
+
+  payload_start_.resize(index_.size() + 1);
+  payload_start_[0] = 0;
+  for (std::size_t b = 0; b < index_.size(); ++b) {
+    payload_start_[b + 1] = payload_start_[b] + index_[b].byte_len;
+  }
+  payload_base_ = base + header_.targets_offset;
+  if ((header_.flags & kSnapshotFlagWeighted) != 0) {
+    weights_ = {reinterpret_cast<const double*>(base + header_.weights_offset),
+                static_cast<std::size_t>(header_.num_arcs)};
+  }
+  keepalive_ = std::move(view.keepalive);
+}
+
+void SnapshotBlockReader::decode_block(std::size_t b,
+                                       std::span<vertex_t> out) const {
+  const codec::BlockIndexEntry& entry = index_[b];
+  const std::span<const unsigned char> payload{
+      payload_base_ + payload_start_[b],
+      static_cast<std::size_t>(entry.byte_len)};
+  // Lazy per-block verification: the payload checksum is only ever checked
+  // here, when the block is actually decoded.
+  if (static_cast<std::uint32_t>(codec::fnv1a_64(
+          codec::kFnvOffsetBasis, payload.data(), payload.size())) !=
+      entry.checksum) {
+    detail::snap_fail(path_, "block " + std::to_string(b) +
+                                 " payload checksum mismatch");
+  }
+  codec::decode_target_block(offsets_, block_arc_begin(b), entry, payload,
+                             static_cast<vertex_t>(header_.num_vertices),
+                             out);
+}
+
+CsrGraph SnapshotBlockReader::materialize() const {
+  std::vector<vertex_t> targets(static_cast<std::size_t>(header_.num_arcs));
+  // Blocks decode independently; a decode error inside a worker must
+  // surface as the usual std::runtime_error, so workers stash the first
+  // exception instead of letting it escape the parallel region.
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  parallel_for(std::size_t{0}, index_.size(), [&](std::size_t b) {
+    try {
+      decode_block(b, std::span<vertex_t>(targets)
+                          .subspan(static_cast<std::size_t>(block_arc_begin(b)),
+                                   index_[b].count));
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  });
+  if (first_error) std::rethrow_exception(first_error);
+  std::vector<edge_t> offsets = offsets_;
+  detail::validate_structure(offsets, targets, {}, path_);
+  return CsrGraph(std::move(offsets), std::move(targets),
+                  CsrGraph::Trusted{});
+}
+
+WeightedCsrGraph SnapshotBlockReader::materialize_weighted() const {
+  if (!weighted()) {
+    detail::snap_fail(path_, "unweighted snapshot; use materialize");
+  }
+  // Weights are the one section the constructor left untouched; verify
+  // their checksum now that every byte goes resident anyway.
+  if (codec::fnv1a_64(
+          codec::kFnvOffsetBasis,
+          reinterpret_cast<const unsigned char*>(weights_.data()),
+          weights_.size_bytes()) != header_.weights_checksum) {
+    detail::snap_fail(path_, "weights section checksum mismatch");
+  }
+  CsrGraph topology = materialize();
+  std::vector<double> weights(weights_.begin(), weights_.end());
+  detail::validate_structure(topology.offsets(), topology.targets(), weights,
+                             path_);
+  return WeightedCsrGraph(std::move(topology), std::move(weights),
+                          CsrGraph::Trusted{});
+}
+
+BlockCache::BlockCache(std::shared_ptr<const SnapshotBlockReader> reader,
+                       std::size_t max_resident_blocks)
+    : reader_(std::move(reader)),
+      max_resident_(std::max<std::size_t>(1, max_resident_blocks)) {}
+
+std::span<const vertex_t> BlockCache::block(std::size_t b) {
+  if (const auto it = by_block_.find(b); it != by_block_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return it->second->second;
+  }
+  ++stats_.misses;
+  std::vector<vertex_t> decoded(reader_->block_arc_count(b));
+  reader_->decode_block(b, decoded);
+  while (lru_.size() >= max_resident_) {
+    by_block_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.emplace_front(b, std::move(decoded));
+  by_block_.emplace(b, lru_.begin());
+  stats_.resident_blocks = lru_.size();
+  return lru_.front().second;
+}
+
+std::span<const vertex_t> BlockCache::neighbors(vertex_t v) {
+  const std::span<const edge_t> offsets = reader_->offsets();
+  const edge_t begin = offsets[v];
+  const edge_t end = offsets[v + 1];
+  if (begin == end) return {};
+  const std::size_t first_block = reader_->block_of_arc(begin);
+  const std::size_t last_block = reader_->block_of_arc(end - 1);
+  if (first_block == last_block) {
+    const std::span<const vertex_t> arcs = block(first_block);
+    const edge_t block_begin = reader_->block_arc_begin(first_block);
+    return arcs.subspan(static_cast<std::size_t>(begin - block_begin),
+                        static_cast<std::size_t>(end - begin));
+  }
+  // The run crosses blocks: stitch it into the scratch buffer.
+  scratch_.clear();
+  scratch_.reserve(static_cast<std::size_t>(end - begin));
+  for (std::size_t b = first_block; b <= last_block; ++b) {
+    const std::span<const vertex_t> arcs = block(b);
+    const edge_t block_begin = reader_->block_arc_begin(b);
+    const edge_t lo = std::max(begin, block_begin);
+    const edge_t hi =
+        std::min<edge_t>(end, block_begin + reader_->block_arc_count(b));
+    const auto* data = arcs.data() + (lo - block_begin);
+    scratch_.insert(scratch_.end(), data, data + (hi - lo));
+  }
+  return scratch_;
+}
+
+}  // namespace mpx::io

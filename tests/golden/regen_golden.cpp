@@ -35,6 +35,36 @@ int main() {
                          mpx::testing::grid3x3_weighted_reference());
   std::cout << "wrote " << dir << "/grid_3x3_weighted.mpxs\n";
 
+  // Version-2 goldens, both tiers. The tiny block size on the cold files
+  // forces multi-block layouts so the fixtures exercise the block index,
+  // not just a degenerate single block.
+  {
+    mpx::io::SnapshotWriteOptions hot;
+    hot.tier = mpx::io::SnapshotTier::kHot;
+    mpx::io::save_snapshot(dir + "/grid_3x3_v2.mpxs", g, hot);
+    std::cout << "wrote " << dir << "/grid_3x3_v2.mpxs\n";
+
+    mpx::io::SnapshotWriteOptions cold;
+    cold.tier = mpx::io::SnapshotTier::kCold;
+    cold.block_size = 8;  // 24 arcs -> 3 blocks
+    mpx::io::save_snapshot(dir + "/grid_3x3_v2_cold.mpxs", g, cold);
+    std::cout << "wrote " << dir << "/grid_3x3_v2_cold.mpxs\n";
+
+    mpx::io::save_snapshot(dir + "/grid_3x3_weighted_v2_cold.mpxs",
+                           mpx::testing::grid3x3_weighted_reference(), cold);
+    std::cout << "wrote " << dir << "/grid_3x3_weighted_v2_cold.mpxs\n";
+
+    // A bigger multi-block fixture for the corruption sweeps: small enough
+    // that a per-byte truncation sweep stays fast, big enough that block
+    // boundaries, varint degrees and entropy payloads all appear.
+    mpx::io::SnapshotWriteOptions cold64;
+    cold64.tier = mpx::io::SnapshotTier::kCold;
+    cold64.block_size = 64;
+    mpx::io::save_snapshot(dir + "/grid_16x16_v2_cold.mpxs",
+                           mpx::generators::grid2d(16, 16), cold64);
+    std::cout << "wrote " << dir << "/grid_16x16_v2_cold.mpxs\n";
+  }
+
   // Telemetry-block golden: the reference decomposition with the
   // hand-authored exactly-representable telemetry fixture.
   mpx::io::save_decomposition(dir + "/grid_3x3_telemetry.dec",

@@ -9,20 +9,26 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "bfs/sequential_bfs.hpp"
 #include "bfs/parallel_bfs.hpp"
 #include "graph/builder.hpp"
+#include "graph/snapshot.hpp"
 #include "parallel/pack.hpp"
 #include "parallel/reduce.hpp"
 #include "parallel/scan.hpp"
 #include "parallel/sort.hpp"
 #include "core/partition.hpp"
 #include "support/random.hpp"
+#include "tests/support/golden.hpp"
 #include "tests/support/invariants.hpp"
 #include "tests/support/property.hpp"
+#include "tests/support/temp_dir.hpp"
 
 namespace mpx {
 namespace {
@@ -152,6 +158,62 @@ TEST_P(FuzzCase, PartitionInvariantsOnRandomGraphs) {
         dec, g, {.beta = opt.beta}))
         << "n=" << g.num_vertices() << " beta=" << opt.beta
         << " seed=" << opt.seed;
+  }
+}
+
+TEST_P(FuzzCase, SnapshotReadersThrowOrSucceedOnMutatedBytes) {
+  // Generator-driven decoder fuzzing over the checked-in v2 snapshot seed
+  // corpus (tests/golden/*_v2*.mpxs, hot and cold, weighted and not): a
+  // burst of random mutations — byte flips, truncations, extensions,
+  // splices — is applied to a corpus member and every reader entry point
+  // must either succeed or throw std::runtime_error. Any crash, abort or
+  // foreign exception on arbitrary bytes is a format-conformance bug.
+  const char* corpus[] = {"grid_3x3_v2.mpxs", "grid_3x3_v2_cold.mpxs",
+                          "grid_3x3_weighted_v2_cold.mpxs",
+                          "grid_16x16_v2_cold.mpxs"};
+  mpx::testing::TempDir tmp("fuzz-snapshot");
+  const std::string path = tmp.file("mutant.mpxs");
+  Xoshiro256pp rng(GetParam() ^ 0x5a9);
+  for (int round = 0; round < 24; ++round) {
+    std::string bytes = mpx::testing::read_file_or_fail(
+        mpx::testing::golden_path(corpus[rng.next_below(4)]));
+    const std::size_t mutations = 1 + rng.next_below(8);
+    for (std::size_t i = 0; i < mutations && !bytes.empty(); ++i) {
+      switch (rng.next_below(4)) {
+        case 0:  // bit flip
+          bytes[rng.next_below(bytes.size())] ^=
+              static_cast<char>(1u << rng.next_below(8));
+          break;
+        case 1:  // byte overwrite
+          bytes[rng.next_below(bytes.size())] =
+              static_cast<char>(rng.next_below(256));
+          break;
+        case 2:  // truncation
+          bytes.resize(rng.next_below(bytes.size() + 1));
+          break;
+        default:  // extension with junk
+          bytes.append(1 + rng.next_below(64),
+                       static_cast<char>(rng.next_below(256)));
+          break;
+      }
+    }
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    const auto probe = [&](auto&& fn) {
+      try {
+        fn();
+      } catch (const std::runtime_error&) {
+        // Rejection is the expected outcome for most mutants.
+      }
+    };
+    probe([&] { (void)io::read_snapshot_info(path); });
+    probe([&] { (void)io::verify_snapshot(path); });
+    probe([&] { (void)io::verify_snapshot_deep(path); });
+    probe([&] { (void)io::load_snapshot(path); });
+    probe([&] { (void)io::load_weighted_snapshot(path); });
+    probe([&] { (void)io::map_snapshot(path); });
   }
 }
 

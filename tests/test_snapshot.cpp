@@ -282,8 +282,9 @@ TEST(Snapshot, InfoReportsHeaderFields) {
   const std::string path = tmp.file("info.mpxs");
   io::save_snapshot(path, g);
   const io::SnapshotInfo info = io::read_snapshot_info(path);
-  EXPECT_EQ(info.header.num_vertices, 9u);
-  EXPECT_EQ(info.header.num_arcs, g.num_arcs());
+  EXPECT_EQ(info.version, io::kSnapshotVersion);
+  EXPECT_EQ(info.num_vertices, 9u);
+  EXPECT_EQ(info.num_arcs, g.num_arcs());
   EXPECT_FALSE(info.weighted());
   EXPECT_EQ(info.file_bytes, read_file(path).size());
 }
@@ -344,8 +345,16 @@ TEST_F(SnapshotCorruption, RejectsBadMagic) {
 
 TEST_F(SnapshotCorruption, RejectsFutureVersion) {
   std::string bad = good_;
-  bad[8] = 2;  // version field, docs/FORMATS.md offset 8
-  expect_rejected(bad, "version 2");
+  bad[8] = 3;  // version field, docs/FORMATS.md offset 8; 2 now exists
+  expect_rejected(bad, "version 3");
+}
+
+TEST_F(SnapshotCorruption, RejectsVersionOneBytesRelabeledAsTwo) {
+  // A v1 body whose version field claims 2 must fail the v2 header
+  // validation (checksummed 192-byte header), not get misparsed.
+  std::string bad = good_;
+  bad[8] = 2;
+  expect_rejected(bad, "v1 bytes relabeled version 2");
 }
 
 TEST_F(SnapshotCorruption, RejectsUnknownFlags) {

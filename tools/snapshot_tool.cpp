@@ -2,25 +2,35 @@
 //
 // The binary .mpxs snapshot format is specified in docs/FORMATS.md; this
 // tool is the operational companion: it turns text edge lists into
-// snapshots benches can mmap (`--graph file.mpxs`), dumps headers, and
-// runs the full corruption check (header geometry, FNV-1a checksum, CSR
-// structure) that CI executes over the golden fixtures under ASan/UBSan.
+// snapshots benches can mmap (`--graph file.mpxs`), converts between the
+// version-2 hot (raw, mmap-able) and cold (compressed) tiers, dumps
+// headers, and runs the corruption checks that CI executes over the golden
+// fixtures under ASan/UBSan.
 //
 // usage:
-//   snapshot_tool convert <in> <out>   convert between text edge list and
+//   snapshot_tool convert <in> <out> [--tier=hot|cold]
+//                                      convert between text edge list and
 //                                      binary snapshot. Input format is
 //                                      auto-detected (magic / column
 //                                      count); output format follows the
 //                                      extension: .mpxs = snapshot,
 //                                      anything else = text. Weightedness
-//                                      is preserved.
+//                                      is preserved. Without --tier the
+//                                      writer emits the legacy version-1
+//                                      format byte-identically; --tier
+//                                      selects a version-2 tier.
 //   snapshot_tool info <file.mpxs>     print the decoded header.
-//   snapshot_tool verify <file...>     full validation of each file;
-//                                      exit 1 on the first failure.
+//   snapshot_tool verify [--deep] <file...>
+//                                      validation of each file; exit 1 on
+//                                      the first failure. --deep decodes
+//                                      every cold-tier block (per-block
+//                                      checksums + full reconstruction).
 //
 // --convert/--info/--verify are accepted as aliases.
 #include <cstdio>
+#include <cstring>
 #include <exception>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,12 +45,18 @@ using mpx::io::GraphFileFormat;
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  snapshot_tool convert <in> <out>   text <-> binary "
-               "(.mpxs extension selects binary output)\n"
+               "  snapshot_tool convert <in> <out> [--tier=hot|cold]\n"
+               "                                     text <-> binary (.mpxs "
+               "extension selects binary\n"
+               "                                     output; --tier selects "
+               "a version-2 tier)\n"
                "  snapshot_tool info <file.mpxs>     dump the snapshot "
                "header\n"
-               "  snapshot_tool verify <file...>     checksum + structural "
-               "validation\n");
+               "  snapshot_tool verify [--deep] <file...>\n"
+               "                                     checksum + structural "
+               "validation (--deep walks\n"
+               "                                     every cold-tier "
+               "block)\n");
   return 2;
 }
 
@@ -50,78 +66,115 @@ bool wants_snapshot(const std::string& path) {
          path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
 }
 
-int cmd_convert(const std::string& in, const std::string& out) {
+int cmd_convert(const std::string& in, const std::string& out,
+                const std::optional<mpx::io::SnapshotTier>& tier) {
   const GraphFileFormat format = mpx::io::detect_graph_format(in);
   const bool weighted = format == GraphFileFormat::kWeightedEdgeListText ||
                         format == GraphFileFormat::kWeightedSnapshot;
+  const char* tier_tag = "";
   mpx::WallTimer timer;
+  const auto save = [&](const auto& g) {
+    if (!wants_snapshot(out)) {
+      mpx::io::save_edge_list(out, g);
+      return;
+    }
+    if (!tier.has_value()) {
+      mpx::io::save_snapshot(out, g);  // legacy v1, byte-stable
+      return;
+    }
+    mpx::io::SnapshotWriteOptions options;
+    options.tier = *tier;
+    mpx::io::save_snapshot(out, g, options);
+    tier_tag = *tier == mpx::io::SnapshotTier::kCold ? ", v2 cold"
+                                                     : ", v2 hot";
+  };
   if (weighted) {
     const mpx::WeightedCsrGraph g = mpx::io::load_weighted_graph(in);
-    if (wants_snapshot(out)) {
-      mpx::io::save_snapshot(out, g);
-    } else {
-      mpx::io::save_edge_list(out, g);
-    }
-    std::printf("%s (%s, n=%u, m=%llu, weighted) -> %s [%.3fs]\n", in.c_str(),
+    save(g);
+    std::printf("%s (%s, n=%u, m=%llu, weighted) -> %s%s [%.3fs]\n",
+                in.c_str(),
                 std::string(mpx::io::graph_file_format_name(format)).c_str(),
                 g.num_vertices(),
                 static_cast<unsigned long long>(g.num_edges()), out.c_str(),
-                timer.seconds());
+                tier_tag, timer.seconds());
   } else {
     const mpx::CsrGraph g = mpx::io::load_graph(in);
-    if (wants_snapshot(out)) {
-      mpx::io::save_snapshot(out, g);
-    } else {
-      mpx::io::save_edge_list(out, g);
-    }
-    std::printf("%s (%s, n=%u, m=%llu) -> %s [%.3fs]\n", in.c_str(),
+    save(g);
+    std::printf("%s (%s, n=%u, m=%llu) -> %s%s [%.3fs]\n", in.c_str(),
                 std::string(mpx::io::graph_file_format_name(format)).c_str(),
                 g.num_vertices(),
                 static_cast<unsigned long long>(g.num_edges()), out.c_str(),
-                timer.seconds());
+                tier_tag, timer.seconds());
   }
   return 0;
 }
 
 int cmd_info(const std::string& path) {
   const mpx::io::SnapshotInfo info = mpx::io::read_snapshot_info(path);
-  const auto& h = info.header;
   std::printf("%s: mpx snapshot (docs/FORMATS.md)\n", path.c_str());
-  std::printf("  version        %u\n", h.version);
-  std::printf("  flags          0x%08x (%s%s)\n", h.flags,
-              (h.flags & mpx::io::kSnapshotFlagUndirected) ? "undirected"
-                                                           : "?",
-              (h.flags & mpx::io::kSnapshotFlagWeighted) ? ", weighted" : "");
+  std::printf("  version        %u\n", info.version);
+  std::printf("  flags          0x%08x (%s%s%s)\n", info.flags,
+              (info.flags & mpx::io::kSnapshotFlagUndirected) ? "undirected"
+                                                              : "?",
+              info.weighted() ? ", weighted" : "",
+              info.cold() ? ", cold tier" : "");
   std::printf("  num_vertices   %llu\n",
-              static_cast<unsigned long long>(h.num_vertices));
+              static_cast<unsigned long long>(info.num_vertices));
   std::printf("  num_arcs       %llu (m = %llu undirected edges)\n",
-              static_cast<unsigned long long>(h.num_arcs),
-              static_cast<unsigned long long>(h.num_arcs / 2));
-  std::printf("  offsets        offset %llu, %llu bytes\n",
-              static_cast<unsigned long long>(h.offsets_offset),
-              static_cast<unsigned long long>(h.offsets_bytes));
-  std::printf("  targets        offset %llu, %llu bytes\n",
-              static_cast<unsigned long long>(h.targets_offset),
-              static_cast<unsigned long long>(h.targets_bytes));
+              static_cast<unsigned long long>(info.num_arcs),
+              static_cast<unsigned long long>(info.num_arcs / 2));
+  std::printf("  offsets        offset %llu, %llu bytes%s\n",
+              static_cast<unsigned long long>(info.offsets_offset),
+              static_cast<unsigned long long>(info.offsets_bytes),
+              info.cold() ? " (varint degrees)" : "");
+  std::printf("  targets        offset %llu, %llu bytes%s\n",
+              static_cast<unsigned long long>(info.targets_offset),
+              static_cast<unsigned long long>(info.targets_bytes),
+              info.cold() ? " (delta+entropy blocks)" : "");
   std::printf("  weights        offset %llu, %llu bytes\n",
-              static_cast<unsigned long long>(h.weights_offset),
-              static_cast<unsigned long long>(h.weights_bytes));
-  std::printf("  checksum       0x%016llx (FNV-1a-64)\n",
-              static_cast<unsigned long long>(h.checksum));
+              static_cast<unsigned long long>(info.weights_offset),
+              static_cast<unsigned long long>(info.weights_bytes));
+  if (info.cold()) {
+    std::printf("  block index    offset %llu, %llu bytes (%llu blocks of "
+                "%u arcs)\n",
+                static_cast<unsigned long long>(info.block_index_offset),
+                static_cast<unsigned long long>(info.block_index_bytes),
+                static_cast<unsigned long long>(info.block_index_bytes / 16),
+                info.block_size);
+    const std::uint64_t raw =
+        (info.num_vertices + 1) * 8 + info.num_arcs * 4 +
+        (info.weighted() ? info.num_arcs * 8 : 0);
+    const std::uint64_t stored =
+        info.offsets_bytes + info.targets_bytes + info.weights_bytes;
+    if (stored != 0) {
+      std::printf("  compression    %.3fx (raw sections %llu bytes)\n",
+                  static_cast<double>(raw) / static_cast<double>(stored),
+                  static_cast<unsigned long long>(raw));
+    }
+  }
+  if (info.version == mpx::io::kSnapshotVersion) {
+    std::printf("  checksum       0x%016llx (FNV-1a-64, whole file)\n",
+                static_cast<unsigned long long>(info.checksum));
+  } else {
+    std::printf("  checksums      per section (FNV-1a-64, header-resident)\n");
+  }
   std::printf("  file size      %llu bytes\n",
               static_cast<unsigned long long>(info.file_bytes));
   return 0;
 }
 
-int cmd_verify(const std::vector<std::string>& paths) {
+int cmd_verify(const std::vector<std::string>& paths, bool deep) {
   for (const std::string& path : paths) {
     mpx::WallTimer timer;
-    const mpx::io::SnapshotInfo info = mpx::io::verify_snapshot(path);
-    std::printf("%s: OK (n=%llu, arcs=%llu%s, %llu bytes) [%.3fs]\n",
-                path.c_str(),
-                static_cast<unsigned long long>(info.header.num_vertices),
-                static_cast<unsigned long long>(info.header.num_arcs),
+    const mpx::io::SnapshotInfo info = deep
+                                           ? mpx::io::verify_snapshot_deep(path)
+                                           : mpx::io::verify_snapshot(path);
+    std::printf("%s: OK%s (v%u, n=%llu, arcs=%llu%s%s, %llu bytes) [%.3fs]\n",
+                path.c_str(), deep ? " (deep)" : "", info.version,
+                static_cast<unsigned long long>(info.num_vertices),
+                static_cast<unsigned long long>(info.num_arcs),
                 info.weighted() ? ", weighted" : "",
+                info.cold() ? ", cold" : "",
                 static_cast<unsigned long long>(info.file_bytes),
                 timer.seconds());
   }
@@ -135,14 +188,41 @@ int main(int argc, char** argv) {
   std::string cmd = argv[1];
   if (cmd.rfind("--", 0) == 0) cmd = cmd.substr(2);
   try {
-    if (cmd == "convert" && argc == 4) {
-      return cmd_convert(argv[2], argv[3]);
+    if (cmd == "convert") {
+      std::optional<mpx::io::SnapshotTier> tier;
+      std::vector<std::string> positional;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--tier=hot") {
+          tier = mpx::io::SnapshotTier::kHot;
+        } else if (arg == "--tier=cold") {
+          tier = mpx::io::SnapshotTier::kCold;
+        } else if (arg.rfind("--tier", 0) == 0) {
+          std::fprintf(stderr, "snapshot_tool: unknown tier in '%s'\n",
+                       arg.c_str());
+          return 2;
+        } else {
+          positional.push_back(arg);
+        }
+      }
+      if (positional.size() != 2) return usage();
+      return cmd_convert(positional[0], positional[1], tier);
     }
     if (cmd == "info" && argc == 3) {
       return cmd_info(argv[2]);
     }
     if (cmd == "verify" && argc >= 3) {
-      return cmd_verify(std::vector<std::string>(argv + 2, argv + argc));
+      bool deep = false;
+      std::vector<std::string> paths;
+      for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--deep") == 0) {
+          deep = true;
+        } else {
+          paths.emplace_back(argv[i]);
+        }
+      }
+      if (paths.empty()) return usage();
+      return cmd_verify(paths, deep);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "snapshot_tool: %s\n", e.what());
