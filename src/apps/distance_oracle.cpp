@@ -8,6 +8,7 @@
 #include "bfs/sequential_bfs.hpp"
 #include "core/decomposer.hpp"
 #include "parallel/parallel_for.hpp"
+#include "storage/paged_graph.hpp"
 #include "support/assert.hpp"
 #include "support/random.hpp"
 
@@ -19,7 +20,11 @@ struct CenterGraph {
   std::vector<std::vector<std::pair<cluster_t, std::uint32_t>>> adj;
 };
 
-CenterGraph build_center_graph(const CsrGraph& g, const Decomposition& dec) {
+/// `Graph` is any backend exposing the CsrGraph read contract; the scan
+/// streams each adjacency list once in ascending vertex order, which is
+/// the block-cache-friendly order on storage::PagedGraph.
+template <typename Graph>
+CenterGraph build_center_graph(const Graph& g, const Decomposition& dec) {
   CenterGraph cg;
   const cluster_t k = dec.num_clusters();
   cg.adj.resize(k);
@@ -62,8 +67,19 @@ DistanceOracle::DistanceOracle(const CsrGraph& g, Decomposition dec)
     : dec_(std::move(dec)) {
   MPX_EXPECTS(dec_.num_vertices() == g.num_vertices());
   k_ = dec_.num_clusters();
-  const CenterGraph cg = build_center_graph(g, dec_);
+  build_tables(build_center_graph(g, dec_).adj);
+}
 
+DistanceOracle::DistanceOracle(const storage::PagedGraph& g,
+                               Decomposition dec)
+    : dec_(std::move(dec)) {
+  MPX_EXPECTS(dec_.num_vertices() == g.num_vertices());
+  k_ = dec_.num_clusters();
+  build_tables(build_center_graph(g, dec_).adj);
+}
+
+void DistanceOracle::build_tables(
+    const std::vector<std::vector<std::pair<cluster_t, std::uint32_t>>>& adj) {
   center_dist_.assign(static_cast<std::size_t>(k_) * k_, kInfDist);
   // All-pairs Dijkstra over the k-node center graph; clusters are
   // independent sources, so run them in parallel.
@@ -77,7 +93,7 @@ DistanceOracle::DistanceOracle(const CsrGraph& g, Decomposition dec)
       const auto [d, c] = queue.top();
       queue.pop();
       if (d != dist[c]) continue;
-      for (const auto& [nbr, w] : cg.adj[c]) {
+      for (const auto& [nbr, w] : adj[c]) {
         const std::uint32_t nd = d + w;
         if (nd < dist[nbr]) {
           dist[nbr] = nd;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/decomposition.hpp"
@@ -24,6 +25,10 @@
 #include "graph/csr_graph.hpp"
 
 namespace mpx {
+
+namespace storage {
+class PagedGraph;
+}  // namespace storage
 
 class DistanceOracle {
  public:
@@ -35,6 +40,11 @@ class DistanceOracle {
   /// DecompositionSession path: one cached partition serves cluster and
   /// distance queries without re-running the algorithm.
   DistanceOracle(const CsrGraph& g, Decomposition dec);
+
+  /// Same, over an out-of-core paged graph: the center-graph build streams
+  /// each adjacency list once in ascending vertex order (the block-cache-
+  /// friendly scan), so construction works within the cache budget.
+  DistanceOracle(const storage::PagedGraph& g, Decomposition dec);
 
   /// Upper-bound estimate of dist(u, v); kInfDist across components.
   [[nodiscard]] std::uint32_t estimate(vertex_t u, vertex_t v) const;
@@ -50,6 +60,13 @@ class DistanceOracle {
   }
 
  private:
+  /// All-pairs Dijkstra over the contracted center graph (`adj[c]` =
+  /// (neighbor cluster, weight) pairs) into center_dist_ — the one copy of
+  /// the table build every graph-backend constructor shares.
+  void build_tables(
+      const std::vector<std::vector<std::pair<cluster_t, std::uint32_t>>>&
+          adj);
+
   Decomposition dec_;
   std::vector<std::uint32_t> center_dist_;  // k x k row-major
   cluster_t k_ = 0;

@@ -1,198 +1,19 @@
 #include "bfs/multi_source_bfs.hpp"
 
-#include <algorithm>
-#include <limits>
-
-#include "bfs/traversal.hpp"
-#include "parallel/atomics.hpp"
-#include "parallel/reduce.hpp"
-#include "support/assert.hpp"
+#include "bfs/multi_source_bfs_impl.hpp"
 
 namespace mpx {
-namespace {
 
-constexpr std::uint64_t kUnclaimed = std::numeric_limits<std::uint64_t>::max();
-
-/// Priority word: smaller rank wins; the low half carries the center id so
-/// the winner can be recovered from the word alone.
-constexpr std::uint64_t priority_word(std::uint32_t rank,
-                                      vertex_t center) noexcept {
-  return (static_cast<std::uint64_t>(rank) << 32) |
-         static_cast<std::uint64_t>(center);
-}
-
-constexpr vertex_t center_of(std::uint64_t word) noexcept {
-  return static_cast<vertex_t>(word & 0xffffffffULL);
-}
-
-/// Activation schedule: centers grouped by start round, as one flat array
-/// plus offsets (counting sort on start_round). Views the storage held by a
-/// MultiSourceBfsWorkspace so repeated runs reuse it.
-struct ActivationBuckets {
-  std::span<const vertex_t> centers;     // grouped by round
-  std::span<const std::size_t> offsets;  // offsets[t]..offsets[t+1]
-  std::uint32_t max_round = 0;
-
-  [[nodiscard]] std::span<const vertex_t> bucket(std::uint32_t t) const {
-    if (t > max_round) return {};
-    return {centers.data() + offsets[t], offsets[t + 1] - offsets[t]};
-  }
-};
-
-ActivationBuckets build_buckets(std::span<const std::uint32_t> start_round,
-                                MultiSourceBfsWorkspace& ws) {
-  ActivationBuckets b;
-  const std::size_t n = start_round.size();
-  std::uint32_t max_round = 0;
-  std::size_t active = 0;
-  for (std::size_t v = 0; v < n; ++v) {
-    if (start_round[v] == kNoStart) continue;
-    ++active;
-    max_round = std::max(max_round, start_round[v]);
-  }
-  b.max_round = max_round;
-  const std::size_t num_rounds = static_cast<std::size_t>(max_round) + 2;
-  ws.bucket_offsets.assign(num_rounds + 1, 0);
-  for (std::size_t v = 0; v < n; ++v) {
-    if (start_round[v] != kNoStart) ++ws.bucket_offsets[start_round[v] + 1];
-  }
-  for (std::size_t t = 1; t <= num_rounds; ++t) {
-    ws.bucket_offsets[t] += ws.bucket_offsets[t - 1];
-  }
-  ws.bucket_centers.resize(active);
-  ws.bucket_cursor.assign(ws.bucket_offsets.begin(),
-                          ws.bucket_offsets.end() - 1);
-  for (std::size_t v = 0; v < n; ++v) {
-    if (start_round[v] != kNoStart) {
-      ws.bucket_centers[ws.bucket_cursor[start_round[v]]++] =
-          static_cast<vertex_t>(v);
-    }
-  }
-  b.centers = ws.bucket_centers;
-  b.offsets = ws.bucket_offsets;
-  return b;
-}
-
-/// The claim semantics of Algorithm 1 for the traversal engine: a 64-bit
-/// (rank, center) priority word per vertex, lowered by atomic min from the
-/// push path and by a local min from the pull path. Every vertex offered a
-/// claim in round t settles in round t, so claim words never carry state
-/// across rounds for unsettled vertices — which is exactly why push and
-/// pull resolve identical winners.
-struct DelayedBfsVisitor {
-  const CsrGraph& g;
-  std::span<const std::uint32_t> rank;
-  ActivationBuckets buckets;
-  MultiSourceBfsResult& result;
-  std::vector<std::uint64_t>& claim;  // workspace-owned, reset per run
-
-  DelayedBfsVisitor(const CsrGraph& graph,
-                    std::span<const std::uint32_t> start_round,
-                    std::span<const std::uint32_t> rank_in,
-                    MultiSourceBfsResult& out, MultiSourceBfsWorkspace& ws)
-      : g(graph),
-        rank(rank_in),
-        buckets(build_buckets(start_round, ws)),
-        result(out),
-        claim(ws.claim) {
-    claim.assign(g.num_vertices(), kUnclaimed);
-  }
-
-  [[nodiscard]] std::span<const vertex_t> activations(std::uint32_t t) const {
-    return buckets.bucket(t);
-  }
-
-  [[nodiscard]] bool activations_done(std::uint32_t t) const {
-    return buckets.centers.empty() || t > buckets.max_round;
-  }
-
-  [[nodiscard]] bool settled(vertex_t v) const {
-    return atomic_load(result.settle_round[v]) != kInfDist;
-  }
-
-  bool offer_self(vertex_t c) {
-    if (settled(c)) return false;
-    atomic_fetch_min(claim[c], priority_word(rank[c], c));
-    return true;
-  }
-
-  template <typename Emit>
-  void expand(vertex_t u, Emit&& emit) {
-    const vertex_t c = result.owner[u];
-    const std::uint64_t word = priority_word(rank[c], c);
-    for (const vertex_t v : g.neighbors(u)) {
-      if (settled(v)) continue;
-      atomic_fetch_min(claim[v], word);
-      emit(v);
-    }
-  }
-
-  bool pull(vertex_t v, std::uint32_t t) {
-    // Start from any self-activation claim recorded this round, then take
-    // the min over neighbors settled last round. Only this iteration
-    // touches v, so the final word is written without atomics.
-    std::uint64_t word = claim[v];
-    const std::uint32_t prev = t - 1;
-    for (const vertex_t u : g.neighbors(v)) {
-      if (atomic_load(result.settle_round[u]) == prev) {
-        const vertex_t c = result.owner[u];
-        word = std::min(word, priority_word(rank[c], c));
-      }
-    }
-    if (word == kUnclaimed) return false;
-    result.owner[v] = center_of(word);
-    atomic_store(result.settle_round[v], t);
-    return true;
-  }
-
-  void settle(vertex_t v, std::uint32_t t) {
-    result.settle_round[v] = t;
-    result.owner[v] = center_of(claim[v]);
-  }
-};
-
-}  // namespace
-
+// The algorithm body is graph-generic and lives in
+// bfs/multi_source_bfs_impl.hpp (it also runs over storage::PagedGraph
+// for out-of-core decompositions); this translation unit instantiates the
+// in-memory entry point.
 MultiSourceBfsResult delayed_multi_source_bfs(
     const CsrGraph& g, std::span<const std::uint32_t> start_round,
     std::span<const std::uint32_t> rank, std::uint32_t max_rounds,
     TraversalEngine engine, MultiSourceBfsWorkspace* workspace) {
-  const vertex_t n = g.num_vertices();
-  MPX_EXPECTS(start_round.size() == n);
-  MPX_EXPECTS(rank.size() == n);
-
-  MultiSourceBfsWorkspace local;
-  MultiSourceBfsWorkspace& ws = workspace != nullptr ? *workspace : local;
-
-  MultiSourceBfsResult result;
-  result.owner.assign(n, kInvalidVertex);
-  result.settle_round.assign(n, kInfDist);
-
-  DelayedBfsVisitor vis(g, start_round, rank, result, ws);
-  TraversalParams params;
-  params.engine = engine;
-  params.max_rounds = max_rounds;
-  // Priority-word pulls must scan every neighbor (no early exit as in
-  // plain BFS), so bottom-up pays only where offers concentrate on
-  // high-degree vertices: a settled hub is then claimed by one scan
-  // instead of issuing thousands of atomic offers. Gate on degree skew —
-  // near-regular meshes never profit from pulling, skewed graphs do
-  // (measured: auto ~1.5x push on rmat(20), parity on grid2d(3000)).
-  if (engine == TraversalEngine::kAuto && n > 0) {
-    const vertex_t max_degree = parallel_max<vertex_t>(
-        vertex_t{0}, n, vertex_t{0}, [&](vertex_t v) { return g.degree(v); });
-    const double avg_degree =
-        static_cast<double>(g.num_arcs()) / static_cast<double>(n);
-    const bool skewed =
-        avg_degree > 0.0 && static_cast<double>(max_degree) >= 8.0 * avg_degree;
-    params.alpha_div = skewed ? 4 : 1;
-  }
-  const TraversalStats stats = run_traversal(g, vis, params, &ws.traversal);
-
-  result.rounds = stats.rounds;
-  result.pull_rounds = stats.pull_rounds;
-  result.arcs_scanned = stats.arcs_scanned;
-  return result;
+  return detail::delayed_multi_source_bfs_impl(g, start_round, rank,
+                                               max_rounds, engine, workspace);
 }
 
 }  // namespace mpx

@@ -75,6 +75,25 @@ enum class TraversalEngine {
   kPull,  ///< always bottom-up full sweeps (reference / dense workloads)
 };
 
+/// Whether a graph type supports the bottom-up (pull) direction.
+///
+/// Defaults to true; a graph opts out by declaring
+/// `static constexpr bool kSupportsPullTraversal = false;`
+/// (storage::PagedGraph does: a pull round re-scans the adjacency of
+/// every unsettled vertex, which under a bounded block-cache budget
+/// re-decodes most of the file per sweep). On such graphs the engine
+/// silently runs kPull and kAuto as push — results are identical either
+/// way (see the engine-identity note above), only the direction choice
+/// is constrained.
+template <typename Graph>
+inline constexpr bool kGraphSupportsPull = [] {
+  if constexpr (requires { Graph::kSupportsPullTraversal; }) {
+    return static_cast<bool>(Graph::kSupportsPullTraversal);
+  } else {
+    return true;
+  }
+}();
+
 /// Human-readable engine name ("auto", "push", "pull").
 [[nodiscard]] std::string_view traversal_engine_name(TraversalEngine engine);
 
@@ -181,8 +200,8 @@ class UnsettledSet {
 /// candidate words, unsettled-word updates, and per-block counters all go
 /// without atomics. Returns {settled count, settled degree sum} and marks
 /// candidates in `next`.
-template <typename Visitor>
-std::pair<std::size_t, edge_t> pull_sweep(const CsrGraph& g, Visitor& vis,
+template <typename Graph, typename Visitor>
+std::pair<std::size_t, edge_t> pull_sweep(const Graph& g, Visitor& vis,
                                           std::uint32_t t,
                                           UnsettledSet& unsettled,
                                           Frontier& next) {
@@ -266,8 +285,13 @@ struct TraversalWorkspace {
 /// choice, candidate compaction, and work accounting. `workspace`, when
 /// non-null, supplies the frontier/unsettled scratch (reused across calls);
 /// the result is identical with or without it.
-template <typename Visitor>
-TraversalStats run_traversal(const CsrGraph& g, Visitor& vis,
+///
+/// `Graph` is any type exposing the CsrGraph read contract
+/// (num_vertices/num_arcs/degree/neighbors); storage::PagedGraph serves
+/// the same loop out-of-core. Graphs with kGraphSupportsPull == false run
+/// every round top-down (kPull/kAuto degrade to push; see the trait).
+template <typename Graph, typename Visitor>
+TraversalStats run_traversal(const Graph& g, Visitor& vis,
                              const TraversalParams& params = {},
                              TraversalWorkspace* workspace = nullptr) {
   const vertex_t n = g.num_vertices();
@@ -298,24 +322,26 @@ TraversalStats run_traversal(const CsrGraph& g, Visitor& vis,
         bucket.size() + frontier_size < kSerialGrain / 4;
 
     bool use_pull = false;
-    if (t > 0) {  // pull reads "settled at t-1", meaningless at round 0
-      switch (params.engine) {
-        case TraversalEngine::kPush:
-          break;
-        case TraversalEngine::kPull:
-          use_pull = true;
-          break;
-        case TraversalEngine::kAuto:
-          // Beamer: enter bottom-up when the frontier's out-degree is a
-          // large fraction of the unexplored arcs; hysteresis keeps
-          // pulling while the frontier stays a large fraction of V.
-          use_pull =
-              !small_round &&
-              (frontier_degree * params.alpha_div > unexplored_arcs ||
-               (last_pull && static_cast<edge_t>(frontier_size) *
-                                     params.beta_div >
-                                 static_cast<edge_t>(n)));
-          break;
+    if constexpr (kGraphSupportsPull<Graph>) {
+      if (t > 0) {  // pull reads "settled at t-1", meaningless at round 0
+        switch (params.engine) {
+          case TraversalEngine::kPush:
+            break;
+          case TraversalEngine::kPull:
+            use_pull = true;
+            break;
+          case TraversalEngine::kAuto:
+            // Beamer: enter bottom-up when the frontier's out-degree is a
+            // large fraction of the unexplored arcs; hysteresis keeps
+            // pulling while the frontier stays a large fraction of V.
+            use_pull =
+                !small_round &&
+                (frontier_degree * params.alpha_div > unexplored_arcs ||
+                 (last_pull && static_cast<edge_t>(frontier_size) *
+                                       params.beta_div >
+                                   static_cast<edge_t>(n)));
+            break;
+        }
       }
     }
 

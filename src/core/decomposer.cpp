@@ -5,9 +5,11 @@
 
 #include "baselines/ball_growing.hpp"
 #include "baselines/bgkmpt.hpp"
+#include "bfs/multi_source_bfs_impl.hpp"
 #include "core/bucketed_partition.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_env.hpp"
+#include "storage/paged_graph.hpp"
 #include "support/assert.hpp"
 #include "support/timer.hpp"
 
@@ -44,9 +46,13 @@ void owner_radii_from_weighted(const WeightedDecomposition& dec,
   out.radii = dec.dist_to_center;
 }
 
-DecompositionResult run_mpx(const CsrGraph& g, const DecompositionRequest& req,
-                            DecompositionWorkspace& ws,
-                            const ShiftBasis* basis) {
+/// Graph-generic MPX runner: the same phases over any backend exposing
+/// the CsrGraph read contract (in-memory CsrGraph, storage::PagedGraph).
+template <typename Graph>
+DecompositionResult run_mpx_impl(const Graph& g,
+                                 const DecompositionRequest& req,
+                                 DecompositionWorkspace& ws,
+                                 const ShiftBasis* basis) {
   const WallTimer total;
   DecompositionResult result;
   const PartitionOptions opt = req.partition_options();
@@ -56,9 +62,10 @@ DecompositionResult run_mpx(const CsrGraph& g, const DecompositionRequest& req,
   result.telemetry.shift_seconds = phase.seconds();
 
   phase.reset();
-  MultiSourceBfsResult bfs =
-      delayed_multi_source_bfs(g, ws.shifts.start_round, ws.shifts.rank,
-                               kInfDist, req.engine, &ws.bfs);
+  MultiSourceBfsResult bfs = detail::delayed_multi_source_bfs_impl(
+      g, std::span<const std::uint32_t>(ws.shifts.start_round),
+      std::span<const std::uint32_t>(ws.shifts.rank), kInfDist, req.engine,
+      &ws.bfs);
   result.telemetry.search_seconds = phase.seconds();
 
   phase.reset();
@@ -81,6 +88,14 @@ DecompositionResult run_mpx(const CsrGraph& g, const DecompositionRequest& req,
   result.telemetry.arcs_scanned = bfs.arcs_scanned;
   result.telemetry.total_seconds = total.seconds();
   return result;
+}
+
+/// In-memory instantiation, with the concrete signature the registry's
+/// function pointers require.
+DecompositionResult run_mpx(const CsrGraph& g, const DecompositionRequest& req,
+                            DecompositionWorkspace& ws,
+                            const ShiftBasis* basis) {
+  return run_mpx_impl(g, req, ws, basis);
 }
 
 DecompositionResult run_ball_growing(const CsrGraph& g,
@@ -314,6 +329,28 @@ DecompositionResult decompose(const WeightedCsrGraph& g,
       entry.run_weighted != nullptr
           ? entry.run_weighted(g, req, ws, use_basis)
           : entry.run_unweighted(g.topology(), req, ws, use_basis);
+  stamp(result, req);
+  return result;
+}
+
+DecompositionResult decompose(const storage::PagedGraph& g,
+                              const DecompositionRequest& req,
+                              DecompositionWorkspace* workspace,
+                              const ShiftBasis* basis) {
+  validate_request(req);
+  if (req.algorithm != "mpx") {
+    throw std::invalid_argument(
+        "mpx: algorithm '" + req.algorithm +
+        "' is not served out-of-core; only \"mpx\" runs on a paged graph");
+  }
+  DecompositionWorkspace local;
+  DecompositionWorkspace& ws = workspace != nullptr ? *workspace : local;
+  const storage::ShardedBlockCache::Stats before = g.cache().stats();
+  DecompositionResult result = run_mpx_impl(g, req, ws, basis);
+  const storage::ShardedBlockCache::Stats after = g.cache().stats();
+  result.telemetry.cache_hits = after.hits - before.hits;
+  result.telemetry.cache_misses = after.misses - before.misses;
+  result.telemetry.cache_evictions = after.evictions - before.evictions;
   stamp(result, req);
   return result;
 }

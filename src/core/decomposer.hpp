@@ -48,6 +48,10 @@
 
 namespace mpx {
 
+namespace storage {
+class PagedGraph;
+}  // namespace storage
+
 /// What to run: the one request shape every entry point understands.
 struct DecompositionRequest {
   /// Registry id; see registered_algorithms().
@@ -195,6 +199,18 @@ void owner_settle_from_decomposition(const Decomposition& dec,
 /// topology; weighted algorithms fill radii.
 [[nodiscard]] DecompositionResult decompose(
     const WeightedCsrGraph& g, const DecompositionRequest& req,
+    DecompositionWorkspace* workspace = nullptr,
+    const ShiftBasis* basis = nullptr);
+
+/// Run `req` against an out-of-core paged graph (storage/paged_graph.hpp).
+/// Only "mpx" is served paged — the other algorithms have not been ported
+/// to the templated traversal path — so any other algorithm id throws
+/// std::invalid_argument. Owner/settle output is byte-identical to the
+/// in-memory run for the same request at any thread count and any cache
+/// budget; telemetry additionally carries the block-cache hit/miss/
+/// eviction deltas of this run.
+[[nodiscard]] DecompositionResult decompose(
+    const storage::PagedGraph& g, const DecompositionRequest& req,
     DecompositionWorkspace* workspace = nullptr,
     const ShiftBasis* basis = nullptr);
 

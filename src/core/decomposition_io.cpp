@@ -121,6 +121,12 @@ void parse_telemetry_line(const std::string& key, std::istringstream& row,
     read_u32(t.phases);
   } else if (key == "arcs_scanned") {
     t.arcs_scanned = read_uint(std::numeric_limits<edge_t>::max());
+  } else if (key == "cache_hits") {
+    t.cache_hits = read_uint(std::numeric_limits<std::uint64_t>::max());
+  } else if (key == "cache_misses") {
+    t.cache_misses = read_uint(std::numeric_limits<std::uint64_t>::max());
+  } else if (key == "cache_evictions") {
+    t.cache_evictions = read_uint(std::numeric_limits<std::uint64_t>::max());
   } else if (key == "shift_seconds") {
     read_double(t.shift_seconds);
   } else if (key == "shift_draw_seconds") {
@@ -170,6 +176,15 @@ void write_decomposition(std::ostream& out, const Decomposition& dec,
   out << "#! pull_rounds " << telemetry.pull_rounds << '\n';
   out << "#! phases " << telemetry.phases << '\n';
   out << "#! arcs_scanned " << telemetry.arcs_scanned << '\n';
+  // Block-cache counters only appear for paged (out-of-core) runs, so
+  // telemetry blocks written by in-memory runs — including the golden
+  // fixtures — keep their historical bytes.
+  if (telemetry.cache_hits != 0 || telemetry.cache_misses != 0 ||
+      telemetry.cache_evictions != 0) {
+    out << "#! cache_hits " << telemetry.cache_hits << '\n';
+    out << "#! cache_misses " << telemetry.cache_misses << '\n';
+    out << "#! cache_evictions " << telemetry.cache_evictions << '\n';
+  }
   out << "#! shift_seconds " << format_double(telemetry.shift_seconds) << '\n';
   out << "#! shift_draw_seconds "
       << format_double(telemetry.shift_draw_seconds) << '\n';

@@ -8,6 +8,8 @@
 #include "apps/distance_oracle.hpp"
 #include "core/decomposition_io.hpp"
 #include "graph/snapshot.hpp"
+#include "graph/snapshot_blocks.hpp"
+#include "storage/paged_graph.hpp"
 #include "support/assert.hpp"
 
 namespace mpx {
@@ -18,9 +20,29 @@ DecompositionSession::DecompositionSession(CsrGraph g)
 DecompositionSession::DecompositionSession(WeightedCsrGraph g)
     : wgraph_(std::move(g)), weighted_(true) {}
 
+DecompositionSession::DecompositionSession(
+    std::shared_ptr<storage::PagedGraph> g)
+    : pgraph_(std::move(g)), weighted_(false) {
+  MPX_EXPECTS(pgraph_ != nullptr);
+}
+
 DecompositionSession DecompositionSession::open_snapshot(
     const std::string& path) {
+  return open_snapshot(path, SessionConfig{});
+}
+
+DecompositionSession DecompositionSession::open_snapshot(
+    const std::string& path, const SessionConfig& config) {
   const io::SnapshotInfo info = io::read_snapshot_info(path);
+  // Paged mode: a cold unweighted snapshot that would not fit the budget
+  // materialized. Weighted cold files materialize regardless (the
+  // weighted algorithms run on in-memory graphs only — SessionConfig).
+  if (config.memory_budget_bytes > 0 && info.cold() && !info.weighted() &&
+      info.resident_bytes_estimate() > config.memory_budget_bytes) {
+    auto reader = std::make_shared<const io::SnapshotBlockReader>(path);
+    return DecompositionSession(std::make_shared<storage::PagedGraph>(
+        std::move(reader), config.memory_budget_bytes));
+  }
   if (info.weighted()) {
     return DecompositionSession(io::map_weighted_snapshot(path));
   }
@@ -34,12 +56,36 @@ DecompositionSession& DecompositionSession::operator=(
 DecompositionSession::~DecompositionSession() = default;
 
 const CsrGraph& DecompositionSession::topology() const {
+  if (paged()) {
+    throw std::logic_error(
+        "mpx: topology() is unavailable on a paged session — the graph is "
+        "never fully resident; use num_vertices()/num_edges() and the query "
+        "surface");
+  }
   return weighted_ ? wgraph_.topology() : graph_;
 }
 
 const WeightedCsrGraph& DecompositionSession::weighted_graph() const {
   MPX_EXPECTS(weighted_);
   return wgraph_;
+}
+
+const storage::PagedGraph& DecompositionSession::paged_graph() const {
+  MPX_EXPECTS(paged());
+  return *pgraph_;
+}
+
+vertex_t DecompositionSession::num_vertices() const {
+  return paged() ? pgraph_->num_vertices() : topology().num_vertices();
+}
+
+edge_t DecompositionSession::num_edges() const {
+  return paged() ? pgraph_->num_edges() : topology().num_edges();
+}
+
+storage::ShardedBlockCache::Stats DecompositionSession::cache_stats() const {
+  return paged() ? pgraph_->cache().stats()
+                 : storage::ShardedBlockCache::Stats{};
 }
 
 DecompositionSession::Key DecompositionSession::key_of(
@@ -56,8 +102,9 @@ DecompositionSession::CacheEntry& DecompositionSession::entry_for(
   const auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
   CacheEntry entry;
-  entry.result = weighted_ ? decompose(wgraph_, req, &workspace_, basis)
-                           : decompose(graph_, req, &workspace_, basis);
+  entry.result = paged()    ? decompose(*pgraph_, req, &workspace_, basis)
+                 : weighted_ ? decompose(wgraph_, req, &workspace_, basis)
+                             : decompose(graph_, req, &workspace_, basis);
   return cache_.emplace(key, std::move(entry)).first->second;
 }
 
@@ -66,7 +113,7 @@ const ShiftBasis& DecompositionSession::basis_for(
   const auto key = std::make_pair(req.seed, static_cast<int>(req.distribution));
   const auto it = bases_.find(key);
   if (it != bases_.end()) return it->second;
-  return bases_.emplace(key, make_shift_basis(topology().num_vertices(),
+  return bases_.emplace(key, make_shift_basis(num_vertices(),
                                               req.partition_options()))
       .first->second;
 }
@@ -118,13 +165,13 @@ void DecompositionSession::clear_cache() {
 
 vertex_t DecompositionSession::owner_of(vertex_t v,
                                         const DecompositionRequest& req) {
-  MPX_EXPECTS(v < topology().num_vertices());
+  MPX_EXPECTS(v < num_vertices());
   return run(req).owner[v];
 }
 
 cluster_t DecompositionSession::cluster_of(vertex_t v,
                                            const DecompositionRequest& req) {
-  MPX_EXPECTS(v < topology().num_vertices());
+  MPX_EXPECTS(v < num_vertices());
   return run(req).cluster_of(v);
 }
 
@@ -132,21 +179,13 @@ cluster_t DecompositionSession::num_clusters(const DecompositionRequest& req) {
   return run(req).num_clusters();
 }
 
-std::vector<Edge> compute_boundary_edges(const CsrGraph& topology,
-                                         const DecompositionResult& result) {
-  std::vector<Edge> boundary;
-  const std::vector<vertex_t>& owner = result.owner;
-  for (vertex_t u = 0; u < topology.num_vertices(); ++u) {
-    for (const vertex_t v : topology.neighbors(u)) {
-      if (u < v && owner[u] != owner[v]) boundary.push_back({u, v});
-    }
-  }
-  return boundary;
-}
+// compute_boundary_edges is a template now (core/session.hpp): the same
+// scan serves in-memory and paged topologies.
 
 std::vector<Edge> DecompositionSession::compute_boundary(
     const DecompositionResult& result) const {
-  return compute_boundary_edges(topology(), result);
+  return paged() ? compute_boundary_edges(*pgraph_, result)
+                 : compute_boundary_edges(topology(), result);
 }
 
 std::span<const Edge> DecompositionSession::boundary_arcs(
@@ -161,8 +200,7 @@ std::span<const Edge> DecompositionSession::boundary_arcs(
 
 std::uint32_t DecompositionSession::estimate_distance(
     vertex_t u, vertex_t v, const DecompositionRequest& req) {
-  MPX_EXPECTS(u < topology().num_vertices() &&
-              v < topology().num_vertices());
+  MPX_EXPECTS(u < num_vertices() && v < num_vertices());
   validate_request(req);
   CacheEntry& entry = entry_for(req);
   if (entry.result.weighted()) {
@@ -171,8 +209,11 @@ std::uint32_t DecompositionSession::estimate_distance(
         req.algorithm + "' produces real-valued radii");
   }
   if (entry.oracle == nullptr) {
-    entry.oracle = std::make_unique<DistanceOracle>(
-        topology(), entry.result.decomposition);
+    entry.oracle = paged()
+                       ? std::make_unique<DistanceOracle>(
+                             *pgraph_, entry.result.decomposition)
+                       : std::make_unique<DistanceOracle>(
+                             topology(), entry.result.decomposition);
   }
   return entry.oracle->estimate(u, v);
 }
@@ -185,8 +226,11 @@ const DecompositionResult& DecompositionSession::materialize(
     entry.boundary = compute_boundary(entry.result);
   }
   if (!entry.result.weighted() && entry.oracle == nullptr) {
-    entry.oracle = std::make_unique<DistanceOracle>(
-        topology(), entry.result.decomposition);
+    entry.oracle = paged()
+                       ? std::make_unique<DistanceOracle>(
+                             *pgraph_, entry.result.decomposition)
+                       : std::make_unique<DistanceOracle>(
+                             topology(), entry.result.decomposition);
   }
   return entry.result;
 }
@@ -217,13 +261,13 @@ DecompositionSession::materialized_entry(
 
 vertex_t DecompositionSession::owner_of(vertex_t v,
                                         const DecompositionRequest& req) const {
-  MPX_EXPECTS(v < topology().num_vertices());
+  MPX_EXPECTS(v < num_vertices());
   return materialized_entry(req).result.owner[v];
 }
 
 cluster_t DecompositionSession::cluster_of(
     vertex_t v, const DecompositionRequest& req) const {
-  MPX_EXPECTS(v < topology().num_vertices());
+  MPX_EXPECTS(v < num_vertices());
   return materialized_entry(req).result.cluster_of(v);
 }
 
@@ -239,8 +283,7 @@ std::span<const Edge> DecompositionSession::boundary_arcs(
 
 std::uint32_t DecompositionSession::estimate_distance(
     vertex_t u, vertex_t v, const DecompositionRequest& req) const {
-  MPX_EXPECTS(u < topology().num_vertices() &&
-              v < topology().num_vertices());
+  MPX_EXPECTS(u < num_vertices() && v < num_vertices());
   const CacheEntry& entry = materialized_entry(req);
   if (entry.result.weighted()) {
     throw std::invalid_argument(
@@ -324,7 +367,7 @@ bool DecompositionSession::load_cached(const DecompositionRequest& req,
   // reference into that entry valid (the documented lifetime contract).
   if (cache_.find(key_of(req)) != cache_.end()) return true;
   CacheEntry entry;
-  if (!load_saved_result(req, path, topology().num_vertices(), entry.result)) {
+  if (!load_saved_result(req, path, num_vertices(), entry.result)) {
     return false;
   }
   cache_.emplace(key_of(req), std::move(entry));
@@ -335,6 +378,16 @@ bool DecompositionSession::load_cached(const DecompositionRequest& req,
 
 MaterializedDecomposition::MaterializedDecomposition(const CsrGraph& topology,
                                                      DecompositionResult result)
+    : result_(std::move(result)),
+      boundary_(compute_boundary_edges(topology, result_)) {
+  if (!result_.weighted()) {
+    oracle_ =
+        std::make_unique<DistanceOracle>(topology, result_.decomposition);
+  }
+}
+
+MaterializedDecomposition::MaterializedDecomposition(
+    const storage::PagedGraph& topology, DecompositionResult result)
     : result_(std::move(result)),
       boundary_(compute_boundary_edges(topology, result_)) {
   if (!result_.weighted()) {
@@ -377,10 +430,34 @@ SharedResultStore::SharedResultStore(CsrGraph g)
 SharedResultStore::SharedResultStore(WeightedCsrGraph g)
     : wgraph_(std::move(g)), weighted_(true) {}
 
+SharedResultStore::SharedResultStore(std::shared_ptr<storage::PagedGraph> g)
+    : pgraph_(std::move(g)), weighted_(false) {
+  MPX_EXPECTS(pgraph_ != nullptr);
+}
+
 SharedResultStore::~SharedResultStore() = default;
 
 const CsrGraph& SharedResultStore::topology() const {
+  if (paged()) {
+    throw std::logic_error(
+        "mpx: topology() is unavailable on a paged store — the graph is "
+        "never fully resident; use num_vertices()/num_edges() and the "
+        "materialized query surface");
+  }
   return weighted_ ? wgraph_.topology() : graph_;
+}
+
+vertex_t SharedResultStore::num_vertices() const {
+  return paged() ? pgraph_->num_vertices() : topology().num_vertices();
+}
+
+edge_t SharedResultStore::num_edges() const {
+  return paged() ? pgraph_->num_edges() : topology().num_edges();
+}
+
+storage::ShardedBlockCache::Stats SharedResultStore::cache_stats() const {
+  return paged() ? pgraph_->cache().stats()
+                 : storage::ShardedBlockCache::Stats{};
 }
 
 const WeightedCsrGraph& SharedResultStore::weighted_graph() const {
@@ -401,7 +478,7 @@ const ShiftBasis& SharedResultStore::basis_for_locked(
   const auto key = std::make_pair(req.seed, static_cast<int>(req.distribution));
   const auto it = bases_.find(key);
   if (it != bases_.end()) return it->second;
-  return bases_.emplace(key, make_shift_basis(topology().num_vertices(),
+  return bases_.emplace(key, make_shift_basis(num_vertices(),
                                               req.partition_options()))
       .first->second;
 }
@@ -415,6 +492,11 @@ SharedResultStore::compute_locked(const DecompositionRequest& req) {
   const AlgorithmInfo* info = find_algorithm(req.algorithm);
   const ShiftBasis* basis =
       info != nullptr && info->uses_shifts ? &basis_for_locked(req) : nullptr;
+  if (paged()) {
+    DecompositionResult result = decompose(*pgraph_, req, &workspace_, basis);
+    return std::make_shared<const MaterializedDecomposition>(
+        *pgraph_, std::move(result));
+  }
   DecompositionResult result = weighted_
                                    ? decompose(wgraph_, req, &workspace_, basis)
                                    : decompose(graph_, req, &workspace_, basis);
@@ -493,11 +575,14 @@ bool SharedResultStore::load_cached(const DecompositionRequest& req,
     if (entries_.find(key) != entries_.end()) return true;
   }
   DecompositionResult result;
-  if (!load_saved_result(req, path, topology().num_vertices(), result)) {
+  if (!load_saved_result(req, path, num_vertices(), result)) {
     return false;
   }
-  auto built = std::make_shared<const MaterializedDecomposition>(
-      topology(), std::move(result));
+  auto built =
+      paged() ? std::make_shared<const MaterializedDecomposition>(
+                    *pgraph_, std::move(result))
+              : std::make_shared<const MaterializedDecomposition>(
+                    topology(), std::move(result));
   std::lock_guard<std::mutex> lock(mutex_);
   // A concurrent load or compute may have published first; the resident
   // entry wins (results are deterministic in the request).

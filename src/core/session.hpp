@@ -59,10 +59,29 @@
 #include "core/decomposer.hpp"
 #include "graph/builder.hpp"
 #include "graph/csr_graph.hpp"
+#include "storage/block_cache.hpp"
 
 namespace mpx {
 
 class DistanceOracle;
+
+namespace storage {
+class PagedGraph;
+}  // namespace storage
+
+/// How a session (or store/server) opens its snapshot.
+struct SessionConfig {
+  /// Byte budget for decoded cold-tier blocks. 0 (default) always
+  /// materializes the full graph in memory. Nonzero: when the snapshot is
+  /// an unweighted cold-tier file whose full-residency estimate
+  /// (io::SnapshotInfo::resident_bytes_estimate) exceeds the budget, the
+  /// session serves it **paged** — only the offsets array plus at most
+  /// this many bytes of decoded targets are resident at a time. Weighted
+  /// cold snapshots still materialize (the weighted algorithms have not
+  /// been ported to the paged traversal path); hot snapshots always map
+  /// zero-copy.
+  std::uint64_t memory_budget_bytes = 0;
+};
 
 class DecompositionSession {
  public:
@@ -71,11 +90,20 @@ class DecompositionSession {
   /// Serve decompositions of a weighted graph (weighted algorithms become
   /// available; unweighted ones run on the topology).
   explicit DecompositionSession(WeightedCsrGraph g);
+  /// Serve decompositions of an out-of-core paged graph. Only "mpx" runs
+  /// (decompose() throws for other algorithms) and topology() is
+  /// unavailable; the query surface (cluster/boundary/distance) works.
+  explicit DecompositionSession(std::shared_ptr<storage::PagedGraph> g);
   /// Open a `.mpxs` snapshot zero-copy (io::map_snapshot); the weighted
   /// flag in the header selects the graph type. Throws std::runtime_error
   /// on unreadable or corrupt snapshots.
   [[nodiscard]] static DecompositionSession open_snapshot(
       const std::string& path);
+  /// Open a snapshot under a memory budget: serves cold unweighted
+  /// snapshots larger than `config.memory_budget_bytes` paged (see
+  /// SessionConfig), everything else like open_snapshot(path).
+  [[nodiscard]] static DecompositionSession open_snapshot(
+      const std::string& path, const SessionConfig& config);
 
   DecompositionSession(DecompositionSession&&) noexcept;
   DecompositionSession& operator=(DecompositionSession&&) noexcept;
@@ -83,12 +111,25 @@ class DecompositionSession {
   DecompositionSession& operator=(const DecompositionSession&) = delete;
   ~DecompositionSession();
 
-  /// The graph's unweighted topology (always available).
+  /// The graph's in-memory unweighted topology. Throws std::logic_error
+  /// for paged sessions (there is no materialized CsrGraph to hand out —
+  /// use num_vertices()/num_arcs() and the query surface instead).
   [[nodiscard]] const CsrGraph& topology() const;
   /// True when the session holds edge weights.
   [[nodiscard]] bool weighted() const { return weighted_; }
   /// The weighted graph; requires weighted().
   [[nodiscard]] const WeightedCsrGraph& weighted_graph() const;
+  /// True when the session serves its graph out-of-core (see
+  /// SessionConfig::memory_budget_bytes).
+  [[nodiscard]] bool paged() const { return pgraph_ != nullptr; }
+  /// The paged graph; requires paged().
+  [[nodiscard]] const storage::PagedGraph& paged_graph() const;
+  /// Number of vertices, on every backend (in-memory or paged).
+  [[nodiscard]] vertex_t num_vertices() const;
+  /// Number of undirected edges, on every backend.
+  [[nodiscard]] edge_t num_edges() const;
+  /// Lifetime block-cache counters; all-zero for non-paged sessions.
+  [[nodiscard]] storage::ShardedBlockCache::Stats cache_stats() const;
 
   /// Run (or fetch from cache) the decomposition for `req`. The returned
   /// reference stays valid until clear_cache() or session destruction.
@@ -199,6 +240,7 @@ class DecompositionSession {
 
   CsrGraph graph_;            // unweighted sessions
   WeightedCsrGraph wgraph_;   // weighted sessions
+  std::shared_ptr<storage::PagedGraph> pgraph_;  // paged sessions
   bool weighted_ = false;
   DecompositionWorkspace workspace_;
   std::map<Key, CacheEntry> cache_;
@@ -210,8 +252,21 @@ class DecompositionSession {
 /// edges {u, v} (u < v) whose endpoints lie in different clusters, in
 /// (u, v) order — the beta-fraction boundary of Definition 1.1. Shared by
 /// DecompositionSession's lazy/eager builders and MaterializedDecomposition.
+/// `Graph` is any backend exposing the CsrGraph read contract; the scan
+/// streams each adjacency list once in ascending vertex order, which is
+/// the block-cache-friendly order on storage::PagedGraph.
+template <typename Graph>
 [[nodiscard]] std::vector<Edge> compute_boundary_edges(
-    const CsrGraph& topology, const DecompositionResult& result);
+    const Graph& topology, const DecompositionResult& result) {
+  std::vector<Edge> boundary;
+  const std::vector<vertex_t>& owner = result.owner;
+  for (vertex_t u = 0; u < topology.num_vertices(); ++u) {
+    for (const vertex_t v : topology.neighbors(u)) {
+      if (u < v && owner[u] != owner[v]) boundary.push_back({u, v});
+    }
+  }
+  return boundary;
+}
 
 /// One fully materialized decomposition: the result plus every artifact
 /// the session's const query path reads — the boundary edge list and, for
@@ -225,6 +280,12 @@ class MaterializedDecomposition {
   /// Build every query artifact for `result` over `topology`. `topology`
   /// is only read during construction.
   MaterializedDecomposition(const CsrGraph& topology,
+                            DecompositionResult result);
+
+  /// Same, over a paged graph: the boundary scan and the oracle's center
+  /// graph stream the adjacency block-at-a-time, so materialization works
+  /// within the cache budget too.
+  MaterializedDecomposition(const storage::PagedGraph& topology,
                             DecompositionResult result);
 
   MaterializedDecomposition(MaterializedDecomposition&&) noexcept = default;
@@ -281,17 +342,29 @@ class SharedResultStore {
   explicit SharedResultStore(CsrGraph g);
   /// Serve decompositions of a weighted graph.
   explicit SharedResultStore(WeightedCsrGraph g);
+  /// Serve decompositions of an out-of-core paged graph (only "mpx"
+  /// computes; see the paged decompose() overload).
+  explicit SharedResultStore(std::shared_ptr<storage::PagedGraph> g);
   ~SharedResultStore();
 
   SharedResultStore(const SharedResultStore&) = delete;
   SharedResultStore& operator=(const SharedResultStore&) = delete;
 
-  /// The graph's unweighted topology (always available).
+  /// The graph's in-memory unweighted topology. Throws std::logic_error
+  /// for paged stores (use num_vertices()/num_edges()).
   [[nodiscard]] const CsrGraph& topology() const;
   /// True when the store holds edge weights.
   [[nodiscard]] bool weighted() const { return weighted_; }
   /// The weighted graph; requires weighted().
   [[nodiscard]] const WeightedCsrGraph& weighted_graph() const;
+  /// True when the store serves its graph out-of-core.
+  [[nodiscard]] bool paged() const { return pgraph_ != nullptr; }
+  /// Number of vertices, on every backend (in-memory or paged).
+  [[nodiscard]] vertex_t num_vertices() const;
+  /// Number of undirected edges, on every backend.
+  [[nodiscard]] edge_t num_edges() const;
+  /// Lifetime block-cache counters; all-zero for non-paged stores.
+  [[nodiscard]] storage::ShardedBlockCache::Stats cache_stats() const;
 
   /// An acquired entry plus whether it was answered without running the
   /// decomposition for this call (a prior compute, a warm-start load, or
@@ -347,6 +420,7 @@ class SharedResultStore {
 
   CsrGraph graph_;            // unweighted stores
   WeightedCsrGraph wgraph_;   // weighted stores
+  std::shared_ptr<storage::PagedGraph> pgraph_;  // paged stores
   bool weighted_ = false;
 
   /// Serializes decompositions (workspace_ and bases_ are only touched

@@ -30,6 +30,12 @@ struct RunTelemetry {
   std::uint32_t phases = 1;
   /// Arcs scanned by the search (the O(m) work proxy; 0 for non-BFS runs).
   edge_t arcs_scanned = 0;
+  /// Block-cache counters for out-of-core (paged) runs: pins served
+  /// resident, pins that decoded a block, and blocks evicted by the byte
+  /// budget during this run. All zero for in-memory runs.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;   ///< see cache_hits
+  std::uint64_t cache_evictions = 0;  ///< see cache_hits
   /// Per-phase wall timings, in seconds.
   double shift_seconds = 0.0;      ///< drawing/deriving the random shifts
   /// Breakdown of shift_seconds (zero for algorithms without shifts):

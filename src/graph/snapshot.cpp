@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <numeric>
 #include <span>
 #include <stdexcept>
 #include <utility>
@@ -487,8 +488,110 @@ void save_snapshot(const std::string& path, const WeightedCsrGraph& g) {
                 g.weights(), /*weighted=*/true);
 }
 
+std::vector<vertex_t> degree_descending_permutation(const CsrGraph& g) {
+  const vertex_t n = g.num_vertices();
+  std::vector<vertex_t> order(n);
+  std::iota(order.begin(), order.end(), vertex_t{0});
+  // stable_sort on strict degree-descending leaves equal degrees in old-id
+  // ascending order — the documented tie-break.
+  std::stable_sort(order.begin(), order.end(), [&](vertex_t a, vertex_t b) {
+    return g.degree(a) > g.degree(b);
+  });
+  std::vector<vertex_t> new_of_old(n);
+  for (vertex_t nv = 0; nv < n; ++nv) new_of_old[order[nv]] = nv;
+  return new_of_old;
+}
+
+namespace {
+
+/// Validate `new_of_old` as a permutation of [0, n) and return its
+/// inverse (`old_of_new`), the iteration order both relabelers need.
+std::vector<vertex_t> invert_permutation_or_throw(
+    vertex_t n, std::span<const vertex_t> new_of_old) {
+  if (new_of_old.size() != n) {
+    throw std::invalid_argument(
+        "mpx::io: apply_vertex_permutation: permutation has " +
+        std::to_string(new_of_old.size()) + " entries for a graph with " +
+        std::to_string(n) + " vertices");
+  }
+  std::vector<vertex_t> old_of_new(n, n);  // n = unassigned sentinel
+  for (vertex_t old = 0; old < n; ++old) {
+    const vertex_t nv = new_of_old[old];
+    if (nv >= n || old_of_new[nv] != n) {
+      throw std::invalid_argument(
+          "mpx::io: apply_vertex_permutation: not a permutation of [0, n)");
+    }
+    old_of_new[nv] = old;
+  }
+  return old_of_new;
+}
+
+}  // namespace
+
+CsrGraph apply_vertex_permutation(const CsrGraph& g,
+                                  std::span<const vertex_t> new_of_old) {
+  const vertex_t n = g.num_vertices();
+  const std::vector<vertex_t> old_of_new =
+      invert_permutation_or_throw(n, new_of_old);
+  std::vector<edge_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (vertex_t nv = 0; nv < n; ++nv) {
+    offsets[nv + 1] = offsets[nv] + g.degree(old_of_new[nv]);
+  }
+  std::vector<vertex_t> targets(g.num_arcs());
+  for (vertex_t nv = 0; nv < n; ++nv) {
+    const auto run = g.neighbors(old_of_new[nv]);
+    vertex_t* out = targets.data() + offsets[nv];
+    for (std::size_t i = 0; i < run.size(); ++i) out[i] = new_of_old[run[i]];
+    std::sort(out, out + run.size());
+  }
+  return CsrGraph(std::move(offsets), std::move(targets));
+}
+
+WeightedCsrGraph apply_vertex_permutation(
+    const WeightedCsrGraph& g, std::span<const vertex_t> new_of_old) {
+  const CsrGraph& topo = g.topology();
+  const vertex_t n = topo.num_vertices();
+  const std::vector<vertex_t> old_of_new =
+      invert_permutation_or_throw(n, new_of_old);
+  std::vector<edge_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (vertex_t nv = 0; nv < n; ++nv) {
+    offsets[nv + 1] = offsets[nv] + topo.degree(old_of_new[nv]);
+  }
+  std::vector<vertex_t> targets(topo.num_arcs());
+  std::vector<double> weights(topo.num_arcs());
+  std::vector<std::pair<vertex_t, double>> row;
+  for (vertex_t nv = 0; nv < n; ++nv) {
+    const vertex_t old = old_of_new[nv];
+    const auto run = topo.neighbors(old);
+    const auto w = g.arc_weights(old);
+    row.clear();
+    row.reserve(run.size());
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      row.emplace_back(new_of_old[run[i]], w[i]);
+    }
+    // Sort by relabeled target; pair ordering keeps parallel-edge weights
+    // deterministically ordered too.
+    std::sort(row.begin(), row.end());
+    const edge_t base = offsets[nv];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      targets[base + i] = row[i].first;
+      weights[base + i] = row[i].second;
+    }
+  }
+  return WeightedCsrGraph(CsrGraph(std::move(offsets), std::move(targets)),
+                          std::move(weights));
+}
+
 void save_snapshot(const std::string& path, const CsrGraph& g,
                    const SnapshotWriteOptions& options) {
+  if (options.placement == SnapshotPlacement::kDegreeDescending) {
+    SnapshotWriteOptions placed = options;
+    placed.placement = SnapshotPlacement::kAsIs;
+    save_snapshot(path,
+                  apply_vertex_permutation(g, degree_descending_permutation(g)),
+                  placed);
+    return;
+  }
   if (options.version == kSnapshotVersion) {
     if (options.tier != SnapshotTier::kHot) {
       snap_fail(path, "the cold tier requires format version 2");
@@ -507,6 +610,15 @@ void save_snapshot(const std::string& path, const CsrGraph& g,
 
 void save_snapshot(const std::string& path, const WeightedCsrGraph& g,
                    const SnapshotWriteOptions& options) {
+  if (options.placement == SnapshotPlacement::kDegreeDescending) {
+    SnapshotWriteOptions placed = options;
+    placed.placement = SnapshotPlacement::kAsIs;
+    save_snapshot(
+        path,
+        apply_vertex_permutation(g, degree_descending_permutation(g.topology())),
+        placed);
+    return;
+  }
   if (options.version == kSnapshotVersion) {
     if (options.tier != SnapshotTier::kHot) {
       snap_fail(path, "the cold tier requires format version 2");

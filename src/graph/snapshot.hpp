@@ -30,7 +30,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "graph/csr_graph.hpp"
 #include "graph/snapshot_codec.hpp"
@@ -175,6 +177,19 @@ enum class SnapshotTier {
   kCold,  ///< Compressed offsets/targets with a per-block index.
 };
 
+/// How the writer places vertices (and thus arcs into cold-tier blocks).
+enum class SnapshotPlacement {
+  /// Keep the graph's vertex ids as given (the historical behavior).
+  kAsIs,
+  /// Relabel vertices in descending-degree order (ties broken by
+  /// ascending old id) before writing. High-degree adjacency lists land
+  /// in the first cold-tier blocks, so a bounded block cache keeps the
+  /// hubs — the lists every traversal touches most — resident.
+  /// **Vertex ids in the written file differ from the input graph's**:
+  /// new id = rank of the old vertex under (degree desc, old id asc).
+  kDegreeDescending,
+};
+
 /// Options for the 3-argument `save_snapshot` overloads.
 struct SnapshotWriteOptions {
   /// Format version to write: kSnapshotVersion (1, hot only) or
@@ -185,6 +200,8 @@ struct SnapshotWriteOptions {
   /// Arcs per cold-tier block; ignored for the hot tier. Must lie in
   /// [2, kSnapshotMaxBlockSize].
   std::uint32_t block_size = codec::kDefaultBlockSize;
+  /// Vertex placement applied before writing (see SnapshotPlacement).
+  SnapshotPlacement placement = SnapshotPlacement::kAsIs;
 };
 
 /// Version-agnostic decoded header plus file size — what `snapshot_tool
@@ -216,6 +233,17 @@ struct SnapshotInfo {
   [[nodiscard]] bool cold() const {
     return (flags & kSnapshotFlagColdTargets) != 0;
   }
+
+  /// Bytes the graph occupies when fully materialized in memory:
+  /// (n + 1) * 8 offsets + num_arcs * 4 targets, plus num_arcs * 8 when
+  /// weighted. For a cold file this is what `load_snapshot` allocates and
+  /// the yardstick `SessionConfig::memory_budget_bytes` is compared
+  /// against; for v1/hot files it equals the section payload bytes.
+  [[nodiscard]] std::uint64_t resident_bytes_estimate() const {
+    std::uint64_t bytes = (num_vertices + 1) * 8 + num_arcs * 4;
+    if (weighted()) bytes += num_arcs * 8;
+    return bytes;
+  }
 };
 
 /// Write `g` as a version-1 snapshot. Overwrites `path`. Throws
@@ -225,15 +253,34 @@ void save_snapshot(const std::string& path, const CsrGraph& g);
 /// section.
 void save_snapshot(const std::string& path, const WeightedCsrGraph& g);
 
-/// Write `g` per `options` (format version + tier). Throws
+/// Write `g` per `options` (format version + tier + placement). Throws
 /// std::runtime_error on I/O failure or inconsistent options (e.g. cold
-/// tier with version 1).
+/// tier with version 1). With SnapshotPlacement::kDegreeDescending the
+/// written file's vertex ids are the relabeled ones.
 void save_snapshot(const std::string& path, const CsrGraph& g,
                    const SnapshotWriteOptions& options);
 /// Weighted overload of the options-taking writer; the weights section is
 /// stored raw (f64) in both tiers.
 void save_snapshot(const std::string& path, const WeightedCsrGraph& g,
                    const SnapshotWriteOptions& options);
+
+/// The SnapshotPlacement::kDegreeDescending relabeling for `g`: returns
+/// `new_of_old` with `new_of_old[v]` = v's new id, i.e. v's rank under
+/// (degree descending, old id ascending). Feed it to
+/// `apply_vertex_permutation` to build the relabeled graph.
+[[nodiscard]] std::vector<vertex_t> degree_descending_permutation(
+    const CsrGraph& g);
+
+/// Relabel `g`'s vertices by `new_of_old` (a permutation of [0, n):
+/// `new_of_old[old_id]` = new id). The result is the isomorphic graph with
+/// each adjacency list re-sorted ascending under the new ids. Throws
+/// std::invalid_argument when `new_of_old` is not a permutation of [0, n).
+[[nodiscard]] CsrGraph apply_vertex_permutation(
+    const CsrGraph& g, std::span<const vertex_t> new_of_old);
+/// Weighted counterpart: each arc's weight travels with its (re-sorted)
+/// target.
+[[nodiscard]] WeightedCsrGraph apply_vertex_permutation(
+    const WeightedCsrGraph& g, std::span<const vertex_t> new_of_old);
 
 /// Read an unweighted snapshot (any version, either tier) into owned
 /// buffers. Verifies the checksums and the CSR structure; a cold-tier file

@@ -120,6 +120,18 @@ class SnapshotBlockReader {
 /// `SnapshotBlockReader`). Spans returned by `block`/`neighbors` stay
 /// valid only until the next call on the same cache, which may evict the
 /// backing buffer.
+///
+/// **Span-invalidation hazard.** The spans alias the cache's internal
+/// buffers directly, with no pin: holding one across *any* later
+/// `block`/`neighbors` call is a use-after-free the moment that call
+/// evicts the backing block (a capacity-1 cache makes it deterministic;
+/// `tests/test_paged_graph.cpp` `OldBlockCacheSpanDiesOnEviction`
+/// demonstrates it under ASan). This is fine for the strictly one-span-
+/// at-a-time loops this class was built for, and wrong for everything
+/// else — concurrent traversals included. New code should use
+/// `storage::ShardedBlockCache` (storage/block_cache.hpp), whose pin API
+/// (`BlockPin`) keeps a block's bytes alive for as long as the caller
+/// holds the pin, across evictions and from any thread.
 class BlockCache {
  public:
   /// Cache statistics; monotone except `resident_blocks`.

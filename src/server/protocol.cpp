@@ -241,6 +241,9 @@ std::vector<std::uint8_t> encode_payload(const InfoResponse& msg) {
   w.u8(msg.weighted ? 1 : 0);
   w.u16(msg.workers);
   w.u64(msg.requests_served);
+  w.u64(msg.cache_hits);
+  w.u64(msg.cache_misses);
+  w.u64(msg.cache_evictions);
   return out;
 }
 
@@ -254,6 +257,9 @@ InfoResponse decode_info_response(std::span<const std::uint8_t> payload) {
   msg.weighted = weighted != 0;
   msg.workers = r.u16();
   msg.requests_served = r.u64();
+  msg.cache_hits = r.u64();
+  msg.cache_misses = r.u64();
+  msg.cache_evictions = r.u64();
   r.finish();
   return msg;
 }

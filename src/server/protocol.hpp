@@ -120,6 +120,11 @@ struct InfoResponse {
   bool weighted = false;         ///< the graph carries edge weights
   std::uint16_t workers = 0;     ///< worker threads (= sessions)
   std::uint64_t requests_served = 0;  ///< lifetime request count
+  // Lifetime block-cache counters of the store's paged graph; all zero
+  // when the server holds the graph fully in memory (no --memory-budget).
+  std::uint64_t cache_hits = 0;       ///< block-cache hits
+  std::uint64_t cache_misses = 0;     ///< block-cache misses (decodes)
+  std::uint64_t cache_evictions = 0;  ///< block-cache evictions
 
   friend bool operator==(const InfoResponse&, const InfoResponse&) = default;
 };

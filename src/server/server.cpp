@@ -15,7 +15,9 @@
 
 #include "core/session.hpp"
 #include "graph/snapshot.hpp"
+#include "graph/snapshot_blocks.hpp"
 #include "server/protocol.hpp"
+#include "storage/paged_graph.hpp"
 #include "support/timer.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -847,17 +849,21 @@ void DecompServer::Impl::enqueue_error(Connection& conn, ErrorCode code,
 void DecompServer::Impl::handle_frame(Connection& conn,
                                       const FrameHeader& header,
                                       std::span<const std::uint8_t> payload) {
-  const vertex_t n = store->topology().num_vertices();
+  const vertex_t n = store->num_vertices();
   switch (header.type) {
     case MessageType::kInfoRequest: {
       (void)decode_info_request(payload);
       info_requests.fetch_add(1, std::memory_order_relaxed);
       InfoResponse info;
       info.num_vertices = n;
-      info.num_edges = store->topology().num_edges();
+      info.num_edges = store->num_edges();
       info.weighted = store->weighted();
       info.workers = static_cast<std::uint16_t>(config.workers);
       info.requests_served = requests.load(std::memory_order_relaxed);
+      const storage::ShardedBlockCache::Stats cache = store->cache_stats();
+      info.cache_hits = cache.hits;
+      info.cache_misses = cache.misses;
+      info.cache_evictions = cache.evictions;
       enqueue(conn,
               make_owned_frame(encode_message(MessageType::kInfoResponse,
                                               info)));
@@ -1088,7 +1094,17 @@ void DecompServer::start() {
   // that shares the mapping through the view graph's keepalive.
   const io::SnapshotInfo info = io::read_snapshot_info(impl.config.snapshot_path);
   impl.weighted = info.weighted();
-  if (impl.weighted) {
+  if (impl.config.memory_budget_bytes > 0 && info.cold() &&
+      !info.weighted() &&
+      info.resident_bytes_estimate() > impl.config.memory_budget_bytes) {
+    // Out-of-core serving: the graph is never fully resident — workers
+    // share one bounded block cache (SessionConfig paged-mode criteria).
+    auto reader = std::make_shared<const io::SnapshotBlockReader>(
+        impl.config.snapshot_path);
+    impl.store = std::make_unique<SharedResultStore>(
+        std::make_shared<storage::PagedGraph>(
+            std::move(reader), impl.config.memory_budget_bytes));
+  } else if (impl.weighted) {
     impl.wgraph = io::map_weighted_snapshot(impl.config.snapshot_path);
     impl.store =
         std::make_unique<SharedResultStore>(WeightedCsrGraph(impl.wgraph));

@@ -84,6 +84,12 @@ struct ServerConfig {
   /// 0 disables the timeout. Granularity is the server's poll interval
   /// (~200 ms).
   double write_timeout = 30.0;
+  /// Byte budget for decoded cold-tier blocks (SessionConfig semantics):
+  /// 0 always materializes the snapshot in memory; nonzero serves a cold
+  /// unweighted snapshot whose full-residency estimate exceeds the budget
+  /// **paged** — only "mpx" decomposes, and the info response reports the
+  /// block cache's lifetime hit/miss/eviction counters.
+  std::uint64_t memory_budget_bytes = 0;
 };
 
 /// Snapshot of the server's lifetime request telemetry.

@@ -1,0 +1,98 @@
+#include "storage/block_cache.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace mpx::storage {
+namespace {
+
+/// Decoded footprint of one pinned block.
+std::uint64_t pin_bytes(const BlockPin& pin) {
+  return static_cast<std::uint64_t>(pin->size() * sizeof(vertex_t));
+}
+
+}  // namespace
+
+ShardedBlockCache::ShardedBlockCache(
+    std::shared_ptr<const io::SnapshotBlockReader> reader,
+    std::uint64_t budget_bytes, std::size_t num_shards)
+    : reader_(std::move(reader)), budget_bytes_(budget_bytes) {
+  MPX_EXPECTS(reader_ != nullptr);
+  if (num_shards == 0) {
+    num_shards = std::clamp<std::size_t>(reader_->num_blocks(), 1, 16);
+  }
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Integer division may under-fill: a budget smaller than the shard
+  // count still caps each shard at one MRU block (evict_locked keeps
+  // exactly one resident when the budget is exceeded but nonzero).
+  shard_budget_bytes_ = budget_bytes_ == 0
+                            ? 0
+                            : std::max<std::uint64_t>(
+                                  1, budget_bytes_ / shards_.size());
+}
+
+BlockPin ShardedBlockCache::pin(std::size_t b) {
+  MPX_EXPECTS(b < reader_->num_blocks());
+  Shard& shard = *shards_[b % shards_.size()];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.by_block.find(b);
+    if (it != shard.by_block.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      ++shard.hits;
+      return it->second->second;
+    }
+  }
+  // Miss: decode outside the lock so concurrent misses on other blocks
+  // of this shard do not serialize behind the entropy decoder.
+  auto decoded =
+      std::make_shared<std::vector<vertex_t>>(reader_->block_arc_count(b));
+  reader_->decode_block(b, *decoded);
+  BlockPin pin = std::move(decoded);
+
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.misses;
+  const auto it = shard.by_block.find(b);
+  if (it != shard.by_block.end()) {
+    // Lost a decode race: adopt the resident copy so every pin of a
+    // block aliases the same buffer.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+  }
+  shard.lru.emplace_front(b, pin);
+  shard.by_block.emplace(b, shard.lru.begin());
+  shard.resident_bytes += pin_bytes(pin);
+  evict_locked(shard);
+  return pin;
+}
+
+void ShardedBlockCache::evict_locked(Shard& shard) {
+  if (shard_budget_bytes_ == 0) return;
+  while (shard.lru.size() > 1 && shard.resident_bytes > shard_budget_bytes_) {
+    const auto& victim = shard.lru.back();
+    shard.resident_bytes -= pin_bytes(victim.second);
+    shard.by_block.erase(victim.first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+ShardedBlockCache::Stats ShardedBlockCache::stats() const {
+  Stats total;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+    total.resident_blocks += shard.lru.size();
+    total.resident_bytes += shard.resident_bytes;
+  }
+  return total;
+}
+
+}  // namespace mpx::storage

@@ -145,6 +145,42 @@ TEST(DecompositionIo, TelemetryTimingsRoundTripExactly) {
   EXPECT_EQ(back.telemetry.total_seconds, telemetry.total_seconds);
 }
 
+TEST(DecompositionIo, CacheCountersRoundTripWhenNonzero) {
+  // The paged (out-of-core) path fills the block-cache counters; the
+  // writer emits them and the reader restores them.
+  RunTelemetry telemetry = mpx::testing::reference_telemetry();
+  telemetry.cache_hits = 1000;
+  telemetry.cache_misses = 37;
+  telemetry.cache_evictions = 21;
+  std::stringstream buffer;
+  io::write_decomposition(
+      buffer, mpx::testing::grid3x3_reference_decomposition(), telemetry);
+  EXPECT_NE(buffer.str().find("cache_hits 1000"), std::string::npos);
+  const io::LoadedDecomposition back = io::read_decomposition_full(buffer);
+  ASSERT_TRUE(back.has_telemetry);
+  EXPECT_EQ(back.telemetry, telemetry);
+}
+
+TEST(DecompositionIo, CacheCountersOmittedWhenAllZero) {
+  // In-memory runs leave the counters zero and the telemetry block
+  // byte-identical to the pre-paged format (the golden file relies on
+  // this), but the parser accepts explicit zeros all the same.
+  const RunTelemetry telemetry = mpx::testing::reference_telemetry();
+  ASSERT_EQ(telemetry.cache_hits + telemetry.cache_misses +
+                telemetry.cache_evictions,
+            0u);
+  EXPECT_EQ(serialize_with_telemetry(
+                mpx::testing::grid3x3_reference_decomposition(), telemetry)
+                .find("cache_"),
+            std::string::npos);
+  std::stringstream in(
+      "#! telemetry v1\n#! cache_hits 0\n#! cache_misses 0\n"
+      "#! cache_evictions 0\n#! end telemetry\n2 1\n0\n0 0\n0 1\n");
+  const io::LoadedDecomposition back = io::read_decomposition_full(in);
+  ASSERT_TRUE(back.has_telemetry);
+  EXPECT_EQ(back.telemetry.cache_hits, 0u);
+}
+
 TEST(DecompositionIo, LegacyReaderSkipsTelemetryBlock) {
   // Readers that predate the block (read_decomposition) treat "#!" lines
   // as comments, so files with telemetry stay loadable everywhere.

@@ -116,6 +116,9 @@ TEST(Protocol, InfoMessagesRoundTrip) {
   info.weighted = true;
   info.workers = 8;
   info.requests_served = 42;
+  info.cache_hits = 1000;
+  info.cache_misses = 37;
+  info.cache_evictions = 21;
   EXPECT_EQ(decode_info_response(encode_payload(info)), info);
 }
 

@@ -40,6 +40,7 @@
 // snapshots are mmap-ed zero-copy (session startup is O(header)).
 #include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -74,7 +75,9 @@ int usage() {
       "              [--run] [--cluster-of V]... [--distance U V]\n"
       "              [--boundary] [--betas b1,b2,...] [--info] [--shutdown]\n"
       "  decomp_tool algorithms\n"
-      "opts: --algo <name> --beta B --seed S --engine auto|push|pull\n");
+      "opts: --algo <name> --beta B --seed S --engine auto|push|pull\n"
+      "      --memory-budget BYTES[K|M|G]  serve cold snapshots larger than\n"
+      "      the budget out-of-core (paged block cache; run/batch/query/serve)\n");
   return 2;
 }
 
@@ -97,7 +100,29 @@ struct Cli {
   bool do_run = false;                      // connect --run
   bool do_info = false;                     // connect --info
   bool do_shutdown = false;                 // connect --shutdown
+  std::uint64_t memory_budget_bytes = 0;    // --memory-budget (0 = in-memory)
 };
+
+/// Parse "1000", "512K", "64M", "2G" (suffix = binary multiplier).
+bool parse_byte_size(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t multiplier = 1;
+  std::string digits = text;
+  switch (digits.back()) {
+    case 'K': case 'k': multiplier = 1ull << 10; digits.pop_back(); break;
+    case 'M': case 'm': multiplier = 1ull << 20; digits.pop_back(); break;
+    case 'G': case 'g': multiplier = 1ull << 30; digits.pop_back(); break;
+    default: break;
+  }
+  if (digits.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = value * multiplier;
+  return true;
+}
 
 bool parse_betas(const std::string& list, std::vector<double>& out) {
   std::size_t pos = 0;
@@ -173,6 +198,12 @@ bool parse_cli(int argc, char** argv, int first, Cli& cli,
       }
     } else if (arg == "--warm" && next(value)) {
       cli.warm_path = value;
+    } else if (arg == "--memory-budget" && next(value)) {
+      if (!parse_byte_size(value, cli.memory_budget_bytes)) {
+        std::fprintf(stderr, "decomp_tool: bad --memory-budget '%s'\n",
+                     value.c_str());
+        return false;
+      }
     } else if (arg == "--run") {
       cli.do_run = true;
     } else if (arg == "--info") {
@@ -193,12 +224,17 @@ bool parse_cli(int argc, char** argv, int first, Cli& cli,
   return !needs_graph || !cli.graph_path.empty();
 }
 
-DecompositionSession open_session(const std::string& path) {
+DecompositionSession open_session(const std::string& path,
+                                  std::uint64_t memory_budget_bytes = 0) {
   const mpx::io::GraphFileFormat format = mpx::io::detect_graph_format(path);
   switch (format) {
     case mpx::io::GraphFileFormat::kSnapshot:
-    case mpx::io::GraphFileFormat::kWeightedSnapshot:
-      return DecompositionSession::open_snapshot(path);  // zero-copy mmap
+    case mpx::io::GraphFileFormat::kWeightedSnapshot: {
+      mpx::SessionConfig config;
+      config.memory_budget_bytes = memory_budget_bytes;
+      // Zero-copy mmap, or paged when the budget demands it.
+      return DecompositionSession::open_snapshot(path, config);
+    }
     case mpx::io::GraphFileFormat::kWeightedEdgeListText:
       return DecompositionSession(mpx::io::load_weighted_graph(path));
     case mpx::io::GraphFileFormat::kEdgeListText:
@@ -217,6 +253,12 @@ void print_result_line(const DecompositionSession& session,
       "arcs_scanned=%llu\n",
       t.engine.c_str(), t.threads, t.rounds, t.pull_rounds, t.phases,
       static_cast<unsigned long long>(t.arcs_scanned));
+  if (t.cache_hits != 0 || t.cache_misses != 0 || t.cache_evictions != 0) {
+    std::printf("block cache: %llu hits, %llu misses, %llu evictions\n",
+                static_cast<unsigned long long>(t.cache_hits),
+                static_cast<unsigned long long>(t.cache_misses),
+                static_cast<unsigned long long>(t.cache_evictions));
+  }
   std::printf(
       "timings: shifts %.6fs, search %.6fs, assemble %.6fs, total %.6fs\n",
       t.shift_seconds, t.search_seconds, t.assemble_seconds, t.total_seconds);
@@ -233,18 +275,20 @@ int cmd_algorithms() {
 }
 
 int cmd_run(const Cli& cli) {
-  DecompositionSession session = open_session(cli.graph_path);
-  std::printf("graph: %s, n=%u, m=%llu%s\n", cli.graph_path.c_str(),
-              session.topology().num_vertices(),
-              static_cast<unsigned long long>(session.topology().num_edges()),
-              session.weighted() ? ", weighted" : "");
+  DecompositionSession session =
+      open_session(cli.graph_path, cli.memory_budget_bytes);
+  std::printf("graph: %s, n=%u, m=%llu%s%s\n", cli.graph_path.c_str(),
+              session.num_vertices(),
+              static_cast<unsigned long long>(session.num_edges()),
+              session.weighted() ? ", weighted" : "",
+              session.paged() ? ", paged (out-of-core)" : "");
   std::printf("run: algo=%s beta=%g seed=%llu\n",
               cli.request.algorithm.c_str(), cli.request.beta,
               static_cast<unsigned long long>(cli.request.seed));
   const DecompositionResult& result = session.run(cli.request);
   print_result_line(session, result);
   const std::size_t cut = session.boundary_arcs(cli.request).size();
-  const mpx::edge_t m = session.topology().num_edges();
+  const mpx::edge_t m = session.num_edges();
   std::printf("boundary: %zu cut edges (%.2f%% of m)\n", cut,
               m == 0 ? 0.0 : 100.0 * static_cast<double>(cut) /
                                  static_cast<double>(m));
@@ -261,11 +305,13 @@ int cmd_batch(const Cli& cli) {
     std::fprintf(stderr, "decomp_tool batch: --betas is required\n");
     return 2;
   }
-  DecompositionSession session = open_session(cli.graph_path);
-  std::printf("graph: %s, n=%u, m=%llu%s\n", cli.graph_path.c_str(),
-              session.topology().num_vertices(),
-              static_cast<unsigned long long>(session.topology().num_edges()),
-              session.weighted() ? ", weighted" : "");
+  DecompositionSession session =
+      open_session(cli.graph_path, cli.memory_budget_bytes);
+  std::printf("graph: %s, n=%u, m=%llu%s%s\n", cli.graph_path.c_str(),
+              session.num_vertices(),
+              static_cast<unsigned long long>(session.num_edges()),
+              session.weighted() ? ", weighted" : "",
+              session.paged() ? ", paged (out-of-core)" : "");
   mpx::WallTimer timer;
   const std::vector<const DecompositionResult*> results =
       session.run_batch(cli.request, cli.betas);
@@ -287,7 +333,8 @@ int cmd_batch(const Cli& cli) {
 }
 
 int cmd_query(const Cli& cli) {
-  DecompositionSession session = open_session(cli.graph_path);
+  DecompositionSession session =
+      open_session(cli.graph_path, cli.memory_budget_bytes);
   if (!cli.load_path.empty()) {
     if (session.load_cached(cli.request, cli.load_path)) {
       std::printf("loaded cached decomposition from %s\n",
@@ -298,7 +345,7 @@ int cmd_query(const Cli& cli) {
       return 1;
     }
   }
-  const mpx::vertex_t n = session.topology().num_vertices();
+  const mpx::vertex_t n = session.num_vertices();
   for (const mpx::vertex_t v : cli.cluster_of) {
     if (v >= n) {
       std::fprintf(stderr, "decomp_tool: vertex %u out of range (n=%u)\n", v,
@@ -355,6 +402,7 @@ int cmd_serve(const Cli& cli) {
   config.socket_path = cli.socket_path;
   config.tcp_port = cli.port < 0 ? 0 : static_cast<std::uint16_t>(cli.port);
   config.workers = cli.workers;
+  config.memory_budget_bytes = cli.memory_budget_bytes;
   if (!cli.warm_path.empty()) {
     config.warm.push_back({cli.request, cli.warm_path});
   }
@@ -420,6 +468,13 @@ int cmd_connect(const Cli& cli) {
                 info.weighted ? ", weighted" : "", info.workers,
                 info.workers == 1 ? "" : "s",
                 static_cast<unsigned long long>(info.requests_served));
+    if (info.cache_hits != 0 || info.cache_misses != 0 ||
+        info.cache_evictions != 0) {
+      std::printf("block cache: %llu hits, %llu misses, %llu evictions\n",
+                  static_cast<unsigned long long>(info.cache_hits),
+                  static_cast<unsigned long long>(info.cache_misses),
+                  static_cast<unsigned long long>(info.cache_evictions));
+    }
     did_something = true;
   }
   if (cli.do_run) {

@@ -8,7 +8,7 @@
 // fixtures under ASan/UBSan.
 //
 // usage:
-//   snapshot_tool convert <in> <out> [--tier=hot|cold]
+//   snapshot_tool convert <in> <out> [--tier=hot|cold] [--placement=degree]
 //                                      convert between text edge list and
 //                                      binary snapshot. Input format is
 //                                      auto-detected (magic / column
@@ -46,10 +46,15 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  snapshot_tool convert <in> <out> [--tier=hot|cold]\n"
+               "                                   [--placement=degree]\n"
                "                                     text <-> binary (.mpxs "
                "extension selects binary\n"
                "                                     output; --tier selects "
-               "a version-2 tier)\n"
+               "a version-2 tier;\n"
+               "                                     --placement=degree "
+               "relabels vertices in\n"
+               "                                     descending-degree order "
+               "before writing)\n"
                "  snapshot_tool info <file.mpxs>     dump the snapshot "
                "header\n"
                "  snapshot_tool verify [--deep] <file...>\n"
@@ -67,7 +72,8 @@ bool wants_snapshot(const std::string& path) {
 }
 
 int cmd_convert(const std::string& in, const std::string& out,
-                const std::optional<mpx::io::SnapshotTier>& tier) {
+                const std::optional<mpx::io::SnapshotTier>& tier,
+                mpx::io::SnapshotPlacement placement) {
   const GraphFileFormat format = mpx::io::detect_graph_format(in);
   const bool weighted = format == GraphFileFormat::kWeightedEdgeListText ||
                         format == GraphFileFormat::kWeightedSnapshot;
@@ -78,15 +84,21 @@ int cmd_convert(const std::string& in, const std::string& out,
       mpx::io::save_edge_list(out, g);
       return;
     }
-    if (!tier.has_value()) {
+    if (!tier.has_value() &&
+        placement == mpx::io::SnapshotPlacement::kAsIs) {
       mpx::io::save_snapshot(out, g);  // legacy v1, byte-stable
       return;
     }
     mpx::io::SnapshotWriteOptions options;
-    options.tier = *tier;
+    if (tier.has_value()) {
+      options.tier = *tier;
+      tier_tag = *tier == mpx::io::SnapshotTier::kCold ? ", v2 cold"
+                                                       : ", v2 hot";
+    } else {
+      options.version = mpx::io::kSnapshotVersion;  // placement-only: v1
+    }
+    options.placement = placement;
     mpx::io::save_snapshot(out, g, options);
-    tier_tag = *tier == mpx::io::SnapshotTier::kCold ? ", v2 cold"
-                                                     : ", v2 hot";
   };
   if (weighted) {
     const mpx::WeightedCsrGraph g = mpx::io::load_weighted_graph(in);
@@ -141,9 +153,7 @@ int cmd_info(const std::string& path) {
                 static_cast<unsigned long long>(info.block_index_bytes),
                 static_cast<unsigned long long>(info.block_index_bytes / 16),
                 info.block_size);
-    const std::uint64_t raw =
-        (info.num_vertices + 1) * 8 + info.num_arcs * 4 +
-        (info.weighted() ? info.num_arcs * 8 : 0);
+    const std::uint64_t raw = info.resident_bytes_estimate();
     const std::uint64_t stored =
         info.offsets_bytes + info.targets_bytes + info.weights_bytes;
     if (stored != 0) {
@@ -151,6 +161,10 @@ int cmd_info(const std::string& path) {
                   static_cast<double>(raw) / static_cast<double>(stored),
                   static_cast<unsigned long long>(raw));
     }
+    std::printf("  resident est.  %llu bytes at full residency (the\n"
+                "                 --memory-budget yardstick: smaller budgets\n"
+                "                 serve this file paged)\n",
+                static_cast<unsigned long long>(raw));
   }
   if (info.version == mpx::io::kSnapshotVersion) {
     std::printf("  checksum       0x%016llx (FNV-1a-64, whole file)\n",
@@ -190,6 +204,8 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "convert") {
       std::optional<mpx::io::SnapshotTier> tier;
+      mpx::io::SnapshotPlacement placement =
+          mpx::io::SnapshotPlacement::kAsIs;
       std::vector<std::string> positional;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -201,12 +217,18 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "snapshot_tool: unknown tier in '%s'\n",
                        arg.c_str());
           return 2;
+        } else if (arg == "--placement=degree") {
+          placement = mpx::io::SnapshotPlacement::kDegreeDescending;
+        } else if (arg.rfind("--placement", 0) == 0) {
+          std::fprintf(stderr, "snapshot_tool: unknown placement in '%s'\n",
+                       arg.c_str());
+          return 2;
         } else {
           positional.push_back(arg);
         }
       }
       if (positional.size() != 2) return usage();
-      return cmd_convert(positional[0], positional[1], tier);
+      return cmd_convert(positional[0], positional[1], tier, placement);
     }
     if (cmd == "info" && argc == 3) {
       return cmd_info(argv[2]);
