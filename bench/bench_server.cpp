@@ -18,11 +18,19 @@
 //                          the worker-scaling fix is judged on: more
 //                          workers must never mean fewer queries.
 //
+// The svc_p50/p99 columns come from the server's own metrics registry
+// (kStatsRequest → server.service.query histogram): handler-side latency
+// excluding the wire, so client-vs-server gaps localise to the socket.
+//
 // A second table sweeps connections ≫ workers (the regime that exposed
 // the old pinned design, where `workers + 1` connections could starve
 // service entirely): 64 concurrent connections against 1/2/8 workers,
 // reporting aggregate throughput and the pooled p50/p99 of per-query
 // latency.
+//
+// A third section prices the instrumentation itself: the cached-query
+// hammer against metrics_enabled on vs off. The registry's hot path is a
+// handful of relaxed atomics per request; the overhead budget is ~2%.
 //
 // Writes the machine-readable trajectory artifact BENCH_server.json
 // (schema: docs/BENCHMARKS.md) so CI accumulates the serving history.
@@ -52,6 +60,24 @@ struct Run {
   double cached_run_seconds = 0.0;
   double query_seconds = 0.0;
   double queries_per_second = 0.0;
+  // Server-side service latency of the query handler (from the server's
+  // own kStatsRequest histograms): what the handler cost excluding the
+  // wire, vs query_seconds which includes the round trip.
+  double service_query_p50_seconds = 0.0;
+  double service_query_p99_seconds = 0.0;
+};
+
+/// Metrics-instrumentation overhead on the cached-query path: the same
+/// throughput hammer against a server with the registry on vs off.
+struct Overhead {
+  double on_queries_per_second = 0.0;
+  double off_queries_per_second = 0.0;
+
+  [[nodiscard]] double percent() const {
+    if (off_queries_per_second <= 0.0) return 0.0;
+    return (off_queries_per_second - on_queries_per_second) /
+           off_queries_per_second * 100.0;
+  }
 };
 
 struct SweepRun {
@@ -65,13 +91,15 @@ struct SweepRun {
 
 mpx::server::DecompServer make_server(const std::string& snapshot_path,
                                       const std::string& socket_path,
-                                      int workers) {
+                                      int workers,
+                                      bool metrics_enabled = true) {
   std::error_code ec;
   std::filesystem::remove(socket_path, ec);  // stale leftover from a crash
   mpx::server::ServerConfig config;
   config.snapshot_path = snapshot_path;
   config.socket_path = socket_path;
   config.workers = workers;
+  config.metrics_enabled = metrics_enabled;
   return mpx::server::DecompServer(std::move(config));
 }
 
@@ -169,8 +197,92 @@ Run measure(const std::string& name, const mpx::CsrGraph& g,
     }
   }
 
+  // The server's own view of the query handler, pooled over everything
+  // this function just sent through it (latency reps + the throughput
+  // hammer): a kStatsRequest round trip reads the service histograms.
+  {
+    mpx::server::DecompClient client =
+        mpx::server::DecompClient::connect_unix(socket_path);
+    const mpx::server::StatsResponse stats = client.server_stats();
+    if (const mpx::obs::HistogramSnapshot* h =
+            stats.metrics.histogram("server.service.query")) {
+      run.service_query_p50_seconds =
+          static_cast<double>(h->quantile(0.5)) * 1e-9;
+      run.service_query_p99_seconds =
+          static_cast<double>(h->quantile(0.99)) * 1e-9;
+    }
+  }
+
   server.stop();
   return run;
+}
+
+/// The cached-query throughput hammer from measure(), reused to price the
+/// metrics registry itself: identical traffic against a server with
+/// instrumentation on vs off (config.metrics_enabled). Best-of-reps on
+/// both sides; the acceptance bar is on_queries_per_second within ~2% of
+/// off (docs/OBSERVABILITY.md pins the budget).
+Overhead measure_overhead(const std::string& snapshot_path,
+                          const std::string& socket_dir, int workers,
+                          double beta, std::uint64_t seed, int reps,
+                          int queries_per_client) {
+  Overhead overhead;
+  for (const bool metrics_enabled : {true, false}) {
+    const std::string socket_path =
+        socket_dir + "/overhead_" + (metrics_enabled ? "on" : "off") + ".sock";
+    mpx::server::DecompServer server =
+        make_server(snapshot_path, socket_path, workers, metrics_enabled);
+    server.start();
+
+    mpx::DecompositionRequest req;
+    req.beta = beta;
+    req.seed = seed;
+    mpx::vertex_t n = 0;
+    {
+      mpx::server::DecompClient warm =
+          mpx::server::DecompClient::connect_unix(socket_path);
+      (void)warm.run(req);  // warm the fleet-wide store
+      n = static_cast<mpx::vertex_t>(warm.info().num_vertices);
+    }
+
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      std::vector<std::thread> clients;
+      clients.reserve(static_cast<std::size_t>(workers));
+      std::atomic<int> ready{0};
+      std::atomic<bool> go{false};
+      std::atomic<long long> answered{0};
+      mpx::WallTimer wall;
+      for (int c = 0; c < workers; ++c) {
+        clients.emplace_back([&, c] {
+          mpx::server::DecompClient client =
+              mpx::server::DecompClient::connect_unix(socket_path);
+          (void)client.cluster_of(0, req);  // connection warm-up
+          ready.fetch_add(1);
+          while (!go.load()) std::this_thread::yield();
+          for (int i = 0; i < queries_per_client; ++i) {
+            (void)client.cluster_of(
+                static_cast<mpx::vertex_t>((c * 7919 + i * 104729) % n),
+                req);
+          }
+          answered.fetch_add(queries_per_client);
+        });
+      }
+      while (ready.load() != workers) std::this_thread::yield();
+      wall = mpx::WallTimer();
+      go.store(true);
+      for (std::thread& t : clients) t.join();
+      const double elapsed = wall.seconds();
+      if (elapsed > 0.0) {
+        best = std::max(best,
+                        static_cast<double>(answered.load()) / elapsed);
+      }
+    }
+    (metrics_enabled ? overhead.on_queries_per_second
+                     : overhead.off_queries_per_second) = best;
+    server.stop();
+  }
+  return overhead;
 }
 
 /// connections ≫ workers: every connection issues synchronous cluster-of
@@ -266,8 +378,8 @@ SweepRun measure_sweep(const std::string& name, const mpx::CsrGraph& g,
 }
 
 void write_json(const std::string& path, const std::vector<Run>& runs,
-                const std::vector<SweepRun>& sweeps, double beta,
-                std::uint64_t seed) {
+                const std::vector<SweepRun>& sweeps, const Overhead& overhead,
+                double beta, std::uint64_t seed) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -284,13 +396,24 @@ void write_json(const std::string& path, const std::vector<Run>& runs,
                  "    {\"graph\": \"%s\", \"n\": %u, \"m\": %llu, "
                  "\"workers\": %d, \"cold_run_seconds\": %.6f, "
                  "\"cached_run_seconds\": %.6f, \"query_seconds\": %.6f, "
-                 "\"queries_per_second\": %.1f}%s\n",
+                 "\"queries_per_second\": %.1f, "
+                 "\"service_query_p50_seconds\": %.9f, "
+                 "\"service_query_p99_seconds\": %.9f}%s\n",
                  r.graph.c_str(), r.n,
                  static_cast<unsigned long long>(r.m), r.workers,
                  r.cold_run_seconds, r.cached_run_seconds, r.query_seconds,
-                 r.queries_per_second, i + 1 < runs.size() ? "," : "");
+                 r.queries_per_second, r.service_query_p50_seconds,
+                 r.service_query_p99_seconds, i + 1 < runs.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"sweep\": [\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"metrics_overhead\": {\"workers\": 2, "
+               "\"on_queries_per_second\": %.1f, "
+               "\"off_queries_per_second\": %.1f, "
+               "\"overhead_percent\": %.2f},\n",
+               overhead.on_queries_per_second,
+               overhead.off_queries_per_second, overhead.percent());
+  std::fprintf(f, "  \"sweep\": [\n");
   for (std::size_t i = 0; i < sweeps.size(); ++i) {
     const SweepRun& s = sweeps[i];
     std::fprintf(f,
@@ -355,7 +478,7 @@ int main(int argc, char** argv) {
   std::vector<Run> runs;
   std::vector<SweepRun> sweeps;
   bench::Table table({"graph", "workers", "cold_run", "cached_run", "query",
-                      "queries/s"});
+                      "queries/s", "svc_p50_us", "svc_p99_us"});
   for (const Family& fam : families) {
     const std::string snapshot_path = dir + "/" + fam.name + ".mpxs";
     io::save_snapshot(snapshot_path, fam.graph);
@@ -367,8 +490,23 @@ int main(int argc, char** argv) {
                  bench::Table::num(r.cold_run_seconds, 4),
                  bench::Table::num(r.cached_run_seconds, 6),
                  bench::Table::num(r.query_seconds, 6),
-                 bench::Table::num(r.queries_per_second, 0)});
+                 bench::Table::num(r.queries_per_second, 0),
+                 bench::Table::num(r.service_query_p50_seconds * 1e6, 1),
+                 bench::Table::num(r.service_query_p99_seconds * 1e6, 1)});
     }
+  }
+
+  bench::section("metrics instrumentation overhead (cached-query path)");
+  Overhead overhead;
+  {
+    const std::string snapshot_path = dir + "/" + families[0].name + ".mpxs";
+    overhead = measure_overhead(snapshot_path, dir, /*workers=*/2, beta,
+                                seed, reps, /*queries_per_client=*/4000);
+    std::printf(
+        "metrics on:  %.0f queries/s\nmetrics off: %.0f queries/s\n"
+        "overhead: %.2f%% (budget: <= ~2%%)\n",
+        overhead.on_queries_per_second, overhead.off_queries_per_second,
+        overhead.percent());
   }
 
   bench::section("connections >> workers sweep (64 connections)");
@@ -391,7 +529,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  write_json(out, runs, sweeps, beta, seed);
+  write_json(out, runs, sweeps, overhead, beta, seed);
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
   std::printf(

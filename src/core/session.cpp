@@ -14,6 +14,23 @@
 
 namespace mpx {
 
+void record_run_telemetry(obs::MetricsRegistry& registry,
+                          const RunTelemetry& telemetry) {
+  registry.counter("decomp.computes").add(1);
+  registry.counter("decomp.rounds").add(telemetry.rounds);
+  registry.counter("decomp.arcs_scanned").add(telemetry.arcs_scanned);
+  registry.histogram("decomp.shift_draw").record_seconds(
+      telemetry.shift_draw_seconds);
+  registry.histogram("decomp.shift_rank").record_seconds(
+      telemetry.shift_rank_seconds);
+  registry.histogram("decomp.shift").record_seconds(telemetry.shift_seconds);
+  registry.histogram("decomp.search").record_seconds(
+      telemetry.search_seconds);
+  registry.histogram("decomp.assemble").record_seconds(
+      telemetry.assemble_seconds);
+  registry.histogram("decomp.total").record_seconds(telemetry.total_seconds);
+}
+
 DecompositionSession::DecompositionSession(CsrGraph g)
     : graph_(std::move(g)), weighted_(false) {}
 
@@ -105,6 +122,9 @@ DecompositionSession::CacheEntry& DecompositionSession::entry_for(
   entry.result = paged()    ? decompose(*pgraph_, req, &workspace_, basis)
                  : weighted_ ? decompose(wgraph_, req, &workspace_, basis)
                              : decompose(graph_, req, &workspace_, basis);
+  if (metrics_ != nullptr) {
+    record_run_telemetry(*metrics_, entry.result.telemetry);
+  }
   return cache_.emplace(key, std::move(entry)).first->second;
 }
 
@@ -524,6 +544,9 @@ SharedResultStore::Acquired SharedResultStore::acquire(
   try {
     std::lock_guard<std::mutex> compute(compute_mutex_);
     built = compute_locked(req);
+    if (metrics_ != nullptr) {
+      record_run_telemetry(*metrics_, built->result().telemetry);
+    }
   } catch (...) {
     std::lock_guard<std::mutex> lock(mutex_);
     inflight_.erase(key);

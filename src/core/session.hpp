@@ -59,11 +59,21 @@
 #include "core/decomposer.hpp"
 #include "graph/builder.hpp"
 #include "graph/csr_graph.hpp"
+#include "obs/metrics.hpp"
 #include "storage/block_cache.hpp"
 
 namespace mpx {
 
 class DistanceOracle;
+
+/// Record one run's phase timings and work counters into `registry`
+/// under the `decomp.*` names (docs/OBSERVABILITY.md): phase-seconds
+/// histograms (shift draw/rank, search, assemble, total, in nanoseconds)
+/// plus the computes/rounds/arcs-scanned counters. Shared by
+/// DecompositionSession and SharedResultStore; the server points both at
+/// its registry so cold computes feed the served phase histograms.
+void record_run_telemetry(obs::MetricsRegistry& registry,
+                          const RunTelemetry& telemetry);
 
 namespace storage {
 class PagedGraph;
@@ -130,6 +140,11 @@ class DecompositionSession {
   [[nodiscard]] edge_t num_edges() const;
   /// Lifetime block-cache counters; all-zero for non-paged sessions.
   [[nodiscard]] storage::ShardedBlockCache::Stats cache_stats() const;
+
+  /// Feed every subsequent cold run's telemetry into `registry` (see
+  /// record_run_telemetry). nullptr (the default) disables recording.
+  /// The registry must outlive the session.
+  void set_metrics(obs::MetricsRegistry* registry) { metrics_ = registry; }
 
   /// Run (or fetch from cache) the decomposition for `req`. The returned
   /// reference stays valid until clear_cache() or session destruction.
@@ -246,6 +261,7 @@ class DecompositionSession {
   std::map<Key, CacheEntry> cache_;
   /// Shift bases shared by batch runs, keyed by (seed, distribution).
   std::map<std::pair<std::uint64_t, int>, ShiftBasis> bases_;
+  obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null
 };
 
 /// Compute the cut-edge list of `result` over `topology`: the undirected
@@ -366,6 +382,11 @@ class SharedResultStore {
   /// Lifetime block-cache counters; all-zero for non-paged stores.
   [[nodiscard]] storage::ShardedBlockCache::Stats cache_stats() const;
 
+  /// Feed every subsequent cold compute's telemetry into `registry` (see
+  /// record_run_telemetry). nullptr (the default) disables recording.
+  /// Call before serving; the registry must outlive the store.
+  void set_metrics(obs::MetricsRegistry* registry) { metrics_ = registry; }
+
   /// An acquired entry plus whether it was answered without running the
   /// decomposition for this call (a prior compute, a warm-start load, or
   /// another thread's in-flight compute this call waited on).
@@ -435,6 +456,7 @@ class SharedResultStore {
   std::map<Key, std::shared_ptr<const MaterializedDecomposition>> entries_;
   std::set<Key> inflight_;
   std::uint64_t computes_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null
 };
 
 }  // namespace mpx

@@ -102,6 +102,10 @@
 #include "apps/spanner.hpp"
 #include "apps/tree_embedding.hpp"
 
+// Observability (S9): metrics registry and trace recorder
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 // Visualization (S9)
 #include "viz/grid_render.hpp"
 #include "viz/palette.hpp"

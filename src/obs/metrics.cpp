@@ -1,0 +1,157 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mpx::obs {
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(clamped * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (const HistogramBucket& bucket : buckets) {
+    cumulative += bucket.count;
+    if (cumulative >= rank) {
+      const std::uint64_t upper = histogram_bucket_upper(bucket.index);
+      // max is exact, so it tightens the top bucket's upper bound without
+      // breaking the >=-the-exact-sample guarantee.
+      return max != 0 ? std::min(upper, max) : upper;
+    }
+  }
+  // Snapshot skew (count read after a concurrent record landed in a
+  // bucket we already passed): fall back to the largest occupied bucket.
+  if (buckets.empty()) return max;
+  const std::uint64_t upper = histogram_bucket_upper(buckets.back().index);
+  return max != 0 ? std::min(upper, max) : upper;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  std::vector<HistogramBucket> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < buckets.size() || j < other.buckets.size()) {
+    if (j == other.buckets.size() ||
+        (i < buckets.size() && buckets[i].index < other.buckets[j].index)) {
+      merged.push_back(buckets[i++]);
+    } else if (i == buckets.size() ||
+               other.buckets[j].index < buckets[i].index) {
+      merged.push_back(other.buckets[j++]);
+    } else {
+      merged.push_back(
+          {buckets[i].index, buckets[i].count + other.buckets[j].count});
+      ++i;
+      ++j;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const NamedHistogram& h : histograms) {
+    if (h.name == name) return &h.histogram;
+  }
+  return nullptr;
+}
+
+std::int64_t MetricsSnapshot::gauge_or(std::string_view name,
+                                       std::int64_t fallback) const {
+  for (const GaugeSnapshot& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return fallback;
+}
+
+std::uint64_t MetricsSnapshot::counter_or(std::string_view name,
+                                          std::uint64_t fallback) const {
+  for (const CounterSnapshot& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return fallback;
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kHistogramBucketCount; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) {
+      snap.buckets.push_back({static_cast<std::uint16_t>(i), n});
+    }
+  }
+  return snap;
+}
+
+namespace {
+
+void check_metric_name(std::string_view name) {
+  if (name.empty() || name.size() > kMaxMetricNameBytes) {
+    throw std::invalid_argument(
+        "mpx::obs: metric name length " + std::to_string(name.size()) +
+        " outside [1, " + std::to_string(kMaxMetricNameBytes) + "]");
+  }
+}
+
+/// Heterogeneous lookup-or-create returning a stable reference (values
+/// are unique_ptr, so rehashing/rebalancing never moves the instrument).
+template <typename Map>
+typename Map::mapped_type::element_type& instrument(Map& map,
+                                                    std::string_view name) {
+  const auto it = map.find(name);
+  if (it != map.end()) return *it->second;
+  return *map
+              .emplace(std::string(name),
+                       std::make_unique<
+                           typename Map::mapped_type::element_type>())
+              .first->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  check_metric_name(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return instrument(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  check_metric_name(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return instrument(gauges_, name);
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  check_metric_name(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return instrument(histograms_, name);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back({name, histogram->snapshot()});
+  }
+  return snap;
+}
+
+}  // namespace mpx::obs

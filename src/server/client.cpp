@@ -257,6 +257,13 @@ InfoResponse DecompClient::info() {
   return decode_info_response(payload);
 }
 
+StatsResponse DecompClient::server_stats() {
+  const auto payload =
+      round_trip(encode_message(MessageType::kStatsRequest, StatsRequest{}),
+                 MessageType::kStatsResponse);
+  return decode_stats_response(payload);
+}
+
 RunResponse DecompClient::run(const DecompositionRequest& request,
                               bool include_arrays) {
   RunRequest msg;

@@ -71,6 +71,11 @@ class DecompClient {
   /// Graph/server metadata.
   [[nodiscard]] InfoResponse info();
 
+  /// The server's full observability snapshot: lifetime counters,
+  /// result-store / block-cache occupancy, and every metrics-registry
+  /// section (latency histograms included). One kStatsRequest round trip.
+  [[nodiscard]] StatsResponse server_stats();
+
   /// Run (or fetch from the server's shared result store) one
   /// decomposition. `include_arrays` requests the full owner/settle
   /// arrays.

@@ -163,12 +163,14 @@ bool is_known_message_type(std::uint16_t raw) {
     case MessageType::kBoundaryRequest:
     case MessageType::kBatchRequest:
     case MessageType::kShutdownRequest:
+    case MessageType::kStatsRequest:
     case MessageType::kInfoResponse:
     case MessageType::kRunResponse:
     case MessageType::kQueryResponse:
     case MessageType::kBoundaryResponse:
     case MessageType::kBatchResponse:
     case MessageType::kShutdownResponse:
+    case MessageType::kStatsResponse:
     case MessageType::kErrorResponse:
       return true;
   }
@@ -586,6 +588,201 @@ ShutdownResponse decode_shutdown_response(
   Reader r(payload);
   r.finish();
   return {};
+}
+
+// --- Stats ----------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_payload(const StatsRequest&) { return {}; }
+
+StatsRequest decode_stats_request(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  r.finish();
+  return {};
+}
+
+namespace {
+
+void write_metric_name(Writer& w, const std::string& name) {
+  if (name.empty() || name.size() > obs::kMaxMetricNameBytes) {
+    fail("metric name length " + std::to_string(name.size()) +
+         " outside [1, " + std::to_string(obs::kMaxMetricNameBytes) + "]");
+  }
+  w.u16(static_cast<std::uint16_t>(name.size()));
+  w.raw(name.data(), name.size());
+}
+
+std::string read_metric_name(Reader& r) {
+  const std::uint16_t len = r.u16();
+  if (len == 0 || len > obs::kMaxMetricNameBytes) {
+    fail("metric name length " + std::to_string(len) + " outside [1, " +
+         std::to_string(obs::kMaxMetricNameBytes) + "]");
+  }
+  std::string name(len, '\0');
+  r.raw(name.data(), len, "metric name");
+  return name;
+}
+
+/// Sections are canonical: names strictly ascending (the registry
+/// snapshot is name-sorted), so duplicates and reordered entries are
+/// rejected and decode(encode(x)) == x holds bytewise.
+void check_name_order(const std::string& prev, const std::string& name,
+                      const char* section) {
+  if (!prev.empty() && !(prev < name)) {
+    fail(std::string(section) + " section is not strictly name-sorted ('" +
+         prev + "' then '" + name + "')");
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_payload(const StatsResponse& msg) {
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  w.u16(kStatsFormatVersion);
+  w.u64(msg.connections);
+  w.u64(msg.requests);
+  w.u64(msg.errors);
+  w.u64(msg.info_requests);
+  w.u64(msg.run_requests);
+  w.u64(msg.query_requests);
+  w.u64(msg.boundary_requests);
+  w.u64(msg.batch_requests);
+  w.u64(msg.stats_requests);
+  w.u64(msg.accept_backoffs);
+  w.u64(msg.write_timeouts);
+  w.u64(msg.results_computed);
+  w.f64(msg.service_seconds);
+  w.u64(msg.store_resident_results);
+  w.u64(msg.store_computes);
+  w.u64(msg.cache_hits);
+  w.u64(msg.cache_misses);
+  w.u64(msg.cache_evictions);
+  w.u64(msg.cache_resident_blocks);
+  w.u64(msg.cache_resident_bytes);
+  w.u32(static_cast<std::uint32_t>(msg.metrics.counters.size()));
+  for (const obs::CounterSnapshot& c : msg.metrics.counters) {
+    write_metric_name(w, c.name);
+    w.u64(c.value);
+  }
+  w.u32(static_cast<std::uint32_t>(msg.metrics.gauges.size()));
+  for (const obs::GaugeSnapshot& g : msg.metrics.gauges) {
+    write_metric_name(w, g.name);
+    w.u64(std::bit_cast<std::uint64_t>(g.value));
+  }
+  w.u32(static_cast<std::uint32_t>(msg.metrics.histograms.size()));
+  for (const obs::NamedHistogram& h : msg.metrics.histograms) {
+    write_metric_name(w, h.name);
+    w.u64(h.histogram.count);
+    w.u64(h.histogram.sum);
+    w.u64(h.histogram.max);
+    w.u32(static_cast<std::uint32_t>(h.histogram.buckets.size()));
+    for (const obs::HistogramBucket& b : h.histogram.buckets) {
+      w.u16(b.index);
+      w.u64(b.count);
+    }
+  }
+  return out;
+}
+
+StatsResponse decode_stats_response(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  StatsResponse msg;
+  const std::uint16_t format = r.u16();
+  if (format != kStatsFormatVersion) {
+    fail("unsupported stats format " + std::to_string(format) +
+         " (this peer speaks format " + std::to_string(kStatsFormatVersion) +
+         ")");
+  }
+  msg.connections = r.u64();
+  msg.requests = r.u64();
+  msg.errors = r.u64();
+  msg.info_requests = r.u64();
+  msg.run_requests = r.u64();
+  msg.query_requests = r.u64();
+  msg.boundary_requests = r.u64();
+  msg.batch_requests = r.u64();
+  msg.stats_requests = r.u64();
+  msg.accept_backoffs = r.u64();
+  msg.write_timeouts = r.u64();
+  msg.results_computed = r.u64();
+  msg.service_seconds = r.f64();
+  msg.store_resident_results = r.u64();
+  msg.store_computes = r.u64();
+  msg.cache_hits = r.u64();
+  msg.cache_misses = r.u64();
+  msg.cache_evictions = r.u64();
+  msg.cache_resident_blocks = r.u64();
+  msg.cache_resident_bytes = r.u64();
+
+  // Smallest possible encodings bound every count before allocation:
+  // name (u16 len + 1 byte) + value for counters/gauges; histograms add
+  // count/sum/max + a bucket count.
+  const std::uint32_t counter_count = r.u32();
+  check_count(counter_count, 2 + 1 + 8, r.remaining(), "stats counter");
+  msg.metrics.counters.reserve(counter_count);
+  std::string prev;
+  for (std::uint32_t i = 0; i < counter_count; ++i) {
+    obs::CounterSnapshot c;
+    c.name = read_metric_name(r);
+    check_name_order(prev, c.name, "counter");
+    prev = c.name;
+    c.value = r.u64();
+    msg.metrics.counters.push_back(std::move(c));
+  }
+  const std::uint32_t gauge_count = r.u32();
+  check_count(gauge_count, 2 + 1 + 8, r.remaining(), "stats gauge");
+  msg.metrics.gauges.reserve(gauge_count);
+  prev.clear();
+  for (std::uint32_t i = 0; i < gauge_count; ++i) {
+    obs::GaugeSnapshot g;
+    g.name = read_metric_name(r);
+    check_name_order(prev, g.name, "gauge");
+    prev = g.name;
+    g.value = std::bit_cast<std::int64_t>(r.u64());
+    msg.metrics.gauges.push_back(std::move(g));
+  }
+  const std::uint32_t histogram_count = r.u32();
+  check_count(histogram_count, 2 + 1 + 3 * 8 + 4, r.remaining(),
+              "stats histogram");
+  msg.metrics.histograms.reserve(histogram_count);
+  prev.clear();
+  for (std::uint32_t i = 0; i < histogram_count; ++i) {
+    obs::NamedHistogram h;
+    h.name = read_metric_name(r);
+    check_name_order(prev, h.name, "histogram");
+    prev = h.name;
+    h.histogram.count = r.u64();
+    h.histogram.sum = r.u64();
+    h.histogram.max = r.u64();
+    const std::uint32_t bucket_count = r.u32();
+    check_count(bucket_count, 2 + 8, r.remaining(), "histogram bucket");
+    h.histogram.buckets.reserve(bucket_count);
+    std::uint32_t prev_index = 0;
+    for (std::uint32_t b = 0; b < bucket_count; ++b) {
+      obs::HistogramBucket bucket;
+      bucket.index = r.u16();
+      if (bucket.index >= obs::kHistogramBucketCount) {
+        fail("histogram bucket index " + std::to_string(bucket.index) +
+             " outside the scheme (" +
+             std::to_string(obs::kHistogramBucketCount) + " buckets)");
+      }
+      if (b != 0 && bucket.index <= prev_index) {
+        fail("histogram buckets are not strictly index-sorted (" +
+             std::to_string(prev_index) + " then " +
+             std::to_string(bucket.index) + ")");
+      }
+      prev_index = bucket.index;
+      bucket.count = r.u64();
+      if (bucket.count == 0) {
+        fail("histogram bucket " + std::to_string(bucket.index) +
+             " carries a zero count (occupied buckets only)");
+      }
+      h.histogram.buckets.push_back(bucket);
+    }
+    msg.metrics.histograms.push_back(std::move(h));
+  }
+  r.finish();
+  return msg;
 }
 
 std::vector<std::uint8_t> encode_payload(const ErrorResponse& msg) {

@@ -1,5 +1,5 @@
 /// \file
-/// \brief The decomposition service wire protocol (`.mpxq`, version 1).
+/// \brief The decomposition service wire protocol (`.mpxq`, version 2).
 ///
 /// A versioned, length-prefixed binary protocol carrying
 /// `DecompositionRequest`s and query results between `DecompClient`
@@ -27,6 +27,7 @@
 
 #include "core/decomposer.hpp"
 #include "graph/builder.hpp"
+#include "obs/metrics.hpp"
 #include "support/types.hpp"
 
 namespace mpx::server {
@@ -42,8 +43,11 @@ class ProtocolError : public std::runtime_error {
 /// First 4 bytes of every frame: "MPXQ" (Q for query).
 inline constexpr unsigned char kFrameMagic[4] = {'M', 'P', 'X', 'Q'};
 
-/// Current (and only) protocol version. Decoders reject anything else.
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Current protocol version. Decoders reject anything else (the
+/// versioning rules in docs/PROTOCOL.md: new message types are not
+/// compatible extensions). Version 2 = version 1 plus the
+/// kStatsRequest/kStatsResponse pair.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 
 /// Fixed frame-header size; the payload follows immediately.
 inline constexpr std::size_t kFrameHeaderBytes = 16;
@@ -67,7 +71,7 @@ inline constexpr std::uint64_t kMaxRequestPayloadBytes = 1ull << 20;
 /// betas; 64 is an order of magnitude of headroom.
 inline constexpr std::uint32_t kMaxBatchBetas = 64;
 
-/// Frame type tags. Requests are 0x01–0x06; each response is its request
+/// Frame type tags. Requests are 0x01–0x07; each response is its request
 /// with the high bit set; kErrorResponse may answer any request.
 enum class MessageType : std::uint16_t {
   kInfoRequest = 0x01,      ///< graph/server metadata probe
@@ -76,12 +80,14 @@ enum class MessageType : std::uint16_t {
   kBoundaryRequest = 0x04,  ///< the cut-edge list
   kBatchRequest = 0x05,     ///< multi-beta batch run
   kShutdownRequest = 0x06,  ///< graceful server-wide shutdown
+  kStatsRequest = 0x07,     ///< full metrics snapshot (v2)
   kInfoResponse = 0x81,
   kRunResponse = 0x82,
   kQueryResponse = 0x83,
   kBoundaryResponse = 0x84,
   kBatchResponse = 0x85,
   kShutdownResponse = 0x86,
+  kStatsResponse = 0x87,
   kErrorResponse = 0xFF,
 };
 
@@ -231,6 +237,52 @@ struct ShutdownResponse {
                          const ShutdownResponse&) = default;
 };
 
+/// kStatsRequest carries an empty payload.
+struct StatsRequest {
+  friend bool operator==(const StatsRequest&, const StatsRequest&) = default;
+};
+
+/// Inner format tag of the kStatsResponse payload; receivers MUST reject
+/// other values, so the stats snapshot can evolve without touching the
+/// frame-level protocol version.
+inline constexpr std::uint16_t kStatsFormatVersion = 1;
+
+/// The server's full metrics snapshot: the fixed lifetime counters of
+/// `ServerStats`, the result-store and block-cache occupancy, and the
+/// generic metrics registry (per-request-type latency histograms,
+/// queue-wait, decompose phase timings — docs/OBSERVABILITY.md lists the
+/// names). Histogram buckets travel sparse: only occupied buckets, in
+/// strictly ascending index order.
+struct StatsResponse {
+  // Lifetime server counters (ServerStats mirror).
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t info_requests = 0;
+  std::uint64_t run_requests = 0;
+  std::uint64_t query_requests = 0;
+  std::uint64_t boundary_requests = 0;
+  std::uint64_t batch_requests = 0;
+  std::uint64_t stats_requests = 0;
+  std::uint64_t accept_backoffs = 0;
+  std::uint64_t write_timeouts = 0;
+  std::uint64_t results_computed = 0;
+  double service_seconds = 0.0;  ///< total wall time inside handlers
+  // Result-store occupancy and the paged graph's block-cache counters
+  // (all zero without --memory-budget).
+  std::uint64_t store_resident_results = 0;
+  std::uint64_t store_computes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_resident_blocks = 0;
+  std::uint64_t cache_resident_bytes = 0;
+  /// Everything the metrics registry holds, name-sorted per section.
+  obs::MetricsSnapshot metrics;
+
+  friend bool operator==(const StatsResponse&, const StatsResponse&) = default;
+};
+
 /// Why the server declined a request. Sent as kErrorResponse.
 struct ErrorResponse {
   ErrorCode code = ErrorCode::kInternal;
@@ -273,6 +325,8 @@ struct ErrorResponse {
 [[nodiscard]] std::vector<std::uint8_t> encode_payload(const ShutdownRequest&);
 [[nodiscard]] std::vector<std::uint8_t> encode_payload(
     const ShutdownResponse&);
+[[nodiscard]] std::vector<std::uint8_t> encode_payload(const StatsRequest&);
+[[nodiscard]] std::vector<std::uint8_t> encode_payload(const StatsResponse&);
 [[nodiscard]] std::vector<std::uint8_t> encode_payload(const ErrorResponse&);
 
 [[nodiscard]] InfoRequest decode_info_request(
@@ -298,6 +352,10 @@ struct ErrorResponse {
 [[nodiscard]] ShutdownRequest decode_shutdown_request(
     std::span<const std::uint8_t> payload);
 [[nodiscard]] ShutdownResponse decode_shutdown_response(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] StatsRequest decode_stats_request(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] StatsResponse decode_stats_response(
     std::span<const std::uint8_t> payload);
 [[nodiscard]] ErrorResponse decode_error_response(
     std::span<const std::uint8_t> payload);

@@ -110,6 +110,9 @@ struct Connection {
     std::shared_ptr<const MaterializedDecomposition> keepalive;
     std::size_t chunk = 0;
     std::size_t offset = 0;
+    /// Enqueue instant (steady ns), 0 when observability is off; feeds
+    /// the server.response_write histogram / trace span at retirement.
+    std::uint64_t enqueued_ns = 0;
   };
   std::deque<Outbound> outbox;  ///< responses in request order
   std::size_t outbox_bytes = 0;
@@ -143,6 +146,10 @@ struct Connection {
   /// after any earlier in-order responses — the protocol's error
   /// resynchronization rule.
   bool close_after_flush = false;
+  /// Instant (steady ns) this connection entered the ready queue, 0 when
+  /// observability is off; feeds the server.queue_wait histogram / trace
+  /// span when a worker claims it.
+  std::uint64_t ready_since_ns = 0;
 };
 
 /// What a worker decided after servicing a checked-out connection.
@@ -186,6 +193,47 @@ void recycle_frame(Connection& conn, Connection::Outbound&& done) {
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Steady-clock nanoseconds, the observability timestamp base (durations
+/// only; never compared across processes).
+[[nodiscard]] std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Slot of the per-request-type service histogram in Impl::h_service, or
+/// -1 for frames outside the request set (shutdown, stray responses).
+[[nodiscard]] int service_slot(MessageType type) {
+  switch (type) {
+    case MessageType::kInfoRequest: return 0;
+    case MessageType::kRunRequest: return 1;
+    case MessageType::kQueryRequest: return 2;
+    case MessageType::kBoundaryRequest: return 3;
+    case MessageType::kBatchRequest: return 4;
+    case MessageType::kStatsRequest: return 5;
+    default: return -1;
+  }
+}
+
+/// Static span label for a serviced frame's trace event.
+[[nodiscard]] const char* service_span_name(MessageType type) {
+  switch (type) {
+    case MessageType::kInfoRequest: return "service.info";
+    case MessageType::kRunRequest: return "service.run";
+    case MessageType::kQueryRequest: return "service.query";
+    case MessageType::kBoundaryRequest: return "service.boundary";
+    case MessageType::kBatchRequest: return "service.batch";
+    case MessageType::kStatsRequest: return "service.stats";
+    case MessageType::kShutdownRequest: return "service.shutdown";
+    default: return "service.other";
+  }
+}
+
+[[nodiscard]] std::uint64_t seconds_to_ns(double seconds) {
+  return seconds > 0.0 ? static_cast<std::uint64_t>(seconds * 1e9) : 0;
 }
 
 #endif  // MPX_SERVER_HAVE_SOCKETS
@@ -275,27 +323,66 @@ struct DecompServer::Impl {
   std::atomic<std::uint64_t> query_requests{0};
   std::atomic<std::uint64_t> boundary_requests{0};
   std::atomic<std::uint64_t> batch_requests{0};
+  std::atomic<std::uint64_t> stats_requests{0};
   std::atomic<std::uint64_t> accept_backoffs{0};
   std::atomic<std::uint64_t> write_timeouts{0};
   std::atomic<std::uint64_t> service_nanos{0};
+
+  // --- Observability (docs/OBSERVABILITY.md) ---
+  /// Registry behind kStatsResponse's generic sections. Instruments are
+  /// registered once in start() (below); the serving path records through
+  /// the cached pointers lock-free.
+  obs::MetricsRegistry metrics;
+  bool metrics_on = true;  ///< config.metrics_enabled, cached for the hot path
+  /// Per-request-type service latency, indexed by service_slot().
+  obs::LatencyHistogram* h_service[6] = {};
+  obs::LatencyHistogram* h_queue_wait = nullptr;      ///< ready → claimed
+  obs::LatencyHistogram* h_response_write = nullptr;  ///< enqueue → last byte
+  obs::Gauge* g_outbox_bytes = nullptr;     ///< live, summed across conns
+  obs::Gauge* g_store_resident = nullptr;   ///< refreshed per snapshot
+  obs::Gauge* g_cache_blocks = nullptr;     ///< refreshed per snapshot
+  obs::Gauge* g_cache_bytes = nullptr;      ///< refreshed per snapshot
+  /// Span ring when config.trace_path is set; null otherwise (the span
+  /// record sites all guard on this).
+  std::unique_ptr<obs::TraceRecorder> tracer;
+
+  /// Re-derive the snapshot-time gauges from their sources (the live
+  /// outbox gauge is maintained incrementally by enqueue/flush/close).
+  void refresh_gauges() {
+    if (g_store_resident == nullptr || store == nullptr) return;
+    g_store_resident->set(static_cast<std::int64_t>(store->size()));
+    const storage::ShardedBlockCache::Stats cache = store->cache_stats();
+    g_cache_blocks->set(static_cast<std::int64_t>(cache.resident_blocks));
+    g_cache_bytes->set(static_cast<std::int64_t>(cache.resident_bytes));
+  }
 
 #if MPX_SERVER_HAVE_SOCKETS
   void open_listener();
   void dispatch_loop();
   void accept_new();
-  void worker_loop();
+  void worker_loop(std::uint32_t worker_id);
   /// Called by a worker right before a store operation that may block
   /// (cold compute, single-flight wait, warm-file IO): wakes one sleeping
   /// worker if the ready queue would otherwise be stranded behind us.
   void kick_helper();
-  [[nodiscard]] Disposition service(Connection& conn);
+  [[nodiscard]] Disposition service(Connection& conn,
+                                    std::uint32_t worker_id);
   /// Non-blocking flush of the outbox front; false on a dead transport.
   [[nodiscard]] bool flush(Connection& conn);
   /// Non-blocking read of whatever the socket holds (bounded by
   /// kInbufPauseBytes); false on a dead transport.
   [[nodiscard]] bool read_available(Connection& conn);
   void handle_frame(Connection& conn, const FrameHeader& header,
-                    std::span<const std::uint8_t> payload);
+                    std::span<const std::uint8_t> payload,
+                    std::uint32_t worker_id);
+  /// Record the response_write observation for a fully flushed frame,
+  /// then recycle its buffer.
+  void retire_frame(Connection& conn, Connection::Outbound&& done);
+  /// Synthesize decompose-phase spans for a cold acquire from its run
+  /// telemetry: the store computed [shift][search][assemble] back to
+  /// back, ending (approximately) now, on this worker's lane.
+  void record_decompose_trace(const RunTelemetry& t,
+                              std::uint32_t worker_id);
   void enqueue(Connection& conn, EncodedFrame frame,
                std::shared_ptr<const MaterializedDecomposition> keepalive =
                    nullptr);
@@ -500,6 +587,12 @@ void DecompServer::Impl::dispatch_loop() {
         if ((pfds[i].revents &
              (POLLIN | POLLOUT | POLLERR | POLLHUP | POLLNVAL)) != 0) {
           conn->state = Connection::State::kReady;
+          if (metrics_on || tracer != nullptr) {
+            conn->ready_since_ns = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    now.time_since_epoch())
+                    .count());
+          }
           ready.push_back(conn);
           ++woke;
           continue;
@@ -509,6 +602,10 @@ void DecompServer::Impl::dispatch_loop() {
         if (timeout_enabled && !conn->outbox.empty() &&
             now - conn->write_stalled_since >= write_timeout) {
           write_timeouts.fetch_add(1, std::memory_order_relaxed);
+          if (metrics_on && conn->outbox_bytes != 0) {
+            g_outbox_bytes->add(
+                -static_cast<std::int64_t>(conn->outbox_bytes));
+          }
           ::close(conn->fd);
           conns.erase(conn->fd);
         }
@@ -538,7 +635,7 @@ void DecompServer::Impl::kick_helper() {
   if (kick) ready_cv.notify_one();
 }
 
-void DecompServer::Impl::worker_loop() {
+void DecompServer::Impl::worker_loop(std::uint32_t worker_id) {
   // One critical section per iteration: apply the previous connection's
   // disposition AND pop the next ready connection under the same lock
   // (a busy server otherwise pays two acquires per request).
@@ -552,6 +649,10 @@ void DecompServer::Impl::worker_loop() {
       if (done != nullptr) {
         switch (disposition) {
           case Disposition::kClose:
+            if (metrics_on && done->outbox_bytes != 0) {
+              g_outbox_bytes->add(
+                  -static_cast<std::int64_t>(done->outbox_bytes));
+            }
             ::close(done->fd);
             conns.erase(done->fd);
             break;
@@ -559,6 +660,9 @@ void DecompServer::Impl::worker_loop() {
             // Net queue size is unchanged (we push one, we pop one
             // below), so no other worker needs a wakeup.
             done->state = Connection::State::kReady;
+            if (metrics_on || tracer != nullptr) {
+              done->ready_since_ns = steady_now_ns();
+            }
             ready.push_back(done);
             break;
           case Disposition::kPark:
@@ -599,9 +703,24 @@ void DecompServer::Impl::worker_loop() {
       ready.pop_front();
       conn->state = Connection::State::kBusy;
     }
+    // Queue wait: ready-queue entry to worker claim. Recorded outside the
+    // lock — the connection is exclusively ours now.
+    if ((metrics_on || tracer != nullptr) && conn->ready_since_ns != 0) {
+      const std::uint64_t now = steady_now_ns();
+      const std::uint64_t wait_ns =
+          now > conn->ready_since_ns ? now - conn->ready_since_ns : 0;
+      if (metrics_on) h_queue_wait->record(wait_ns);
+      if (tracer != nullptr) {
+        const std::uint64_t trace_now = tracer->now_ns();
+        tracer->record(obs::TraceSpan{
+            "queue_wait", "server", static_cast<std::uint32_t>(conn->fd),
+            trace_now > wait_ns ? trace_now - wait_ns : 0, wait_ns});
+      }
+      conn->ready_since_ns = 0;
+    }
     disposition = Disposition::kClose;
     try {
-      disposition = service(*conn);
+      disposition = service(*conn, worker_id);
     } catch (const std::exception&) {
       // A connection must never take its worker down (e.g. bad_alloc on
       // a huge-but-in-bounds payload claim); drop it and serve the next.
@@ -631,7 +750,7 @@ bool DecompServer::Impl::flush(Connection& conn) {
       }
     }
     if (iov_count == 0) {
-      recycle_frame(conn, std::move(conn.outbox.front()));
+      retire_frame(conn, std::move(conn.outbox.front()));
       conn.outbox.pop_front();
       continue;
     }
@@ -650,6 +769,7 @@ bool DecompServer::Impl::flush(Connection& conn) {
     }
     conn.write_stalled_since = std::chrono::steady_clock::now();
     conn.outbox_bytes -= static_cast<std::size_t>(sent);
+    if (metrics_on) g_outbox_bytes->add(-static_cast<std::int64_t>(sent));
     // Advance the flush cursor across frames/chunks, retiring completed
     // frames (and releasing their keepalive store entries).
     std::size_t remaining = static_cast<std::size_t>(sent);
@@ -675,7 +795,7 @@ bool DecompServer::Impl::flush(Connection& conn) {
         if (remaining == 0) break;
       }
       if (front.chunk == front.frame.chunks.size()) {
-        recycle_frame(conn, std::move(front));
+        retire_frame(conn, std::move(front));
         conn.outbox.pop_front();
       } else {
         break;  // partial frame: the cursor holds the position
@@ -683,6 +803,46 @@ bool DecompServer::Impl::flush(Connection& conn) {
     }
   }
   return true;
+}
+
+void DecompServer::Impl::retire_frame(Connection& conn,
+                                      Connection::Outbound&& done) {
+  // A nonzero stamp implies observability was on at enqueue time (both
+  // flags are fixed for the server's lifetime).
+  if (done.enqueued_ns != 0) {
+    const std::uint64_t now = steady_now_ns();
+    const std::uint64_t dur =
+        now > done.enqueued_ns ? now - done.enqueued_ns : 0;
+    if (metrics_on) h_response_write->record(dur);
+    if (tracer != nullptr) {
+      const std::uint64_t trace_now = tracer->now_ns();
+      tracer->record(obs::TraceSpan{
+          "response_write", "server", static_cast<std::uint32_t>(conn.fd),
+          trace_now > dur ? trace_now - dur : 0, dur});
+    }
+  }
+  recycle_frame(conn, std::move(done));
+}
+
+void DecompServer::Impl::record_decompose_trace(const RunTelemetry& t,
+                                                std::uint32_t worker_id) {
+  // The acquire returned moments ago, so lay the phases out back to back
+  // ending now; per-round interleaving is collapsed into one block per
+  // phase (the histogram side keeps the exact per-phase totals).
+  const std::uint64_t total = seconds_to_ns(t.total_seconds);
+  const std::uint64_t end = tracer->now_ns();
+  const std::uint64_t start = end > total ? end - total : 0;
+  const std::uint64_t shift = seconds_to_ns(t.shift_seconds);
+  const std::uint64_t search = seconds_to_ns(t.search_seconds);
+  const std::uint64_t assemble = seconds_to_ns(t.assemble_seconds);
+  tracer->record(obs::TraceSpan{"decompose", "decomp", worker_id, start,
+                                total});
+  tracer->record(obs::TraceSpan{"decompose.shift", "decomp", worker_id,
+                                start, shift});
+  tracer->record(obs::TraceSpan{"decompose.search", "decomp", worker_id,
+                                start + shift, search});
+  tracer->record(obs::TraceSpan{"decompose.assemble", "decomp", worker_id,
+                                start + shift + search, assemble});
 }
 
 bool DecompServer::Impl::read_available(Connection& conn) {
@@ -729,7 +889,8 @@ bool complete_frame_buffered(const Connection& conn) {
 
 }  // namespace
 
-Disposition DecompServer::Impl::service(Connection& conn) {
+Disposition DecompServer::Impl::service(Connection& conn,
+                                        std::uint32_t worker_id) {
   if (!flush(conn)) return Disposition::kClose;
   if (!conn.saw_eof && !conn.close_after_flush &&
       conn.outbox_bytes <= kOutboxPauseBytes) {
@@ -773,7 +934,7 @@ Disposition DecompServer::Impl::service(Connection& conn) {
 
     WallTimer timer;
     try {
-      handle_frame(conn, header, payload);
+      handle_frame(conn, header, payload, worker_id);
     } catch (const HandlerError& e) {
       enqueue_error(conn, e.code, e.message);
     } catch (const ProtocolError& e) {
@@ -784,9 +945,22 @@ Disposition DecompServer::Impl::service(Connection& conn) {
       enqueue_error(conn, ErrorCode::kInternal, e.what());
     }
     requests.fetch_add(1, std::memory_order_relaxed);
-    service_nanos.fetch_add(
-        static_cast<std::uint64_t>(timer.seconds() * 1e9),
-        std::memory_order_relaxed);
+    const std::uint64_t elapsed_ns =
+        static_cast<std::uint64_t>(timer.seconds() * 1e9);
+    service_nanos.fetch_add(elapsed_ns, std::memory_order_relaxed);
+    // Per-type service latency + the service trace span reuse the timer
+    // that already feeds ServerStats::service_seconds — no extra clock
+    // read on the metrics path.
+    if (metrics_on) {
+      const int slot = service_slot(header.type);
+      if (slot >= 0) h_service[slot]->record(elapsed_ns);
+    }
+    if (tracer != nullptr) {
+      const std::uint64_t trace_now = tracer->now_ns();
+      tracer->record(obs::TraceSpan{
+          service_span_name(header.type), "server", worker_id,
+          trace_now > elapsed_ns ? trace_now - elapsed_ns : 0, elapsed_ns});
+    }
     // Keep queued response memory bounded while a pipelining client
     // blasts requests: push bytes to the socket between frames.
     if (conn.outbox_bytes > kOutboxPauseBytes && !flush(conn)) {
@@ -832,10 +1006,15 @@ void DecompServer::Impl::enqueue(
   if (conn.outbox.empty()) {
     conn.write_stalled_since = std::chrono::steady_clock::now();
   }
-  conn.outbox_bytes += frame.total_bytes();
+  const std::size_t frame_bytes = frame.total_bytes();
+  conn.outbox_bytes += frame_bytes;
+  if (metrics_on) {
+    g_outbox_bytes->add(static_cast<std::int64_t>(frame_bytes));
+  }
   Connection::Outbound out;
   out.frame = std::move(frame);
   out.keepalive = std::move(keepalive);
+  if (metrics_on || tracer != nullptr) out.enqueued_ns = steady_now_ns();
   conn.outbox.push_back(std::move(out));
 }
 
@@ -848,7 +1027,8 @@ void DecompServer::Impl::enqueue_error(Connection& conn, ErrorCode code,
 
 void DecompServer::Impl::handle_frame(Connection& conn,
                                       const FrameHeader& header,
-                                      std::span<const std::uint8_t> payload) {
+                                      std::span<const std::uint8_t> payload,
+                                      std::uint32_t worker_id) {
   const vertex_t n = store->num_vertices();
   switch (header.type) {
     case MessageType::kInfoRequest: {
@@ -875,6 +1055,10 @@ void DecompServer::Impl::handle_frame(Connection& conn,
       kick_helper();  // acquire may block on a cold decomposition
       const SharedResultStore::Acquired acquired =
           store->acquire(req.request);
+      if (tracer != nullptr && !acquired.from_cache) {
+        record_decompose_trace(acquired.entry->result().telemetry,
+                               worker_id);
+      }
       // Only an acquire can push the store over its bound (the acquired
       // entry itself stays alive through the shared_ptr regardless).
       enforce_cache_bound();
@@ -961,7 +1145,13 @@ void DecompServer::Impl::handle_frame(Connection& conn,
                 req.request.algorithm + "' produces real-valued radii"};
       }
       kick_helper();  // acquire may block on a cold decomposition
-      conn.memo_entry = store->acquire(req.request).entry;
+      const SharedResultStore::Acquired acquired =
+          store->acquire(req.request);
+      if (tracer != nullptr && !acquired.from_cache) {
+        record_decompose_trace(acquired.entry->result().telemetry,
+                               worker_id);
+      }
+      conn.memo_entry = acquired.entry;
       conn.memo_request = req.request;
       conn.memo_payload.assign(payload.begin(), payload.end());
       conn.memo_distance_ok = distance_ok;
@@ -974,7 +1164,13 @@ void DecompServer::Impl::handle_frame(Connection& conn,
       boundary_requests.fetch_add(1, std::memory_order_relaxed);
       if (conn.memo_entry == nullptr || !(conn.memo_request == req.request)) {
         kick_helper();  // acquire may block on a cold decomposition
-        conn.memo_entry = store->acquire(req.request).entry;
+        const SharedResultStore::Acquired acquired =
+            store->acquire(req.request);
+        if (tracer != nullptr && !acquired.from_cache) {
+          record_decompose_trace(acquired.entry->result().telemetry,
+                                 worker_id);
+        }
+        conn.memo_entry = acquired.entry;
         conn.memo_request = req.request;
         conn.memo_payload.clear();  // byte memo no longer matches the entry
         enforce_cache_bound();  // only an acquire can exceed the bound
@@ -991,6 +1187,13 @@ void DecompServer::Impl::handle_frame(Connection& conn,
       kick_helper();  // the batch may block on several cold decompositions
       const std::vector<SharedResultStore::Acquired> acquired =
           store->acquire_batch(req.base, req.betas);
+      if (tracer != nullptr) {
+        for (const SharedResultStore::Acquired& a : acquired) {
+          if (!a.from_cache) {
+            record_decompose_trace(a.entry->result().telemetry, worker_id);
+          }
+        }
+      }
       enforce_cache_bound();  // only an acquire can exceed the bound
       BatchResponse out;
       out.entries.reserve(acquired.size());
@@ -1004,6 +1207,44 @@ void DecompServer::Impl::handle_frame(Connection& conn,
       }
       enqueue(conn,
               make_owned_frame(encode_message(MessageType::kBatchResponse,
+                                              out)));
+      return;
+    }
+    case MessageType::kStatsRequest: {
+      (void)decode_stats_request(payload);
+      stats_requests.fetch_add(1, std::memory_order_relaxed);
+      StatsResponse out;
+      out.connections = connections.load(std::memory_order_relaxed);
+      out.requests = requests.load(std::memory_order_relaxed);
+      out.errors = errors.load(std::memory_order_relaxed);
+      out.info_requests = info_requests.load(std::memory_order_relaxed);
+      out.run_requests = run_requests.load(std::memory_order_relaxed);
+      out.query_requests = query_requests.load(std::memory_order_relaxed);
+      out.boundary_requests =
+          boundary_requests.load(std::memory_order_relaxed);
+      out.batch_requests = batch_requests.load(std::memory_order_relaxed);
+      out.stats_requests = stats_requests.load(std::memory_order_relaxed);
+      out.accept_backoffs = accept_backoffs.load(std::memory_order_relaxed);
+      out.write_timeouts = write_timeouts.load(std::memory_order_relaxed);
+      out.results_computed = store->computes();
+      out.service_seconds =
+          static_cast<double>(
+              service_nanos.load(std::memory_order_relaxed)) /
+          1e9;
+      out.store_resident_results = store->size();
+      out.store_computes = store->computes();
+      const storage::ShardedBlockCache::Stats cache = store->cache_stats();
+      out.cache_hits = cache.hits;
+      out.cache_misses = cache.misses;
+      out.cache_evictions = cache.evictions;
+      out.cache_resident_blocks = cache.resident_blocks;
+      out.cache_resident_bytes = cache.resident_bytes;
+      // Registry sections ride along (empty registry when metrics are
+      // off — the fixed counters above stay live either way).
+      refresh_gauges();
+      out.metrics = metrics.snapshot();
+      enqueue(conn,
+              make_owned_frame(encode_message(MessageType::kStatsResponse,
                                               out)));
       return;
     }
@@ -1023,6 +1264,7 @@ void DecompServer::Impl::handle_frame(Connection& conn,
     case MessageType::kQueryResponse:
     case MessageType::kBoundaryResponse:
     case MessageType::kBatchResponse:
+    case MessageType::kStatsResponse:
     case MessageType::kShutdownResponse:
     case MessageType::kErrorResponse:
       break;
@@ -1067,6 +1309,7 @@ ServerStats DecompServer::stats() const {
   s.boundary_requests =
       impl_->boundary_requests.load(std::memory_order_relaxed);
   s.batch_requests = impl_->batch_requests.load(std::memory_order_relaxed);
+  s.stats_requests = impl_->stats_requests.load(std::memory_order_relaxed);
   s.accept_backoffs = impl_->accept_backoffs.load(std::memory_order_relaxed);
   s.write_timeouts = impl_->write_timeouts.load(std::memory_order_relaxed);
   s.results_computed =
@@ -1076,6 +1319,15 @@ ServerStats DecompServer::stats() const {
           impl_->service_nanos.load(std::memory_order_relaxed)) /
       1e9;
   return s;
+}
+
+obs::MetricsSnapshot DecompServer::metrics_snapshot() const {
+  impl_->refresh_gauges();
+  return impl_->metrics.snapshot();
+}
+
+const obs::TraceRecorder* DecompServer::trace() const {
+  return impl_->tracer.get();
 }
 
 #if MPX_SERVER_HAVE_SOCKETS
@@ -1114,6 +1366,28 @@ void DecompServer::start() {
   }
   impl.restore_warm(/*strict=*/true);
 
+  // Register every instrument once, before any serving thread exists:
+  // the cached pointers are stable for the registry's lifetime, so the
+  // hot path records without touching the registry mutex.
+  impl.metrics_on = impl.config.metrics_enabled;
+  impl.h_service[0] = &impl.metrics.histogram("server.service.info");
+  impl.h_service[1] = &impl.metrics.histogram("server.service.run");
+  impl.h_service[2] = &impl.metrics.histogram("server.service.query");
+  impl.h_service[3] = &impl.metrics.histogram("server.service.boundary");
+  impl.h_service[4] = &impl.metrics.histogram("server.service.batch");
+  impl.h_service[5] = &impl.metrics.histogram("server.service.stats");
+  impl.h_queue_wait = &impl.metrics.histogram("server.queue_wait");
+  impl.h_response_write = &impl.metrics.histogram("server.response_write");
+  impl.g_outbox_bytes = &impl.metrics.gauge("server.outbox_bytes");
+  impl.g_store_resident = &impl.metrics.gauge("store.resident_results");
+  impl.g_cache_blocks = &impl.metrics.gauge("cache.resident_blocks");
+  impl.g_cache_bytes = &impl.metrics.gauge("cache.resident_bytes");
+  if (impl.metrics_on) impl.store->set_metrics(&impl.metrics);
+  if (!impl.config.trace_path.empty()) {
+    impl.tracer =
+        std::make_unique<obs::TraceRecorder>(impl.config.trace_capacity);
+  }
+
   impl.open_listener();
   if (::pipe(impl.wake_fds) != 0) {
     ::close(impl.listen_fd);
@@ -1128,7 +1402,9 @@ void DecompServer::start() {
   impl.dispatcher = std::thread([&impl] { impl.dispatch_loop(); });
   impl.workers.reserve(static_cast<std::size_t>(impl.config.workers));
   for (int i = 0; i < impl.config.workers; ++i) {
-    impl.workers.emplace_back([&impl] { impl.worker_loop(); });
+    const std::uint32_t worker_id = static_cast<std::uint32_t>(i);
+    impl.workers.emplace_back(
+        [&impl, worker_id] { impl.worker_loop(worker_id); });
   }
 }
 
@@ -1150,6 +1426,11 @@ void DecompServer::wait() {
   for (auto& [fd, conn] : impl.conns) ::close(fd);
   impl.conns.clear();
   impl.ready.clear();
+  // Every queued-but-unflushed response died with its connection.
+  if (impl.g_outbox_bytes != nullptr) impl.g_outbox_bytes->set(0);
+  if (impl.tracer != nullptr && !impl.config.trace_path.empty()) {
+    (void)impl.tracer->write_chrome_trace(impl.config.trace_path);
+  }
   if (impl.listen_fd >= 0) {
     ::close(impl.listen_fd);
     impl.listen_fd = -1;

@@ -38,12 +38,15 @@
 /// throws std::runtime_error (the protocol layer itself is portable).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/decomposer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mpx::server {
 
@@ -90,6 +93,20 @@ struct ServerConfig {
   /// **paged** — only "mpx" decomposes, and the info response reports the
   /// block cache's lifetime hit/miss/eviction counters.
   std::uint64_t memory_budget_bytes = 0;
+  /// Feed the metrics registry (per-request-type latency histograms,
+  /// queue-wait, outbox depth, decompose phase timings) on the serving
+  /// path. Off skips the histogram records *and* the steady-clock reads
+  /// that feed them; kStatsRequest still answers, with the fixed counters
+  /// live and the registry sections empty. (Compile with
+  /// -DMPX_OBS_DISABLE to remove the record path entirely.)
+  bool metrics_enabled = true;
+  /// When non-empty, record per-request spans (queue_wait, service,
+  /// decompose phases, response_write) and export them as Chrome
+  /// trace-event JSON to this path when the server stops
+  /// (docs/OBSERVABILITY.md).
+  std::string trace_path;
+  /// Span ring capacity for trace_path (oldest spans overwritten).
+  std::size_t trace_capacity = 1u << 16;
 };
 
 /// Snapshot of the server's lifetime request telemetry.
@@ -102,6 +119,7 @@ struct ServerStats {
   std::uint64_t query_requests = 0;
   std::uint64_t boundary_requests = 0;
   std::uint64_t batch_requests = 0;
+  std::uint64_t stats_requests = 0;
   /// Times the acceptor backed off for a poll interval because accept()
   /// hit fd exhaustion (EMFILE/ENFILE and kin) — without the backoff a
   /// ready listener it cannot drain would busy-spin the dispatcher.
@@ -153,6 +171,14 @@ class DecompServer {
 
   [[nodiscard]] const ServerConfig& config() const;
   [[nodiscard]] ServerStats stats() const;
+
+  /// Snapshot of the server's metrics registry (what kStatsResponse
+  /// carries in its generic sections). Valid after start().
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+
+  /// The trace recorder, or nullptr when tracing is off (no trace_path).
+  /// Valid after start(); the pointer is stable until destruction.
+  [[nodiscard]] const obs::TraceRecorder* trace() const;
 
  private:
   struct Impl;

@@ -1,0 +1,399 @@
+// Tests for the observability subsystem (src/obs/): the log-bucketed
+// latency histogram's bucket scheme (monotone, invertible, 1/16 relative
+// error), quantiles checked against exact sorted samples over the seeded
+// corpus, merge associativity/commutativity, the registry's stable-
+// reference contract, the cross-thread record hammer (the TSan job runs
+// this), the session-telemetry bridge, and the trace recorder's bounded
+// ring + Chrome trace-event JSON export.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.hpp"
+#include "core/telemetry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/property.hpp"
+#include "support/random.hpp"
+
+namespace mpx::obs {
+namespace {
+
+// --- bucket scheme ---------------------------------------------------------
+
+TEST(ObsHistogram, BucketIndexIsExactBelowSubBucketCount) {
+  for (std::uint64_t v = 0; v < kHistogramSubBuckets; ++v) {
+    EXPECT_EQ(histogram_bucket_index(v), v);
+    EXPECT_EQ(histogram_bucket_lower(static_cast<std::size_t>(v)), v);
+    EXPECT_EQ(histogram_bucket_upper(static_cast<std::size_t>(v)), v);
+  }
+}
+
+TEST(ObsHistogram, BucketBoundsInvertTheIndex) {
+  for (std::size_t i = 0; i < kHistogramBucketCount; ++i) {
+    SCOPED_TRACE("bucket=" + std::to_string(i));
+    const std::uint64_t lower = histogram_bucket_lower(i);
+    const std::uint64_t upper = histogram_bucket_upper(i);
+    ASSERT_LE(lower, upper);
+    EXPECT_EQ(histogram_bucket_index(lower), i);
+    EXPECT_EQ(histogram_bucket_index(upper), i);
+    if (i + 1 < kHistogramBucketCount) {
+      // Buckets tile the u64 range with no gaps and no overlap.
+      EXPECT_EQ(histogram_bucket_lower(i + 1), upper + 1);
+    }
+  }
+  EXPECT_EQ(histogram_bucket_index(~0ull), kHistogramBucketCount - 1);
+}
+
+TEST(ObsHistogram, BucketIndexIsMonotone) {
+  testing::for_each_seed(8, [](std::uint64_t seed) {
+    Xoshiro256pp rng(seed);
+    for (int i = 0; i < 2000; ++i) {
+      // Mixed magnitudes: shift a raw draw by a random amount.
+      const std::uint64_t a = rng() >> rng.next_below(64);
+      const std::uint64_t b = rng() >> rng.next_below(64);
+      const std::uint64_t lo = std::min(a, b);
+      const std::uint64_t hi = std::max(a, b);
+      EXPECT_LE(histogram_bucket_index(lo), histogram_bucket_index(hi));
+    }
+  });
+}
+
+TEST(ObsHistogram, BucketWidthIsWithinOneSixteenthOfTheValue) {
+  // The documented accuracy contract: every value >= 16 lands in a bucket
+  // whose width is at most lower/16, so any in-bucket answer is within
+  // +6.25% of the truth.
+  testing::for_each_seed(8, [](std::uint64_t seed) {
+    Xoshiro256pp rng(seed);
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t v = rng() >> rng.next_below(64);
+      if (v < kHistogramSubBuckets) continue;
+      const std::size_t idx = histogram_bucket_index(v);
+      const std::uint64_t lower = histogram_bucket_lower(idx);
+      const std::uint64_t width =
+          histogram_bucket_upper(idx) - lower + 1;
+      EXPECT_LE(width * kHistogramSubBuckets, lower + kHistogramSubBuckets);
+    }
+  });
+}
+
+// --- recording and quantiles -----------------------------------------------
+
+TEST(ObsHistogram, EmptyHistogramIsAllZero) {
+  LatencyHistogram h;
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_TRUE(s.buckets.empty());
+  EXPECT_EQ(s.quantile(0.5), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(ObsHistogram, SingleSampleQuantilesClampToTheExactMax) {
+  LatencyHistogram h;
+  h.record(123456789);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.sum, 123456789u);
+  EXPECT_EQ(s.max, 123456789u);
+  ASSERT_EQ(s.buckets.size(), 1u);
+  // Every quantile of a one-sample distribution is that sample: the
+  // bucket upper bound is clamped to the recorded max, which is exact.
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    SCOPED_TRACE("q=" + std::to_string(q));
+    EXPECT_EQ(s.quantile(q), 123456789u);
+  }
+}
+
+TEST(ObsHistogram, RecordSecondsClampsNegativeToZero) {
+  LatencyHistogram h;
+  h.record_seconds(-1.0);
+  h.record_seconds(0.5);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.quantile(0.0), 0u);  // the clamped sample
+  EXPECT_EQ(s.max, 500'000'000u);  // 0.5s in ns
+}
+
+TEST(ObsHistogram, QuantilesStayWithinTheBucketErrorBoundOfExact) {
+  testing::for_each_seed(12, [](std::uint64_t seed) {
+    Xoshiro256pp rng(seed);
+    const std::size_t n = 1 + rng.next_below(3000);
+    LatencyHistogram h;
+    std::vector<std::uint64_t> exact;
+    exact.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t v = rng() >> rng.next_below(64);
+      h.record(v);
+      exact.push_back(v);
+    }
+    std::sort(exact.begin(), exact.end());
+    const HistogramSnapshot s = h.snapshot();
+    ASSERT_EQ(s.count, n);
+    EXPECT_EQ(s.max, exact.back());
+    for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+      SCOPED_TRACE("q=" + std::to_string(q));
+      const std::size_t rank = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::ceil(q * static_cast<double>(n))));
+      const std::uint64_t truth = exact[rank - 1];
+      const std::uint64_t approx = s.quantile(q);
+      // The answer is an upper bound on the exact order statistic, and
+      // over-reports by at most one bucket width (<= truth/16 + 1).
+      // Checked as a difference: `truth + truth/16` overflows u64 for
+      // samples near 2^64, which this distribution does produce.
+      ASSERT_GE(approx, truth);
+      EXPECT_LE(approx - truth, truth / kHistogramSubBuckets + 1);
+    }
+  });
+}
+
+TEST(ObsHistogram, MergeIsAssociativeCommutativeAndLossless) {
+  testing::for_each_seed(8, [](std::uint64_t seed) {
+    Xoshiro256pp rng(seed);
+    LatencyHistogram parts[3];
+    LatencyHistogram combined;
+    for (int p = 0; p < 3; ++p) {
+      const std::size_t n = rng.next_below(500);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t v = rng() >> rng.next_below(64);
+        parts[p].record(v);
+        combined.record(v);
+      }
+    }
+    const HistogramSnapshot a = parts[0].snapshot();
+    const HistogramSnapshot b = parts[1].snapshot();
+    const HistogramSnapshot c = parts[2].snapshot();
+
+    HistogramSnapshot ab_c = a;
+    ab_c.merge(b);
+    ab_c.merge(c);
+    HistogramSnapshot bc = b;
+    bc.merge(c);
+    HistogramSnapshot a_bc = a;
+    a_bc.merge(bc);
+    EXPECT_EQ(ab_c, a_bc);
+
+    HistogramSnapshot ba = b;
+    ba.merge(a);
+    HistogramSnapshot ab = a;
+    ab.merge(b);
+    EXPECT_EQ(ab, ba);
+
+    // Merging worker-local histograms loses nothing: the result is
+    // bucket-for-bucket what one shared histogram would have recorded.
+    EXPECT_EQ(ab_c, combined.snapshot());
+  });
+}
+
+TEST(ObsHistogram, MergeWithEmptyIsIdentity) {
+  LatencyHistogram h;
+  h.record(42);
+  h.record(1u << 20);
+  const HistogramSnapshot s = h.snapshot();
+  HistogramSnapshot left = s;
+  left.merge(HistogramSnapshot{});
+  EXPECT_EQ(left, s);
+  HistogramSnapshot right;
+  right.merge(s);
+  EXPECT_EQ(right, s);
+}
+
+TEST(ObsHistogram, ConcurrentRecordsAreNotLost) {
+  // The TSan job runs this: 4 writers hammer one histogram while a
+  // reader snapshots mid-flight; totals must be exact afterwards.
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50'000;
+  LatencyHistogram h;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record(i << (t * 8));  // distinct magnitude band per thread
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Concurrent snapshots must observe monotone, never-overshooting counts.
+  std::uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    const HistogramSnapshot mid = h.snapshot();
+    EXPECT_GE(mid.count, last);
+    EXPECT_LE(mid.count, kThreads * kPerThread);
+    last = mid.count;
+  }
+  for (std::thread& w : writers) w.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const HistogramBucket& b : s.buckets) bucket_total += b.count;
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+  EXPECT_EQ(s.max, (kPerThread - 1) << ((kThreads - 1) * 8));
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(ObsRegistry, InstrumentsAreStableSingletonsByName) {
+  MetricsRegistry registry;
+  Counter& c1 = registry.counter("requests");
+  Counter& c2 = registry.counter("requests");
+  EXPECT_EQ(&c1, &c2);
+  LatencyHistogram& h1 = registry.histogram("latency");
+  LatencyHistogram& h2 = registry.histogram("latency");
+  EXPECT_EQ(&h1, &h2);
+  Gauge& g1 = registry.gauge("depth");
+  Gauge& g2 = registry.gauge("depth");
+  EXPECT_EQ(&g1, &g2);
+  // Sections are independent namespaces.
+  c1.add(3);
+  g1.set(-7);
+  h1.record(100);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_or("requests"), 3u);
+  EXPECT_EQ(snap.gauge_or("depth"), -7);
+  ASSERT_NE(snap.histogram("latency"), nullptr);
+  EXPECT_EQ(snap.histogram("latency")->count, 1u);
+}
+
+TEST(ObsRegistry, SnapshotIsNameSortedPerSection) {
+  MetricsRegistry registry;
+  registry.counter("zeta").add(1);
+  registry.counter("alpha").add(2);
+  registry.counter("mid").add(3);
+  registry.histogram("b").record(1);
+  registry.histogram("a").record(2);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[1].name, "mid");
+  EXPECT_EQ(snap.counters[2].name, "zeta");
+  ASSERT_EQ(snap.histograms.size(), 2u);
+  EXPECT_EQ(snap.histograms[0].name, "a");
+  EXPECT_EQ(snap.histograms[1].name, "b");
+}
+
+TEST(ObsRegistry, RejectsUnencodableNames) {
+  MetricsRegistry registry;
+  EXPECT_THROW((void)registry.counter(""), std::invalid_argument);
+  EXPECT_THROW((void)registry.histogram(std::string(256, 'x')),
+               std::invalid_argument);
+  // The longest legal name is fine.
+  EXPECT_NO_THROW((void)registry.gauge(std::string(255, 'y')));
+}
+
+TEST(ObsRegistry, MissingLookupsFallBack) {
+  const MetricsSnapshot empty;
+  EXPECT_EQ(empty.histogram("nope"), nullptr);
+  EXPECT_EQ(empty.counter_or("nope", 17u), 17u);
+  EXPECT_EQ(empty.gauge_or("nope", -4), -4);
+}
+
+// --- session-telemetry bridge ----------------------------------------------
+
+TEST(ObsRegistry, RunTelemetryFeedsTheDecompMetrics) {
+  RunTelemetry t;
+  t.rounds = 5;
+  t.arcs_scanned = 1234;
+  t.shift_draw_seconds = 0.001;
+  t.shift_rank_seconds = 0.002;
+  t.shift_seconds = 0.003;
+  t.search_seconds = 0.25;
+  t.assemble_seconds = 0.01;
+  t.total_seconds = 0.27;
+  MetricsRegistry registry;
+  record_run_telemetry(registry, t);
+  record_run_telemetry(registry, t);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_or("decomp.computes"), 2u);
+  EXPECT_EQ(snap.counter_or("decomp.rounds"), 10u);
+  EXPECT_EQ(snap.counter_or("decomp.arcs_scanned"), 2468u);
+  for (const char* name :
+       {"decomp.shift_draw", "decomp.shift_rank", "decomp.shift",
+        "decomp.search", "decomp.assemble", "decomp.total"}) {
+    SCOPED_TRACE(name);
+    const HistogramSnapshot* h = snap.histogram(name);
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 2u);
+  }
+  // ~0.25s in ns, within the bucket error bound.
+  const HistogramSnapshot* search = snap.histogram("decomp.search");
+  EXPECT_GE(search->max, 250'000'000u - 250'000'000u / 16);
+  EXPECT_LE(search->max, 250'000'000u + 250'000'000u / 16);
+}
+
+// --- trace recorder ---------------------------------------------------------
+
+TEST(ObsTrace, RingKeepsTheNewestSpansOldestFirst) {
+  TraceRecorder recorder(8);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    recorder.record(TraceSpan{"span", "test", i, i * 100, 50});
+  }
+  EXPECT_EQ(recorder.recorded(), 20u);
+  EXPECT_EQ(recorder.dropped(), 12u);
+  const std::vector<TraceSpan> spans = recorder.spans();
+  ASSERT_EQ(spans.size(), 8u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].tid, 12u + i);  // 12..19 survive, in order
+  }
+}
+
+TEST(ObsTrace, RecordSinceMeasuresForward) {
+  TraceRecorder recorder;
+  const std::uint64_t start = recorder.now_ns();
+  recorder.record_since("wait", "test", 7, start);
+  const std::vector<TraceSpan> spans = recorder.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].start_ns, start);
+  EXPECT_LE(spans[0].start_ns + spans[0].duration_ns, recorder.now_ns());
+}
+
+TEST(ObsTrace, ChromeTraceExportIsWellFormed) {
+  TraceRecorder recorder(16);
+  recorder.record(TraceSpan{"service.query", "server", 1, 1000, 2500});
+  recorder.record(TraceSpan{"queue_wait", "server", 9, 500, 499});
+  recorder.record(TraceSpan{"we\"ird\\name", "test", 2, 0, 1});
+  std::ostringstream out;
+  recorder.write_chrome_trace(out);
+  const std::string json = out.str();
+  // Trace Event Format essentials: the event array, complete-event
+  // phases, microsecond timestamps, and drop accounting.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"service.query\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);  // 1000ns = 1µs
+  EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+  // The quote and backslash in the span name arrive escaped.
+  EXPECT_NE(json.find("we\\\"ird\\\\name"), std::string::npos);
+  // Balanced structure, no raw control bytes.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(ObsTrace, PathExportReportsUnwritablePaths) {
+  TraceRecorder recorder;
+  recorder.record(TraceSpan{"a", "b", 0, 0, 1});
+  EXPECT_FALSE(
+      recorder.write_chrome_trace("/nonexistent-dir/trace.json"));
+}
+
+}  // namespace
+}  // namespace mpx::obs

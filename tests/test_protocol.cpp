@@ -213,6 +213,176 @@ TEST(Protocol, ShutdownAndErrorMessagesRoundTrip) {
   EXPECT_EQ(decode_error_response(encode_payload(err)), err);
 }
 
+// --- stats (protocol v2) ---------------------------------------------------
+
+/// A stats snapshot exercising every section: counters, a negative gauge,
+/// and histograms whose buckets came from real records (sparse, sorted).
+StatsResponse sample_stats() {
+  StatsResponse msg;
+  msg.connections = 3;
+  msg.requests = 41;
+  msg.errors = 1;
+  msg.info_requests = 2;
+  msg.run_requests = 17;
+  msg.query_requests = 11;
+  msg.boundary_requests = 4;
+  msg.batch_requests = 5;
+  msg.stats_requests = 2;
+  msg.accept_backoffs = 6;
+  msg.write_timeouts = 1;
+  msg.results_computed = 9;
+  msg.service_seconds = 0.125;
+  msg.store_resident_results = 7;
+  msg.store_computes = 9;
+  msg.cache_hits = 100;
+  msg.cache_misses = 23;
+  msg.cache_evictions = 2;
+  msg.cache_resident_blocks = 12;
+  msg.cache_resident_bytes = 1u << 20;
+  msg.metrics.counters = {{"decomp.computes", 9}, {"decomp.rounds", 51}};
+  msg.metrics.gauges = {{"cache.resident_blocks", 12},
+                        {"server.outbox_bytes", -1}};  // negative survives
+  obs::LatencyHistogram h;
+  h.record(0);
+  h.record(17);
+  h.record(123456789);
+  h.record(~0ull);
+  msg.metrics.histograms = {{"server.service.run", h.snapshot()}};
+  return msg;
+}
+
+TEST(Protocol, StatsMessagesRoundTrip) {
+  EXPECT_EQ(decode_stats_request(encode_payload(StatsRequest{})),
+            StatsRequest{});
+  EXPECT_TRUE(encode_payload(StatsRequest{}).empty());
+
+  const StatsResponse msg = sample_stats();
+  EXPECT_EQ(decode_stats_response(encode_payload(msg)), msg);
+  // An all-defaults response (fresh server, empty registry) also survives.
+  EXPECT_EQ(decode_stats_response(encode_payload(StatsResponse{})),
+            StatsResponse{});
+}
+
+TEST(Protocol, StatsEncodingIsCanonical) {
+  // decode(encode(x)) == x bytewise: re-encoding the decoded snapshot
+  // reproduces the identical payload, so caches may key on the bytes.
+  const std::vector<std::uint8_t> wire = encode_payload(sample_stats());
+  EXPECT_EQ(encode_payload(decode_stats_response(wire)), wire);
+}
+
+TEST(Protocol, StatsResponseLayoutMatchesSpec) {
+  // docs/PROTOCOL.md "kStatsResponse payload": format u16 at 0, the twelve
+  // lifetime counters at 2, service_seconds f64 at 98, store/cache block
+  // at 106, counter section count u32 at 162.
+  const StatsResponse msg = sample_stats();
+  const std::vector<std::uint8_t> payload = encode_payload(msg);
+  std::uint16_t format = 0;
+  std::memcpy(&format, payload.data(), sizeof(format));
+  EXPECT_EQ(format, kStatsFormatVersion);
+  std::uint64_t connections = 0;
+  std::memcpy(&connections, payload.data() + 2, sizeof(connections));
+  EXPECT_EQ(connections, msg.connections);
+  double service_seconds = 0.0;
+  std::memcpy(&service_seconds, payload.data() + 98, sizeof(service_seconds));
+  EXPECT_EQ(service_seconds, msg.service_seconds);
+  std::uint64_t store_resident = 0;
+  std::memcpy(&store_resident, payload.data() + 106, sizeof(store_resident));
+  EXPECT_EQ(store_resident, msg.store_resident_results);
+  std::uint32_t counter_count = 0;
+  std::memcpy(&counter_count, payload.data() + 162, sizeof(counter_count));
+  EXPECT_EQ(counter_count, msg.metrics.counters.size());
+
+  // 0x07 / 0x87 are v2 message types, framed like any other.
+  EXPECT_TRUE(is_known_message_type(0x07));
+  EXPECT_TRUE(is_known_message_type(0x87));
+  const std::vector<std::uint8_t> frame =
+      encode_message(MessageType::kStatsRequest, StatsRequest{});
+  EXPECT_EQ(frame[6], 0x07);
+  EXPECT_EQ(decode_frame_header(frame).type, MessageType::kStatsRequest);
+}
+
+TEST(Protocol, RejectsTruncatedStatsResponseAtEveryLength) {
+  const std::vector<std::uint8_t> payload = encode_payload(sample_stats());
+  for (std::size_t keep = 0; keep < payload.size(); ++keep) {
+    SCOPED_TRACE("keep=" + std::to_string(keep));
+    EXPECT_THROW(
+        (void)decode_stats_response(
+            std::span<const std::uint8_t>(payload.data(), keep)),
+        ProtocolError);
+  }
+}
+
+TEST(Protocol, RejectsStatsTrailingJunk) {
+  std::vector<std::uint8_t> payload = encode_payload(sample_stats());
+  payload.push_back(0x5A);
+  EXPECT_THROW((void)decode_stats_response(payload), ProtocolError);
+  EXPECT_THROW((void)decode_stats_request({payload.data(), 1}), ProtocolError);
+}
+
+TEST(Protocol, RejectsUnsupportedStatsFormat) {
+  std::vector<std::uint8_t> payload = encode_payload(sample_stats());
+  const std::uint16_t future = kStatsFormatVersion + 1;
+  std::memcpy(payload.data(), &future, sizeof(future));
+  EXPECT_THROW((void)decode_stats_response(payload), ProtocolError);
+  const std::uint16_t zero = 0;
+  std::memcpy(payload.data(), &zero, sizeof(zero));
+  EXPECT_THROW((void)decode_stats_response(payload), ProtocolError);
+}
+
+TEST(Protocol, RejectsStatsMetricNameViolations) {
+  // Encode refuses unencodable names outright...
+  StatsResponse empty_name = sample_stats();
+  empty_name.metrics.counters[0].name.clear();
+  EXPECT_THROW((void)encode_payload(empty_name), ProtocolError);
+  StatsResponse long_name = sample_stats();
+  long_name.metrics.gauges[0].name.assign(obs::kMaxMetricNameBytes + 1, 'x');
+  EXPECT_THROW((void)encode_payload(long_name), ProtocolError);
+  // ...and decode rejects a zero name length patched onto the wire (the
+  // first counter's length prefix lives right after the section count).
+  std::vector<std::uint8_t> payload = encode_payload(sample_stats());
+  const std::uint16_t zero_len = 0;
+  std::memcpy(payload.data() + 166, &zero_len, sizeof(zero_len));
+  EXPECT_THROW((void)decode_stats_response(payload), ProtocolError);
+}
+
+TEST(Protocol, RejectsStatsSectionsOutOfNameOrder) {
+  // Sections are canonically strictly name-sorted; both a swap and a
+  // duplicate must be rejected (in every section).
+  StatsResponse swapped = sample_stats();
+  std::swap(swapped.metrics.counters[0], swapped.metrics.counters[1]);
+  EXPECT_THROW((void)decode_stats_response(encode_payload(swapped)),
+               ProtocolError);
+  StatsResponse duplicate = sample_stats();
+  duplicate.metrics.gauges[1].name = duplicate.metrics.gauges[0].name;
+  EXPECT_THROW((void)decode_stats_response(encode_payload(duplicate)),
+               ProtocolError);
+  StatsResponse hist_dup = sample_stats();
+  hist_dup.metrics.histograms.push_back(hist_dup.metrics.histograms[0]);
+  EXPECT_THROW((void)decode_stats_response(encode_payload(hist_dup)),
+               ProtocolError);
+}
+
+TEST(Protocol, RejectsStatsHistogramBucketViolations) {
+  // Out-of-scheme index.
+  StatsResponse bad_index = sample_stats();
+  bad_index.metrics.histograms[0].histogram.buckets.back().index =
+      static_cast<std::uint16_t>(obs::kHistogramBucketCount);
+  EXPECT_THROW((void)decode_stats_response(encode_payload(bad_index)),
+               ProtocolError);
+  // Buckets not strictly ascending by index.
+  StatsResponse unsorted = sample_stats();
+  auto& buckets = unsorted.metrics.histograms[0].histogram.buckets;
+  ASSERT_GE(buckets.size(), 2u);
+  std::swap(buckets.front(), buckets.back());
+  EXPECT_THROW((void)decode_stats_response(encode_payload(unsorted)),
+               ProtocolError);
+  // Occupied buckets only: a zero count is not canonical.
+  StatsResponse zero_count = sample_stats();
+  zero_count.metrics.histograms[0].histogram.buckets.front().count = 0;
+  EXPECT_THROW((void)decode_stats_response(encode_payload(zero_count)),
+               ProtocolError);
+}
+
 TEST(Protocol, EncodeMessageFramesThePayload) {
   QueryResponse answer{99};
   const std::vector<std::uint8_t> frame =

@@ -7,11 +7,14 @@
 // clear-error contract for unavailable socket paths.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <future>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -541,6 +544,178 @@ TEST(Server, ShutdownRequestDrainsTheServer) {
   const ServerStats stats = served.server->stats();
   EXPECT_GE(stats.requests, 2u);
   EXPECT_GE(stats.run_requests, 1u);
+}
+
+// --- observability ---------------------------------------------------------
+
+TEST(Server, StatsRequestReportsPerTypeHistogramsAcrossWorkers) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, generators::grid2d(8, 8));
+  for (const int workers : {1, 2, 8}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ServedSnapshot served(dir, path, workers);
+    DecompClient client = served.connect();
+    // A deterministic traffic mix: the per-type counters and histogram
+    // counts below must agree with it regardless of the worker count.
+    (void)client.info();
+    (void)client.info();
+    (void)client.run(request(0.4));         // cold
+    (void)client.run(request(0.4));         // cached
+    (void)client.run(request(0.4));         // cached
+    (void)client.cluster_of(0, request(0.4));
+    (void)client.cluster_of(1, request(0.4));
+    (void)client.boundary_arcs(request(0.4));
+    (void)client.batch(request(0.4), std::vector<double>{0.5, 0.2});
+
+    const StatsResponse stats = client.server_stats();
+    EXPECT_EQ(stats.info_requests, 2u);
+    EXPECT_EQ(stats.run_requests, 3u);
+    EXPECT_EQ(stats.query_requests, 2u);
+    EXPECT_EQ(stats.boundary_requests, 1u);
+    EXPECT_EQ(stats.batch_requests, 1u);
+    EXPECT_EQ(stats.stats_requests, 1u);
+    // The total bumps after each handler returns, so the in-flight stats
+    // request is not yet included: 2+3+2+1+1 completed requests.
+    EXPECT_EQ(stats.requests, 9u);
+    EXPECT_EQ(stats.connections, 1u);
+    EXPECT_GE(stats.results_computed, 1u);
+    EXPECT_GE(stats.store_resident_results, 1u);
+    EXPECT_GE(stats.store_computes, 1u);
+
+    // Each service histogram's count equals the requests of its type; the
+    // snapshot is taken inside the stats handler, so the in-flight stats
+    // request is not yet recorded in server.service.stats.
+    const auto count_of = [&](const char* name) {
+      const obs::HistogramSnapshot* h = stats.metrics.histogram(name);
+      return h == nullptr ? ~0ull : h->count;
+    };
+    EXPECT_EQ(count_of("server.service.info"), 2u);
+    EXPECT_EQ(count_of("server.service.run"), 3u);
+    EXPECT_EQ(count_of("server.service.query"), 2u);
+    EXPECT_EQ(count_of("server.service.boundary"), 1u);
+    EXPECT_EQ(count_of("server.service.batch"), 1u);
+    EXPECT_EQ(count_of("server.service.stats"), 0u);
+    // Quantiles are ordered and bounded by the exact max.
+    const obs::HistogramSnapshot* run_h =
+        stats.metrics.histogram("server.service.run");
+    ASSERT_NE(run_h, nullptr);
+    EXPECT_LE(run_h->quantile(0.5), run_h->quantile(0.99));
+    EXPECT_EQ(run_h->quantile(1.0), run_h->max);
+    // Queue-wait is recorded once per dispatcher->worker claim; every
+    // request needed at least one claim.
+    const obs::HistogramSnapshot* queue_h =
+        stats.metrics.histogram("server.queue_wait");
+    ASSERT_NE(queue_h, nullptr);
+    EXPECT_GE(queue_h->count, 9u);
+    // The session bridge feeds decomp.*: exactly the cold computes.
+    EXPECT_EQ(stats.metrics.counter_or("decomp.computes"),
+              stats.store_computes);
+    const obs::HistogramSnapshot* total_h =
+        stats.metrics.histogram("decomp.total");
+    ASSERT_NE(total_h, nullptr);
+    EXPECT_EQ(total_h->count, stats.store_computes);
+    // A second stats request sees the first one's service record.
+    EXPECT_EQ(client.server_stats().metrics.histogram("server.service.stats")
+                  ->count,
+              1u);
+  }
+}
+
+TEST(Server, ServerStatsMatchesTheServerSideSnapshot) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string path = dir.file("grid.mpxs");
+  io::save_snapshot(path, generators::grid2d(6, 6));
+  ServedSnapshot served(dir, path, 2);
+  {
+    DecompClient client = served.connect();
+    (void)client.run(request(0.3));
+    (void)client.cluster_of(3, request(0.3));
+    const StatsResponse wire = client.server_stats();
+    const obs::MetricsSnapshot local = served.server->metrics_snapshot();
+    // The wire snapshot is a prefix in time of the server-side one: same
+    // instruments, counts only grow, counters only grow.
+    for (const obs::NamedHistogram& h : wire.metrics.histograms) {
+      const obs::HistogramSnapshot* mine = local.histogram(h.name);
+      ASSERT_NE(mine, nullptr) << h.name;
+      EXPECT_GE(mine->count, h.histogram.count) << h.name;
+    }
+    for (const obs::CounterSnapshot& c : wire.metrics.counters) {
+      EXPECT_GE(local.counter_or(c.name, 0), c.value) << c.name;
+    }
+    EXPECT_EQ(wire.metrics.gauge_or("store.resident_results", -1),
+              local.gauge_or("store.resident_results", -2));
+  }
+}
+
+TEST(Server, DisabledMetricsKeepServingButRecordNothing) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string snapshot_path = dir.file("grid.mpxs");
+  io::save_snapshot(snapshot_path, generators::grid2d(6, 6));
+  ServerConfig config;
+  config.snapshot_path = snapshot_path;
+  config.socket_path = dir.file("nometrics.sock");
+  config.workers = 2;
+  config.metrics_enabled = false;
+  DecompServer server(std::move(config));
+  server.start();
+  {
+    DecompClient client =
+        DecompClient::connect_unix(server.config().socket_path);
+    (void)client.run(request(0.3));
+    const StatsResponse stats = client.server_stats();
+    // The lifetime counters still count (they predate the registry)...
+    EXPECT_EQ(stats.run_requests, 1u);
+    // ...but every histogram stays empty and the session bridge is off.
+    for (const obs::NamedHistogram& h : stats.metrics.histograms) {
+      EXPECT_EQ(h.histogram.count, 0u) << h.name;
+    }
+    EXPECT_EQ(stats.metrics.counter_or("decomp.computes", 0), 0u);
+  }
+  server.stop();
+}
+
+TEST(Server, TraceFileCapturesServedRequests) {
+  mpx::testing::TempDir dir("mpx_server");
+  const std::string snapshot_path = dir.file("grid.mpxs");
+  io::save_snapshot(snapshot_path, generators::grid2d(8, 8));
+  const std::string trace_path = dir.file("trace.json");
+  ServerConfig config;
+  config.snapshot_path = snapshot_path;
+  config.socket_path = dir.file("traced.sock");
+  config.workers = 2;
+  config.trace_path = trace_path;
+  DecompServer server(std::move(config));
+  server.start();
+  {
+    DecompClient client =
+        DecompClient::connect_unix(server.config().socket_path);
+    (void)client.run(request(0.4));  // cold: decompose spans
+    (void)client.run(request(0.4));  // cached
+    (void)client.boundary_arcs(request(0.4));
+  }
+  server.stop();  // stop() drains and writes the trace file
+
+  std::ifstream in(trace_path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << trace_path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string trace = buffer.str();
+  // Chrome trace-event JSON: one object, an event array, our span names.
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.front(), '{');
+  EXPECT_EQ(trace.back(), '\n');
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"service.run\""), std::string::npos);
+  EXPECT_NE(trace.find("\"service.boundary\""), std::string::npos);
+  EXPECT_NE(trace.find("\"queue_wait\""), std::string::npos);
+  EXPECT_NE(trace.find("\"response_write\""), std::string::npos);
+  EXPECT_NE(trace.find("\"decompose.shift\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(std::count(trace.begin(), trace.end(), '{'),
+            std::count(trace.begin(), trace.end(), '}'));
+  EXPECT_EQ(std::count(trace.begin(), trace.end(), '['),
+            std::count(trace.begin(), trace.end(), ']'));
 }
 
 TEST(Server, StartRejectsUnavailableSocketPathsWithClearErrors) {

@@ -20,18 +20,23 @@
 //       list the algorithm registry.
 //   decomp_tool serve <graph.mpxs> --socket <path> [--port P]
 //               [--workers N] [--warm <file.dec>] [opts]
+//               [--stats-interval SECS] [--trace <file.json>]
 //       stand up the decomposition server (src/server/) on a Unix-domain
 //       socket (--socket) or loopback TCP port (--port): one worker
 //       session per thread over the shared mmap-ed snapshot. --warm
 //       restores a save_cached file (under the request described by
-//       [opts]) into every worker before serving. Runs until SIGINT /
-//       SIGTERM or a client --shutdown.
+//       [opts]) into every worker before serving. --stats-interval dumps
+//       the live metrics snapshot to stderr every SECS seconds; --trace
+//       records per-request spans and writes Chrome trace-event JSON on
+//       shutdown (docs/OBSERVABILITY.md). Runs until SIGINT / SIGTERM or
+//       a client --shutdown.
 //   decomp_tool connect --socket <path> | --port P [--host H] [opts]
 //               [--run] [--cluster-of V]... [--distance U V] [--boundary]
-//               [--betas b1,b2,...] [--info] [--shutdown]
+//               [--betas b1,b2,...] [--info] [--stats] [--shutdown]
 //       drive a running server through the client library: the same
 //       queries `query` answers in process, over the wire protocol
-//       (docs/PROTOCOL.md).
+//       (docs/PROTOCOL.md). --stats fetches the server's observability
+//       snapshot (counters + latency-histogram quantiles).
 //
 // common opts: --algo <name> (default mpx), --beta B (default 0.1),
 //              --seed S (default 0), --engine auto|push|pull
@@ -71,9 +76,11 @@ int usage() {
       "              [--cluster-of V]... [--distance U V] [--boundary]\n"
       "  decomp_tool serve <graph.mpxs> --socket <path> [--port P]\n"
       "              [--workers N] [--warm <file.dec>] [opts]\n"
+      "              [--stats-interval SECS] [--trace <file.json>]\n"
       "  decomp_tool connect --socket <path> | --port P [--host H] [opts]\n"
       "              [--run] [--cluster-of V]... [--distance U V]\n"
-      "              [--boundary] [--betas b1,b2,...] [--info] [--shutdown]\n"
+      "              [--boundary] [--betas b1,b2,...] [--info] [--stats]\n"
+      "              [--shutdown]\n"
       "  decomp_tool algorithms\n"
       "opts: --algo <name> --beta B --seed S --engine auto|push|pull\n"
       "      --memory-budget BYTES[K|M|G]  serve cold snapshots larger than\n"
@@ -99,7 +106,10 @@ struct Cli {
   std::string warm_path;                    // serve --warm
   bool do_run = false;                      // connect --run
   bool do_info = false;                     // connect --info
+  bool do_stats = false;                    // connect --stats
   bool do_shutdown = false;                 // connect --shutdown
+  double stats_interval = 0.0;              // serve --stats-interval (0 = off)
+  std::string trace_path;                   // serve --trace
   std::uint64_t memory_budget_bytes = 0;    // --memory-budget (0 = in-memory)
 };
 
@@ -204,10 +214,21 @@ bool parse_cli(int argc, char** argv, int first, Cli& cli,
                      value.c_str());
         return false;
       }
+    } else if (arg == "--stats-interval" && next(value)) {
+      cli.stats_interval = std::atof(value.c_str());
+      if (cli.stats_interval <= 0.0) {
+        std::fprintf(stderr,
+                     "decomp_tool: --stats-interval must be > 0 seconds\n");
+        return false;
+      }
+    } else if (arg == "--trace" && next(value)) {
+      cli.trace_path = value;
     } else if (arg == "--run") {
       cli.do_run = true;
     } else if (arg == "--info") {
       cli.do_info = true;
+    } else if (arg == "--stats") {
+      cli.do_stats = true;
     } else if (arg == "--shutdown") {
       cli.do_shutdown = true;
     } else if (needs_graph && cli.graph_path.empty() &&
@@ -259,9 +280,21 @@ void print_result_line(const DecompositionSession& session,
                 static_cast<unsigned long long>(t.cache_misses),
                 static_cast<unsigned long long>(t.cache_evictions));
   }
-  std::printf(
-      "timings: shifts %.6fs, search %.6fs, assemble %.6fs, total %.6fs\n",
-      t.shift_seconds, t.search_seconds, t.assemble_seconds, t.total_seconds);
+  // Full phase table: the shift phase split into its draw/rank halves,
+  // then the BFS/search and assemble phases, each as a share of total.
+  const auto row = [&](const char* phase, double seconds) {
+    std::printf("  %-14s %12.6f %9.1f%%\n", phase, seconds,
+                t.total_seconds > 0.0 ? 100.0 * seconds / t.total_seconds
+                                      : 0.0);
+  };
+  std::printf("phase timings:\n");
+  std::printf("  %-14s %12s %10s\n", "phase", "seconds", "of total");
+  row("shift.draw", t.shift_draw_seconds);
+  row("shift.rank", t.shift_rank_seconds);
+  row("shift (all)", t.shift_seconds);
+  row("search", t.search_seconds);
+  row("assemble", t.assemble_seconds);
+  row("total", t.total_seconds);
 }
 
 int cmd_algorithms() {
@@ -388,6 +421,36 @@ int cmd_query(const Cli& cli) {
 
 // --- serve / connect: the process boundary (src/server/) -------------------
 
+/// Print a metrics-registry snapshot: non-empty latency histograms as
+/// p50/p90/p99/max rows (milliseconds), then counters and gauges.
+void print_metrics(std::FILE* out, const mpx::obs::MetricsSnapshot& m) {
+  const auto ms = [](std::uint64_t ns) {
+    return static_cast<double>(ns) / 1e6;
+  };
+  bool any_hist = false;
+  for (const mpx::obs::NamedHistogram& h : m.histograms) {
+    if (h.histogram.count == 0) continue;
+    if (!any_hist) {
+      std::fprintf(out, "  %-26s %10s %10s %10s %10s %10s\n", "histogram",
+                   "count", "p50_ms", "p90_ms", "p99_ms", "max_ms");
+      any_hist = true;
+    }
+    std::fprintf(out, "  %-26s %10llu %10.3f %10.3f %10.3f %10.3f\n",
+                 h.name.c_str(),
+                 static_cast<unsigned long long>(h.histogram.count),
+                 ms(h.histogram.quantile(0.5)), ms(h.histogram.quantile(0.9)),
+                 ms(h.histogram.quantile(0.99)), ms(h.histogram.max));
+  }
+  for (const mpx::obs::CounterSnapshot& c : m.counters) {
+    std::fprintf(out, "  %-26s %10llu\n", c.name.c_str(),
+                 static_cast<unsigned long long>(c.value));
+  }
+  for (const mpx::obs::GaugeSnapshot& g : m.gauges) {
+    std::fprintf(out, "  %-26s %10lld\n", g.name.c_str(),
+                 static_cast<long long>(g.value));
+  }
+}
+
 volatile std::sig_atomic_t g_stop_requested = 0;
 
 void handle_stop_signal(int) { g_stop_requested = 1; }
@@ -403,6 +466,7 @@ int cmd_serve(const Cli& cli) {
   config.tcp_port = cli.port < 0 ? 0 : static_cast<std::uint16_t>(cli.port);
   config.workers = cli.workers;
   config.memory_budget_bytes = cli.memory_budget_bytes;
+  config.trace_path = cli.trace_path;
   if (!cli.warm_path.empty()) {
     config.warm.push_back({cli.request, cli.warm_path});
   }
@@ -430,8 +494,25 @@ int cmd_serve(const Cli& cli) {
 
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
+  mpx::WallTimer stats_clock;
   while (g_stop_requested == 0 && !server.stop_requested()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (cli.stats_interval > 0.0 &&
+        stats_clock.seconds() >= cli.stats_interval) {
+      stats_clock.reset();
+      // Operator-facing liveness dump; stderr so stdout stays parseable.
+      const mpx::server::ServerStats s = server.stats();
+      std::fprintf(stderr,
+                   "stats: %llu requests, %llu connections, %llu errors, "
+                   "%llu computed, %.3fs service time\n",
+                   static_cast<unsigned long long>(s.requests),
+                   static_cast<unsigned long long>(s.connections),
+                   static_cast<unsigned long long>(s.errors),
+                   static_cast<unsigned long long>(s.results_computed),
+                   s.service_seconds);
+      print_metrics(stderr, server.metrics_snapshot());
+      std::fflush(stderr);
+    }
   }
   server.stop();
   const mpx::server::ServerStats stats = server.stats();
@@ -444,6 +525,9 @@ int cmd_serve(const Cli& cli) {
       stats.connections == 1 ? "" : "s",
       static_cast<unsigned long long>(stats.errors),
       stats.errors == 1 ? "" : "s", stats.service_seconds);
+  if (!cli.trace_path.empty()) {
+    std::printf("wrote trace: %s\n", cli.trace_path.c_str());
+  }
   return 0;
 }
 
@@ -475,6 +559,40 @@ int cmd_connect(const Cli& cli) {
                   static_cast<unsigned long long>(info.cache_misses),
                   static_cast<unsigned long long>(info.cache_evictions));
     }
+    did_something = true;
+  }
+  if (cli.do_stats) {
+    const mpx::server::StatsResponse stats = client.server_stats();
+    std::printf("server stats:\n");
+    std::printf(
+        "  requests=%llu (info=%llu run=%llu query=%llu boundary=%llu "
+        "batch=%llu stats=%llu) errors=%llu\n",
+        static_cast<unsigned long long>(stats.requests),
+        static_cast<unsigned long long>(stats.info_requests),
+        static_cast<unsigned long long>(stats.run_requests),
+        static_cast<unsigned long long>(stats.query_requests),
+        static_cast<unsigned long long>(stats.boundary_requests),
+        static_cast<unsigned long long>(stats.batch_requests),
+        static_cast<unsigned long long>(stats.stats_requests),
+        static_cast<unsigned long long>(stats.errors));
+    std::printf(
+        "  connections=%llu accept_backoffs=%llu write_timeouts=%llu "
+        "service_seconds=%.3f\n",
+        static_cast<unsigned long long>(stats.connections),
+        static_cast<unsigned long long>(stats.accept_backoffs),
+        static_cast<unsigned long long>(stats.write_timeouts),
+        stats.service_seconds);
+    std::printf(
+        "  store: %llu resident, %llu computed; block cache: %llu hits, "
+        "%llu misses, %llu evictions, %llu blocks / %llu bytes resident\n",
+        static_cast<unsigned long long>(stats.store_resident_results),
+        static_cast<unsigned long long>(stats.store_computes),
+        static_cast<unsigned long long>(stats.cache_hits),
+        static_cast<unsigned long long>(stats.cache_misses),
+        static_cast<unsigned long long>(stats.cache_evictions),
+        static_cast<unsigned long long>(stats.cache_resident_blocks),
+        static_cast<unsigned long long>(stats.cache_resident_bytes));
+    print_metrics(stdout, stats.metrics);
     did_something = true;
   }
   if (cli.do_run) {
